@@ -1,0 +1,618 @@
+(* ldapschema — command-line front end for the bounding-schema library.
+
+   Subcommands:
+     validate    check an LDIF directory against a schema spec
+     consistent  decide schema consistency; optionally emit a witness
+     query       evaluate a hierarchical selection query over a directory
+     update      apply an LDIF change file under incremental legality
+     fmt         parse a schema spec and print its canonical form
+     generate    emit a benchmark workload as LDIF *)
+
+open Bounds_model
+open Bounds_core
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let load_schema path =
+  match Spec_parser.parse (read_file path) with
+  | Ok s -> Ok s
+  | Error e ->
+      Error (Printf.sprintf "%s: %s" path (Spec_parser.error_to_string e))
+
+let load_data ~typing path =
+  match Bounds_codec.Ldif.parse ~typing (read_file path) with
+  | Ok inst -> Ok inst
+  | Error e ->
+      Error (Printf.sprintf "%s: %s" path (Bounds_codec.Ldif.error_to_string e))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 2
+
+(* --- arguments --------------------------------------------------------- *)
+
+let schema_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "schema" ] ~docv:"SPEC" ~doc:"Bounding-schema specification file.")
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"LDIF" ~doc:"Directory instance in LDIF.")
+
+(* --- validate ----------------------------------------------------------- *)
+
+let validate schema_path data_path naive no_extensions =
+  let schema = or_die (load_schema schema_path) in
+  let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
+  let extensions = not no_extensions in
+  let viols =
+    if naive then Naive_legality.check ~extensions schema inst
+    else Legality.check ~extensions schema inst
+  in
+  match viols with
+  | [] ->
+      Printf.printf "%s: legal (%d entries)\n" data_path (Instance.size inst);
+      0
+  | viols ->
+      Printf.printf "%s: ILLEGAL — %d violation(s)\n" data_path (List.length viols);
+      List.iter (fun v -> Printf.printf "  - %s\n" (Violation.to_string v)) viols;
+      1
+
+let validate_cmd =
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ] ~doc:"Use the quadratic pairwise checker (for comparison).")
+  in
+  let no_ext =
+    Arg.(
+      value & flag
+      & info [ "no-extensions" ]
+          ~doc:"Skip the single-valued and key checks (Section 6.1 extensions).")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check that an LDIF directory is legal w.r.t. a schema.")
+    Term.(const validate $ schema_arg $ data_arg $ naive $ no_ext)
+
+(* --- consistent ---------------------------------------------------------- *)
+
+let consistent schema_path witness_path show_proof =
+  let schema = or_die (load_schema schema_path) in
+  match Consistency.decide schema with
+  | Consistency.Consistent { witness; passes; derived } ->
+      Printf.printf "consistent (saturation: %d passes, %d elements)\n" passes derived;
+      (match witness_path with
+      | Some path ->
+          write_file path (Bounds_codec.Ldif.to_string witness);
+          Printf.printf "witness (%d entries) written to %s\n" (Instance.size witness)
+            path
+      | None -> ());
+      0
+  | Consistency.Inconsistent { proof; passes; derived } ->
+      Printf.printf "INCONSISTENT (saturation: %d passes, %d elements)\n" passes
+        derived;
+      if show_proof then Format.printf "%a@." Inference.pp_proof proof;
+      1
+  | Consistency.Unresolved { reason; _ } ->
+      Printf.printf "unresolved: no contradiction derivable, but %s\n" reason;
+      3
+
+let consistent_cmd =
+  let witness =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "witness" ] ~docv:"LDIF"
+          ~doc:"Write a legal witness instance to this file.")
+  in
+  let proof =
+    Arg.(value & flag & info [ "proof" ] ~doc:"Print the inconsistency derivation.")
+  in
+  Cmd.v
+    (Cmd.info "consistent"
+       ~doc:"Decide whether a bounding-schema admits any legal instance.")
+    Term.(const consistent $ schema_arg $ witness $ proof)
+
+(* --- query --------------------------------------------------------------- *)
+
+let query schema_path data_path expr =
+  let typing =
+    match schema_path with
+    | Some p -> (or_die (load_schema p)).Schema.typing
+    | None -> Typing.default
+  in
+  let inst = or_die (load_data ~typing data_path) in
+  let q =
+    match Bounds_query.Query_parser.parse expr with
+    | Ok q -> q
+    | Error m -> or_die (Error ("query: " ^ m))
+  in
+  let ix = Bounds_query.Index.create inst in
+  let ids = Bounds_query.Eval.eval_ids ix q in
+  Printf.printf "%d entries\n" (List.length ids);
+  List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
+  0
+
+let query_cmd =
+  let schema_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "schema" ] ~docv:"SPEC" ~doc:"Schema spec (for attribute types).")
+  in
+  let expr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Hierarchical selection query, e.g. '(minus (objectClass=orgGroup) (chi \
+             d (objectClass=orgGroup) (objectClass=person)))', or a bare LDAP \
+             filter.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a hierarchical selection query over an LDIF file.")
+    Term.(const query $ schema_opt $ data_arg $ expr)
+
+(* --- search ---------------------------------------------------------------- *)
+
+let search schema_path data_path base_dn scope_str filter_str optimize =
+  let schema =
+    match schema_path with Some p -> Some (or_die (load_schema p)) | None -> None
+  in
+  let typing =
+    match schema with Some s -> s.Schema.typing | None -> Typing.default
+  in
+  let inst = or_die (load_data ~typing data_path) in
+  let scope =
+    match Bounds_query.Search.scope_of_string scope_str with
+    | Ok s -> s
+    | Error m -> or_die (Error m)
+  in
+  let filter =
+    match Bounds_query.Filter_parser.parse filter_str with
+    | Ok f -> f
+    | Error m -> or_die (Error ("filter: " ^ m))
+  in
+  let base =
+    match base_dn with
+    | None -> None
+    | Some dn -> (
+        match Instance.resolve_dn inst dn with
+        | Some id -> Some id
+        | None -> or_die (Error (Printf.sprintf "base %S not found" dn)))
+  in
+  let filter =
+    match (optimize, schema) with
+    | true, Some s -> (
+        let inf = Inference.saturate s in
+        match Optimize.simplify inf (Bounds_query.Query.Select filter) with
+        | Bounds_query.Query.Select f -> f
+        | _ -> filter)
+    | true, None -> or_die (Error "--optimize needs --schema")
+    | false, _ -> filter
+  in
+  let ix = Bounds_query.Index.create inst in
+  let ids = Bounds_query.Search.search ix ~base scope filter in
+  Printf.printf "%d entries\n" (List.length ids);
+  List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
+  0
+
+let search_cmd =
+  let schema_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "schema" ] ~docv:"SPEC" ~doc:"Schema spec (types; enables --optimize).")
+  in
+  let base =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "base" ] ~docv:"DN" ~doc:"Base entry (whole forest if omitted).")
+  in
+  let scope =
+    Arg.(
+      value & opt string "sub"
+      & info [ "scope" ] ~docv:"SCOPE" ~doc:"base, one, or sub (default).")
+  in
+  let filter =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILTER" ~doc:"RFC-2254-style filter.")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:"Simplify the filter against the schema before evaluating.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"LDAP-style scoped search over an LDIF file.")
+    Term.(const search $ schema_opt $ data_arg $ base $ scope $ filter $ optimize)
+
+(* --- update ---------------------------------------------------------------- *)
+
+(* LDIF change records: each record is `dn:` + `changetype: add` with
+   attributes, or `changetype: delete`. *)
+let parse_changes ~typing inst text =
+  let records =
+    String.split_on_char '\n' text
+    |> List.fold_left
+         (fun (recs, cur) line ->
+           let line = String.trim line in
+           if line = "" then match cur with [] -> (recs, []) | c -> (List.rev c :: recs, [])
+           else if String.length line > 0 && line.[0] = '#' then (recs, cur)
+           else (recs, line :: cur))
+         ([], [])
+    |> fun (recs, cur) ->
+    List.rev (match cur with [] -> recs | c -> List.rev c :: recs)
+  in
+  let next_id = ref (Instance.fresh_id inst) in
+  let dn_to_id = Hashtbl.create 16 in
+  Instance.iter
+    (fun e ->
+      Hashtbl.replace dn_to_id
+        (String.lowercase_ascii (Instance.dn inst (Entry.id e)))
+        (Entry.id e))
+    inst;
+  let resolve dn =
+    match Hashtbl.find_opt dn_to_id (String.lowercase_ascii (String.trim dn)) with
+    | Some id -> Ok id
+    | None -> Error (Printf.sprintf "unknown dn %S" dn)
+  in
+  let split line =
+    match String.index_opt line ':' with
+    | Some i ->
+        Ok
+          ( String.trim (String.sub line 0 i),
+            String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> Error (Printf.sprintf "malformed line %S" line)
+  in
+  let ( let* ) = Result.bind in
+  let rec build ops = function
+    | [] -> Ok (List.rev ops)
+    | record :: rest -> (
+        match record with
+        | [] -> build ops rest
+        | dn_line :: body ->
+            let* k, dn = split dn_line in
+            if String.lowercase_ascii k <> "dn" then
+              Error (Printf.sprintf "record must start with dn:, got %S" dn_line)
+            else
+              let changetype, attrs =
+                match body with
+                | l :: more when String.lowercase_ascii l |> fun s ->
+                                 String.length s >= 10 && String.sub s 0 10 = "changetype" ->
+                    ( String.trim
+                        (String.sub l (String.index l ':' + 1)
+                           (String.length l - String.index l ':' - 1)),
+                      more )
+                | _ -> ("add", body)
+              in
+              (match String.lowercase_ascii changetype with
+              | "delete" ->
+                  let* id = resolve dn in
+                  build (Update.Delete id :: ops) rest
+              | "add" ->
+                  let* parent =
+                    match String.index_opt dn ',' with
+                    | None -> Ok None
+                    | Some i ->
+                        let* pid =
+                          resolve (String.sub dn (i + 1) (String.length dn - i - 1))
+                        in
+                        Ok (Some pid)
+                  in
+                  let rdn =
+                    match String.index_opt dn ',' with
+                    | None -> String.trim dn
+                    | Some i -> String.trim (String.sub dn 0 i)
+                  in
+                  let* classes, pairs =
+                    List.fold_left
+                      (fun acc line ->
+                        let* classes, pairs = acc in
+                        let* k, v = split line in
+                        match Attr.of_string_opt k with
+                        | None -> Error (Printf.sprintf "bad attribute %S" k)
+                        | Some a ->
+                            if Attr.equal a Attr.object_class then
+                              match Oclass.of_string_opt v with
+                              | Some cls -> Ok (cls :: classes, pairs)
+                              | None -> Error (Printf.sprintf "bad class %S" v)
+                            else
+                              let* value =
+                                Value.parse (Typing.find typing a) v
+                              in
+                              Ok (classes, (a, value) :: pairs))
+                      (Ok ([], []))
+                      attrs
+                  in
+                  if classes = [] then Error (Printf.sprintf "%s: no objectClass" dn)
+                  else begin
+                    let id = !next_id in
+                    incr next_id;
+                    Hashtbl.replace dn_to_id (String.lowercase_ascii dn) id;
+                    let entry =
+                      Entry.make ~id ~rdn ~classes:(Oclass.Set.of_list classes)
+                        (List.rev pairs)
+                    in
+                    build (Update.Insert { parent; entry } :: ops) rest
+                  end
+              | other -> Error (Printf.sprintf "unsupported changetype %S" other)))
+  in
+  build [] records
+
+let update schema_path data_path ops_path out_path =
+  let schema = or_die (load_schema schema_path) in
+  let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
+  let ops = or_die (parse_changes ~typing:schema.Schema.typing inst (read_file ops_path)) in
+  let monitor =
+    match Monitor.create schema inst with
+    | Ok m -> m
+    | Error viols ->
+        prerr_endline "error: the starting directory is already illegal:";
+        List.iter (fun v -> prerr_endline ("  - " ^ Violation.to_string v)) viols;
+        exit 2
+  in
+  match Monitor.apply ops monitor with
+  | Ok m ->
+      Printf.printf "transaction accepted: %d operation(s), %d entries now\n"
+        (List.length ops)
+        (Instance.size (Monitor.instance m));
+      (match out_path with
+      | Some path ->
+          write_file path (Bounds_codec.Ldif.to_string (Monitor.instance m));
+          Printf.printf "updated directory written to %s\n" path
+      | None -> ());
+      0
+  | Error r ->
+      Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
+      1
+
+let update_cmd =
+  let ops =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "o"; "ops" ] ~docv:"CHANGES"
+          ~doc:
+            "LDIF change records: plain records (or changetype: add) insert; \
+             changetype: delete removes.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"LDIF" ~doc:"Write the updated directory here.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply an update transaction under incremental legality checking.")
+    Term.(const update $ schema_arg $ data_arg $ ops $ out)
+
+(* --- repair ------------------------------------------------------------------ *)
+
+let repair schema_path data_path destructive out_path =
+  let schema = or_die (load_schema schema_path) in
+  let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
+  let outcome = Repair.fix ~destructive schema inst in
+  if outcome.Repair.actions = [] && outcome.Repair.remaining = [] then begin
+    Printf.printf "%s: already legal, nothing to repair\n" data_path;
+    0
+  end
+  else begin
+    List.iter
+      (fun act -> Format.printf "  %a@." Repair.pp_action act)
+      outcome.Repair.actions;
+    (match out_path with
+    | Some path ->
+        write_file path (Bounds_codec.Ldif.to_string outcome.Repair.instance);
+        Printf.printf "repaired directory (%d entries) written to %s\n"
+          (Instance.size outcome.Repair.instance)
+          path
+    | None -> ());
+    match outcome.Repair.remaining with
+    | [] ->
+        Printf.printf "fully repaired: %d action(s)\n"
+          (List.length outcome.Repair.actions);
+        0
+    | remaining ->
+        Printf.printf "%d violation(s) remain%s:\n" (List.length remaining)
+          (if destructive then "" else " (retry with --destructive?)");
+        List.iter (fun v -> Printf.printf "  - %s\n" (Violation.to_string v)) remaining;
+        1
+  end
+
+let repair_cmd =
+  let destructive =
+    Arg.(
+      value & flag
+      & info [ "destructive" ]
+          ~doc:
+            "Also delete offending subtrees when nothing gentler fixes a \
+             violation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"LDIF" ~doc:"Write the repaired directory here.")
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Repair an illegal directory with targeted edits.")
+    Term.(const repair $ schema_arg $ data_arg $ destructive $ out)
+
+(* --- fmt --------------------------------------------------------------------- *)
+
+let fmt schema_path =
+  let schema = or_die (load_schema schema_path) in
+  print_string (Spec_printer.to_string schema);
+  0
+
+let fmt_cmd =
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Parse a schema spec and print its canonical form.")
+    Term.(const fmt $ schema_arg)
+
+(* --- tree-check (Section 6.3) --------------------------------------------------- *)
+
+let tree_check schema_path data_path =
+  let sschema =
+    match Bounds_semi.Sschema.parse (read_file schema_path) with
+    | Ok s -> s
+    | Error m -> or_die (Error (Printf.sprintf "%s: %s" schema_path m))
+  in
+  match data_path with
+  | Some path -> (
+      let forest =
+        match Bounds_semi.Ltree.parse_forest (read_file path) with
+        | Ok f -> f
+        | Error m -> or_die (Error (Printf.sprintf "%s: %s" path m))
+      in
+      match Bounds_semi.Sschema.check sschema forest with
+      | [] ->
+          Printf.printf "%s: legal (%d nodes)\n" path
+            (List.fold_left (fun n t -> n + Bounds_semi.Ltree.size t) 0 forest);
+          0
+      | viols ->
+          Printf.printf "%s: ILLEGAL — %d violation(s)\n" path (List.length viols);
+          List.iter (fun v -> Printf.printf "  - %s\n" v) viols;
+          1)
+  | None -> (
+      match Bounds_semi.Sschema.witness sschema with
+      | Ok forest ->
+          Printf.printf "consistent; a minimal legal document:\n";
+          List.iter
+            (fun t -> Printf.printf "  %s\n" (Bounds_semi.Ltree.to_string t))
+            forest;
+          0
+      | Error m ->
+          Printf.printf "%s\n" m;
+          1)
+
+let tree_check_cmd =
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "data" ] ~docv:"TREES"
+          ~doc:
+            "Forest of s-expression trees, e.g. '(library (book (title)))'.  \
+             Without it, the schema's consistency is decided instead.")
+  in
+  Cmd.v
+    (Cmd.info "tree-check"
+       ~doc:
+         "Bounding-schemas for semistructured data (Section 6.3): validate a \
+          labelled forest, or decide a tree-schema's consistency.")
+    Term.(const tree_check $ schema_arg $ data)
+
+(* --- profile ------------------------------------------------------------------ *)
+
+let profile schema_path data_path =
+  let schema = or_die (load_schema schema_path) in
+  let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
+  Format.printf "%a" Profile.pp (Profile.compute schema inst);
+  0
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Schema-aware statistics: class populations, optional-attribute fill \
+          rates, auxiliary-class adoption, forest shape.")
+    Term.(const profile $ schema_arg $ data_arg)
+
+(* --- generate ----------------------------------------------------------------- *)
+
+let generate workload seed units persons out emit_schema =
+  let schema, inst =
+    match workload with
+    | "white-pages" ->
+        ( Bounds_workload.White_pages.schema,
+          Bounds_workload.White_pages.generate ~seed ~units ~persons_per_unit:persons
+            () )
+    | "den" ->
+        ( Bounds_workload.Den.schema,
+          Bounds_workload.Den.generate ~seed ~sites:(max 1 (units / 10))
+            ~devices_per_site:4 ~interfaces_per_device:2 ~policies:persons () )
+    | other -> or_die (Error (Printf.sprintf "unknown workload %S" other))
+  in
+  (match emit_schema with
+  | Some path -> write_file path (Spec_printer.to_string schema)
+  | None -> ());
+  let ldif = Bounds_codec.Ldif.to_string inst in
+  (match out with Some path -> write_file path ldif | None -> print_string ldif);
+  Printf.eprintf "generated %d entries\n" (Instance.size inst);
+  0
+
+let generate_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt string "white-pages"
+      & info [ "workload" ] ~docv:"NAME" ~doc:"white-pages or den.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let units =
+    Arg.(value & opt int 20 & info [ "units" ] ~docv:"N" ~doc:"Organizational units.")
+  in
+  let persons =
+    Arg.(
+      value & opt int 5
+      & info [ "persons" ] ~docv:"N" ~doc:"Persons per unit (policies for den).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"LDIF" ~doc:"Output file (stdout by default).")
+  in
+  let emit_schema =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-schema" ] ~docv:"SPEC" ~doc:"Also write the matching schema spec.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic legal directory as LDIF.")
+    Term.(const generate $ workload $ seed $ units $ persons $ out $ emit_schema)
+
+let main =
+  Cmd.group
+    (Cmd.info "ldapschema" ~version:"1.0.0"
+       ~doc:"Bounding-schemas for LDAP directories (EDBT 2000), as a tool.")
+    [
+      validate_cmd;
+      consistent_cmd;
+      query_cmd;
+      search_cmd;
+      update_cmd;
+      repair_cmd;
+      profile_cmd;
+      tree_check_cmd;
+      fmt_cmd;
+      generate_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/den_policy.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bounds_codec Bounds_core Bounds_model Consistency Format Inference Legality List Monitor Result Schema Spec_parser Spec_printer Violation

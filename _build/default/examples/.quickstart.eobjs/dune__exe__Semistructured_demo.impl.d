@@ -1,0 +1,1 @@
+examples/semistructured_demo.ml: Bounds_core Bounds_semi Format List Ltree Result Sschema Structure_schema

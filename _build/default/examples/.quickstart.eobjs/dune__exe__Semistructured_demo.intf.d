@@ -1,0 +1,1 @@
+examples/semistructured_demo.mli:

@@ -1,0 +1,1 @@
+examples/updates_demo.ml: Attr Bounds_core Bounds_model Bounds_workload Entry Format Instance Legality List Monitor Oclass Result Update Value

@@ -1,0 +1,1 @@
+examples/white_pages_tour.mli:

@@ -1,0 +1,112 @@
+(* Quickstart: define a bounding-schema in the spec language, load a
+   directory from LDIF, check legality, and ask whether the schema is
+   satisfiable at all.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Bounds_core
+
+let schema_spec =
+  {|
+# A tiny team directory.
+attribute name : string
+attribute uid : string
+attribute mail : string
+
+class team { required: name }
+class person { required: name, uid; aux: online }
+auxiliary online { allowed: mail }
+
+# lower bounds: the directory must contain at least one team, every team
+# must (transitively) contain a person, every person sits inside a team
+require exists team
+require team descendant person
+require person ancestor team
+
+# upper bound: people are leaves
+forbid person child top
+
+key uid
+|}
+
+let directory_ldif =
+  {|
+dn: name=research
+objectClass: team
+objectClass: top
+name: research
+
+dn: uid=ada,name=research
+objectClass: person
+objectClass: online
+objectClass: top
+name: Ada Lovelace
+uid: ada
+mail: ada@example.org
+
+dn: uid=alan,name=research
+objectClass: person
+objectClass: top
+name: Alan Turing
+uid: alan
+|}
+
+let () =
+  (* 1. parse the schema *)
+  let schema = Spec_parser.parse_exn schema_spec in
+  Format.printf "=== schema ===@.%s@." (Spec_printer.to_string schema);
+
+  (* 2. is the schema consistent?  (Section 5 of the paper) *)
+  (match Consistency.decide schema with
+  | Consistency.Consistent { witness; _ } ->
+      Format.printf "schema is consistent; a minimal legal directory:@.%a@."
+        Bounds_model.Instance.pp witness
+  | Consistency.Inconsistent { proof; _ } ->
+      Format.printf "schema is INCONSISTENT:@.%a@." Inference.pp_proof proof
+  | Consistency.Unresolved { reason; _ } -> Format.printf "unresolved: %s@." reason);
+
+  (* 3. load a directory instance from LDIF *)
+  let inst = Bounds_codec.Ldif.parse_exn ~typing:schema.Schema.typing directory_ldif in
+  Format.printf "=== directory (%d entries) ===@.%a@."
+    (Bounds_model.Instance.size inst) Bounds_model.Instance.pp inst;
+
+  (* 4. check legality (Section 3) *)
+  (match Legality.check schema inst with
+  | [] -> Format.printf "the directory is LEGAL@."
+  | viols ->
+      Format.printf "violations:@.";
+      List.iter (fun v -> Format.printf "  - %s@." (Violation.to_string v)) viols);
+
+  (* 5. try an update: adding an empty team must be rejected, adding a
+     team with a member accepted (Section 4, incremental check) *)
+  let monitor = Result.get_ok (Monitor.create schema inst) in
+  let team name =
+    Bounds_model.Entry.make ~id:100 ~rdn:("name=" ^ name)
+      ~classes:(Bounds_model.Oclass.set_of_list [ "team"; "top" ])
+      [ (Bounds_model.Attr.of_string "name", Bounds_model.Value.String name) ]
+  in
+  let empty_team =
+    Bounds_model.Instance.add_root_exn (team "skunkworks") Bounds_model.Instance.empty
+  in
+  (match Monitor.insert_subtree ~parent:None empty_team monitor with
+  | Error viols ->
+      Format.printf "empty team rejected, as it should be:@.";
+      List.iter (fun v -> Format.printf "  - %s@." (Violation.to_string v)) viols
+  | Ok _ -> Format.printf "BUG: empty team accepted?!@.");
+  let staffed_team =
+    Bounds_model.Instance.add_child_exn ~parent:100
+      (Bounds_model.Entry.make ~id:101 ~rdn:"uid=grace"
+         ~classes:(Bounds_model.Oclass.set_of_list [ "person"; "top" ])
+         [
+           (Bounds_model.Attr.of_string "name", Bounds_model.Value.String "Grace Hopper");
+           (Bounds_model.Attr.of_string "uid", Bounds_model.Value.String "grace");
+         ])
+      empty_team
+  in
+  match Monitor.insert_subtree ~parent:None staffed_team monitor with
+  | Ok m ->
+      Format.printf "staffed team accepted; directory now has %d entries@."
+        (Bounds_model.Instance.size (Monitor.instance m))
+  | Error viols ->
+      Format.printf "unexpected rejection:@.";
+      List.iter (fun v -> Format.printf "  - %s@." (Violation.to_string v)) viols

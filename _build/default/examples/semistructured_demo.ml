@@ -1,0 +1,64 @@
+(* Section 6.3: bounding-schemas for semistructured data.  The paper's
+   two examples — person/name at arbitrary depth, and country/corporation
+   nesting — on edge-labelled trees.
+
+   Run with:  dune exec examples/semistructured_demo.exe *)
+
+open Bounds_core
+open Bounds_semi
+module SS = Structure_schema
+
+let section title = Format.printf "@.==== %s ====@." title
+
+let show_check schema forest =
+  List.iter
+    (fun t -> Format.printf "  %s@." (Ltree.to_string t))
+    forest;
+  match Sschema.check schema forest with
+  | [] -> Format.printf "  => legal@."
+  | viols -> List.iter (fun v -> Format.printf "  => %s@." v) viols
+
+let () =
+  section "every person has a name, at arbitrary depth";
+  (* fixed-length path constraints cannot express this (the paper's
+     observation about earlier proposals) *)
+  let person = Sschema.empty |> Sschema.require "person" SS.Descendant "name" in
+  Format.printf "%a" Sschema.pp person;
+  show_check person
+    [ Result.get_ok (Ltree.parse "(person (contact (name) (phone)))") ];
+  show_check person [ Result.get_ok (Ltree.parse "(person (contact (phone)))") ];
+
+  section "corporations nest; countries never contain countries";
+  let geo = Sschema.empty |> Sschema.forbid "country" SS.F_descendant "country" in
+  Format.printf "%a" Sschema.pp geo;
+  show_check geo
+    [
+      Result.get_ok
+        (Ltree.parse "(corporation (country (corporation)) (country))");
+    ];
+  show_check geo
+    [ Result.get_ok (Ltree.parse "(country (corporation (country)))") ];
+
+  section "consistency carries over through the embedding";
+  let library =
+    Sschema.empty
+    |> Sschema.require_label "library"
+    |> Sschema.require "library" SS.Descendant "book"
+    |> Sschema.require "book" SS.Child "title"
+    |> Sschema.forbid "library" SS.F_child "title"
+  in
+  Format.printf "%a" Sschema.pp library;
+  (match Sschema.witness library with
+  | Ok forest ->
+      Format.printf "consistent; a minimal legal document:@.";
+      List.iter (fun t -> Format.printf "  %s@." (Ltree.to_string t)) forest
+  | Error m -> Format.printf "unexpected: %s@." m);
+  let broken =
+    Sschema.empty
+    |> Sschema.require_label "a"
+    |> Sschema.require "a" SS.Child "a"
+  in
+  Format.printf "@.and 'every a has an a child' with a required a:@.";
+  match Sschema.witness broken with
+  | Error m -> Format.printf "  rejected: %s@." m
+  | Ok _ -> assert false

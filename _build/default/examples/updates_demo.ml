@@ -1,0 +1,96 @@
+(* Update transactions at scale: a live white-pages directory under a
+   stream of hires, transfers-by-recreation, and reorganizations, guarded
+   by the incremental legality monitor (Section 4).
+
+   Run with:  dune exec examples/updates_demo.exe *)
+
+open Bounds_model
+open Bounds_core
+module WP = Bounds_workload.White_pages
+
+let () =
+  let schema = WP.schema in
+  let base = WP.generate ~seed:1 ~units:20 ~persons_per_unit:4 () in
+  Format.printf "starting directory: %d entries, legal: %b@." (Instance.size base)
+    (Legality.is_legal schema base);
+  let m = ref (Result.get_ok (Monitor.create schema base)) in
+  let accepted = ref 0 and rejected = ref 0 in
+  let try_ops label ops =
+    match Monitor.apply ops !m with
+    | Ok m' ->
+        incr accepted;
+        m := m';
+        Format.printf "[ok]      %s@." label
+    | Error r ->
+        incr rejected;
+        Format.printf "[reject]  %s@.          %a@." label
+          (fun ppf -> Monitor.pp_rejection ppf)
+          r
+  in
+  let person ~id ~uid =
+    Entry.make ~id ~rdn:("uid=" ^ uid)
+      ~classes:(Oclass.set_of_list [ "person"; "staffmember"; "top" ])
+      [
+        (Attr.of_string "uid", Value.String uid);
+        (Attr.of_string "name", Value.String ("name " ^ uid));
+      ]
+  in
+  let unit ~id ~ou =
+    Entry.make ~id ~rdn:("ou=" ^ ou)
+      ~classes:(Oclass.set_of_list [ "orgunit"; "orggroup"; "top" ])
+      [ (Attr.of_string "ou", Value.String ou) ]
+  in
+  let some_unit =
+    Instance.fold
+      (fun e acc ->
+        if Entry.has_class e (Oclass.of_string "orgunit") then Entry.id e :: acc
+        else acc)
+      base []
+    |> List.hd
+  in
+  let some_person =
+    Instance.fold
+      (fun e acc ->
+        if Entry.has_class e (Oclass.of_string "person") then Entry.id e :: acc
+        else acc)
+      base []
+    |> List.hd
+  in
+  let fresh = Instance.fresh_id base in
+
+  (* a hire *)
+  try_ops "hire one person into an existing unit"
+    [ Update.Insert { parent = Some some_unit; entry = person ~id:fresh ~uid:"hire1" } ];
+
+  (* an empty reorg: must be rejected (no person below the new unit) *)
+  try_ops "create an empty organizational unit"
+    [ Update.Insert { parent = Some some_unit; entry = unit ~id:(fresh + 1) ~ou:"empty" } ];
+
+  (* the same reorg staffed: accepted as one transaction *)
+  try_ops "create a unit together with two hires"
+    [
+      Update.Insert { parent = Some some_unit; entry = unit ~id:(fresh + 1) ~ou:"newlab" };
+      Update.Insert { parent = Some (fresh + 1); entry = person ~id:(fresh + 2) ~uid:"hire2" };
+      Update.Insert { parent = Some (fresh + 1); entry = person ~id:(fresh + 3) ~uid:"hire3" };
+    ];
+
+  (* structure rules: people are leaves *)
+  try_ops "attach a unit underneath a person (forbidden)"
+    [ Update.Insert { parent = Some some_person; entry = unit ~id:(fresh + 4) ~ou:"rogue" } ];
+
+  (* duplicate uid: caught by the key extension *)
+  try_ops "hire with a duplicate uid"
+    [ Update.Insert { parent = Some some_unit; entry = person ~id:(fresh + 5) ~uid:"hire1" } ];
+
+  (* fire someone (leaf deletion) *)
+  try_ops "one departure" [ Update.Delete (fresh + 3) ];
+
+  (* dissolve the new lab — would orphan hire2?  No: delete bottom-up in
+     one transaction *)
+  try_ops "dissolve the new lab"
+    [ Update.Delete (fresh + 2); Update.Delete (fresh + 1) ];
+
+  Format.printf "@.%d accepted, %d rejected; final size %d; final legality: %b@."
+    !accepted !rejected
+    (Instance.size (Monitor.instance !m))
+    (Legality.is_legal schema (Monitor.instance !m))

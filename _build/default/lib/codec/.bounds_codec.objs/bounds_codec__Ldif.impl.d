@@ -1,0 +1,1 @@
+lib/codec/ldif.ml: Attr Bounds_model Buffer Char Entry Format Hashtbl Instance List Oclass Printf String Typing Value

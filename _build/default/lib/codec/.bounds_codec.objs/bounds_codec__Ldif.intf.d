@@ -1,0 +1,1 @@
+lib/codec/ldif.mli: Bounds_model Format Instance Typing

@@ -1,0 +1,223 @@
+open Bounds_model
+
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+exception Err of error
+
+let err line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+(* --- minimal base64 ------------------------------------------------- *)
+
+let b64_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let b64_decode_char c =
+  match String.index_opt b64_alphabet c with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "invalid base64 character %C" c)
+
+let b64_decode s =
+  let s = String.concat "" (String.split_on_char '\n' s) in
+  let s =
+    if String.length s mod 4 = 0 then s
+    else invalid_arg "base64 length not a multiple of 4"
+  in
+  let buf = Buffer.create (String.length s * 3 / 4) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c0 = s.[!i] and c1 = s.[!i + 1] and c2 = s.[!i + 2] and c3 = s.[!i + 3] in
+    let v0 = b64_decode_char c0 and v1 = b64_decode_char c1 in
+    Buffer.add_char buf (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
+    if c2 <> '=' then begin
+      let v2 = b64_decode_char c2 in
+      Buffer.add_char buf (Char.chr (((v1 land 0xf) lsl 4) lor (v2 lsr 2)));
+      if c3 <> '=' then begin
+        let v3 = b64_decode_char c3 in
+        Buffer.add_char buf (Char.chr (((v2 land 0x3) lsl 6) lor v3))
+      end
+    end;
+    i := !i + 4
+  done;
+  Buffer.contents buf
+
+let b64_encode s =
+  let buf = Buffer.create ((String.length s + 2) / 3 * 4) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let b0 = Char.code s.[!i] in
+    let b1 = if !i + 1 < n then Char.code s.[!i + 1] else 0 in
+    let b2 = if !i + 2 < n then Char.code s.[!i + 2] else 0 in
+    Buffer.add_char buf b64_alphabet.[b0 lsr 2];
+    Buffer.add_char buf b64_alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+    if !i + 1 < n then
+      Buffer.add_char buf b64_alphabet.[((b1 land 0xf) lsl 2) lor (b2 lsr 6)]
+    else Buffer.add_char buf '=';
+    if !i + 2 < n then Buffer.add_char buf b64_alphabet.[b2 land 0x3f]
+    else Buffer.add_char buf '=';
+    i := !i + 3
+  done;
+  Buffer.contents buf
+
+(* --- reading --------------------------------------------------------- *)
+
+(* Logical lines: physical lines with continuations folded in, comments
+   and their continuations dropped.  Each carries its first physical line
+   number for error reporting. *)
+let logical_lines s =
+  let strip_cr l =
+    let n = String.length l in
+    if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+  in
+  let physical = List.map strip_cr (String.split_on_char '\n' s) in
+  let rec fold lineno acc pending = function
+    | [] -> List.rev (match pending with Some p -> p :: acc | None -> acc)
+    | l :: rest ->
+        let lineno' = lineno + 1 in
+        if String.length l > 0 && l.[0] = ' ' then
+          (* continuation of the pending logical line (or a dropped comment) *)
+          let pending =
+            match pending with
+            | Some (n, body) -> Some (n, body ^ String.sub l 1 (String.length l - 1))
+            | None -> None
+          in
+          fold lineno' acc pending rest
+        else
+          let acc = match pending with Some p -> p :: acc | None -> acc in
+          if l = "" then fold lineno' ((lineno, "") :: acc) None rest
+          else if l.[0] = '#' then fold lineno' acc None rest
+          else fold lineno' acc (Some (lineno, l)) rest
+  in
+  fold 1 [] None physical
+
+let split_attr_line line body =
+  match String.index_opt body ':' with
+  | None -> err line "expected 'attr: value', got %S" body
+  | Some i ->
+      let attr = String.sub body 0 i in
+      let rest = String.sub body (i + 1) (String.length body - i - 1) in
+      if String.length rest > 0 && rest.[0] = ':' then
+        let raw = String.trim (String.sub rest 1 (String.length rest - 1)) in
+        let decoded = try b64_decode raw with Invalid_argument m -> err line "%s" m in
+        (attr, decoded)
+      else (attr, String.trim rest)
+
+let norm_dn d =
+  String.split_on_char ',' d |> List.map (fun p -> String.lowercase_ascii (String.trim p))
+  |> String.concat ","
+
+let parent_dn d =
+  match String.index_opt d ',' with
+  | None -> None
+  | Some i -> Some (String.sub d (i + 1) (String.length d - i - 1))
+
+let first_rdn d =
+  match String.index_opt d ',' with
+  | None -> String.trim d
+  | Some i -> String.trim (String.sub d 0 i)
+
+type record = { line : int; dn : string; pairs : (string * string) list }
+
+let records lines =
+  let rec go acc current = function
+    | [] -> List.rev (match current with Some r -> { r with pairs = List.rev r.pairs } :: acc | None -> acc)
+    | (_, "") :: rest ->
+        let acc = match current with Some r -> { r with pairs = List.rev r.pairs } :: acc | None -> acc in
+        go acc None rest
+    | (line, body) :: rest -> (
+        match current with
+        | None ->
+            let attr, value = split_attr_line line body in
+            if String.lowercase_ascii (String.trim attr) <> "dn" then
+              err line "record must start with 'dn:', got %S" body;
+            go acc (Some { line; dn = value; pairs = [] }) rest
+        | Some r ->
+            let attr, value = split_attr_line line body in
+            go acc (Some { r with pairs = (attr, value) :: r.pairs }) rest)
+  in
+  go [] None lines
+
+let build ~first_id ~typing recs =
+  let by_dn = Hashtbl.create 64 in
+  let next_id = ref first_id in
+  List.fold_left
+    (fun inst r ->
+      let id = !next_id in
+      incr next_id;
+      let classes, attr_pairs =
+        List.fold_left
+          (fun (classes, pairs) (attr_raw, value_raw) ->
+            match Attr.of_string_opt attr_raw with
+            | None -> err r.line "invalid attribute name %S" attr_raw
+            | Some a ->
+                if Attr.equal a Attr.object_class then
+                  match Oclass.of_string_opt value_raw with
+                  | Some c -> (Oclass.Set.add c classes, pairs)
+                  | None -> err r.line "invalid object class name %S" value_raw
+                else
+                  let ty = Typing.find typing a in
+                  (match Value.parse ty value_raw with
+                  | Ok v -> (classes, (a, v) :: pairs)
+                  | Error m -> err r.line "attribute %s: %s" (Attr.to_string a) m))
+          (Oclass.Set.empty, []) r.pairs
+      in
+      if Oclass.Set.is_empty classes then
+        err r.line "entry %s has no objectClass" r.dn;
+      let entry =
+        Entry.make ~id ~rdn:(first_rdn r.dn) ~classes (List.rev attr_pairs)
+      in
+      let parent =
+        match parent_dn r.dn with
+        | None -> None
+        | Some pd -> (
+            match Hashtbl.find_opt by_dn (norm_dn pd) with
+            | Some pid -> Some pid
+            | None -> err r.line "parent entry %S not yet defined" pd)
+      in
+      Hashtbl.replace by_dn (norm_dn r.dn) id;
+      match Instance.add ~parent entry inst with
+      | Ok inst -> inst
+      | Error e -> err r.line "%s" (Instance.error_to_string e))
+    Instance.empty recs
+
+let parse ?(first_id = 0) ~typing s =
+  try Ok (build ~first_id ~typing (records (logical_lines s)))
+  with Err e -> Error e
+
+let parse_exn ?first_id ~typing s =
+  match parse ?first_id ~typing s with
+  | Ok inst -> inst
+  | Error e -> failwith (error_to_string e)
+
+(* --- writing --------------------------------------------------------- *)
+
+let safe_value v =
+  v = ""
+  || (String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x7f) v
+     && v.[0] <> ' ' && v.[0] <> ':' && v.[0] <> '<')
+
+let to_string inst =
+  let buf = Buffer.create 1024 in
+  let emit_pair a v =
+    let raw = Value.to_string v in
+    if safe_value raw then Buffer.add_string buf (Printf.sprintf "%s: %s\n" a raw)
+    else Buffer.add_string buf (Printf.sprintf "%s:: %s\n" a (b64_encode raw))
+  in
+  Instance.iter_preorder
+    (fun ~depth:_ e ->
+      let id = Entry.id e in
+      Buffer.add_string buf (Printf.sprintf "dn: %s\n" (Instance.dn inst id));
+      Oclass.Set.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "objectClass: %s\n" (Oclass.to_string c)))
+        (Entry.classes e);
+      List.iter (fun (a, v) -> emit_pair (Attr.to_string a) v) (Entry.stored_pairs e);
+      Buffer.add_char buf '\n')
+    inst;
+  Buffer.contents buf
+
+let pp ppf inst = Format.pp_print_string ppf (to_string inst)

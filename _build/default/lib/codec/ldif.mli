@@ -1,0 +1,33 @@
+(** LDIF interchange: read and write directory instances.
+
+    The reader accepts the core of RFC 2849: records separated by blank
+    lines, [dn:] first, one [attr: value] pair per line, continuation
+    lines starting with a single space, [#] comments, and base64 values
+    ([attr:: b64]).  Values are typed through a {!Typing.t} registry; the
+    entry's class set is derived from its [objectClass] lines
+    (Definition 2.1 condition 3b therefore holds by construction).
+
+    The forest shape is recovered from the DNs: an entry whose DN minus
+    its first RDN equals the DN of a previously read entry becomes that
+    entry's child; otherwise it is a root.  Parents must be written before
+    children (the natural LDIF order). *)
+
+open Bounds_model
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** [parse ~typing s] reads a whole LDIF document.  Entry ids are assigned
+    in reading order starting from [first_id] (default 0). *)
+val parse : ?first_id:int -> typing:Typing.t -> string -> (Instance.t, error) result
+
+val parse_exn : ?first_id:int -> typing:Typing.t -> string -> Instance.t
+
+(** [to_string inst] renders the instance in parent-before-child order;
+    [parse] of the result reconstructs an instance equal up to entry
+    ids. *)
+val to_string : Instance.t -> string
+
+val pp : Format.formatter -> Instance.t -> unit

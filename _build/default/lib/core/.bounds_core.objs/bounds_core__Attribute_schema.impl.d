@@ -1,0 +1,1 @@
+lib/core/attribute_schema.ml: Attr Bounds_model Format Oclass Printf

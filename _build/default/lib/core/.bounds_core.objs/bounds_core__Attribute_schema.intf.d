@@ -1,0 +1,1 @@
+lib/core/attribute_schema.mli: Attr Bounds_model Format Oclass

@@ -1,0 +1,1 @@
+lib/core/class_schema.ml: Bounds_model Format List Oclass Printf String

@@ -1,0 +1,1 @@
+lib/core/class_schema.mli: Bounds_model Format Oclass

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Bounds_model Element Format Inference Instance Legality Violation Witness

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Bounds_model Format Inference Instance Schema

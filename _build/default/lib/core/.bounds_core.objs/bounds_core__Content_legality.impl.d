@@ -1,0 +1,1 @@
+lib/core/content_legality.ml: Attr Attribute_schema Bounds_model Class_schema Entry Instance List Oclass Schema Typing Value Violation

@@ -1,0 +1,1 @@
+lib/core/content_legality.mli: Bounds_model Entry Instance Schema Violation

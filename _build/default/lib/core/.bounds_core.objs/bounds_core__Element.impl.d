@@ -1,0 +1,1 @@
+lib/core/element.ml: Bounds_model Format Int List Oclass Set Stdlib Structure_schema

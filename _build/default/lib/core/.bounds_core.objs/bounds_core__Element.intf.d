@@ -1,0 +1,1 @@
+lib/core/element.mli: Bounds_model Format Oclass Set Structure_schema

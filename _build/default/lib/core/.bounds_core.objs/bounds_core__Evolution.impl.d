@@ -1,0 +1,1 @@
+lib/core/evolution.ml: Attr Attribute_schema Atype Bounds_model Class_schema Format Legality List Oclass Option Result Schema String Structure_schema Typing Violation

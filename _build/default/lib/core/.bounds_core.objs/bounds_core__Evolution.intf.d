@@ -1,0 +1,1 @@
+lib/core/evolution.mli: Attr Atype Bounds_model Format Instance Oclass Schema Structure_schema Violation

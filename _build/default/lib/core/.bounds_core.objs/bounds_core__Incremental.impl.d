@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Bitset Bounds_model Bounds_query Content_legality Entry Eval Format Index Instance List Oclass Option Printf Query Schema Single_valued Structure_schema Violation

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Bounds_model Entry Format Instance Oclass Schema Structure_schema Violation

@@ -1,0 +1,1 @@
+lib/core/inference.ml: Bounds_model Class_schema Element Format Hashtbl List Oclass Option Schema Structure_schema

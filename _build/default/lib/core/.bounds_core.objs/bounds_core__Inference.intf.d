@@ -1,0 +1,1 @@
+lib/core/inference.mli: Element Format Schema Structure_schema

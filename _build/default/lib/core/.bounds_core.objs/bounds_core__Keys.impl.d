@@ -1,0 +1,1 @@
+lib/core/keys.ml: Attr Bounds_model Entry Hashtbl Instance Int List Schema Value Violation

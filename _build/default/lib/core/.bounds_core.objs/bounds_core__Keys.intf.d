@@ -1,0 +1,1 @@
+lib/core/keys.mli: Bounds_model Instance Schema Violation

@@ -1,0 +1,1 @@
+lib/core/legality.ml: Content_legality Keys Single_valued Structure_legality

@@ -1,0 +1,1 @@
+lib/core/legality.mli: Bounds_model Bounds_query Index Instance Schema Vindex Violation

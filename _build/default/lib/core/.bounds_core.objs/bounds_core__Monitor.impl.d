@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Attr Bounds_model Content_legality Entry Format Hashtbl Incremental Instance Legality List Map Oclass Option Printf Schema Single_valued String Transaction Value Violation

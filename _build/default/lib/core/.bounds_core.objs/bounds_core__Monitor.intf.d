@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Bounds_model Entry Format Instance Oclass Schema Update Violation

@@ -1,0 +1,1 @@
+lib/core/naive_legality.ml: Bounds_model Content_legality Entry Instance Keys List Oclass Schema Single_valued Structure_schema Violation

@@ -1,0 +1,1 @@
+lib/core/naive_legality.mli: Bounds_model Instance Schema Violation

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Attr Bounds_model Bounds_query Class_schema Element Filter Inference List Oclass Query Schema Structure_schema

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Attr Attribute_schema Bounds_model Class_schema Entry Format Hashtbl Instance List Oclass Option Schema

@@ -1,0 +1,1 @@
+lib/core/profile.mli: Attr Bounds_model Format Instance Oclass Schema

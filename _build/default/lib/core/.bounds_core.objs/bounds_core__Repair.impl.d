@@ -1,0 +1,1 @@
+lib/core/repair.ml: Attr Atype Bounds_model Class_schema Entry Format Inference Instance Lazy Legality List Oclass Option Printf Schema Structure_schema Typing Value Violation Witness

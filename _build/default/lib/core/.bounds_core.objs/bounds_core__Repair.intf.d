@@ -1,0 +1,1 @@
+lib/core/repair.mli: Attr Bounds_model Entry Format Instance Oclass Schema Value Violation

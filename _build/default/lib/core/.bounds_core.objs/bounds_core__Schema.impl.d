@@ -1,0 +1,1 @@
+lib/core/schema.ml: Attr Attribute_schema Bounds_model Class_schema Format List Oclass Printf String Structure_schema Typing

@@ -1,0 +1,1 @@
+lib/core/schema.mli: Attr Attribute_schema Bounds_model Class_schema Format Oclass Structure_schema Typing

@@ -1,0 +1,1 @@
+lib/core/single_valued.ml: Attr Bounds_model Entry Instance List Schema Violation

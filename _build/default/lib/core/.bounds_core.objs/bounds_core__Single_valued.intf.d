@@ -1,0 +1,1 @@
+lib/core/single_valued.mli: Bounds_model Entry Instance Schema Violation

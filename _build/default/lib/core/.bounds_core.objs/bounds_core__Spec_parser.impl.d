@@ -1,0 +1,1 @@
+lib/core/spec_parser.ml: Attr Attribute_schema Atype Bounds_model Class_schema Format List Oclass Option Printf Schema String Structure_schema Typing

@@ -1,0 +1,1 @@
+lib/core/spec_printer.ml: Attr Attribute_schema Atype Bounds_model Buffer Class_schema Format List Oclass Option Printf Schema String Structure_schema Typing

@@ -1,0 +1,1 @@
+lib/core/spec_printer.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/core/structure_legality.ml: Bitset Bounds_model Bounds_query Entry Eval Index Instance List Schema Structure_schema Translate Violation

@@ -1,0 +1,1 @@
+lib/core/structure_legality.mli: Bounds_model Bounds_query Index Instance Schema Vindex Violation

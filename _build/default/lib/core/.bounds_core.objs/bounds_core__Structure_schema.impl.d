@@ -1,0 +1,1 @@
+lib/core/structure_schema.ml: Bounds_model Format Oclass Printf Set Stdlib String

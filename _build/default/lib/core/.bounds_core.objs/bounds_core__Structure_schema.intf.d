@@ -1,0 +1,1 @@
+lib/core/structure_schema.mli: Bounds_model Format Oclass

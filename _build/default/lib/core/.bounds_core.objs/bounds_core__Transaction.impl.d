@@ -1,0 +1,1 @@
+lib/core/transaction.ml: Bounds_model Entry Format Instance Legality List Printf Result Update Violation

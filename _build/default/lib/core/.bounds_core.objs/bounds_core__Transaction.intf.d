@@ -1,0 +1,1 @@
+lib/core/transaction.mli: Bounds_model Entry Format Instance Schema Update Violation

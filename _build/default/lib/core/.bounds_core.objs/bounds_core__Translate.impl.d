@@ -1,0 +1,1 @@
+lib/core/translate.ml: Bounds_model Bounds_query Format List Oclass Query Structure_schema

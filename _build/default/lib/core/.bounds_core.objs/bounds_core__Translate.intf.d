@@ -1,0 +1,1 @@
+lib/core/translate.mli: Bounds_model Bounds_query Format Oclass Query Structure_schema

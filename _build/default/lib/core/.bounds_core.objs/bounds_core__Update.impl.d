@@ -1,0 +1,1 @@
+lib/core/update.ml: Bounds_model Entry Format Instance List Result

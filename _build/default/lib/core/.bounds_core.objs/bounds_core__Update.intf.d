@@ -1,0 +1,1 @@
+lib/core/update.mli: Bounds_model Entry Format Instance

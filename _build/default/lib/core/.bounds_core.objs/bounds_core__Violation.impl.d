@@ -1,0 +1,1 @@
+lib/core/violation.ml: Attr Atype Bounds_model Entry Format List Oclass Printf Stdlib String Structure_schema Value

@@ -1,0 +1,1 @@
+lib/core/violation.mli: Attr Atype Bounds_model Entry Format Oclass Structure_schema Value

@@ -1,0 +1,1 @@
+lib/core/witness.ml: Attr Attribute_schema Atype Bounds_model Class_schema Element Entry Inference Instance List Oclass Option Printf Schema String Structure_schema Typing Value

@@ -1,0 +1,1 @@
+lib/core/witness.mli: Bounds_model Inference Instance Oclass

@@ -1,0 +1,49 @@
+open Bounds_model
+
+type decl = { req : Attr.Set.t; alw : Attr.Set.t }
+type t = decl Oclass.Map.t
+
+let empty = Oclass.Map.empty
+
+let add_class c ?(required = []) ?(allowed = []) t =
+  if Oclass.Map.mem c t then
+    Error (Printf.sprintf "class %s declared twice in attribute schema" (Oclass.to_string c))
+  else
+    let req = Attr.Set.of_list required in
+    let alw = Attr.Set.union req (Attr.Set.of_list allowed) in
+    Ok (Oclass.Map.add c { req; alw } t)
+
+let add_class_exn c ?required ?allowed t =
+  match add_class c ?required ?allowed t with
+  | Ok t -> t
+  | Error m -> invalid_arg m
+
+let classes t = Oclass.Map.fold (fun c _ s -> Oclass.Set.add c s) t Oclass.Set.empty
+let mem_class t c = Oclass.Map.mem c t
+
+let attributes t =
+  Oclass.Map.fold (fun _ d s -> Attr.Set.union d.alw s) t Attr.Set.empty
+
+let required t c =
+  match Oclass.Map.find_opt c t with Some d -> d.req | None -> Attr.Set.empty
+
+let allowed t c =
+  match Oclass.Map.find_opt c t with Some d -> d.alw | None -> Attr.Set.empty
+
+let total_allowed t =
+  Oclass.Map.fold (fun _ d n -> n + Attr.Set.cardinal d.alw) t 0
+
+let equal = Oclass.Map.equal (fun d1 d2 ->
+    Attr.Set.equal d1.req d2.req && Attr.Set.equal d1.alw d2.alw)
+
+let pp ppf t =
+  let pp_attrs ppf s =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Attr.pp ppf (Attr.Set.elements s)
+  in
+  Oclass.Map.iter
+    (fun c d ->
+      Format.fprintf ppf "@[<h>%a: required {%a} allowed {%a}@]@." Oclass.pp c
+        pp_attrs d.req pp_attrs (Attr.Set.diff d.alw d.req))
+    t

@@ -1,0 +1,42 @@
+(** Attribute schema (Definition 2.2).
+
+    For each object class, the set of {e required} attributes (an entry of
+    the class must have at least one value for each) and the set of
+    {e allowed} attributes (an entry may only carry attributes allowed by
+    at least one of its classes).  The invariant [required(c) ⊆ allowed(c)]
+    is maintained by construction: [add_class] allows everything it
+    requires. *)
+
+open Bounds_model
+
+type t
+
+val empty : t
+
+(** [add_class c ~required ~allowed t] declares class [c].  The class's
+    allowed set becomes [required ∪ allowed].  Declaring the same class
+    twice is an error. *)
+val add_class :
+  Oclass.t -> ?required:Attr.t list -> ?allowed:Attr.t list -> t -> (t, string) result
+
+val add_class_exn :
+  Oclass.t -> ?required:Attr.t list -> ?allowed:Attr.t list -> t -> t
+
+(** Classes with a declaration. *)
+val classes : t -> Oclass.Set.t
+
+val mem_class : t -> Oclass.t -> bool
+
+(** Every attribute mentioned anywhere in the schema. *)
+val attributes : t -> Attr.Set.t
+
+(** [required t c] / [allowed t c] are empty for undeclared classes. *)
+val required : t -> Oclass.t -> Attr.Set.t
+
+val allowed : t -> Oclass.t -> Attr.Set.t
+
+(** Σ_c |allowed(c)| — the size term of Theorem 3.1. *)
+val total_allowed : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+open Bounds_model
+
+type t = {
+  parents : Oclass.t Oclass.Map.t; (* core class -> parent; top absent *)
+  kids : Oclass.t list Oclass.Map.t; (* core class -> children, insertion order *)
+  core : Oclass.Set.t;
+  aux : Oclass.Set.t;
+  aux_map : Oclass.Set.t Oclass.Map.t; (* Aux : core -> aux set *)
+}
+
+let empty =
+  {
+    parents = Oclass.Map.empty;
+    kids = Oclass.Map.empty;
+    core = Oclass.Set.singleton Oclass.top;
+    aux = Oclass.Set.empty;
+    aux_map = Oclass.Map.empty;
+  }
+
+let is_core t c = Oclass.Set.mem c t.core
+let is_aux t c = Oclass.Set.mem c t.aux
+let mem t c = is_core t c || is_aux t c
+
+let add_core c ~parent t =
+  if mem t c then
+    Error (Printf.sprintf "class %s already declared" (Oclass.to_string c))
+  else if not (is_core t parent) then
+    Error
+      (Printf.sprintf "parent class %s of %s is not a declared core class"
+         (Oclass.to_string parent) (Oclass.to_string c))
+  else
+    let siblings =
+      match Oclass.Map.find_opt parent t.kids with Some l -> l | None -> []
+    in
+    Ok
+      {
+        t with
+        parents = Oclass.Map.add c parent t.parents;
+        kids = Oclass.Map.add parent (siblings @ [ c ]) t.kids;
+        core = Oclass.Set.add c t.core;
+      }
+
+let add_core_exn c ~parent t =
+  match add_core c ~parent t with Ok t -> t | Error m -> invalid_arg m
+
+let add_aux c t =
+  if mem t c then
+    Error (Printf.sprintf "class %s already declared" (Oclass.to_string c))
+  else Ok { t with aux = Oclass.Set.add c t.aux }
+
+let add_aux_exn c t =
+  match add_aux c t with Ok t -> t | Error m -> invalid_arg m
+
+let allow_aux ~core aux t =
+  if not (is_core t core) then
+    Error (Printf.sprintf "%s is not a declared core class" (Oclass.to_string core))
+  else if not (is_aux t aux) then
+    Error (Printf.sprintf "%s is not a declared auxiliary class" (Oclass.to_string aux))
+  else
+    let cur =
+      match Oclass.Map.find_opt core t.aux_map with
+      | Some s -> s
+      | None -> Oclass.Set.empty
+    in
+    Ok { t with aux_map = Oclass.Map.add core (Oclass.Set.add aux cur) t.aux_map }
+
+let allow_aux_exn ~core aux t =
+  match allow_aux ~core aux t with Ok t -> t | Error m -> invalid_arg m
+
+let core_classes t = t.core
+let aux_classes t = t.aux
+
+let aux_of t c =
+  match Oclass.Map.find_opt c t.aux_map with
+  | Some s -> s
+  | None -> Oclass.Set.empty
+
+let parent t c = Oclass.Map.find_opt c t.parents
+
+let children t c =
+  match Oclass.Map.find_opt c t.kids with Some l -> l | None -> []
+
+let superclasses t c =
+  let rec go c acc =
+    match parent t c with Some p -> go p (p :: acc) | None -> List.rev acc
+  in
+  go c []
+
+let up_closure t c = Oclass.Set.of_list (c :: superclasses t c)
+
+let is_subclass t ~sub ~super =
+  Oclass.equal sub super
+  || List.exists (Oclass.equal super) (superclasses t sub)
+
+let comparable t c1 c2 =
+  is_subclass t ~sub:c1 ~super:c2 || is_subclass t ~sub:c2 ~super:c1
+
+let disjoint t c1 c2 = is_core t c1 && is_core t c2 && not (comparable t c1 c2)
+
+let depth_of t c = List.length (superclasses t c) + 1
+
+let depth t = Oclass.Set.fold (fun c d -> max d (depth_of t c)) t.core 0
+
+let max_aux t =
+  Oclass.Map.fold (fun _ s m -> max m (Oclass.Set.cardinal s)) t.aux_map 0
+
+let equal t1 t2 =
+  Oclass.Map.equal Oclass.equal t1.parents t2.parents
+  && Oclass.Set.equal t1.core t2.core
+  && Oclass.Set.equal t1.aux t2.aux
+  && Oclass.Map.equal Oclass.Set.equal
+       (Oclass.Map.filter (fun _ s -> not (Oclass.Set.is_empty s)) t1.aux_map)
+       (Oclass.Map.filter (fun _ s -> not (Oclass.Set.is_empty s)) t2.aux_map)
+
+let pp ppf t =
+  let rec pp_node indent c =
+    Format.fprintf ppf "%s%a" (String.make indent ' ') Oclass.pp c;
+    let auxs = aux_of t c in
+    if not (Oclass.Set.is_empty auxs) then
+      Format.fprintf ppf " %a" Oclass.pp_set auxs;
+    Format.fprintf ppf "@.";
+    List.iter (pp_node (indent + 2)) (children t c)
+  in
+  pp_node 0 Oclass.top;
+  if not (Oclass.Set.is_empty t.aux) then
+    Format.fprintf ppf "auxiliary: %a@." Oclass.pp_set t.aux

@@ -1,0 +1,75 @@
+(** Class schema (Definition 2.3).
+
+    A single-inheritance tree of {e core} object classes rooted at [top],
+    a set of {e auxiliary} classes, and a function [Aux] giving the
+    auxiliary classes permitted for each core class.
+
+    The tree encodes two kinds of schema elements: [ci ⊑ cj] (every entry
+    in [ci] also belongs to [cj]) for ancestor pairs, and [ci ∦ cj]
+    (no entry belongs to both) for incomparable core pairs — the single
+    inheritance semantics of Section 2.2. *)
+
+open Bounds_model
+
+type t
+
+(** Just [top], no auxiliaries. *)
+val empty : t
+
+(** [add_core c ~parent t] — [parent] must already be a core class;
+    [c] must be new (neither core nor auxiliary). *)
+val add_core : Oclass.t -> parent:Oclass.t -> t -> (t, string) result
+
+val add_core_exn : Oclass.t -> parent:Oclass.t -> t -> t
+
+(** [add_aux c t] declares an auxiliary class. *)
+val add_aux : Oclass.t -> t -> (t, string) result
+
+val add_aux_exn : Oclass.t -> t -> t
+
+(** [allow_aux ~core aux t] adds [aux] to [Aux(core)]; both must be
+    declared with the right kind. *)
+val allow_aux : core:Oclass.t -> Oclass.t -> t -> (t, string) result
+
+val allow_aux_exn : core:Oclass.t -> Oclass.t -> t -> t
+
+val is_core : t -> Oclass.t -> bool
+val is_aux : t -> Oclass.t -> bool
+val mem : t -> Oclass.t -> bool
+val core_classes : t -> Oclass.Set.t
+val aux_classes : t -> Oclass.Set.t
+
+(** [Aux(c)]; empty for non-core classes. *)
+val aux_of : t -> Oclass.t -> Oclass.Set.t
+
+(** Parent in the core tree; [None] for [top] and for non-core classes. *)
+val parent : t -> Oclass.t -> Oclass.t option
+
+val children : t -> Oclass.t -> Oclass.t list
+
+(** Strict superclasses, nearest first, ending with [top]. *)
+val superclasses : t -> Oclass.t -> Oclass.t list
+
+(** [c] together with its superclasses — the class set a most-specific
+    core class [c] induces on an entry. *)
+val up_closure : t -> Oclass.t -> Oclass.Set.t
+
+(** Reflexive subclass test on core classes. *)
+val is_subclass : t -> sub:Oclass.t -> super:Oclass.t -> bool
+
+(** Comparable = one is a (reflexive) subclass of the other. *)
+val comparable : t -> Oclass.t -> Oclass.t -> bool
+
+(** Incomparable core pair — the [ci ∦ cj] schema element. *)
+val disjoint : t -> Oclass.t -> Oclass.t -> bool
+
+(** Depth of the core tree (depth of [top] alone is 1). *)
+val depth : t -> int
+
+val depth_of : t -> Oclass.t -> int
+
+(** Max over core classes of |Aux(c)| — a Theorem 3.1 size term. *)
+val max_aux : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+open Bounds_model
+
+type verdict =
+  | Consistent of { witness : Instance.t; passes : int; derived : int }
+  | Inconsistent of { proof : Inference.proof; passes : int; derived : int }
+  | Unresolved of { reason : string; passes : int; derived : int }
+
+let pp_verdict ppf = function
+  | Consistent { witness; passes; derived } ->
+      Format.fprintf ppf
+        "@[<v>consistent (saturation: %d passes, %d elements); witness with %d entries:@ %a@]"
+        passes derived (Instance.size witness) Instance.pp witness
+  | Inconsistent { proof; passes; derived } ->
+      Format.fprintf ppf
+        "@[<v>INCONSISTENT (saturation: %d passes, %d elements); proof:@ %a@]" passes
+        derived Inference.pp_proof proof
+  | Unresolved { reason; passes; derived } ->
+      Format.fprintf ppf
+        "unresolved (saturation: %d passes, %d elements): no contradiction derivable, but %s"
+        passes derived reason
+
+let decide ?max_nodes schema =
+  let inf = Inference.saturate schema in
+  let passes, derived = Inference.stats inf in
+  if Inference.inconsistent inf then
+    Inconsistent { proof = Inference.explain inf Element.bottom; passes; derived }
+  else
+    match Witness.construct ?max_nodes inf with
+    | Error reason -> Unresolved { reason; passes; derived }
+    | Ok witness -> (
+        (* keys are generated unique and single-valued attributes get one
+           value, so the witness is checked with extensions on *)
+        match Legality.check schema witness with
+        | [] -> Consistent { witness; passes; derived }
+        | viols ->
+            Unresolved
+              {
+                reason =
+                  Format.asprintf "the constructed witness is illegal (@[%a@])"
+                    (Format.pp_print_list ~pp_sep:Format.pp_print_space Violation.pp)
+                    viols;
+                passes;
+                derived;
+              })
+
+let is_consistent schema = not (Inference.inconsistent (Inference.saturate schema))

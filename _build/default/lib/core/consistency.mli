@@ -1,0 +1,39 @@
+(** Schema consistency (Section 5, Theorem 5.2).
+
+    A schema is consistent iff it admits at least one legal instance;
+    Theorem 5.2 states this is decidable by checking whether the
+    inference system derives [∅•].  [decide] settles the question
+    constructively in both directions: an inconsistent schema comes with
+    a proof tree, a consistent one with a legal witness instance that has
+    been re-verified by the independent {!Legality} checker.
+
+    {b Reconstruction caveat.}  The paper asserts Theorem 5.2 without a
+    proof, explicitly notes its published rule set is incomplete for
+    logical implication, and the completeness argument for inconsistency
+    detection was never published.  Our reconstruction is {e sound} in
+    both directions (an [Inconsistent] verdict carries a machine-checked
+    derivation, a [Consistent] verdict a machine-checked witness), and
+    constructively resolves more than 99.9% of random schemas (pinned by
+    a deterministic coverage test); the remaining long tail — schemas the
+    saturation cannot refute but the greedy witness chase cannot realize —
+    is reported honestly as {!Unresolved} rather than guessed. *)
+
+open Bounds_model
+
+type verdict =
+  | Consistent of { witness : Instance.t; passes : int; derived : int }
+      (** [witness] is legal w.r.t. the schema (verified). *)
+  | Inconsistent of { proof : Inference.proof; passes : int; derived : int }
+      (** [proof] derives [∅•] from the schema's elements. *)
+  | Unresolved of { reason : string; passes : int; derived : int }
+      (** the inference system found no contradiction, but the witness
+          chase could not build a legal instance — truth unknown. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val decide : ?max_nodes:int -> Schema.t -> verdict
+
+(** Inference-only check, no witness construction: [false] means
+    definitely inconsistent, [true] means no contradiction derivable
+    (consistent for every schema {!decide} can resolve). *)
+val is_consistent : Schema.t -> bool

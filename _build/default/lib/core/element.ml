@@ -1,0 +1,96 @@
+open Bounds_model
+
+type node = Cls of Oclass.t | Empty
+
+let node_equal n1 n2 =
+  match (n1, n2) with
+  | Cls c1, Cls c2 -> Oclass.equal c1 c2
+  | Empty, Empty -> true
+  | (Cls _ | Empty), _ -> false
+
+let node_compare n1 n2 =
+  match (n1, n2) with
+  | Cls c1, Cls c2 -> Oclass.compare c1 c2
+  | Empty, Empty -> 0
+  | Empty, Cls _ -> -1
+  | Cls _, Empty -> 1
+
+let pp_node ppf = function
+  | Cls c -> Oclass.pp ppf c
+  | Empty -> Format.pp_print_string ppf "∅"
+
+type t =
+  | Exists of node
+  | Req of node * Structure_schema.rel * node
+  | Forb of node * Structure_schema.forb * node
+  | Above_or_self of node * node
+
+let rank = function
+  | Exists _ -> 0
+  | Req _ -> 1
+  | Forb _ -> 2
+  | Above_or_self _ -> 3
+
+let compare e1 e2 =
+  match (e1, e2) with
+  | Exists n1, Exists n2 -> node_compare n1 n2
+  | Req (a1, r1, b1), Req (a2, r2, b2) ->
+      let c = node_compare a1 a2 in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare r1 r2 in
+        if c <> 0 then c else node_compare b1 b2
+  | Forb (a1, f1, b1), Forb (a2, f2, b2) ->
+      let c = node_compare a1 a2 in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare f1 f2 in
+        if c <> 0 then c else node_compare b1 b2
+  | Above_or_self (a1, b1), Above_or_self (a2, b2) ->
+      let c = node_compare a1 a2 in
+      if c <> 0 then c else node_compare b1 b2
+  | (Exists _ | Req _ | Forb _ | Above_or_self _), _ ->
+      Int.compare (rank e1) (rank e2)
+
+let equal e1 e2 = compare e1 e2 = 0
+
+let pp ppf = function
+  | Exists n -> Format.fprintf ppf "%a•" pp_node n
+  | Req (a, r, b) ->
+      let arrow =
+        match r with
+        | Structure_schema.Child -> "—child→"
+        | Structure_schema.Descendant -> "—desc↠"
+        | Structure_schema.Parent -> "—parent→"
+        | Structure_schema.Ancestor -> "—anc↠"
+      in
+      Format.fprintf ppf "%a %s %a" pp_node a arrow pp_node b
+  | Forb (a, f, b) ->
+      let arrow =
+        match f with
+        | Structure_schema.F_child -> "—child↛"
+        | Structure_schema.F_descendant -> "—desc↛"
+      in
+      Format.fprintf ppf "%a %s %a" pp_node a arrow pp_node b
+  | Above_or_self (a, b) -> Format.fprintf ppf "%a ⇑= %a" pp_node a pp_node b
+
+let to_string e = Format.asprintf "%a" pp e
+
+let bottom = Exists Empty
+let unsat n = Req (n, Structure_schema.Descendant, Empty)
+
+let of_structure s =
+  List.map (fun c -> Exists (Cls c))
+    (Oclass.Set.elements (Structure_schema.required_classes s))
+  @ List.map
+      (fun (ci, r, cj) -> Req (Cls ci, r, Cls cj))
+      (Structure_schema.required_rels s)
+  @ List.map
+      (fun (ci, f, cj) -> Forb (Cls ci, f, Cls cj))
+      (Structure_schema.forbidden_rels s)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

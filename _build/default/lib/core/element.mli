@@ -1,0 +1,54 @@
+(** Schema elements, as manipulated by the Section-5 inference system.
+
+    Elements range over core classes extended with the impossible
+    pseudo-class [∅] ("an entry with no object class"):
+
+    - [Exists n] — the paper's [n•]; [Exists Empty] is the inconsistency
+      marker [∅•].
+    - [Req (n1, rel, n2)] — required structural relationship.
+      [Req (c, Descendant, Empty)] and [Req (c, Ancestor, Empty)] encode
+      "no entry may belong to [c]" ({e unsat}): they are satisfiable only
+      by instances with no [c]-entries.
+    - [Forb (n1, forb, n2)] — forbidden structural relationship.
+
+    The class-schema elements [ci ⊑ cj] and [ci ∦ cj] are static facts of
+    the core tree and are consulted as predicates rather than
+    materialized. *)
+
+open Bounds_model
+
+type node = Cls of Oclass.t | Empty
+
+val node_equal : node -> node -> bool
+val node_compare : node -> node -> int
+val pp_node : Format.formatter -> node -> unit
+
+type t =
+  | Exists of node
+  | Req of node * Structure_schema.rel * node
+  | Forb of node * Structure_schema.forb * node
+  | Above_or_self of node * node
+      (** auxiliary judgment used by the inference system:
+          [Above_or_self (a, x)] asserts that in every legal instance,
+          each [a]-entry either itself belongs to [x] or has an ancestor
+          belonging to [x].  It arises from required ancestors
+          ([Req (a, An, x)]), from subclassing ([a ⊑ x]), and from a
+          required child's required ancestor, and closes the loop-detection
+          rules over paths that pass {e through} the entry itself. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** The inconsistency marker [∅•]. *)
+val bottom : t
+
+(** The canonical unsat marker for a class. *)
+val unsat : node -> t
+
+(** Elements of a structure schema (its axioms for the inference
+    system). *)
+val of_structure : Structure_schema.t -> t list
+
+module Set : Set.S with type elt = t

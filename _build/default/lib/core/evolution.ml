@@ -1,0 +1,404 @@
+open Bounds_model
+module SS = Structure_schema
+
+type op =
+  | Declare_attribute of Attr.t * Atype.t
+  | Add_allowed_attribute of Oclass.t * Attr.t
+  | Add_required_attribute of Oclass.t * Attr.t
+  | Drop_required_attribute of Oclass.t * Attr.t
+  | Drop_allowed_attribute of Oclass.t * Attr.t
+  | Add_core_class of { name : Oclass.t; parent : Oclass.t }
+  | Add_aux_class of Oclass.t
+  | Allow_aux of { core : Oclass.t; aux : Oclass.t }
+  | Require_class of Oclass.t
+  | Drop_required_class of Oclass.t
+  | Require_rel of SS.required
+  | Drop_required_rel of SS.required
+  | Forbid_rel of SS.forbidden
+  | Drop_forbidden_rel of SS.forbidden
+  | Make_single_valued of Attr.t
+  | Drop_single_valued of Attr.t
+  | Add_key of Attr.t
+  | Drop_key of Attr.t
+
+let pp_op ppf = function
+  | Declare_attribute (a, ty) ->
+      Format.fprintf ppf "declare attribute %a : %a" Attr.pp a Atype.pp ty
+  | Add_allowed_attribute (c, a) ->
+      Format.fprintf ppf "allow attribute %a on %a" Attr.pp a Oclass.pp c
+  | Add_required_attribute (c, a) ->
+      Format.fprintf ppf "require attribute %a on %a" Attr.pp a Oclass.pp c
+  | Drop_required_attribute (c, a) ->
+      Format.fprintf ppf "demote attribute %a on %a to allowed" Attr.pp a Oclass.pp c
+  | Drop_allowed_attribute (c, a) ->
+      Format.fprintf ppf "remove attribute %a from %a" Attr.pp a Oclass.pp c
+  | Add_core_class { name; parent } ->
+      Format.fprintf ppf "add core class %a extends %a" Oclass.pp name Oclass.pp parent
+  | Add_aux_class c -> Format.fprintf ppf "add auxiliary class %a" Oclass.pp c
+  | Allow_aux { core; aux } ->
+      Format.fprintf ppf "allow auxiliary %a on %a" Oclass.pp aux Oclass.pp core
+  | Require_class c -> Format.fprintf ppf "require exists %a" Oclass.pp c
+  | Drop_required_class c -> Format.fprintf ppf "drop require exists %a" Oclass.pp c
+  | Require_rel r -> Format.fprintf ppf "require %a" SS.pp_required r
+  | Drop_required_rel r -> Format.fprintf ppf "drop require %a" SS.pp_required r
+  | Forbid_rel f -> Format.fprintf ppf "forbid %a" SS.pp_forbidden f
+  | Drop_forbidden_rel f -> Format.fprintf ppf "drop forbid %a" SS.pp_forbidden f
+  | Make_single_valued a -> Format.fprintf ppf "single-valued %a" Attr.pp a
+  | Drop_single_valued a -> Format.fprintf ppf "drop single-valued %a" Attr.pp a
+  | Add_key a -> Format.fprintf ppf "key %a" Attr.pp a
+  | Drop_key a -> Format.fprintf ppf "drop key %a" Attr.pp a
+
+let ( let* ) = Result.bind
+
+(* Rebuild an attribute schema with one class's declaration replaced. *)
+let amend_attribute_schema (schema : Schema.t) cls ~required ~allowed =
+  let base =
+    Oclass.Set.fold
+      (fun c acc ->
+        let* acc = acc in
+        if Oclass.equal c cls then Ok acc
+        else
+          Attribute_schema.add_class c
+            ~required:
+              (Attr.Set.elements (Attribute_schema.required schema.attributes c))
+            ~allowed:(Attr.Set.elements (Attribute_schema.allowed schema.attributes c))
+            acc)
+      (Attribute_schema.classes schema.attributes)
+      (Ok Attribute_schema.empty)
+  in
+  let* base = base in
+  (* a class with no attribute declarations left is dropped entirely, so
+     emptied declarations compare equal to absent ones *)
+  if required = [] && allowed = [] then Ok base
+  else Attribute_schema.add_class cls ~required ~allowed base
+
+let remake (schema : Schema.t) ?typing ?attributes ?classes ?structure
+    ?single_valued ?keys () =
+  let typing = Option.value ~default:schema.typing typing in
+  let attributes = Option.value ~default:schema.attributes attributes in
+  let classes = Option.value ~default:schema.classes classes in
+  let structure = Option.value ~default:schema.structure structure in
+  let single_valued =
+    Attr.Set.elements (Option.value ~default:schema.single_valued single_valued)
+  in
+  let keys = Attr.Set.elements (Option.value ~default:schema.keys keys) in
+  Result.map_error (String.concat "; ")
+    (Schema.make ~typing ~attributes ~classes ~structure ~single_valued ~keys ())
+
+let apply op (schema : Schema.t) =
+  match op with
+  | Declare_attribute (a, ty) ->
+      let* typing = Typing.declare a ty schema.typing in
+      remake schema ~typing ()
+  | Add_allowed_attribute (cls, a) ->
+      let required = Attr.Set.elements (Attribute_schema.required schema.attributes cls) in
+      let allowed =
+        Attr.Set.elements
+          (Attr.Set.add a (Attribute_schema.allowed schema.attributes cls))
+      in
+      let* attributes = amend_attribute_schema schema cls ~required ~allowed in
+      remake schema ~attributes ()
+  | Add_required_attribute (cls, a) ->
+      let required =
+        Attr.Set.elements
+          (Attr.Set.add a (Attribute_schema.required schema.attributes cls))
+      in
+      let allowed =
+        Attr.Set.elements
+          (Attr.Set.add a (Attribute_schema.allowed schema.attributes cls))
+      in
+      let* attributes = amend_attribute_schema schema cls ~required ~allowed in
+      remake schema ~attributes ()
+  | Drop_required_attribute (cls, a) ->
+      if not (Attr.Set.mem a (Attribute_schema.required schema.attributes cls)) then
+        Error (Format.asprintf "%a is not required by %a" Attr.pp a Oclass.pp cls)
+      else
+        let required =
+          Attr.Set.elements
+            (Attr.Set.remove a (Attribute_schema.required schema.attributes cls))
+        in
+        (* stays allowed, so existing values remain legal *)
+        let allowed =
+          Attr.Set.elements (Attribute_schema.allowed schema.attributes cls)
+        in
+        let* attributes = amend_attribute_schema schema cls ~required ~allowed in
+        remake schema ~attributes ()
+  | Drop_allowed_attribute (cls, a) ->
+      if not (Attr.Set.mem a (Attribute_schema.allowed schema.attributes cls)) then
+        Error (Format.asprintf "%a is not allowed on %a" Attr.pp a Oclass.pp cls)
+      else
+        let required =
+          Attr.Set.elements
+            (Attr.Set.remove a (Attribute_schema.required schema.attributes cls))
+        in
+        let allowed =
+          Attr.Set.elements
+            (Attr.Set.remove a (Attribute_schema.allowed schema.attributes cls))
+        in
+        let* attributes = amend_attribute_schema schema cls ~required ~allowed in
+        remake schema ~attributes ()
+  | Add_core_class { name; parent } ->
+      let* classes = Class_schema.add_core name ~parent schema.classes in
+      remake schema ~classes ()
+  | Add_aux_class c ->
+      let* classes = Class_schema.add_aux c schema.classes in
+      remake schema ~classes ()
+  | Allow_aux { core; aux } ->
+      let* classes = Class_schema.allow_aux ~core aux schema.classes in
+      remake schema ~classes ()
+  | Require_class c -> remake schema ~structure:(SS.require_class c schema.structure) ()
+  | Drop_required_class c ->
+      if not (SS.mem_required_class schema.structure c) then
+        Error
+          (Format.asprintf "schema does not require exists %a" Oclass.pp c)
+      else
+        let structure =
+          Oclass.Set.fold
+            (fun c' s -> if Oclass.equal c c' then s else SS.require_class c' s)
+            (SS.required_classes schema.structure)
+            (List.fold_left
+               (fun s (a, r, b) -> SS.require a r b s)
+               (List.fold_left
+                  (fun s (a, f, b) -> SS.forbid a f b s)
+                  SS.empty
+                  (SS.forbidden_rels schema.structure))
+               (SS.required_rels schema.structure))
+        in
+        remake schema ~structure ()
+  | Require_rel (a, r, b) -> remake schema ~structure:(SS.require a r b schema.structure) ()
+  | Drop_required_rel rel ->
+      if not (SS.mem_required schema.structure rel) then
+        Error (Format.asprintf "schema does not require %a" SS.pp_required rel)
+      else
+        let structure =
+          List.fold_left
+            (fun s ((a, r, b) as rel') ->
+              if rel' = rel then s else SS.require a r b s)
+            (Oclass.Set.fold SS.require_class
+               (SS.required_classes schema.structure)
+               (List.fold_left
+                  (fun s (a, f, b) -> SS.forbid a f b s)
+                  SS.empty
+                  (SS.forbidden_rels schema.structure)))
+            (SS.required_rels schema.structure)
+        in
+        remake schema ~structure ()
+  | Forbid_rel (a, f, b) -> remake schema ~structure:(SS.forbid a f b schema.structure) ()
+  | Drop_forbidden_rel rel ->
+      if not (SS.mem_forbidden schema.structure rel) then
+        Error (Format.asprintf "schema does not forbid %a" SS.pp_forbidden rel)
+      else
+        let structure =
+          List.fold_left
+            (fun s ((a, f, b) as rel') -> if rel' = rel then s else SS.forbid a f b s)
+            (Oclass.Set.fold SS.require_class
+               (SS.required_classes schema.structure)
+               (List.fold_left
+                  (fun s (a, r, b) -> SS.require a r b s)
+                  SS.empty
+                  (SS.required_rels schema.structure)))
+            (SS.forbidden_rels schema.structure)
+        in
+        remake schema ~structure ()
+  | Make_single_valued a ->
+      remake schema ~single_valued:(Attr.Set.add a schema.single_valued) ()
+  | Drop_single_valued a ->
+      if Attr.Set.mem a schema.keys then
+        Error
+          (Format.asprintf "%a is a key attribute; keys are single-valued" Attr.pp a)
+      else remake schema ~single_valued:(Attr.Set.remove a schema.single_valued) ()
+  | Add_key a ->
+      remake schema ~keys:(Attr.Set.add a schema.keys)
+        ~single_valued:(Attr.Set.add a schema.single_valued) ()
+  | Drop_key a ->
+      remake schema ~keys:(Attr.Set.remove a schema.keys)
+        ~single_valued:(Attr.Set.remove a schema.single_valued) ()
+
+let apply_all ops schema =
+  List.fold_left (fun acc op -> Result.bind acc (apply op)) (Ok schema) ops
+
+let preserves_legality = function
+  (* loosenings and pure additions: no existing entry can be affected *)
+  | Add_allowed_attribute _ | Add_core_class _ | Add_aux_class _ | Allow_aux _
+  | Drop_required_class _ | Drop_required_rel _ | Drop_forbidden_rel _
+  | Drop_single_valued _ | Drop_key _ ->
+      true
+  (* string typing cannot invalidate values previously typed by the
+     string default; any other type can *)
+  | Declare_attribute (_, Atype.T_string) -> true
+  | Declare_attribute (_, _) -> false
+  (* demoting required to allowed only loosens; removing allowed can
+     orphan present values *)
+  | Drop_required_attribute _ -> true
+  | Drop_allowed_attribute _ -> false
+  (* tightenings: revalidation required in general *)
+  | Add_required_attribute _ | Require_class _ | Require_rel _ | Forbid_rel _
+  | Make_single_valued _ | Add_key _ ->
+      false
+
+type migration = {
+  schema : Schema.t;
+  revalidated : bool;
+  violations : Violation.t list;
+}
+
+let migrate ops schema inst =
+  let* schema' = apply_all ops schema in
+  if List.for_all preserves_legality ops then
+    Ok { schema = schema'; revalidated = false; violations = [] }
+  else
+    Ok
+      {
+        schema = schema';
+        revalidated = true;
+        violations = Legality.check schema' inst;
+      }
+
+(* --- schema difference -------------------------------------------------- *)
+
+let diff (a : Schema.t) (b : Schema.t) =
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let err = ref None in
+  let fail fmt = Format.kasprintf (fun m -> if !err = None then err := Some m) fmt in
+  (* typing *)
+  List.iter
+    (fun (attr, ty) ->
+      match List.assoc_opt attr (Typing.declarations a.Schema.typing) with
+      | None -> emit (Declare_attribute (attr, ty))
+      | Some ty' when Atype.equal ty ty' -> ()
+      | Some ty' ->
+          fail "attribute %a retyped from %a to %a (inexpressible)" Attr.pp attr
+            Atype.pp ty' Atype.pp ty)
+    (Typing.declarations b.Schema.typing);
+  List.iter
+    (fun (attr, _) ->
+      if not (Typing.is_declared b.Schema.typing attr) then
+        fail "attribute %a undeclared (inexpressible)" Attr.pp attr)
+    (Typing.declarations a.Schema.typing);
+  (* core classes, parent-first so additions apply in order *)
+  let rec walk_core c =
+    List.iter
+      (fun child ->
+        (match Class_schema.parent a.Schema.classes child with
+        | None when Class_schema.is_core a.Schema.classes child ->
+            () (* top, never a child *)
+        | None ->
+            if Class_schema.is_aux a.Schema.classes child then
+              fail "class %a changed kind (inexpressible)" Oclass.pp child
+            else emit (Add_core_class { name = child; parent = c })
+        | Some p when Oclass.equal p c -> ()
+        | Some p ->
+            fail "class %a reparented from %a (inexpressible)" Oclass.pp child
+              Oclass.pp p);
+        walk_core child)
+      (Class_schema.children b.Schema.classes c)
+  in
+  walk_core Oclass.top;
+  Oclass.Set.iter
+    (fun c ->
+      if not (Class_schema.is_core b.Schema.classes c) then
+        fail "core class %a removed (inexpressible)" Oclass.pp c)
+    (Class_schema.core_classes a.Schema.classes);
+  (* auxiliary classes and associations *)
+  Oclass.Set.iter
+    (fun c ->
+      if not (Class_schema.mem a.Schema.classes c) then emit (Add_aux_class c))
+    (Class_schema.aux_classes b.Schema.classes);
+  Oclass.Set.iter
+    (fun c ->
+      if not (Class_schema.is_aux b.Schema.classes c) then
+        fail "auxiliary class %a removed (inexpressible)" Oclass.pp c)
+    (Class_schema.aux_classes a.Schema.classes);
+  Oclass.Set.iter
+    (fun core ->
+      let old_aux =
+        if Class_schema.is_core a.Schema.classes core then
+          Class_schema.aux_of a.Schema.classes core
+        else Oclass.Set.empty
+      in
+      let new_aux = Class_schema.aux_of b.Schema.classes core in
+      Oclass.Set.iter
+        (fun aux -> if not (Oclass.Set.mem aux old_aux) then emit (Allow_aux { core; aux }))
+        new_aux;
+      Oclass.Set.iter
+        (fun aux ->
+          if not (Oclass.Set.mem aux new_aux) then
+            fail "auxiliary association %a/%a removed (inexpressible)" Oclass.pp core
+              Oclass.pp aux)
+        old_aux)
+    (Class_schema.core_classes b.Schema.classes);
+  (* attribute schema *)
+  let all_classes =
+    Oclass.Set.union
+      (Attribute_schema.classes a.Schema.attributes)
+      (Attribute_schema.classes b.Schema.attributes)
+  in
+  Oclass.Set.iter
+    (fun c ->
+      let req_a = Attribute_schema.required a.Schema.attributes c in
+      let req_b = Attribute_schema.required b.Schema.attributes c in
+      let alw_a = Attribute_schema.allowed a.Schema.attributes c in
+      let alw_b = Attribute_schema.allowed b.Schema.attributes c in
+      Attr.Set.iter
+        (fun at -> if not (Attr.Set.mem at req_a) then emit (Add_required_attribute (c, at)))
+        req_b;
+      Attr.Set.iter
+        (fun at ->
+          if Attr.Set.mem at req_a && not (Attr.Set.mem at req_b) then
+            emit (Drop_required_attribute (c, at)))
+        req_a;
+      Attr.Set.iter
+        (fun at ->
+          if not (Attr.Set.mem at alw_a) && not (Attr.Set.mem at req_b) then
+            emit (Add_allowed_attribute (c, at)))
+        alw_b;
+      Attr.Set.iter
+        (fun at ->
+          if not (Attr.Set.mem at alw_b) then emit (Drop_allowed_attribute (c, at)))
+        alw_a)
+    all_classes;
+  (* structure schema *)
+  let cr_a = SS.required_classes a.Schema.structure in
+  let cr_b = SS.required_classes b.Schema.structure in
+  Oclass.Set.iter
+    (fun c -> if not (Oclass.Set.mem c cr_a) then emit (Require_class c))
+    cr_b;
+  Oclass.Set.iter
+    (fun c -> if not (Oclass.Set.mem c cr_b) then emit (Drop_required_class c))
+    cr_a;
+  List.iter
+    (fun r -> if not (SS.mem_required a.Schema.structure r) then emit (Require_rel r))
+    (SS.required_rels b.Schema.structure);
+  List.iter
+    (fun r ->
+      if not (SS.mem_required b.Schema.structure r) then emit (Drop_required_rel r))
+    (SS.required_rels a.Schema.structure);
+  List.iter
+    (fun f -> if not (SS.mem_forbidden a.Schema.structure f) then emit (Forbid_rel f))
+    (SS.forbidden_rels b.Schema.structure);
+  List.iter
+    (fun f ->
+      if not (SS.mem_forbidden b.Schema.structure f) then emit (Drop_forbidden_rel f))
+    (SS.forbidden_rels a.Schema.structure);
+  (* keys first (they imply single-valued), then the rest *)
+  Attr.Set.iter
+    (fun at -> if not (Attr.Set.mem at a.Schema.keys) then emit (Add_key at))
+    b.Schema.keys;
+  Attr.Set.iter
+    (fun at -> if not (Attr.Set.mem at b.Schema.keys) then emit (Drop_key at))
+    a.Schema.keys;
+  Attr.Set.iter
+    (fun at ->
+      if (not (Attr.Set.mem at a.Schema.single_valued)) || Attr.Set.mem at a.Schema.keys
+      then
+        if not (Attr.Set.mem at b.Schema.keys) then emit (Make_single_valued at))
+    (Attr.Set.diff b.Schema.single_valued b.Schema.keys);
+  Attr.Set.iter
+    (fun at ->
+      if
+        (not (Attr.Set.mem at b.Schema.single_valued))
+        && not (Attr.Set.mem at a.Schema.keys)
+      then emit (Drop_single_valued at))
+    a.Schema.single_valued;
+  match !err with Some m -> Error m | None -> Ok (List.rev !ops)

@@ -1,0 +1,74 @@
+(** Schema evolution (Section 6.2).
+
+    The paper observes that, unlike in rigid relational/object schemas,
+    "many kinds of schema evolution … are extremely lightweight, involving
+    no modifications to existing directory entries".  This module makes
+    the observation precise: each evolution operation is statically
+    classified by whether it {e preserves legality} — whether every
+    instance legal under the old schema is guaranteed legal under the
+    evolved one (in which case no revalidation or migration is needed).
+
+    The classification is sound, not complete: [preserves_legality op =
+    true] is a guarantee (property-tested over random legal instances);
+    [false] means revalidation is required in general, even if a specific
+    instance happens to survive.  [migrate] performs that revalidation,
+    reporting exactly the violations an evolution step introduces. *)
+
+open Bounds_model
+
+type op =
+  | Declare_attribute of Attr.t * Atype.t
+      (** extend the typing function; lightweight only for [T_string]
+          (any other type can invalidate values previously typed by the
+          string default) *)
+  | Add_allowed_attribute of Oclass.t * Attr.t
+      (** the paper's first example of lightweight evolution *)
+  | Add_required_attribute of Oclass.t * Attr.t
+  | Drop_required_attribute of Oclass.t * Attr.t
+      (** demote a required attribute to allowed-only *)
+  | Drop_allowed_attribute of Oclass.t * Attr.t
+      (** remove an attribute from a class entirely (required included) *)
+  | Add_core_class of { name : Oclass.t; parent : Oclass.t }
+  | Add_aux_class of Oclass.t
+  | Allow_aux of { core : Oclass.t; aux : Oclass.t }
+      (** the paper's second example of lightweight evolution *)
+  | Require_class of Oclass.t
+  | Drop_required_class of Oclass.t
+  | Require_rel of Structure_schema.required
+  | Drop_required_rel of Structure_schema.required
+  | Forbid_rel of Structure_schema.forbidden
+  | Drop_forbidden_rel of Structure_schema.forbidden
+  | Make_single_valued of Attr.t
+  | Drop_single_valued of Attr.t
+  | Add_key of Attr.t
+  | Drop_key of Attr.t
+
+val pp_op : Format.formatter -> op -> unit
+
+(** [apply op schema] — fails on ill-formed evolutions (unknown classes,
+    duplicate declarations, conflicting typing, …). *)
+val apply : op -> Schema.t -> (Schema.t, string) result
+
+val apply_all : op list -> Schema.t -> (Schema.t, string) result
+
+(** Static classification: [true] guarantees every instance legal under
+    [schema] stays legal under [apply op schema]. *)
+val preserves_legality : op -> bool
+
+type migration = {
+  schema : Schema.t;  (** the evolved schema *)
+  revalidated : bool;  (** whether a full recheck was necessary *)
+  violations : Violation.t list;
+      (** violations of the instance under the evolved schema *)
+}
+
+(** [migrate ops schema inst] — applies the operations, skipping
+    revalidation when every step is legality-preserving. *)
+val migrate : op list -> Schema.t -> Instance.t -> (migration, string) result
+
+(** [diff old_schema new_schema] — an operation sequence transforming the
+    first schema into the second ([apply_all (diff a b) a] equals [b];
+    property-tested).  Fails for changes the operation vocabulary cannot
+    express: removing or retyping a declared attribute, and removing or
+    reparenting classes. *)
+val diff : Schema.t -> Schema.t -> (op list, string) result

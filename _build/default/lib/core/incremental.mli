@@ -1,0 +1,72 @@
+(** Incremental legality testing (Section 4.2, Figure 5, Theorem 4.2).
+
+    Both checks assume the base instance is legal and decide whether the
+    updated instance ([base + Δ] or [base − Δ]) is still legal, touching
+    as little of the base as the relationship kind permits:
+
+    {b Insertion} of a subtree Δ under a parent [p] — every relationship
+    kind is incrementally testable (Figure 5, top).  Work is O(|S|·|Δ|)
+    plus one walk of the ancestor path above [p] (for the ancestor axis
+    and forbidden-descendant cross pairs).
+
+    {b Deletion} of a subtree — required parent/ancestor relationships and
+    all forbidden relationships need {e no} check at all; required
+    child/descendant relationships are not incrementally testable in the
+    paper's query sense and are re-verified here on the deletion frontier
+    (the parent, resp. the ancestors, of the deleted root — the only
+    entries whose downward sets changed).  Required classes are
+    incrementally testable when a per-class entry count is supplied
+    (exactly the paper's closing remark of Section 4); without one the
+    check scans the remainder.
+
+    The returned violation list is empty iff the updated instance is
+    legal; equivalence with the full checker is property-tested. *)
+
+open Bounds_model
+
+(** The Y/N columns of Figure 5. *)
+val testable_on_insert_req : Structure_schema.rel -> bool
+
+val testable_on_delete_req : Structure_schema.rel -> bool
+val testable_on_insert_forb : Structure_schema.forb -> bool
+val testable_on_delete_forb : Structure_schema.forb -> bool
+
+(** The Δ-query of Figure 5 for a required relationship and an insertion:
+    the paper's expression, with each sub-expression tagged by the
+    instance it is evaluated against. *)
+type scope = On_delta | On_base | On_updated | On_empty
+
+val pp_scope : Format.formatter -> scope -> unit
+
+(** Figure-5 row: (sub-query scopes, readable rendering).  Exposed so the
+    table itself is a testable artifact; the checker below implements the
+    same computations directly. *)
+val delta_query_insert :
+  Structure_schema.required -> (string * scope) list
+
+val delta_query_delete_req : Structure_schema.required -> (string * scope) list
+
+(** [check_insert schema ~base ~parent ~delta] — Δ is a non-empty
+    single-rooted instance to be grafted under [parent] ([None] = a new
+    root).  [base] is assumed legal.  Extensions (single-valued, keys) are
+    covered only when [extensions] is [true] (default [false]; the keys
+    check needs a scan of [base], see {!Monitor} for the stateful O(Δ)
+    version). *)
+val check_insert :
+  ?extensions:bool ->
+  Schema.t ->
+  base:Instance.t ->
+  parent:Entry.id option ->
+  delta:Instance.t ->
+  (Violation.t list, string) result
+
+(** [check_delete schema ~base ~root] — [base] legal; decides legality of
+    [base − subtree(root)].  [class_count], when given, must return the
+    number of entries of a class in [base] (see {!Monitor}); it makes the
+    required-class check O(|Δ|). *)
+val check_delete :
+  ?class_count:(Oclass.t -> int) ->
+  Schema.t ->
+  base:Instance.t ->
+  root:Entry.id ->
+  (Violation.t list, string) result

@@ -1,0 +1,413 @@
+open Bounds_model
+module SS = Structure_schema
+
+type deriv = { rule : string; premises : Element.t list }
+
+type t = {
+  schema : Schema.t;
+  derivs : (Element.t, deriv) Hashtbl.t;
+  strict_subs : (Oclass.t, Oclass.t list) Hashtbl.t;
+  strict_sups : (Oclass.t, Oclass.t list) Hashtbl.t;
+  mutable passes : int;
+}
+
+let node_strict_subs t = function
+  | Element.Empty -> []
+  | Element.Cls c ->
+      List.map (fun c -> Element.Cls c)
+        (Option.value ~default:[] (Hashtbl.find_opt t.strict_subs c))
+
+let node_strict_sups t = function
+  | Element.Empty -> []
+  | Element.Cls c ->
+      List.map (fun c -> Element.Cls c)
+        (Option.value ~default:[] (Hashtbl.find_opt t.strict_sups c))
+
+let node_disjoint t n1 n2 =
+  match (n1, n2) with
+  | Element.Cls c1, Element.Cls c2 -> Class_schema.disjoint t.schema.classes c1 c2
+  | _ -> false
+
+let top = Element.Cls Oclass.top
+
+let mem t e = Hashtbl.mem t.derivs e
+
+let class_unsat t n =
+  mem t (Element.Req (n, SS.Descendant, Element.Empty))
+  || mem t (Element.Req (n, SS.Ancestor, Element.Empty))
+
+(* One full pass: apply every rule to the current element set, returning
+   candidate conclusions.  Simplicity over cleverness: the element
+   universe is schema-sized, so fixpoint iteration with whole-set passes
+   stays polynomial (Theorem 5.2 promises no more). *)
+let pass t =
+  let news = ref [] in
+  let derive rule premises conclusion =
+    if not (mem t conclusion) then news := (conclusion, { rule; premises }) :: !news
+  in
+  let exists_nodes = ref [] in
+  let reqs = ref [] in
+  let forb_tbl = Hashtbl.create 64 in
+  let forbs = ref [] in
+  let aos = ref [] in
+  Hashtbl.iter
+    (fun e _ ->
+      match e with
+      | Element.Exists n -> exists_nodes := n :: !exists_nodes
+      | Element.Req (a, r, b) -> reqs := (a, r, b) :: !reqs
+      | Element.Forb (a, f, b) ->
+          Hashtbl.replace forb_tbl (a, f, b) ();
+          forbs := (a, f, b) :: !forbs
+      | Element.Above_or_self (a, b) -> aos := (a, b) :: !aos)
+    t.derivs;
+  let forb a f b = Hashtbl.mem forb_tbl (a, f, b) in
+  let by_src = Hashtbl.create 64 in
+  List.iter
+    (fun (a, r, b) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_src a) in
+      Hashtbl.replace by_src a ((r, b) :: cur))
+    !reqs;
+  let reqs_from a = Option.value ~default:[] (Hashtbl.find_opt by_src a) in
+  let aos_by_src = Hashtbl.create 64 in
+  List.iter
+    (fun (a, x) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt aos_by_src a) in
+      Hashtbl.replace aos_by_src a (x :: cur))
+    !aos;
+  let aos_from a = Option.value ~default:[] (Hashtbl.find_opt aos_by_src a) in
+  let unsat_of rule premises src = derive rule premises (Element.unsat src) in
+  (* exists-up *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun sup -> derive "exists-up" [ Element.Exists n ] (Element.Exists sup))
+        (node_strict_sups t n))
+    !exists_nodes;
+  (* rules keyed on required relationships *)
+  List.iter
+    (fun (a, r, b) ->
+      let e = Element.Req (a, r, b) in
+      (* exists-target *)
+      if List.exists (Element.node_equal a) !exists_nodes then
+        derive "exists-target" [ Element.Exists a; e ] (Element.Exists b);
+      (* source-isa / target-isa *)
+      List.iter
+        (fun a' -> derive "source-isa" [ e ] (Element.Req (a', r, b)))
+        (node_strict_subs t a);
+      List.iter
+        (fun b' -> derive "target-isa" [ e ] (Element.Req (a, r, b')))
+        (node_strict_sups t b);
+      (* path *)
+      (match r with
+      | SS.Child -> derive "path" [ e ] (Element.Req (a, SS.Descendant, b))
+      | SS.Parent -> derive "path" [ e ] (Element.Req (a, SS.Ancestor, b))
+      | SS.Descendant | SS.Ancestor -> ());
+      (* transitivity *)
+      (match r with
+      | SS.Descendant ->
+          List.iter
+            (fun (r2, c) ->
+              if r2 = SS.Descendant then
+                derive "trans-de" [ e; Element.Req (b, r2, c) ]
+                  (Element.Req (a, SS.Descendant, c)))
+            (reqs_from b)
+      | SS.Ancestor ->
+          List.iter
+            (fun (r2, c) ->
+              if r2 = SS.Ancestor then
+                derive "trans-an" [ e; Element.Req (b, r2, c) ]
+                  (Element.Req (a, SS.Ancestor, c)))
+            (reqs_from b)
+      | SS.Child | SS.Parent -> ());
+      (* loop *)
+      if Element.node_equal a b then begin
+        match r with
+        | SS.Descendant ->
+            derive "loop-de" [ e ] (Element.Req (a, SS.Descendant, Element.Empty))
+        | SS.Ancestor ->
+            derive "loop-an" [ e ] (Element.Req (a, SS.Ancestor, Element.Empty))
+        | SS.Child | SS.Parent -> ()
+      end;
+      (* top-path *)
+      if Element.node_equal b top then begin
+        match r with
+        | SS.Descendant -> derive "top-path" [ e ] (Element.Req (a, SS.Child, top))
+        | SS.Ancestor -> derive "top-path" [ e ] (Element.Req (a, SS.Parent, top))
+        | SS.Child | SS.Parent -> ()
+      end;
+      (* req-unsat *)
+      if (not (Element.node_equal b Element.Empty)) && class_unsat t b then begin
+        let w =
+          if mem t (Element.Req (b, SS.Descendant, Element.Empty)) then
+            Element.Req (b, SS.Descendant, Element.Empty)
+          else Element.Req (b, SS.Ancestor, Element.Empty)
+        in
+        unsat_of "req-unsat" [ e; w ] a
+      end;
+      (* direct conflicts with forbidden relationships *)
+      (match r with
+      | SS.Child ->
+          if forb a SS.F_child b then
+            unsat_of "conflict-ch" [ e; Element.Forb (a, SS.F_child, b) ] a
+      | SS.Descendant ->
+          if (not (Element.node_equal b Element.Empty)) && forb a SS.F_descendant b
+          then unsat_of "conflict-de" [ e; Element.Forb (a, SS.F_descendant, b) ] a
+      | SS.Parent ->
+          if forb b SS.F_child a then
+            unsat_of "conflict-pa" [ e; Element.Forb (b, SS.F_child, a) ] a
+      | SS.Ancestor ->
+          if (not (Element.node_equal b Element.Empty)) && forb b SS.F_descendant a
+          then unsat_of "conflict-an" [ e; Element.Forb (b, SS.F_descendant, a) ] a);
+      (* joins over a second requirement with the same source *)
+      List.iter
+        (fun (r2, c) ->
+          let e2 = Element.Req (a, r2, c) in
+          match (r, r2) with
+          | SS.Parent, SS.Parent ->
+              if node_disjoint t b c then unsat_of "parenthood" [ e; e2 ] a
+          | SS.Ancestor, SS.Ancestor ->
+              if
+                node_disjoint t b c
+                && forb b SS.F_descendant c
+                && forb c SS.F_descendant b
+              then
+                unsat_of "ancestorhood"
+                  [
+                    e;
+                    e2;
+                    Element.Forb (b, SS.F_descendant, c);
+                    Element.Forb (c, SS.F_descendant, b);
+                  ]
+                  a
+          | SS.Ancestor, SS.Parent ->
+              if node_disjoint t b c && forb b SS.F_descendant c then
+                unsat_of "an-pa-conflict"
+                  [ e; e2; Element.Forb (b, SS.F_descendant, c) ]
+                  a
+          | SS.Ancestor, SS.Descendant ->
+              if
+                (not (Element.node_equal c Element.Empty))
+                && forb b SS.F_descendant c
+              then
+                unsat_of "an-de-conflict"
+                  [ e; e2; Element.Forb (b, SS.F_descendant, c) ]
+                  a
+          | _ -> ())
+        (reqs_from a);
+      (* a required descendant's own parent/ancestor requirements reflect
+         back onto the source: the descendant's parent lies on the path
+         below the source (or is the source), its ancestors on the path
+         through the source *)
+      (match r with
+      | SS.Descendant when not (Element.node_equal b Element.Empty) ->
+          List.iter
+            (fun (r2, x) ->
+              match r2 with
+              | SS.Parent ->
+                  (* the d-entry's parent is the source or strictly below
+                     it; when it cannot be the source, it is a descendant *)
+                  if node_disjoint t a x then
+                    derive "de-pa-lift"
+                      [ e; Element.Req (b, r2, x) ]
+                      (Element.Req (a, SS.Descendant, x))
+              | SS.Ancestor ->
+                  (* the d-entry's x-ancestor is above, at, or below the
+                     source; barred from 'at' and 'below', it is above *)
+                  if
+                    node_disjoint t a x
+                    && forb a SS.F_descendant x
+                  then
+                    derive "de-an-lift"
+                      [ e; Element.Req (b, r2, x); Element.Forb (a, SS.F_descendant, x) ]
+                      (Element.Req (a, SS.Ancestor, x))
+              | SS.Child | SS.Descendant -> ())
+            (reqs_from b)
+      | SS.Child | SS.Descendant | SS.Parent | SS.Ancestor -> ());
+      (* the required child's required parent/ancestor reflect back onto
+         the creating class: its parent IS the creating entry
+         (ch-pa-conflict), and its other ancestors lie on the creating
+         entry's path through the entry itself (aos-ch-an) *)
+      (match r with
+      | SS.Child ->
+          List.iter
+            (fun (r2, x) ->
+              match r2 with
+              | SS.Parent ->
+                  if node_disjoint t a x then
+                    unsat_of "ch-pa-conflict" [ e; Element.Req (b, r2, x) ] a
+              | SS.Ancestor ->
+                  if not (Element.node_equal x Element.Empty) then
+                    derive "aos-ch-an"
+                      [ e; Element.Req (b, r2, x) ]
+                      (Element.Above_or_self (a, x))
+              | SS.Child | SS.Descendant -> ())
+            (reqs_from b)
+      | SS.Descendant | SS.Parent | SS.Ancestor -> ());
+      (* every required ancestor is trivially above-or-self *)
+      if r = SS.Ancestor && not (Element.node_equal b Element.Empty) then
+        derive "aos-an" [ e ] (Element.Above_or_self (a, b)))
+    !reqs;
+  (* rules keyed on the above-or-self judgment *)
+  List.iter
+    (fun (a, x) ->
+      let e = Element.Above_or_self (a, x) in
+      List.iter
+        (fun a' -> derive "aos-source-isa" [ e ] (Element.Above_or_self (a', x)))
+        (node_strict_subs t a);
+      List.iter
+        (fun x' -> derive "aos-target-isa" [ e ] (Element.Above_or_self (a, x')))
+        (node_strict_sups t x);
+      (* transitivity through the middle class *)
+      List.iter
+        (fun y ->
+          derive "aos-trans"
+            [ e; Element.Above_or_self (x, y) ]
+            (Element.Above_or_self (a, y)))
+        (aos_from x);
+      (* the x-role entry (self or above) pushes its own upward
+         requirements strictly above the a-entry *)
+      List.iter
+        (fun (r2, y) ->
+          match r2 with
+          | SS.Parent when not (Element.node_equal y Element.Empty) ->
+              derive "aos-pa"
+                [ e; Element.Req (x, r2, y) ]
+                (Element.Req (a, SS.Ancestor, y))
+          | SS.Ancestor when not (Element.node_equal y Element.Empty) ->
+              derive "aos-an-lift"
+                [ e; Element.Req (x, r2, y) ]
+                (Element.Req (a, SS.Ancestor, y))
+          | SS.Parent | SS.Ancestor | SS.Child | SS.Descendant -> ())
+        (reqs_from x);
+      (* when the a-entry cannot itself be x, x must be strictly above *)
+      if node_disjoint t a x then
+        derive "aos-disj" [ e ] (Element.Req (a, SS.Ancestor, x)))
+    !aos;
+  (* rules keyed on forbidden relationships *)
+  List.iter
+    (fun (a, f, b) ->
+      let e = Element.Forb (a, f, b) in
+      List.iter
+        (fun a' -> derive "forb-source-isa" [ e ] (Element.Forb (a', f, b)))
+        (node_strict_subs t a);
+      List.iter
+        (fun b' -> derive "forb-target-isa" [ e ] (Element.Forb (a, f, b')))
+        (node_strict_subs t b);
+      if f = SS.F_child && Element.node_equal b top then
+        derive "forb-top" [ e ] (Element.Forb (a, SS.F_descendant, top));
+      if f = SS.F_child && Element.node_equal a top then
+        derive "forb-top" [ e ] (Element.Forb (top, SS.F_descendant, b)))
+    !forbs;
+  !news
+
+let saturate (schema : Schema.t) =
+  let cs = schema.classes in
+  let cores = Oclass.Set.elements (Class_schema.core_classes cs) in
+  let strict_subs = Hashtbl.create 64 and strict_sups = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let sups = Class_schema.superclasses cs c in
+      Hashtbl.replace strict_sups c sups;
+      List.iter
+        (fun s ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt strict_subs s) in
+          Hashtbl.replace strict_subs s (c :: cur))
+        sups)
+    cores;
+  let t = { schema; derivs = Hashtbl.create 256; strict_subs; strict_sups; passes = 0 } in
+  List.iter
+    (fun e -> Hashtbl.replace t.derivs e { rule = "axiom"; premises = [] })
+    (Element.of_structure schema.structure);
+  (* class-schema axioms for the above-or-self judgment: every entry of a
+     class trivially "is" each class of its upward closure *)
+  List.iter
+    (fun c ->
+      Oclass.Set.iter
+        (fun s ->
+          Hashtbl.replace t.derivs
+            (Element.Above_or_self (Element.Cls c, Element.Cls s))
+            { rule = "class-schema"; premises = [] })
+        (Class_schema.up_closure cs c))
+    cores;
+  let rec fix () =
+    t.passes <- t.passes + 1;
+    match pass t with
+    | [] -> ()
+    | news ->
+        List.iter
+          (fun (e, d) -> if not (mem t e) then Hashtbl.replace t.derivs e d)
+          news;
+        fix ()
+  in
+  fix ();
+  t
+
+let schema t = t.schema
+
+let elements t = Hashtbl.fold (fun e _ s -> Element.Set.add e s) t.derivs Element.Set.empty
+
+let is_derivable = mem
+let inconsistent t = mem t Element.bottom
+
+let reqs_from t n =
+  Hashtbl.fold
+    (fun e _ acc ->
+      match e with
+      | Element.Req (a, r, b) when Element.node_equal a n -> (r, b) :: acc
+      | _ -> acc)
+    t.derivs []
+
+let forbs t =
+  Hashtbl.fold
+    (fun e _ acc ->
+      match e with Element.Forb (a, f, b) -> (a, f, b) :: acc | _ -> acc)
+    t.derivs []
+
+let is_forbidden t a f b = mem t (Element.Forb (a, f, b))
+
+type proof = { conclusion : Element.t; rule : string; premises : proof list }
+
+let explain t e =
+  (* The derivation graph is acyclic: a premise is always recorded before
+     the conclusion it supports. *)
+  let rec go e =
+    match Hashtbl.find_opt t.derivs e with
+    | None -> raise Not_found
+    | Some { rule; premises } -> { conclusion = e; rule; premises = List.map go premises }
+  in
+  go e
+
+let rec pp_proof ppf { conclusion; rule; premises } =
+  Format.fprintf ppf "@[<v 2>%a  [%s]%a@]" Element.pp conclusion rule
+    (fun ppf -> function
+      | [] -> ()
+      | ps ->
+          List.iter (fun p -> Format.fprintf ppf "@ %a" pp_proof p) ps)
+    premises
+
+let rule_names =
+  [
+    "exists-target"; "exists-up"; "path"; "trans-de"; "trans-an"; "loop-de";
+    "loop-an"; "source-isa"; "target-isa"; "top-path"; "req-unsat";
+    "conflict-ch"; "conflict-de"; "conflict-pa"; "conflict-an"; "parenthood";
+    "ancestorhood"; "an-pa-conflict"; "an-de-conflict"; "ch-pa-conflict";
+    "de-pa-lift"; "de-an-lift"; "forb-source-isa"; "forb-target-isa";
+    "forb-top"; "aos-an"; "aos-ch-an"; "aos-source-isa"; "aos-target-isa";
+    "aos-trans"; "aos-pa"; "aos-an-lift"; "aos-disj";
+  ]
+
+let is_axiom t e =
+  match e with
+  | Element.Above_or_self (Element.Cls c, Element.Cls s) ->
+      Class_schema.is_core t.schema.Schema.classes c
+      && Class_schema.is_subclass t.schema.Schema.classes ~sub:c ~super:s
+  | _ -> List.exists (Element.equal e) (Element.of_structure t.schema.Schema.structure)
+
+let rec check_proof t { conclusion; rule; premises } =
+  mem t conclusion
+  &&
+  match premises with
+  | [] -> (rule = "axiom" || rule = "class-schema") && is_axiom t conclusion
+  | _ :: _ -> List.mem rule rule_names && List.for_all (check_proof t) premises
+
+let stats t = (t.passes, Hashtbl.length t.derivs)

@@ -1,0 +1,128 @@
+(** The inference system of Section 5 (Figures 6 and 7).
+
+    Saturates the structure-schema elements, in interaction with the core
+    class hierarchy, under sound inference rules until a fixpoint;
+    the schema is inconsistent iff the marker [∅•] becomes derivable
+    (Theorem 5.2).  Saturation is polynomial in the schema size: the
+    element universe is O(|Cc|²) and each pass closes under finitely many
+    rules.
+
+    The figures in the paper's source text are partially garbled, so each
+    rule is restated here with its semantic justification.  [ci ⊑ cj]
+    denotes the static subclass relation, [ci ∦ cj] static incomparability
+    of core classes (disjointness under single inheritance), and
+    [unsat c] abbreviates [Req (c, Descendant, Empty)] /
+    [Req (c, Ancestor, Empty)] — "no entry may belong to c".
+
+    {b Figure 6 — cycles.}
+    - [exists-target]: [c•], [Req(c,R,d)] ⊢ [d•] for every axis [R]
+      (a required neighbour of an existing entry exists).
+    - [exists-up]: [c•], [c ⊑ d] ⊢ [d•].
+    - [path]: [Req(c,Ch,d)] ⊢ [Req(c,De,d)]; [Req(c,Pa,d)] ⊢ [Req(c,An,d)].
+    - [trans]: [Req(c,De,d)], [Req(d,De,e)] ⊢ [Req(c,De,e)]; same for [An].
+    - [loop]: [Req(c,De,c)] ⊢ [unsat c]; [Req(c,An,c)] ⊢ [unsat c]
+      (a self-loop forces an infinite chain; instances are finite).
+    - [source-isa]: [Req(c,R,d)], [c' ⊑ c] ⊢ [Req(c',R,d)].
+    - [target-isa]: [Req(c,R,d)], [d ⊑ d'] ⊢ [Req(c,R,d')].
+
+    {b Figure 7 — contradictions.}
+    - [top-path]: [Req(c,De,top)] ⊢ [Req(c,Ch,top)];
+      [Req(c,An,top)] ⊢ [Req(c,Pa,top)] (every entry belongs to [top], so
+      having a descendant is having a child).
+    - [forb-top]: [Forb(c,FCh,top)] ⊢ [Forb(c,FDe,top)] (childless ⟹
+      descendant-less); [Forb(top,FCh,c)] ⊢ [Forb(top,FDe,c)] (c-entries
+      parentless ⟹ ancestor-less).
+    - [forb-source-isa] / [forb-target-isa]: forbidden relationships close
+      {e downward} on both sides: [Forb(c,F,d)], [c' ⊑ c] ⊢ [Forb(c',F,d)],
+      and [d' ⊑ d] ⊢ [Forb(c,F,d')].
+    - [conflict-ch]: [Req(c,Ch,d)], [Forb(c,FCh,d)] ⊢ [unsat c];
+      [conflict-de] likewise on the descendant axis.
+    - [conflict-pa]: [Req(c,Pa,d)], [Forb(d,FCh,c)] ⊢ [unsat c];
+      [conflict-an]: [Req(c,An,d)], [Forb(d,FDe,c)] ⊢ [unsat c].
+    - [parenthood]: [Req(c,Pa,d)], [Req(c,Pa,e)], [d ∦ e] ⊢ [unsat c]
+      (the unique parent cannot belong to two incomparable core classes).
+    - [ancestorhood]: [Req(c,An,d)], [Req(c,An,e)], [d ∦ e],
+      [Forb(d,FDe,e)], [Forb(e,FDe,d)] ⊢ [unsat c] (two ancestors of one
+      entry lie on a chain, so one must be the other's descendant).
+    - [an-pa-conflict]: [Req(c,Pa,p)], [Req(c,An,a)], [a ∦ p],
+      [Forb(a,FDe,p)] ⊢ [unsat c] (the [a]-ancestor must be a strict
+      ancestor of the parent).
+    - [an-de-conflict]: [Req(c,An,a)], [Req(c,De,d)], [Forb(a,FDe,d)]
+      ⊢ [unsat c] (the required descendant is a descendant of the
+      required ancestor).
+    - [ch-pa-conflict]: [Req(c,Ch,d)], [Req(d,Pa,x)], [c ∦ x] ⊢ [unsat c]
+      (the required child's required parent is [c] itself).
+    {b The above-or-self judgment.}  [AoS(c,x)] asserts that every
+    [c]-entry is an [x]-entry or has an [x]-ancestor.  It captures the
+    disjunction "at or above" that pure [Req] elements cannot, and closes
+    cycle detection over paths that pass through the entry itself:
+    - class-schema axioms: [AoS(c,x)] for every [c ⊑ x] (including
+      [c = x]);
+    - [aos-an]: [Req(c,An,x)] ⊢ [AoS(c,x)];
+    - [aos-ch-an]: [Req(c,Ch,d)], [Req(d,An,x)] ⊢ [AoS(c,x)] (the
+      required child's strict ancestors are exactly [c] and [c]'s
+      ancestors);
+    - [aos-source-isa] / [aos-target-isa] / [aos-trans]: closure;
+    - [aos-pa]: [AoS(c,x)], [Req(x,Pa,y)] ⊢ [Req(c,An,y)] (whether the
+      [x]-role is played by the [c]-entry itself or by an ancestor, its
+      required parent sits strictly above the [c]-entry);
+    - [aos-an-lift]: [AoS(c,x)], [Req(x,An,y)] ⊢ [Req(c,An,y)];
+    - [aos-disj]: [AoS(c,x)], [c ∦ x] ⊢ [Req(c,An,x)] (the entry cannot
+      itself be [x]).
+    - [de-pa-lift]: [Req(c,De,d)], [Req(d,Pa,x)], [c ∦ x] ⊢ [Req(c,De,x)]
+      (the required descendant's parent lies on the path at or strictly
+      below [c]; barred from being [c], it is a descendant of [c]).
+    - [de-an-lift]: [Req(c,De,d)], [Req(d,An,x)], [c ∦ x],
+      [Forb(c,FDe,x)] ⊢ [Req(c,An,x)] (the descendant's [x]-ancestor is
+      above, at, or below [c]; barred from 'at' and 'below', it must be
+      above).
+    - [req-unsat]: [Req(c,R,d)], [unsat d] ⊢ [unsat c] for every axis.
+
+    Derivations are recorded; {!explain} reconstructs a proof tree. *)
+
+
+type t
+
+(** [saturate schema] — runs to fixpoint. *)
+val saturate : Schema.t -> t
+
+val schema : t -> Schema.t
+
+(** Derivable elements (including the axioms). *)
+val elements : t -> Element.Set.t
+
+val is_derivable : t -> Element.t -> bool
+
+(** [∅• derivable] — the schema admits no legal instance. *)
+val inconsistent : t -> bool
+
+(** "No entry may belong to [c]". *)
+val class_unsat : t -> Element.node -> bool
+
+(** Required relationships with the given source, from the saturated set
+    (used by the witness chase). *)
+val reqs_from : t -> Element.node -> (Structure_schema.rel * Element.node) list
+
+val forbs : t -> (Element.node * Structure_schema.forb * Element.node) list
+val is_forbidden : t -> Element.node -> Structure_schema.forb -> Element.node -> bool
+
+type proof = { conclusion : Element.t; rule : string; premises : proof list }
+(** [rule = "axiom"] at leaves. *)
+
+(** Proof tree for a derivable element.  Raises [Not_found] otherwise. *)
+val explain : t -> Element.t -> proof
+
+val pp_proof : Format.formatter -> proof -> unit
+
+(** Structural validation of a proof tree: every conclusion is derivable,
+    every leaf is a genuine axiom (a structure-schema element, or an
+    above-or-self fact of the class hierarchy), every inner node uses a
+    rule from the documented rule set with at least one premise, and the
+    tree is finite by construction.  [explain] always produces proofs
+    that pass; the checker exists so stored or transmitted proofs can be
+    re-validated against a schema. *)
+val check_proof : t -> proof -> bool
+
+(** Number of saturation passes and derived elements, for the
+    consistency-scaling benchmark. *)
+val stats : t -> int * int

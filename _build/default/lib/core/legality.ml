@@ -1,0 +1,9 @@
+let check ?(extensions = true) ?index ?vindex schema inst =
+  Content_legality.check schema inst
+  @ Structure_legality.check ?index ?vindex schema inst
+  @
+  if extensions then Single_valued.check schema inst @ Keys.check schema inst
+  else []
+
+let is_legal ?extensions ?index ?vindex schema inst =
+  check ?extensions ?index ?vindex schema inst = []

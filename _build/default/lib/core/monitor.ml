@@ -1,0 +1,257 @@
+open Bounds_model
+
+module Smap = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  inst : Instance.t;
+  extensions : bool;
+  counts : int Oclass.Map.t;
+  key_values : int Smap.t; (* "attr\000value" -> number of holders *)
+}
+
+let key_of attr v = Attr.to_string attr ^ "\000" ^ Value.to_string v
+
+let entry_key_values (schema : Schema.t) e =
+  Attr.Set.fold
+    (fun attr acc ->
+      List.fold_left (fun acc v -> key_of attr v :: acc) acc (Entry.values e attr))
+    schema.keys []
+
+let counts_of_instance inst =
+  Instance.fold
+    (fun e m ->
+      Oclass.Set.fold
+        (fun c m ->
+          Oclass.Map.update c (fun n -> Some (1 + Option.value ~default:0 n)) m)
+        (Entry.classes e) m)
+    inst Oclass.Map.empty
+
+let key_values_of_instance schema inst =
+  Instance.fold
+    (fun e m ->
+      List.fold_left
+        (fun m k -> Smap.update k (fun n -> Some (1 + Option.value ~default:0 n)) m)
+        m (entry_key_values schema e))
+    inst Smap.empty
+
+let create ?(extensions = true) schema inst =
+  match Legality.check ~extensions schema inst with
+  | [] ->
+      Ok
+        {
+          schema;
+          inst;
+          extensions;
+          counts = counts_of_instance inst;
+          key_values =
+            (if extensions then key_values_of_instance schema inst else Smap.empty);
+        }
+  | violations -> Error violations
+
+let instance m = m.inst
+let schema m = m.schema
+
+let class_count m c =
+  Option.value ~default:0 (Oclass.Map.find_opt c m.counts)
+
+let bump delta m counts =
+  Instance.fold
+    (fun e counts ->
+      Oclass.Set.fold
+        (fun c counts ->
+          Oclass.Map.update c
+            (fun n -> Some (delta + Option.value ~default:0 n))
+            counts)
+        (Entry.classes e) counts)
+    m counts
+
+let key_violations m delta =
+  (* duplicates against the existing instance, and within Δ itself *)
+  let within = Hashtbl.create 16 in
+  List.rev
+    (Instance.fold
+       (fun e acc ->
+         List.fold_left
+           (fun acc k ->
+             let clash_existing = Option.value ~default:0 (Smap.find_opt k m.key_values) > 0 in
+             let clash_within = Hashtbl.mem within k in
+             Hashtbl.replace within k ();
+             if clash_existing || clash_within then
+               match String.index_opt k '\000' with
+               | Some i ->
+                   let attr = Attr.of_string (String.sub k 0 i) in
+                   let v = String.sub k (i + 1) (String.length k - i - 1) in
+                   Violation.Duplicate_key
+                     { attr; value = Value.String v; entries = [ Entry.id e ] }
+                   :: acc
+               | None -> acc
+             else acc)
+           acc (entry_key_values m.schema e))
+       delta [])
+
+let bump_keys delta_sign sub m kv =
+  Instance.fold
+    (fun e kv ->
+      List.fold_left
+        (fun kv k ->
+          Smap.update k
+            (fun n ->
+              let n' = delta_sign + Option.value ~default:0 n in
+              if n' <= 0 then None else Some n')
+            kv)
+        kv (entry_key_values m.schema e))
+    sub kv
+
+let insert_subtree ~parent delta m =
+  match
+    Incremental.check_insert ~extensions:m.extensions m.schema ~base:m.inst ~parent
+      ~delta
+  with
+  | Error msg -> failwith msg
+  | Ok viols -> (
+      let viols =
+        if m.extensions then viols @ key_violations m delta else viols
+      in
+      match viols with
+      | _ :: _ -> Error viols
+      | [] -> (
+          match Instance.graft ~parent delta m.inst with
+          | Error e -> failwith (Instance.error_to_string e)
+          | Ok inst ->
+              Ok
+                {
+                  m with
+                  inst;
+                  counts = bump 1 delta m.counts;
+                  key_values =
+                    (if m.extensions then bump_keys 1 delta m m.key_values
+                     else m.key_values);
+                }))
+
+let delete_subtree root m =
+  match
+    Incremental.check_delete ~class_count:(class_count m) m.schema ~base:m.inst
+      ~root
+  with
+  | Error msg -> failwith msg
+  | Ok (_ :: _ as viols) -> Error viols
+  | Ok [] -> (
+      match Instance.subtree m.inst root with
+      | Error e -> failwith (Instance.error_to_string e)
+      | Ok sub -> (
+          match Instance.remove_subtree root m.inst with
+          | Error e -> failwith (Instance.error_to_string e)
+          | Ok inst ->
+              Ok
+                {
+                  m with
+                  inst;
+                  counts = bump (-1) sub m.counts;
+                  key_values =
+                    (if m.extensions then bump_keys (-1) sub m m.key_values
+                     else m.key_values);
+                }))
+
+let modify_entry id f m =
+  let old_entry =
+    match Instance.find m.inst id with
+    | Some e -> e
+    | None -> failwith (Printf.sprintf "no such entry: %d" id)
+  in
+  let new_entry = f old_entry in
+  if Entry.id new_entry <> id then
+    invalid_arg "Monitor.modify_entry: the update must preserve the entry id";
+  if not (Oclass.Set.equal (Entry.classes old_entry) (Entry.classes new_entry)) then
+    invalid_arg
+      "Monitor.modify_entry: attribute-level modification must preserve the class \
+       set (use delete + insert to reclassify)";
+  (* with the class set fixed, only per-entry content and keys can change *)
+  let viols =
+    Content_legality.check_entry m.schema new_entry
+    @
+    if m.extensions then begin
+      let sv = Single_valued.check_entry m.schema new_entry in
+      let old_keys = entry_key_values m.schema old_entry in
+      let new_keys = entry_key_values m.schema new_entry in
+      let added = List.filter (fun k -> not (List.mem k old_keys)) new_keys in
+      let dups =
+        List.filter_map
+          (fun k ->
+            if Option.value ~default:0 (Smap.find_opt k m.key_values) > 0 then
+              match String.index_opt k '\000' with
+              | Some i ->
+                  Some
+                    (Violation.Duplicate_key
+                       {
+                         attr = Attr.of_string (String.sub k 0 i);
+                         value =
+                           Value.String
+                             (String.sub k (i + 1) (String.length k - i - 1));
+                         entries = [ id ];
+                       })
+              | None -> None
+            else None)
+          added
+      in
+      sv @ dups
+    end
+    else []
+  in
+  match viols with
+  | _ :: _ -> Error viols
+  | [] -> (
+      match Instance.update_entry id (fun _ -> new_entry) m.inst with
+      | Error e -> failwith (Instance.error_to_string e)
+      | Ok inst ->
+          let key_values =
+            if m.extensions then begin
+              let remove kv k =
+                Smap.update k
+                  (fun n ->
+                    let n' = Option.value ~default:0 n - 1 in
+                    if n' <= 0 then None else Some n')
+                  kv
+              in
+              let add kv k =
+                Smap.update k
+                  (fun n -> Some (1 + Option.value ~default:0 n))
+                  kv
+              in
+              let kv =
+                List.fold_left remove m.key_values
+                  (entry_key_values m.schema old_entry)
+              in
+              List.fold_left add kv (entry_key_values m.schema new_entry)
+            end
+            else m.key_values
+          in
+          Ok { m with inst; key_values })
+
+type rejection =
+  | Bad_ops of string
+  | Illegal of { step : int; violations : Violation.t list }
+
+let pp_rejection ppf = function
+  | Bad_ops msg -> Format.fprintf ppf "invalid transaction: %s" msg
+  | Illegal { step; violations } ->
+      Format.fprintf ppf "@[<v>illegal at step %d:@ %a@]" step
+        (Format.pp_print_list Violation.pp)
+        violations
+
+let apply ops m =
+  match Transaction.decompose m.inst ops with
+  | Error msg -> Error (Bad_ops msg)
+  | Ok updates ->
+      let rec go step m = function
+        | [] -> Ok m
+        | Transaction.Insert_subtree { parent; subtree } :: rest -> (
+            match insert_subtree ~parent subtree m with
+            | Ok m -> go (step + 1) m rest
+            | Error violations -> Error (Illegal { step; violations }))
+        | Transaction.Delete_subtree { root } :: rest -> (
+            match delete_subtree root m with
+            | Ok m -> go (step + 1) m rest
+            | Error violations -> Error (Illegal { step; violations }))
+      in
+      go 1 m updates

@@ -1,0 +1,54 @@
+(** Stateful legality monitor.
+
+    Wraps an instance known to be legal and admits only legality-preserving
+    updates, checked incrementally.  Maintains the per-class entry counts
+    that make required-class checks O(1) under deletion (the counting
+    extension the paper suggests at the end of Section 4), and — when
+    extensions are on — a key-value table making directory-wide key checks
+    O(|Δ|) per update.
+
+    The monitor is persistent: a rejected update leaves the previous value
+    usable, and old versions remain valid snapshots. *)
+
+open Bounds_model
+
+type t
+
+(** [create schema inst] runs a full legality check and builds the
+    indexes.  [extensions] (default [true]) also enforces single-valued
+    attributes and keys. *)
+val create :
+  ?extensions:bool -> Schema.t -> Instance.t -> (t, Violation.t list) result
+
+val instance : t -> Instance.t
+val schema : t -> Schema.t
+
+(** Number of entries currently belonging to the class. *)
+val class_count : t -> Oclass.t -> int
+
+(** [insert_subtree ~parent delta m] — Δ must be single-rooted with ids
+    fresh for the monitored instance. *)
+val insert_subtree :
+  parent:Entry.id option -> Instance.t -> t -> (t, Violation.t list) result
+
+val delete_subtree : Entry.id -> t -> (t, Violation.t list) result
+
+(** [modify_entry id f m] — LDAP's attribute-level modification.  The
+    update must preserve the entry's class set ([f] changing it is
+    rejected as a violation-free [Error] via [Invalid_argument]): with
+    classes fixed, legality is affected only through the entry's own
+    content and the key table, so the check is O(entry) — the content
+    locality of Section 3.1 once more. *)
+val modify_entry :
+  Entry.id -> (Entry.t -> Entry.t) -> t -> (t, Violation.t list) result
+
+type rejection =
+  | Bad_ops of string
+  | Illegal of { step : int; violations : Violation.t list }
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+(** Whole transaction, atomically: decomposed with {!Transaction}, each
+    subtree step checked incrementally; on rejection the monitor is
+    unchanged. *)
+val apply : Update.op list -> t -> (t, rejection) result

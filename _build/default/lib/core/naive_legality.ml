@@ -1,0 +1,63 @@
+open Bounds_model
+
+(* Direct implementation of Definition 2.6, one pairwise scan per schema
+   element. *)
+let check_structure (schema : Schema.t) inst =
+  let s = schema.structure in
+  let entries = Instance.entries inst in
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  let related rel ei ej =
+    let i = Entry.id ei and j = Entry.id ej in
+    match rel with
+    | Structure_schema.Child -> Instance.parent inst j = Some i
+    | Structure_schema.Parent -> Instance.parent inst i = Some j
+    | Structure_schema.Descendant -> Instance.is_strict_ancestor inst ~anc:i ~desc:j
+    | Structure_schema.Ancestor -> Instance.is_strict_ancestor inst ~anc:j ~desc:i
+  in
+  List.iter
+    (fun ((ci, rel, cj) as r) ->
+      List.iter
+        (fun ei ->
+          if Entry.has_class ei ci then
+            let ok =
+              List.exists (fun ej -> Entry.has_class ej cj && related rel ei ej) entries
+            in
+            if not ok then
+              add (Violation.Unsatisfied_rel { entry = Entry.id ei; rel = r }))
+        entries)
+    (Structure_schema.required_rels s);
+  List.iter
+    (fun ((ci, f, cj) as r) ->
+      let down =
+        match f with
+        | Structure_schema.F_child -> Structure_schema.Child
+        | Structure_schema.F_descendant -> Structure_schema.Descendant
+      in
+      List.iter
+        (fun ei ->
+          if Entry.has_class ei ci then
+            List.iter
+              (fun ej ->
+                if Entry.has_class ej cj && related down ei ej then
+                  add
+                    (Violation.Forbidden_rel
+                       { source = Entry.id ei; target = Entry.id ej; rel = r }))
+              entries)
+        entries)
+    (Structure_schema.forbidden_rels s);
+  Oclass.Set.iter
+    (fun c ->
+      if not (List.exists (fun e -> Entry.has_class e c) entries) then
+        add (Violation.Missing_required_class { cls = c }))
+    (Structure_schema.required_classes s);
+  List.rev !viols
+
+let check ?(extensions = true) schema inst =
+  Content_legality.check schema inst
+  @ check_structure schema inst
+  @
+  if extensions then Single_valued.check schema inst @ Keys.check schema inst
+  else []
+
+let is_legal ?extensions schema inst = check ?extensions schema inst = []

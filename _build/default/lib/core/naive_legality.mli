@@ -1,0 +1,16 @@
+(** The quadratic baseline of Section 3.2.
+
+    Structure legality decided by comparing every (parent, child) and
+    every (ancestor, descendant) entry pair against the structure schema:
+    O((|Er| + |Ef|) · |D|²).  Semantics-identical to
+    {!Structure_legality} (property-tested); exists as the paper's
+    strawman for the [legality_scaling] benchmark and as a test oracle. *)
+
+open Bounds_model
+
+val check_structure : Schema.t -> Instance.t -> Violation.t list
+
+(** Content + structure + extensions, with the quadratic structure path. *)
+val check : ?extensions:bool -> Schema.t -> Instance.t -> Violation.t list
+
+val is_legal : ?extensions:bool -> Schema.t -> Instance.t -> bool

@@ -1,0 +1,114 @@
+open Bounds_model
+open Bounds_query
+module SS = Structure_schema
+
+let empty_query = Query.Select (Filter.Or [])
+
+let is_empty_query = function
+  | Query.Select (Filter.Or []) -> true
+  | _ -> false
+
+let is_false = function Filter.Or [] -> true | _ -> false
+let is_true = function Filter.And [] -> true | _ -> false
+
+(* On legal instances, an objectClass assertion for a class that is not
+   declared by the schema — or that the inference system proves no entry
+   can belong to — never matches. *)
+let class_leaf_unsatisfiable inf cls =
+  let schema = Inference.schema inf in
+  (not (Class_schema.mem schema.Schema.classes cls))
+  || Inference.class_unsat inf (Element.Cls cls)
+
+let rec simp_filter inf f =
+  match f with
+  | Filter.Eq (a, v) when Attr.equal a Attr.object_class -> (
+      match Oclass.of_string_opt v with
+      | Some cls when class_leaf_unsatisfiable inf cls -> Filter.Or []
+      | _ -> f)
+  | Filter.Present _ | Filter.Eq _ | Filter.Ge _ | Filter.Le _ | Filter.Substr _ ->
+      f
+  | Filter.And fs -> (
+      let fs = List.map (simp_filter inf) fs in
+      if List.exists is_false fs then Filter.Or []
+      else
+        match List.filter (fun f -> not (is_true f)) fs with
+        | [ f ] -> f
+        | fs -> Filter.And fs)
+  | Filter.Or fs -> (
+      let fs = List.map (simp_filter inf) fs in
+      if List.exists is_true fs then Filter.And []
+      else
+        match List.filter (fun f -> not (is_false f)) fs with
+        | [ f ] -> f
+        | fs -> Filter.Or fs)
+  | Filter.Not f -> (
+      match simp_filter inf f with
+      | Filter.Or [] -> Filter.And []
+      | Filter.And [] -> Filter.Or []
+      | f -> Filter.Not f)
+
+let class_of_select = function
+  | Query.Select (Filter.Eq (a, v)) when Attr.equal a Attr.object_class ->
+      Oclass.of_string_opt v
+  | _ -> None
+
+(* χ is empty when the pair is forbidden by the schema (downward axes
+   directly, upward axes against the reversed forbidden edge). *)
+let chi_forbidden inf ax ci cj =
+  let forb a f b = Inference.is_forbidden inf (Element.Cls a) f (Element.Cls b) in
+  match ax with
+  | Query.Child -> forb ci SS.F_child cj
+  | Query.Descendant -> forb ci SS.F_descendant cj
+  | Query.Parent -> forb cj SS.F_child ci
+  | Query.Ancestor -> forb cj SS.F_descendant ci
+
+let rel_of_axis = function
+  | Query.Child -> SS.Child
+  | Query.Descendant -> SS.Descendant
+  | Query.Parent -> SS.Parent
+  | Query.Ancestor -> SS.Ancestor
+
+let rec simplify inf q =
+  match q with
+  | Query.Select f -> (
+      match simp_filter inf f with Filter.Or [] -> empty_query | f -> Query.Select f)
+  | Query.Minus (a, b) -> (
+      let a = simplify inf a and b = simplify inf b in
+      if is_empty_query a then empty_query
+      else if is_empty_query b then a
+      else if Query.equal a b then empty_query
+      else
+        (* the Figure-4 violation pattern: σ−(ci, χ_ax(ci, cj)) is empty
+           when the schema requires the relationship — legal instances
+           have no violators *)
+        match (class_of_select a, b) with
+        | Some ci, Query.Chi (ax, inner, target) -> (
+            match (class_of_select inner, class_of_select target) with
+            | Some ci', Some cj
+              when Oclass.equal ci ci'
+                   && Inference.is_derivable inf
+                        (Element.Req (Element.Cls ci, rel_of_axis ax, Element.Cls cj))
+              ->
+                empty_query
+            | _ -> Query.Minus (a, b))
+        | _ -> Query.Minus (a, b))
+  | Query.Union (a, b) ->
+      let a = simplify inf a and b = simplify inf b in
+      if is_empty_query a then b
+      else if is_empty_query b then a
+      else if Query.equal a b then a
+      else Query.Union (a, b)
+  | Query.Inter (a, b) ->
+      let a = simplify inf a and b = simplify inf b in
+      if is_empty_query a || is_empty_query b then empty_query
+      else if Query.equal a b then a
+      else Query.Inter (a, b)
+  | Query.Chi (ax, a, b) -> (
+      let a = simplify inf a and b = simplify inf b in
+      if is_empty_query a || is_empty_query b then empty_query
+      else
+        match (class_of_select a, class_of_select b) with
+        | Some ci, Some cj when chi_forbidden inf ax ci cj -> empty_query
+        | _ -> Query.Chi (ax, a, b))
+
+let saved ~before ~after = Query.size before - Query.size after

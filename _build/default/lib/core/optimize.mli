@@ -1,0 +1,37 @@
+(** Schema-aware query simplification (the paper's Section 7 outlook:
+    "query optimization is facilitated using schema").
+
+    Given the saturated inference state of a schema, queries can be
+    simplified {e statically} — the rewrites are guaranteed to preserve
+    results on every instance that is {b legal} w.r.t. the schema (on
+    illegal instances all bets are off, by design):
+
+    - an atomic selection on an undeclared or unsatisfiable class is
+      empty (legal instances only hold declared, satisfiable classes);
+    - [χ_ch(ci, cj)] is empty when [Forb(ci, FCh, cj)] is derivable
+      (likewise descendant, and the parent/ancestor axes against the
+      reversed forbidden edge);
+    - the Figure-4 violation pattern
+      [σ−(ci, χ_ax(ci, cj))] is empty when [Req(ci, ax, cj)] is derivable
+      — on legal instances a derivable requirement has no violators, so
+      the legality queries of the schema's own elements simplify to ∅;
+    - boolean algebra with the empty query: [q − ∅ = q], [∅ ∪ q = q],
+      [∅ ∩ q = ∅], [q − q = ∅], [χ(∅, q) = χ(q, ∅) = ∅], and filter-level
+      constant folding.
+
+    Property-tested: on random legal instances, [simplify] never changes
+    a query's result. *)
+
+open Bounds_query
+
+(** The canonical empty query, [select (|)]. *)
+val empty_query : Query.t
+
+val is_empty_query : Query.t -> bool
+
+(** [simplify inf q] — [inf] is the saturated inference state of the
+    schema the instances are legal against. *)
+val simplify : Inference.t -> Query.t -> Query.t
+
+(** Number of operator/filter nodes saved, for reporting. *)
+val saved : before:Query.t -> after:Query.t -> int

@@ -1,0 +1,115 @@
+open Bounds_model
+
+type attr_fill = { attr : Attr.t; required : bool; present : int }
+
+type class_profile = {
+  cls : Oclass.t;
+  count : int;
+  fills : attr_fill list;
+  aux_adoption : (Oclass.t * int) list;
+}
+
+type t = {
+  entries : int;
+  roots : int;
+  max_depth : int;
+  depth_histogram : int array;
+  max_fanout : int;
+  classes : class_profile list;
+  optional_fill_rate : float;
+}
+
+let compute (schema : Schema.t) inst =
+  let entries = Instance.size inst in
+  let depths = Hashtbl.create 16 in
+  let max_depth = ref 0 and max_fanout = ref 0 in
+  Instance.iter_preorder
+    (fun ~depth e ->
+      Hashtbl.replace depths depth (1 + Option.value ~default:0 (Hashtbl.find_opt depths depth));
+      if depth > !max_depth then max_depth := depth;
+      let fanout = List.length (Instance.children inst (Entry.id e)) in
+      if fanout > !max_fanout then max_fanout := fanout)
+    inst;
+  let depth_histogram =
+    Array.init (if entries = 0 then 0 else !max_depth + 1) (fun d ->
+        Option.value ~default:0 (Hashtbl.find_opt depths d))
+  in
+  let all_classes = Oclass.Set.elements (Schema.all_classes schema) in
+  let opt_slots = ref 0 and opt_filled = ref 0 in
+  let classes =
+    List.map
+      (fun cls ->
+        let members =
+          Instance.fold
+            (fun e acc -> if Entry.has_class e cls then e :: acc else acc)
+            inst []
+        in
+        let count = List.length members in
+        let req = Attribute_schema.required schema.attributes cls in
+        let fills =
+          Attr.Set.fold
+            (fun attr acc ->
+              let required = Attr.Set.mem attr req in
+              let present =
+                List.length (List.filter (fun e -> Entry.values e attr <> []) members)
+              in
+              if not required then begin
+                opt_slots := !opt_slots + count;
+                opt_filled := !opt_filled + present
+              end;
+              { attr; required; present } :: acc)
+            (Attribute_schema.allowed schema.attributes cls)
+            []
+          |> List.rev
+        in
+        let aux_adoption =
+          Oclass.Set.fold
+            (fun aux acc ->
+              let n = List.length (List.filter (fun e -> Entry.has_class e aux) members) in
+              (aux, n) :: acc)
+            (Class_schema.aux_of schema.classes cls)
+            []
+          |> List.rev
+        in
+        { cls; count; fills; aux_adoption })
+      all_classes
+  in
+  {
+    entries;
+    roots = List.length (Instance.roots inst);
+    max_depth = (if entries = 0 then 0 else !max_depth);
+    depth_histogram;
+    max_fanout = !max_fanout;
+    classes;
+    optional_fill_rate =
+      (if !opt_slots = 0 then 1.0
+       else float_of_int !opt_filled /. float_of_int !opt_slots);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%d entries, %d roots, depth %d, max fanout %d@." t.entries
+    t.roots t.max_depth t.max_fanout;
+  Format.fprintf ppf "depth histogram:";
+  Array.iteri (fun d n -> Format.fprintf ppf " %d:%d" d n) t.depth_histogram;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun cp ->
+      if cp.count > 0 then begin
+        Format.fprintf ppf "%a: %d entries@." Oclass.pp cp.cls cp.count;
+        List.iter
+          (fun f ->
+            Format.fprintf ppf "  %a%s: %d/%d (%.0f%%)@." Attr.pp f.attr
+              (if f.required then " (required)" else "")
+              f.present cp.count
+              (100. *. float_of_int f.present /. float_of_int (max 1 cp.count)))
+          cp.fills;
+        List.iter
+          (fun (aux, n) ->
+            Format.fprintf ppf "  +%a: %d/%d (%.0f%%)@." Oclass.pp aux n cp.count
+              (100. *. float_of_int n /. float_of_int (max 1 cp.count)))
+          cp.aux_adoption
+      end)
+    t.classes;
+  Format.fprintf ppf "optional-attribute fill rate: %.1f%% (heterogeneity %.1f%%)@."
+    (100. *. t.optional_fill_rate)
+    (100. *. (1. -. t.optional_fill_rate))

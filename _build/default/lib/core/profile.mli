@@ -1,0 +1,41 @@
+(** Schema-aware directory statistics.
+
+    The paper's introduction motivates bounding-schemas with the pervasive
+    {e heterogeneity} of directory entries: entities of one type differ in
+    which optional attributes and auxiliary classes they carry.  This
+    module measures that heterogeneity against a schema — per-class entry
+    counts, how often each allowed-but-optional attribute is actually
+    present, auxiliary-class adoption, and the shape of the forest. *)
+
+open Bounds_model
+
+type attr_fill = {
+  attr : Attr.t;
+  required : bool;
+  present : int;  (** entries of the class carrying at least one value *)
+}
+
+type class_profile = {
+  cls : Oclass.t;
+  count : int;
+  fills : attr_fill list;  (** one per allowed attribute of the class *)
+  aux_adoption : (Oclass.t * int) list;
+      (** for core classes: how many of their entries also carry each
+          permitted auxiliary class *)
+}
+
+type t = {
+  entries : int;
+  roots : int;
+  max_depth : int;
+  depth_histogram : int array;  (** index = depth (0 = roots) *)
+  max_fanout : int;
+  classes : class_profile list;  (** schema classes, by name *)
+  optional_fill_rate : float;
+      (** fraction of (entry, optional allowed attribute) slots filled —
+          1.0 means fully homogeneous entries, low values are the
+          heterogeneity LDAP is designed for *)
+}
+
+val compute : Schema.t -> Instance.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,246 @@
+open Bounds_model
+module SS = Structure_schema
+
+type action =
+  | Added_value of { entry : Entry.id; attr : Attr.t; value : Value.t }
+  | Removed_attribute of { entry : Entry.id; attr : Attr.t }
+  | Dropped_ill_typed of { entry : Entry.id; attr : Attr.t }
+  | Kept_first_value of { entry : Entry.id; attr : Attr.t }
+  | Rekeyed of { entry : Entry.id; attr : Attr.t; value : Value.t }
+  | Closed_classes of { entry : Entry.id; classes : Oclass.Set.t }
+  | Grafted of { parent : Entry.id option; size : int; for_class : Oclass.t }
+  | Deleted_subtree of { root : Entry.id }
+
+let pp_action ppf = function
+  | Added_value { entry; attr; value } ->
+      Format.fprintf ppf "entry %d: added %a: %a" entry Attr.pp attr Value.pp value
+  | Removed_attribute { entry; attr } ->
+      Format.fprintf ppf "entry %d: removed attribute %a" entry Attr.pp attr
+  | Dropped_ill_typed { entry; attr } ->
+      Format.fprintf ppf "entry %d: dropped ill-typed values of %a" entry Attr.pp attr
+  | Kept_first_value { entry; attr } ->
+      Format.fprintf ppf "entry %d: kept only the first value of %a" entry Attr.pp attr
+  | Rekeyed { entry; attr; value } ->
+      Format.fprintf ppf "entry %d: re-keyed %a to %a" entry Attr.pp attr Value.pp value
+  | Closed_classes { entry; classes } ->
+      Format.fprintf ppf "entry %d: class set normalized to %a" entry Oclass.pp_set
+        classes
+  | Grafted { parent; size; for_class } ->
+      Format.fprintf ppf "grafted a %d-entry subtree for class %a %s" size Oclass.pp
+        for_class
+        (match parent with
+        | None -> "at the top level"
+        | Some p -> Printf.sprintf "under entry %d" p)
+  | Deleted_subtree { root } ->
+      Format.fprintf ppf "deleted the subtree rooted at entry %d" root
+
+type outcome = {
+  instance : Instance.t;
+  actions : action list;
+  remaining : Violation.t list;
+}
+
+type state = {
+  schema : Schema.t;
+  inf : Inference.t Lazy.t;
+  mutable inst : Instance.t;
+  mutable actions : action list;
+  mutable changed : bool;
+  mutable key_seq : int;
+}
+
+let act st a =
+  st.actions <- a :: st.actions;
+  st.changed <- true
+
+let update st id f =
+  match Instance.update_entry id f st.inst with
+  | Ok inst -> st.inst <- inst
+  | Error _ -> ()
+
+let placeholder st attr =
+  let unique = Attr.Set.mem attr st.schema.Schema.keys in
+  let ty = Typing.find st.schema.Schema.typing attr in
+  if unique then begin
+    st.key_seq <- st.key_seq + 1;
+    match ty with
+    | Atype.T_int -> Some (Value.Int (1_000_000 + st.key_seq))
+    | Atype.T_string -> Some (Value.String (Printf.sprintf "repair%d" st.key_seq))
+    | Atype.T_dn -> Some (Value.Dn (Printf.sprintf "id=repair%d" st.key_seq))
+    | Atype.T_telephone -> Some (Value.String (string_of_int (2_000_000 + st.key_seq)))
+    | Atype.T_bool -> None (* a boolean key cannot be made unique at scale *)
+  end
+  else
+    Some
+      (match ty with
+      | Atype.T_int -> Value.Int 0
+      | Atype.T_string -> Value.String "unknown"
+      | Atype.T_dn -> Value.Dn "id=0"
+      | Atype.T_bool -> Value.Bool true
+      | Atype.T_telephone -> Value.String "0")
+
+(* normalize a class set: declared classes only, auxiliaries that some
+   core class of the set allows, cores closed upward; [keep_deepest_only]
+   additionally resolves incomparable cores in favour of the deepest. *)
+let normalized_classes st ~keep_deepest_only e =
+  let cs = st.schema.Schema.classes in
+  let declared =
+    Oclass.Set.filter (fun c -> Class_schema.mem cs c) (Entry.classes e)
+  in
+  let cores = Oclass.Set.filter (Class_schema.is_core cs) declared in
+  let cores =
+    if Oclass.Set.is_empty cores then Oclass.Set.singleton Oclass.top else cores
+  in
+  let cores =
+    if keep_deepest_only then
+      let deepest =
+        Oclass.Set.fold
+          (fun c best ->
+            if Class_schema.depth_of cs c > Class_schema.depth_of cs best then c
+            else best)
+          cores Oclass.top
+      in
+      Class_schema.up_closure cs deepest
+    else
+      Oclass.Set.fold
+        (fun c acc -> Oclass.Set.union acc (Class_schema.up_closure cs c))
+        cores Oclass.Set.empty
+  in
+  let auxes =
+    Oclass.Set.filter
+      (fun c ->
+        Class_schema.is_aux cs c
+        && Oclass.Set.exists
+             (fun core -> Oclass.Set.mem c (Class_schema.aux_of cs core))
+             cores)
+      declared
+  in
+  Oclass.Set.union cores auxes
+
+let close_classes st ~keep_deepest_only id =
+  match Instance.find st.inst id with
+  | None -> ()
+  | Some e ->
+      let classes = normalized_classes st ~keep_deepest_only e in
+      if not (Oclass.Set.equal classes (Entry.classes e)) then begin
+        update st id (Entry.with_classes classes);
+        act st (Closed_classes { entry = id; classes })
+      end
+
+let graft st ~parent ~for_class sub =
+  match Instance.graft ~parent sub st.inst with
+  | Ok inst ->
+      st.inst <- inst;
+      act st (Grafted { parent; size = Instance.size sub; for_class })
+  | Error _ -> ()
+
+let delete st root =
+  if Instance.mem st.inst root then
+    match Instance.remove_subtree root st.inst with
+    | Ok inst ->
+        st.inst <- inst;
+        act st (Deleted_subtree { root })
+    | Error _ -> ()
+
+let handle st ~destructive violation =
+  let alive id = Instance.mem st.inst id in
+  match violation with
+  | Violation.Missing_required_attr { entry; attr; _ } when alive entry -> (
+      match placeholder st attr with
+      | Some value
+        when (Instance.find st.inst entry
+             |> Option.fold ~none:false ~some:(fun e -> Entry.values e attr = []))
+        ->
+          update st entry (Entry.add_value attr value);
+          act st (Added_value { entry; attr; value })
+      | Some _ | None -> ())
+  | Violation.Attr_not_allowed { entry; attr } when alive entry ->
+      update st entry (Entry.remove_attr attr);
+      act st (Removed_attribute { entry; attr })
+  | Violation.Type_violation { entry; attr; expected } when alive entry ->
+      update st entry (fun e ->
+          List.fold_left
+            (fun e v ->
+              if Value.has_type expected v then e else Entry.remove_value attr v e)
+            e (Entry.values e attr));
+      act st (Dropped_ill_typed { entry; attr })
+  | Violation.Multiple_values { entry; attr; _ } when alive entry ->
+      update st entry (fun e ->
+          match Entry.values e attr with
+          | [] | [ _ ] -> e
+          | _ :: extra -> List.fold_left (fun e v -> Entry.remove_value attr v e) e extra);
+      act st (Kept_first_value { entry; attr })
+  | Violation.Duplicate_key { attr; value; entries } ->
+      List.iteri
+        (fun i entry ->
+          if i > 0 && alive entry then
+            match placeholder st attr with
+            | Some fresh ->
+                update st entry (fun e ->
+                    Entry.add_value attr fresh (Entry.remove_value attr value e));
+                act st (Rekeyed { entry; attr; value = fresh })
+            | None -> ())
+        entries
+  | Violation.Unknown_class { entry; _ }
+  | Violation.No_core_class { entry }
+  | Violation.Missing_superclass { entry; _ }
+  | Violation.Aux_not_allowed { entry; aux = _ } ->
+      if alive entry then close_classes st ~keep_deepest_only:false entry
+  | Violation.Incomparable_classes { entry; _ } ->
+      if destructive && alive entry then
+        close_classes st ~keep_deepest_only:true entry
+  | Violation.Missing_required_class { cls } -> (
+      match
+        Witness.seed_forest (Lazy.force st.inf)
+          ~first_id:(Instance.fresh_id st.inst) cls
+      with
+      | Ok sub -> graft st ~parent:None ~for_class:cls sub
+      | Error _ -> ())
+  | Violation.Unsatisfied_rel { entry; rel = (_, (SS.Child | SS.Descendant), cj) }
+    when alive entry -> (
+      let attach_classes = Entry.classes (Instance.entry st.inst entry) in
+      let above =
+        List.fold_left
+          (fun acc a -> Oclass.Set.union acc (Entry.classes (Instance.entry st.inst a)))
+          attach_classes
+          (Instance.ancestors st.inst entry)
+      in
+      match
+        Witness.tree_for_attach (Lazy.force st.inf)
+          ~first_id:(Instance.fresh_id st.inst) ~above ~attach_classes cj
+      with
+      | Ok sub -> graft st ~parent:(Some entry) ~for_class:cj sub
+      | Error _ -> ())
+  | Violation.Unsatisfied_rel { entry; rel = (_, (SS.Parent | SS.Ancestor), _) } ->
+      (* cannot conjure a parent in place; removing the violator is the
+         only repair, and it is destructive *)
+      if destructive then delete st entry
+  | Violation.Forbidden_rel { target; _ } -> if destructive then delete st target
+  | Violation.Missing_required_attr _ | Violation.Attr_not_allowed _
+  | Violation.Type_violation _ | Violation.Multiple_values _
+  | Violation.Unsatisfied_rel _ ->
+      (* the entry vanished under an earlier repair this round *)
+      ()
+
+let fix ?(destructive = false) ?(max_rounds = 12) schema inst =
+  let st =
+    {
+      schema;
+      inf = lazy (Inference.saturate schema);
+      inst;
+      actions = [];
+      changed = true;
+      key_seq = 0;
+    }
+  in
+  let rounds = ref 0 in
+  while st.changed && !rounds < max_rounds do
+    incr rounds;
+    st.changed <- false;
+    List.iter (handle st ~destructive) (Legality.check schema st.inst)
+  done;
+  {
+    instance = st.inst;
+    actions = List.rev st.actions;
+    remaining = Legality.check schema st.inst;
+  }

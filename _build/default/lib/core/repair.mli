@@ -1,0 +1,50 @@
+(** Violation repair: turn an illegal directory instance into a legal one
+    with targeted edits.
+
+    For each violation class there is a canonical repair:
+
+    - content: missing required attributes get typed placeholder values
+      (unique ones for key attributes); attributes no class allows are
+      removed; class sets are closed upward, stripped of undeclared or
+      disallowed auxiliary classes, and given [top] when coreless;
+      single-valued attributes keep their first value; duplicate key
+      values are re-keyed on all but the first holder;
+    - structure: a missing required class is materialized as a fresh
+      witness forest ({!Witness.seed_forest}); an unsatisfied required
+      child/descendant grows a minimal subtree under the violating entry
+      ({!Witness.tree_for_attach});
+    - destructive repairs — deleting the offending subtree — are the only
+      option for forbidden relationships, unsatisfied parent/ancestor
+      requirements, and incomparable core classes, and run only with
+      [~destructive:true].
+
+    [fix] iterates repair → recheck to a fixpoint, because repairs can
+    cascade (a grafted subtree brings required attributes of its own).
+    It is conservative by construction: it never invents semantics, only
+    placeholders, and reports what it changed. *)
+
+open Bounds_model
+
+type action =
+  | Added_value of { entry : Entry.id; attr : Attr.t; value : Value.t }
+  | Removed_attribute of { entry : Entry.id; attr : Attr.t }
+  | Dropped_ill_typed of { entry : Entry.id; attr : Attr.t }
+      (** values outside the attribute's declared type were removed *)
+  | Kept_first_value of { entry : Entry.id; attr : Attr.t }
+  | Rekeyed of { entry : Entry.id; attr : Attr.t; value : Value.t }
+  | Closed_classes of { entry : Entry.id; classes : Oclass.Set.t }
+  | Grafted of { parent : Entry.id option; size : int; for_class : Oclass.t }
+  | Deleted_subtree of { root : Entry.id }
+
+val pp_action : Format.formatter -> action -> unit
+
+type outcome = {
+  instance : Instance.t;
+  actions : action list;  (** in application order *)
+  remaining : Violation.t list;  (** empty iff fully repaired *)
+}
+
+(** [fix schema inst] — [destructive] defaults to [false].  The schema
+    must be consistent for structural grafts to be constructible; on
+    inconsistent schemas only content repairs apply. *)
+val fix : ?destructive:bool -> ?max_rounds:int -> Schema.t -> Instance.t -> outcome

@@ -1,0 +1,81 @@
+open Bounds_model
+
+type t = {
+  typing : Typing.t;
+  attributes : Attribute_schema.t;
+  classes : Class_schema.t;
+  structure : Structure_schema.t;
+  single_valued : Attr.Set.t;
+  keys : Attr.Set.t;
+}
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  Oclass.Set.iter
+    (fun c ->
+      if not (Class_schema.mem t.classes c) then
+        err "attribute schema mentions undeclared class %s" (Oclass.to_string c))
+    (Attribute_schema.classes t.attributes);
+  Oclass.Set.iter
+    (fun c ->
+      if not (Class_schema.is_core t.classes c) then
+        err "structure schema mentions non-core class %s" (Oclass.to_string c))
+    (Structure_schema.classes t.structure);
+  let declared = Attribute_schema.attributes t.attributes in
+  Attr.Set.iter
+    (fun a ->
+      if not (Attr.Set.mem a declared) then
+        err "single-valued attribute %s is not used by any class" (Attr.to_string a))
+    t.single_valued;
+  Attr.Set.iter
+    (fun a ->
+      if not (Attr.Set.mem a declared) then
+        err "key attribute %s is not used by any class" (Attr.to_string a))
+    t.keys;
+  List.rev !errs
+
+let make ?(typing = Typing.default) ?(attributes = Attribute_schema.empty)
+    ?(classes = Class_schema.empty) ?(structure = Structure_schema.empty)
+    ?(single_valued = []) ?(keys = []) () =
+  let keys = Attr.Set.of_list keys in
+  (* keys are single-valued by definition *)
+  let single_valued = Attr.Set.union (Attr.Set.of_list single_valued) keys in
+  let t = { typing; attributes; classes; structure; single_valued; keys } in
+  match validate t with [] -> Ok t | errs -> Error errs
+
+let make_exn ?typing ?attributes ?classes ?structure ?single_valued ?keys () =
+  match make ?typing ?attributes ?classes ?structure ?single_valued ?keys () with
+  | Ok t -> t
+  | Error errs -> invalid_arg (String.concat "; " errs)
+
+let empty = make_exn ()
+
+let all_classes t =
+  Oclass.Set.union
+    (Class_schema.core_classes t.classes)
+    (Class_schema.aux_classes t.classes)
+
+let size t =
+  Oclass.Set.cardinal (all_classes t)
+  + Attribute_schema.total_allowed t.attributes
+  + Structure_schema.size t.structure
+
+let equal t1 t2 =
+  Attribute_schema.equal t1.attributes t2.attributes
+  && Class_schema.equal t1.classes t2.classes
+  && Structure_schema.equal t1.structure t2.structure
+  && Attr.Set.equal t1.single_valued t2.single_valued
+  && Attr.Set.equal t1.keys t2.keys
+
+let pp ppf t =
+  Format.fprintf ppf "== typing ==@.%a@." Typing.pp t.typing;
+  Format.fprintf ppf "== class schema ==@.%a" Class_schema.pp t.classes;
+  Format.fprintf ppf "== attribute schema ==@.%a" Attribute_schema.pp t.attributes;
+  Format.fprintf ppf "== structure schema ==@.%a" Structure_schema.pp t.structure;
+  if not (Attr.Set.is_empty t.single_valued) then
+    Format.fprintf ppf "single-valued: %s@."
+      (String.concat ", " (List.map Attr.to_string (Attr.Set.elements t.single_valued)));
+  if not (Attr.Set.is_empty t.keys) then
+    Format.fprintf ppf "keys: %s@."
+      (String.concat ", " (List.map Attr.to_string (Attr.Set.elements t.keys)))

@@ -1,0 +1,55 @@
+(** Directory schemas (Definition 2.5): attribute schema + class schema +
+    structure schema, together with the attribute typing and the two
+    orthogonal Section 6.1 extensions (single-valued attributes and
+    directory-wide keys).
+
+    [make] validates cross-component well-formedness:
+    - every class in the attribute schema is declared in the class schema;
+    - every class in the structure schema is a {e core} class;
+    - single-valued / key attributes appear in the attribute schema
+      (keys are additionally single-valued by definition). *)
+
+open Bounds_model
+
+type t = private {
+  typing : Typing.t;
+  attributes : Attribute_schema.t;
+  classes : Class_schema.t;
+  structure : Structure_schema.t;
+  single_valued : Attr.Set.t;
+  keys : Attr.Set.t;
+}
+
+val make :
+  ?typing:Typing.t ->
+  ?attributes:Attribute_schema.t ->
+  ?classes:Class_schema.t ->
+  ?structure:Structure_schema.t ->
+  ?single_valued:Attr.t list ->
+  ?keys:Attr.t list ->
+  unit ->
+  (t, string list) result
+
+val make_exn :
+  ?typing:Typing.t ->
+  ?attributes:Attribute_schema.t ->
+  ?classes:Class_schema.t ->
+  ?structure:Structure_schema.t ->
+  ?single_valued:Attr.t list ->
+  ?keys:Attr.t list ->
+  unit ->
+  t
+
+(** The schema with empty components — everything is allowed by the class
+    and structure schemas, nothing by the attribute schema. *)
+val empty : t
+
+(** All object classes declared (core + auxiliary). *)
+val all_classes : t -> Oclass.Set.t
+
+(** Size of the schema: classes + attribute declarations + structure
+    elements.  The measure of Theorem 5.2's polynomial bound. *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,285 @@
+open Bounds_model
+
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+exception Err of error
+
+let err line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+(* --- tokens ----------------------------------------------------------- *)
+
+type token =
+  | Word of string
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Comma
+  | Semi
+
+let pp_token = function
+  | Word w -> Printf.sprintf "%S" w
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Colon -> "':'"
+  | Comma -> "','"
+  | Semi -> "';'"
+
+let word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+  | _ -> false
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '#' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '{' ->
+        toks := (Lbrace, !line) :: !toks;
+        incr i
+    | '}' ->
+        toks := (Rbrace, !line) :: !toks;
+        incr i
+    | ':' ->
+        toks := (Colon, !line) :: !toks;
+        incr i
+    | ',' ->
+        toks := (Comma, !line) :: !toks;
+        incr i
+    | ';' ->
+        toks := (Semi, !line) :: !toks;
+        incr i
+    | c when word_char c ->
+        let start = !i in
+        while !i < n && word_char src.[!i] do
+          incr i
+        done;
+        toks := (Word (String.sub src start (!i - start)), !line) :: !toks
+    | c -> err !line "unexpected character %C" c);
+  done;
+  List.rev !toks
+
+(* --- parsing ----------------------------------------------------------- *)
+
+type state = { mutable toks : (token * int) list; mutable last_line : int }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> err st.last_line "unexpected end of input"
+  | (t, l) :: rest ->
+      st.toks <- rest;
+      st.last_line <- l;
+      (t, l)
+
+let expect st want pp_want =
+  let t, l = next st in
+  if t <> want then err l "expected %s, found %s" pp_want (pp_token t)
+
+let word st =
+  match next st with
+  | Word w, _ -> w
+  | t, l -> err l "expected a name, found %s" (pp_token t)
+
+let skip_separators st =
+  let rec go () =
+    match peek st with
+    | Some Semi ->
+        ignore (next st);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let attr_of st line w =
+  match Attr.of_string_opt w with
+  | Some a -> a
+  | None -> err line "invalid attribute name %S" w
+  [@@warning "-27"]
+
+let class_of st line w =
+  ignore st;
+  match Oclass.of_string_opt w with
+  | Some c -> c
+  | None -> err line "invalid class name %S" w
+
+(* a, b, c  — at least one *)
+let name_list st =
+  let rec go acc =
+    let w = word st in
+    let acc = w :: acc in
+    match peek st with
+    | Some Comma ->
+        ignore (next st);
+        go acc
+    | _ -> List.rev acc
+  in
+  go []
+
+type class_body = {
+  required : string list;
+  allowed : string list;
+  aux : string list;
+}
+
+let empty_body = { required = []; allowed = []; aux = [] }
+
+let parse_body st =
+  let rec go body =
+    skip_separators st;
+    match peek st with
+    | Some Rbrace ->
+        ignore (next st);
+        body
+    | Some (Word w) -> (
+        let _, l = next st in
+        expect st Colon "':'";
+        let names = name_list st in
+        match String.lowercase_ascii w with
+        | "required" -> go { body with required = body.required @ names }
+        | "allowed" -> go { body with allowed = body.allowed @ names }
+        | "aux" -> go { body with aux = body.aux @ names }
+        | _ -> err l "expected required/allowed/aux, found %S" w)
+    | Some t -> err st.last_line "unexpected %s in class body" (pp_token t)
+    | None -> err st.last_line "unterminated class body"
+  in
+  go empty_body
+
+type acc = {
+  mutable typing : Typing.t;
+  mutable attrs : Attribute_schema.t;
+  mutable classes : Class_schema.t;
+  mutable structure : Structure_schema.t;
+  mutable single_valued : Attr.t list;
+  mutable keys : Attr.t list;
+  mutable pending_aux : (int * Oclass.t * string list) list;
+      (* aux links resolved after all declarations *)
+}
+
+let handle_result line = function Ok v -> v | Error m -> err line "%s" m
+
+let parse_statement st acc =
+  let t, line = next st in
+  match t with
+  | Word w -> (
+      match String.lowercase_ascii w with
+      | "attribute" ->
+          let name = word st in
+          expect st Colon "':'";
+          let ty_word = word st in
+          let a = attr_of st line name in
+          let ty = handle_result line (Atype.of_string ty_word) in
+          acc.typing <- handle_result line (Typing.declare a ty acc.typing)
+      | "class" | "auxiliary" ->
+          let is_aux = String.lowercase_ascii w = "auxiliary" in
+          let name = class_of st line (word st) in
+          let parent =
+            match peek st with
+            | Some (Word kw) when String.lowercase_ascii kw = "extends" ->
+                ignore (next st);
+                Some (class_of st line (word st))
+            | _ -> None
+          in
+          (if is_aux then begin
+             if parent <> None then err line "auxiliary classes have no superclass";
+             if not (Oclass.equal name Oclass.top) then
+               acc.classes <- handle_result line (Class_schema.add_aux name acc.classes)
+           end
+           else if not (Oclass.equal name Oclass.top) then
+             acc.classes <-
+               handle_result line
+                 (Class_schema.add_core name
+                    ~parent:(Option.value ~default:Oclass.top parent)
+                    acc.classes));
+          let body =
+            match peek st with
+            | Some Lbrace ->
+                ignore (next st);
+                parse_body st
+            | _ -> empty_body
+          in
+          if body.required <> [] || body.allowed <> [] then
+            acc.attrs <-
+              handle_result line
+                (Attribute_schema.add_class name
+                   ~required:(List.map (attr_of st line) body.required)
+                   ~allowed:(List.map (attr_of st line) body.allowed)
+                   acc.attrs);
+          if body.aux <> [] then begin
+            if is_aux then err line "auxiliary classes cannot list aux classes";
+            acc.pending_aux <- (line, name, body.aux) :: acc.pending_aux
+          end
+      | "require" -> (
+          let first = word st in
+          match String.lowercase_ascii first with
+          | "exists" ->
+              let c = class_of st line (word st) in
+              acc.structure <- Structure_schema.require_class c acc.structure
+          | _ ->
+              let ci = class_of st line first in
+              let rel = handle_result line (Structure_schema.rel_of_string (word st)) in
+              let cj = class_of st line (word st) in
+              acc.structure <- Structure_schema.require ci rel cj acc.structure)
+      | "forbid" ->
+          let ci = class_of st line (word st) in
+          let f = handle_result line (Structure_schema.forb_of_string (word st)) in
+          let cj = class_of st line (word st) in
+          acc.structure <- Structure_schema.forbid ci f cj acc.structure
+      | "single-valued" ->
+          acc.single_valued <-
+            acc.single_valued @ List.map (attr_of st line) (name_list st)
+      | "key" -> acc.keys <- acc.keys @ List.map (attr_of st line) (name_list st)
+      | _ -> err line "unknown statement %S" w)
+  | t -> err line "expected a statement, found %s" (pp_token t)
+
+let parse src =
+  try
+    let st = { toks = tokenize src; last_line = 1 } in
+    let acc =
+      {
+        typing = Typing.default;
+        attrs = Attribute_schema.empty;
+        classes = Class_schema.empty;
+        structure = Structure_schema.empty;
+        single_valued = [];
+        keys = [];
+        pending_aux = [];
+      }
+    in
+    skip_separators st;
+    while peek st <> None do
+      parse_statement st acc;
+      skip_separators st
+    done;
+    List.iter
+      (fun (line, core, auxs) ->
+        List.iter
+          (fun aux ->
+            let aux = class_of st line aux in
+            acc.classes <- handle_result line (Class_schema.allow_aux ~core aux acc.classes))
+          auxs)
+      (List.rev acc.pending_aux);
+    match
+      Schema.make ~typing:acc.typing ~attributes:acc.attrs ~classes:acc.classes
+        ~structure:acc.structure
+        ~single_valued:acc.single_valued ~keys:acc.keys ()
+    with
+    | Ok schema -> Ok schema
+    | Error msgs -> Error { line = 0; message = String.concat "; " msgs }
+  with Err e -> Error e
+
+let parse_exn src =
+  match parse src with Ok s -> s | Error e -> failwith (error_to_string e)

@@ -1,0 +1,36 @@
+(** Parser for the bounding-schema specification language.
+
+    {v
+    # comment until end of line
+
+    attribute <name> : <type>          type: string|int|bool|dn|telephone
+
+    class <name> [extends <parent>] [{ <decls> }]
+    auxiliary <name> [{ <decls> }]
+      decls:  required: a1, a2 ;
+              allowed:  a3, a4 ;
+              aux:      x1, x2 ;       # core classes only
+
+    require exists <class>
+    require <class> child <class>      # every LHS entry has such a child
+    require <class> descendant <class>
+    require <class> parent <class>
+    require <class> ancestor <class>
+    forbid  <class> child <class>
+    forbid  <class> descendant <class>
+
+    single-valued a1, a2
+    key a1, a2
+    v}
+
+    [class x] with no [extends] means [extends top].  Parent classes must
+    be declared before their children.  Semicolons and newlines are
+    interchangeable separators. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse : string -> (Schema.t, error) result
+val parse_exn : string -> Schema.t

@@ -1,0 +1,65 @@
+open Bounds_model
+
+let to_string (s : Schema.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let names attrs = String.concat ", " (List.map Attr.to_string (Attr.Set.elements attrs)) in
+  List.iter
+    (fun (a, ty) ->
+      if not (Attr.equal a Attr.object_class) then
+        pf "attribute %s : %s\n" (Attr.to_string a) (Atype.to_string ty))
+    (Typing.declarations s.typing);
+  let class_body c ~with_aux =
+    let req = Attribute_schema.required s.attributes c in
+    let alw = Attr.Set.diff (Attribute_schema.allowed s.attributes c) req in
+    let aux = if with_aux then Class_schema.aux_of s.classes c else Oclass.Set.empty in
+    let parts =
+      (if Attr.Set.is_empty req then [] else [ Printf.sprintf "required: %s" (names req) ])
+      @ (if Attr.Set.is_empty alw then [] else [ Printf.sprintf "allowed: %s" (names alw) ])
+      @
+      if Oclass.Set.is_empty aux then []
+      else
+        [
+          Printf.sprintf "aux: %s"
+            (String.concat ", " (List.map Oclass.to_string (Oclass.Set.elements aux)));
+        ]
+    in
+    match parts with
+    | [] -> ""
+    | parts -> Printf.sprintf " { %s }" (String.concat "; " parts)
+  in
+  (* core classes in parent-before-child (preorder) order *)
+  let rec emit_core c =
+    if not (Oclass.equal c Oclass.top) then
+      pf "class %s extends %s%s\n" (Oclass.to_string c)
+        (Oclass.to_string (Option.get (Class_schema.parent s.classes c)))
+        (class_body c ~with_aux:true)
+    else begin
+      let body = class_body c ~with_aux:true in
+      if body <> "" then pf "class top%s\n" body
+    end;
+    List.iter emit_core (Class_schema.children s.classes c)
+  in
+  emit_core Oclass.top;
+  Oclass.Set.iter
+    (fun c -> pf "auxiliary %s%s\n" (Oclass.to_string c) (class_body c ~with_aux:false))
+    (Class_schema.aux_classes s.classes);
+  Oclass.Set.iter
+    (fun c -> pf "require exists %s\n" (Oclass.to_string c))
+    (Structure_schema.required_classes s.structure);
+  List.iter
+    (fun (ci, r, cj) ->
+      pf "require %s %s %s\n" (Oclass.to_string ci)
+        (Structure_schema.rel_to_string r) (Oclass.to_string cj))
+    (Structure_schema.required_rels s.structure);
+  List.iter
+    (fun (ci, f, cj) ->
+      pf "forbid %s %s %s\n" (Oclass.to_string ci)
+        (Structure_schema.forb_to_string f) (Oclass.to_string cj))
+    (Structure_schema.forbidden_rels s.structure);
+  let sv = Attr.Set.diff s.single_valued s.keys in
+  if not (Attr.Set.is_empty sv) then pf "single-valued %s\n" (names sv);
+  if not (Attr.Set.is_empty s.keys) then pf "key %s\n" (names s.keys);
+  Buffer.contents buf
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,8 @@
+(** Canonical rendering of a schema in the spec language.
+
+    [Spec_parser.parse (to_string s)] reconstructs a schema equal to [s]
+    (round-trip property-tested). *)
+
+val to_string : Schema.t -> string
+
+val pp : Format.formatter -> Schema.t -> unit

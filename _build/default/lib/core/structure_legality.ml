@@ -1,0 +1,47 @@
+open Bounds_model
+open Bounds_query
+
+(* All offending children / descendants of [src], for the witness pairs in
+   Forbidden_rel reports (one report per offending pair, matching the
+   naive pairwise checker). *)
+let find_targets inst f cj src =
+  let has_class id = Entry.has_class (Instance.entry inst id) cj in
+  match f with
+  | Structure_schema.F_child -> List.filter has_class (Instance.children inst src)
+  | Structure_schema.F_descendant ->
+      List.filter has_class (Instance.descendants inst src)
+
+let check ?index ?vindex (schema : Schema.t) inst =
+  let ix = match index with Some ix -> ix | None -> Index.create inst in
+  let eval q = Eval.eval ?vindex ix q in
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  List.iter
+    (fun (oblig, q, expect) ->
+      let result = eval q in
+      match (expect, oblig) with
+      | Translate.Must_be_nonempty, Translate.Oblig_class c ->
+          if Bitset.is_empty result then
+            add (Violation.Missing_required_class { cls = c })
+      | Translate.Must_be_empty, Translate.Oblig_required rel ->
+          List.iter
+            (fun id -> add (Violation.Unsatisfied_rel { entry = id; rel }))
+            (Index.ids_of ix result)
+      | Translate.Must_be_empty, Translate.Oblig_forbidden ((_, f, cj) as rel) ->
+          List.iter
+            (fun src ->
+              match find_targets inst f cj src with
+              | [] -> assert false (* query said so *)
+              | targets ->
+                  List.iter
+                    (fun target ->
+                      add (Violation.Forbidden_rel { source = src; target; rel }))
+                    targets)
+            (Index.ids_of ix result)
+      | Translate.Must_be_nonempty, (Translate.Oblig_required _ | Translate.Oblig_forbidden _)
+      | Translate.Must_be_empty, Translate.Oblig_class _ ->
+          assert false (* Translate.all pairs expectations correctly *))
+    (Translate.all schema.structure);
+  List.rev !viols
+
+let is_legal ?index ?vindex schema inst = check ?index ?vindex schema inst = []

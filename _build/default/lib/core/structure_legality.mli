@@ -1,0 +1,19 @@
+(** Structure-schema legality (Section 3.2).
+
+    Legality is decided by evaluating the Figure-4 queries of every
+    structure-schema element against the instance: required-relationship
+    and forbidden-relationship queries must come back empty,
+    required-class queries non-empty.  Each query evaluates in
+    O(|Q|·|D|) via {!Bounds_query.Eval}, giving the overall
+    O(|S|·|D|)-flavoured bound of Theorem 3.1. *)
+
+open Bounds_model
+open Bounds_query
+
+(** [check schema inst] returns all structure violations, with witness
+    entries extracted from the query results.  [index]/[vindex] may be
+    supplied to reuse work across calls on the same instance version. *)
+val check :
+  ?index:Index.t -> ?vindex:Vindex.t -> Schema.t -> Instance.t -> Violation.t list
+
+val is_legal : ?index:Index.t -> ?vindex:Vindex.t -> Schema.t -> Instance.t -> bool

@@ -1,0 +1,102 @@
+open Bounds_model
+
+type rel = Child | Descendant | Parent | Ancestor
+type forb = F_child | F_descendant
+
+let rel_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+
+let rel_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "child" -> Ok Child
+  | "descendant" -> Ok Descendant
+  | "parent" -> Ok Parent
+  | "ancestor" -> Ok Ancestor
+  | other ->
+      Error
+        (Printf.sprintf "unknown relationship %S (child/descendant/parent/ancestor)" other)
+
+let forb_to_string = function F_child -> "child" | F_descendant -> "descendant"
+
+let forb_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "child" -> Ok F_child
+  | "descendant" -> Ok F_descendant
+  | other ->
+      Error (Printf.sprintf "unknown forbidden relationship %S (child/descendant)" other)
+
+type required = Oclass.t * rel * Oclass.t
+type forbidden = Oclass.t * forb * Oclass.t
+
+let pp_required ppf (ci, r, cj) =
+  let arrow =
+    match r with
+    | Child -> "->"
+    | Descendant -> "->>"
+    | Parent -> "<-parent-"
+    | Ancestor -> "<<-ancestor-"
+  in
+  Format.fprintf ppf "%a %s %a" Oclass.pp ci arrow Oclass.pp cj
+
+let pp_forbidden ppf (ci, f, cj) =
+  let arrow = match f with F_child -> "-/->" | F_descendant -> "-/->>" in
+  Format.fprintf ppf "%a %s %a" Oclass.pp ci arrow Oclass.pp cj
+
+module Req = Set.Make (struct
+  type t = required
+
+  let compare (a1, r1, b1) (a2, r2, b2) =
+    match Oclass.compare a1 a2 with
+    | 0 -> ( match Stdlib.compare r1 r2 with 0 -> Oclass.compare b1 b2 | c -> c)
+    | c -> c
+end)
+
+module Forb = Set.Make (struct
+  type t = forbidden
+
+  let compare (a1, r1, b1) (a2, r2, b2) =
+    match Oclass.compare a1 a2 with
+    | 0 -> ( match Stdlib.compare r1 r2 with 0 -> Oclass.compare b1 b2 | c -> c)
+    | c -> c
+end)
+
+type t = { cr : Oclass.Set.t; er : Req.t; ef : Forb.t }
+
+let empty = { cr = Oclass.Set.empty; er = Req.empty; ef = Forb.empty }
+let require_class c t = { t with cr = Oclass.Set.add c t.cr }
+let require ci r cj t = { t with er = Req.add (ci, r, cj) t.er }
+let forbid ci f cj t = { t with ef = Forb.add (ci, f, cj) t.ef }
+let required_classes t = t.cr
+let required_rels t = Req.elements t.er
+let forbidden_rels t = Forb.elements t.ef
+let mem_required_class t c = Oclass.Set.mem c t.cr
+let mem_required t r = Req.mem r t.er
+let mem_forbidden t f = Forb.mem f t.ef
+
+let classes t =
+  let s = t.cr in
+  let s = Req.fold (fun (a, _, b) s -> Oclass.Set.add a (Oclass.Set.add b s)) t.er s in
+  Forb.fold (fun (a, _, b) s -> Oclass.Set.add a (Oclass.Set.add b s)) t.ef s
+
+let size t = Oclass.Set.cardinal t.cr + Req.cardinal t.er + Forb.cardinal t.ef
+
+let equal t1 t2 =
+  Oclass.Set.equal t1.cr t2.cr && Req.equal t1.er t2.er && Forb.equal t1.ef t2.ef
+
+let pp ppf t =
+  Oclass.Set.iter
+    (fun c -> Format.fprintf ppf "require exists %a@." Oclass.pp c)
+    t.cr;
+  Req.iter
+    (fun (ci, r, cj) ->
+      Format.fprintf ppf "require %a %s %a@." Oclass.pp ci (rel_to_string r)
+        Oclass.pp cj)
+    t.er;
+  Forb.iter
+    (fun (ci, f, cj) ->
+      Format.fprintf ppf "forbid %a %s %a@." Oclass.pp ci (forb_to_string f)
+        Oclass.pp cj)
+    t.ef

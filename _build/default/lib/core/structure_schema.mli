@@ -1,0 +1,58 @@
+(** Structure schema (Definition 2.4).
+
+    A triple (Cr, Er, Ef): required object classes ("some entry of class c
+    must exist"), required structural relationships ("every ci-entry has an
+    axis-related cj-entry"), and forbidden structural relationships ("no
+    ci-entry has a cj child/descendant").
+
+    All classes mentioned are core classes; this is validated when the
+    structure schema is combined into a {!Schema}. *)
+
+open Bounds_model
+
+(** Axis of a required relationship: [ci -> cj] (child), [ci ->> cj]
+    (descendant), [cj <- ci] (parent), [cj <<- ci] (ancestor). *)
+type rel = Child | Descendant | Parent | Ancestor
+
+(** Forbidden relationships exist only for the downward axes. *)
+type forb = F_child | F_descendant
+
+val rel_to_string : rel -> string
+val rel_of_string : string -> (rel, string) result
+val forb_to_string : forb -> string
+val forb_of_string : string -> (forb, string) result
+
+(** A required relationship [(ci, rel, cj)], read "every entry of class
+    [ci] has a [rel]-related entry of class [cj]". *)
+type required = Oclass.t * rel * Oclass.t
+
+(** A forbidden relationship [(ci, forb, cj)], read "no entry of class
+    [ci] has a child/descendant of class [cj]". *)
+type forbidden = Oclass.t * forb * Oclass.t
+
+val pp_required : Format.formatter -> required -> unit
+val pp_forbidden : Format.formatter -> forbidden -> unit
+
+type t
+
+val empty : t
+val require_class : Oclass.t -> t -> t
+val require : Oclass.t -> rel -> Oclass.t -> t -> t
+val forbid : Oclass.t -> forb -> Oclass.t -> t -> t
+
+val required_classes : t -> Oclass.Set.t
+val required_rels : t -> required list
+val forbidden_rels : t -> forbidden list
+
+val mem_required_class : t -> Oclass.t -> bool
+val mem_required : t -> required -> bool
+val mem_forbidden : t -> forbidden -> bool
+
+(** All classes mentioned anywhere. *)
+val classes : t -> Oclass.Set.t
+
+(** |Cr| + |Er| + |Ef| — the [|S|] of Theorem 3.1. *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

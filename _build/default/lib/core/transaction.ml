@@ -1,0 +1,99 @@
+open Bounds_model
+
+type subtree_update =
+  | Insert_subtree of { parent : Entry.id option; subtree : Instance.t }
+  | Delete_subtree of { root : Entry.id }
+
+let pp_subtree_update ppf = function
+  | Insert_subtree { parent; subtree } ->
+      Format.fprintf ppf "insert subtree of %d entries %s" (Instance.size subtree)
+        (match parent with
+        | None -> "at the top level"
+        | Some p -> Printf.sprintf "under entry %d" p)
+  | Delete_subtree { root } -> Format.fprintf ppf "delete subtree rooted at %d" root
+
+let ( let* ) = Result.bind
+
+let decompose inst ops =
+  let* updated = Update.apply inst ops in
+  (* surviving entries must be untouched *)
+  let* () =
+    Instance.fold
+      (fun e acc ->
+        let* () = acc in
+        let id = Entry.id e in
+        match Instance.find updated id with
+        | None -> Ok ()
+        | Some e' ->
+            if not (Entry.equal e e') then
+              Error (Printf.sprintf "transaction re-creates surviving entry %d" id)
+            else if Instance.parent inst id <> Instance.parent updated id then
+              Error (Printf.sprintf "transaction moves surviving entry %d" id)
+            else Ok ())
+      inst (Ok ())
+  in
+  (* maximal inserted subtrees: inserted entries whose parent in the
+     updated instance is not itself inserted *)
+  let inserted id = (not (Instance.mem inst id)) && Instance.mem updated id in
+  let deleted id = Instance.mem inst id && not (Instance.mem updated id) in
+  let inserts =
+    List.filter_map
+      (fun e ->
+        let id = Entry.id e in
+        if not (inserted id) then None
+        else
+          let parent = Instance.parent updated id in
+          match parent with
+          | Some p when inserted p -> None
+          | _ -> (
+              match Instance.subtree updated id with
+              | Ok subtree -> Some (Insert_subtree { parent; subtree })
+              | Error e -> failwith (Instance.error_to_string e)))
+      (Instance.entries updated)
+  in
+  let deletes =
+    List.filter_map
+      (fun e ->
+        let id = Entry.id e in
+        if not (deleted id) then None
+        else
+          match Instance.parent inst id with
+          | Some p when deleted p -> None
+          | _ -> Some (Delete_subtree { root = id }))
+      (Instance.entries inst)
+  in
+  Ok (inserts @ deletes)
+
+let apply_subtree inst = function
+  | Insert_subtree { parent; subtree } ->
+      Result.map_error Instance.error_to_string (Instance.graft ~parent subtree inst)
+  | Delete_subtree { root } ->
+      Result.map_error Instance.error_to_string (Instance.remove_subtree root inst)
+
+type rejection =
+  | Bad_ops of string
+  | Illegal of { step : int; update : subtree_update; violations : Violation.t list }
+
+let pp_rejection ppf = function
+  | Bad_ops m -> Format.fprintf ppf "invalid transaction: %s" m
+  | Illegal { step; update; violations } ->
+      Format.fprintf ppf "@[<v>illegal at step %d (%a):@ %a@]" step
+        pp_subtree_update update
+        (Format.pp_print_list Violation.pp)
+        violations
+
+let check schema inst ops =
+  match decompose inst ops with
+  | Error m -> Error (Bad_ops m)
+  | Ok updates ->
+      let rec go step inst = function
+        | [] -> Ok inst
+        | u :: rest -> (
+            match apply_subtree inst u with
+            | Error m -> Error (Bad_ops m)
+            | Ok inst' -> (
+                match Legality.check schema inst' with
+                | [] -> go (step + 1) inst' rest
+                | violations -> Error (Illegal { step; update = u; violations })))
+      in
+      go 1 inst updates

@@ -1,0 +1,40 @@
+(** Update transactions as subtree insertions and deletions
+    (Section 4.1, Theorem 4.1).
+
+    An arbitrary sequence of entry insertions and deletions is abstracted
+    into a set of {e maximal} inserted subtrees and deleted subtrees whose
+    roots are pairwise ancestor-free.  Theorem 4.1: the updated instance
+    is legal iff every intermediate instance — all insertions applied
+    first, one subtree at a time, then all deletions — is legal.  The
+    decomposition is what makes incremental checking well-defined. *)
+
+open Bounds_model
+
+type subtree_update =
+  | Insert_subtree of { parent : Entry.id option; subtree : Instance.t }
+  | Delete_subtree of { root : Entry.id }
+
+val pp_subtree_update : Format.formatter -> subtree_update -> unit
+
+(** [decompose inst ops] validates the operation sequence against [inst]
+    and returns the insertion-first subtree decomposition.  Fails if the
+    sequence violates the LDAP discipline, or net-modifies a surviving
+    entry (moves it or changes its payload) — transactions may only add
+    and remove entries. *)
+val decompose : Instance.t -> Update.op list -> (subtree_update list, string) result
+
+(** Apply one subtree update (used to walk the D_i chain of
+    Theorem 4.1). *)
+val apply_subtree : Instance.t -> subtree_update -> (Instance.t, string) result
+
+type rejection =
+  | Bad_ops of string  (** discipline violation; nothing applied *)
+  | Illegal of { step : int; update : subtree_update; violations : Violation.t list }
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+(** [check schema inst ops] — [inst] is assumed legal; decomposes, then
+    checks legality after each subtree step with the full checker.
+    Returns the final instance, or the first illegal step.  (For the
+    incremental-check path, use {!Monitor}.) *)
+val check : Schema.t -> Instance.t -> Update.op list -> (Instance.t, rejection) result

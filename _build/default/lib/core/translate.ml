@@ -1,0 +1,47 @@
+open Bounds_model
+open Bounds_query
+
+let axis_of_rel : Structure_schema.rel -> Query.axis = function
+  | Structure_schema.Child -> Query.Child
+  | Structure_schema.Descendant -> Query.Descendant
+  | Structure_schema.Parent -> Query.Parent
+  | Structure_schema.Ancestor -> Query.Ancestor
+
+let axis_of_forb : Structure_schema.forb -> Query.axis = function
+  | Structure_schema.F_child -> Query.Child
+  | Structure_schema.F_descendant -> Query.Descendant
+
+let required_rel (ci, r, cj) =
+  let si = Query.select_class ci and sj = Query.select_class cj in
+  Query.Minus (si, Query.Chi (axis_of_rel r, si, sj))
+
+(* For forbidden relationships Figure 4 retrieves the ci-entries that have
+   an offending child/descendant, i.e. χ with q1 = ci and q2 = cj on the
+   downward axis. *)
+let forbidden_rel (ci, f, cj) =
+  Query.Chi (axis_of_forb f, Query.select_class ci, Query.select_class cj)
+
+let required_class c = Query.select_class c
+
+type expectation = Must_be_empty | Must_be_nonempty
+
+type obligation =
+  | Oblig_required of Structure_schema.required
+  | Oblig_forbidden of Structure_schema.forbidden
+  | Oblig_class of Oclass.t
+
+let all s =
+  List.map
+    (fun r -> (Oblig_required r, required_rel r, Must_be_empty))
+    (Structure_schema.required_rels s)
+  @ List.map
+      (fun f -> (Oblig_forbidden f, forbidden_rel f, Must_be_empty))
+      (Structure_schema.forbidden_rels s)
+  @ List.map
+      (fun c -> (Oblig_class c, required_class c, Must_be_nonempty))
+      (Oclass.Set.elements (Structure_schema.required_classes s))
+
+let pp_obligation ppf = function
+  | Oblig_required r -> Structure_schema.pp_required ppf r
+  | Oblig_forbidden f -> Structure_schema.pp_forbidden ppf f
+  | Oblig_class c -> Format.fprintf ppf "exists %a" Oclass.pp c

@@ -1,0 +1,36 @@
+(** The Figure-4 translation: structure-schema elements → hierarchical
+    selection queries.
+
+    For each required relationship the query retrieves its {e violators}
+    (ci-entries with no axis-related cj-entry), so the instance is legal
+    w.r.t. the element iff the query is {e empty}.  For each forbidden
+    relationship the query retrieves the offending ci-entries directly.
+    For a required class [c•] the query is the atomic selection
+    [(objectClass=c)] and legality requires it {e non-empty}. *)
+
+open Bounds_model
+open Bounds_query
+
+(** [(σ− (oc=ci) (χ_axis (oc=ci) (oc=cj)))] — empty iff the relationship
+    holds. *)
+val required_rel : Structure_schema.required -> Query.t
+
+(** [(χ_axis (oc=ci) (oc=cj))] — empty iff the relationship holds.  The
+    result contains the ci-side entries of offending pairs. *)
+val forbidden_rel : Structure_schema.forbidden -> Query.t
+
+(** [(objectClass=c)] — non-empty iff [c•] holds. *)
+val required_class : Oclass.t -> Query.t
+
+type expectation = Must_be_empty | Must_be_nonempty
+
+type obligation =
+  | Oblig_required of Structure_schema.required
+  | Oblig_forbidden of Structure_schema.forbidden
+  | Oblig_class of Oclass.t
+
+(** Every obligation of a structure schema with its query and expected
+    emptiness — the full Figure-4 table for one schema. *)
+val all : Structure_schema.t -> (obligation * Query.t * expectation) list
+
+val pp_obligation : Format.formatter -> obligation -> unit

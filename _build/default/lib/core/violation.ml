@@ -1,0 +1,66 @@
+open Bounds_model
+
+type t =
+  | Missing_required_attr of { entry : Entry.id; cls : Oclass.t; attr : Attr.t }
+  | Attr_not_allowed of { entry : Entry.id; attr : Attr.t }
+  | Unknown_class of { entry : Entry.id; cls : Oclass.t }
+  | No_core_class of { entry : Entry.id }
+  | Missing_superclass of { entry : Entry.id; cls : Oclass.t; super : Oclass.t }
+  | Incomparable_classes of { entry : Entry.id; c1 : Oclass.t; c2 : Oclass.t }
+  | Aux_not_allowed of { entry : Entry.id; aux : Oclass.t }
+  | Missing_required_class of { cls : Oclass.t }
+  | Unsatisfied_rel of { entry : Entry.id; rel : Structure_schema.required }
+  | Forbidden_rel of {
+      source : Entry.id;
+      target : Entry.id;
+      rel : Structure_schema.forbidden;
+    }
+  | Type_violation of { entry : Entry.id; attr : Attr.t; expected : Atype.t }
+  | Multiple_values of { entry : Entry.id; attr : Attr.t; count : int }
+  | Duplicate_key of { attr : Attr.t; value : Value.t; entries : Entry.id list }
+
+let to_string = function
+  | Missing_required_attr { entry; cls; attr } ->
+      Printf.sprintf "entry %d: missing attribute %s required by class %s" entry
+        (Attr.to_string attr) (Oclass.to_string cls)
+  | Attr_not_allowed { entry; attr } ->
+      Printf.sprintf "entry %d: attribute %s is not allowed by any of its classes"
+        entry (Attr.to_string attr)
+  | Unknown_class { entry; cls } ->
+      Printf.sprintf "entry %d: object class %s is not declared in the schema" entry
+        (Oclass.to_string cls)
+  | No_core_class { entry } ->
+      Printf.sprintf "entry %d: belongs to no core object class" entry
+  | Missing_superclass { entry; cls; super } ->
+      Printf.sprintf "entry %d: belongs to %s but not to its superclass %s" entry
+        (Oclass.to_string cls) (Oclass.to_string super)
+  | Incomparable_classes { entry; c1; c2 } ->
+      Printf.sprintf
+        "entry %d: belongs to incomparable core classes %s and %s (single inheritance)"
+        entry (Oclass.to_string c1) (Oclass.to_string c2)
+  | Aux_not_allowed { entry; aux } ->
+      Printf.sprintf
+        "entry %d: auxiliary class %s is not associated with any of its core classes"
+        entry (Oclass.to_string aux)
+  | Missing_required_class { cls } ->
+      Printf.sprintf "no entry of required class %s exists" (Oclass.to_string cls)
+  | Unsatisfied_rel { entry; rel } ->
+      Format.asprintf "entry %d violates required relationship %a" entry
+        Structure_schema.pp_required rel
+  | Forbidden_rel { source; target; rel } ->
+      Format.asprintf "entries %d and %d violate forbidden relationship %a" source
+        target Structure_schema.pp_forbidden rel
+  | Type_violation { entry; attr; expected } ->
+      Printf.sprintf "entry %d: attribute %s has a value not of type %s" entry
+        (Attr.to_string attr) (Atype.to_string expected)
+  | Multiple_values { entry; attr; count } ->
+      Printf.sprintf "entry %d: single-valued attribute %s has %d values" entry
+        (Attr.to_string attr) count
+  | Duplicate_key { attr; value; entries } ->
+      Printf.sprintf "key attribute %s: value %s shared by entries %s"
+        (Attr.to_string attr) (Value.to_string value)
+        (String.concat ", " (List.map string_of_int entries))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let compare = Stdlib.compare
+let equal v1 v2 = compare v1 v2 = 0

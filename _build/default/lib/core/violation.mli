@@ -1,0 +1,38 @@
+(** Legality violations, with witnesses.
+
+    Each constructor corresponds to one clause of Definition 2.7 (legal
+    directory instance), plus the typing condition of Definition 2.1 and
+    the two Section 6.1 extensions. *)
+
+open Bounds_model
+
+type t =
+  (* attribute schema *)
+  | Missing_required_attr of { entry : Entry.id; cls : Oclass.t; attr : Attr.t }
+  | Attr_not_allowed of { entry : Entry.id; attr : Attr.t }
+  (* class schema *)
+  | Unknown_class of { entry : Entry.id; cls : Oclass.t }
+  | No_core_class of { entry : Entry.id }
+  | Missing_superclass of { entry : Entry.id; cls : Oclass.t; super : Oclass.t }
+  | Incomparable_classes of { entry : Entry.id; c1 : Oclass.t; c2 : Oclass.t }
+  | Aux_not_allowed of { entry : Entry.id; aux : Oclass.t }
+  (* structure schema *)
+  | Missing_required_class of { cls : Oclass.t }
+  | Unsatisfied_rel of { entry : Entry.id; rel : Structure_schema.required }
+  | Forbidden_rel of {
+      source : Entry.id;  (** the entry of class ci *)
+      target : Entry.id;  (** its offending child / descendant *)
+      rel : Structure_schema.forbidden;
+    }
+  (* well-formedness (Definition 2.1, 3a) *)
+  | Type_violation of { entry : Entry.id; attr : Attr.t; expected : Atype.t }
+  (* Section 6.1 extensions *)
+  | Multiple_values of { entry : Entry.id; attr : Attr.t; count : int }
+  | Duplicate_key of { attr : Attr.t; value : Value.t; entries : Entry.id list }
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** Stable ordering so violation lists can be compared in tests. *)
+val compare : t -> t -> int

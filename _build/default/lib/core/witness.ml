@@ -1,0 +1,639 @@
+open Bounds_model
+module SS = Structure_schema
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+type state = {
+  inf : Inference.t;
+  schema : Schema.t;
+  mutable inst : Instance.t;
+  mutable next_id : int;
+  mutable key_seq : int;
+  max_nodes : int;
+  n_core : int;
+}
+
+let cls_of = function Element.Cls c -> Some c | Element.Empty -> None
+
+(* Targets of saturated required relationships with source exactly [c]
+   (source-isa closure makes exact lookup complete), Empty excluded. *)
+let targets st c rel =
+  List.filter_map
+    (fun (r, n) -> if r = rel then cls_of n else None)
+    (Inference.reqs_from st.inf (Element.Cls c))
+  |> List.sort_uniq Oclass.compare
+
+let closure st c = Class_schema.up_closure st.schema.classes c
+
+let deeper st c1 c2 =
+  Class_schema.depth_of st.schema.classes c1
+  > Class_schema.depth_of st.schema.classes c2
+
+(* Is relationship [f] forbidden between some class of the upper closure
+   and some class of the lower closure?  The saturated forb set is closed
+   downward on both sides, but closures contain several classes, so test
+   all pairs. *)
+let blocked st f upper lower =
+  Oclass.Set.exists
+    (fun cu ->
+      Oclass.Set.exists
+        (fun cl -> Inference.is_forbidden st.inf (Element.Cls cu) f (Element.Cls cl))
+        lower)
+    upper
+
+(* Most-specific label covering all classes in [need]; they must be
+   pairwise comparable (the parenthood rule rejects the rest). *)
+let deepest_of st = function
+  | [] -> invalid_arg "deepest_of: empty"
+  | c :: rest ->
+      List.fold_left
+        (fun best c ->
+          if Class_schema.is_subclass st.schema.classes ~sub:c ~super:best then c
+          else if Class_schema.is_subclass st.schema.classes ~sub:best ~super:c then
+            best
+          else
+            failf "incomparable required parent classes %s and %s"
+              (Oclass.to_string best) (Oclass.to_string c))
+        c rest
+
+(* Label refinement: a required child's required parent class can force
+   the creating node deeper in the core hierarchy (see ch-pa-conflict).
+   The child's own label may itself be refined, so the forced-parent
+   collection recurses one step through refined child labels. *)
+let refine st c0 =
+  let rec refined_label depth l =
+    if depth > st.n_core + 1 then
+      failf "label refinement did not converge at %s" (Oclass.to_string c0);
+    let forced =
+      List.concat_map
+        (fun t ->
+          let t' = refined_label (depth + 1) t in
+          (* the child's required parent classes are the creating node *)
+          let from_parents = targets st t' SS.Parent in
+          (* a required ancestor of the child that is barred (by a
+             forbidden-descendant edge) from sitting above the creating
+             node must be the creating node itself *)
+          let from_ancestors =
+            List.filter
+              (fun x ->
+                (not (Oclass.Set.mem x (closure st l)))
+                && Class_schema.is_subclass st.schema.classes ~sub:x ~super:l
+                && blocked st SS.F_descendant (closure st x) (closure st l))
+              (targets st t' SS.Ancestor)
+          in
+          from_parents @ from_ancestors)
+        (targets st l SS.Child)
+    in
+    let l' =
+      List.fold_left
+        (fun l x ->
+          if Oclass.Set.mem x (closure st l) then l
+          else if Class_schema.is_subclass st.schema.classes ~sub:x ~super:l then x
+          else
+            failf "required child of %s needs parent %s, incomparable with it"
+              (Oclass.to_string l) (Oclass.to_string x))
+        l forced
+    in
+    if Oclass.equal l l' then l else refined_label (depth + 1) l'
+  in
+  refined_label 0 c0
+
+(* Placeholder value for a required attribute; unique for key attrs. *)
+let dummy_value st attr =
+  let unique = Attr.Set.mem attr st.schema.Schema.keys in
+  let ty = Typing.find st.schema.Schema.typing attr in
+  if unique then begin
+    st.key_seq <- st.key_seq + 1;
+    match ty with
+    | Atype.T_int -> Value.Int st.key_seq
+    | Atype.T_string -> Value.String (Printf.sprintf "w%d" st.key_seq)
+    | Atype.T_dn -> Value.Dn (Printf.sprintf "id=w%d" st.key_seq)
+    | Atype.T_bool -> failf "boolean key attribute %s" (Attr.to_string attr)
+    | Atype.T_telephone -> Value.String (string_of_int st.key_seq)
+  end
+  else
+    match ty with
+    | Atype.T_int -> Value.Int 0
+    | Atype.T_string -> Value.String "x"
+    | Atype.T_dn -> Value.Dn "id=0"
+    | Atype.T_bool -> Value.Bool true
+    | Atype.T_telephone -> Value.String "0"
+
+let make_entry st label =
+  let classes = closure st label in
+  let attrs =
+    Oclass.Set.fold
+      (fun c acc ->
+        Attr.Set.fold
+          (fun a acc ->
+            if Attr.equal a Attr.object_class || List.mem_assoc a acc then acc
+            else (a, dummy_value st a) :: acc)
+          (Attribute_schema.required st.schema.Schema.attributes c)
+          acc)
+      classes []
+  in
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  Entry.make ~id ~rdn:(Printf.sprintf "id=%d" id) ~classes attrs
+
+let add_node st ~parent label =
+  if Instance.size st.inst >= st.max_nodes then
+    failf "chase exceeded the node budget (%d) — inference incompleteness?" st.max_nodes;
+  if Inference.class_unsat st.inf (Element.Cls label) then
+    failf "chase tried to instantiate unsatisfiable class %s" (Oclass.to_string label);
+  let e = make_entry st label in
+  (match Instance.add ~parent e st.inst with
+  | Ok inst -> st.inst <- inst
+  | Error err -> failf "%s" (Instance.error_to_string err));
+  Entry.id e
+
+let node_classes st id = Entry.classes (Instance.entry st.inst id)
+
+let ancestor_classes st id =
+  List.fold_left
+    (fun acc a -> Oclass.Set.union acc (node_classes st a))
+    Oclass.Set.empty (Instance.ancestors st.inst id)
+
+let has_descendant_with st id cls =
+  List.exists
+    (fun d -> Oclass.Set.mem cls (node_classes st d))
+    (Instance.descendants st.inst id)
+
+let has_child_with st id cls =
+  List.exists
+    (fun ch -> Oclass.Set.mem cls (node_classes st ch))
+    (Instance.children st.inst id)
+
+(* --- the upward chain builder ------------------------------------------
+
+   Given a starting label, compute the chain of labels that must sit
+   strictly above it, bottom-most first.  Each step is driven by the
+   current top label's own requirements:
+
+   - a required-parent class fixes the next node exactly (the deepest of
+     the parent targets — pairwise comparable or the parenthood rule
+     would have fired);
+   - otherwise an outstanding required-ancestor class is placed, chosen
+     so that every other outstanding ancestor tolerates sitting above it
+     (no Forb(other, F_descendant, chosen)); a forbidden-child edge to
+     the node below is bridged with an interposed [top] node;
+   - classes already guaranteed above the whole chain ([above], the
+     attachment point's own class closure chain) satisfy pending
+     ancestors for free.
+
+   Pending obligations only ever need to hold for nodes below the
+   current top, so satisfying them with any newly placed higher node is
+   sound. *)
+(* Ancestor obligations a node's future child-axis descendants will
+   impose on the path above it: a required child [t] of [l] has exactly
+   [l]'s path as its strict ancestors, so any required ancestor of [t]
+   (or, recursively, of [t]'s own required children) not provided by
+   [l]'s own class set must sit above [l]. *)
+let rec child_ancestor_obligations st depth l =
+  if depth > st.n_core + 1 then []
+  else
+    List.concat_map
+      (fun t ->
+        let t = refine st t in
+        let own = targets st t SS.Ancestor in
+        let deeper_obls = child_ancestor_obligations st (depth + 1) t in
+        List.filter
+          (fun x -> not (Oclass.Set.mem x (closure st t)))
+          (own @ deeper_obls))
+      (targets st l SS.Child)
+
+(* All ancestor-side obligations a node labelled [l] puts on the path
+   strictly above it. *)
+let upward_obligations st l =
+  targets st l SS.Ancestor
+  @ List.filter
+      (fun x -> not (Oclass.Set.mem x (closure st l)))
+      (child_ancestor_obligations st 0 l)
+  |> List.sort_uniq Oclass.compare
+
+(* Result of planning the chain strictly above a node: either the list
+   of labels to create (bottom-most first) together with the possibly
+   deepened start label, or an instruction to relabel the attachment
+   node itself (one of its required ancestors can only be the attachment
+   node) and retry. *)
+type chain_plan =
+  | Chain of { start : Oclass.t; labels : Oclass.t list }
+  | Merge_attach of Oclass.t
+
+exception Plan_merge of Oclass.t
+
+let chain_above st ~above ~attach_classes ~attach_label ~start_label =
+  let fuel0 = ((st.n_core + 2) * (st.n_core + 2)) + 4 in
+  let absorb pending extra =
+    List.sort_uniq Oclass.compare (pending @ extra)
+    |> List.filter (fun p -> not (Oclass.Set.mem p above))
+  in
+  (* a class barred from having any parent or any ancestor
+     (Forb(top, F, y) for some y of its closure) can only be a forest
+     root *)
+  let must_be_root label =
+    Oclass.Set.exists
+      (fun y ->
+        Inference.is_forbidden st.inf (Element.Cls Oclass.top) SS.F_child
+          (Element.Cls y)
+        || Inference.is_forbidden st.inf (Element.Cls Oclass.top) SS.F_descendant
+             (Element.Cls y))
+      (closure st label)
+  in
+  let under_node = not (Oclass.Set.is_empty above) in
+  let above_blocked label = blocked st SS.F_descendant above (closure st label) in
+  let attach_mergeable label =
+    match attach_label with
+    | Some al -> Class_schema.is_subclass st.schema.classes ~sub:label ~super:al
+    | None -> false
+  in
+  (* [start]: current (possibly deepened) bottom label.
+     [cur]: current top label (= start when out = []).
+     [below]: classes of nodes strictly below cur.
+     [pending]: classes still needed strictly above cur.
+     [out]: labels created so far, top-most first (excludes start). *)
+  let rec go ~start ~cur ~pending ~below ~out fuel =
+    if fuel = 0 then
+      failf "ancestor chain did not converge above %s" (Oclass.to_string start_label);
+    let pending = absorb pending (upward_obligations st cur) in
+    (* a pending class barred (by forbidden-descendant edges from the
+       attachment path) from sitting anywhere below the attachment point
+       can only be satisfied by the attachment node itself *)
+    (match List.find_opt above_blocked pending with
+    | Some p when attach_mergeable p -> raise (Plan_merge p)
+    | Some p ->
+        failf "required ancestor %s of %s cannot sit below the attachment point"
+          (Oclass.to_string p) (Oclass.to_string start_label)
+    | None -> ());
+    let below_all = Oclass.Set.union below (closure st cur) in
+    (* one entry can play several ancestor roles: deepen [next] by any
+       pending class that is compatible, collision-free, and not needed
+       higher up by another pending class (merging it low would force a
+       duplicate above, which forbidden edges may rule out) *)
+    let needed_above_by_other p =
+      List.exists
+        (fun q ->
+          (not (Oclass.equal q p))
+          && List.exists
+               (fun x -> Oclass.Set.mem x (closure st p))
+               (upward_obligations st q))
+        pending
+    in
+    let merge_pending next =
+      List.fold_left
+        (fun next p ->
+          if
+            Class_schema.is_subclass st.schema.classes ~sub:p ~super:next
+            && (not (must_be_root p))
+            && (not (needed_above_by_other p))
+            && (not (blocked st SS.F_child (closure st p) (closure st cur)))
+            && (not (blocked st SS.F_descendant (closure st p) below_all))
+            && not (above_blocked p)
+          then p
+          else next)
+        next pending
+    in
+    let step next pending =
+      let next = merge_pending (refine st next) in
+      if above_blocked next then
+        if out = [] && attach_mergeable next then Merge_attach next
+        else
+          failf "required ancestor %s of %s cannot sit below the attachment point"
+            (Oclass.to_string next) (Oclass.to_string start_label)
+      else begin
+        (* bridge a forbidden child edge with an interposed top node *)
+        let bridge =
+          if blocked st SS.F_child (closure st next) (closure st cur) then
+            [ Oclass.top ]
+          else []
+        in
+        let pending =
+          List.filter (fun p -> not (Oclass.Set.mem p (closure st next))) pending
+        in
+        go ~start ~cur:next ~pending ~below:below_all
+          ~out:((next :: bridge) @ out) (fuel - 1)
+      end
+    in
+    (* deepen the current top node's label to a compatible pending class
+       instead of stacking another node above *)
+    let relabel_cur () =
+      List.find_opt
+        (fun p ->
+          Class_schema.is_subclass st.schema.classes ~sub:p ~super:cur
+          && (not (Oclass.equal p cur))
+          && (not (blocked st SS.F_descendant (closure st p) below))
+          && not (above_blocked p))
+        pending
+      |> Option.map (fun p ->
+             let pending = List.filter (fun q -> not (Oclass.Set.mem q (closure st p))) pending in
+             match out with
+             | [] -> go ~start:p ~cur:p ~pending ~below ~out (fuel - 1)
+             | _ :: rest -> go ~start ~cur:p ~pending ~below ~out:(p :: rest) (fuel - 1))
+    in
+    match targets st cur SS.Parent with
+    | _ :: _ as pa ->
+        let p = deepest_of st pa in
+        (* the attachment point itself may be the required parent *)
+        if
+          pending = []
+          && Oclass.Set.mem p attach_classes
+          && not (blocked st SS.F_child attach_classes (closure st cur))
+        then Chain { start; labels = List.rev out }
+        else step p pending
+    | [] -> (
+        match pending with
+        | [] -> Chain { start; labels = List.rev out }
+        | _ -> (
+            let admissible cand =
+              (* pending classes not absorbed by [cand]'s closure will sit
+                 above it, so [cand] must accept a parent ... *)
+              let remaining =
+                List.filter
+                  (fun p ->
+                    (not (Oclass.equal p cand))
+                    && not (Oclass.Set.mem p (closure st cand)))
+                  pending
+              in
+              ((remaining = [] && not under_node) || not (must_be_root cand))
+              (* ... tolerate every one of them above ... *)
+              && List.for_all
+                   (fun other ->
+                     not
+                       (blocked st SS.F_descendant (closure st other)
+                          (closure st cand)))
+                   remaining
+              (* ... and everything already below and above it *)
+              && (not (blocked st SS.F_descendant (closure st cand) below_all))
+              && not (above_blocked cand)
+            in
+            (* prefer candidates no other pending class needs as its own
+               ancestor — placing those low would force a duplicate higher
+               up; fall back to any admissible order (duplication is fine
+               when nothing forbids it) *)
+            let independent cand =
+              List.for_all
+                (fun p ->
+                  Oclass.equal p cand
+                  || not
+                       (List.exists
+                          (fun x -> Oclass.Set.mem x (closure st cand))
+                          (upward_obligations st p)))
+                pending
+            in
+            let pick =
+              match
+                List.find_opt (fun c -> admissible c && independent c) pending
+              with
+              | Some c -> Some c
+              | None -> List.find_opt admissible pending
+            in
+            match pick with
+            | Some cand -> step cand pending
+            | None -> (
+                match relabel_cur () with
+                | Some result -> result
+                | None -> (
+                    match
+                      List.find_opt (fun p -> out = [] && attach_mergeable p) pending
+                    with
+                    | Some p -> Merge_attach p
+                    | None ->
+                        failf "no admissible ancestor order above %s for {%s}"
+                          (Oclass.to_string start_label)
+                          (String.concat ", " (List.map Oclass.to_string pending))))))
+  in
+  try
+    go ~start:start_label ~cur:start_label ~pending:[] ~below:Oclass.Set.empty
+      ~out:[] fuel0
+  with Plan_merge p -> Merge_attach p
+
+(* Deepen an existing node to [label] (a subclass of its current most
+   specific class): extend its class set and fill in newly required
+   attributes. *)
+let relabel_node st id label =
+  let classes = closure st label in
+  (match
+     Instance.update_entry id
+       (fun e ->
+         let e = Entry.with_classes classes e in
+         Oclass.Set.fold
+           (fun c e ->
+             Attr.Set.fold
+               (fun a e ->
+                 if Attr.equal a Attr.object_class || Entry.values e a <> [] then e
+                 else Entry.add_value a (dummy_value st a) e)
+               (Attribute_schema.required st.schema.Schema.attributes c)
+               e)
+           classes e)
+       st.inst
+   with
+  | Ok inst -> st.inst <- inst
+  | Error e -> failf "%s" (Instance.error_to_string e))
+
+(* --- downward processing ------------------------------------------------- *)
+
+let rec process_down st id =
+  let label_classes = node_classes st id in
+  let req rel =
+    Oclass.Set.fold (fun c acc -> targets st c rel @ acc) label_classes []
+    |> List.sort_uniq Oclass.compare
+  in
+  (* children: deepest targets first so one child can cover its supers *)
+  let ch_targets =
+    List.sort (fun a b -> compare (deeper st b a) (deeper st a b)) (req SS.Child)
+  in
+  List.iter
+    (fun t ->
+      if not (has_child_with st id t) then begin
+        let child = add_node st ~parent:(Some id) (refine st t) in
+        process_down st child;
+        satisfy_upward st ~attach_to:id ~node:child
+      end)
+    ch_targets;
+  List.iter
+    (fun t ->
+      if not (has_descendant_with st id t) then attach_descendant st id t 3)
+    (req SS.Descendant)
+
+(* Grow a descendant of class [t] below [id], interposing the ancestor /
+   parent chain that [t] itself requires.  A [Merge_attach] plan deepens
+   [id] itself and retries ([retries] bounds the relabel loop). *)
+and attach_descendant st id t retries =
+  if retries = 0 then
+    failf "attachment of a %s descendant kept relabelling its anchor"
+      (Oclass.to_string t);
+  let lbl = refine st t in
+  let above = Oclass.Set.union (node_classes st id) (ancestor_classes st id) in
+  let attach_label =
+    (* deepest class of the attachment node *)
+    Some
+      (Oclass.Set.fold
+         (fun c best -> if deeper st c best then c else best)
+         (node_classes st id) Oclass.top)
+  in
+  match
+    chain_above st ~above ~attach_classes:(node_classes st id) ~attach_label
+      ~start_label:lbl
+  with
+  | Merge_attach m ->
+      relabel_node st id m;
+      process_down st id;
+      if not (has_descendant_with st id t) then attach_descendant st id t (retries - 1)
+  | Chain { start; labels } ->
+      let top_down = List.rev labels in
+      (* a direct forbidden child edge from [id] is bridged with a top node *)
+      let first = match top_down with c :: _ -> c | [] -> start in
+      let top_down =
+        if blocked st SS.F_child (node_classes st id) (closure st first) then
+          Oclass.top :: top_down
+        else top_down
+      in
+      let attach = ref id in
+      let created = ref [] in
+      List.iter
+        (fun c ->
+          let n = add_node st ~parent:(Some !attach) c in
+          created := n :: !created;
+          attach := n)
+        (top_down @ [ start ]);
+      (* process the new nodes bottom-up: the target first, so the chain
+         nodes see their descendant requirements already met where
+         possible *)
+      List.iter (fun n -> process_down st n) !created
+
+(* Check the parent/ancestor requirements of [node], which hangs under
+   [attach_to].  For children created by the child axis the parent was
+   forced into the creating node's label by [refine], so this is a
+   consistency assertion. *)
+and satisfy_upward st ~attach_to ~node =
+  let parent_classes = node_classes st attach_to in
+  Oclass.Set.iter
+    (fun own ->
+      List.iter
+        (fun pa_target ->
+          if not (Oclass.Set.mem pa_target parent_classes) then
+            failf "child %s requires parent %s not provided by its creator"
+              (Oclass.to_string own) (Oclass.to_string pa_target))
+        (targets st own SS.Parent))
+    (node_classes st node);
+  (* ancestor requirements of the child not satisfied by the path above *)
+  let above = Oclass.Set.union parent_classes (ancestor_classes st attach_to) in
+  Oclass.Set.iter
+    (fun own ->
+      List.iter
+        (fun an_target ->
+          if not (Oclass.Set.mem an_target above) then
+            failf "child of %s requires ancestor %s missing from its path"
+              (Oclass.to_string own) (Oclass.to_string an_target))
+        (targets st own SS.Ancestor))
+    (node_classes st node)
+
+(* --- roots ------------------------------------------------------------------ *)
+
+(* Build the tree for one seed class: compute the full upward chain first
+   (so the forest root is created first), then grow downward. *)
+let build_seed st seed =
+  let lbl = refine st seed in
+  match
+    chain_above st ~above:Oclass.Set.empty ~attach_classes:Oclass.Set.empty
+      ~attach_label:None ~start_label:lbl
+  with
+  | Merge_attach _ -> failf "seed chain cannot merge into an attachment point"
+  | Chain { start; labels } ->
+      let top_down = List.rev labels in
+      let parent = ref None in
+      let created = ref [] in
+      List.iter
+        (fun c ->
+          let n = add_node st ~parent:!parent c in
+          created := n :: !created;
+          parent := Some n)
+        (top_down @ [ start ]);
+      (* downward requirements, target node first then the chain above it *)
+      List.iter (fun n -> process_down st n) !created
+
+let covered st c =
+  Instance.fold (fun e acc -> acc || Entry.has_class e c) st.inst false
+
+let make_state ?(max_nodes = 20_000) ?(first_id = 0) inf =
+  let schema = Inference.schema inf in
+  {
+    inf;
+    schema;
+    inst = Instance.empty;
+    next_id = first_id;
+    key_seq = first_id;
+    max_nodes;
+    n_core = Oclass.Set.cardinal (Class_schema.core_classes schema.Schema.classes);
+  }
+
+let construct ?max_nodes inf =
+  if Inference.inconsistent inf then Error "schema is inconsistent"
+  else begin
+    let st = make_state ?max_nodes inf in
+    try
+      Oclass.Set.iter
+        (fun c -> if not (covered st c) then build_seed st c)
+        (Structure_schema.required_classes st.schema.Schema.structure);
+      Ok st.inst
+    with Fail m -> Error m
+  end
+
+let seed_forest ?max_nodes inf ~first_id cls =
+  if Inference.inconsistent inf then Error "schema is inconsistent"
+  else if Inference.class_unsat inf (Element.Cls cls) then
+    Error
+      (Printf.sprintf "no legal instance can contain an entry of class %s"
+         (Oclass.to_string cls))
+  else begin
+    let st = make_state ?max_nodes ~first_id inf in
+    try
+      build_seed st cls;
+      Ok st.inst
+    with Fail m -> Error m
+  end
+
+let tree_for_attach ?max_nodes inf ~first_id ~above ~attach_classes cls =
+  if Inference.inconsistent inf then Error "schema is inconsistent"
+  else if Inference.class_unsat inf (Element.Cls cls) then
+    Error
+      (Printf.sprintf "no legal instance can contain an entry of class %s"
+         (Oclass.to_string cls))
+  else begin
+    let st = make_state ?max_nodes ~first_id inf in
+    try
+      let lbl = refine st cls in
+      match
+        chain_above st ~above ~attach_classes
+          ~attach_label:
+            (Some
+               (Oclass.Set.fold
+                  (fun c best -> if deeper st c best then c else best)
+                  attach_classes Oclass.top))
+          ~start_label:lbl
+      with
+      | Merge_attach m ->
+          Error
+            (Printf.sprintf
+               "a %s subtree here needs the attachment entry itself to belong to %s"
+               (Oclass.to_string cls) (Oclass.to_string m))
+      | Chain { start; labels = _ :: _ } ->
+          ignore start;
+          Error
+            (Printf.sprintf
+               "a %s entry needs ancestors the attachment point does not provide"
+               (Oclass.to_string cls))
+      | Chain { start; labels = [] } ->
+          if blocked st SS.F_child attach_classes (closure st start) then
+            Error
+              (Printf.sprintf "a %s child is forbidden at the attachment point"
+                 (Oclass.to_string start))
+          else begin
+            let n = add_node st ~parent:None start in
+            process_down st n;
+            Ok st.inst
+          end
+    with Fail m -> Error m
+  end

@@ -1,0 +1,57 @@
+(** Legal-witness construction for consistent schemas.
+
+    Given a saturated inference state in which [∅•] is {e not} derivable,
+    builds a concrete legal instance by a chase:
+
+    - one tree is grown per required class (forest roots are independent,
+      so cross-tree structural constraints never arise);
+    - every node is labelled with a most-specific core class; its class
+      set is the upward closure, and its attributes are the required
+      attributes of those classes, filled with typed placeholder values
+      (unique ones for key attributes);
+    - labels are {e refined} downward when a required child's required
+      parent class forces the creating node deeper in the hierarchy;
+    - required children/descendants grow below (with intermediate nodes
+      when a forbidden-child constraint rules out a direct edge, or when
+      the new node itself requires ancestors); required parents/ancestors
+      grow in a chain above, ordered to respect forbidden-descendant
+      constraints.
+
+    Termination is guaranteed for saturated consistent schemas (the cycle
+    rules make the required-edge graph acyclic on instantiable classes); a
+    node budget guards against inference incompleteness, turning a
+    non-terminating chase into [Error]. *)
+
+open Bounds_model
+
+(** [construct inf] — [inf] must not be inconsistent.  The result is
+    checked by the caller ({!Consistency.decide} verifies it with the
+    independent {!Legality} checker). *)
+val construct : ?max_nodes:int -> Inference.t -> (Instance.t, string) result
+
+(** [seed_forest inf ~first_id cls] — a standalone forest containing an
+    entry of class [cls] and satisfying all structural obligations
+    internally (including any required ancestors, grown above the seed).
+    Entry ids start at [first_id].  Used by {!Repair} to materialize a
+    missing required class. *)
+val seed_forest :
+  ?max_nodes:int ->
+  Inference.t ->
+  first_id:int ->
+  Oclass.t ->
+  (Instance.t, string) result
+
+(** [tree_for_attach inf ~first_id ~above ~attach_classes cls] — a
+    single-rooted tree whose root belongs to [cls] and whose downward
+    obligations are satisfied internally, suitable for grafting under an
+    entry with class set [attach_classes] and path class set [above]
+    (the root must need no further ancestors and must not be forbidden
+    there — those cases are reported as errors). *)
+val tree_for_attach :
+  ?max_nodes:int ->
+  Inference.t ->
+  first_id:int ->
+  above:Oclass.Set.t ->
+  attach_classes:Oclass.Set.t ->
+  Oclass.t ->
+  (Instance.t, string) result

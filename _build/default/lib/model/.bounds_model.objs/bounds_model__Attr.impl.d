@@ -1,0 +1,1 @@
+lib/model/attr.ml: Format Hashtbl List Map Printf Set String

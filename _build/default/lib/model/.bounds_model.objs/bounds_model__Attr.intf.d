@@ -1,0 +1,1 @@
+lib/model/attr.mli: Format Map Set

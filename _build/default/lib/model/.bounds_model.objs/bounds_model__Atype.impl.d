@@ -1,0 +1,1 @@
+lib/model/atype.ml: Format Printf Stdlib String

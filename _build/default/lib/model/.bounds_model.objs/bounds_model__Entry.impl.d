@@ -1,0 +1,1 @@
+lib/model/entry.ml: Attr Format List Oclass Printf String Value

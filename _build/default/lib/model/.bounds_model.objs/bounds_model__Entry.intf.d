@@ -1,0 +1,1 @@
+lib/model/entry.mli: Attr Format Oclass Value

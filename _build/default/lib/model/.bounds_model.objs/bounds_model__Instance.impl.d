@@ -1,0 +1,1 @@
+lib/model/instance.ml: Entry Format Int List Map Oclass Option Printf Result String

@@ -1,0 +1,1 @@
+lib/model/oclass.ml: Format Hashtbl List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/model/oclass.mli: Format Map Set

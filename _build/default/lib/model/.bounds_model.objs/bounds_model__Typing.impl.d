@@ -1,0 +1,1 @@
+lib/model/typing.ml: Attr Atype Format List Printf

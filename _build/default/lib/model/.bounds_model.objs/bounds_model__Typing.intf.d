@@ -1,0 +1,1 @@
+lib/model/typing.mli: Attr Atype Format

@@ -1,0 +1,1 @@
+lib/model/value.ml: Atype Bool Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/model/wf.ml: Attr Atype Entry Format Instance List Printf Typing Value

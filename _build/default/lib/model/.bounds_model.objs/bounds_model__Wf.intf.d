@@ -1,0 +1,1 @@
+lib/model/wf.mli: Attr Atype Entry Format Instance Typing Value

@@ -1,0 +1,33 @@
+type t = string
+
+let valid_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | ';' | '.' -> true
+  | _ -> false
+
+let normalize s =
+  let s = String.trim s in
+  String.lowercase_ascii s
+
+let of_string_opt s =
+  let s = normalize s in
+  if s = "" then None
+  else if String.for_all valid_char s then Some s
+  else None
+
+let of_string s =
+  match of_string_opt s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Attr.of_string: invalid attribute name %S" s)
+
+let to_string a = a
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf a = Format.pp_print_string ppf a
+
+let object_class = "objectclass"
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list names = Set.of_list (List.map of_string names)

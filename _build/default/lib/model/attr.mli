@@ -1,0 +1,32 @@
+(** Attribute names.
+
+    LDAP attribute names live in a single flat namespace and are
+    case-insensitive ([cn], [CN] and [cN] denote the same attribute).  A
+    value of type {!t} is a normalized attribute name; all comparisons are
+    performed on the normalized form. *)
+
+type t
+
+(** [of_string s] normalizes [s] (ASCII lowercase, surrounding whitespace
+    stripped).  Raises [Invalid_argument] if [s] is empty or contains
+    characters outside the LDAP attribute-name alphabet
+    ([A-Za-z0-9-;.]). *)
+val of_string : string -> t
+
+(** [of_string_opt s] is [of_string s], or [None] instead of raising. *)
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** The distinguished [objectClass] attribute (Definition 2.1 assumes it is
+    always present in the attribute alphabet). *)
+val object_class : t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : string list -> Set.t

@@ -1,0 +1,23 @@
+type t = T_string | T_int | T_bool | T_dn | T_telephone
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let to_string = function
+  | T_string -> "string"
+  | T_int -> "int"
+  | T_bool -> "bool"
+  | T_dn -> "dn"
+  | T_telephone -> "telephone"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "string" -> Ok T_string
+  | "int" | "integer" -> Ok T_int
+  | "bool" | "boolean" -> Ok T_bool
+  | "dn" -> Ok T_dn
+  | "telephone" | "tel" -> Ok T_telephone
+  | other -> Error (Printf.sprintf "unknown attribute type %S" other)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let all = [ T_string; T_int; T_bool; T_dn; T_telephone ]

@@ -1,0 +1,25 @@
+(** Attribute types.
+
+    The paper assumes a set [T] of types, each with a domain [dom(t)], and a
+    typing function [tau : A -> T] (Section 2).  This module provides the
+    concrete type universe used throughout the library. *)
+
+type t =
+  | T_string  (** arbitrary UTF-8 / printable strings *)
+  | T_int  (** machine integers *)
+  | T_bool  (** [TRUE] / [FALSE] *)
+  | T_dn  (** distinguished-name-valued strings *)
+  | T_telephone  (** telephone numbers: digits, space, [+()-.] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+
+(** [of_string s] parses a type name ([string], [int], [bool], [dn],
+    [telephone]), case-insensitively. *)
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+
+(** All types, in declaration order.  Useful for generators. *)
+val all : t list

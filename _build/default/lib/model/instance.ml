@@ -1,0 +1,248 @@
+module Imap = Map.Make (Int)
+
+type node = {
+  entry : Entry.t;
+  parent : Entry.id option;
+  rev_children : Entry.id list; (* most recently added first *)
+}
+
+type t = {
+  nodes : node Imap.t;
+  rev_roots : Entry.id list;
+  size : int;
+  max_id : int;
+}
+
+type error =
+  | Duplicate_id of Entry.id
+  | No_such_entry of Entry.id
+  | Not_a_leaf of Entry.id
+  | Id_clash of Entry.id
+
+let error_to_string = function
+  | Duplicate_id id -> Printf.sprintf "duplicate entry id %d" id
+  | No_such_entry id -> Printf.sprintf "no such entry: %d" id
+  | Not_a_leaf id -> Printf.sprintf "entry %d is not a leaf" id
+  | Id_clash id -> Printf.sprintf "grafted subtree reuses existing id %d" id
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let empty = { nodes = Imap.empty; rev_roots = []; size = 0; max_id = -1 }
+let size t = t.size
+let is_empty t = t.size = 0
+let mem t id = Imap.mem id t.nodes
+
+let node t id =
+  match Imap.find_opt id t.nodes with
+  | Some n -> Ok n
+  | None -> Error (No_such_entry id)
+
+let entry t id =
+  match Imap.find_opt id t.nodes with
+  | Some n -> n.entry
+  | None -> raise Not_found
+
+let find t id = Option.map (fun n -> n.entry) (Imap.find_opt id t.nodes)
+
+let parent t id =
+  match Imap.find_opt id t.nodes with Some n -> n.parent | None -> None
+
+let children t id =
+  match Imap.find_opt id t.nodes with
+  | Some n -> List.rev n.rev_children
+  | None -> []
+
+let roots t = List.rev t.rev_roots
+let is_leaf t id = children t id = []
+let is_root t id = parent t id = None && mem t id
+
+let ( let* ) = Result.bind
+
+let add ~parent:p e t =
+  let id = Entry.id e in
+  if Imap.mem id t.nodes then Error (Duplicate_id id)
+  else
+    match p with
+    | None ->
+        Ok
+          {
+            nodes = Imap.add id { entry = e; parent = None; rev_children = [] } t.nodes;
+            rev_roots = id :: t.rev_roots;
+            size = t.size + 1;
+            max_id = max t.max_id id;
+          }
+    | Some pid ->
+        let* pn = node t pid in
+        let nodes =
+          t.nodes
+          |> Imap.add pid { pn with rev_children = id :: pn.rev_children }
+          |> Imap.add id { entry = e; parent = Some pid; rev_children = [] }
+        in
+        Ok { t with nodes; size = t.size + 1; max_id = max t.max_id id }
+
+let add_root e t = add ~parent:None e t
+let add_child ~parent e t = add ~parent:(Some parent) e t
+
+let add_root_exn e t =
+  match add_root e t with
+  | Ok t -> t
+  | Error err -> invalid_arg (error_to_string err)
+
+let add_child_exn ~parent e t =
+  match add_child ~parent e t with
+  | Ok t -> t
+  | Error err -> invalid_arg (error_to_string err)
+
+let detach_from_parent id pid t =
+  match Imap.find_opt pid t.nodes with
+  | None -> t
+  | Some pn ->
+      let rev_children = List.filter (fun c -> c <> id) pn.rev_children in
+      { t with nodes = Imap.add pid { pn with rev_children } t.nodes }
+
+let remove_leaf id t =
+  let* n = node t id in
+  if n.rev_children <> [] then Error (Not_a_leaf id)
+  else
+    let t =
+      match n.parent with
+      | Some pid -> detach_from_parent id pid t
+      | None -> { t with rev_roots = List.filter (fun r -> r <> id) t.rev_roots }
+    in
+    Ok { t with nodes = Imap.remove id t.nodes; size = t.size - 1 }
+
+let rec preorder_ids t id acc =
+  (* accumulates in reverse preorder *)
+  List.fold_left (fun acc c -> preorder_ids t c acc) (id :: acc) (children t id)
+
+let subtree_ids t id = List.rev (preorder_ids t id [])
+
+let remove_subtree id t =
+  let* _ = node t id in
+  let victims = subtree_ids t id in
+  let t =
+    match parent t id with
+    | Some pid -> detach_from_parent id pid t
+    | None -> { t with rev_roots = List.filter (fun r -> r <> id) t.rev_roots }
+  in
+  let nodes = List.fold_left (fun m v -> Imap.remove v m) t.nodes victims in
+  Ok { t with nodes; size = t.size - List.length victims }
+
+let subtree t id =
+  let* root = node t id in
+  let rec copy src_id dst_parent acc =
+    match add ~parent:dst_parent (entry t src_id) acc with
+    | Error _ -> assert false (* ids unique in source *)
+    | Ok acc ->
+        List.fold_left (fun acc c -> copy c (Some src_id) acc) acc (children t src_id)
+  in
+  ignore root;
+  Ok (copy id None empty)
+
+let graft ~parent:pid sub t =
+  let clash =
+    Imap.fold
+      (fun id _ acc -> match acc with Some _ -> acc | None -> if mem t id then Some id else None)
+      sub.nodes None
+  in
+  match clash with
+  | Some id -> Error (Id_clash id)
+  | None -> (
+      let* () = match pid with
+        | None -> Ok ()
+        | Some p -> let* _ = node t p in Ok ()
+      in
+      let rec copy src_id dst_parent acc =
+        match add ~parent:dst_parent (entry sub src_id) acc with
+        | Error e -> Error e
+        | Ok acc ->
+            List.fold_left
+              (fun acc c ->
+                match acc with Error _ -> acc | Ok acc -> copy c (Some src_id) acc)
+              (Ok acc) (children sub src_id)
+      in
+      List.fold_left
+        (fun acc r -> match acc with Error _ -> acc | Ok acc -> copy r pid acc)
+        (Ok t) (roots sub))
+
+let update_entry id f t =
+  let* n = node t id in
+  let e' = f n.entry in
+  if Entry.id e' <> id then
+    invalid_arg "Instance.update_entry: the update must preserve the entry id";
+  Ok { t with nodes = Imap.add id { n with entry = e' } t.nodes }
+
+let fold f t init = Imap.fold (fun _ n acc -> f n.entry acc) t.nodes init
+let iter f t = Imap.iter (fun _ n -> f n.entry) t.nodes
+
+let iter_preorder f t =
+  let rec go depth id =
+    f ~depth (entry t id);
+    List.iter (go (depth + 1)) (children t id)
+  in
+  List.iter (go 0) (roots t)
+
+let ids t = Imap.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.rev
+let entries t = Imap.fold (fun _ n acc -> n.entry :: acc) t.nodes [] |> List.rev
+
+let descendants t id =
+  List.concat_map (fun c -> subtree_ids t c) (children t id)
+
+let ancestors t id =
+  let rec go id acc =
+    match parent t id with Some p -> go p (p :: acc) | None -> List.rev acc
+  in
+  go id []
+
+let is_strict_ancestor t ~anc ~desc =
+  let rec go id =
+    match parent t id with
+    | Some p -> p = anc || go p
+    | None -> false
+  in
+  go desc
+
+let depth t id = List.length (ancestors t id)
+let max_id t = t.max_id
+let fresh_id t = t.max_id + 1
+
+let dn t id =
+  (* [ancestors] is nearest-first, so [id :: ancestors] is leaf-to-root *)
+  let path = id :: ancestors t id in
+  String.concat "," (List.map (fun i -> Entry.rdn (entry t i)) path)
+
+let norm_rdn s = String.lowercase_ascii (String.trim s)
+
+let resolve_dn t dn_str =
+  let parts = String.split_on_char ',' dn_str |> List.map norm_rdn in
+  (* leaf-first; walk from the root end *)
+  let rec descend candidates = function
+    | [] -> None
+    | [ rdn ] ->
+        List.find_opt (fun id -> norm_rdn (Entry.rdn (entry t id)) = rdn) candidates
+    | rdn :: rest -> (
+        match
+          List.find_opt (fun id -> norm_rdn (Entry.rdn (entry t id)) = rdn) candidates
+        with
+        | Some id -> descend (children t id) rest
+        | None -> None)
+  in
+  descend (roots t) (List.rev parts)
+
+let equal t1 t2 =
+  t1.size = t2.size
+  && Imap.for_all
+       (fun id n1 ->
+         match Imap.find_opt id t2.nodes with
+         | None -> false
+         | Some n2 -> Entry.equal n1.entry n2.entry && n1.parent = n2.parent)
+       t1.nodes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter_preorder
+    (fun ~depth e ->
+      Format.fprintf ppf "%s%s %a@ " (String.make (2 * depth) ' ') (Entry.rdn e)
+        Oclass.pp_set (Entry.classes e))
+    t;
+  Format.fprintf ppf "@]"

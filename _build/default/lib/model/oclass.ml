@@ -1,0 +1,38 @@
+type t = string
+
+let valid_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+  | _ -> false
+
+let normalize s = String.lowercase_ascii (String.trim s)
+
+let of_string_opt s =
+  let s = normalize s in
+  if s = "" then None
+  else if String.for_all valid_char s then Some s
+  else None
+
+let of_string s =
+  match of_string_opt s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Oclass.of_string: invalid class name %S" s)
+
+let to_string c = c
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf c = Format.pp_print_string ppf c
+
+let top = "top"
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list names = Set.of_list (List.map of_string names)
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp)
+    (Set.elements s)

@@ -1,0 +1,33 @@
+type t = Atype.t Attr.Map.t
+
+let default = Attr.Map.singleton Attr.object_class Atype.T_string
+
+let declare attr ty reg =
+  match Attr.Map.find_opt attr reg with
+  | None -> Ok (Attr.Map.add attr ty reg)
+  | Some ty' when Atype.equal ty ty' -> Ok reg
+  | Some ty' ->
+      Error
+        (Printf.sprintf "attribute %s already declared with type %s (got %s)"
+           (Attr.to_string attr) (Atype.to_string ty') (Atype.to_string ty))
+
+let declare_exn attr ty reg =
+  match declare attr ty reg with Ok r -> r | Error m -> invalid_arg m
+
+let of_list decls =
+  List.fold_left
+    (fun acc (attr, ty) ->
+      match acc with Error _ as e -> e | Ok reg -> declare attr ty reg)
+    (Ok default) decls
+
+let find reg attr =
+  match Attr.Map.find_opt attr reg with Some ty -> ty | None -> Atype.T_string
+
+let is_declared reg attr = Attr.Map.mem attr reg
+let declarations reg = Attr.Map.bindings reg
+
+let pp ppf reg =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf (a, ty) ->
+         Format.fprintf ppf "attribute %a : %a" Attr.pp a Atype.pp ty))
+    (declarations reg)

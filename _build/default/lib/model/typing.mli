@@ -1,0 +1,34 @@
+(** The typing function [tau : A -> T].
+
+    A registry mapping attribute names to their types.  Undeclared
+    attributes default to [T_string], reflecting LDAP practice where string
+    syntax is the overwhelming default.  The [objectClass] attribute is
+    permanently declared with type [string]
+    (Section 2: [tau(objectClass) = string]). *)
+
+type t
+
+(** The registry containing only the built-in [objectClass] declaration. *)
+val default : t
+
+(** [declare attr ty reg] extends [reg].  Redeclaring an attribute with the
+    same type is a no-op; with a different type it is an error, as the
+    directory attribute namespace is global (Section 2.4). *)
+val declare : Attr.t -> Atype.t -> t -> (t, string) result
+
+(** [declare_exn] raises [Invalid_argument] on conflict. *)
+val declare_exn : Attr.t -> Atype.t -> t -> t
+
+(** [of_list decls] builds a registry from scratch. *)
+val of_list : (Attr.t * Atype.t) list -> (t, string) result
+
+(** [find reg attr] is [tau(attr)] ([T_string] if undeclared). *)
+val find : t -> Attr.t -> Atype.t
+
+(** [is_declared reg attr] *)
+val is_declared : t -> Attr.t -> bool
+
+(** All explicit declarations, sorted by attribute name. *)
+val declarations : t -> (Attr.t * Atype.t) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = String of string | Int of int | Bool of bool | Dn of string
+
+let equal a b =
+  match (a, b) with
+  | String x, String y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Dn x, Dn y -> String.equal x y
+  | (String _ | Int _ | Bool _ | Dn _), _ -> false
+
+let tag = function String _ -> 0 | Int _ -> 1 | Bool _ -> 2 | Dn _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | String x, String y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Dn x, Dn y -> String.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = Hashtbl.hash
+
+let telephone_char = function
+  | '0' .. '9' | ' ' | '+' | '(' | ')' | '-' | '.' -> true
+  | _ -> false
+
+let has_type ty v =
+  match (ty, v) with
+  | Atype.T_string, String _ -> true
+  | Atype.T_int, Int _ -> true
+  | Atype.T_bool, Bool _ -> true
+  | Atype.T_dn, Dn _ -> true
+  | Atype.T_telephone, String s -> s <> "" && String.for_all telephone_char s
+  | _ -> false
+
+let parse ty raw =
+  match ty with
+  | Atype.T_string -> Ok (String raw)
+  | Atype.T_dn -> Ok (Dn raw)
+  | Atype.T_int -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some n -> Ok (Int n)
+      | None -> Error (Printf.sprintf "not an integer: %S" raw))
+  | Atype.T_bool -> (
+      match String.uppercase_ascii (String.trim raw) with
+      | "TRUE" -> Ok (Bool true)
+      | "FALSE" -> Ok (Bool false)
+      | _ -> Error (Printf.sprintf "not a boolean (TRUE/FALSE): %S" raw))
+  | Atype.T_telephone ->
+      let v = String (String.trim raw) in
+      if has_type Atype.T_telephone v then Ok v
+      else Error (Printf.sprintf "not a telephone number: %S" raw)
+
+let to_string = function
+  | String s -> s
+  | Int n -> string_of_int n
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Dn d -> d
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let s x = String x
+let i x = Int x
+let b x = Bool x

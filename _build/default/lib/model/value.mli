@@ -1,0 +1,34 @@
+(** Attribute values.
+
+    A directory entry holds a finite set of (attribute, value) pairs; each
+    value must belong to the domain of its attribute's type
+    (Definition 2.1, condition 3a). *)
+
+type t =
+  | String of string
+  | Int of int
+  | Bool of bool
+  | Dn of string  (** a reference to another entry, by distinguished name *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [has_type ty v] tests [v ∈ dom(ty)].  [T_telephone] admits [String]
+    values over the telephone alphabet; [T_dn] admits [Dn] values. *)
+val has_type : Atype.t -> t -> bool
+
+(** [parse ty s] reads [s] as a value of type [ty]. *)
+val parse : Atype.t -> string -> (t, string) result
+
+(** [to_string v] prints the raw value (no type tag); [parse] of the
+    result under the appropriate type yields [v] back. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience constructors. *)
+val s : string -> t
+
+val i : int -> t
+val b : bool -> t

@@ -1,0 +1,26 @@
+type violation = {
+  entry : Entry.id;
+  attr : Attr.t;
+  value : Value.t;
+  expected : Atype.t;
+}
+
+let violation_to_string v =
+  Printf.sprintf "entry %d: value %s of attribute %s is not of type %s" v.entry
+    (Value.to_string v.value) (Attr.to_string v.attr)
+    (Atype.to_string v.expected)
+
+let pp_violation ppf v = Format.pp_print_string ppf (violation_to_string v)
+
+let check_entry typing e acc =
+  List.fold_left
+    (fun acc (a, v) ->
+      let ty = Typing.find typing a in
+      if Value.has_type ty v then acc
+      else { entry = Entry.id e; attr = a; value = v; expected = ty } :: acc)
+    acc (Entry.stored_pairs e)
+
+let check typing inst =
+  Instance.fold (fun e acc -> check_entry typing e acc) inst [] |> List.rev
+
+let is_well_formed typing inst = check typing inst = []

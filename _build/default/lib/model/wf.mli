@@ -1,0 +1,21 @@
+(** Well-formedness of directory instances (Definition 2.1).
+
+    Forest shape and the objectClass/class-set mirror (conditions 2, 3b, 4)
+    hold by construction in {!Instance}; what remains checkable is typing
+    (condition 3a): every value must belong to the domain of its
+    attribute's declared type. *)
+
+type violation = {
+  entry : Entry.id;
+  attr : Attr.t;
+  value : Value.t;
+  expected : Atype.t;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+(** All typing violations in the instance, in entry-id order. *)
+val check : Typing.t -> Instance.t -> violation list
+
+val is_well_formed : Typing.t -> Instance.t -> bool

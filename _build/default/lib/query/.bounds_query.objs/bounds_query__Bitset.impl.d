@@ -1,0 +1,1 @@
+lib/query/bitset.ml: Array Bytes Char Format List Printf

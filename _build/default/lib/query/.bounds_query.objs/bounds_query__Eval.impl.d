@@ -1,0 +1,1 @@
+lib/query/eval.ml: Bitset Filter Index List Query Vindex

@@ -1,0 +1,1 @@
+lib/query/eval.mli: Bitset Bounds_model Entry Filter Index Query Vindex

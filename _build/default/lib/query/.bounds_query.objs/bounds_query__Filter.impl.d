@@ -1,0 +1,1 @@
+lib/query/filter.ml: Attr Bounds_model Buffer Entry Format Int List Oclass Printf String Value

@@ -1,0 +1,1 @@
+lib/query/filter.mli: Attr Bounds_model Entry Format Oclass

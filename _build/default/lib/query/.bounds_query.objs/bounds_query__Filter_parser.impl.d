@@ -1,0 +1,1 @@
+lib/query/filter_parser.ml: Attr Bounds_model Buffer Filter List Printf String

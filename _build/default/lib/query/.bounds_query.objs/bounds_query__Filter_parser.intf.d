@@ -1,0 +1,1 @@
+lib/query/filter_parser.mli: Filter

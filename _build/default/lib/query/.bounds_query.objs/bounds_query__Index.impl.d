@@ -1,0 +1,1 @@
+lib/query/index.ml: Array Bitset Bounds_model Entry Instance Int List Map Option

@@ -1,0 +1,1 @@
+lib/query/index.mli: Bitset Bounds_model Entry Instance

@@ -1,0 +1,1 @@
+lib/query/naive_eval.ml: Bounds_model Entry Filter Instance Int Query Set

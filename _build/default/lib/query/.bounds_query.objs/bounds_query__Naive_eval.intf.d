@@ -1,0 +1,1 @@
+lib/query/naive_eval.mli: Bounds_model Entry Instance Query

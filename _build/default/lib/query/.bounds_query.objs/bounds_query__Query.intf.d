@@ -1,0 +1,1 @@
+lib/query/query.mli: Bounds_model Filter Format Oclass

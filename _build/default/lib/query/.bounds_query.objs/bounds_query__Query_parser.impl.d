@@ -1,0 +1,1 @@
+lib/query/query_parser.ml: Buffer Filter_parser Printf Query String

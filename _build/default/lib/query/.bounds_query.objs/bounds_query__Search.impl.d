@@ -1,0 +1,1 @@
+lib/query/search.ml: Bitset Bounds_model Eval Filter Index Instance List Printf Query String

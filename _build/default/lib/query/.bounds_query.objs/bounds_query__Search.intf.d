@@ -1,0 +1,1 @@
+lib/query/search.mli: Bounds_model Entry Filter Index Vindex

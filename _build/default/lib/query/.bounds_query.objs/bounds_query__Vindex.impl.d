@@ -1,0 +1,1 @@
+lib/query/vindex.ml: Attr Bitset Bounds_model Entry Hashtbl Index List Option String Value

@@ -1,0 +1,1 @@
+lib/query/vindex.mli: Attr Bitset Bounds_model Index

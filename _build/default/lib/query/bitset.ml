@@ -1,0 +1,117 @@
+type t = { n : int; words : Bytes.t }
+
+let nbytes n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Bytes.make (nbytes n) '\000' }
+
+let length s = s.n
+
+let full n =
+  let s = { n; words = Bytes.make (nbytes n) '\255' } in
+  (* clear the padding bits of the last byte *)
+  let rem = n land 7 in
+  if rem <> 0 && n > 0 then begin
+    let last = nbytes n - 1 in
+    Bytes.set s.words last (Char.chr ((1 lsl rem) - 1))
+  end;
+  s
+
+let check_idx s i =
+  if i < 0 || i >= s.n then invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i s.n)
+
+let mem s i =
+  check_idx s i;
+  Char.code (Bytes.get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set s i =
+  check_idx s i;
+  let b = i lsr 3 in
+  Bytes.set s.words b (Char.chr (Char.code (Bytes.get s.words b) lor (1 lsl (i land 7))))
+
+let unset s i =
+  check_idx s i;
+  let b = i lsr 3 in
+  Bytes.set s.words b
+    (Char.chr (Char.code (Bytes.get s.words b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let copy s = { n = s.n; words = Bytes.copy s.words }
+
+let add s i =
+  let s' = copy s in
+  set s' i;
+  s'
+
+let remove s i =
+  let s' = copy s in
+  unset s' i;
+  s'
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe size mismatch"
+
+let map2 f a b =
+  check_same a b;
+  let r = create a.n in
+  for k = 0 to Bytes.length a.words - 1 do
+    Bytes.set r.words k
+      (Char.chr (f (Char.code (Bytes.get a.words k)) (Char.code (Bytes.get b.words k)) land 0xff))
+  done;
+  r
+
+let union = map2 (fun x y -> x lor y)
+let inter = map2 (fun x y -> x land y)
+let diff = map2 (fun x y -> x land lnot y)
+
+let complement a =
+  let r = diff (full a.n) a in
+  r
+
+let is_empty s = Bytes.for_all (fun c -> c = '\000') s.words
+
+let popcount_byte = Array.init 256 (fun i ->
+    let rec go i acc = if i = 0 then acc else go (i lsr 1) (acc + (i land 1)) in
+    go i 0)
+
+let cardinal s =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte.(Char.code c)) s.words;
+  !acc
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let subset a b =
+  check_same a b;
+  is_empty (diff a b)
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if Char.code (Bytes.get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n l =
+  let s = create n in
+  List.iter (set s) l;
+  s
+
+let choose s =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,55 @@
+(** Dense bit sets over entry ranks.
+
+    Query evaluation represents intermediate results as bit sets indexed by
+    the dense rank an {!Index} assigns to each entry; all boolean
+    combinators are then word-parallel.  The API is persistent (operations
+    return fresh sets) — evaluation never aliases intermediate results. *)
+
+type t
+
+(** [create n] is the empty set over universe [0..n-1]. *)
+val create : int -> t
+
+(** Universe size. *)
+val length : t -> int
+
+(** [full n] is the set containing all of [0..n-1]. *)
+val full : int -> t
+
+val mem : t -> int -> bool
+
+(** [add s i] / [remove s i] are persistent single-bit updates. *)
+val add : t -> int -> t
+
+val remove : t -> int -> t
+
+(** In-place variants, used by the linear tree sweeps. *)
+val set : t -> int -> unit
+
+val unset : t -> int -> unit
+val copy : t -> t
+
+(** Set algebra; arguments must share a universe size
+    (raises [Invalid_argument] otherwise). *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val is_empty : t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+(** [iter f s] applies [f] to members in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+
+(** First member, if any. *)
+val choose : t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+let eval_filter ix f =
+  let n = Index.n ix in
+  let bs = Bitset.create n in
+  for r = 0 to n - 1 do
+    if Filter.matches f (Index.entry_of_rank ix r) then Bitset.set bs r
+  done;
+  bs
+
+(* result = q1 ∩ { e | some child of e is in q2 } *)
+let chi_child ix q1 q2 =
+  let n = Index.n ix in
+  let marked = Bitset.create n in
+  Bitset.iter
+    (fun r ->
+      let p = Index.parent_rank ix r in
+      if p >= 0 then Bitset.set marked p)
+    q2;
+  Bitset.inter q1 marked
+
+(* result = q1 ∩ { e | parent of e is in q2 } *)
+let chi_parent ix q1 q2 =
+  let n = Index.n ix in
+  let marked = Bitset.create n in
+  for r = 0 to n - 1 do
+    let p = Index.parent_rank ix r in
+    if p >= 0 && Bitset.mem q2 p then Bitset.set marked r
+  done;
+  Bitset.inter q1 marked
+
+(* Reverse preorder sweep: when node r is visited all its descendants have
+   already pushed their contribution into [below].(r). *)
+let chi_descendant ix q1 q2 =
+  let n = Index.n ix in
+  let below = Bitset.create n in
+  for r = n - 1 downto 0 do
+    if Bitset.mem q2 r || Bitset.mem below r then begin
+      let p = Index.parent_rank ix r in
+      if p >= 0 then Bitset.set below p
+    end
+  done;
+  Bitset.inter q1 below
+
+(* Forward preorder sweep: parents are visited before children. *)
+let chi_ancestor ix q1 q2 =
+  let n = Index.n ix in
+  let above = Bitset.create n in
+  for r = 0 to n - 1 do
+    let p = Index.parent_rank ix r in
+    if p >= 0 && (Bitset.mem q2 p || Bitset.mem above p) then Bitset.set above r
+  done;
+  Bitset.inter q1 above
+
+(* With a value index, answer Eq/Present leaves from the hash table and
+   push boolean structure into set algebra; other leaves fall back to the
+   entry scan. *)
+let rec eval_filter_indexed vx ix f =
+  match f with
+  | Filter.Eq (a, v) -> Vindex.lookup_eq vx a v
+  | Filter.Present a -> Vindex.lookup_present vx a
+  | Filter.And fs ->
+      List.fold_left
+        (fun acc f -> Bitset.inter acc (eval_filter_indexed vx ix f))
+        (Bitset.full (Index.n ix))
+        fs
+  | Filter.Or fs ->
+      List.fold_left
+        (fun acc f -> Bitset.union acc (eval_filter_indexed vx ix f))
+        (Bitset.create (Index.n ix))
+        fs
+  | Filter.Not f -> Bitset.complement (eval_filter_indexed vx ix f)
+  | Filter.Ge _ | Filter.Le _ | Filter.Substr _ -> eval_filter ix f
+
+let rec eval ?vindex ix q =
+  match q with
+  | Query.Select f -> (
+      match vindex with
+      | Some vx -> eval_filter_indexed vx ix f
+      | None -> eval_filter ix f)
+  | Query.Minus (a, b) -> Bitset.diff (eval ?vindex ix a) (eval ?vindex ix b)
+  | Query.Union (a, b) -> Bitset.union (eval ?vindex ix a) (eval ?vindex ix b)
+  | Query.Inter (a, b) -> Bitset.inter (eval ?vindex ix a) (eval ?vindex ix b)
+  | Query.Chi (ax, a, b) ->
+      let s1 = eval ?vindex ix a and s2 = eval ?vindex ix b in
+      (match ax with
+      | Query.Child -> chi_child ix s1 s2
+      | Query.Parent -> chi_parent ix s1 s2
+      | Query.Descendant -> chi_descendant ix s1 s2
+      | Query.Ancestor -> chi_ancestor ix s1 s2)
+
+let eval_ids ?vindex ix q = Index.ids_of ix (eval ?vindex ix q)
+let is_empty ?vindex ix q = Bitset.is_empty (eval ?vindex ix q)

@@ -1,0 +1,19 @@
+(** Parser for the RFC-2254-style filter syntax.
+
+    Grammar (whitespace between tokens is ignored):
+    {v
+      filter  ::= '(' body ')'
+      body    ::= '&' filter*            conjunction
+                | '|' filter*            disjunction
+                | '!' filter             negation
+                | attr '=' '*'           presence
+                | attr '=' pattern       equality or substring (if '*' occurs)
+                | attr '>=' value
+                | attr '<=' value
+    v}
+    Backslash escapes [\(], [\)], [\*], [\\] inside values. *)
+
+val parse : string -> (Filter.t, string) result
+
+(** [parse_exn] raises [Failure] with the error message. *)
+val parse_exn : string -> Filter.t

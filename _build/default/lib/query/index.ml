@@ -1,0 +1,54 @@
+open Bounds_model
+
+module Imap = Map.Make (Int)
+
+type t = {
+  instance : Instance.t;
+  n : int;
+  entries : Entry.t array; (* by rank, preorder *)
+  ids : Entry.id array; (* rank -> id *)
+  ranks : int Imap.t; (* id -> rank *)
+  parents : int array; (* rank -> parent rank, -1 for roots *)
+  depths : int array;
+  extents : int array; (* rank -> last rank of its subtree *)
+}
+
+let create instance =
+  let n = Instance.size instance in
+  let entries = Array.make n None in
+  let ids = Array.make n 0 in
+  let parents = Array.make n (-1) in
+  let depths = Array.make n 0 in
+  let extents = Array.make n 0 in
+  let ranks = ref Imap.empty in
+  let next = ref 0 in
+  let rec visit parent_rank depth id =
+    let r = !next in
+    incr next;
+    entries.(r) <- Some (Instance.entry instance id);
+    ids.(r) <- id;
+    parents.(r) <- parent_rank;
+    depths.(r) <- depth;
+    ranks := Imap.add id r !ranks;
+    List.iter (visit r (depth + 1)) (Instance.children instance id);
+    (* all descendants were numbered in [r+1, next-1] *)
+    extents.(r) <- !next - 1
+  in
+  List.iter (visit (-1) 0) (Instance.roots instance);
+  assert (!next = n);
+  let entries = Array.map Option.get entries in
+  { instance; n; entries; ids; ranks = !ranks; parents; depths; extents }
+
+let instance ix = ix.instance
+let n ix = ix.n
+
+let rank ix id =
+  match Imap.find_opt id ix.ranks with Some r -> r | None -> raise Not_found
+
+let rank_opt ix id = Imap.find_opt id ix.ranks
+let id_of_rank ix r = ix.ids.(r)
+let entry_of_rank ix r = ix.entries.(r)
+let parent_rank ix r = ix.parents.(r)
+let depth_of_rank ix r = ix.depths.(r)
+let extent_of_rank ix r = ix.extents.(r)
+let ids_of ix bs = List.rev (Bitset.fold (fun r acc -> ix.ids.(r) :: acc) bs [])

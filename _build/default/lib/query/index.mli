@@ -1,0 +1,38 @@
+(** Evaluation index over one instance version.
+
+    Built in O(|D|); assigns each entry a dense {e rank} equal to its
+    position in a depth-first preorder of the forest.  This single
+    numbering makes all four χ axes evaluable in one linear array sweep
+    (see {!Eval}): in preorder every node precedes its descendants, so a
+    reverse sweep propagates information from descendants to ancestors and
+    a forward sweep the other way. *)
+
+open Bounds_model
+
+type t
+
+val create : Instance.t -> t
+val instance : t -> Instance.t
+
+(** Number of entries. *)
+val n : t -> int
+
+(** [rank ix id] — raises [Not_found] for ids absent from the instance. *)
+val rank : t -> Entry.id -> int
+
+val rank_opt : t -> Entry.id -> int option
+val id_of_rank : t -> int -> Entry.id
+val entry_of_rank : t -> int -> Entry.t
+
+(** Rank of the parent, or [-1] for roots. *)
+val parent_rank : t -> int -> int
+
+val depth_of_rank : t -> int -> int
+
+(** Last rank of the subtree rooted at the given rank: in a preorder
+    numbering the subtree occupies the contiguous interval
+    [[r, extent_of_rank ix r]]. *)
+val extent_of_rank : t -> int -> int
+
+(** Ranks back to entry ids. *)
+val ids_of : t -> Bitset.t -> Entry.id list

@@ -1,0 +1,26 @@
+open Bounds_model
+
+module Iset = Set.Make (Int)
+
+let related inst ax ei ej =
+  match ax with
+  | Query.Child -> Instance.parent inst ej = Some ei
+  | Query.Parent -> Instance.parent inst ei = Some ej
+  | Query.Descendant -> Instance.is_strict_ancestor inst ~anc:ei ~desc:ej
+  | Query.Ancestor -> Instance.is_strict_ancestor inst ~anc:ej ~desc:ei
+
+let rec eval_set inst q =
+  match q with
+  | Query.Select f ->
+      Instance.fold
+        (fun e acc -> if Filter.matches f e then Iset.add (Entry.id e) acc else acc)
+        inst Iset.empty
+  | Query.Minus (a, b) -> Iset.diff (eval_set inst a) (eval_set inst b)
+  | Query.Union (a, b) -> Iset.union (eval_set inst a) (eval_set inst b)
+  | Query.Inter (a, b) -> Iset.inter (eval_set inst a) (eval_set inst b)
+  | Query.Chi (ax, a, b) ->
+      let s1 = eval_set inst a and s2 = eval_set inst b in
+      Iset.filter (fun ei -> Iset.exists (fun ej -> related inst ax ei ej) s2) s1
+
+let eval inst q = Iset.elements (eval_set inst q)
+let is_empty inst q = Iset.is_empty (eval_set inst q)

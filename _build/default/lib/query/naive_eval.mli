@@ -1,0 +1,13 @@
+(** Reference evaluator: implements query semantics directly from the
+    definitions, with pairwise entry comparisons for the χ axes —
+    O(|Q|·|D|²) worst case.
+
+    This is the quadratic strawman of Section 3.2 and the oracle the
+    linear evaluator is property-tested against. *)
+
+open Bounds_model
+
+(** Result as a sorted list of entry ids. *)
+val eval : Instance.t -> Query.t -> Entry.id list
+
+val is_empty : Instance.t -> Query.t -> bool

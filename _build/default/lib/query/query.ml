@@ -1,0 +1,51 @@
+type axis = Child | Parent | Descendant | Ancestor
+
+type t =
+  | Select of Filter.t
+  | Minus of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Chi of axis * t * t
+
+let rec size = function
+  | Select f -> Filter.size f
+  | Minus (a, b) | Union (a, b) | Inter (a, b) -> 1 + size a + size b
+  | Chi (_, a, b) -> 1 + size a + size b
+
+let axis_to_string = function
+  | Child -> "c"
+  | Parent -> "p"
+  | Descendant -> "d"
+  | Ancestor -> "a"
+
+let axis_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "c" | "child" -> Ok Child
+  | "p" | "parent" -> Ok Parent
+  | "d" | "descendant" -> Ok Descendant
+  | "a" | "ancestor" -> Ok Ancestor
+  | other -> Error (Printf.sprintf "unknown axis %S (expected c/p/d/a)" other)
+
+let quote s = Printf.sprintf "%S" s
+
+let rec to_string = function
+  | Select f -> Printf.sprintf "(select %s)" (quote (Filter.to_string f))
+  | Minus (a, b) -> Printf.sprintf "(minus %s %s)" (to_string a) (to_string b)
+  | Union (a, b) -> Printf.sprintf "(union %s %s)" (to_string a) (to_string b)
+  | Inter (a, b) -> Printf.sprintf "(inter %s %s)" (to_string a) (to_string b)
+  | Chi (ax, a, b) ->
+      Printf.sprintf "(chi %s %s %s)" (axis_to_string ax) (to_string a) (to_string b)
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)
+
+let rec equal q1 q2 =
+  match (q1, q2) with
+  | Select f, Select g -> Filter.equal f g
+  | Minus (a, b), Minus (c, d)
+  | Union (a, b), Union (c, d)
+  | Inter (a, b), Inter (c, d) ->
+      equal a c && equal b d
+  | Chi (ax, a, b), Chi (ay, c, d) -> ax = ay && equal a c && equal b d
+  | (Select _ | Minus _ | Union _ | Inter _ | Chi _), _ -> false
+
+let select_class c = Select (Filter.class_eq c)

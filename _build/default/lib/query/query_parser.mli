@@ -1,0 +1,15 @@
+(** Parser for the s-expression query syntax produced by
+    {!Query.to_string}:
+    {v
+      query ::= '(' 'select' string ')'          string: a quoted filter
+              | '(' 'minus' query query ')'
+              | '(' 'union' query query ')'
+              | '(' 'inter' query query ')'
+              | '(' 'chi' axis query query ')'   axis: c | p | d | a
+    v}
+    An unquoted bare filter such as [(objectClass=person)] is also
+    accepted at query position as shorthand for a [select]. *)
+
+val parse : string -> (Query.t, string) result
+
+val parse_exn : string -> Query.t

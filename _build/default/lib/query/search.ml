@@ -1,0 +1,71 @@
+open Bounds_model
+
+type scope = Base | One_level | Subtree
+
+let scope_to_string = function
+  | Base -> "base"
+  | One_level -> "one"
+  | Subtree -> "sub"
+
+let scope_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "base" -> Ok Base
+  | "one" | "onelevel" | "one-level" -> Ok One_level
+  | "sub" | "subtree" -> Ok Subtree
+  | other -> Error (Printf.sprintf "unknown scope %S (base/one/sub)" other)
+
+(* Fold over the ranks in scope, in increasing (preorder) order. *)
+let fold_scope ix ~base scope f init =
+  match (base, scope) with
+  | None, Base ->
+      (* the roots: ranks whose parent is -1 *)
+      let acc = ref init in
+      for r = 0 to Index.n ix - 1 do
+        if Index.parent_rank ix r = -1 then acc := f r !acc
+      done;
+      !acc
+  | None, (One_level | Subtree) ->
+      let acc = ref init in
+      let depth_limit = match scope with One_level -> Some 1 | _ -> None in
+      for r = 0 to Index.n ix - 1 do
+        match depth_limit with
+        | Some d -> if Index.depth_of_rank ix r = d then acc := f r !acc
+        | None -> acc := f r !acc
+      done;
+      !acc
+  | Some id, Base -> f (Index.rank ix id) init
+  | Some id, One_level ->
+      (* validates that the base exists, even when childless *)
+      ignore (Index.rank ix id);
+      List.fold_left
+        (fun acc child -> f (Index.rank ix child) acc)
+        init
+        (Instance.children (Index.instance ix) id)
+  | Some id, Subtree ->
+      let r0 = Index.rank ix id in
+      let r1 = Index.extent_of_rank ix r0 in
+      let acc = ref init in
+      for r = r0 to r1 do
+        acc := f r !acc
+      done;
+      !acc
+
+let matches ?vindex ix filter =
+  (* with a value index, pre-evaluate the filter once and test membership;
+     otherwise test the filter per entry *)
+  match vindex with
+  | None -> fun r -> Filter.matches filter (Index.entry_of_rank ix r)
+  | Some _ ->
+      let bs = Eval.eval ?vindex ix (Query.Select filter) in
+      fun r -> Bitset.mem bs r
+
+let search ?vindex ix ~base scope filter =
+  let keep = matches ?vindex ix filter in
+  fold_scope ix ~base scope
+    (fun r acc -> if keep r then Index.id_of_rank ix r :: acc else acc)
+    []
+  |> List.rev
+
+let count ?vindex ix ~base scope filter =
+  let keep = matches ?vindex ix filter in
+  fold_scope ix ~base scope (fun r acc -> if keep r then acc + 1 else acc) 0

@@ -1,0 +1,41 @@
+(** LDAP-style scoped search.
+
+    The paper's introduction describes the retrieval model of directory
+    applications: entries matching a boolean filter, "the retrieval
+    typically scoped to some subtree of the hierarchy".  This module is
+    that operation: a base entry, one of the three LDAP scopes, and a
+    filter.
+
+    Subtree scoping costs O(size of the scoped subtree), not O(|D|): in
+    the preorder ranking of {!Index} a subtree is the contiguous interval
+    [[rank(base), extent(base)]]. *)
+
+open Bounds_model
+
+type scope =
+  | Base  (** the base entry alone *)
+  | One_level  (** the base entry's children *)
+  | Subtree  (** the base entry and all its descendants *)
+
+val scope_to_string : scope -> string
+val scope_of_string : string -> (scope, string) result
+
+(** [search ix ~base scope filter] — entry ids in document (preorder)
+    order.  [base = None] searches the whole forest ([Base] then means
+    the roots).  Raises [Not_found] if [base] names an absent entry. *)
+val search :
+  ?vindex:Vindex.t ->
+  Index.t ->
+  base:Entry.id option ->
+  scope ->
+  Filter.t ->
+  Entry.id list
+
+(** [count] without materializing the ids. *)
+val count :
+  ?vindex:Vindex.t ->
+  Index.t ->
+  base:Entry.id option ->
+  scope ->
+  Filter.t ->
+  int

@@ -1,0 +1,41 @@
+open Bounds_model
+
+type key = string * string (* attribute name, normalized value rendering *)
+
+type t = {
+  ix : Index.t;
+  eq : (key, int list) Hashtbl.t; (* ranks holding that pair *)
+  present : (string, int list) Hashtbl.t;
+}
+
+let norm = String.lowercase_ascii
+
+let push tbl k r =
+  let prev = match Hashtbl.find_opt tbl k with Some l -> l | None -> [] in
+  Hashtbl.replace tbl k (r :: prev)
+
+let create ix =
+  let eq = Hashtbl.create 1024 and present = Hashtbl.create 256 in
+  for r = 0 to Index.n ix - 1 do
+    let e = Index.entry_of_rank ix r in
+    List.iter
+      (fun (a, v) -> push eq (Attr.to_string a, norm (Value.to_string v)) r)
+      (Entry.pairs e);
+    Attr.Set.iter (fun a -> push present (Attr.to_string a) r) (Entry.attributes e)
+  done;
+  { ix; eq; present }
+
+let index t = t.ix
+
+let of_ranks t ranks =
+  let bs = Bitset.create (Index.n t.ix) in
+  List.iter (Bitset.set bs) ranks;
+  bs
+
+let lookup_eq t a v =
+  of_ranks t
+    (Option.value ~default:[] (Hashtbl.find_opt t.eq (Attr.to_string a, norm v)))
+
+let lookup_present t a =
+  of_ranks t
+    (Option.value ~default:[] (Hashtbl.find_opt t.present (Attr.to_string a)))

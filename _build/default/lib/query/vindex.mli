@@ -1,0 +1,22 @@
+(** Value index: secondary (attribute, value) → rank-set index.
+
+    Atomic equality and presence selections — in particular the ubiquitous
+    [(objectClass=c)] selections produced by the Figure-4 translation —
+    answer from a hash table instead of a full entry scan.  {!Eval} uses
+    the lookups for [Eq] and [Present] leaves and falls back to scanning
+    for other assertion shapes.  Built in O(|val(D)|). *)
+
+open Bounds_model
+
+type t
+
+val create : Index.t -> t
+val index : t -> Index.t
+
+(** Ranks of entries holding the pair [(a, v)]; [v] is the raw assertion
+    value, compared against the string rendering of stored values,
+    case-insensitively (same semantics as [Filter.Eq]). *)
+val lookup_eq : t -> Attr.t -> string -> Bitset.t
+
+(** Ranks of entries with at least one value for [a]. *)
+val lookup_present : t -> Attr.t -> Bitset.t

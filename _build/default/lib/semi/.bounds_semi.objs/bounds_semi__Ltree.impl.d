@@ -1,0 +1,1 @@
+lib/semi/ltree.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/semi/ltree.mli: Format

@@ -1,0 +1,1 @@
+lib/semi/sschema.ml: Bounds_core Bounds_model Class_schema Consistency Entry Format Inference Instance Legality List Ltree Oclass Printf Schema Set String Structure_schema Violation

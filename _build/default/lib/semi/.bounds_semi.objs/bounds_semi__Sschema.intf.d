@@ -1,0 +1,1 @@
+lib/semi/sschema.mli: Bounds_core Bounds_model Format Ltree Schema Structure_schema

@@ -1,0 +1,96 @@
+type t = { label : string; children : t list }
+
+let valid_label s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       s
+
+let v label children =
+  if not (valid_label label) then
+    invalid_arg (Printf.sprintf "Ltree.v: invalid label %S" label);
+  { label; children }
+
+let leaf label = v label []
+
+let rec size t = 1 + List.fold_left (fun n c -> n + size c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun d c -> max d (depth c)) 0 t.children
+
+let rec labels t = t.label :: List.concat_map labels t.children
+
+let rec to_string t =
+  match t.children with
+  | [] -> Printf.sprintf "(%s)" t.label
+  | cs ->
+      Printf.sprintf "(%s %s)" t.label (String.concat " " (List.map to_string cs))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let rec equal t1 t2 =
+  String.equal t1.label t2.label && List.equal equal t1.children t2.children
+
+exception Parse of string
+
+type state = { src : string; mutable pos : int }
+
+let perr st fmt =
+  Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "at offset %d: %s" st.pos m))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let rec parse_tree st =
+  skip_ws st;
+  (match peek st with Some '(' -> st.pos <- st.pos + 1 | _ -> perr st "expected '('");
+  skip_ws st;
+  let start = st.pos in
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then perr st "expected a label";
+  let label = String.sub st.src start (st.pos - start) in
+  let rec kids acc =
+    skip_ws st;
+    match peek st with
+    | Some ')' ->
+        st.pos <- st.pos + 1;
+        List.rev acc
+    | Some '(' -> kids (parse_tree st :: acc)
+    | _ -> perr st "expected '(' or ')'"
+  in
+  { label; children = kids [] }
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  try
+    let t = parse_tree st in
+    skip_ws st;
+    if st.pos <> String.length s then Error "trailing input" else Ok t
+  with Parse m -> Error m
+
+let parse_forest s =
+  let st = { src = s; pos = 0 } in
+  try
+    let rec go acc =
+      skip_ws st;
+      if st.pos = String.length s then List.rev acc else go (parse_tree st :: acc)
+    in
+    Ok (go [])
+  with Parse m -> Error m

@@ -1,0 +1,25 @@
+(** Labelled trees — the semistructured data of Section 6.3.
+
+    Each node carries a single label (think of it as the label of its
+    incoming edge in an OEM-style graph); data is a forest of such
+    trees. *)
+
+type t = { label : string; children : t list }
+
+(** [v label children] — validates the label (non-empty, class-name
+    alphabet); raises [Invalid_argument] otherwise. *)
+val v : string -> t list -> t
+
+val leaf : string -> t
+
+val size : t -> int
+val depth : t -> int
+val labels : t -> string list
+
+(** S-expression syntax: [(country (corporation (corporation)))]. *)
+val parse : string -> (t, string) result
+
+val parse_forest : string -> (t list, string) result
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

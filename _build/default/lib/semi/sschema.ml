@@ -1,0 +1,199 @@
+open Bounds_model
+open Bounds_core
+
+module Sset = Set.Make (String)
+
+type t = {
+  req_labels : Sset.t;
+  reqs : (string * Structure_schema.rel * string) list;
+  forbs : (string * Structure_schema.forb * string) list;
+}
+
+let empty = { req_labels = Sset.empty; reqs = []; forbs = [] }
+
+let check_label l =
+  if Oclass.of_string_opt l = None || String.lowercase_ascii l = "top" then
+    invalid_arg (Printf.sprintf "invalid semistructured label %S" l)
+
+let require_label l t =
+  check_label l;
+  { t with req_labels = Sset.add l t.req_labels }
+
+let require l1 r l2 t =
+  check_label l1;
+  check_label l2;
+  if List.mem (l1, r, l2) t.reqs then t else { t with reqs = t.reqs @ [ (l1, r, l2) ] }
+
+let forbid l1 f l2 t =
+  check_label l1;
+  check_label l2;
+  if List.mem (l1, f, l2) t.forbs then t
+  else { t with forbs = t.forbs @ [ (l1, f, l2) ] }
+
+let required_labels t = Sset.elements t.req_labels
+let required_rels t = t.reqs
+let forbidden_rels t = t.forbs
+
+let labels t =
+  let s = t.req_labels in
+  let s = List.fold_left (fun s (a, _, b) -> Sset.add a (Sset.add b s)) s t.reqs in
+  let s = List.fold_left (fun s (a, _, b) -> Sset.add a (Sset.add b s)) s t.forbs in
+  Sset.elements s
+
+let pp ppf t =
+  List.iter (fun l -> Format.fprintf ppf "require exists %s@." l) (required_labels t);
+  List.iter
+    (fun (a, r, b) ->
+      Format.fprintf ppf "require %s %s %s@." a (Structure_schema.rel_to_string r) b)
+    t.reqs;
+  List.iter
+    (fun (a, f, b) ->
+      Format.fprintf ppf "forbid %s %s %s@." a (Structure_schema.forb_to_string f) b)
+    t.forbs
+
+let to_string t = Format.asprintf "%a" pp t
+
+let parse src =
+  let err line fmt =
+    Format.kasprintf (fun m -> Error (Printf.sprintf "line %d: %s" line m)) fmt
+  in
+  let rec go t line = function
+    | [] -> Ok t
+    | raw :: rest -> (
+        let stmt =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        match
+          String.split_on_char ' ' stmt
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun w -> w <> "")
+        with
+        | [] -> go t (line + 1) rest
+        | [ "require"; "exists"; l ] -> (
+            match (try Ok (require_label l t) with Invalid_argument m -> Error m) with
+            | Ok t -> go t (line + 1) rest
+            | Error m -> err line "%s" m)
+        | [ "require"; l1; rel; l2 ] -> (
+            match Structure_schema.rel_of_string rel with
+            | Error m -> err line "%s" m
+            | Ok rel -> (
+                match (try Ok (require l1 rel l2 t) with Invalid_argument m -> Error m) with
+                | Ok t -> go t (line + 1) rest
+                | Error m -> err line "%s" m))
+        | [ "forbid"; l1; rel; l2 ] -> (
+            match Structure_schema.forb_of_string rel with
+            | Error m -> err line "%s" m
+            | Ok rel -> (
+                match (try Ok (forbid l1 rel l2 t) with Invalid_argument m -> Error m) with
+                | Ok t -> go t (line + 1) rest
+                | Error m -> err line "%s" m))
+        | w :: _ -> err line "cannot parse statement starting with %S" w)
+  in
+  go empty 1
+    (String.split_on_char '\n' src |> List.concat_map (String.split_on_char ';'))
+
+let parse_exn src =
+  match parse src with Ok t -> t | Error m -> failwith m
+
+(* --- the embedding ----------------------------------------------------- *)
+
+let to_schema t =
+  let classes =
+    List.fold_left
+      (fun cs l -> Class_schema.add_core_exn (Oclass.of_string l) ~parent:Oclass.top cs)
+      Class_schema.empty (labels t)
+  in
+  let structure =
+    Structure_schema.empty
+    |> fun s ->
+    Sset.fold
+      (fun l s -> Structure_schema.require_class (Oclass.of_string l) s)
+      t.req_labels s
+    |> fun s ->
+    List.fold_left
+      (fun s (a, r, b) ->
+        Structure_schema.require (Oclass.of_string a) r (Oclass.of_string b) s)
+      s t.reqs
+    |> fun s ->
+    List.fold_left
+      (fun s (a, f, b) ->
+        Structure_schema.forbid (Oclass.of_string a) f (Oclass.of_string b) s)
+      s t.forbs
+  in
+  Schema.make_exn ~classes ~structure ()
+
+(* Labels outside the schema are embedded too: each node's class set is
+   {top, its label}; unknown labels would fail the class-schema check, so
+   the embedding schema for a checking run is extended with the data's
+   labels. *)
+let schema_for t forest =
+  let data_labels =
+    List.concat_map Ltree.labels forest |> Sset.of_list |> Sset.elements
+  in
+  (* witnesses may contain "top" placeholder nodes; [top] is always
+     declared *)
+  let all =
+    Sset.elements (Sset.union (Sset.of_list data_labels) (Sset.of_list (labels t)))
+    |> List.filter (fun l -> String.lowercase_ascii l <> "top")
+  in
+  let classes =
+    List.fold_left
+      (fun cs l -> Class_schema.add_core_exn (Oclass.of_string l) ~parent:Oclass.top cs)
+      Class_schema.empty all
+  in
+  let base = to_schema t in
+  Schema.make_exn ~classes ~structure:base.Schema.structure ()
+
+let embed_forest forest =
+  let next = ref 0 in
+  let entry label =
+    let id = !next in
+    incr next;
+    Entry.make ~id ~rdn:(Printf.sprintf "n%d=%s" id label)
+      ~classes:(Oclass.Set.of_list [ Oclass.top; Oclass.of_string label ])
+      []
+  in
+  let rec add parent (node : Ltree.t) inst =
+    let e = entry node.Ltree.label in
+    let inst =
+      match Instance.add ~parent e inst with
+      | Ok inst -> inst
+      | Error err -> invalid_arg (Instance.error_to_string err)
+    in
+    List.fold_left (fun inst c -> add (Some (Entry.id e)) c inst) inst node.Ltree.children
+  in
+  List.fold_left (fun inst tr -> add None tr inst) Instance.empty forest
+
+let of_instance inst =
+  let label_of id =
+    let classes = Entry.classes (Instance.entry inst id) in
+    match
+      Oclass.Set.elements (Oclass.Set.remove Oclass.top classes)
+    with
+    | [ c ] -> Oclass.to_string c
+    | [] -> "top"
+    | c :: _ -> Oclass.to_string c
+  in
+  let rec build id =
+    (* bypass label validation: placeholder nodes are labelled "top" *)
+    { Ltree.label = label_of id; Ltree.children = List.map build (Instance.children inst id) }
+  in
+  List.map build (Instance.roots inst)
+
+let check t forest =
+  let schema = schema_for t forest in
+  let inst = embed_forest forest in
+  List.map Violation.to_string (Legality.check schema inst)
+
+let is_legal t forest = check t forest = []
+
+let is_consistent t = Consistency.is_consistent (to_schema t)
+
+let witness t =
+  match Consistency.decide (to_schema t) with
+  | Consistency.Consistent { witness; _ } -> Ok (of_instance witness)
+  | Consistency.Inconsistent { proof; _ } ->
+      Error (Format.asprintf "inconsistent:@ %a" Inference.pp_proof proof)
+  | Consistency.Unresolved { reason; _ } -> Error reason

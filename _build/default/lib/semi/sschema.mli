@@ -1,0 +1,61 @@
+(** Bounding-schemas for semistructured data (Section 6.3).
+
+    The same lower/upper-bound vocabulary over node labels: required
+    labels, required structural relationships (including the
+    arbitrary-path-length [descendant]/[ancestor] forms that fixed-length
+    path constraints cannot express — the paper's motivating
+    observation), and forbidden relationships (e.g. "no [country] below
+    another [country]"). *)
+
+open Bounds_core
+
+type t
+
+val empty : t
+val require_label : string -> t -> t
+val require : string -> Structure_schema.rel -> string -> t -> t
+val forbid : string -> Structure_schema.forb -> string -> t -> t
+
+val required_labels : t -> string list
+val required_rels : t -> (string * Structure_schema.rel * string) list
+val forbidden_rels : t -> (string * Structure_schema.forb * string) list
+
+(** Every label mentioned. *)
+val labels : t -> string list
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Decision procedures — inherited from the directory model}
+
+    Data and schema embed into the directory model (each label becomes a
+    core class directly under [top]; each node an entry of that single
+    class), and the three algorithms of the paper apply unchanged. *)
+
+(** Human-readable violations. *)
+val check : t -> Ltree.t list -> string list
+
+val is_legal : t -> Ltree.t list -> bool
+val is_consistent : t -> bool
+
+(** A legal forest witnessing consistency. *)
+val witness : t -> (Ltree.t list, string) result
+
+(** {1 Textual syntax}
+
+    {v
+    require exists <label>
+    require <label> (child|descendant|parent|ancestor) <label>
+    forbid  <label> (child|descendant) <label>
+    v}
+    with [#] comments; newlines/semicolons separate statements. *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+(** The underlying embedding, for interop and tests. *)
+val to_schema : t -> Schema.t
+
+val embed_forest : Ltree.t list -> Bounds_model.Instance.t
+val of_instance : Bounds_model.Instance.t -> Ltree.t list

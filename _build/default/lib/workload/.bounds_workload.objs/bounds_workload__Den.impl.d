@@ -1,0 +1,1 @@
+lib/workload/den.ml: Attr Attribute_schema Atype Bounds_core Bounds_model Class_schema Entry Instance Oclass Printf Random Schema Structure_schema Typing Value

@@ -1,0 +1,1 @@
+lib/workload/den.mli: Bounds_core Bounds_model Instance Schema

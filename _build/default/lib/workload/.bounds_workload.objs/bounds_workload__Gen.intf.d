@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Bounds_core Bounds_model Class_schema Entry Instance Random Schema Update

@@ -1,0 +1,1 @@
+lib/workload/university.mli: Bounds_core Bounds_model Instance Schema

@@ -1,0 +1,1 @@
+lib/workload/white_pages.mli: Bounds_core Bounds_model Instance Schema

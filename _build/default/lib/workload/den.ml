@@ -1,0 +1,138 @@
+open Bounds_model
+open Bounds_core
+
+let c = Oclass.of_string
+let a = Attr.of_string
+
+let schema =
+  let typing =
+    match
+      Typing.of_list
+        [
+          (a "sitename", Atype.T_string);
+          (a "devicename", Atype.T_string);
+          (a "ifname", Atype.T_string);
+          (a "speed", Atype.T_int);
+          (a "policyname", Atype.T_string);
+          (a "priority", Atype.T_int);
+          (a "location", Atype.T_string);
+          (a "managedby", Atype.T_dn);
+        ]
+    with
+    | Ok t -> t
+    | Error m -> invalid_arg m
+  in
+  let classes =
+    Class_schema.empty
+    |> Class_schema.add_core_exn (c "site") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "device") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "router") ~parent:(c "device")
+    |> Class_schema.add_core_exn (c "switch") ~parent:(c "device")
+    |> Class_schema.add_core_exn (c "interface") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "policygroup") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "policy") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "qospolicy") ~parent:(c "policy")
+    |> Class_schema.add_core_exn (c "securitypolicy") ~parent:(c "policy")
+    |> Class_schema.add_aux_exn (c "managed")
+    |> Class_schema.allow_aux_exn ~core:(c "device") (c "managed")
+  in
+  let attributes =
+    Attribute_schema.empty
+    |> Attribute_schema.add_class_exn (c "site") ~required:[ a "sitename" ]
+         ~allowed:[ a "location" ]
+    |> Attribute_schema.add_class_exn (c "device") ~required:[ a "devicename" ]
+         ~allowed:[ a "location" ]
+    |> Attribute_schema.add_class_exn (c "interface") ~required:[ a "ifname" ]
+         ~allowed:[ a "speed" ]
+    |> Attribute_schema.add_class_exn (c "policy") ~required:[ a "policyname" ]
+         ~allowed:[ a "priority" ]
+    |> Attribute_schema.add_class_exn (c "managed") ~allowed:[ a "managedby" ]
+  in
+  let structure =
+    Structure_schema.empty
+    |> Structure_schema.require_class (c "site")
+    |> Structure_schema.require_class (c "policygroup")
+    |> Structure_schema.require (c "device") Structure_schema.Parent (c "site")
+    |> Structure_schema.require (c "interface") Structure_schema.Parent (c "device")
+    |> Structure_schema.require (c "router") Structure_schema.Descendant (c "interface")
+    |> Structure_schema.require (c "policygroup") Structure_schema.Descendant (c "policy")
+    |> Structure_schema.forbid (c "interface") Structure_schema.F_child Oclass.top
+    |> Structure_schema.forbid (c "device") Structure_schema.F_descendant (c "policy")
+    |> Structure_schema.forbid (c "policygroup") Structure_schema.F_descendant (c "device")
+  in
+  Schema.make_exn ~typing ~attributes ~classes ~structure
+    ~single_valued:[ a "sitename"; a "devicename"; a "ifname"; a "policyname" ]
+    ()
+
+let entry ~id ~rdn ~classes pairs =
+  Entry.make ~id ~rdn ~classes:(Oclass.set_of_list classes) pairs
+
+let generate ?(seed = 7) ~sites ~devices_per_site ~interfaces_per_device ~policies
+    () =
+  let rng = Random.State.make [| seed |] in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let inst = ref Instance.empty in
+  for s = 1 to max 1 sites do
+    let sid = fresh () in
+    let site =
+      entry ~id:sid
+        ~rdn:(Printf.sprintf "sitename=site%d" s)
+        ~classes:[ "site"; "top" ]
+        [ (a "sitename", Value.String (Printf.sprintf "site%d" s)) ]
+    in
+    inst := Instance.add_root_exn site !inst;
+    for d = 1 to devices_per_site do
+      let did = fresh () in
+      let is_router = Random.State.bool rng in
+      let dclasses =
+        [ "device"; "top" ] @ [ (if is_router then "router" else "switch") ]
+        @ if Random.State.bool rng then [ "managed" ] else []
+      in
+      let device =
+        entry ~id:did
+          ~rdn:(Printf.sprintf "devicename=dev%d-%d" s d)
+          ~classes:dclasses
+          [ (a "devicename", Value.String (Printf.sprintf "dev%d-%d" s d)) ]
+      in
+      inst := Instance.add_child_exn ~parent:sid device !inst;
+      let n_if = if is_router then max 1 interfaces_per_device else interfaces_per_device in
+      for i = 1 to n_if do
+        let iid = fresh () in
+        let iface =
+          entry ~id:iid
+            ~rdn:(Printf.sprintf "ifname=eth%d" i)
+            ~classes:[ "interface"; "top" ]
+            [
+              (a "ifname", Value.String (Printf.sprintf "eth%d" i));
+              (a "speed", Value.Int (100 * (1 + Random.State.int rng 100)));
+            ]
+        in
+        inst := Instance.add_child_exn ~parent:did iface !inst
+      done
+    done
+  done;
+  let pgid = fresh () in
+  let pg =
+    entry ~id:pgid ~rdn:"cn=policies" ~classes:[ "policygroup"; "top" ] []
+  in
+  inst := Instance.add_root_exn pg !inst;
+  for p = 1 to max 1 policies do
+    let pid = fresh () in
+    let kind = if Random.State.bool rng then "qospolicy" else "securitypolicy" in
+    let pol =
+      entry ~id:pid
+        ~rdn:(Printf.sprintf "policyname=pol%d" p)
+        ~classes:[ kind; "policy"; "top" ]
+        [
+          (a "policyname", Value.String (Printf.sprintf "pol%d" p));
+          (a "priority", Value.Int (Random.State.int rng 10));
+        ]
+    in
+    inst := Instance.add_child_exn ~parent:pgid pol !inst
+  done;
+  !inst

@@ -1,0 +1,23 @@
+(** A directory-enabled-networks (DEN) style workload.
+
+    The paper's introduction motivates bounding-schemas with
+    network-resource and policy directories; this module provides a
+    representative schema (sites containing managed devices containing
+    interfaces; policy groups containing policies) and a legal-instance
+    generator for benchmarks and examples. *)
+
+open Bounds_model
+open Bounds_core
+
+val schema : Schema.t
+
+(** [generate ~seed ~sites ~devices_per_site ~interfaces_per_device
+    ~policies ()] — legal w.r.t. {!schema}; deterministic in [seed]. *)
+val generate :
+  ?seed:int ->
+  sites:int ->
+  devices_per_site:int ->
+  interfaces_per_device:int ->
+  policies:int ->
+  unit ->
+  Instance.t

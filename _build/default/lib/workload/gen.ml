@@ -1,0 +1,153 @@
+open Bounds_model
+open Bounds_core
+
+let random_forest ~seed ~size ?(max_fanout = 8) ~mk_entry () =
+  let rng = Random.State.make [| seed |] in
+  let inst = ref Instance.empty in
+  let eligible = ref [] in
+  (* parents that can still accept children *)
+  for id = 0 to size - 1 do
+    let e = mk_entry rng id in
+    let parent =
+      if id = 0 || Random.State.int rng 8 = 0 || !eligible = [] then None
+      else Some (List.nth !eligible (Random.State.int rng (List.length !eligible)))
+    in
+    (match Instance.add ~parent e !inst with
+    | Ok i -> inst := i
+    | Error err -> invalid_arg (Instance.error_to_string err));
+    (match parent with
+    | Some p when List.length (Instance.children !inst p) >= max_fanout ->
+        eligible := List.filter (fun q -> q <> p) !eligible
+    | _ -> ());
+    eligible := id :: !eligible
+  done;
+  !inst
+
+let pick rng = function
+  | [] -> invalid_arg "pick: empty"
+  | l -> List.nth l (Random.State.int rng (List.length l))
+
+let key_counter = ref 0
+
+let content_legal_entry (schema : Schema.t) rng id =
+  let cores = Oclass.Set.elements (Class_schema.core_classes schema.classes) in
+  let core = pick rng cores in
+  let closure = Class_schema.up_closure schema.classes core in
+  let allowed_aux =
+    Oclass.Set.fold
+      (fun c acc -> Oclass.Set.union acc (Class_schema.aux_of schema.classes c))
+      closure Oclass.Set.empty
+  in
+  let classes =
+    if (not (Oclass.Set.is_empty allowed_aux)) && Random.State.bool rng then
+      Oclass.Set.add (pick rng (Oclass.Set.elements allowed_aux)) closure
+    else closure
+  in
+  let required =
+    Oclass.Set.fold
+      (fun c acc -> Attr.Set.union acc (Attribute_schema.required schema.attributes c))
+      classes Attr.Set.empty
+  in
+  let value_for attr =
+    incr key_counter;
+    let unique = Attr.Set.mem attr schema.keys in
+    match Typing.find schema.typing attr with
+    | Atype.T_int -> Value.Int (if unique then !key_counter else Random.State.int rng 100)
+    | Atype.T_bool -> Value.Bool (Random.State.bool rng)
+    | Atype.T_dn -> Value.Dn (Printf.sprintf "id=%d" (Random.State.int rng 100))
+    | Atype.T_telephone -> Value.String (string_of_int (10000 + !key_counter))
+    | Atype.T_string ->
+        Value.String
+          (if unique then Printf.sprintf "k%d" !key_counter
+           else Printf.sprintf "v%d" (Random.State.int rng 50))
+  in
+  let pairs =
+    Attr.Set.fold
+      (fun attr acc ->
+        if Attr.equal attr Attr.object_class then acc
+        else (attr, value_for attr) :: acc)
+      required []
+  in
+  Entry.make ~id ~rdn:(Printf.sprintf "id=%d" id) ~classes pairs
+
+let content_legal_forest ~seed ~size ?max_fanout schema =
+  random_forest ~seed ~size ?max_fanout
+    ~mk_entry:(fun rng id -> content_legal_entry schema rng id)
+    ()
+
+let random_class_tree ~seed ~n =
+  let rng = Random.State.make [| seed |] in
+  let rec go i acc names =
+    if i >= n then acc
+    else
+      let name = Oclass.of_string (Printf.sprintf "c%d" i) in
+      let parent = pick rng names in
+      match Class_schema.add_core name ~parent acc with
+      | Ok acc -> go (i + 1) acc (name :: names)
+      | Error m -> invalid_arg m
+  in
+  go 0 Class_schema.empty [ Oclass.top ]
+
+let random_schema ~seed ~n_classes ~n_req ~n_forb ~n_required_classes =
+  let rng = Random.State.make [| seed; 17 |] in
+  let classes = random_class_tree ~seed ~n:n_classes in
+  let names = Oclass.Set.elements (Class_schema.core_classes classes) in
+  let rels =
+    [
+      Structure_schema.Child;
+      Structure_schema.Descendant;
+      Structure_schema.Parent;
+      Structure_schema.Ancestor;
+    ]
+  in
+  let structure = ref Structure_schema.empty in
+  for _ = 1 to n_req do
+    structure :=
+      Structure_schema.require (pick rng names) (pick rng rels) (pick rng names)
+        !structure
+  done;
+  for _ = 1 to n_forb do
+    let f =
+      if Random.State.bool rng then Structure_schema.F_child
+      else Structure_schema.F_descendant
+    in
+    structure := Structure_schema.forbid (pick rng names) f (pick rng names) !structure
+  done;
+  for _ = 1 to n_required_classes do
+    structure := Structure_schema.require_class (pick rng names) !structure
+  done;
+  Schema.make_exn ~classes ~structure:!structure ()
+
+let random_ops ~seed ~n (schema : Schema.t) inst =
+  let rng = Random.State.make [| seed; 23 |] in
+  let cur = ref inst in
+  let next = ref (Instance.fresh_id inst) in
+  let ops = ref [] in
+  for _ = 1 to n do
+    let ids = Instance.ids !cur in
+    let leaves = List.filter (Instance.is_leaf !cur) ids in
+    let do_insert = leaves = [] || Random.State.int rng 3 > 0 in
+    if do_insert then begin
+      let id = !next in
+      incr next;
+      let e = content_legal_entry schema rng id in
+      let parent =
+        if ids = [] || Random.State.int rng 8 = 0 then None
+        else Some (pick rng ids)
+      in
+      ops := Update.Insert { parent; entry = e } :: !ops;
+      cur :=
+        (match Instance.add ~parent e !cur with
+        | Ok i -> i
+        | Error err -> invalid_arg (Instance.error_to_string err))
+    end
+    else begin
+      let victim = pick rng leaves in
+      ops := Update.Delete victim :: !ops;
+      cur :=
+        (match Instance.remove_leaf victim !cur with
+        | Ok i -> i
+        | Error err -> invalid_arg (Instance.error_to_string err))
+    end
+  done;
+  List.rev !ops

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random generators for instances, schemas and
+    update operations — shared by the benchmark harness and the
+    property-based tests. *)
+
+open Bounds_model
+open Bounds_core
+
+(** [random_forest ~seed ~size ~max_fanout ~mk_entry ()] — a forest of
+    [size] entries with ids [0..size-1]; each non-first entry attaches to
+    a random earlier entry (or becomes a root with probability ~1/8).
+    Fanout is capped at [max_fanout]. *)
+val random_forest :
+  seed:int ->
+  size:int ->
+  ?max_fanout:int ->
+  mk_entry:(Random.State.t -> int -> Entry.t) ->
+  unit ->
+  Instance.t
+
+(** An entry generator producing content-legal entries for a schema:
+    a random core class's upward closure, a random allowed auxiliary
+    class, and the required attributes of all of them (unique values for
+    key attributes). *)
+val content_legal_entry : Schema.t -> Random.State.t -> int -> Entry.t
+
+(** A content-legal random forest for a schema (structure legality is
+    {e not} guaranteed). *)
+val content_legal_forest :
+  seed:int -> size:int -> ?max_fanout:int -> Schema.t -> Instance.t
+
+(** [random_class_tree ~seed ~n] — a core-class tree with [n] classes
+    besides [top], named [c0..c(n-1)]. *)
+val random_class_tree : seed:int -> n:int -> Class_schema.t
+
+(** [random_schema ~seed ~n_classes ~n_req ~n_forb ~n_required_classes]
+    — random class tree plus random structure elements over it.  Not
+    necessarily consistent: that is the point (consistency tests and
+    benches classify them). *)
+val random_schema :
+  seed:int ->
+  n_classes:int ->
+  n_req:int ->
+  n_forb:int ->
+  n_required_classes:int ->
+  Schema.t
+
+(** [random_ops ~seed ~n inst] — a valid operation sequence against
+    [inst]: entry insertions under random existing entries (fresh ids)
+    and deletions of current leaves, interleaved. *)
+val random_ops : seed:int -> n:int -> Schema.t -> Instance.t -> Update.op list

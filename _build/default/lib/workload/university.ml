@@ -1,0 +1,170 @@
+open Bounds_model
+open Bounds_core
+
+let c = Oclass.of_string
+let a = Attr.of_string
+
+let schema =
+  let typing =
+    match
+      Typing.of_list
+        [
+          (a "uname", Atype.T_string);
+          (a "fname", Atype.T_string);
+          (a "dname", Atype.T_string);
+          (a "code", Atype.T_string);
+          (a "credits", Atype.T_int);
+          (a "name", Atype.T_string);
+          (a "sid", Atype.T_string);
+          (a "office", Atype.T_string);
+        ]
+    with
+    | Ok t -> t
+    | Error m -> invalid_arg m
+  in
+  let classes =
+    Class_schema.empty
+    |> Class_schema.add_core_exn (c "university") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "faculty") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "department") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "course") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "person") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "student") ~parent:(c "person")
+    |> Class_schema.add_core_exn (c "lecturer") ~parent:(c "person")
+    |> Class_schema.add_aux_exn (c "exchange")
+    |> Class_schema.allow_aux_exn ~core:(c "student") (c "exchange")
+  in
+  let attributes =
+    Attribute_schema.empty
+    |> Attribute_schema.add_class_exn (c "university") ~required:[ a "uname" ]
+    |> Attribute_schema.add_class_exn (c "faculty") ~required:[ a "fname" ]
+    |> Attribute_schema.add_class_exn (c "department") ~required:[ a "dname" ]
+    |> Attribute_schema.add_class_exn (c "course") ~required:[ a "code" ]
+         ~allowed:[ a "credits" ]
+    |> Attribute_schema.add_class_exn (c "person") ~required:[ a "name" ]
+    |> Attribute_schema.add_class_exn (c "student") ~required:[ a "sid" ]
+    |> Attribute_schema.add_class_exn (c "lecturer") ~allowed:[ a "office" ]
+  in
+  let structure =
+    Structure_schema.empty
+    |> Structure_schema.require_class (c "university")
+    |> Structure_schema.require_class (c "department")
+    (* the downward axes: organizational containment *)
+    |> Structure_schema.require (c "faculty") Structure_schema.Parent (c "university")
+    |> Structure_schema.require (c "department") Structure_schema.Parent (c "faculty")
+    |> Structure_schema.require (c "course") Structure_schema.Parent (c "department")
+    |> Structure_schema.require (c "department") Structure_schema.Descendant (c "course")
+    (* the ancestor axis: membership at arbitrary depth *)
+    |> Structure_schema.require (c "student") Structure_schema.Ancestor (c "university")
+    |> Structure_schema.require (c "lecturer") Structure_schema.Ancestor (c "faculty")
+    (* upper bounds *)
+    |> Structure_schema.forbid (c "course") Structure_schema.F_descendant (c "course")
+    |> Structure_schema.forbid (c "university") Structure_schema.F_descendant
+         (c "university")
+    |> Structure_schema.forbid (c "student") Structure_schema.F_child Oclass.top
+  in
+  Schema.make_exn ~typing ~attributes ~classes ~structure
+    ~single_valued:[ a "uname"; a "code"; a "sid" ]
+    ~keys:[ a "sid" ] ()
+
+let entry ~id ~rdn ~classes pairs =
+  Entry.make ~id ~rdn ~classes:(Oclass.set_of_list classes) pairs
+
+let generate ?(seed = 11) ~faculties ~departments_per_faculty
+    ~courses_per_department ~students_per_course () =
+  let rng = Random.State.make [| seed |] in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let uid = fresh () in
+  let inst =
+    ref
+      (Instance.add_root_exn
+         (entry ~id:uid ~rdn:"uname=u1" ~classes:[ "university"; "top" ]
+            [ (a "uname", Value.String "u1") ])
+         Instance.empty)
+  in
+  (* the schema requires a department (hence a faculty and a course) *)
+  let faculties = max 1 faculties
+  and departments_per_faculty = max 1 departments_per_faculty
+  and courses_per_department = max 1 courses_per_department in
+  for f = 1 to faculties do
+    let fid = fresh () in
+    inst :=
+      Instance.add_child_exn ~parent:uid
+        (entry ~id:fid
+           ~rdn:(Printf.sprintf "fname=f%d" f)
+           ~classes:[ "faculty"; "top" ]
+           [ (a "fname", Value.String (Printf.sprintf "f%d" f)) ])
+        !inst;
+    (* some lecturers live directly under the faculty: their ancestor
+       requirement is met at depth 1 *)
+    if Random.State.bool rng then begin
+      let lid = fresh () in
+      inst :=
+        Instance.add_child_exn ~parent:fid
+          (entry ~id:lid
+             ~rdn:(Printf.sprintf "name=dean%d" f)
+             ~classes:[ "lecturer"; "person"; "top" ]
+             [ (a "name", Value.String (Printf.sprintf "dean %d" f)) ])
+          !inst
+    end;
+    for d = 1 to departments_per_faculty do
+      let did = fresh () in
+      inst :=
+        Instance.add_child_exn ~parent:fid
+          (entry ~id:did
+             ~rdn:(Printf.sprintf "dname=f%dd%d" f d)
+             ~classes:[ "department"; "top" ]
+             [ (a "dname", Value.String (Printf.sprintf "f%dd%d" f d)) ])
+          !inst;
+      for k = 1 to courses_per_department do
+        let cid = fresh () in
+        inst :=
+          Instance.add_child_exn ~parent:did
+            (entry ~id:cid
+               ~rdn:(Printf.sprintf "code=c%d" cid)
+               ~classes:[ "course"; "top" ]
+               [
+                 (a "code", Value.String (Printf.sprintf "c%d" cid));
+                 (a "credits", Value.Int (3 + Random.State.int rng 9));
+               ])
+            !inst;
+        ignore k;
+        (* students enrol under courses: their university ancestor is
+           four levels up *)
+        for s = 1 to students_per_course do
+          let sid = fresh () in
+          ignore s;
+          inst :=
+            Instance.add_child_exn ~parent:cid
+              (entry ~id:sid
+                 ~rdn:(Printf.sprintf "sid=s%d" sid)
+                 ~classes:
+                   ([ "student"; "person"; "top" ]
+                   @ if Random.State.int rng 5 = 0 then [ "exchange" ] else [])
+                 [
+                   (a "sid", Value.String (Printf.sprintf "s%d" sid));
+                   (a "name", Value.String (Printf.sprintf "student %d" sid));
+                 ])
+              !inst
+        done
+      done;
+      (* a lecturer inside the department: ancestor faculty at depth 2 *)
+      let lid = fresh () in
+      inst :=
+        Instance.add_child_exn ~parent:did
+          (entry ~id:lid
+             ~rdn:(Printf.sprintf "name=prof%d" lid)
+             ~classes:[ "lecturer"; "person"; "top" ]
+             [
+               (a "name", Value.String (Printf.sprintf "prof %d" lid));
+               (a "office", Value.String (Printf.sprintf "B-%d" (Random.State.int rng 400)));
+             ])
+          !inst
+    done
+  done;
+  !inst

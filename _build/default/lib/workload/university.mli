@@ -1,0 +1,25 @@
+(** A university directory workload.
+
+    Complements {!White_pages} (descendant-heavy) and {!Den}
+    (parent-heavy) with a schema that leans on the {e ancestor} axis:
+    students must sit somewhere under a university, lecturers under a
+    faculty, at any depth — the relationships fixed-length path
+    constraints cannot express (the paper's Section 6.3 point, here in
+    the directory model itself). *)
+
+open Bounds_model
+open Bounds_core
+
+val schema : Schema.t
+
+(** [generate ~seed ~faculties ~departments_per_faculty
+    ~courses_per_department ~students_per_course ()] — legal w.r.t.
+    {!schema}; deterministic in [seed]. *)
+val generate :
+  ?seed:int ->
+  faculties:int ->
+  departments_per_faculty:int ->
+  courses_per_department:int ->
+  students_per_course:int ->
+  unit ->
+  Instance.t

@@ -1,0 +1,205 @@
+open Bounds_model
+open Bounds_core
+
+let c = Oclass.of_string
+let a = Attr.of_string
+
+let schema =
+  let typing =
+    match
+      Typing.of_list
+        [
+          (a "o", Atype.T_string);
+          (a "ou", Atype.T_string);
+          (a "uid", Atype.T_string);
+          (a "name", Atype.T_string);
+          (a "uri", Atype.T_string);
+          (a "location", Atype.T_string);
+          (a "mail", Atype.T_string);
+          (a "telephonenumber", Atype.T_telephone);
+        ]
+    with
+    | Ok t -> t
+    | Error m -> invalid_arg m
+  in
+  (* Figure 2 *)
+  let classes =
+    Class_schema.empty
+    |> Class_schema.add_core_exn (c "orggroup") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "organization") ~parent:(c "orggroup")
+    |> Class_schema.add_core_exn (c "orgunit") ~parent:(c "orggroup")
+    |> Class_schema.add_core_exn (c "person") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "staffmember") ~parent:(c "person")
+    |> Class_schema.add_core_exn (c "researcher") ~parent:(c "person")
+    |> Class_schema.add_aux_exn (c "online")
+    |> Class_schema.add_aux_exn (c "manager")
+    |> Class_schema.add_aux_exn (c "secretary")
+    |> Class_schema.add_aux_exn (c "consultant")
+    |> Class_schema.add_aux_exn (c "facultymember")
+    |> Class_schema.allow_aux_exn ~core:(c "orggroup") (c "online")
+    |> Class_schema.allow_aux_exn ~core:(c "person") (c "online")
+    |> Class_schema.allow_aux_exn ~core:(c "staffmember") (c "manager")
+    |> Class_schema.allow_aux_exn ~core:(c "staffmember") (c "secretary")
+    |> Class_schema.allow_aux_exn ~core:(c "staffmember") (c "consultant")
+    |> Class_schema.allow_aux_exn ~core:(c "researcher") (c "manager")
+    |> Class_schema.allow_aux_exn ~core:(c "researcher") (c "consultant")
+    |> Class_schema.allow_aux_exn ~core:(c "researcher") (c "facultymember")
+  in
+  (* sketch following Definition 2.2 *)
+  let attributes =
+    Attribute_schema.empty
+    |> Attribute_schema.add_class_exn (c "organization") ~required:[ a "o" ]
+    |> Attribute_schema.add_class_exn (c "orgunit") ~required:[ a "ou" ]
+         ~allowed:[ a "location" ]
+    |> Attribute_schema.add_class_exn (c "person")
+         ~required:[ a "name"; a "uid" ]
+         ~allowed:[ a "telephonenumber" ]
+    |> Attribute_schema.add_class_exn (c "online") ~allowed:[ a "uri"; a "mail" ]
+  in
+  (* Figure 3 *)
+  let structure =
+    Structure_schema.empty
+    |> Structure_schema.require_class (c "organization")
+    |> Structure_schema.require_class (c "orgunit")
+    |> Structure_schema.require_class (c "person")
+    |> Structure_schema.require (c "orggroup") Structure_schema.Descendant (c "person")
+    |> Structure_schema.require (c "orgunit") Structure_schema.Parent (c "orggroup")
+    |> Structure_schema.forbid (c "person") Structure_schema.F_child Oclass.top
+  in
+  Schema.make_exn ~typing ~attributes ~classes ~structure
+    ~single_valued:[ a "uid"; a "o"; a "ou" ]
+    ~keys:[ a "uid" ] ()
+
+let entry ~id ~rdn ~classes pairs =
+  Entry.make ~id ~rdn
+    ~classes:(Oclass.set_of_list classes)
+    (List.map (fun (n, v) -> (a n, Value.String v)) pairs)
+
+let instance =
+  let att =
+    entry ~id:0 ~rdn:"o=att"
+      ~classes:[ "organization"; "orggroup"; "online"; "top" ]
+      [ ("o", "att"); ("uri", "http://www.att.com/") ]
+  in
+  let attlabs =
+    entry ~id:1 ~rdn:"ou=attLabs"
+      ~classes:[ "orgunit"; "orggroup"; "top" ]
+      [ ("ou", "attLabs"); ("location", "FP") ]
+  in
+  let armstrong =
+    entry ~id:2 ~rdn:"uid=armstrong"
+      ~classes:[ "staffmember"; "person"; "top" ]
+      [ ("uid", "armstrong"); ("name", "m armstrong") ]
+  in
+  let databases =
+    entry ~id:3 ~rdn:"ou=databases"
+      ~classes:[ "orgunit"; "orggroup"; "top" ]
+      [ ("ou", "databases") ]
+  in
+  let laks =
+    entry ~id:4 ~rdn:"uid=laks"
+      ~classes:[ "researcher"; "facultymember"; "person"; "online"; "top" ]
+      [
+        ("uid", "laks");
+        ("name", "laks lakshmanan");
+        ("mail", "laks@cs.concordia.ca");
+        ("mail", "laks@cse.iitb.ernet.in");
+      ]
+  in
+  let suciu =
+    entry ~id:5 ~rdn:"uid=suciu"
+      ~classes:[ "researcher"; "person"; "top" ]
+      [ ("uid", "suciu"); ("name", "dan suciu") ]
+  in
+  Instance.empty
+  |> Instance.add_root_exn att
+  |> Instance.add_child_exn ~parent:0 attlabs
+  |> Instance.add_child_exn ~parent:0 armstrong
+  |> Instance.add_child_exn ~parent:1 databases
+  |> Instance.add_child_exn ~parent:3 laks
+  |> Instance.add_child_exn ~parent:3 suciu
+
+let person_entry ~id ~uid ~rng =
+  let researcher = Random.State.bool rng in
+  let online = Random.State.int rng 3 = 0 in
+  let classes =
+    [ "person"; "top" ]
+    @ (if researcher then [ "researcher" ] else [ "staffmember" ])
+    @ (if online then [ "online" ] else [])
+    @
+    if researcher && Random.State.int rng 4 = 0 then [ "facultymember" ] else []
+  in
+  let pairs =
+    [ ("uid", uid); ("name", "name of " ^ uid) ]
+    @ if online then [ ("mail", uid ^ "@example.com") ] else []
+  in
+  entry ~id ~rdn:("uid=" ^ uid) ~classes pairs
+
+let generate ?(seed = 42) ~units ~persons_per_unit () =
+  (* the schema requires at least one orgUnit to exist *)
+  let units = max 1 units in
+  let rng = Random.State.make [| seed |] in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let root_id = fresh () in
+  let root =
+    entry ~id:root_id ~rdn:"o=acme"
+      ~classes:[ "organization"; "orggroup"; "top" ]
+      [ ("o", "acme") ]
+  in
+  let inst = ref (Instance.add_root_exn root Instance.empty) in
+  let unit_ids = ref [ ] in
+  for u = 1 to units do
+    (* attach to the organization or a random earlier unit *)
+    let parent =
+      match !unit_ids with
+      | [] -> root_id
+      | ids ->
+          if Random.State.int rng 3 = 0 then root_id
+          else List.nth ids (Random.State.int rng (List.length ids))
+    in
+    let id = fresh () in
+    let e =
+      entry ~id
+        ~rdn:(Printf.sprintf "ou=unit%d" u)
+        ~classes:[ "orgunit"; "orggroup"; "top" ]
+        [ ("ou", Printf.sprintf "unit%d" u) ]
+    in
+    inst := Instance.add_child_exn ~parent e !inst;
+    unit_ids := id :: !unit_ids;
+    for p = 1 to persons_per_unit do
+      let pid = fresh () in
+      let uid = Printf.sprintf "u%dp%d" u p in
+      ignore p;
+      inst := Instance.add_child_exn ~parent:id (person_entry ~id:pid ~uid ~rng) !inst
+    done
+  done;
+  (* every orgGroup needs a person descendant; the organization root needs
+     one directly if there are no units *)
+  if persons_per_unit = 0 then begin
+    let pid = fresh () in
+    inst :=
+      Instance.add_child_exn ~parent:root_id
+        (person_entry ~id:pid ~uid:(Printf.sprintf "root-p%d" pid) ~rng)
+        !inst;
+    (* ... and each empty unit as well *)
+    List.iter
+      (fun u ->
+        let pid = fresh () in
+        inst :=
+          Instance.add_child_exn ~parent:u
+            (person_entry ~id:pid ~uid:(Printf.sprintf "fill-p%d" pid) ~rng)
+            !inst)
+      !unit_ids
+  end;
+  !inst
+
+let fresh_person inst ~seed =
+  let rng = Random.State.make [| seed |] in
+  let id = Instance.fresh_id inst in
+  let uid = Printf.sprintf "fresh%d-%d" id seed in
+  Instance.add_root_exn (person_entry ~id ~uid ~rng) Instance.empty

@@ -1,0 +1,27 @@
+(** The paper's running example: the corporate white-pages directory of
+    Figures 1–3, plus a size-parameterised generator of legal white-pages
+    instances for the benchmarks. *)
+
+open Bounds_model
+open Bounds_core
+
+(** Typing, attribute schema (sketch after Definition 2.2), class schema
+    (Figure 2) and structure schema (Figure 3). *)
+val schema : Schema.t
+
+(** The directory instance of Figure 1 (entry ids 0–5:
+    att, attLabs, armstrong, databases, laks, suciu). *)
+val instance : Instance.t
+
+(** [generate ~seed ~units ~persons_per_unit ()] — a legal instance: one
+    [organization] root, a random tree of [units] orgUnits beneath it, and
+    [persons_per_unit] persons per unit (mix of researchers and staff,
+    some online with mail).  [units] is clamped to at least 1 (the schema
+    requires an orgUnit); a unit count of persons 0 still receives one
+    filler person per unit so the descendant requirement holds.  Size ≈
+    [1 + units · (1 + persons_per_unit)].  Deterministic in [seed]. *)
+val generate : ?seed:int -> units:int -> persons_per_unit:int -> unit -> Instance.t
+
+(** A fresh person subtree (a single entry) suitable for insertion under
+    an orgUnit of [inst]; ids are fresh for [inst]. *)
+val fresh_person : Instance.t -> seed:int -> Instance.t

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Attr Atype Bounds_codec Bounds_core Bounds_model Bounds_workload Entry Instance List Oclass Option QCheck QCheck_alcotest String Typing Value

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Attr Atype Bounds_model Bounds_workload Entry Instance List Oclass Printf QCheck QCheck_alcotest Result Typing Value Wf

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Attr Bounds_core Bounds_model Bounds_workload Entry Instance Legality List Oclass Printf QCheck QCheck_alcotest Random Repair Result Structure_schema Value

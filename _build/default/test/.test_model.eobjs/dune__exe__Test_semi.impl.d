@@ -1,0 +1,1 @@
+test/test_semi.ml: Alcotest Bounds_core Bounds_model Bounds_semi Class_schema List Ltree Monitor Result Schema Sschema Structure_schema

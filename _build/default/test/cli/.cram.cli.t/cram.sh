@@ -1,0 +1,92 @@
+  $ cat > team.schema <<'EOF'
+  > attribute name : string
+  > attribute uid : string
+  > class team { required: name }
+  > class person { required: name, uid }
+  > require exists team
+  > require team descendant person
+  > forbid person child top
+  > key uid
+  > EOF
+  $ cat > dir.ldif <<'EOF'
+  > dn: name=research
+  > objectClass: team
+  > objectClass: top
+  > name: research
+  > 
+  > dn: uid=ada,name=research
+  > objectClass: person
+  > objectClass: top
+  > name: Ada
+  > uid: ada
+  > EOF
+  $ ldapschema fmt -s team.schema
+  $ ldapschema validate -s team.schema -d dir.ldif
+  $ ldapschema validate -s team.schema -d dir.ldif --naive
+  $ head -5 dir.ldif > broken.ldif
+  $ ldapschema validate -s team.schema -d broken.ldif
+  $ ldapschema query -s team.schema -d dir.ldif '(objectClass=person)'
+  $ ldapschema query -s team.schema -d dir.ldif \
+  >   '(minus (objectClass=team) (chi d (objectClass=team) (objectClass=person)))'
+  $ ldapschema consistent -s team.schema -w witness.ldif
+  $ ldapschema validate -s team.schema -d witness.ldif
+  $ cat > bad.schema <<'EOF'
+  > class a
+  > class b
+  > require exists a
+  > require a descendant b
+  > forbid a descendant b
+  > EOF
+  $ ldapschema consistent -s bad.schema --proof
+  $ cat > ops.ldif <<'EOF'
+  > dn: uid=alan,name=research
+  > objectClass: person
+  > objectClass: top
+  > name: Alan
+  > uid: alan
+  > EOF
+  $ ldapschema update -s team.schema -d dir.ldif -o ops.ldif --out dir2.ldif
+  $ cat > bad-ops.ldif <<'EOF'
+  > dn: uid=ada,name=research
+  > changetype: delete
+  > 
+  > dn: name=research
+  > changetype: delete
+  > EOF
+  $ ldapschema update -s team.schema -d dir.ldif -o bad-ops.ldif
+  $ ldapschema generate --workload white-pages --units 3 --persons 2 \
+  >   --out wp.ldif --emit-schema wp.schema 2>/dev/null
+  $ ldapschema validate -s wp.schema -d wp.ldif
+  $ ldapschema search -d dir2.ldif --base name=research --scope one '(objectClass=person)'
+  $ ldapschema search -d dir2.ldif --scope base '(name=*)'
+  $ ldapschema search -s team.schema -d dir2.ldif --optimize '(objectClass=martian)'
+  $ cat > hurt.ldif <<'EOF2'
+  > dn: name=research
+  > objectClass: team
+  > objectClass: top
+  > name: research
+  > 
+  > dn: uid=ada,name=research
+  > objectClass: person
+  > objectClass: top
+  > uid: ada
+  > salary: lots
+  > EOF2
+  $ ldapschema repair -s team.schema -d hurt.ldif --out healed.ldif
+  $ ldapschema validate -s team.schema -d healed.ldif
+  $ ldapschema profile -s team.schema -d dir2.ldif
+  $ cat > doc.sschema <<'EOF2'
+  > require exists library
+  > require library descendant book
+  > require book child title
+  > forbid country descendant country
+  > EOF2
+  $ ldapschema tree-check -s doc.sschema
+  $ cat > good.trees <<'EOF2'
+  > (library (shelf (book (title) (isbn))))
+  > EOF2
+  $ ldapschema tree-check -s doc.sschema -d good.trees
+  $ cat > bad.trees <<'EOF2'
+  > (library (book (isbn)) (country (city (country))))
+  > EOF2
+  $ ldapschema tree-check -s doc.sschema -d bad.trees

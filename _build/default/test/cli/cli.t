@@ -1,0 +1,193 @@
+The ldapschema command-line tool, end to end.
+
+A schema and a directory:
+
+  $ cat > team.schema <<'EOF'
+  > attribute name : string
+  > attribute uid : string
+  > class team { required: name }
+  > class person { required: name, uid }
+  > require exists team
+  > require team descendant person
+  > forbid person child top
+  > key uid
+  > EOF
+
+  $ cat > dir.ldif <<'EOF'
+  > dn: name=research
+  > objectClass: team
+  > objectClass: top
+  > name: research
+  > 
+  > dn: uid=ada,name=research
+  > objectClass: person
+  > objectClass: top
+  > name: Ada
+  > uid: ada
+  > EOF
+
+Canonical formatting round-trips the schema:
+
+  $ ldapschema fmt -s team.schema
+  attribute name : string
+  attribute uid : string
+  class team extends top { required: name }
+  class person extends top { required: name, uid }
+  require exists team
+  require team descendant person
+  forbid person child top
+  key uid
+
+Validation of a legal directory, with both checkers:
+
+  $ ldapschema validate -s team.schema -d dir.ldif
+  dir.ldif: legal (2 entries)
+  $ ldapschema validate -s team.schema -d dir.ldif --naive
+  dir.ldif: legal (2 entries)
+
+An illegal one (the team loses its person):
+
+  $ head -5 dir.ldif > broken.ldif
+  $ ldapschema validate -s team.schema -d broken.ldif
+  broken.ldif: ILLEGAL — 1 violation(s)
+    - entry 0 violates required relationship team ->> person
+  [1]
+
+Queries:
+
+  $ ldapschema query -s team.schema -d dir.ldif '(objectClass=person)'
+  1 entries
+  uid=ada,name=research
+  $ ldapschema query -s team.schema -d dir.ldif \
+  >   '(minus (objectClass=team) (chi d (objectClass=team) (objectClass=person)))'
+  0 entries
+
+Consistency with a witness:
+
+  $ ldapschema consistent -s team.schema -w witness.ldif
+  consistent (saturation: 3 passes, 17 elements)
+  witness (3 entries) written to witness.ldif
+  $ ldapschema validate -s team.schema -d witness.ldif
+  witness.ldif: legal (3 entries)
+
+An inconsistent schema, with its proof:
+
+  $ cat > bad.schema <<'EOF'
+  > class a
+  > class b
+  > require exists a
+  > require a descendant b
+  > forbid a descendant b
+  > EOF
+  $ ldapschema consistent -s bad.schema --proof
+  INCONSISTENT (saturation: 3 passes, 14 elements)
+  ∅•  [exists-target]
+    a•  [axiom]
+    a —desc↠ ∅  [conflict-de]
+      a —desc↠ b  [axiom]
+      a —desc↛ b  [axiom]
+  [1]
+
+Updates through the incremental monitor; a violating transaction is
+rejected atomically:
+
+  $ cat > ops.ldif <<'EOF'
+  > dn: uid=alan,name=research
+  > objectClass: person
+  > objectClass: top
+  > name: Alan
+  > uid: alan
+  > EOF
+  $ ldapschema update -s team.schema -d dir.ldif -o ops.ldif --out dir2.ldif
+  transaction accepted: 1 operation(s), 3 entries now
+  updated directory written to dir2.ldif
+  $ cat > bad-ops.ldif <<'EOF'
+  > dn: uid=ada,name=research
+  > changetype: delete
+  > 
+  > dn: name=research
+  > changetype: delete
+  > EOF
+  $ ldapschema update -s team.schema -d dir.ldif -o bad-ops.ldif
+  transaction REJECTED: illegal at step 1:
+                        no entry of required class team exists
+  [1]
+
+Workload generation produces legal data:
+
+  $ ldapschema generate --workload white-pages --units 3 --persons 2 \
+  >   --out wp.ldif --emit-schema wp.schema 2>/dev/null
+  $ ldapschema validate -s wp.schema -d wp.ldif
+  wp.ldif: legal (10 entries)
+
+Scoped search, with schema-aware filter simplification:
+
+  $ ldapschema search -d dir2.ldif --base name=research --scope one '(objectClass=person)'
+  2 entries
+  uid=ada,name=research
+  uid=alan,name=research
+  $ ldapschema search -d dir2.ldif --scope base '(name=*)'
+  1 entries
+  name=research
+  $ ldapschema search -s team.schema -d dir2.ldif --optimize '(objectClass=martian)'
+  0 entries
+
+Repairing an illegal directory:
+
+  $ cat > hurt.ldif <<'EOF2'
+  > dn: name=research
+  > objectClass: team
+  > objectClass: top
+  > name: research
+  > 
+  > dn: uid=ada,name=research
+  > objectClass: person
+  > objectClass: top
+  > uid: ada
+  > salary: lots
+  > EOF2
+  $ ldapschema repair -s team.schema -d hurt.ldif --out healed.ldif
+    entry 1: added name: unknown
+    entry 1: removed attribute salary
+  repaired directory (2 entries) written to healed.ldif
+  fully repaired: 2 action(s)
+  $ ldapschema validate -s team.schema -d healed.ldif
+  healed.ldif: legal (2 entries)
+
+Schema-aware statistics:
+
+  $ ldapschema profile -s team.schema -d dir2.ldif
+  3 entries, 1 roots, depth 1, max fanout 2
+  depth histogram: 0:1 1:2
+  person: 2 entries
+    name (required): 2/2 (100%)
+    uid (required): 2/2 (100%)
+  team: 1 entries
+    name (required): 1/1 (100%)
+  top: 3 entries
+  optional-attribute fill rate: 100.0% (heterogeneity 0.0%)
+
+Semistructured data (Section 6.3):
+
+  $ cat > doc.sschema <<'EOF2'
+  > require exists library
+  > require library descendant book
+  > require book child title
+  > forbid country descendant country
+  > EOF2
+  $ ldapschema tree-check -s doc.sschema
+  consistent; a minimal legal document:
+    (library (top) (book (title)))
+  $ cat > good.trees <<'EOF2'
+  > (library (shelf (book (title) (isbn))))
+  > EOF2
+  $ ldapschema tree-check -s doc.sschema -d good.trees
+  good.trees: legal (5 nodes)
+  $ cat > bad.trees <<'EOF2'
+  > (library (book (isbn)) (country (city (country))))
+  > EOF2
+  $ ldapschema tree-check -s doc.sschema -d bad.trees
+  bad.trees: ILLEGAL — 2 violation(s)
+    - entry 1 violates required relationship book -> title
+    - entries 3 and 5 violate forbidden relationship country -/->> country
+  [1]

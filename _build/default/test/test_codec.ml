@@ -1,0 +1,180 @@
+(* LDIF reader/writer tests. *)
+
+open Bounds_model
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let typing =
+  Typing.default
+  |> Typing.declare_exn (Attr.of_string "age") Atype.T_int
+  |> Typing.declare_exn (Attr.of_string "active") Atype.T_bool
+
+let sample_ldif =
+  {|# a small directory
+dn: o=att
+objectClass: organization
+objectClass: top
+o: att
+
+dn: ou=research,o=att
+objectClass: orgUnit
+objectClass: top
+ou: research
+
+dn: uid=laks,ou=research,o=att
+objectClass: person
+objectClass: top
+uid: laks
+age: 42
+active: TRUE
+mail: laks@cs.concordia.ca
+mail: laks@cse.iitb.ernet.in
+|}
+
+let test_parse_basic () =
+  let inst = Bounds_codec.Ldif.parse_exn ~typing sample_ldif in
+  check_int "three entries" 3 (Instance.size inst);
+  let laks = Option.get (Instance.resolve_dn inst "uid=laks,ou=research,o=att") in
+  let e = Instance.entry inst laks in
+  check "person" true (Entry.has_class e (Oclass.of_string "person"));
+  check "typed int" true
+    (Entry.values e (Attr.of_string "age") = [ Value.Int 42 ]);
+  check "typed bool" true
+    (Entry.values e (Attr.of_string "active") = [ Value.Bool true ]);
+  check_int "two mails" 2 (List.length (Entry.values e (Attr.of_string "mail")));
+  check "hierarchy" true
+    (Instance.parent inst laks = Instance.resolve_dn inst "ou=research,o=att");
+  check "root" true
+    (Instance.parent inst (Option.get (Instance.resolve_dn inst "o=att")) = None)
+
+let test_parse_continuation () =
+  let ldif = "dn: o=att\nobjectClass: top\no: a very\n  long name\n" in
+  let inst = Bounds_codec.Ldif.parse_exn ~typing ldif in
+  let e = Instance.entry inst 0 in
+  check "folded" true
+    (Entry.values e (Attr.of_string "o") = [ Value.String "a very long name" ])
+
+let test_parse_base64 () =
+  (* "hello world" *)
+  let ldif = "dn: o=att\nobjectClass: top\ndescription:: aGVsbG8gd29ybGQ=\n" in
+  let inst = Bounds_codec.Ldif.parse_exn ~typing ldif in
+  let e = Instance.entry inst 0 in
+  check "decoded" true
+    (Entry.values e (Attr.of_string "description") = [ Value.String "hello world" ])
+
+let test_parse_errors () =
+  let err s =
+    match Bounds_codec.Ldif.parse ~typing s with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  check "no dn first" true (err "objectClass: top\n");
+  check "orphan parent" true (err "dn: ou=a,o=missing\nobjectClass: top\n");
+  check "no objectclass" true (err "dn: o=att\no: att\n");
+  check "bad type" true (err "dn: o=att\nobjectClass: top\nage: forty\n");
+  check "bad base64" true (err "dn: o=att\nobjectClass: top\nx:: !!!!\n");
+  (* error carries a line number *)
+  (match Bounds_codec.Ldif.parse ~typing "dn: o=att\nobjectClass: top\nage: forty\n" with
+  | Error e -> check_int "line" 1 e.Bounds_codec.Ldif.line
+  | Ok _ -> Alcotest.fail "expected error")
+
+let test_roundtrip () =
+  let inst = Bounds_codec.Ldif.parse_exn ~typing sample_ldif in
+  let inst' = Bounds_codec.Ldif.parse_exn ~typing (Bounds_codec.Ldif.to_string inst) in
+  check "equal" true (Instance.equal inst inst')
+
+let test_roundtrip_weird_values () =
+  let e =
+    Entry.make ~id:0 ~rdn:"o=x"
+      ~classes:(Oclass.Set.singleton Oclass.top)
+      [
+        (Attr.of_string "a", Value.String " leading space");
+        (Attr.of_string "b", Value.String "colon: value");
+        (Attr.of_string "c", Value.String "uni\xc3\xa9code");
+        (Attr.of_string "d", Value.String "");
+      ]
+  in
+  let inst = Instance.add_root_exn e Instance.empty in
+  let inst' =
+    Bounds_codec.Ldif.parse_exn ~typing:Typing.default
+      (Bounds_codec.Ldif.to_string inst)
+  in
+  check "equal" true (Instance.equal inst inst')
+
+(* LDIF does not carry entry ids (re-parsing numbers entries in document
+   order), so round-trips are compared id-agnostically: by the map from
+   distinguished name to entry content. *)
+let canonical inst =
+  Instance.fold
+    (fun e acc ->
+      let key = String.lowercase_ascii (Instance.dn inst (Entry.id e)) in
+      let payload =
+        ( List.map Oclass.to_string (Oclass.Set.elements (Entry.classes e)),
+          List.sort compare
+            (List.map
+               (fun (at, v) -> (Attr.to_string at, Value.to_string v))
+               (Entry.stored_pairs e)) )
+      in
+      (key, payload) :: acc)
+    inst []
+  |> List.sort compare
+
+let test_roundtrip_white_pages () =
+  let wp = Bounds_workload.White_pages.instance in
+  let out = Bounds_codec.Ldif.to_string wp in
+  let back =
+    Bounds_codec.Ldif.parse_exn ~typing:Bounds_workload.White_pages.schema.typing out
+  in
+  check "equal modulo ids" true (canonical wp = canonical back);
+  let laks =
+    Option.get (Instance.resolve_dn back "uid=laks,ou=databases,ou=attLabs,o=att")
+  in
+  check_str "dn preserved" "uid=laks,ou=databases,ou=attLabs,o=att"
+    (Instance.dn back laks)
+
+let test_roundtrip_generated () =
+  let inst = Bounds_workload.White_pages.generate ~units:20 ~persons_per_unit:5 () in
+  let back =
+    Bounds_codec.Ldif.parse_exn
+      ~typing:Bounds_workload.White_pages.schema.typing
+      (Bounds_codec.Ldif.to_string inst)
+  in
+  check "equal modulo ids" true (canonical inst = canonical back)
+
+(* Property: random content-legal instances round-trip through LDIF
+   (compared id-agnostically, since LDIF does not carry entry ids). *)
+let prop_ldif_roundtrip =
+  QCheck.Test.make ~name:"ldif roundtrip on random instances" ~count:150
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let schema = Bounds_workload.White_pages.schema in
+      let inst =
+        Bounds_workload.Gen.content_legal_forest ~seed ~size:(1 + (seed mod 40))
+          schema
+      in
+      let back =
+        Bounds_codec.Ldif.parse_exn
+          ~typing:schema.Bounds_core.Schema.typing
+          (Bounds_codec.Ldif.to_string inst)
+      in
+      canonical inst = canonical back)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "ldif",
+        [
+          Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "continuation lines" `Quick test_parse_continuation;
+          Alcotest.test_case "base64" `Quick test_parse_base64;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "roundtrip weird values" `Quick
+            test_roundtrip_weird_values;
+          Alcotest.test_case "roundtrip white pages" `Quick test_roundtrip_white_pages;
+          Alcotest.test_case "roundtrip generated" `Quick test_roundtrip_generated;
+          QCheck_alcotest.to_alcotest prop_ldif_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,499 @@
+(* Consistency checking (Section 5): the inference rules of Figures 6-7,
+   the examples from the paper's text, witness construction, and the
+   soundness property (declared-consistent => constructed witness is
+   legal). *)
+
+open Bounds_model
+open Bounds_core
+module SS = Structure_schema
+
+let check = Alcotest.(check bool)
+let c = Oclass.of_string
+let node x = Element.Cls (c x)
+
+(* build a schema from a class tree description + structure elements *)
+let mk_schema ?(tree = []) build =
+  let classes =
+    List.fold_left
+      (fun cs (child, parent) ->
+        Class_schema.add_core_exn (c child) ~parent:(c parent) cs)
+      Class_schema.empty tree
+  in
+  let structure = build SS.empty in
+  Schema.make_exn ~classes ~structure ()
+
+let consistent schema = Consistency.is_consistent schema
+
+let flat names = List.map (fun n -> (n, "top")) names
+
+(* --- the paper's Section 5.1 examples -------------------------------------- *)
+
+let test_simple_cycle_inconsistent () =
+  (* c1•, c1 -> c2, c2 ->> c1 : no finite legal instance *)
+  let s =
+    mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun s ->
+        s |> SS.require_class (c "c1")
+        |> SS.require (c "c1") SS.Child (c "c2")
+        |> SS.require (c "c2") SS.Descendant (c "c1"))
+  in
+  check "inconsistent" false (consistent s)
+
+let test_cycle_without_exists_is_consistent () =
+  (* footnote 3: without c1• the cycle is satisfiable by avoidance *)
+  let s =
+    mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun s ->
+        s
+        |> SS.require (c "c1") SS.Child (c "c2")
+        |> SS.require (c "c2") SS.Descendant (c "c1"))
+  in
+  check "consistent" true (consistent s)
+
+let test_cycle_through_class_hierarchy () =
+  (* Section 5.1's second example: c1•, c3 -> c2, c5 ->> c4, with
+     c1 <= c2, c3 <= c4, c5 <= c1 — wait, the paper has the cycle arise
+     when c1 is a subclass of c2... we encode its spirit: the hierarchy
+     routes the required edges into a loop.
+       c1 <= c2?  No: paper says c1 sub of c2, c3 sub of c4, c5 sub of c1.
+       Edges: c1• ; c3 ->ch c2 ; c5 ->>de c4.
+     Hmm: with subclassing, c2's requirement comes from c3: an entry of
+     c3 is also c4... Encode exactly and assert inconsistency. *)
+  let s =
+    mk_schema
+      ~tree:[ ("c2", "top"); ("c1", "c2"); ("c4", "top"); ("c3", "c4"); ("c5", "c1") ]
+      (fun s ->
+        s |> SS.require_class (c "c1")
+        |> SS.require (c "c3") SS.Child (c "c2")
+        |> SS.require (c "c5") SS.Descendant (c "c4"))
+  in
+  (* c1• alone does not force anything here: c1 is not a source of a
+     required edge (c3 and c5 are, and c1 is not a subclass of either).
+     The paper's narrative abbreviates; the inconsistency needs the
+     sources to apply.  We check the precise variant where they do:
+     require exists c5 — a c5-entry is a c1 and hence c2; it needs a c4
+     descendant, which as a c4... build the loop tightly below. *)
+  check "this variant is consistent" true (consistent s);
+  let s2 =
+    mk_schema
+      ~tree:[ ("c2", "top"); ("c1", "c2"); ("c3", "c1") ]
+      (fun s ->
+        (* c3 <= c1 <= c2 ; c2 ->> c3 requires every c2 (hence every c1,
+           c3) to have a c3 descendant: infinite chain once one exists *)
+        s |> SS.require_class (c "c1") |> SS.require (c "c2") SS.Descendant (c "c3"))
+  in
+  check "hierarchy-induced cycle inconsistent" false (consistent s2)
+
+(* --- Section 5.2 contradiction example -------------------------------------- *)
+
+let test_direct_contradiction () =
+  (* c1•, c1 ->> c2, c1 -/->> c2 *)
+  let s =
+    mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun s ->
+        s |> SS.require_class (c "c1")
+        |> SS.require (c "c1") SS.Descendant (c "c2")
+        |> SS.forbid (c "c1") SS.F_descendant (c "c2"))
+  in
+  check "inconsistent" false (consistent s);
+  (* without c1• it is satisfiable *)
+  let s' =
+    mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun s ->
+        s
+        |> SS.require (c "c1") SS.Descendant (c "c2")
+        |> SS.forbid (c "c1") SS.F_descendant (c "c2"))
+  in
+  check "consistent without exists" true (consistent s')
+
+let test_contradiction_via_hierarchy () =
+  (* forbidden on the superclass, required on the subclass *)
+  let s =
+    mk_schema
+      ~tree:[ ("parent", "top"); ("child", "parent"); ("x", "top") ]
+      (fun s ->
+        s |> SS.require_class (c "child")
+        |> SS.require (c "child") SS.Descendant (c "x")
+        |> SS.forbid (c "parent") SS.F_descendant (c "x"))
+  in
+  check "inconsistent" false (consistent s)
+
+(* --- specific rules ----------------------------------------------------------- *)
+
+let test_loop_rule () =
+  let s =
+    mk_schema ~tree:(flat [ "a" ]) (fun s ->
+        s |> SS.require_class (c "a") |> SS.require (c "a") SS.Descendant (c "a"))
+  in
+  check "self-descendant loop" false (consistent s);
+  let s2 =
+    mk_schema ~tree:(flat [ "a" ]) (fun s ->
+        s |> SS.require_class (c "a") |> SS.require (c "a") SS.Ancestor (c "a"))
+  in
+  check "self-ancestor loop" false (consistent s2)
+
+let test_child_forbidden_child () =
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Child (c "b")
+        |> SS.forbid (c "a") SS.F_child (c "b"))
+  in
+  check "conflict-ch" false (consistent s)
+
+let test_required_descendant_forbidden_child_ok () =
+  (* a needs a b descendant but may not have a b child: satisfiable with
+     an intermediate node *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Descendant (c "b")
+        |> SS.forbid (c "a") SS.F_child (c "b"))
+  in
+  check "consistent via intermediate" true (consistent s);
+  match Consistency.decide s with
+  | Consistency.Consistent { witness; _ } ->
+      check "witness legal" true (Legality.is_legal s witness);
+      check "witness has >= 3 nodes" true (Instance.size witness >= 3)
+  | Consistency.Inconsistent _ | Consistency.Unresolved _ ->
+      Alcotest.fail "should be consistent with a witness"
+
+let test_childless_top_blocks_descendants () =
+  (* forbid a child top = a is childless; with a required descendant it
+     must be inconsistent (forb-top + conflict) *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Descendant (c "b")
+        |> SS.forbid (c "a") SS.F_child Oclass.top)
+  in
+  check "inconsistent" false (consistent s)
+
+let test_parentless_target () =
+  (* forbid top child b = b-entries are roots; requiring a to have a b
+     descendant is then impossible *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Descendant (c "b")
+        |> SS.forbid Oclass.top SS.F_child (c "b"))
+  in
+  check "inconsistent" false (consistent s)
+
+let test_parenthood_rule () =
+  (* a requires incomparable parents b and d: impossible (single parent) *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b"; "d" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Parent (c "b")
+        |> SS.require (c "a") SS.Parent (c "d"))
+  in
+  check "parenthood" false (consistent s);
+  (* comparable parents are fine *)
+  let s2 =
+    mk_schema
+      ~tree:[ ("b", "top"); ("d", "b"); ("a", "top") ]
+      (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Parent (c "b")
+        |> SS.require (c "a") SS.Parent (c "d"))
+  in
+  check "comparable parents ok" true (consistent s2)
+
+let test_ancestorhood_rule () =
+  (* two required incomparable ancestors that may not nest either way *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b"; "d" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Ancestor (c "b")
+        |> SS.require (c "a") SS.Ancestor (c "d")
+        |> SS.forbid (c "b") SS.F_descendant (c "d")
+        |> SS.forbid (c "d") SS.F_descendant (c "b"))
+  in
+  check "ancestorhood" false (consistent s);
+  (* with one nesting allowed, consistent *)
+  let s2 =
+    mk_schema ~tree:(flat [ "a"; "b"; "d" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Ancestor (c "b")
+        |> SS.require (c "a") SS.Ancestor (c "d")
+        |> SS.forbid (c "b") SS.F_descendant (c "d"))
+  in
+  check "one direction ok" true (consistent s2)
+
+let test_req_unsat_propagation () =
+  (* b is unsatisfiable (self-loop); a requires a b child; a• *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Child (c "b")
+        |> SS.require (c "b") SS.Descendant (c "b"))
+  in
+  check "unsat propagates to source" false (consistent s)
+
+let test_ch_pa_conflict () =
+  (* a must have a b child; every b needs an x parent; a and x
+     incomparable *)
+  let s =
+    mk_schema ~tree:(flat [ "a"; "b"; "x" ]) (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Child (c "b")
+        |> SS.require (c "b") SS.Parent (c "x"))
+  in
+  check "ch-pa conflict" false (consistent s);
+  (* if x is a subclass of a, consistent: the witness a-node is labelled x *)
+  let s2 =
+    mk_schema
+      ~tree:[ ("a", "top"); ("x", "a"); ("b", "top") ]
+      (fun s ->
+        s |> SS.require_class (c "a")
+        |> SS.require (c "a") SS.Child (c "b")
+        |> SS.require (c "b") SS.Parent (c "x"))
+  in
+  check "refinable" true (consistent s2);
+  match Consistency.decide s2 with
+  | Consistency.Consistent { witness; _ } ->
+      check "witness legal" true (Legality.is_legal s2 witness)
+  | Consistency.Inconsistent _ | Consistency.Unresolved _ ->
+      Alcotest.fail "should be consistent with a witness"
+
+(* --- proofs and witnesses ------------------------------------------------------ *)
+
+let test_proof_tree () =
+  let s =
+    mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun s ->
+        s |> SS.require_class (c "c1")
+        |> SS.require (c "c1") SS.Child (c "c2")
+        |> SS.require (c "c2") SS.Descendant (c "c1"))
+  in
+  match Consistency.decide s with
+  | Consistency.Inconsistent { proof; _ } ->
+      check "concludes bottom" true (Element.equal proof.Inference.conclusion Element.bottom);
+      (* leaves of the proof are axioms *)
+      let rec leaves p =
+        match p.Inference.premises with
+        | [] -> [ p ]
+        | ps -> List.concat_map leaves ps
+      in
+      check "all leaves are axioms" true
+        (List.for_all (fun p -> p.Inference.rule = "axiom") (leaves proof));
+      (* rendering works *)
+      check "printable" true
+        (String.length (Format.asprintf "%a" Inference.pp_proof proof) > 0)
+  | Consistency.Consistent _ | Consistency.Unresolved _ ->
+      Alcotest.fail "should be inconsistent"
+
+let test_proof_checker () =
+  let s =
+    mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun st ->
+        st |> SS.require_class (c "c1")
+        |> SS.require (c "c1") SS.Child (c "c2")
+        |> SS.require (c "c2") SS.Descendant (c "c1"))
+  in
+  let inf = Inference.saturate s in
+  let proof = Inference.explain inf Element.bottom in
+  check "genuine proof accepted" true (Inference.check_proof inf proof);
+  (* tampering: swap a leaf for a non-axiom *)
+  let forged =
+    {
+      proof with
+      Inference.premises =
+        [
+          {
+            Inference.conclusion = Element.Exists (node "c2");
+            rule = "axiom";
+            premises = [];
+          };
+        ];
+    }
+  in
+  check "forged axiom rejected" false (Inference.check_proof inf forged);
+  (* unknown rule names are rejected *)
+  let bad_rule = { proof with Inference.rule = "wishful-thinking" } in
+  check "unknown rule rejected" false (Inference.check_proof inf bad_rule);
+  (* proofs do not transfer to schemas that lack the axioms *)
+  let other = mk_schema ~tree:(flat [ "c1"; "c2" ]) (fun st -> st) in
+  check "axioms checked against the schema" false
+    (Inference.check_proof (Inference.saturate other) proof)
+
+let test_inference_api () =
+  let s =
+    mk_schema ~tree:[ ("person", "top"); ("researcher", "person") ] (fun st ->
+        st |> SS.require (c "person") SS.Descendant (c "person") |> SS.require_class (c "researcher"))
+  in
+  let inf = Inference.saturate s in
+  (* source-isa: researcher inherits person's requirement *)
+  check "source-isa" true
+    (Inference.is_derivable inf (Element.Req (node "researcher", SS.Descendant, node "person")));
+  (* loop: person is unsat *)
+  check "loop-derived unsat" true (Inference.class_unsat inf (node "person"));
+  (* exists-up: researcher• gives person• *)
+  check "exists-up" true (Inference.is_derivable inf (Element.Exists (node "person")));
+  check "inconsistent overall" true (Inference.inconsistent inf)
+
+let test_witness_white_pages () =
+  match Consistency.decide Bounds_workload.White_pages.schema with
+  | Consistency.Consistent { witness; _ } ->
+      check "legal" true (Legality.is_legal Bounds_workload.White_pages.schema witness);
+      (* witness has at least org, unit and person entries *)
+      let has cls =
+        Instance.fold (fun e acc -> acc || Entry.has_class e (c cls)) witness false
+      in
+      check "organization" true (has "organization");
+      check "orgunit" true (has "orgunit");
+      check "person" true (has "person")
+  | Consistency.Inconsistent _ | Consistency.Unresolved _ ->
+      Alcotest.fail "white pages schema is consistent"
+
+let test_witness_den () =
+  match Consistency.decide Bounds_workload.Den.schema with
+  | Consistency.Consistent { witness; _ } ->
+      check "legal" true (Legality.is_legal Bounds_workload.Den.schema witness)
+  | Consistency.Inconsistent _ | Consistency.Unresolved _ ->
+      Alcotest.fail "den schema is consistent"
+
+let test_empty_schema_consistent () =
+  match Consistency.decide Schema.empty with
+  | Consistency.Consistent { witness; _ } ->
+      check "empty witness suffices" true (Instance.size witness = 0)
+  | Consistency.Inconsistent _ | Consistency.Unresolved _ ->
+      Alcotest.fail "empty schema is consistent"
+
+let test_witness_respects_keys () =
+  (* two required classes whose entries share a required key attribute *)
+  let classes =
+    Class_schema.empty
+    |> Class_schema.add_core_exn (c "a") ~parent:Oclass.top
+    |> Class_schema.add_core_exn (c "b") ~parent:Oclass.top
+  in
+  let attributes =
+    Attribute_schema.empty
+    |> Attribute_schema.add_class_exn (c "a") ~required:[ Attr.of_string "uid" ]
+    |> Attribute_schema.add_class_exn (c "b") ~required:[ Attr.of_string "uid" ]
+  in
+  let structure =
+    SS.empty |> SS.require_class (c "a") |> SS.require_class (c "b")
+  in
+  let s =
+    Schema.make_exn ~classes ~attributes ~structure ~keys:[ Attr.of_string "uid" ] ()
+  in
+  match Consistency.decide s with
+  | Consistency.Consistent { witness; _ } ->
+      check "legal with unique keys" true (Legality.is_legal s witness)
+  | Consistency.Inconsistent _ | Consistency.Unresolved _ -> Alcotest.fail "consistent"
+
+(* --- properties ------------------------------------------------------------------ *)
+
+(* Soundness of the whole pipeline: on random schemas, whenever the
+   inference system says "consistent", the chase must produce an instance
+   that the independent legality checker accepts.  (This also exercises
+   that the chase terminates and never trips Consistency.Incomplete.) *)
+let arb_schema =
+  QCheck.make
+    ~print:(fun seed ->
+      Spec_printer.to_string
+        (Bounds_workload.Gen.random_schema ~seed ~n_classes:5 ~n_req:5 ~n_forb:3
+           ~n_required_classes:2))
+    QCheck.Gen.(int_bound 1_000_000)
+
+let prop_consistent_implies_witness =
+  QCheck.Test.make ~name:"consistent => witness legal (soundness)" ~count:500
+    arb_schema (fun seed ->
+      let s =
+        Bounds_workload.Gen.random_schema ~seed ~n_classes:5 ~n_req:5 ~n_forb:3
+          ~n_required_classes:2
+      in
+      match Consistency.decide s with
+      | Consistency.Consistent { witness; _ } -> Legality.is_legal s witness
+      | Consistency.Inconsistent { proof; _ } ->
+          Element.equal proof.Inference.conclusion Element.bottom
+      | Consistency.Unresolved _ ->
+          (* allowed but rare: pinned by the deterministic coverage test *)
+          true)
+
+(* Inconsistency soundness: if ∅• is derived, no small instance generated
+   from the witness machinery of a *relaxed* schema should satisfy it; we
+   check a cheaper invariant — derived inconsistency must persist when
+   adding more constraints (monotonicity). *)
+let prop_inconsistency_monotone =
+  QCheck.Test.make ~name:"inconsistency is monotone under added constraints"
+    ~count:200 arb_schema (fun seed ->
+      let s =
+        Bounds_workload.Gen.random_schema ~seed ~n_classes:5 ~n_req:4 ~n_forb:2
+          ~n_required_classes:2
+      in
+      if Consistency.is_consistent s then true
+      else
+        let s' =
+          let structure =
+            SS.require (c "c0") SS.Child (c "c1") s.Schema.structure
+          in
+          Schema.make_exn ~typing:s.Schema.typing ~attributes:s.Schema.attributes
+            ~classes:s.Schema.classes ~structure ()
+        in
+        not (Consistency.is_consistent s'))
+
+(* Deterministic coverage pin: over a fixed seed range, decide() must
+   settle (witness or proof) essentially everything; the unresolved long
+   tail of the greedy chase stays under 0.2%.  Seeds are fixed, so this
+   is stable across runs — if a chase change regresses coverage, this
+   fails. *)
+let test_decide_coverage () =
+  let total = 1500 in
+  let unresolved = ref 0 in
+  for seed = 0 to total - 1 do
+    let s =
+      Bounds_workload.Gen.random_schema ~seed ~n_classes:5 ~n_req:5 ~n_forb:3
+        ~n_required_classes:2
+    in
+    match Consistency.decide s with
+    | Consistency.Consistent { witness; _ } ->
+        if not (Legality.is_legal s witness) then
+          Alcotest.failf "illegal witness at seed %d" seed
+    | Consistency.Inconsistent _ -> ()
+    | Consistency.Unresolved _ -> incr unresolved
+  done;
+  if !unresolved > 3 then
+    Alcotest.failf "coverage regression: %d unresolved of %d" !unresolved total
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "cycle (5.1)" `Quick test_simple_cycle_inconsistent;
+          Alcotest.test_case "cycle needs exists (footnote 3)" `Quick
+            test_cycle_without_exists_is_consistent;
+          Alcotest.test_case "cycle through hierarchy" `Quick
+            test_cycle_through_class_hierarchy;
+          Alcotest.test_case "contradiction (5.2)" `Quick test_direct_contradiction;
+          Alcotest.test_case "contradiction via hierarchy" `Quick
+            test_contradiction_via_hierarchy;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "loop" `Quick test_loop_rule;
+          Alcotest.test_case "conflict-ch" `Quick test_child_forbidden_child;
+          Alcotest.test_case "descendant via intermediate" `Quick
+            test_required_descendant_forbidden_child_ok;
+          Alcotest.test_case "childless top" `Quick test_childless_top_blocks_descendants;
+          Alcotest.test_case "parentless target" `Quick test_parentless_target;
+          Alcotest.test_case "parenthood" `Quick test_parenthood_rule;
+          Alcotest.test_case "ancestorhood" `Quick test_ancestorhood_rule;
+          Alcotest.test_case "req-unsat propagation" `Quick test_req_unsat_propagation;
+          Alcotest.test_case "ch-pa conflict" `Quick test_ch_pa_conflict;
+        ] );
+      ( "proofs-witnesses",
+        [
+          Alcotest.test_case "proof tree" `Quick test_proof_tree;
+          Alcotest.test_case "proof checker" `Quick test_proof_checker;
+          Alcotest.test_case "inference api" `Quick test_inference_api;
+          Alcotest.test_case "white pages witness" `Quick test_witness_white_pages;
+          Alcotest.test_case "den witness" `Quick test_witness_den;
+          Alcotest.test_case "empty schema" `Quick test_empty_schema_consistent;
+          Alcotest.test_case "witness respects keys" `Quick test_witness_respects_keys;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_consistent_implies_witness;
+          QCheck_alcotest.to_alcotest prop_inconsistency_monotone;
+          Alcotest.test_case "decide coverage (fixed seeds)" `Slow
+            test_decide_coverage;
+        ] );
+    ]

@@ -1,0 +1,451 @@
+(* The library's extension surface: LDAP scoped search, schema evolution
+   (Section 6.2), and schema-aware query simplification (Section 7
+   outlook). *)
+
+open Bounds_model
+open Bounds_core
+open Bounds_query
+module WP = Bounds_workload.White_pages
+module SS = Structure_schema
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ids = Alcotest.(check (list int))
+let a = Attr.of_string
+let c = Oclass.of_string
+
+(* --- Search ---------------------------------------------------------------- *)
+
+(* the Figure-1 instance: att(0) -> attLabs(1) -> databases(3) -> laks(4),
+   suciu(5); att(0) -> armstrong(2) *)
+let wp = WP.instance
+let ix = Index.create wp
+let person_f = Filter.class_eq (c "person")
+let all_f = Filter.And []
+
+let test_search_scopes () =
+  check_ids "base on root" [ 0 ] (Search.search ix ~base:(Some 0) Search.Base all_f);
+  check_ids "base no match" []
+    (Search.search ix ~base:(Some 0) Search.Base person_f);
+  check_ids "one-level of att" [ 1; 2 ]
+    (Search.search ix ~base:(Some 0) Search.One_level all_f);
+  check_ids "one-level persons of databases" [ 4; 5 ]
+    (Search.search ix ~base:(Some 3) Search.One_level person_f);
+  check_ids "subtree persons of attLabs" [ 4; 5 ]
+    (Search.search ix ~base:(Some 1) Search.Subtree person_f);
+  check_ids "subtree includes base" [ 0; 1; 3; 4; 5; 2 ]
+    (Search.search ix ~base:(Some 0) Search.Subtree all_f);
+  check_ids "whole forest" [ 2; 4; 5 ]
+    (List.sort compare (Search.search ix ~base:None Search.Subtree person_f));
+  check_ids "roots" [ 0 ] (Search.search ix ~base:None Search.Base all_f);
+  check_int "count" 3 (Search.count ix ~base:None Search.Subtree person_f);
+  check "missing base raises" true
+    (try
+       ignore (Search.search ix ~base:(Some 99) Search.Base all_f);
+       false
+     with Not_found -> true)
+
+let test_search_vindex_agrees () =
+  let vx = Vindex.create ix in
+  List.iter
+    (fun (base, scope, f) ->
+      check "vindex = plain" true
+        (Search.search ix ~base scope f = Search.search ~vindex:vx ix ~base scope f))
+    [
+      (Some 0, Search.Subtree, person_f);
+      (Some 1, Search.One_level, all_f);
+      (None, Search.Subtree, Filter.class_eq (c "orgunit"));
+    ]
+
+let test_search_scope_strings () =
+  check "sub" true (Search.scope_of_string "subtree" = Ok Search.Subtree);
+  check "one" true (Search.scope_of_string "ONE" = Ok Search.One_level);
+  check "bad" true (Result.is_error (Search.scope_of_string "deep"));
+  check "roundtrip" true
+    (List.for_all
+       (fun s -> Search.scope_of_string (Search.scope_to_string s) = Ok s)
+       [ Search.Base; Search.One_level; Search.Subtree ])
+
+(* --- Evolution ---------------------------------------------------------------- *)
+
+let test_evolution_apply () =
+  let s = WP.schema in
+  (* lightweight: new allowed attribute *)
+  let s1 =
+    Result.get_ok (Evolution.apply (Evolution.Add_allowed_attribute (c "person", a "pager")) s)
+  in
+  check "pager allowed" true
+    (Attr.Set.mem (a "pager") (Attribute_schema.allowed s1.Schema.attributes (c "person")));
+  check "old attrs kept" true
+    (Attr.Set.mem (a "uid") (Attribute_schema.required s1.Schema.attributes (c "person")));
+  (* new auxiliary + association *)
+  let s2 =
+    Result.get_ok
+      (Evolution.apply_all
+         [
+           Evolution.Add_aux_class (c "remote");
+           Evolution.Allow_aux { core = c "person"; aux = c "remote" };
+         ]
+         s)
+  in
+  check "remote aux of person" true
+    (Oclass.Set.mem (c "remote") (Class_schema.aux_of s2.Schema.classes (c "person")));
+  (* errors *)
+  check "unknown core" true
+    (Result.is_error
+       (Evolution.apply (Evolution.Allow_aux { core = c "ghost"; aux = c "online" }) s));
+  check "drop absent rel" true
+    (Result.is_error
+       (Evolution.apply
+          (Evolution.Drop_required_rel (c "person", SS.Child, c "person"))
+          s));
+  check "key stays single-valued" true
+    (Result.is_error (Evolution.apply (Evolution.Drop_single_valued (a "uid")) s))
+
+let test_evolution_structure_ops () =
+  let s = WP.schema in
+  let rel = (c "orggroup", SS.Descendant, c "person") in
+  let s' = Result.get_ok (Evolution.apply (Evolution.Drop_required_rel rel) s) in
+  check "rel dropped" false (SS.mem_required s'.Schema.structure rel);
+  check "others kept" true
+    (SS.mem_required s'.Schema.structure (c "orgunit", SS.Parent, c "orggroup"));
+  check "forbidden kept" true
+    (SS.mem_forbidden s'.Schema.structure (c "person", SS.F_child, Oclass.top));
+  let s'' =
+    Result.get_ok
+      (Evolution.apply
+         (Evolution.Forbid_rel (c "organization", SS.F_descendant, c "organization"))
+         s')
+  in
+  check "forbid added" true
+    (SS.mem_forbidden s''.Schema.structure
+       (c "organization", SS.F_descendant, c "organization"))
+
+let test_evolution_classification () =
+  List.iter
+    (fun (op, expect) ->
+      check (Format.asprintf "%a" Evolution.pp_op op) expect
+        (Evolution.preserves_legality op))
+    [
+      (Evolution.Add_allowed_attribute (c "person", a "pager"), true);
+      (Evolution.Add_core_class { name = c "intern"; parent = c "person" }, true);
+      (Evolution.Add_aux_class (c "remote"), true);
+      (Evolution.Allow_aux { core = c "person"; aux = c "online" }, true);
+      (Evolution.Drop_required_rel (c "orggroup", SS.Descendant, c "person"), true);
+      (Evolution.Drop_forbidden_rel (c "person", SS.F_child, Oclass.top), true);
+      (Evolution.Declare_attribute (a "note", Atype.T_string), true);
+      (Evolution.Declare_attribute (a "age", Atype.T_int), false);
+      (Evolution.Add_required_attribute (c "person", a "pager"), false);
+      (Evolution.Require_class (c "researcher"), false);
+      (Evolution.Require_rel (c "person", SS.Child, c "person"), false);
+      (Evolution.Forbid_rel (c "orgunit", SS.F_child, c "orgunit"), false);
+      (Evolution.Make_single_valued (a "mail"), false);
+      (Evolution.Add_key (a "name"), false);
+    ]
+
+let test_evolution_migrate () =
+  let inst = WP.generate ~seed:3 ~units:5 ~persons_per_unit:3 () in
+  (* lightweight batch: no revalidation *)
+  (match
+     Evolution.migrate
+       [
+         Evolution.Add_allowed_attribute (c "person", a "pager");
+         Evolution.Add_aux_class (c "remote");
+       ]
+       WP.schema inst
+   with
+  | Ok m ->
+      check "not revalidated" false m.Evolution.revalidated;
+      check "no violations" true (m.Evolution.violations = []);
+      check "still legal (sanity)" true (Legality.is_legal m.Evolution.schema inst)
+  | Error e -> Alcotest.fail e);
+  (* tightening batch: revalidated, and this one breaks the instance *)
+  match
+    Evolution.migrate
+      [ Evolution.Add_required_attribute (c "person", a "telephonenumber") ]
+      WP.schema inst
+  with
+  | Ok m ->
+      check "revalidated" true m.Evolution.revalidated;
+      check "violations reported" true (m.Evolution.violations <> [])
+  | Error e -> Alcotest.fail e
+
+let test_evolution_diff () =
+  let base = WP.schema in
+  (* identical schemas diff to nothing *)
+  (match Evolution.diff base base with
+  | Ok [] -> ()
+  | Ok ops ->
+      Alcotest.failf "expected empty diff, got %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Evolution.pp_op) ops))
+  | Error e -> Alcotest.fail e);
+  (* a broad evolution round-trips through diff *)
+  let ops =
+    [
+      Evolution.Declare_attribute (a "badge", Atype.T_string);
+      Evolution.Add_core_class { name = c "intern"; parent = c "person" };
+      Evolution.Add_core_class { name = c "summerintern"; parent = c "intern" };
+      Evolution.Add_aux_class (c "remote");
+      Evolution.Allow_aux { core = c "intern"; aux = c "remote" };
+      Evolution.Add_required_attribute (c "intern", a "badge");
+      Evolution.Add_allowed_attribute (c "person", a "badge");
+      Evolution.Require_rel (c "intern", SS.Parent, c "orgunit");
+      Evolution.Forbid_rel (c "intern", SS.F_child, Oclass.top);
+      Evolution.Drop_required_class (c "organization");
+      Evolution.Drop_required_rel (c "orggroup", SS.Descendant, c "person");
+      Evolution.Make_single_valued (a "name");
+      Evolution.Drop_key (a "uid");
+    ]
+  in
+  let evolved = Result.get_ok (Evolution.apply_all ops base) in
+  (match Evolution.diff base evolved with
+  | Error e -> Alcotest.fail e
+  | Ok dops ->
+      let rebuilt = Result.get_ok (Evolution.apply_all dops base) in
+      check "diff round-trips" true (Schema.equal rebuilt evolved));
+  (* inexpressible changes are reported *)
+  let retyped =
+    Result.get_ok
+      (Evolution.apply (Evolution.Declare_attribute (a "badge", Atype.T_int)) base)
+  in
+  check "retype inexpressible" true (Result.is_error (Evolution.diff retyped base))
+
+(* Property: diff round-trips over random op sequences. *)
+let candidate_ops =
+  [
+    Evolution.Declare_attribute (a "badge", Atype.T_string);
+    Evolution.Add_core_class { name = c "intern"; parent = c "person" };
+    Evolution.Add_aux_class (c "remote");
+    Evolution.Add_allowed_attribute (c "orgunit", a "mail");
+    Evolution.Add_required_attribute (c "organization", a "uri");
+    Evolution.Require_class (c "researcher");
+    Evolution.Require_rel (c "researcher", SS.Parent, c "orgunit");
+    Evolution.Forbid_rel (c "orgunit", SS.F_child, c "organization");
+    Evolution.Drop_required_class (c "organization");
+    Evolution.Drop_required_rel (c "orgunit", SS.Parent, c "orggroup");
+    Evolution.Drop_forbidden_rel (c "person", SS.F_child, Oclass.top);
+    Evolution.Make_single_valued (a "location");
+    Evolution.Add_key (a "mail");
+    Evolution.Drop_key (a "uid");
+    Evolution.Drop_required_attribute (c "person", a "name");
+    Evolution.Drop_allowed_attribute (c "orgunit", a "location");
+  ]
+
+let prop_diff_roundtrip =
+  QCheck.Test.make ~name:"diff round-trips random evolutions" ~count:200
+    (QCheck.make
+       ~print:(fun picks -> String.concat "," (List.map string_of_int picks))
+       QCheck.Gen.(list_size (int_bound 8) (int_bound (List.length candidate_ops - 1))))
+    (fun picks ->
+      (* apply the applicable subset in order *)
+      let evolved =
+        List.fold_left
+          (fun s k ->
+            match Evolution.apply (List.nth candidate_ops k) s with
+            | Ok s' -> s'
+            | Error _ -> s)
+          WP.schema picks
+      in
+      match Evolution.diff WP.schema evolved with
+      | Error _ -> false
+      | Ok dops -> (
+          match Evolution.apply_all dops WP.schema with
+          | Ok rebuilt -> Schema.equal rebuilt evolved
+          | Error _ -> false))
+
+(* Property: legality-preserving ops really preserve legality. *)
+let light_ops =
+  [
+    Evolution.Add_allowed_attribute (c "person", a "pager");
+    Evolution.Add_core_class { name = c "intern"; parent = c "person" };
+    Evolution.Add_aux_class (c "remote");
+    Evolution.Allow_aux { core = c "staffmember"; aux = c "facultymember" };
+    Evolution.Drop_required_class (c "organization");
+    Evolution.Drop_required_rel (c "orggroup", SS.Descendant, c "person");
+    Evolution.Drop_forbidden_rel (c "person", SS.F_child, Oclass.top);
+    Evolution.Drop_key (a "uid");
+    Evolution.Declare_attribute (a "note", Atype.T_string);
+  ]
+
+let prop_preserving_ops_preserve =
+  QCheck.Test.make ~name:"legality-preserving evolutions preserve legality" ~count:60
+    (QCheck.make
+       ~print:(fun (seed, k) ->
+         Format.asprintf "seed=%d op=%a" seed Evolution.pp_op (List.nth light_ops k))
+       QCheck.Gen.(pair (int_bound 10000) (int_bound (List.length light_ops - 1))))
+    (fun (seed, k) ->
+      let op = List.nth light_ops k in
+      assert (Evolution.preserves_legality op);
+      let inst = WP.generate ~seed ~units:4 ~persons_per_unit:2 () in
+      let schema' = Result.get_ok (Evolution.apply op WP.schema) in
+      Legality.is_legal schema' inst)
+
+(* --- Profile ------------------------------------------------------------------- *)
+
+let test_profile () =
+  let p = Profile.compute WP.schema wp in
+  check_int "entries" 6 p.Profile.entries;
+  check_int "roots" 1 p.Profile.roots;
+  check_int "max depth" 3 p.Profile.max_depth;
+  Alcotest.(check (array int)) "depth histogram" [| 1; 2; 1; 2 |] p.Profile.depth_histogram;
+  check_int "max fanout" 2 p.Profile.max_fanout;
+  let person =
+    List.find (fun cp -> Oclass.equal cp.Profile.cls (c "person")) p.Profile.classes
+  in
+  check_int "three persons" 3 person.Profile.count;
+  (* uid is required and fully present *)
+  let uid_fill =
+    List.find (fun f -> Attr.equal f.Profile.attr (a "uid")) person.Profile.fills
+  in
+  check "uid required" true uid_fill.Profile.required;
+  check_int "uid present everywhere" 3 uid_fill.Profile.present;
+  (* telephoneNumber is optional and absent: heterogeneity shows up *)
+  let tel_fill =
+    List.find
+      (fun f -> Attr.equal f.Profile.attr (a "telephonenumber"))
+      person.Profile.fills
+  in
+  check_int "no telephones" 0 tel_fill.Profile.present;
+  check "fill rate strictly below 1" true (p.Profile.optional_fill_rate < 1.0);
+  (* online adoption among persons: laks only *)
+  let online =
+    List.assoc (c "online") person.Profile.aux_adoption
+  in
+  check_int "one online person" 1 online;
+  (* empty instance profiles cleanly *)
+  let p0 = Profile.compute WP.schema Instance.empty in
+  check_int "empty" 0 p0.Profile.entries;
+  check "renders" true (String.length (Format.asprintf "%a" Profile.pp p) > 0)
+
+(* --- Optimize ------------------------------------------------------------------ *)
+
+let inf = Inference.saturate WP.schema
+let sel cls = Query.select_class (c cls)
+
+let test_optimize_statics () =
+  let simp q = Optimize.simplify inf q in
+  (* undeclared class *)
+  check "undeclared class empty" true (Optimize.is_empty_query (simp (sel "martian")));
+  (* forbidden chi: person -/-> top *)
+  check "forbidden chi child" true
+    (Optimize.is_empty_query (simp (Query.Chi (Query.Child, sel "person", sel "top"))));
+  check "forbidden chi reversed parent" true
+    (Optimize.is_empty_query (simp (Query.Chi (Query.Parent, sel "top", sel "person"))));
+  (* not forbidden: orgGroup children *)
+  check "allowed chi unchanged" false
+    (Optimize.is_empty_query
+       (simp (Query.Chi (Query.Child, sel "orggroup", sel "person"))));
+  (* the Figure-4 legality queries of the schema's own elements vanish *)
+  List.iter
+    (fun (oblig, q, expect) ->
+      match expect with
+      | Translate.Must_be_empty ->
+          check
+            (Format.asprintf "legality query of %a vanishes" Translate.pp_obligation
+               oblig)
+            true
+            (Optimize.is_empty_query (simp q))
+      | Translate.Must_be_nonempty -> ())
+    (Translate.all WP.schema.Schema.structure);
+  (* algebra *)
+  check "minus self" true
+    (Optimize.is_empty_query (simp (Query.Minus (sel "person", sel "person"))));
+  check "union with empty" true
+    (Query.equal (simp (Query.Union (sel "martian", sel "person"))) (sel "person"));
+  check "inter with empty" true
+    (Optimize.is_empty_query (simp (Query.Inter (sel "person", sel "martian"))));
+  check "chi over empty" true
+    (Optimize.is_empty_query
+       (simp (Query.Chi (Query.Descendant, sel "martian", sel "person"))));
+  (* filter folding *)
+  check "and-false folds" true
+    (Optimize.is_empty_query
+       (simp
+          (Query.Select
+             (Filter.And [ Filter.class_eq (c "person"); Filter.Eq (Attr.object_class, "martian") ]))));
+  check "not-false folds to true" true
+    (Query.equal
+       (simp (Query.Select (Filter.Not (Filter.Eq (Attr.object_class, "martian")))))
+       (Query.Select (Filter.And [])))
+
+let test_optimize_unsat_class () =
+  (* a schema where class b is unsatisfiable: b needs a b descendant *)
+  let schema =
+    Spec_parser.parse_exn
+      {|class a
+        class b
+        require b descendant b|}
+  in
+  let inf = Inference.saturate schema in
+  check "unsat class select empty" true
+    (Optimize.is_empty_query (Optimize.simplify inf (Query.select_class (c "b"))));
+  check "sat class kept" false
+    (Optimize.is_empty_query (Optimize.simplify inf (Query.select_class (c "a"))))
+
+(* Property: simplification preserves results on legal instances. *)
+let classes_pool = [ "person"; "orggroup"; "orgunit"; "researcher"; "top"; "organization" ]
+
+let gen_query =
+  let open QCheck.Gen in
+  let leaf =
+    map (fun i -> Query.select_class (c (List.nth classes_pool i))) (int_bound 5)
+  in
+  let axis = oneofl [ Query.Child; Query.Parent; Query.Descendant; Query.Ancestor ] in
+  sized_size (int_bound 6)
+    (fix (fun self n ->
+         if n = 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               ( 2,
+                 map3
+                   (fun ax q1 q2 -> Query.Chi (ax, q1, q2))
+                   axis
+                   (self (n / 2))
+                   (self (n / 2)) );
+               (1, map2 (fun q1 q2 -> Query.Minus (q1, q2)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun q1 q2 -> Query.Union (q1, q2)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun q1 q2 -> Query.Inter (q1, q2)) (self (n / 2)) (self (n / 2)));
+             ]))
+
+let prop_simplify_preserves =
+  QCheck.Test.make ~name:"simplify preserves results on legal instances" ~count:300
+    (QCheck.make
+       ~print:(fun (seed, q) -> Printf.sprintf "seed=%d q=%s" seed (Query.to_string q))
+       QCheck.Gen.(pair (int_bound 1000) gen_query))
+    (fun (seed, q) ->
+      let inst = WP.generate ~seed ~units:4 ~persons_per_unit:3 () in
+      let ix = Index.create inst in
+      let before = Eval.eval_ids ix q in
+      let after = Eval.eval_ids ix (Optimize.simplify inf q) in
+      before = after)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "scopes" `Quick test_search_scopes;
+          Alcotest.test_case "vindex agreement" `Quick test_search_vindex_agrees;
+          Alcotest.test_case "scope strings" `Quick test_search_scope_strings;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "apply" `Quick test_evolution_apply;
+          Alcotest.test_case "structure ops" `Quick test_evolution_structure_ops;
+          Alcotest.test_case "classification" `Quick test_evolution_classification;
+          Alcotest.test_case "migrate" `Quick test_evolution_migrate;
+          Alcotest.test_case "diff" `Quick test_evolution_diff;
+          QCheck_alcotest.to_alcotest prop_diff_roundtrip;
+          QCheck_alcotest.to_alcotest prop_preserving_ops_preserve;
+        ] );
+      ("profile", [ Alcotest.test_case "white pages statistics" `Quick test_profile ]);
+      ( "optimize",
+        [
+          Alcotest.test_case "static simplifications" `Quick test_optimize_statics;
+          Alcotest.test_case "unsatisfiable class" `Quick test_optimize_unsat_class;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves;
+        ] );
+    ]

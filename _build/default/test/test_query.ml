@@ -1,0 +1,482 @@
+(* Tests for the hierarchical query engine: bitsets, filters, parsers, and
+   the linear evaluator checked against the naive reference evaluator. *)
+
+open Bounds_model
+open Bounds_query
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ids = Alcotest.(check (list int))
+
+(* --- Bitset ------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 20 in
+  check "empty" true (Bitset.is_empty s);
+  let s = Bitset.add (Bitset.add s 3) 17 in
+  check "mem 3" true (Bitset.mem s 3);
+  check "mem 17" true (Bitset.mem s 17);
+  check "not mem 4" false (Bitset.mem s 4);
+  check_int "cardinal" 2 (Bitset.cardinal s);
+  check_ids "elements" [ 3; 17 ] (Bitset.elements s);
+  let s = Bitset.remove s 3 in
+  check_ids "after remove" [ 17 ] (Bitset.elements s)
+
+let test_bitset_algebra () =
+  let a = Bitset.of_list 10 [ 1; 3; 5; 7 ] in
+  let b = Bitset.of_list 10 [ 3; 4; 5 ] in
+  check_ids "union" [ 1; 3; 4; 5; 7 ] (Bitset.elements (Bitset.union a b));
+  check_ids "inter" [ 3; 5 ] (Bitset.elements (Bitset.inter a b));
+  check_ids "diff" [ 1; 7 ] (Bitset.elements (Bitset.diff a b));
+  check_ids "complement" [ 0; 2; 4; 6; 8; 9 ] (Bitset.elements (Bitset.complement a));
+  check "subset" true (Bitset.subset (Bitset.of_list 10 [ 3; 5 ]) a);
+  check "not subset" false (Bitset.subset b a);
+  check "choose" true (Bitset.choose a = Some 1);
+  check "choose empty" true (Bitset.choose (Bitset.create 10) = None)
+
+let test_bitset_full_and_edges () =
+  (* n not a multiple of 8: padding bits must stay clear *)
+  let f = Bitset.full 13 in
+  check_int "full cardinal" 13 (Bitset.cardinal f);
+  check "complement of full is empty" true (Bitset.is_empty (Bitset.complement f));
+  let z = Bitset.full 0 in
+  check_int "full 0" 0 (Bitset.cardinal z);
+  check "size mismatch raises" true
+    (try
+       ignore (Bitset.union (Bitset.create 5) (Bitset.create 6));
+       false
+     with Invalid_argument _ -> true);
+  check "out of range raises" true
+    (try
+       ignore (Bitset.mem (Bitset.create 5) 5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Filters ------------------------------------------------------------ *)
+
+let a = Attr.of_string
+let person = Oclass.of_string "person"
+
+let entry =
+  Entry.make ~id:0
+    ~classes:(Oclass.Set.of_list [ person; Oclass.top ])
+    [
+      (a "name", Value.String "Laks Lakshmanan");
+      (a "age", Value.Int 42);
+      (a "mail", Value.String "laks@cs.concordia.ca");
+      (a "mail", Value.String "laks@cse.iitb.ernet.in");
+    ]
+
+let test_filter_matching () =
+  let m f = Filter.matches f entry in
+  check "class eq" true (m (Filter.class_eq person));
+  check "class eq case" true (m (Filter.Eq (Attr.object_class, "PERSON")));
+  check "class neq" false (m (Filter.class_eq (Oclass.of_string "router")));
+  check "eq string ci" true (m (Filter.Eq (a "name", "laks lakshmanan")));
+  check "present" true (m (Filter.Present (a "mail")));
+  check "absent" false (m (Filter.Present (a "phone")));
+  check "ge numeric" true (m (Filter.Ge (a "age", "40")));
+  check "ge numeric false" false (m (Filter.Ge (a "age", "43")));
+  check "le numeric" true (m (Filter.Le (a "age", "42")));
+  check "ge lexicographic" true (m (Filter.Ge (a "name", "laks")));
+  check "and" true
+    (m (Filter.And [ Filter.Present (a "mail"); Filter.Ge (a "age", "1") ]));
+  check "and empty is true" true (m (Filter.And []));
+  check "or empty is false" false (m (Filter.Or []));
+  check "not" true (m (Filter.Not (Filter.Present (a "phone"))))
+
+let test_filter_substring () =
+  let m f = Filter.matches f entry in
+  let sub ?initial ?(any = []) ?final () = { Filter.initial; any; final } in
+  check "initial" true (m (Filter.Substr (a "mail", sub ~initial:"laks@" ())));
+  check "final" true (m (Filter.Substr (a "mail", sub ~final:".ca" ())));
+  check "any" true (m (Filter.Substr (a "mail", sub ~any:[ "cs" ] ())));
+  check "all three" true
+    (m (Filter.Substr (a "mail", sub ~initial:"laks" ~any:[ "cse" ] ~final:"in" ())));
+  check "ordered anys" true
+    (m (Filter.Substr (a "name", sub ~any:[ "Laks"; "Laks" ] ())));
+  check "ordered anys fail" false
+    (m (Filter.Substr (a "mail", sub ~any:[ "iitb"; "cse" ] ())));
+  check "case-insensitive" true (m (Filter.Substr (a "name", sub ~initial:"LAKS" ())))
+
+let test_filter_parser () =
+  let p s = Filter_parser.parse_exn s in
+  check "simple eq" true
+    (Filter.equal (p "(objectClass=person)") (Filter.class_eq person));
+  check "and" true
+    (Filter.equal
+       (p "(&(objectClass=person)(mail=*))")
+       (Filter.And [ Filter.class_eq person; Filter.Present (a "mail") ]));
+  check "or-not" true
+    (Filter.equal
+       (p "(|(!(a=1))(b>=2))")
+       (Filter.Or [ Filter.Not (Filter.Eq (a "a", "1")); Filter.Ge (a "b", "2") ]));
+  check "substring" true
+    (Filter.equal
+       (p "(mail=laks*ca)")
+       (Filter.Substr (a "mail", { initial = Some "laks"; any = []; final = Some "ca" })));
+  check "escaped star" true (Filter.equal (p {|(x=a\*b)|}) (Filter.Eq (a "x", "a*b")));
+  check "whitespace tolerated" true
+    (Filter.equal
+       (p "( & (a=1) (b=2) )")
+       (Filter.And [ Filter.Eq (a "a", "1"); Filter.Eq (a "b", "2") ]));
+  check "error: unbalanced" true (Result.is_error (Filter_parser.parse "(a=1"));
+  check "error: trailing" true (Result.is_error (Filter_parser.parse "(a=1)x"));
+  check "error: star in ge" true (Result.is_error (Filter_parser.parse "(a>=1*2)"))
+
+let test_filter_roundtrip () =
+  List.iter
+    (fun s ->
+      let f = Filter_parser.parse_exn s in
+      let f' = Filter_parser.parse_exn (Filter.to_string f) in
+      check ("roundtrip " ^ s) true (Filter.equal f f'))
+    [
+      "(objectClass=person)";
+      "(mail=*)";
+      "(&(a=1)(|(b=2)(c=3)))";
+      "(!(x<=10))";
+      "(mail=a*b*c)";
+      {|(x=p\(q\)r)|};
+    ]
+
+(* --- Query parser / printer -------------------------------------------- *)
+
+let test_query_parser () =
+  let q =
+    Query_parser.parse_exn
+      {|(minus (select "(objectClass=orgGroup)") (chi d (select "(objectClass=orgGroup)") (select "(objectClass=person)")))|}
+  in
+  (match q with
+  | Query.Minus (Query.Select _, Query.Chi (Query.Descendant, _, _)) -> ()
+  | _ -> Alcotest.fail "unexpected shape");
+  check_int "size" 5 (Query.size q);
+  (* bare filter shorthand *)
+  let q2 = Query_parser.parse_exn "(chi c (objectClass=person) (objectClass=top))" in
+  (match q2 with
+  | Query.Chi (Query.Child, Query.Select _, Query.Select _) -> ()
+  | _ -> Alcotest.fail "unexpected shape 2");
+  check "error" true (Result.is_error (Query_parser.parse "(chi q (a=1) (b=2))"))
+
+let test_query_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = Query_parser.parse_exn s in
+      let q' = Query_parser.parse_exn (Query.to_string q) in
+      check ("roundtrip " ^ s) true (Query.equal q q'))
+    [
+      "(objectClass=person)";
+      "(minus (a=1) (b=2))";
+      "(union (inter (a=1) (b=2)) (chi a (c=3) (d=4)))";
+      "(chi p (select \"(&(a=1)(b=2))\") (x=*))";
+    ]
+
+(* --- Evaluation ---------------------------------------------------------- *)
+
+(* A small fixed forest:
+     0:org -> 1:unit -> 3:person, 4:person
+            -> 2:person
+     5:org (second root, person-less) *)
+let mk id cls =
+  Entry.make ~id ~classes:(Oclass.Set.of_list [ Oclass.top; Oclass.of_string cls ]) []
+
+let forest () =
+  Instance.empty
+  |> Instance.add_root_exn (mk 0 "org")
+  |> Instance.add_child_exn ~parent:0 (mk 1 "unit")
+  |> Instance.add_child_exn ~parent:0 (mk 2 "person")
+  |> Instance.add_child_exn ~parent:1 (mk 3 "person")
+  |> Instance.add_child_exn ~parent:1 (mk 4 "person")
+  |> Instance.add_root_exn (mk 5 "org")
+
+let sel c = Query.select_class (Oclass.of_string c)
+
+let eval_ids q =
+  let inst = forest () in
+  Eval.eval_ids (Index.create inst) q
+
+let test_eval_select () =
+  check_ids "persons" [ 2; 3; 4 ] (List.sort compare (eval_ids (sel "person")));
+  check_ids "orgs" [ 0; 5 ] (List.sort compare (eval_ids (sel "org")));
+  check_ids "top = everything" [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare (eval_ids (sel "top")))
+
+let test_eval_chi () =
+  let sorted q = List.sort compare (eval_ids q) in
+  check_ids "orgs with person child" [ 0 ]
+    (sorted (Query.Chi (Query.Child, sel "org", sel "person")));
+  check_ids "orgs with person descendant" [ 0 ]
+    (sorted (Query.Chi (Query.Descendant, sel "org", sel "person")));
+  check_ids "persons with unit parent" [ 3; 4 ]
+    (sorted (Query.Chi (Query.Parent, sel "person", sel "unit")));
+  check_ids "persons with org ancestor" [ 2; 3; 4 ]
+    (sorted (Query.Chi (Query.Ancestor, sel "person", sel "org")));
+  check_ids "units with org parent" [ 1 ]
+    (sorted (Query.Chi (Query.Parent, sel "unit", sel "org")));
+  check_ids "no org has org descendant" []
+    (sorted (Query.Chi (Query.Descendant, sel "org", sel "org")))
+
+let test_eval_minus () =
+  (* the Q1 of Section 3.2: orgs without a person descendant *)
+  let q1 =
+    Query.Minus (sel "org", Query.Chi (Query.Descendant, sel "org", sel "person"))
+  in
+  check_ids "org 5 has no person" [ 5 ] (eval_ids q1);
+  check "is_empty false" false (Eval.is_empty (Index.create (forest ())) q1)
+
+let test_eval_empty_instance () =
+  let ix = Index.create Instance.empty in
+  check "empty select" true (Eval.is_empty ix (sel "person"));
+  check "empty chi" true
+    (Eval.is_empty ix (Query.Chi (Query.Descendant, sel "a", sel "b")))
+
+let test_vindex_agrees () =
+  let inst = forest () in
+  let ix = Index.create inst in
+  let vx = Vindex.create ix in
+  List.iter
+    (fun q ->
+      check "vindex = scan" true
+        (Bitset.equal (Eval.eval ix q) (Eval.eval ~vindex:vx ix q)))
+    [
+      sel "person";
+      Query.Select (Filter.Not (Filter.class_eq person));
+      Query.Select (Filter.And [ Filter.class_eq person; Filter.Present (a "x") ]);
+      Query.Chi (Query.Descendant, sel "org", sel "person");
+      Query.Select (Filter.Present Attr.object_class);
+    ]
+
+(* --- property: linear evaluator ≡ naive reference ----------------------- *)
+
+let classes_pool = [ "a"; "b"; "c" ]
+
+let gen_instance =
+  QCheck.Gen.(
+    sized_size (int_bound 40) (fun n st ->
+        let seed = int_bound 1_000_000 st in
+        Bounds_workload.Gen.random_forest ~seed ~size:(max 1 n)
+          ~mk_entry:(fun rng id ->
+            let cls = List.nth classes_pool (Random.State.int rng 3) in
+            mk id cls)
+          ()))
+
+let gen_query =
+  let open QCheck.Gen in
+  let leaf = map (fun i -> sel (List.nth classes_pool i)) (int_bound 2) in
+  let axis = oneofl [ Query.Child; Query.Parent; Query.Descendant; Query.Ancestor ] in
+  sized_size (int_bound 5)
+    (fix (fun self n ->
+         if n = 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               ( 2,
+                 map3
+                   (fun ax a b -> Query.Chi (ax, a, b))
+                   axis
+                   (self (n / 2))
+                   (self (n / 2)) );
+               (1, map2 (fun a b -> Query.Minus (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun a b -> Query.Union (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun a b -> Query.Inter (a, b)) (self (n / 2)) (self (n / 2)));
+             ]))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (inst, q) ->
+      Format.asprintf "size=%d query=%s" (Instance.size inst) (Query.to_string q))
+    QCheck.Gen.(pair gen_instance gen_query)
+
+let prop_eval_equiv =
+  QCheck.Test.make ~name:"linear evaluator = naive reference" ~count:300 arb_case
+    (fun (inst, q) ->
+      let fast = List.sort compare (Eval.eval_ids (Index.create inst) q) in
+      let slow = Naive_eval.eval inst q in
+      fast = slow)
+
+let prop_eval_vindex_equiv =
+  QCheck.Test.make ~name:"vindex evaluator = naive reference" ~count:200 arb_case
+    (fun (inst, q) ->
+      let ix = Index.create inst in
+      let fast =
+        List.sort compare (Index.ids_of ix (Eval.eval ~vindex:(Vindex.create ix) ix q))
+      in
+      fast = Naive_eval.eval inst q)
+
+(* --- random print/parse round-trips ---------------------------------------- *)
+
+let gen_attr = QCheck.Gen.(oneofl [ "cn"; "mail"; "uid"; "x-opt" ] >|= a)
+
+let gen_value_str =
+  QCheck.Gen.(
+    oneofl [ "v"; "a b"; "we(i)rd*"; "back\\slash"; ""; "héllo"; "42" ])
+
+let gen_filter =
+  let open QCheck.Gen in
+  sized_size (int_bound 6)
+    (fix (fun self n ->
+         if n = 0 then
+           oneof
+             [
+               map (fun at -> Filter.Present at) gen_attr;
+               map2 (fun at v -> Filter.Eq (at, v)) gen_attr gen_value_str;
+               map2 (fun at v -> Filter.Ge (at, v)) gen_attr (oneofl [ "1"; "z" ]);
+               map2 (fun at v -> Filter.Le (at, v)) gen_attr (oneofl [ "9"; "a" ]);
+               map2
+                 (fun at (i, f) ->
+                   Filter.Substr (at, { Filter.initial = i; any = [ "mid" ]; final = f }))
+                 gen_attr
+                 (pair (opt (return "st")) (opt (return "end")));
+             ]
+         else
+           frequency
+             [
+               (2, self 0);
+               (1, map (fun fs -> Filter.And fs) (list_size (int_bound 3) (self (n / 2))));
+               (1, map (fun fs -> Filter.Or fs) (list_size (int_bound 3) (self (n / 2))));
+               (1, map (fun f -> Filter.Not f) (self (n / 2)));
+             ]))
+
+let prop_filter_roundtrip_random =
+  QCheck.Test.make ~name:"filter print/parse roundtrip (random)" ~count:500
+    (QCheck.make ~print:Filter.to_string gen_filter)
+    (fun f ->
+      match Filter_parser.parse (Filter.to_string f) with
+      | Ok f' -> Filter.equal f f'
+      | Error _ -> false)
+
+let prop_query_roundtrip_random =
+  QCheck.Test.make ~name:"query print/parse roundtrip (random)" ~count:300
+    (QCheck.make ~print:Query.to_string gen_query)
+    (fun q ->
+      match Query_parser.parse (Query.to_string q) with
+      | Ok q' -> Query.equal q q'
+      | Error _ -> false)
+
+(* --- bitset model-based property ----------------------------------------- *)
+
+module Iset = Set.Make (Int)
+
+let arb_sets =
+  QCheck.make
+    ~print:(fun (n, xs, ys) ->
+      Printf.sprintf "n=%d xs=%s ys=%s" n
+        (String.concat "," (List.map string_of_int xs))
+        (String.concat "," (List.map string_of_int ys)))
+    QCheck.Gen.(
+      int_range 1 64 >>= fun n ->
+      pair (return n)
+        (pair (list_size (int_bound 40) (int_bound (n - 1)))
+           (list_size (int_bound 40) (int_bound (n - 1))))
+      >|= fun (n, (xs, ys)) -> (n, xs, ys))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset ops match the set model" ~count:300 arb_sets
+    (fun (n, xs, ys) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let sa = Iset.of_list xs and sb = Iset.of_list ys in
+      let eq bs s = Bitset.elements bs = Iset.elements s in
+      eq (Bitset.union a b) (Iset.union sa sb)
+      && eq (Bitset.inter a b) (Iset.inter sa sb)
+      && eq (Bitset.diff a b) (Iset.diff sa sb)
+      && Bitset.cardinal a = Iset.cardinal sa
+      && eq (Bitset.complement a)
+           (Iset.diff (Iset.of_list (List.init n Fun.id)) sa)
+      && Bitset.subset a b = Iset.subset sa sb
+      && Bitset.is_empty a = Iset.is_empty sa)
+
+(* --- search vs reference --------------------------------------------------- *)
+
+let arb_search =
+  QCheck.make
+    ~print:(fun (seed, k) -> Printf.sprintf "seed=%d k=%d" seed k)
+    QCheck.Gen.(pair (int_bound 100_000) (int_bound 1_000))
+
+let prop_search_reference =
+  QCheck.Test.make ~name:"scoped search = reference semantics" ~count:200 arb_search
+    (fun (seed, k) ->
+      let inst =
+        Bounds_workload.Gen.random_forest ~seed ~size:(1 + (seed mod 60))
+          ~mk_entry:(fun rng id -> mk id (List.nth classes_pool (Random.State.int rng 3)))
+          ()
+      in
+      let ix = Index.create inst in
+      let ids = Instance.ids inst in
+      let base = List.nth ids (k mod List.length ids) in
+      let f = Filter.class_eq (Oclass.of_string (List.nth classes_pool (k mod 3))) in
+      let keep id = Filter.matches f (Instance.entry inst id) in
+      let reference scope =
+        (match scope with
+        | Search.Base -> [ base ]
+        | Search.One_level -> Instance.children inst base
+        | Search.Subtree -> base :: Instance.descendants inst base)
+        |> List.filter keep
+        |> List.sort compare
+      in
+      List.for_all
+        (fun scope ->
+          List.sort compare (Search.search ix ~base:(Some base) scope f)
+          = reference scope
+          && Search.count ix ~base:(Some base) scope f = List.length (reference scope))
+        [ Search.Base; Search.One_level; Search.Subtree ])
+
+(* extent_of_rank really brackets the subtree *)
+let prop_extent_brackets_subtree =
+  QCheck.Test.make ~name:"preorder extents bracket subtrees" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let inst =
+        Bounds_workload.Gen.random_forest ~seed ~size:(1 + (seed mod 60))
+          ~mk_entry:(fun _ id -> mk id "a")
+          ()
+      in
+      let ix = Index.create inst in
+      List.for_all
+        (fun id ->
+          let r = Index.rank ix id in
+          let e = Index.extent_of_rank ix r in
+          let in_interval d = r < Index.rank ix d && Index.rank ix d <= e in
+          e - r = List.length (Instance.descendants inst id)
+          && List.for_all in_interval (Instance.descendants inst id))
+        (Instance.ids inst))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "full & edges" `Quick test_bitset_full_and_edges;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "matching" `Quick test_filter_matching;
+          Alcotest.test_case "substring" `Quick test_filter_substring;
+          Alcotest.test_case "parser" `Quick test_filter_parser;
+          Alcotest.test_case "roundtrip" `Quick test_filter_roundtrip;
+        ] );
+      ( "query-syntax",
+        [
+          Alcotest.test_case "parser" `Quick test_query_parser;
+          Alcotest.test_case "roundtrip" `Quick test_query_roundtrip;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "select" `Quick test_eval_select;
+          Alcotest.test_case "chi axes" `Quick test_eval_chi;
+          Alcotest.test_case "minus" `Quick test_eval_minus;
+          Alcotest.test_case "empty instance" `Quick test_eval_empty_instance;
+          Alcotest.test_case "vindex agreement" `Quick test_vindex_agrees;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_eval_equiv;
+          QCheck_alcotest.to_alcotest prop_eval_vindex_equiv;
+          QCheck_alcotest.to_alcotest prop_filter_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_query_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_bitset_model;
+          QCheck_alcotest.to_alcotest prop_search_reference;
+          QCheck_alcotest.to_alcotest prop_extent_brackets_subtree;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* The repair engine: canonical fixes per violation kind, cascading
+   rounds, and the corruption property (random content damage is always
+   repaired non-destructively). *)
+
+open Bounds_model
+open Bounds_core
+module WP = Bounds_workload.White_pages
+module SS = Structure_schema
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Attr.of_string
+let c = Oclass.of_string
+let schema = WP.schema
+let wp = WP.instance
+
+let has_action pred (o : Repair.outcome) = List.exists pred o.Repair.actions
+
+let fixed ?destructive inst =
+  let o = Repair.fix ?destructive schema inst in
+  (o, o.Repair.remaining = [] && Legality.is_legal schema o.Repair.instance)
+
+(* --- content repairs -------------------------------------------------------- *)
+
+let test_missing_required_attr () =
+  let broken =
+    Result.get_ok (Instance.update_entry 5 (Entry.remove_attr (a "name")) wp)
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  check "placeholder added" true
+    (has_action
+       (function
+         | Repair.Added_value { entry = 5; attr; _ } -> Attr.equal attr (a "name")
+         | _ -> false)
+       o);
+  (* data preserved *)
+  check "uid untouched" true
+    (Entry.values (Instance.entry o.Repair.instance 5) (a "uid")
+    = [ Value.String "suciu" ])
+
+let test_missing_key_attr_unique () =
+  (* two persons lose their uid; both must get distinct placeholders *)
+  let broken =
+    wp
+    |> Instance.update_entry 4 (Entry.remove_attr (a "uid"))
+    |> Result.get_ok
+    |> Instance.update_entry 5 (Entry.remove_attr (a "uid"))
+    |> Result.get_ok
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  let uid id = Entry.values (Instance.entry o.Repair.instance id) (a "uid") in
+  check "distinct placeholders" true (uid 4 <> uid 5 && uid 4 <> [] && uid 5 <> [])
+
+let test_attr_not_allowed () =
+  let broken =
+    Result.get_ok
+      (Instance.update_entry 2
+         (Entry.add_value (a "salary") (Value.String "lots"))
+         wp)
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  check "removed" true
+    (has_action
+       (function
+         | Repair.Removed_attribute { attr; _ } -> Attr.equal attr (a "salary")
+         | _ -> false)
+       o)
+
+let test_ill_typed_values () =
+  let broken =
+    Result.get_ok
+      (Instance.update_entry 2
+         (fun e ->
+           Entry.add_value (a "telephonenumber") (Value.String "call me") e
+           |> Entry.add_value (a "telephonenumber") (Value.String "5551234"))
+         wp)
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  check "good value kept" true
+    (Entry.values (Instance.entry o.Repair.instance 2) (a "telephonenumber")
+    = [ Value.String "5551234" ])
+
+let test_multi_valued_single () =
+  let broken =
+    Result.get_ok
+      (Instance.update_entry 1 (Entry.add_value (a "ou") (Value.String "zz-alt")) wp)
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  check_int "one value" 1
+    (List.length (Entry.values (Instance.entry o.Repair.instance 1) (a "ou")))
+
+let test_duplicate_key () =
+  let broken =
+    Result.get_ok
+      (Instance.update_entry 5
+         (fun e ->
+           Entry.remove_attr (a "uid") e
+           |> Entry.add_value (a "uid") (Value.String "laks"))
+         wp)
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  (* laks (the first holder) keeps the value *)
+  check "first holder keeps" true
+    (Entry.values (Instance.entry o.Repair.instance 4) (a "uid")
+    = [ Value.String "laks" ]);
+  check "second rekeyed" true
+    (has_action (function Repair.Rekeyed { entry = 5; _ } -> true | _ -> false) o)
+
+let test_class_set_repairs () =
+  let broken =
+    wp
+    |> Instance.update_entry 2 (Entry.add_class (c "martian"))
+    |> Result.get_ok
+    |> Instance.update_entry 5
+         (Entry.with_classes (Oclass.set_of_list [ "researcher"; "top" ]))
+    |> Result.get_ok
+    |> Instance.update_entry 4 (Entry.add_class (c "secretary"))
+    |> Result.get_ok
+  in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  let classes id = Entry.classes (Instance.entry o.Repair.instance id) in
+  check "martian dropped" false (Oclass.Set.mem (c "martian") (classes 2));
+  check "person closure restored" true (Oclass.Set.mem (c "person") (classes 5));
+  check "secretary (aux of staff, not researcher) dropped" false
+    (Oclass.Set.mem (c "secretary") (classes 4));
+  check "legit aux kept" true (Oclass.Set.mem (c "facultymember") (classes 4))
+
+(* --- structure repairs ------------------------------------------------------- *)
+
+let test_graft_for_unsatisfied_descendant () =
+  let empty_unit =
+    Entry.make ~id:100
+      ~classes:(Oclass.set_of_list [ "orgunit"; "orggroup"; "top" ])
+      [ (a "ou", Value.String "empty") ]
+  in
+  let broken = Instance.add_child_exn ~parent:1 empty_unit wp in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  check "grafted a person" true
+    (has_action
+       (function
+         | Repair.Grafted { parent = Some 100; for_class; _ } ->
+             Oclass.equal for_class (c "person")
+         | _ -> false)
+       o);
+  (* the grafted person is a real, content-legal entry *)
+  check "still legal" true (Legality.is_legal schema o.Repair.instance)
+
+let test_graft_for_missing_required_class () =
+  (* strip all orgUnits: attLabs subtree goes, armstrong keeps person alive *)
+  let broken = Result.get_ok (Instance.remove_subtree 1 wp) in
+  let o, ok = fixed broken in
+  check "fixed" true ok;
+  check "seeded a fresh orgUnit forest" true
+    (has_action
+       (function
+         | Repair.Grafted { parent = None; for_class; _ } ->
+             Oclass.equal for_class (c "orgunit")
+         | _ -> false)
+       o)
+
+let test_destructive_repairs () =
+  (* a person with a child violates person -/-> top: only deletion helps *)
+  let broken =
+    Instance.add_child_exn ~parent:4
+      (Entry.make ~id:100 ~rdn:"uid=x100"
+         ~classes:(Oclass.set_of_list [ "person"; "top" ])
+         [ (a "uid", Value.String "x100"); (a "name", Value.String "x") ])
+      wp
+  in
+  let o, ok = fixed broken in
+  check "non-destructive leaves it" false ok;
+  check "violation remains" true (o.Repair.remaining <> []);
+  let o2, ok2 = fixed ~destructive:true broken in
+  check "destructive fixes" true ok2;
+  check "deleted the child" true
+    (has_action
+       (function Repair.Deleted_subtree { root = 100 } -> true | _ -> false)
+       o2);
+  check "victim gone" false (Instance.mem o2.Repair.instance 100)
+
+let test_destructive_parent_violation () =
+  (* an orgUnit as a root violates orgUnit <-parent- orgGroup *)
+  let broken =
+    Instance.add_root_exn
+      (Entry.make ~id:100
+         ~classes:(Oclass.set_of_list [ "orgunit"; "orggroup"; "top" ])
+         [ (a "ou", Value.String "floating") ])
+      wp
+  in
+  let _, ok = fixed broken in
+  check "non-destructive cannot" false ok;
+  let o2, ok2 = fixed ~destructive:true broken in
+  check "destructive deletes the violator" true ok2;
+  check "gone" false (Instance.mem o2.Repair.instance 100)
+
+let test_fix_is_idempotent_on_legal () =
+  let o = Repair.fix schema wp in
+  check "no actions" true (o.Repair.actions = []);
+  check "unchanged" true (Instance.equal o.Repair.instance wp)
+
+(* --- the corruption property -------------------------------------------------- *)
+
+(* random content-level damage is always repaired without destructive
+   measures, and entry ids all survive *)
+let corrupt rng inst =
+  let ids = Instance.ids inst in
+  let victim = List.nth ids (Random.State.int rng (List.length ids)) in
+  let e = Instance.entry inst victim in
+  let damage = Random.State.int rng 6 in
+  let patch f = Result.get_ok (Instance.update_entry victim f inst) in
+  match damage with
+  | 0 -> patch (Entry.add_value (a "salary") (Value.String "lots"))
+  | 1 -> patch (Entry.add_class (c "martian"))
+  | 2 when Entry.has_class e (c "person") -> patch (Entry.remove_attr (a "name"))
+  | 3 when Entry.has_class e (c "person") ->
+      patch (Entry.add_value (a "uid") (Value.String "dup-uid"))
+  | 4 -> patch (Entry.add_value (a "telephonenumber") (Value.String "nonsense"))
+  | 5 when Entry.has_class e (c "researcher") ->
+      patch (fun e ->
+          Entry.with_classes (Oclass.Set.remove (c "person") (Entry.classes e)) e)
+  | _ -> patch (Entry.add_class (c "consultant"))
+
+let prop_content_corruption_always_fixed =
+  QCheck.Test.make ~name:"random content damage is fully repaired" ~count:150
+    (QCheck.make
+       ~print:(fun (seed, k) -> Printf.sprintf "seed=%d k=%d" seed k)
+       QCheck.Gen.(pair (int_bound 100_000) (int_range 1 6)))
+    (fun (seed, k) ->
+      let rng = Random.State.make [| seed; 77 |] in
+      let base = WP.generate ~seed ~units:3 ~persons_per_unit:2 () in
+      let broken = ref base in
+      for _ = 1 to k do
+        broken := corrupt rng !broken
+      done;
+      let o = Repair.fix schema !broken in
+      o.Repair.remaining = []
+      && Legality.is_legal schema o.Repair.instance
+      && List.for_all (Instance.mem o.Repair.instance) (Instance.ids base))
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "content",
+        [
+          Alcotest.test_case "missing required attr" `Quick test_missing_required_attr;
+          Alcotest.test_case "missing key attrs stay unique" `Quick
+            test_missing_key_attr_unique;
+          Alcotest.test_case "attr not allowed" `Quick test_attr_not_allowed;
+          Alcotest.test_case "ill-typed values" `Quick test_ill_typed_values;
+          Alcotest.test_case "multi-valued single" `Quick test_multi_valued_single;
+          Alcotest.test_case "duplicate key" `Quick test_duplicate_key;
+          Alcotest.test_case "class set normalization" `Quick test_class_set_repairs;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "graft for descendant" `Quick
+            test_graft_for_unsatisfied_descendant;
+          Alcotest.test_case "graft for required class" `Quick
+            test_graft_for_missing_required_class;
+          Alcotest.test_case "destructive child deletion" `Quick
+            test_destructive_repairs;
+          Alcotest.test_case "destructive parent violation" `Quick
+            test_destructive_parent_violation;
+          Alcotest.test_case "idempotent on legal" `Quick test_fix_is_idempotent_on_legal;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_content_corruption_always_fixed ] );
+    ]

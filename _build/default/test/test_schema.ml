@@ -1,0 +1,252 @@
+(* Tests for the schema components (Definitions 2.2-2.5) and the spec
+   language. *)
+
+open Bounds_model
+open Bounds_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Attr.of_string
+let c = Oclass.of_string
+
+(* --- Attribute schema ---------------------------------------------------- *)
+
+let test_attribute_schema () =
+  let s =
+    Attribute_schema.empty
+    |> Attribute_schema.add_class_exn (c "person") ~required:[ a "name" ]
+         ~allowed:[ a "mail" ]
+  in
+  check "required" true (Attr.Set.mem (a "name") (Attribute_schema.required s (c "person")));
+  check "required ⊆ allowed" true
+    (Attr.Set.subset
+       (Attribute_schema.required s (c "person"))
+       (Attribute_schema.allowed s (c "person")));
+  check "allowed includes mail" true
+    (Attr.Set.mem (a "mail") (Attribute_schema.allowed s (c "person")));
+  check "unknown class empty" true
+    (Attr.Set.is_empty (Attribute_schema.required s (c "nosuch")));
+  check "duplicate class" true
+    (Result.is_error (Attribute_schema.add_class (c "person") s));
+  check_int "total allowed" 2 (Attribute_schema.total_allowed s)
+
+(* --- Class schema ---------------------------------------------------------- *)
+
+let figure2 () =
+  Class_schema.empty
+  |> Class_schema.add_core_exn (c "orggroup") ~parent:Oclass.top
+  |> Class_schema.add_core_exn (c "organization") ~parent:(c "orggroup")
+  |> Class_schema.add_core_exn (c "orgunit") ~parent:(c "orggroup")
+  |> Class_schema.add_core_exn (c "person") ~parent:Oclass.top
+  |> Class_schema.add_core_exn (c "researcher") ~parent:(c "person")
+  |> Class_schema.add_aux_exn (c "online")
+  |> Class_schema.allow_aux_exn ~core:(c "person") (c "online")
+
+let test_class_schema_hierarchy () =
+  let h = figure2 () in
+  check "core" true (Class_schema.is_core h (c "organization"));
+  check "aux" true (Class_schema.is_aux h (c "online"));
+  check "top is core" true (Class_schema.is_core h Oclass.top);
+  Alcotest.(check (list string))
+    "superclasses of organization" [ "orggroup"; "top" ]
+    (List.map Oclass.to_string (Class_schema.superclasses h (c "organization")));
+  check "organization |- orggroup" true
+    (Class_schema.is_subclass h ~sub:(c "organization") ~super:(c "orggroup"));
+  check "reflexive" true (Class_schema.is_subclass h ~sub:(c "person") ~super:(c "person"));
+  check "organization |-/ person (incomparable)" true
+    (Class_schema.disjoint h (c "organization") (c "person"));
+  check "not disjoint with super" false
+    (Class_schema.disjoint h (c "researcher") (c "person"));
+  check "aux never disjoint" false (Class_schema.disjoint h (c "online") (c "person"));
+  check_int "depth" 3 (Class_schema.depth h);
+  check_int "depth of top" 1 (Class_schema.depth_of h Oclass.top);
+  check "closure" true
+    (Oclass.Set.equal
+       (Class_schema.up_closure h (c "researcher"))
+       (Oclass.Set.of_list [ c "researcher"; c "person"; Oclass.top ]));
+  check "aux_of" true
+    (Oclass.Set.mem (c "online") (Class_schema.aux_of h (c "person")));
+  check_int "max_aux" 1 (Class_schema.max_aux h)
+
+let test_class_schema_errors () =
+  let h = figure2 () in
+  check "duplicate core" true
+    (Result.is_error (Class_schema.add_core (c "person") ~parent:Oclass.top h));
+  check "aux as parent" true
+    (Result.is_error (Class_schema.add_core (c "x") ~parent:(c "online") h));
+  check "unknown parent" true
+    (Result.is_error (Class_schema.add_core (c "x") ~parent:(c "nosuch") h));
+  check "aux duplicate" true (Result.is_error (Class_schema.add_aux (c "person") h));
+  check "allow_aux non-core" true
+    (Result.is_error (Class_schema.allow_aux ~core:(c "online") (c "online") h));
+  check "allow_aux non-aux" true
+    (Result.is_error (Class_schema.allow_aux ~core:(c "person") (c "orgunit") h))
+
+(* --- Structure schema ---------------------------------------------------- *)
+
+let test_structure_schema () =
+  let s =
+    Structure_schema.empty
+    |> Structure_schema.require_class (c "orgunit")
+    |> Structure_schema.require (c "orggroup") Structure_schema.Descendant (c "person")
+    |> Structure_schema.forbid (c "person") Structure_schema.F_child Oclass.top
+  in
+  check_int "size" 3 (Structure_schema.size s);
+  check "mem required class" true (Structure_schema.mem_required_class s (c "orgunit"));
+  check "mem required rel" true
+    (Structure_schema.mem_required s (c "orggroup", Structure_schema.Descendant, c "person"));
+  check "mem forbidden" true
+    (Structure_schema.mem_forbidden s (c "person", Structure_schema.F_child, Oclass.top));
+  check "classes mentioned" true
+    (Oclass.Set.equal
+       (Structure_schema.classes s)
+       (Oclass.Set.of_list [ c "orgunit"; c "orggroup"; c "person"; Oclass.top ]));
+  (* idempotent adds *)
+  let s2 =
+    Structure_schema.require (c "orggroup") Structure_schema.Descendant (c "person") s
+  in
+  check "idempotent" true (Structure_schema.equal s s2)
+
+(* --- Schema validation ----------------------------------------------------- *)
+
+let test_schema_validation () =
+  let classes = figure2 () in
+  let bad_attr =
+    Attribute_schema.add_class_exn (c "ghost") ~required:[ a "x" ] Attribute_schema.empty
+  in
+  check "undeclared class in attribute schema" true
+    (Result.is_error (Schema.make ~classes ~attributes:bad_attr ()));
+  let bad_structure =
+    Structure_schema.require_class (c "online") Structure_schema.empty
+  in
+  check "aux class in structure schema" true
+    (Result.is_error (Schema.make ~classes ~structure:bad_structure ()));
+  let bad_sv = Schema.make ~classes ~single_valued:[ a "ghostattr" ] () in
+  check "unknown single-valued attr" true (Result.is_error bad_sv);
+  (* keys are single-valued by definition *)
+  let attributes =
+    Attribute_schema.add_class_exn (c "person") ~required:[ a "uid" ]
+      Attribute_schema.empty
+  in
+  let s = Schema.make_exn ~classes ~attributes ~keys:[ a "uid" ] () in
+  check "key implies single-valued" true (Attr.Set.mem (a "uid") s.Schema.single_valued)
+
+(* --- Spec language ---------------------------------------------------------- *)
+
+let spec =
+  {|
+# white pages, compactly
+attribute name : string
+attribute uid : string
+attribute age : int
+attribute mail : string
+
+class orgGroup { aux: online }
+class organization extends orgGroup { required: o }
+attribute o : string
+class orgUnit extends orgGroup { required: ou }
+attribute ou : string
+class person { required: name, uid; allowed: age; aux: online }
+class researcher extends person
+auxiliary online { allowed: mail }
+
+require exists orgUnit
+require orgGroup descendant person
+require orgUnit parent orgGroup
+forbid person child top
+single-valued uid
+key uid
+|}
+
+let test_spec_parse () =
+  let s = Spec_parser.parse_exn spec in
+  check "person core" true (Class_schema.is_core s.Schema.classes (c "person"));
+  check "researcher extends person" true
+    (Class_schema.is_subclass s.Schema.classes ~sub:(c "researcher") ~super:(c "person"));
+  check "online aux" true (Class_schema.is_aux s.Schema.classes (c "online"));
+  check "aux allowed on person" true
+    (Oclass.Set.mem (c "online") (Class_schema.aux_of s.Schema.classes (c "person")));
+  check "typing" true (Typing.find s.Schema.typing (a "age") = Atype.T_int);
+  check "required attrs" true
+    (Attr.Set.mem (a "uid") (Attribute_schema.required s.Schema.attributes (c "person")));
+  check "structure: required class" true
+    (Structure_schema.mem_required_class s.Schema.structure (c "orgunit"));
+  check "structure: descendant rel" true
+    (Structure_schema.mem_required s.Schema.structure
+       (c "orggroup", Structure_schema.Descendant, c "person"));
+  check "structure: forbidden" true
+    (Structure_schema.mem_forbidden s.Schema.structure
+       (c "person", Structure_schema.F_child, Oclass.top));
+  check "key" true (Attr.Set.mem (a "uid") s.Schema.keys)
+
+let test_spec_errors () =
+  let err s =
+    match Spec_parser.parse s with Error _ -> true | Ok _ -> false
+  in
+  check "unknown statement" true (err "frobnicate x");
+  check "bad type" true (err "attribute a : float");
+  check "parent before child" true (err "class a extends b\nclass b");
+  check "aux with extends" true (err "auxiliary x extends top");
+  check "missing colon" true (err "attribute a string");
+  check "unterminated body" true (err "class x { required: a");
+  check "line numbers" true
+    (match Spec_parser.parse "class a\nclass a" with
+    | Error e -> e.Spec_parser.line = 2
+    | Ok _ -> false)
+
+let test_spec_roundtrip () =
+  let s = Spec_parser.parse_exn spec in
+  let printed = Spec_printer.to_string s in
+  let s' = Spec_parser.parse_exn printed in
+  check "schema equal after roundtrip" true (Schema.equal s s');
+  check "typing preserved" true
+    (Typing.find s'.Schema.typing (a "age") = Atype.T_int)
+
+let test_spec_roundtrip_white_pages () =
+  let s = Bounds_workload.White_pages.schema in
+  let s' = Spec_parser.parse_exn (Spec_printer.to_string s) in
+  check "white pages roundtrip" true (Schema.equal s s')
+
+let test_spec_roundtrip_den () =
+  let s = Bounds_workload.Den.schema in
+  let s' = Spec_parser.parse_exn (Spec_printer.to_string s) in
+  check "den roundtrip" true (Schema.equal s s')
+
+(* property: random schemas survive print→parse *)
+let prop_spec_roundtrip =
+  QCheck.Test.make ~name:"spec print/parse roundtrip on random schemas" ~count:100
+    (QCheck.make
+       ~print:(fun seed ->
+         Spec_printer.to_string
+           (Bounds_workload.Gen.random_schema ~seed ~n_classes:6 ~n_req:5 ~n_forb:3
+              ~n_required_classes:2))
+       QCheck.Gen.(int_bound 100000))
+    (fun seed ->
+      let s =
+        Bounds_workload.Gen.random_schema ~seed ~n_classes:6 ~n_req:5 ~n_forb:3
+          ~n_required_classes:2
+      in
+      Schema.equal s (Spec_parser.parse_exn (Spec_printer.to_string s)))
+
+let () =
+  Alcotest.run "schema"
+    [
+      ("attribute-schema", [ Alcotest.test_case "basics" `Quick test_attribute_schema ]);
+      ( "class-schema",
+        [
+          Alcotest.test_case "hierarchy" `Quick test_class_schema_hierarchy;
+          Alcotest.test_case "errors" `Quick test_class_schema_errors;
+        ] );
+      ("structure-schema", [ Alcotest.test_case "basics" `Quick test_structure_schema ]);
+      ("schema", [ Alcotest.test_case "validation" `Quick test_schema_validation ]);
+      ( "spec-language",
+        [
+          Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "roundtrip white pages" `Quick
+            test_spec_roundtrip_white_pages;
+          Alcotest.test_case "roundtrip den" `Quick test_spec_roundtrip_den;
+          QCheck_alcotest.to_alcotest prop_spec_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Section 6.3: bounding-schemas over semistructured (edge-labelled)
+   data, via the embedding into the directory model. *)
+
+open Bounds_core
+open Bounds_semi
+module SS = Structure_schema
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Ltree ---------------------------------------------------------------- *)
+
+let test_ltree_basics () =
+  let t = Ltree.v "country" [ Ltree.v "corporation" [ Ltree.leaf "corporation" ] ] in
+  check_int "size" 3 (Ltree.size t);
+  check_int "depth" 3 (Ltree.depth t);
+  Alcotest.(check (list string))
+    "labels" [ "country"; "corporation"; "corporation" ] (Ltree.labels t);
+  check "invalid label" true
+    (try
+       ignore (Ltree.v "a b" []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ltree_parse () =
+  let t = Ltree.parse "(country (corporation (corporation)) (person))" in
+  (match t with
+  | Ok t ->
+      check_int "size" 4 (Ltree.size t);
+      check "roundtrip" true
+        (Ltree.equal t (Result.get_ok (Ltree.parse (Ltree.to_string t))))
+  | Error m -> Alcotest.fail m);
+  check "parse error" true (Result.is_error (Ltree.parse "(a (b)"));
+  check "trailing" true (Result.is_error (Ltree.parse "(a) x"));
+  match Ltree.parse_forest "(a) (b (c))" with
+  | Ok [ _; t2 ] -> check_int "forest second size" 2 (Ltree.size t2)
+  | _ -> Alcotest.fail "forest parse"
+
+(* --- the paper's Section 6.3 examples -------------------------------------- *)
+
+(* person must have a name descendant at arbitrary depth *)
+let person_schema = Sschema.empty |> Sschema.require "person" SS.Descendant "name"
+
+let test_person_name_descendant () =
+  let ok = Ltree.v "person" [ Ltree.v "info" [ Ltree.leaf "name" ] ] in
+  let bad = Ltree.v "person" [ Ltree.v "info" [ Ltree.leaf "phone" ] ] in
+  check "deep name ok" true (Sschema.is_legal person_schema [ ok ]);
+  check "missing name" false (Sschema.is_legal person_schema [ bad ]);
+  check "violation rendered" true
+    (List.length (Sschema.check person_schema [ bad ]) = 1)
+
+(* corporations nest, countries contain corporations and vice versa, but
+   no country below another country *)
+let geo_schema = Sschema.empty |> Sschema.forbid "country" SS.F_descendant "country"
+
+let test_country_nesting () =
+  let nested =
+    Ltree.v "country"
+      [ Ltree.v "corporation" [ Ltree.v "corporation" [ Ltree.leaf "country" ] ] ]
+  in
+  check "country under country illegal" false (Sschema.is_legal geo_schema [ nested ]);
+  let legal =
+    Ltree.v "corporation"
+      [ Ltree.v "country" [ Ltree.leaf "corporation" ]; Ltree.leaf "country" ]
+  in
+  check "two sibling countries legal" true (Sschema.is_legal geo_schema [ legal ])
+
+let test_required_label () =
+  let s = Sschema.empty |> Sschema.require_label "catalog" in
+  check "missing" false (Sschema.is_legal s [ Ltree.leaf "item" ]);
+  check "present" true (Sschema.is_legal s [ Ltree.v "catalog" [ Ltree.leaf "item" ] ])
+
+(* --- consistency through the embedding -------------------------------------- *)
+
+let test_semi_consistency () =
+  let inconsistent =
+    Sschema.empty
+    |> Sschema.require_label "a"
+    |> Sschema.require "a" SS.Descendant "b"
+    |> Sschema.forbid "a" SS.F_descendant "b"
+  in
+  check "inconsistent" false (Sschema.is_consistent inconsistent);
+  check "witness err" true (Result.is_error (Sschema.witness inconsistent));
+  let consistent =
+    Sschema.empty
+    |> Sschema.require_label "library"
+    |> Sschema.require "library" SS.Descendant "book"
+    |> Sschema.require "book" SS.Child "title"
+    |> Sschema.forbid "title" SS.F_child "title"
+  in
+  check "consistent" true (Sschema.is_consistent consistent);
+  match Sschema.witness consistent with
+  | Ok forest ->
+      check "witness legal" true (Sschema.is_legal consistent forest);
+      check "has a book with title" true
+        (List.exists (fun t -> List.mem "title" (Ltree.labels t)) forest)
+  | Error m -> Alcotest.fail m
+
+(* --- textual syntax -------------------------------------------------------- *)
+
+let test_sschema_syntax () =
+  let src =
+    {|# a document schema
+      require exists library
+      require library descendant book ; require book child title
+      forbid title child title
+      forbid country descendant country|}
+  in
+  let s = Sschema.parse_exn src in
+  Alcotest.(check (list string)) "required labels" [ "library" ] (Sschema.required_labels s);
+  check_int "two required rels" 2 (List.length (Sschema.required_rels s));
+  check_int "two forbidden rels" 2 (List.length (Sschema.forbidden_rels s));
+  (* round-trip *)
+  let s' = Sschema.parse_exn (Sschema.to_string s) in
+  check "roundtrip labels" true (Sschema.labels s = Sschema.labels s');
+  check "roundtrip rels" true (Sschema.required_rels s = Sschema.required_rels s');
+  check "roundtrip forbs" true (Sschema.forbidden_rels s = Sschema.forbidden_rels s');
+  (* errors *)
+  check "bad rel" true (Result.is_error (Sschema.parse "require a sibling b"));
+  check "bad label" true (Result.is_error (Sschema.parse "require exists top"));
+  check "junk" true (Result.is_error (Sschema.parse "frobnicate"));
+  check "forbid parent rejected" true
+    (Result.is_error (Sschema.parse "forbid a parent b"))
+
+(* --- embedding round trip ----------------------------------------------------- *)
+
+let test_embedding_roundtrip () =
+  let forest =
+    [
+      Ltree.v "site" [ Ltree.v "page" [ Ltree.leaf "img"; Ltree.leaf "txt" ] ];
+      Ltree.leaf "orphan";
+    ]
+  in
+  let inst = Sschema.embed_forest forest in
+  check_int "entries" 5 (Bounds_model.Instance.size inst);
+  let back = Sschema.of_instance inst in
+  check "roundtrip" true (List.for_all2 Ltree.equal forest back)
+
+let test_updates_through_embedding () =
+  (* the whole Section 4 machinery applies to semistructured data via the
+     embedding: reject a subtree deletion that kills a required label *)
+  let s = Sschema.empty |> Sschema.require_label "book" in
+  let forest = [ Ltree.v "library" [ Ltree.v "book" [ Ltree.leaf "title" ] ] ] in
+  let inst = Sschema.embed_forest forest in
+  let schema =
+    let classes =
+      List.fold_left
+        (fun cs l ->
+          Class_schema.add_core_exn
+            (Bounds_model.Oclass.of_string l)
+            ~parent:Bounds_model.Oclass.top cs)
+        Class_schema.empty
+        [ "library"; "book"; "title" ]
+    in
+    Schema.make_exn ~classes ~structure:(Sschema.to_schema s).Schema.structure ()
+  in
+  let m = Result.get_ok (Monitor.create schema inst) in
+  (* deleting the book subtree (id 1) must be rejected *)
+  (match Monitor.delete_subtree 1 m with
+  | Error viols -> check "rejected" true (viols <> [])
+  | Ok _ -> Alcotest.fail "deletion should be rejected");
+  (* deleting just the title (id 2) is fine *)
+  check "title deletion ok" true (Result.is_ok (Monitor.delete_subtree 2 m))
+
+let () =
+  Alcotest.run "semi"
+    [
+      ( "ltree",
+        [
+          Alcotest.test_case "basics" `Quick test_ltree_basics;
+          Alcotest.test_case "parse" `Quick test_ltree_parse;
+        ] );
+      ( "schemas",
+        [
+          Alcotest.test_case "person/name (paper)" `Quick test_person_name_descendant;
+          Alcotest.test_case "country nesting (paper)" `Quick test_country_nesting;
+          Alcotest.test_case "required label" `Quick test_required_label;
+        ] );
+      ( "consistency",
+        [ Alcotest.test_case "decide + witness" `Quick test_semi_consistency ] );
+      ("syntax", [ Alcotest.test_case "parse/print" `Quick test_sschema_syntax ]);
+      ( "embedding",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_embedding_roundtrip;
+          Alcotest.test_case "updates" `Quick test_updates_through_embedding;
+        ] );
+    ]

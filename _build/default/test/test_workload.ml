@@ -1,0 +1,201 @@
+(* Workload generators: the paper's running example and the random
+   generators the benches and property tests rely on. *)
+
+open Bounds_model
+open Bounds_core
+module WP = Bounds_workload.White_pages
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let c = Oclass.of_string
+
+let test_white_pages_figures () =
+  (* Figure 1 content spot checks *)
+  let inst = WP.instance in
+  check_int "six entries" 6 (Instance.size inst);
+  let laks = Instance.entry inst 4 in
+  check "laks researcher" true (Entry.has_class laks (c "researcher"));
+  check "laks facultyMember" true (Entry.has_class laks (c "facultymember"));
+  check "laks online" true (Entry.has_class laks (c "online"));
+  check_int "laks two mails" 2
+    (List.length (Entry.values laks (Attr.of_string "mail")));
+  check "laks under databases" true (Instance.parent inst 4 = Some 3);
+  (* Figure 2 hierarchy *)
+  let h = WP.schema.Schema.classes in
+  check "organization |- orgGroup" true
+    (Class_schema.is_subclass h ~sub:(c "organization") ~super:(c "orggroup"));
+  check "organization |-/ person" true
+    (Class_schema.disjoint h (c "organization") (c "person"));
+  (* Figure 3 structure *)
+  let s = WP.schema.Schema.structure in
+  check "orgGroup ->> person" true
+    (Structure_schema.mem_required s
+       (c "orggroup", Structure_schema.Descendant, c "person"));
+  check "person -/-> top" true
+    (Structure_schema.mem_forbidden s (c "person", Structure_schema.F_child, Oclass.top));
+  (* the instance satisfies the schema — the paper's Section 2.3 claim *)
+  check "legal" true (Legality.is_legal WP.schema inst)
+
+let test_white_pages_generator_scales () =
+  List.iter
+    (fun (units, ppl) ->
+      let inst = WP.generate ~seed:(units + ppl) ~units ~persons_per_unit:ppl () in
+      check "legal" true (Legality.is_legal WP.schema inst);
+      check "size" true (Instance.size inst >= (units * ppl) + 1))
+    [ (0, 0); (1, 1); (5, 3); (40, 5) ]
+
+let test_white_pages_generator_deterministic () =
+  let a = WP.generate ~seed:7 ~units:10 ~persons_per_unit:3 () in
+  let b = WP.generate ~seed:7 ~units:10 ~persons_per_unit:3 () in
+  check "same seed same instance" true (Instance.equal a b);
+  let d = WP.generate ~seed:8 ~units:10 ~persons_per_unit:3 () in
+  check "different seed differs" false (Instance.equal a d)
+
+let test_fresh_person_inserts () =
+  let base = WP.generate ~seed:3 ~units:4 ~persons_per_unit:2 () in
+  let delta = WP.fresh_person base ~seed:99 in
+  check_int "single entry" 1 (Instance.size delta);
+  (* inserting under a unit preserves legality *)
+  let unit =
+    Instance.fold
+      (fun e acc -> if Entry.has_class e (c "orgunit") then Some (Entry.id e) else acc)
+      base None
+  in
+  match
+    Incremental.check_insert WP.schema ~base ~parent:unit ~delta
+  with
+  | Ok [] -> ()
+  | Ok v ->
+      Alcotest.failf "violations: %s" (String.concat "; " (List.map Violation.to_string v))
+  | Error m -> Alcotest.fail m
+
+let test_den () =
+  let inst =
+    Bounds_workload.Den.generate ~seed:5 ~sites:3 ~devices_per_site:4
+      ~interfaces_per_device:2 ~policies:6 ()
+  in
+  check "legal" true (Legality.is_legal Bounds_workload.Den.schema inst);
+  check "routers have interfaces" true
+    (Instance.fold
+       (fun e acc ->
+         acc
+         && (not (Entry.has_class e (c "router")))
+            || Instance.children inst (Entry.id e) <> [])
+       inst true);
+  check "consistent schema" true (Consistency.is_consistent Bounds_workload.Den.schema)
+
+let test_university () =
+  let schema = Bounds_workload.University.schema in
+  let inst =
+    Bounds_workload.University.generate ~seed:9 ~faculties:3
+      ~departments_per_faculty:2 ~courses_per_department:3 ~students_per_course:4 ()
+  in
+  check "legal" true (Legality.is_legal schema inst);
+  check "consistent" true (Consistency.is_consistent schema);
+  (* every student really has a university ancestor at depth > 1 — the
+     ancestor-axis behaviour the other workloads do not exercise *)
+  check "students deep under university" true
+    (Instance.fold
+       (fun e acc ->
+         acc
+         &&
+         if Entry.has_class e (c "student") then
+           Instance.depth inst (Entry.id e) >= 3
+           && List.exists
+                (fun anc ->
+                  Entry.has_class (Instance.entry inst anc) (c "university"))
+                (Instance.ancestors inst (Entry.id e))
+         else true)
+       inst true);
+  (* incremental checking handles the ancestor axis here *)
+  let m = Result.get_ok (Monitor.create schema inst) in
+  let stray =
+    Instance.add_root_exn
+      (Entry.make ~id:9000 ~rdn:"sid=stray"
+         ~classes:(Oclass.set_of_list [ "student"; "person"; "top" ])
+         [
+           (Attr.of_string "sid", Value.String "stray");
+           (Attr.of_string "name", Value.String "stray");
+         ])
+      Instance.empty
+  in
+  (match Monitor.insert_subtree ~parent:None stray m with
+  | Error viols ->
+      check "rootless student rejected" true
+        (List.exists
+           (function
+             | Violation.Unsatisfied_rel
+                 { rel = (_, Structure_schema.Ancestor, _); _ } ->
+                 true
+             | _ -> false)
+           viols)
+  | Ok _ -> Alcotest.fail "student with no university ancestor accepted");
+  (* under a course it is fine *)
+  let course =
+    Instance.fold
+      (fun e acc -> if Entry.has_class e (c "course") then Some (Entry.id e) else acc)
+      inst None
+  in
+  check "enrolment accepted" true
+    (Result.is_ok (Monitor.insert_subtree ~parent:course stray m))
+
+let test_random_forest_shape () =
+  let mk _rng id =
+    Entry.make ~id ~classes:(Oclass.Set.singleton Oclass.top) []
+  in
+  let inst = Bounds_workload.Gen.random_forest ~seed:11 ~size:200 ~mk_entry:mk () in
+  check_int "size" 200 (Instance.size inst);
+  (* max_fanout respected *)
+  let inst2 =
+    Bounds_workload.Gen.random_forest ~seed:11 ~size:200 ~max_fanout:2 ~mk_entry:mk ()
+  in
+  check "fanout bounded" true
+    (Instance.fold
+       (fun e ok -> ok && List.length (Instance.children inst2 (Entry.id e)) <= 2)
+       inst2 true)
+
+let test_content_legal_forest () =
+  let schema =
+    Bounds_workload.Gen.random_schema ~seed:21 ~n_classes:6 ~n_req:0 ~n_forb:0
+      ~n_required_classes:0
+  in
+  let inst = Bounds_workload.Gen.content_legal_forest ~seed:22 ~size:100 schema in
+  check "content legal" true (Content_legality.is_legal schema inst)
+
+let test_random_ops_valid () =
+  let base = WP.generate ~seed:13 ~units:3 ~persons_per_unit:2 () in
+  let ops = Bounds_workload.Gen.random_ops ~seed:14 ~n:30 WP.schema base in
+  check_int "thirty ops" 30 (List.length ops);
+  check "applicable" true (Result.is_ok (Update.apply base ops))
+
+let test_random_schema_components () =
+  let s =
+    Bounds_workload.Gen.random_schema ~seed:31 ~n_classes:8 ~n_req:6 ~n_forb:4
+      ~n_required_classes:3
+  in
+  check_int "classes" 9 (Oclass.Set.cardinal (Class_schema.core_classes s.Schema.classes));
+  check "structure sized" true (Structure_schema.size s.Schema.structure > 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "white-pages",
+        [
+          Alcotest.test_case "figures 1-3" `Quick test_white_pages_figures;
+          Alcotest.test_case "generator legal at scale" `Quick
+            test_white_pages_generator_scales;
+          Alcotest.test_case "deterministic" `Quick
+            test_white_pages_generator_deterministic;
+          Alcotest.test_case "fresh person" `Quick test_fresh_person_inserts;
+        ] );
+      ("den", [ Alcotest.test_case "legal + consistent" `Quick test_den ]);
+      ( "university",
+        [ Alcotest.test_case "ancestor-axis workload" `Quick test_university ] );
+      ( "random",
+        [
+          Alcotest.test_case "forest shape" `Quick test_random_forest_shape;
+          Alcotest.test_case "content-legal forest" `Quick test_content_legal_forest;
+          Alcotest.test_case "ops valid" `Quick test_random_ops_valid;
+          Alcotest.test_case "schema components" `Quick test_random_schema_components;
+        ] );
+    ]
