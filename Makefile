@@ -1,0 +1,20 @@
+.PHONY: all test bench bench-smoke clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark suite (slow; quotas per EXPERIMENTS.md).
+bench:
+	dune exec bench/main.exe
+
+# Tiny-quota sanity run of the parallel-engine benchmark; leaves
+# _build/default/bench/BENCH_legality.json.  --force because the json is
+# a side effect of the alias action, which dune would otherwise cache.
+bench-smoke:
+	dune build --force @bench-smoke
+
+clean:
+	dune clean

@@ -50,6 +50,24 @@ let schema_arg =
     & opt (some file) None
     & info [ "s"; "schema" ] ~docv:"SPEC" ~doc:"Bounding-schema specification file.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel legality/query engine.  1 \
+           (default) runs the sequential engine; 0 uses the recommended \
+           domain count of the machine.  Results are identical for every \
+           value.")
+
+(* [with_jobs jobs f] — run [f] with the domain pool the [--jobs] flag
+   asks for ([None] = sequential), shutting the pool down afterwards. *)
+let with_jobs jobs f =
+  if jobs = 1 then f None
+  else
+    let domains = if jobs <= 0 then None else Some jobs in
+    Bounds_par.Pool.with_pool ?domains (fun pool -> f (Some pool))
+
 let data_arg =
   Arg.(
     required
@@ -58,13 +76,14 @@ let data_arg =
 
 (* --- validate ----------------------------------------------------------- *)
 
-let validate schema_path data_path naive no_extensions =
+let validate schema_path data_path naive no_extensions jobs =
   let schema = or_die (load_schema schema_path) in
   let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
   let extensions = not no_extensions in
   let viols =
     if naive then Naive_legality.check ~extensions schema inst
-    else Legality.check ~extensions schema inst
+    else
+      with_jobs jobs (fun pool -> Legality.check ~extensions ?pool schema inst)
   in
   match viols with
   | [] ->
@@ -89,7 +108,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Check that an LDIF directory is legal w.r.t. a schema.")
-    Term.(const validate $ schema_arg $ data_arg $ naive $ no_ext)
+    Term.(const validate $ schema_arg $ data_arg $ naive $ no_ext $ jobs_arg)
 
 (* --- consistent ---------------------------------------------------------- *)
 
@@ -132,7 +151,7 @@ let consistent_cmd =
 
 (* --- query --------------------------------------------------------------- *)
 
-let query schema_path data_path expr =
+let query schema_path data_path expr jobs =
   let typing =
     match schema_path with
     | Some p -> (or_die (load_schema p)).Schema.typing
@@ -144,8 +163,11 @@ let query schema_path data_path expr =
     | Ok q -> q
     | Error m -> or_die (Error ("query: " ^ m))
   in
-  let ix = Bounds_query.Index.create inst in
-  let ids = Bounds_query.Eval.eval_ids ix q in
+  let ids =
+    with_jobs jobs (fun pool ->
+        let ix = Bounds_query.Index.create ?pool inst in
+        Bounds_query.Eval.eval_ids ?pool ix q)
+  in
   Printf.printf "%d entries\n" (List.length ids);
   List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
   0
@@ -169,11 +191,11 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a hierarchical selection query over an LDIF file.")
-    Term.(const query $ schema_opt $ data_arg $ expr)
+    Term.(const query $ schema_opt $ data_arg $ expr $ jobs_arg)
 
 (* --- search ---------------------------------------------------------------- *)
 
-let search schema_path data_path base_dn scope_str filter_str optimize =
+let search schema_path data_path base_dn scope_str filter_str optimize jobs =
   let schema =
     match schema_path with Some p -> Some (or_die (load_schema p)) | None -> None
   in
@@ -209,7 +231,7 @@ let search schema_path data_path base_dn scope_str filter_str optimize =
     | true, None -> or_die (Error "--optimize needs --schema")
     | false, _ -> filter
   in
-  let ix = Bounds_query.Index.create inst in
+  let ix = with_jobs jobs (fun pool -> Bounds_query.Index.create ?pool inst) in
   let ids = Bounds_query.Search.search ix ~base scope filter in
   Printf.printf "%d entries\n" (List.length ids);
   List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
@@ -247,7 +269,9 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc:"LDAP-style scoped search over an LDIF file.")
-    Term.(const search $ schema_opt $ data_arg $ base $ scope $ filter $ optimize)
+    Term.(
+      const search $ schema_opt $ data_arg $ base $ scope $ filter $ optimize
+      $ jobs_arg)
 
 (* --- update ---------------------------------------------------------------- *)
 
@@ -362,12 +386,12 @@ let parse_changes ~typing inst text =
   in
   build [] records
 
-let update schema_path data_path ops_path out_path =
+let update schema_path data_path ops_path out_path jobs =
   let schema = or_die (load_schema schema_path) in
   let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
   let ops = or_die (parse_changes ~typing:schema.Schema.typing inst (read_file ops_path)) in
   let monitor =
-    match Monitor.create schema inst with
+    match with_jobs jobs (fun pool -> Monitor.create ?pool schema inst) with
     | Ok m -> m
     | Error viols ->
         prerr_endline "error: the starting directory is already illegal:";
@@ -408,7 +432,7 @@ let update_cmd =
   Cmd.v
     (Cmd.info "update"
        ~doc:"Apply an update transaction under incremental legality checking.")
-    Term.(const update $ schema_arg $ data_arg $ ops $ out)
+    Term.(const update $ schema_arg $ data_arg $ ops $ out $ jobs_arg)
 
 (* --- repair ------------------------------------------------------------------ *)
 

@@ -1,9 +1,10 @@
-let check ?(extensions = true) ?index ?vindex schema inst =
-  Content_legality.check schema inst
-  @ Structure_legality.check ?index ?vindex schema inst
+let check ?(extensions = true) ?pool ?index ?vindex schema inst =
+  Content_legality.check ?pool schema inst
+  @ Structure_legality.check ?pool ?index ?vindex schema inst
   @
-  if extensions then Single_valued.check schema inst @ Keys.check schema inst
+  if extensions then
+    Single_valued.check ?pool schema inst @ Keys.check ?pool schema inst
   else []
 
-let is_legal ?extensions ?index ?vindex schema inst =
-  check ?extensions ?index ?vindex schema inst = []
+let is_legal ?extensions ?pool ?index ?vindex schema inst =
+  check ?extensions ?pool ?index ?vindex schema inst = []

@@ -11,9 +11,17 @@ open Bounds_model
 open Bounds_query
 
 (** All violations: typing, content, structure — and, when [extensions]
-    is [true] (default), the Section 6.1 single-valued and key checks. *)
+    is [true] (default), the Section 6.1 single-valued and key checks.
+
+    With a [pool] every O(|D|) stage runs data-parallel over the workers
+    — per-entry content/extension checks chunked over the entries, the
+    Figure-4 obligations fanned out one per task, the evaluation indexes
+    built chunk-wise — while keeping the linear bound and producing a
+    violation list {e bit-identical} to the sequential engine (stable
+    obligation order, chunk-ordered merges). *)
 val check :
   ?extensions:bool ->
+  ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
   Schema.t ->
@@ -21,4 +29,10 @@ val check :
   Violation.t list
 
 val is_legal :
-  ?extensions:bool -> ?index:Index.t -> ?vindex:Vindex.t -> Schema.t -> Instance.t -> bool
+  ?extensions:bool ->
+  ?pool:Bounds_par.Pool.t ->
+  ?index:Index.t ->
+  ?vindex:Vindex.t ->
+  Schema.t ->
+  Instance.t ->
+  bool

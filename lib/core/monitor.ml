@@ -35,8 +35,8 @@ let key_values_of_instance schema inst =
         m (entry_key_values schema e))
     inst Smap.empty
 
-let create ?(extensions = true) schema inst =
-  match Legality.check ~extensions schema inst with
+let create ?(extensions = true) ?pool schema inst =
+  match Legality.check ~extensions ?pool schema inst with
   | [] ->
       Ok
         {

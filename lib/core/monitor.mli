@@ -16,9 +16,15 @@ type t
 
 (** [create schema inst] runs a full legality check and builds the
     indexes.  [extensions] (default [true]) also enforces single-valued
-    attributes and keys. *)
+    attributes and keys.  [pool] parallelizes the initial full check (the
+    expensive O(|D|) admission scan); subsequent incremental checks are
+    O(|Δ|) and run sequentially. *)
 val create :
-  ?extensions:bool -> Schema.t -> Instance.t -> (t, Violation.t list) result
+  ?extensions:bool ->
+  ?pool:Bounds_par.Pool.t ->
+  Schema.t ->
+  Instance.t ->
+  (t, Violation.t list) result
 
 val instance : t -> Instance.t
 val schema : t -> Schema.t

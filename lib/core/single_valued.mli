@@ -7,4 +7,6 @@
 open Bounds_model
 
 val check_entry : Schema.t -> Entry.t -> Violation.t list
-val check : Schema.t -> Instance.t -> Violation.t list
+
+(** With a [pool], chunked per-entry; output identical to sequential. *)
+val check : ?pool:Bounds_par.Pool.t -> Schema.t -> Instance.t -> Violation.t list

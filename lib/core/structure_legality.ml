@@ -11,37 +11,47 @@ let find_targets inst f cj src =
   | Structure_schema.F_descendant ->
       List.filter has_class (Instance.descendants inst src)
 
-let check ?index ?vindex (schema : Schema.t) inst =
-  let ix = match index with Some ix -> ix | None -> Index.create inst in
-  let eval q = Eval.eval ?vindex ix q in
-  let viols = ref [] in
-  let add v = viols := v :: !viols in
-  List.iter
-    (fun (oblig, q, expect) ->
-      let result = eval q in
-      match (expect, oblig) with
-      | Translate.Must_be_nonempty, Translate.Oblig_class c ->
-          if Bitset.is_empty result then
-            add (Violation.Missing_required_class { cls = c })
-      | Translate.Must_be_empty, Translate.Oblig_required rel ->
-          List.iter
-            (fun id -> add (Violation.Unsatisfied_rel { entry = id; rel }))
-            (Index.ids_of ix result)
-      | Translate.Must_be_empty, Translate.Oblig_forbidden ((_, f, cj) as rel) ->
-          List.iter
-            (fun src ->
-              match find_targets inst f cj src with
-              | [] -> assert false (* query said so *)
-              | targets ->
-                  List.iter
-                    (fun target ->
-                      add (Violation.Forbidden_rel { source = src; target; rel }))
-                    targets)
-            (Index.ids_of ix result)
-      | Translate.Must_be_nonempty, (Translate.Oblig_required _ | Translate.Oblig_forbidden _)
-      | Translate.Must_be_empty, Translate.Oblig_class _ ->
-          assert false (* Translate.all pairs expectations correctly *))
-    (Translate.all schema.structure);
-  List.rev !viols
+(* The (obligation, query, expectation) triples of [Translate.all] are
+   independent of one another, so with a pool they are evaluated
+   obligation-per-task across the workers ([Pool.map_array]); the
+   per-obligation violation lists are concatenated in the stable
+   obligation order of [Translate.all], so the output is bit-identical to
+   the sequential engine.  Each task's own query evaluation runs
+   sequentially — the obligation is the unit of parallelism here (a
+   nested pool submission would be executed inline anyway). *)
+let check ?pool ?index ?vindex (schema : Schema.t) inst =
+  let ix = match index with Some ix -> ix | None -> Index.create ?pool inst in
+  let viols_of (oblig, q, expect) =
+    let result = Eval.eval ?vindex ix q in
+    let viols = ref [] in
+    let add v = viols := v :: !viols in
+    (match (expect, oblig) with
+    | Translate.Must_be_nonempty, Translate.Oblig_class c ->
+        if Bitset.is_empty result then
+          add (Violation.Missing_required_class { cls = c })
+    | Translate.Must_be_empty, Translate.Oblig_required rel ->
+        List.iter
+          (fun id -> add (Violation.Unsatisfied_rel { entry = id; rel }))
+          (Index.ids_of ix result)
+    | Translate.Must_be_empty, Translate.Oblig_forbidden ((_, f, cj) as rel) ->
+        List.iter
+          (fun src ->
+            match find_targets inst f cj src with
+            | [] -> assert false (* query said so *)
+            | targets ->
+                List.iter
+                  (fun target ->
+                    add (Violation.Forbidden_rel { source = src; target; rel }))
+                  targets)
+          (Index.ids_of ix result)
+    | Translate.Must_be_nonempty, (Translate.Oblig_required _ | Translate.Oblig_forbidden _)
+    | Translate.Must_be_empty, Translate.Oblig_class _ ->
+        assert false (* Translate.all pairs expectations correctly *));
+    List.rev !viols
+  in
+  let obligations = Array.of_list (Translate.all schema.structure) in
+  Bounds_par.Pool.map_array ?pool viols_of obligations
+  |> Array.to_list |> List.concat
 
-let is_legal ?index ?vindex schema inst = check ?index ?vindex schema inst = []
+let is_legal ?pool ?index ?vindex schema inst =
+  check ?pool ?index ?vindex schema inst = []

@@ -12,8 +12,23 @@ open Bounds_query
 
 (** [check schema inst] returns all structure violations, with witness
     entries extracted from the query results.  [index]/[vindex] may be
-    supplied to reuse work across calls on the same instance version. *)
+    supplied to reuse work across calls on the same instance version.
+    With a [pool], the independent obligations of [Translate.all] are
+    evaluated one-per-task across the workers and merged in stable
+    obligation order — the output is bit-identical to the sequential
+    engine. *)
 val check :
-  ?index:Index.t -> ?vindex:Vindex.t -> Schema.t -> Instance.t -> Violation.t list
+  ?pool:Bounds_par.Pool.t ->
+  ?index:Index.t ->
+  ?vindex:Vindex.t ->
+  Schema.t ->
+  Instance.t ->
+  Violation.t list
 
-val is_legal : ?index:Index.t -> ?vindex:Vindex.t -> Schema.t -> Instance.t -> bool
+val is_legal :
+  ?pool:Bounds_par.Pool.t ->
+  ?index:Index.t ->
+  ?vindex:Vindex.t ->
+  Schema.t ->
+  Instance.t ->
+  bool

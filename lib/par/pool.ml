@@ -1,0 +1,182 @@
+type batch = {
+  tasks : (unit -> unit) array;
+  mutable next : int; (* first task not yet claimed *)
+  mutable pending : int; (* tasks claimed-or-not but not finished *)
+  mutable failed : exn option; (* first exception raised by a task *)
+}
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t; (* a batch with unclaimed tasks, or stop *)
+  finished : Condition.t; (* the current batch fully drained *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  total : int;
+}
+
+(* Set while this domain is executing a pool task: a nested [run] on any
+   pool would wait on a batch that cannot finish without the waiter, so
+   nested submissions execute inline instead. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+(* Claim and execute tasks of [b] until none are unclaimed.  Called and
+   returns with [t.m] held. *)
+let exec_tasks t b =
+  while b.next < Array.length b.tasks do
+    let i = b.next in
+    b.next <- i + 1;
+    Mutex.unlock t.m;
+    Domain.DLS.set in_task true;
+    let outcome = try b.tasks.(i) (); None with e -> Some e in
+    Domain.DLS.set in_task false;
+    Mutex.lock t.m;
+    (match (outcome, b.failed) with
+    | Some e, None -> b.failed <- Some e
+    | _ -> ());
+    b.pending <- b.pending - 1;
+    if b.pending = 0 then begin
+      t.batch <- None;
+      Condition.broadcast t.finished
+    end
+  done
+
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    match t.batch with
+    | Some b when b.next < Array.length b.tasks ->
+        exec_tasks t b;
+        loop ()
+    | _ ->
+        if t.stop then Mutex.unlock t.m
+        else begin
+          Condition.wait t.work t.m;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ?domains () =
+  let total =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let total = min total 128 in
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      stop = false;
+      workers = [||];
+      total;
+    }
+  in
+  t.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let domains t = t.total
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    while t.batch <> None do
+      Condition.wait t.finished t.m
+    done;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t tasks =
+  let len = Array.length tasks in
+  if len = 0 then ()
+  else if t.total <= 1 || len = 1 || Domain.DLS.get in_task then
+    Array.iter (fun f -> f ()) tasks
+  else begin
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    while t.batch <> None do
+      Condition.wait t.finished t.m
+    done;
+    let b = { tasks; next = 0; pending = len; failed = None } in
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    exec_tasks t b;
+    while b.pending > 0 do
+      Condition.wait t.finished t.m
+    done;
+    Mutex.unlock t.m;
+    match b.failed with Some e -> raise e | None -> ()
+  end
+
+let chunks ?pool ?(align = 64) ?(oversub = 4) n =
+  if n <= 0 then []
+  else
+    let d = match pool with None -> 1 | Some p -> p.total in
+    if d <= 1 then [ (0, n) ]
+    else begin
+      let align = max 1 align in
+      let target = max 1 (d * max 1 oversub) in
+      let size = (n + target - 1) / target in
+      let size = (size + align - 1) / align * align in
+      let rec go lo acc =
+        if lo >= n then List.rev acc
+        else
+          let hi = min n (lo + size) in
+          go hi ((lo, hi) :: acc)
+      in
+      go 0 []
+    end
+
+let map_chunks ?pool ?align ?oversub n f =
+  match chunks ?pool ?align ?oversub n with
+  | [] -> []
+  | [ (lo, hi) ] -> [ f ~lo ~hi ]
+  | cs ->
+      (* more than one chunk implies a real pool *)
+      let pool = Option.get pool in
+      let cs = Array.of_list cs in
+      let results = Array.make (Array.length cs) None in
+      let tasks =
+        Array.mapi (fun i (lo, hi) -> fun () -> results.(i) <- Some (f ~lo ~hi)) cs
+      in
+      run pool tasks;
+      Array.to_list (Array.map Option.get results)
+
+let parallel_for ?pool ?align ?oversub n f =
+  match chunks ?pool ?align ?oversub n with
+  | [] -> ()
+  | [ (lo, hi) ] -> f ~lo ~hi
+  | cs ->
+      let pool = Option.get pool in
+      let tasks = Array.of_list (List.map (fun (lo, hi) -> fun () -> f ~lo ~hi) cs) in
+      run pool tasks
+
+let map_array ?pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else
+    match pool with
+    | None -> Array.map f a
+    | Some p when p.total <= 1 -> Array.map f a
+    | Some _ as pool ->
+        let out = Array.make n None in
+        parallel_for ?pool ~align:1 n (fun ~lo ~hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- Some (f a.(i))
+            done);
+        Array.map Option.get out

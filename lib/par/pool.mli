@@ -1,0 +1,71 @@
+(** Fixed-size domain pool for data-parallel sweeps.
+
+    A from-scratch, dependency-free worker pool over [Domain], [Mutex] and
+    [Condition]: [create ~domains:d ()] spawns [d - 1] worker domains; the
+    submitting domain is the [d]-th worker, so a pool of size 1 spawns
+    nothing and every combinator degrades to its sequential meaning.  All
+    combinators also accept [?pool:None] (the default), which is the
+    documented sequential fallback — existing call sites keep working and
+    keep their exact output.
+
+    Determinism contract: the combinators below assign work by index and
+    deliver results positionally, so the {e result} of a parallel call is a
+    pure function of its inputs — identical to the sequential fallback —
+    whatever the interleaving of the workers.  Only effects performed by
+    the tasks themselves can observe scheduling order.
+
+    Submitting from inside a task (nested [run]) is detected and executed
+    inline on the calling domain, sequentially, instead of deadlocking on
+    the shared queue. *)
+
+type t
+
+(** [create ?domains ()] — total parallelism [max 1 domains], defaulting
+    to [Domain.recommended_domain_count ()].  [domains - 1] worker domains
+    are spawned and parked on a condition variable until work arrives. *)
+val create : ?domains:int -> unit -> t
+
+(** Total parallelism of the pool, including the submitting domain. *)
+val domains : t -> int
+
+(** Join the worker domains.  Idempotent; the pool must not be used
+    afterwards (a subsequent [run] raises [Invalid_argument]). *)
+val shutdown : t -> unit
+
+(** [with_pool ?domains f] — [create], apply [f], [shutdown] (also on
+    exception). *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** [run pool tasks] executes every task exactly once, on the pool's
+    workers plus the calling domain, and returns when all are finished.
+    The first task exception (if any) is re-raised in the caller after the
+    batch drains.  Tasks must not [run] on the same pool (nested calls are
+    executed inline instead). *)
+val run : t -> (unit -> unit) array -> unit
+
+(** [chunks ?pool ?align ?oversub n] — the chunk layout the combinators
+    below use: [ [(lo, hi); ...] ] partitioning [0..n-1] in increasing
+    order.  Every boundary except the last is a multiple of [align]
+    (default 64), so byte- and word-addressed writes into disjoint chunks
+    of a shared buffer never touch the same memory.  Without a pool (or
+    with a 1-domain pool) the layout is a single chunk.  [oversub]
+    (default 4) controls load-balancing: the target is
+    [oversub * domains] chunks. *)
+val chunks : ?pool:t -> ?align:int -> ?oversub:int -> int -> (int * int) list
+
+(** [map_chunks ?pool ?align ?oversub n f] — apply [f ~lo ~hi] to each
+    chunk of the layout above, in parallel, and return the results in
+    chunk order (so merges are deterministic). *)
+val map_chunks :
+  ?pool:t -> ?align:int -> ?oversub:int -> int -> (lo:int -> hi:int -> 'a) -> 'a list
+
+(** [parallel_for ?pool ?align ?oversub n f] — [f ~lo ~hi] for each chunk,
+    for effect.  The caller is responsible for making chunk effects
+    disjoint (the [align]ed boundaries make disjoint [Bitset] / [Bytes]
+    slices safe). *)
+val parallel_for :
+  ?pool:t -> ?align:int -> ?oversub:int -> int -> (lo:int -> hi:int -> unit) -> unit
+
+(** [map_array ?pool f a] — [Array.map f a], chunked across the pool.
+    [f] must be pure (it may run on any domain). *)
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array

@@ -64,6 +64,31 @@ let union = map2 (fun x y -> x lor y)
 let inter = map2 (fun x y -> x land y)
 let diff = map2 (fun x y -> x land lnot y)
 
+let union_into ~into src =
+  check_same into src;
+  for k = 0 to Bytes.length into.words - 1 do
+    let c = Char.code (Bytes.get into.words k) lor Char.code (Bytes.get src.words k) in
+    Bytes.set into.words k (Char.unsafe_chr c)
+  done
+
+let blit_words ~src ~dst ~at =
+  if at land 7 <> 0 then invalid_arg "Bitset.blit_words: offset not byte-aligned";
+  if at < 0 || at + src.n > dst.n then invalid_arg "Bitset.blit_words: range";
+  if src.n > 0 then begin
+    let b0 = at lsr 3 in
+    let nb = nbytes src.n in
+    let rem = src.n land 7 in
+    let full = if rem = 0 then nb else nb - 1 in
+    Bytes.blit src.words 0 dst.words b0 full;
+    if rem <> 0 then begin
+      (* only bits [at, at + src.n) of dst may change: mask the last byte *)
+      let mask = (1 lsl rem) - 1 in
+      let s = Char.code (Bytes.get src.words (nb - 1)) land mask in
+      let d = Char.code (Bytes.get dst.words (b0 + nb - 1)) land lnot mask land 0xff in
+      Bytes.set dst.words (b0 + nb - 1) (Char.unsafe_chr (s lor d))
+    end
+  end
+
 let complement a =
   let r = diff (full a.n) a in
   r
@@ -85,10 +110,26 @@ let subset a b =
   check_same a b;
   is_empty (diff a b)
 
-let iter f s =
-  for i = 0 to s.n - 1 do
-    if Char.code (Bytes.get s.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
-  done
+(* Members of [max lo 0, min hi n) in increasing order, skipping all-zero
+   bytes so sparse sets iterate in O(n/8 + |members|). *)
+let iter_range f s ~lo ~hi =
+  let lo = max lo 0 and hi = min hi s.n in
+  if lo < hi then begin
+    let b_lo = lo lsr 3 and b_hi = (hi - 1) lsr 3 in
+    for b = b_lo to b_hi do
+      let c = Char.code (Bytes.get s.words b) in
+      if c <> 0 then begin
+        let base = b lsl 3 in
+        let first = if base >= lo then 0 else lo - base in
+        let last = if base + 7 < hi then 7 else hi - 1 - base in
+        for j = first to last do
+          if c land (1 lsl j) <> 0 then f (base + j)
+        done
+      end
+    done
+  end
+
+let iter f s = iter_range f s ~lo:0 ~hi:s.n
 
 let fold f s init =
   let acc = ref init in

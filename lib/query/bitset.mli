@@ -37,13 +37,35 @@ val inter : t -> t -> t
 val diff : t -> t -> t
 val complement : t -> t
 
+(** [union_into ~into src] — [into := into ∪ src], in place, no
+    allocation.  Used to merge per-chunk results of the parallel sweeps
+    without building an intermediate set per chunk.  Universe sizes must
+    match. *)
+val union_into : into:t -> t -> unit
+
+(** [blit_words ~src ~dst ~at] copies all bits of [src] into [dst]
+    starting at bit offset [at], overwriting exactly the bits
+    [at, at + length src) of [dst] (the trailing padding of [src]'s last
+    byte is masked, not copied).  [at] must be byte-aligned ([at mod 8 =
+    0]) and the target range in bounds — [Invalid_argument] otherwise.
+    Disjoint byte-aligned targets of one [dst] may be blitted from
+    different domains concurrently. *)
+val blit_words : src:t -> dst:t -> at:int -> unit
+
 val is_empty : t -> bool
 val cardinal : t -> int
 val equal : t -> t -> bool
 val subset : t -> t -> bool
 
-(** [iter f s] applies [f] to members in increasing order. *)
+(** [iter f s] applies [f] to members in increasing order, skipping
+    all-zero words — O(n/8 + |members|), so iterating a sparse candidate
+    set is much cheaper than a full rank scan. *)
 val iter : (int -> unit) -> t -> unit
+
+(** [iter_range f s ~lo ~hi] — members within [lo, hi) only, in
+    increasing order.  Out-of-range bounds are clamped.  This is the
+    per-chunk traversal primitive of the parallel sweeps. *)
+val iter_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val elements : t -> int list

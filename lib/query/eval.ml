@@ -1,34 +1,70 @@
-let eval_filter ix f =
+module Pool = Bounds_par.Pool
+
+(* Parallel scans partition the rank space [0, n) into chunks whose
+   boundaries are multiples of 64 bits ([Pool.parallel_for]'s default
+   alignment): each worker then writes only bytes of the shared result
+   bitset that belong to its own chunk, so the fill needs no
+   synchronization, and the pool's join publishes the writes to the
+   caller.  Without a pool every combinator below degrades to the exact
+   sequential loop. *)
+
+let eval_filter ?pool ix f =
   let n = Index.n ix in
   let bs = Bitset.create n in
-  for r = 0 to n - 1 do
-    if Filter.matches f (Index.entry_of_rank ix r) then Bitset.set bs r
-  done;
+  Pool.parallel_for ?pool n (fun ~lo ~hi ->
+      for r = lo to hi - 1 do
+        if Filter.matches f (Index.entry_of_rank ix r) then Bitset.set bs r
+      done);
   bs
 
-(* result = q1 ∩ { e | some child of e is in q2 } *)
-let chi_child ix q1 q2 =
+(* result = q1 ∩ { e | some child of e is in q2 }: iterate the members of
+   q2 (the sparse candidate set) and keep their parents that lie in q1.
+   A member's parent rank can fall in any chunk, so parallel workers mark
+   into chunk-local sets, merged in place afterwards — [union_into]
+   allocates no intermediate set per merge step. *)
+let chi_child ?pool ix q1 q2 =
   let n = Index.n ix in
-  let marked = Bitset.create n in
-  Bitset.iter
-    (fun r ->
-      let p = Index.parent_rank ix r in
-      if p >= 0 then Bitset.set marked p)
-    q2;
-  Bitset.inter q1 marked
+  let mark target ~lo ~hi =
+    Bitset.iter_range
+      (fun r ->
+        let p = Index.parent_rank ix r in
+        if p >= 0 && Bitset.mem q1 p then Bitset.set target p)
+      q2 ~lo ~hi
+  in
+  match
+    Pool.map_chunks ?pool ~oversub:1 n (fun ~lo ~hi ->
+        let local = Bitset.create n in
+        mark local ~lo ~hi;
+        local)
+  with
+  | [] -> Bitset.create n
+  | first :: rest ->
+      List.iter (fun local -> Bitset.union_into ~into:first local) rest;
+      first
 
-(* result = q1 ∩ { e | parent of e is in q2 } *)
-let chi_parent ix q1 q2 =
+(* result = { r ∈ q1 | parent of r is in q2 }: iterate q1 — the result is
+   a subset of it — instead of scanning every rank (mirrors the chi_child
+   pattern).  Each chunk sets only bits of its own range, so parallel
+   workers write disjoint bytes of the shared result directly. *)
+let chi_parent ?pool ix q1 q2 =
   let n = Index.n ix in
-  let marked = Bitset.create n in
-  for r = 0 to n - 1 do
-    let p = Index.parent_rank ix r in
-    if p >= 0 && Bitset.mem q2 p then Bitset.set marked r
-  done;
-  Bitset.inter q1 marked
+  let result = Bitset.create n in
+  Pool.parallel_for ?pool n (fun ~lo ~hi ->
+      Bitset.iter_range
+        (fun r ->
+          let p = Index.parent_rank ix r in
+          if p >= 0 && Bitset.mem q2 p then Bitset.set result r)
+        q1 ~lo ~hi);
+  result
 
 (* Reverse preorder sweep: when node r is visited all its descendants have
-   already pushed their contribution into [below].(r). *)
+   already pushed their contribution into [below].(r).
+
+   Deliberately sequential even when a pool is available: [below.(p)]
+   depends on [below.(r)] of every descendant r, and that dependency
+   chains across arbitrary distances of the rank space (one edge per
+   iteration), so a chunked sweep would read incomplete prefixes from
+   neighbouring chunks.  See DESIGN.md, "Multicore legality engine". *)
 let chi_descendant ix q1 q2 =
   let n = Index.n ix in
   let below = Bitset.create n in
@@ -40,7 +76,10 @@ let chi_descendant ix q1 q2 =
   done;
   Bitset.inter q1 below
 
-(* Forward preorder sweep: parents are visited before children. *)
+(* Forward preorder sweep: parents are visited before children.  Also a
+   loop-carried dependency ([above.(r)] needs [above.(parent r)], which
+   may live arbitrarily far back), hence sequential — same argument as
+   chi_descendant. *)
 let chi_ancestor ix q1 q2 =
   let n = Index.n ix in
   let above = Bitset.create n in
@@ -52,40 +91,44 @@ let chi_ancestor ix q1 q2 =
 
 (* With a value index, answer Eq/Present leaves from the hash table and
    push boolean structure into set algebra; other leaves fall back to the
-   entry scan. *)
-let rec eval_filter_indexed vx ix f =
+   (chunk-parallel) entry scan. *)
+let rec eval_filter_indexed ?pool vx ix f =
   match f with
   | Filter.Eq (a, v) -> Vindex.lookup_eq vx a v
   | Filter.Present a -> Vindex.lookup_present vx a
   | Filter.And fs ->
       List.fold_left
-        (fun acc f -> Bitset.inter acc (eval_filter_indexed vx ix f))
+        (fun acc f -> Bitset.inter acc (eval_filter_indexed ?pool vx ix f))
         (Bitset.full (Index.n ix))
         fs
   | Filter.Or fs ->
-      List.fold_left
-        (fun acc f -> Bitset.union acc (eval_filter_indexed vx ix f))
-        (Bitset.create (Index.n ix))
-        fs
-  | Filter.Not f -> Bitset.complement (eval_filter_indexed vx ix f)
-  | Filter.Ge _ | Filter.Le _ | Filter.Substr _ -> eval_filter ix f
+      let acc = Bitset.create (Index.n ix) in
+      List.iter
+        (fun f -> Bitset.union_into ~into:acc (eval_filter_indexed ?pool vx ix f))
+        fs;
+      acc
+  | Filter.Not f -> Bitset.complement (eval_filter_indexed ?pool vx ix f)
+  | Filter.Ge _ | Filter.Le _ | Filter.Substr _ -> eval_filter ?pool ix f
 
-let rec eval ?vindex ix q =
+let rec eval ?vindex ?pool ix q =
   match q with
   | Query.Select f -> (
       match vindex with
-      | Some vx -> eval_filter_indexed vx ix f
-      | None -> eval_filter ix f)
-  | Query.Minus (a, b) -> Bitset.diff (eval ?vindex ix a) (eval ?vindex ix b)
-  | Query.Union (a, b) -> Bitset.union (eval ?vindex ix a) (eval ?vindex ix b)
-  | Query.Inter (a, b) -> Bitset.inter (eval ?vindex ix a) (eval ?vindex ix b)
+      | Some vx -> eval_filter_indexed ?pool vx ix f
+      | None -> eval_filter ?pool ix f)
+  | Query.Minus (a, b) ->
+      Bitset.diff (eval ?vindex ?pool ix a) (eval ?vindex ?pool ix b)
+  | Query.Union (a, b) ->
+      Bitset.union (eval ?vindex ?pool ix a) (eval ?vindex ?pool ix b)
+  | Query.Inter (a, b) ->
+      Bitset.inter (eval ?vindex ?pool ix a) (eval ?vindex ?pool ix b)
   | Query.Chi (ax, a, b) ->
-      let s1 = eval ?vindex ix a and s2 = eval ?vindex ix b in
+      let s1 = eval ?vindex ?pool ix a and s2 = eval ?vindex ?pool ix b in
       (match ax with
-      | Query.Child -> chi_child ix s1 s2
-      | Query.Parent -> chi_parent ix s1 s2
+      | Query.Child -> chi_child ?pool ix s1 s2
+      | Query.Parent -> chi_parent ?pool ix s1 s2
       | Query.Descendant -> chi_descendant ix s1 s2
       | Query.Ancestor -> chi_ancestor ix s1 s2)
 
-let eval_ids ?vindex ix q = Index.ids_of ix (eval ?vindex ix q)
-let is_empty ?vindex ix q = Bitset.is_empty (eval ?vindex ix q)
+let eval_ids ?vindex ?pool ix q = Index.ids_of ix (eval ?vindex ?pool ix q)
+let is_empty ?vindex ?pool ix q = Bitset.is_empty (eval ?vindex ?pool ix q)

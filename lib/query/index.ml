@@ -13,19 +13,19 @@ type t = {
   extents : int array; (* rank -> last rank of its subtree *)
 }
 
-let create instance =
+let create ?pool instance =
   let n = Instance.size instance in
-  let entries = Array.make n None in
   let ids = Array.make n 0 in
   let parents = Array.make n (-1) in
   let depths = Array.make n 0 in
   let extents = Array.make n 0 in
   let ranks = ref Imap.empty in
   let next = ref 0 in
+  (* The preorder numbering itself is inherently order-dependent (a rank
+     is the DFS position), so this pass stays sequential. *)
   let rec visit parent_rank depth id =
     let r = !next in
     incr next;
-    entries.(r) <- Some (Instance.entry instance id);
     ids.(r) <- id;
     parents.(r) <- parent_rank;
     depths.(r) <- depth;
@@ -36,7 +36,19 @@ let create instance =
   in
   List.iter (visit (-1) 0) (Instance.roots instance);
   assert (!next = n);
-  let entries = Array.map Option.get entries in
+  (* The per-rank entry payloads are independent map lookups: fill the
+     array in parallel once the numbering is known. *)
+  let entries =
+    if n = 0 then [||]
+    else begin
+      let entries = Array.make n (Instance.entry instance ids.(0)) in
+      Bounds_par.Pool.parallel_for ?pool ~align:1 n (fun ~lo ~hi ->
+          for r = max lo 1 to hi - 1 do
+            entries.(r) <- Instance.entry instance ids.(r)
+          done);
+      entries
+    end
+  in
   { instance; n; entries; ids; ranks = !ranks; parents; depths; extents }
 
 let instance ix = ix.instance

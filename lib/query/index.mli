@@ -11,7 +11,10 @@ open Bounds_model
 
 type t
 
-val create : Instance.t -> t
+(** [create ?pool instance] — the preorder numbering pass is sequential
+    (a rank {e is} a DFS position); with a [pool] the per-rank entry
+    array is then filled in parallel. *)
+val create : ?pool:Bounds_par.Pool.t -> Instance.t -> t
 val instance : t -> Instance.t
 
 (** Number of entries. *)

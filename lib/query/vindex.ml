@@ -14,16 +14,37 @@ let push tbl k r =
   let prev = match Hashtbl.find_opt tbl k with Some l -> l | None -> [] in
   Hashtbl.replace tbl k (r :: prev)
 
-let create ix =
-  let eq = Hashtbl.create 1024 and present = Hashtbl.create 256 in
-  for r = 0 to Index.n ix - 1 do
-    let e = Index.entry_of_rank ix r in
-    List.iter
-      (fun (a, v) -> push eq (Attr.to_string a, norm (Value.to_string v)) r)
-      (Entry.pairs e);
-    Attr.Set.iter (fun a -> push present (Attr.to_string a) r) (Entry.attributes e)
-  done;
-  { ix; eq; present }
+(* Prepend a later chunk's per-key list onto the accumulated one: chunks
+   are merged in increasing rank order and each per-chunk list is built
+   newest-rank-first, so [l @ prev] reproduces exactly the
+   descending-rank lists of the sequential build. *)
+let merge_into tbl k l =
+  match Hashtbl.find_opt tbl k with
+  | None -> Hashtbl.replace tbl k l
+  | Some prev -> Hashtbl.replace tbl k (l @ prev)
+
+let create ?pool ix =
+  let n = Index.n ix in
+  let build ~lo ~hi =
+    let eq = Hashtbl.create 1024 and present = Hashtbl.create 256 in
+    for r = lo to hi - 1 do
+      let e = Index.entry_of_rank ix r in
+      List.iter
+        (fun (a, v) -> push eq (Attr.to_string a, norm (Value.to_string v)) r)
+        (Entry.pairs e);
+      Attr.Set.iter (fun a -> push present (Attr.to_string a) r) (Entry.attributes e)
+    done;
+    (eq, present)
+  in
+  match Bounds_par.Pool.map_chunks ?pool n build with
+  | [] -> { ix; eq = Hashtbl.create 16; present = Hashtbl.create 16 }
+  | (eq, present) :: rest ->
+      List.iter
+        (fun (eq', present') ->
+          Hashtbl.iter (merge_into eq) eq';
+          Hashtbl.iter (merge_into present) present')
+        rest;
+      { ix; eq; present }
 
 let index t = t.ix
 

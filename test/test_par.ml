@@ -1,0 +1,332 @@
+(* Tests for the domain pool and the parallel legality engine: pool
+   mechanics (batch execution, exception propagation, nested runs,
+   chunk layout), the word-aligned Bitset primitives it relies on, and
+   QCheck properties asserting that every parallel path — filter scans,
+   chi axes, vindex construction, full legality checking — produces
+   output identical to the sequential engine, violation order included. *)
+
+open Bounds_model
+open Bounds_query
+open Bounds_core
+module Pool = Bounds_par.Pool
+module WP = Bounds_workload.White_pages
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ids = Alcotest.(check (list int))
+
+(* Shared pools: sizes 1, 2 and 3 cover the inline path, the
+   one-worker path and a genuinely multi-domain pool.  Shut down by the
+   last test case of the suite. *)
+let pool1 = Pool.create ~domains:1 ()
+let pool2 = Pool.create ~domains:2 ()
+let pool3 = Pool.create ~domains:3 ()
+let pools = [ None; Some pool1; Some pool2; Some pool3 ]
+
+(* --- Pool mechanics ------------------------------------------------------ *)
+
+let test_pool_run () =
+  List.iter
+    (fun pool ->
+      match pool with
+      | None -> ()
+      | Some p ->
+          let n = 100 in
+          let hits = Array.make n 0 in
+          Pool.run p (Array.init n (fun i () -> hits.(i) <- hits.(i) + 1));
+          check_int "every task ran once" n (Array.fold_left ( + ) 0 hits);
+          Pool.run p [||];
+          Pool.run p [| (fun () -> hits.(0) <- 42) |];
+          check_int "singleton task ran" 42 hits.(0))
+    pools
+
+let test_pool_exception () =
+  List.iter
+    (fun p ->
+      check "exception propagates" true
+        (try
+           Pool.run p (Array.init 8 (fun i () -> if i = 5 then failwith "boom"));
+           false
+         with Failure m -> m = "boom");
+      (* the pool must survive a failed batch *)
+      let ok = ref 0 in
+      Pool.run p (Array.init 4 (fun _ () -> incr ok));
+      check_int "pool usable after failure" 4 !ok)
+    [ pool1; pool2; pool3 ]
+
+let test_pool_nested () =
+  (* a task submitting a batch must not deadlock: nested runs execute
+     inline on the submitting domain *)
+  let total = ref 0 in
+  let m = Mutex.create () in
+  let bump () = Mutex.lock m; incr total; Mutex.unlock m in
+  Pool.run pool3
+    (Array.init 4 (fun _ () -> Pool.run pool3 (Array.init 4 (fun _ () -> bump ()))));
+  check_int "nested batches all ran" 16 !total
+
+let test_pool_lifecycle () =
+  let p = Pool.create ~domains:2 () in
+  check_int "domains" 2 (Pool.domains p);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  check "with_pool returns" true (Pool.with_pool ~domains:2 (fun _ -> true));
+  check "with_pool shuts down on raise" true
+    (try Pool.with_pool ~domains:2 (fun _ -> failwith "x") with Failure _ -> true)
+
+let test_pool_chunks () =
+  (* chunk boundaries must be multiples of [align] (except the final hi),
+     cover [0, n) exactly, and degenerate to one chunk without a pool *)
+  List.iter
+    (fun n ->
+      check "no pool: single chunk" true
+        (Pool.chunks n = if n = 0 then [] else [ (0, n) ]);
+      let cs = Pool.chunks ~pool:pool3 n in
+      let rec covers expect = function
+        | [] -> expect = n
+        | (lo, hi) :: rest ->
+            lo = expect && lo < hi
+            && (lo mod 64 = 0)
+            && (hi mod 64 = 0 || hi = n)
+            && covers hi rest
+      in
+      check (Printf.sprintf "chunks cover [0,%d) aligned" n) true
+        (covers 0 cs))
+    [ 0; 1; 63; 64; 65; 300; 1000 ];
+  check "multi-chunk when large enough" true
+    (List.length (Pool.chunks ~pool:pool3 1000) > 1)
+
+let test_pool_map () =
+  List.iter
+    (fun pool ->
+      let a = Array.init 37 (fun i -> i) in
+      check "map_array order" true
+        (Pool.map_array ?pool (fun x -> x * x) a = Array.map (fun x -> x * x) a);
+      let chunks = Pool.map_chunks ?pool 300 (fun ~lo ~hi -> (lo, hi)) in
+      check "map_chunks = chunks" true (chunks = Pool.chunks ?pool 300))
+    pools
+
+(* --- Bitset word primitives --------------------------------------------- *)
+
+let test_union_into () =
+  List.iter
+    (fun n ->
+      let a = Bitset.of_list n (List.filter (fun i -> i < n) [ 0; 7; 8; 63; 64; 65 ]) in
+      let b = Bitset.of_list n (List.filter (fun i -> i < n) [ 1; 7; 62; 64; n - 1 ]) in
+      let expect = Bitset.elements (Bitset.union a b) in
+      let into = Bitset.union a (Bitset.create n) in
+      Bitset.union_into ~into b;
+      check_ids (Printf.sprintf "union_into n=%d" n) expect (Bitset.elements into))
+    [ 2; 13; 64; 65; 100; 129 ];
+  check "size mismatch raises" true
+    (try
+       Bitset.union_into ~into:(Bitset.create 8) (Bitset.create 9);
+       false
+     with Invalid_argument _ -> true)
+
+let test_blit_words () =
+  (* aligned copy, including a src whose length is not a whole number of
+     bytes: bits of dst beyond src.n must survive *)
+  let src = Bitset.of_list 13 [ 0; 5; 12 ] in
+  let dst = Bitset.of_list 40 [ 8; 9; 14; 21; 30 ] in
+  Bitset.blit_words ~src ~dst ~at:8;
+  check_ids "blit at 8, rem bits preserved" [ 8; 13; 20; 21; 30 ]
+    (Bitset.elements dst);
+  let dst = Bitset.of_list 40 [ 0; 39 ] in
+  Bitset.blit_words ~src:(Bitset.of_list 16 [ 1; 15 ]) ~dst ~at:16;
+  check_ids "blit whole bytes" [ 0; 17; 31; 39 ] (Bitset.elements dst);
+  let dst = Bitset.of_list 24 [ 3 ] in
+  Bitset.blit_words ~src:(Bitset.create 0) ~dst ~at:8;
+  check_ids "empty src is a no-op" [ 3 ] (Bitset.elements dst);
+  check "unaligned offset raises" true
+    (try
+       Bitset.blit_words ~src:(Bitset.create 8) ~dst:(Bitset.create 24) ~at:4;
+       false
+     with Invalid_argument _ -> true);
+  check "overflow raises" true
+    (try
+       Bitset.blit_words ~src:(Bitset.create 16) ~dst:(Bitset.create 24) ~at:16;
+       false
+     with Invalid_argument _ -> true)
+
+let test_iter_range () =
+  let members = [ 0; 3; 64; 65; 127; 128; 255; 256; 299 ] in
+  let s = Bitset.of_list 300 members in
+  let collect ~lo ~hi =
+    let acc = ref [] in
+    Bitset.iter_range (fun i -> acc := i :: !acc) s ~lo ~hi;
+    List.rev !acc
+  in
+  check_ids "full range" members (collect ~lo:0 ~hi:300);
+  check_ids "sub range" [ 64; 65; 127 ] (collect ~lo:4 ~hi:128);
+  check_ids "clamped" members (collect ~lo:(-5) ~hi:1000);
+  check_ids "empty range" [] (collect ~lo:10 ~hi:10);
+  check_ids "mid-byte bounds" [ 65; 127; 128 ] (collect ~lo:65 ~hi:200)
+
+(* --- Properties: parallel ≡ sequential ----------------------------------- *)
+
+let classes_pool = [ "a"; "b"; "c" ]
+
+let mk id cls =
+  Entry.make ~id ~classes:(Oclass.Set.of_list [ Oclass.top; Oclass.of_string cls ]) []
+
+(* larger instances than test_query's so evaluation spans several 64-bit
+   chunks per worker and the parallel paths are actually exercised *)
+let gen_instance =
+  QCheck.Gen.(
+    map2
+      (fun seed size ->
+        Bounds_workload.Gen.random_forest ~seed ~size
+          ~mk_entry:(fun rng id ->
+            let cls = List.nth classes_pool (Random.State.int rng 3) in
+            mk id cls)
+          ())
+      (int_bound 1_000_000)
+      (int_range 200 400))
+
+let gen_query =
+  let open QCheck.Gen in
+  let sel c = Query.select_class (Oclass.of_string c) in
+  let leaf = map (fun i -> sel (List.nth classes_pool i)) (int_bound 2) in
+  let axis =
+    oneofl [ Query.Child; Query.Parent; Query.Descendant; Query.Ancestor ]
+  in
+  sized_size (int_bound 4)
+    (fix (fun self n ->
+         if n = 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               ( 2,
+                 map3
+                   (fun ax a b -> Query.Chi (ax, a, b))
+                   axis
+                   (self (n / 2))
+                   (self (n / 2)) );
+               (1, map2 (fun a b -> Query.Minus (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun a b -> Query.Union (a, b)) (self (n / 2)) (self (n / 2)));
+             ]))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (inst, q) ->
+      Format.asprintf "size=%d query=%s" (Instance.size inst) (Query.to_string q))
+    QCheck.Gen.(pair gen_instance gen_query)
+
+let prop_eval_par_equiv =
+  QCheck.Test.make ~name:"parallel eval = sequential eval" ~count:60 arb_case
+    (fun (inst, q) ->
+      let seq_ix = Index.create inst in
+      let seq = Eval.eval seq_ix q in
+      List.for_all
+        (fun pool ->
+          let ix = Index.create ?pool inst in
+          Bitset.equal seq (Eval.eval ?pool ix q))
+        pools)
+
+let prop_vindex_par_equiv =
+  QCheck.Test.make ~name:"parallel vindex = sequential vindex" ~count:40 arb_case
+    (fun (inst, q) ->
+      let ix = Index.create inst in
+      let seq = Eval.eval ~vindex:(Vindex.create ix) ix q in
+      List.for_all
+        (fun pool ->
+          Bitset.equal seq (Eval.eval ~vindex:(Vindex.create ?pool ix) ?pool ix q))
+        pools)
+
+(* white-pages instances plus a batch of rogue root entries: plenty of
+   content, structure, single-valued and key violations, whose reported
+   order must not depend on the pool *)
+let gen_wp_instance =
+  QCheck.Gen.(
+    map2
+      (fun seed units ->
+        let inst =
+          WP.generate ~seed ~units ~persons_per_unit:(5 + (seed mod 10)) ()
+        in
+        let base = Instance.fresh_id inst in
+        let rogue i =
+          Entry.make ~id:(base + i)
+            ~rdn:(Printf.sprintf "uid=rogue%d" i)
+            ~classes:(Oclass.set_of_list [ "person"; "top" ])
+            [ (Attr.of_string "uid", Value.String (Printf.sprintf "r%d" (i / 2))) ]
+        in
+        let rec add i inst =
+          if i = 0 then inst else add (i - 1) (Instance.add_root_exn (rogue i) inst)
+        in
+        add (seed mod 6) inst)
+      (int_bound 1_000_000)
+      (int_range 2 8))
+
+let arb_wp =
+  QCheck.make
+    ~print:(fun inst -> Printf.sprintf "size=%d" (Instance.size inst))
+    gen_wp_instance
+
+let prop_legality_par_equiv =
+  QCheck.Test.make ~name:"parallel Legality.check = sequential (order included)"
+    ~count:25 arb_wp (fun inst ->
+      let seq = Legality.check WP.schema inst in
+      List.for_all (fun pool -> Legality.check ?pool WP.schema inst = seq) pools)
+
+let prop_index_par_equiv =
+  QCheck.Test.make ~name:"parallel Index.create = sequential" ~count:40
+    (QCheck.make
+       ~print:(fun inst -> Printf.sprintf "size=%d" (Instance.size inst))
+       gen_instance)
+    (fun inst ->
+      let seq = Index.create inst in
+      List.for_all
+        (fun pool ->
+          let ix = Index.create ?pool inst in
+          Index.n ix = Index.n seq
+          && List.for_all
+               (fun r ->
+                 Index.id_of_rank ix r = Index.id_of_rank seq r
+                 && Entry.id (Index.entry_of_rank ix r)
+                    = Entry.id (Index.entry_of_rank seq r)
+                 && Index.parent_rank ix r = Index.parent_rank seq r
+                 && Index.extent_of_rank ix r = Index.extent_of_rank seq r)
+               (List.init (Index.n ix) Fun.id))
+        pools)
+
+(* --- suite --------------------------------------------------------------- *)
+
+let test_shutdown_pools () =
+  List.iter Pool.shutdown [ pool1; pool2; pool3 ];
+  check "run after shutdown raises" true
+    (try
+       Pool.run pool3 (Array.init 3 (fun _ () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "run" `Quick test_pool_run;
+          Alcotest.test_case "exception" `Quick test_pool_exception;
+          Alcotest.test_case "nested" `Quick test_pool_nested;
+          Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+          Alcotest.test_case "chunks" `Quick test_pool_chunks;
+          Alcotest.test_case "map" `Quick test_pool_map;
+        ] );
+      ( "bitset-words",
+        [
+          Alcotest.test_case "union_into" `Quick test_union_into;
+          Alcotest.test_case "blit_words" `Quick test_blit_words;
+          Alcotest.test_case "iter_range" `Quick test_iter_range;
+        ] );
+      ( "par-equiv",
+        [
+          qt prop_eval_par_equiv;
+          qt prop_vindex_par_equiv;
+          qt prop_legality_par_equiv;
+          qt prop_index_par_equiv;
+        ] );
+      ("teardown", [ Alcotest.test_case "shutdown" `Quick test_shutdown_pools ]);
+    ]
