@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke clean
+.PHONY: all test bench bench-smoke fuzz-smoke clean
 
 all:
 	dune build
@@ -15,6 +15,11 @@ bench:
 # a side effect of the alias action, which dune would otherwise cache.
 bench-smoke:
 	dune build --force @bench-smoke
+
+# Quick differential-fuzzing pass over every registered oracle.  Exits
+# non-zero if any oracle pair disagrees.
+fuzz-smoke:
+	dune exec -- ldapschema fuzz --budget 200 --seed 42 -j 0
 
 clean:
 	dune clean

@@ -6,7 +6,8 @@
      query       evaluate a hierarchical selection query over a directory
      update      apply an LDIF change file under incremental legality
      fmt         parse a schema spec and print its canonical form
-     generate    emit a benchmark workload as LDIF *)
+     generate    emit a benchmark workload as LDIF
+     fuzz        differential fuzzing over the oracle registry *)
 
 open Bounds_model
 open Bounds_core
@@ -622,6 +623,94 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a synthetic legal directory as LDIF.")
     Term.(const generate $ workload $ seed $ units $ persons $ out $ emit_schema)
 
+(* --- fuzz --------------------------------------------------------------------- *)
+
+let fuzz list oracle_names seed budget jobs corpus max_failures =
+  let open Bounds_diff in
+  if list then begin
+    List.iter
+      (fun (o : Oracle.t) -> Printf.printf "%-24s %s\n" o.name o.doc)
+      Oracle.all;
+    0
+  end
+  else begin
+    let oracles = match oracle_names with [] -> None | l -> Some l in
+    let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+    let log line = Printf.eprintf "%s\n%!" line in
+    let reports =
+      or_die (Fuzz.run ~jobs ?oracles ~max_failures ~log ~budget ~seed ())
+    in
+    (match corpus with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    List.iter
+      (fun (r : Fuzz.report) ->
+        if r.failures = [] then
+          Printf.printf "%-24s %6d cases  ok\n" r.oracle r.budget
+        else begin
+          Printf.printf "%-24s %6d cases  %d counterexample(s)\n" r.oracle
+            r.budget
+            (List.length r.failures);
+          List.iter
+            (fun (f : Fuzz.failure) ->
+              Printf.printf "  %s\n" f.message;
+              Format.printf "    @[<v>%a@]@." Case.pp f.case;
+              match corpus with
+              | Some dir ->
+                  Printf.printf "    saved %s\n" (Fuzz.save_case ~dir f.case)
+              | None -> ())
+            r.failures
+        end)
+      reports;
+    if Fuzz.total_failures reports = 0 then begin
+      Printf.printf "all oracles agree\n";
+      0
+    end
+    else 1
+  end
+
+let fuzz_cmd =
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the registered oracles and exit.")
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Fuzz only this oracle (repeatable; default: all).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let budget =
+    Arg.(
+      value & opt int 500
+      & info [ "budget" ] ~docv:"N" ~doc:"Cases to generate per oracle.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Save shrunk counterexamples to $(docv) as regression cases.")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 3
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:"Stop shrinking after $(docv) distinct counterexamples per oracle.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: run pairs of independently-implemented \
+          engines (codec round-trips, indexed vs naive evaluation, \
+          incremental vs full legality, parallel vs sequential) on random \
+          adversarial inputs, and shrink any disagreement to a minimal \
+          counterexample.")
+    Term.(
+      const fuzz $ list $ oracle $ seed $ budget $ jobs_arg $ corpus
+      $ max_failures)
+
 let main =
   Cmd.group
     (Cmd.info "ldapschema" ~version:"1.0.0"
@@ -637,6 +726,7 @@ let main =
       tree_check_cmd;
       fmt_cmd;
       generate_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

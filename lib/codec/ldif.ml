@@ -13,29 +13,36 @@ let err line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })
 
 let b64_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
 
-let b64_decode_char c =
+let b64_decode_char ~at c =
   match String.index_opt b64_alphabet c with
   | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "invalid base64 character %C" c)
+  | None -> invalid_arg (Printf.sprintf "invalid base64 character %C at offset %d" c at)
 
 let b64_decode s =
-  let s = String.concat "" (String.split_on_char '\n' s) in
-  let s =
-    if String.length s mod 4 = 0 then s
-    else invalid_arg "base64 length not a multiple of 4"
-  in
-  let buf = Buffer.create (String.length s * 3 / 4) in
+  (* no whitespace tolerance: LDIF line folding is undone before the
+     base64 text ever reaches us, so embedded newlines are corruption *)
   let n = String.length s in
+  if n mod 4 <> 0 then invalid_arg "base64 length not a multiple of 4";
+  (* '=' is padding, legal only as the final one or two bytes; anywhere
+     else it silently truncated data before being rejected here *)
+  String.iteri
+    (fun i c ->
+      if c = '=' && i < n - 2 then
+        invalid_arg (Printf.sprintf "stray base64 padding '=' at offset %d" i))
+    s;
+  if n >= 2 && s.[n - 2] = '=' && s.[n - 1] <> '=' then
+    invalid_arg (Printf.sprintf "stray base64 padding '=' at offset %d" (n - 2));
+  let buf = Buffer.create (n * 3 / 4) in
   let i = ref 0 in
   while !i < n do
     let c0 = s.[!i] and c1 = s.[!i + 1] and c2 = s.[!i + 2] and c3 = s.[!i + 3] in
-    let v0 = b64_decode_char c0 and v1 = b64_decode_char c1 in
+    let v0 = b64_decode_char ~at:!i c0 and v1 = b64_decode_char ~at:(!i + 1) c1 in
     Buffer.add_char buf (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
     if c2 <> '=' then begin
-      let v2 = b64_decode_char c2 in
+      let v2 = b64_decode_char ~at:(!i + 2) c2 in
       Buffer.add_char buf (Char.chr (((v1 land 0xf) lsl 4) lor (v2 lsr 2)));
       if c3 <> '=' then begin
-        let v3 = b64_decode_char c3 in
+        let v3 = b64_decode_char ~at:(!i + 3) c3 in
         Buffer.add_char buf (Char.chr (((v2 land 0x3) lsl 6) lor v3))
       end
     end;
@@ -100,10 +107,21 @@ let split_attr_line line body =
       let attr = String.sub body 0 i in
       let rest = String.sub body (i + 1) (String.length body - i - 1) in
       if String.length rest > 0 && rest.[0] = ':' then
+        (* base64 text itself is whitespace-insensitive; the decoded bytes
+           carry any significant whitespace *)
         let raw = String.trim (String.sub rest 1 (String.length rest - 1)) in
         let decoded = try b64_decode raw with Invalid_argument m -> err line "%s" m in
         (attr, decoded)
-      else (attr, String.trim rest)
+      else
+        (* RFC 2849: exactly one optional space separates ':' from the
+           value; anything beyond it — including trailing whitespace — is
+           value content (the writer base64-encodes values that need it) *)
+        let value =
+          if String.length rest > 0 && rest.[0] = ' ' then
+            String.sub rest 1 (String.length rest - 1)
+          else rest
+        in
+        (attr, value)
 
 let norm_dn d =
   String.split_on_char ',' d |> List.map (fun p -> String.lowercase_ascii (String.trim p))
@@ -194,10 +212,14 @@ let parse_exn ?first_id ~typing s =
 
 (* --- writing --------------------------------------------------------- *)
 
+(* RFC 2849 SAFE-STRING: printable ASCII, not starting with space, ':' or
+   '<' — and not {e ending} with space either, which the one-separator
+   reader could not tell apart from the separator's own padding. *)
 let safe_value v =
   v = ""
   || (String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x7f) v
-     && v.[0] <> ' ' && v.[0] <> ':' && v.[0] <> '<')
+     && v.[0] <> ' ' && v.[0] <> ':' && v.[0] <> '<'
+     && v.[String.length v - 1] <> ' ')
 
 let to_string inst =
   let buf = Buffer.create 1024 in

@@ -31,3 +31,14 @@ val parse_exn : ?first_id:int -> typing:Typing.t -> string -> Instance.t
 val to_string : Instance.t -> string
 
 val pp : Format.formatter -> Instance.t -> unit
+
+(** {2 Base64} — the RFC 4648 codec behind [attr:: value] lines, exposed
+    for decode-vector tests and differential fuzzing. *)
+
+val b64_encode : string -> string
+
+(** Strict decoder: rejects non-alphabet bytes, lengths not a multiple of
+    four, and [=] padding anywhere but the final one or two positions.
+    Raises [Invalid_argument] with a positioned message on malformed
+    input. *)
+val b64_decode : string -> string

@@ -11,7 +11,11 @@ let add_class c ?(required = []) ?(allowed = []) t =
   else
     let req = Attr.Set.of_list required in
     let alw = Attr.Set.union req (Attr.Set.of_list allowed) in
-    Ok (Oclass.Map.add c { req; alw } t)
+    (* An empty declaration means the same as no declaration (nothing
+       required, nothing allowed); not storing it keeps the structure
+       canonical — the spec language has no syntax for an empty
+       declaration, so print ∘ parse must not depend on one. *)
+    if Attr.Set.is_empty alw then Ok t else Ok (Oclass.Map.add c { req; alw } t)
 
 let add_class_exn c ?required ?allowed t =
   match add_class c ?required ?allowed t with

@@ -15,7 +15,10 @@ val empty : t
 
 (** [add_class c ~required ~allowed t] declares class [c].  The class's
     allowed set becomes [required ∪ allowed].  Declaring the same class
-    twice is an error. *)
+    twice is an error.  An empty declaration (both lists empty) is a
+    no-op: it means exactly what no declaration means, and storing it
+    would break the print/parse round-trip of the spec language, which
+    has no syntax for it. *)
 val add_class :
   Oclass.t -> ?required:Attr.t list -> ?allowed:Attr.t list -> t -> (t, string) result
 

@@ -7,7 +7,10 @@ type t = {
   inst : Instance.t;
   extensions : bool;
   counts : int Oclass.Map.t;
-  key_values : int Smap.t; (* "attr\000value" -> number of holders *)
+  key_values : Entry.id list Smap.t;
+      (* "attr\000value" -> sorted holder ids.  Holder identities (not just
+         counts) let a rejection list every entry sharing the key, exactly
+         as the full O(|D|) checker would. *)
 }
 
 let key_of attr v = Attr.to_string attr ^ "\000" ^ Value.to_string v
@@ -27,11 +30,26 @@ let counts_of_instance inst =
         (Entry.classes e) m)
     inst Oclass.Map.empty
 
+let kv_add id kv k =
+  Smap.update k
+    (fun l -> Some (List.sort Int.compare (id :: Option.value ~default:[] l)))
+    kv
+
+let kv_remove id kv k =
+  Smap.update k
+    (fun l ->
+      match List.filter (fun i -> i <> id) (Option.value ~default:[] l) with
+      | [] -> None
+      | l -> Some l)
+    kv
+
+let holders m k = Option.value ~default:[] (Smap.find_opt k m.key_values)
+
 let key_values_of_instance schema inst =
   Instance.fold
     (fun e m ->
       List.fold_left
-        (fun m k -> Smap.update k (fun n -> Some (1 + Option.value ~default:0 n)) m)
+        (fun m k -> kv_add (Entry.id e) m k)
         m (entry_key_values schema e))
     inst Smap.empty
 
@@ -66,40 +84,50 @@ let bump delta m counts =
         (Entry.classes e) counts)
     m counts
 
+let violation_of_key k entries =
+  match String.index_opt k '\000' with
+  | None -> None
+  | Some i ->
+      let attr = Attr.of_string (String.sub k 0 i) in
+      let v = String.sub k (i + 1) (String.length k - i - 1) in
+      Some (Violation.Duplicate_key { attr; value = Value.String v; entries })
+
 let key_violations m delta =
-  (* duplicates against the existing instance, and within Δ itself *)
-  let within = Hashtbl.create 16 in
-  List.rev
-    (Instance.fold
-       (fun e acc ->
-         List.fold_left
-           (fun acc k ->
-             let clash_existing = Option.value ~default:0 (Smap.find_opt k m.key_values) > 0 in
-             let clash_within = Hashtbl.mem within k in
-             Hashtbl.replace within k ();
-             if clash_existing || clash_within then
-               match String.index_opt k '\000' with
-               | Some i ->
-                   let attr = Attr.of_string (String.sub k 0 i) in
-                   let v = String.sub k (i + 1) (String.length k - i - 1) in
-                   Violation.Duplicate_key
-                     { attr; value = Value.String v; entries = [ Entry.id e ] }
-                   :: acc
-               | None -> acc
-             else acc)
-           acc (entry_key_values m.schema e))
-       delta [])
+  (* Duplicates against the existing instance and within Δ itself.  One
+     violation per key value, listing {e every} holder (existing and new),
+     so a rejection carries the same evidence as the full checker: since
+     the monitored instance has no duplicates, the sharers of any
+     conflicting key in D ∪ Δ are exactly its existing holders plus its
+     Δ holders. *)
+  let in_delta : (string, Entry.id list) Hashtbl.t = Hashtbl.create 16 in
+  Instance.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          let prev =
+            match Hashtbl.find_opt in_delta k with Some l -> l | None -> []
+          in
+          Hashtbl.replace in_delta k (Entry.id e :: prev))
+        (entry_key_values m.schema e))
+    delta;
+  Hashtbl.fold
+    (fun k delta_holders acc ->
+      match holders m k @ delta_holders with
+      | [] | [ _ ] -> acc
+      | sharers -> (
+          match violation_of_key k (List.sort Int.compare sharers) with
+          | Some v -> v :: acc
+          | None -> acc))
+    in_delta []
+  |> List.sort Violation.compare
 
 let bump_keys delta_sign sub m kv =
   Instance.fold
     (fun e kv ->
       List.fold_left
         (fun kv k ->
-          Smap.update k
-            (fun n ->
-              let n' = delta_sign + Option.value ~default:0 n in
-              if n' <= 0 then None else Some n')
-            kv)
+          if delta_sign > 0 then kv_add (Entry.id e) kv k
+          else kv_remove (Entry.id e) kv k)
         kv (entry_key_values m.schema e))
     sub kv
 
@@ -178,20 +206,10 @@ let modify_entry id f m =
       let dups =
         List.filter_map
           (fun k ->
-            if Option.value ~default:0 (Smap.find_opt k m.key_values) > 0 then
-              match String.index_opt k '\000' with
-              | Some i ->
-                  Some
-                    (Violation.Duplicate_key
-                       {
-                         attr = Attr.of_string (String.sub k 0 i);
-                         value =
-                           Value.String
-                             (String.sub k (i + 1) (String.length k - i - 1));
-                         entries = [ id ];
-                       })
-              | None -> None
-            else None)
+            match holders m k with
+            | [] -> None
+            | existing ->
+                violation_of_key k (List.sort Int.compare (id :: existing)))
           added
       in
       sv @ dups
@@ -205,25 +223,12 @@ let modify_entry id f m =
       | Error e -> failwith (Instance.error_to_string e)
       | Ok inst ->
           let key_values =
-            if m.extensions then begin
-              let remove kv k =
-                Smap.update k
-                  (fun n ->
-                    let n' = Option.value ~default:0 n - 1 in
-                    if n' <= 0 then None else Some n')
-                  kv
-              in
-              let add kv k =
-                Smap.update k
-                  (fun n -> Some (1 + Option.value ~default:0 n))
-                  kv
-              in
+            if m.extensions then
               let kv =
-                List.fold_left remove m.key_values
+                List.fold_left (kv_remove id) m.key_values
                   (entry_key_values m.schema old_entry)
               in
-              List.fold_left add kv (entry_key_values m.schema new_entry)
-            end
+              List.fold_left (kv_add id) kv (entry_key_values m.schema new_entry)
             else m.key_values
           in
           Ok { m with inst; key_values })

@@ -1,0 +1,460 @@
+open Bounds_model
+open Bounds_core
+open Bounds_query
+
+type t = {
+  oracle : string;
+  seed : int;
+  schema : Schema.t option;
+  instance : Instance.t option;
+  ops : Update.op list;
+  query : Query.t option;
+  filter : Filter.t option;
+  text : string option;
+}
+
+let make ~oracle ?(seed = 0) ?schema ?instance ?(ops = []) ?query ?filter ?text () =
+  { oracle; seed; schema; instance; ops; query; filter; text }
+
+(* --- size --------------------------------------------------------------- *)
+
+let entry_weight e = 1 + Entry.n_pairs e
+
+let instance_weight inst =
+  Instance.fold (fun e n -> n + entry_weight e) inst 0
+
+let op_weight = function
+  | Update.Insert { entry; _ } -> 1 + entry_weight entry
+  | Update.Delete _ -> 1
+
+let size c =
+  (match c.schema with Some s -> Schema.size s | None -> 0)
+  + (match c.instance with Some i -> instance_weight i | None -> 0)
+  + List.fold_left (fun n op -> n + op_weight op) 0 c.ops
+  + (match c.query with Some q -> Query.size q | None -> 0)
+  + (match c.filter with Some f -> Filter.size f | None -> 0)
+  + match c.text with Some t -> String.length t | None -> 0
+
+(* --- equality ----------------------------------------------------------- *)
+
+let opt_equal eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | _ -> false
+
+let op_equal o1 o2 =
+  match (o1, o2) with
+  | Update.Insert { parent = p1; entry = e1 }, Update.Insert { parent = p2; entry = e2 }
+    ->
+      p1 = p2 && Entry.equal e1 e2
+  | Update.Delete i, Update.Delete j -> i = j
+  | (Update.Insert _ | Update.Delete _), _ -> false
+
+let equal c1 c2 =
+  String.equal c1.oracle c2.oracle
+  && c1.seed = c2.seed
+  && opt_equal Schema.equal c1.schema c2.schema
+  && opt_equal Instance.equal c1.instance c2.instance
+  && List.length c1.ops = List.length c2.ops
+  && List.for_all2 op_equal c1.ops c2.ops
+  && opt_equal Query.equal c1.query c2.query
+  && opt_equal Filter.equal c1.filter c2.filter
+  && opt_equal String.equal c1.text c2.text
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let sexp_of_value = function
+  | Value.String s -> Sexp.list [ Sexp.atom "s"; Sexp.atom s ]
+  | Value.Int n -> Sexp.list [ Sexp.atom "i"; Sexp.atom (string_of_int n) ]
+  | Value.Bool b -> Sexp.list [ Sexp.atom "b"; Sexp.atom (string_of_bool b) ]
+  | Value.Dn d -> Sexp.list [ Sexp.atom "d"; Sexp.atom d ]
+
+let value_of_sexp s =
+  let* l = Sexp.as_list s in
+  match l with
+  | [ Sexp.Atom "s"; v ] ->
+      let* v = Sexp.as_atom v in
+      Ok (Value.String v)
+  | [ Sexp.Atom "i"; v ] ->
+      let* n = Sexp.as_int v in
+      Ok (Value.Int n)
+  | [ Sexp.Atom "b"; v ] -> (
+      let* v = Sexp.as_atom v in
+      match bool_of_string_opt v with
+      | Some b -> Ok (Value.Bool b)
+      | None -> Error (Printf.sprintf "bad boolean %S" v))
+  | [ Sexp.Atom "d"; v ] ->
+      let* v = Sexp.as_atom v in
+      Ok (Value.Dn v)
+  | _ -> Error "malformed value"
+
+let sexp_of_entry e =
+  Sexp.list
+    [
+      Sexp.atom "entry";
+      Sexp.atom (string_of_int (Entry.id e));
+      Sexp.atom (Entry.rdn e);
+      Sexp.list
+        (List.map
+           (fun c -> Sexp.atom (Oclass.to_string c))
+           (Oclass.Set.elements (Entry.classes e)));
+      Sexp.list
+        (List.map
+           (fun (a, v) ->
+             Sexp.list [ Sexp.atom (Attr.to_string a); sexp_of_value v ])
+           (Entry.stored_pairs e));
+    ]
+
+let entry_of_sexp s =
+  let* l = Sexp.as_list s in
+  match l with
+  | [ Sexp.Atom "entry"; id; rdn; classes; pairs ] ->
+      let* id = Sexp.as_int id in
+      let* rdn = Sexp.as_atom rdn in
+      let* class_atoms = Sexp.as_list classes in
+      let* classes =
+        List.fold_left
+          (fun acc c ->
+            let* acc = acc in
+            let* name = Sexp.as_atom c in
+            match Oclass.of_string_opt name with
+            | Some cls -> Ok (Oclass.Set.add cls acc)
+            | None -> Error (Printf.sprintf "bad class %S" name))
+          (Ok Oclass.Set.empty) class_atoms
+      in
+      let* pair_sexps = Sexp.as_list pairs in
+      let* pairs =
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            let* pl = Sexp.as_list p in
+            match pl with
+            | [ a; v ] -> (
+                let* a = Sexp.as_atom a in
+                match Attr.of_string_opt a with
+                | None -> Error (Printf.sprintf "bad attribute %S" a)
+                | Some attr ->
+                    let* v = value_of_sexp v in
+                    Ok ((attr, v) :: acc))
+            | _ -> Error "malformed pair")
+          (Ok []) pair_sexps
+      in
+      if Oclass.Set.is_empty classes then Error "entry with no classes"
+      else Ok (Entry.make ~id ~rdn ~classes (List.rev pairs))
+  | _ -> Error "malformed entry"
+
+let sexp_of_instance inst =
+  let nodes = ref [] in
+  Instance.iter_preorder
+    (fun ~depth:_ e ->
+      let id = Entry.id e in
+      let parent = match Instance.parent inst id with Some p -> p | None -> -1 in
+      nodes :=
+        Sexp.list [ Sexp.atom "node"; Sexp.atom (string_of_int parent); sexp_of_entry e ]
+        :: !nodes)
+    inst;
+  Sexp.list (Sexp.atom "instance" :: List.rev !nodes)
+
+let instance_of_sexp s =
+  let* l = Sexp.as_list s in
+  match l with
+  | Sexp.Atom "instance" :: nodes ->
+      List.fold_left
+        (fun acc node ->
+          let* inst = acc in
+          let* nl = Sexp.as_list node in
+          match nl with
+          | [ Sexp.Atom "node"; parent; entry ] -> (
+              let* parent = Sexp.as_int parent in
+              let* e = entry_of_sexp entry in
+              let parent = if parent < 0 then None else Some parent in
+              match Instance.add ~parent e inst with
+              | Ok inst -> Ok inst
+              | Error err -> Error (Instance.error_to_string err))
+          | _ -> Error "malformed node")
+        (Ok Instance.empty) nodes
+  | _ -> Error "malformed instance"
+
+let sexp_of_op = function
+  | Update.Insert { parent; entry } ->
+      let parent = match parent with Some p -> p | None -> -1 in
+      Sexp.list
+        [ Sexp.atom "insert"; Sexp.atom (string_of_int parent); sexp_of_entry entry ]
+  | Update.Delete id -> Sexp.list [ Sexp.atom "delete"; Sexp.atom (string_of_int id) ]
+
+let op_of_sexp s =
+  let* l = Sexp.as_list s in
+  match l with
+  | [ Sexp.Atom "insert"; parent; entry ] ->
+      let* parent = Sexp.as_int parent in
+      let* entry = entry_of_sexp entry in
+      Ok (Update.Insert { parent = (if parent < 0 then None else Some parent); entry })
+  | [ Sexp.Atom "delete"; id ] ->
+      let* id = Sexp.as_int id in
+      Ok (Update.Delete id)
+  | _ -> Error "malformed op"
+
+let rec sexp_of_filter = function
+  | Filter.Present a -> Sexp.list [ Sexp.atom "present"; Sexp.atom (Attr.to_string a) ]
+  | Filter.Eq (a, v) ->
+      Sexp.list [ Sexp.atom "eq"; Sexp.atom (Attr.to_string a); Sexp.atom v ]
+  | Filter.Ge (a, v) ->
+      Sexp.list [ Sexp.atom "ge"; Sexp.atom (Attr.to_string a); Sexp.atom v ]
+  | Filter.Le (a, v) ->
+      Sexp.list [ Sexp.atom "le"; Sexp.atom (Attr.to_string a); Sexp.atom v ]
+  | Filter.Substr (a, { initial; any; final }) ->
+      let opt name = function
+        | None -> Sexp.list [ Sexp.atom name ]
+        | Some v -> Sexp.list [ Sexp.atom name; Sexp.atom v ]
+      in
+      Sexp.list
+        [
+          Sexp.atom "substr";
+          Sexp.atom (Attr.to_string a);
+          opt "initial" initial;
+          Sexp.list (Sexp.atom "any" :: List.map Sexp.atom any);
+          opt "final" final;
+        ]
+  | Filter.And fs -> Sexp.list (Sexp.atom "and" :: List.map sexp_of_filter fs)
+  | Filter.Or fs -> Sexp.list (Sexp.atom "or" :: List.map sexp_of_filter fs)
+  | Filter.Not f -> Sexp.list [ Sexp.atom "not"; sexp_of_filter f ]
+
+let attr_of_atom s =
+  let* a = Sexp.as_atom s in
+  match Attr.of_string_opt a with
+  | Some attr -> Ok attr
+  | None -> Error (Printf.sprintf "bad attribute %S" a)
+
+let rec filter_of_sexp s =
+  let* l = Sexp.as_list s in
+  let all_filters fs =
+    List.fold_left
+      (fun acc f ->
+        let* acc = acc in
+        let* f = filter_of_sexp f in
+        Ok (f :: acc))
+      (Ok []) fs
+    |> Result.map List.rev
+  in
+  match l with
+  | [ Sexp.Atom "present"; a ] ->
+      let* a = attr_of_atom a in
+      Ok (Filter.Present a)
+  | [ Sexp.Atom "eq"; a; v ] ->
+      let* a = attr_of_atom a in
+      let* v = Sexp.as_atom v in
+      Ok (Filter.Eq (a, v))
+  | [ Sexp.Atom "ge"; a; v ] ->
+      let* a = attr_of_atom a in
+      let* v = Sexp.as_atom v in
+      Ok (Filter.Ge (a, v))
+  | [ Sexp.Atom "le"; a; v ] ->
+      let* a = attr_of_atom a in
+      let* v = Sexp.as_atom v in
+      Ok (Filter.Le (a, v))
+  | [ Sexp.Atom "substr"; a; initial; any; final ] ->
+      let* a = attr_of_atom a in
+      let opt s =
+        let* l = Sexp.as_list s in
+        match l with
+        | [ Sexp.Atom _ ] -> Ok None
+        | [ Sexp.Atom _; v ] ->
+            let* v = Sexp.as_atom v in
+            Ok (Some v)
+        | _ -> Error "malformed substring component"
+      in
+      let* initial = opt initial in
+      let* final = opt final in
+      let* any_l = Sexp.as_list any in
+      let* any =
+        match any_l with
+        | Sexp.Atom "any" :: parts ->
+            List.fold_left
+              (fun acc p ->
+                let* acc = acc in
+                let* p = Sexp.as_atom p in
+                Ok (p :: acc))
+              (Ok []) parts
+            |> Result.map List.rev
+        | _ -> Error "malformed any-list"
+      in
+      Ok (Filter.Substr (a, { Filter.initial; any; final }))
+  | Sexp.Atom "and" :: fs ->
+      let* fs = all_filters fs in
+      Ok (Filter.And fs)
+  | Sexp.Atom "or" :: fs ->
+      let* fs = all_filters fs in
+      Ok (Filter.Or fs)
+  | [ Sexp.Atom "not"; f ] ->
+      let* f = filter_of_sexp f in
+      Ok (Filter.Not f)
+  | _ -> Error "malformed filter"
+
+let rec sexp_of_query = function
+  | Query.Select f -> Sexp.list [ Sexp.atom "select"; sexp_of_filter f ]
+  | Query.Minus (a, b) ->
+      Sexp.list [ Sexp.atom "minus"; sexp_of_query a; sexp_of_query b ]
+  | Query.Union (a, b) ->
+      Sexp.list [ Sexp.atom "union"; sexp_of_query a; sexp_of_query b ]
+  | Query.Inter (a, b) ->
+      Sexp.list [ Sexp.atom "inter"; sexp_of_query a; sexp_of_query b ]
+  | Query.Chi (ax, a, b) ->
+      Sexp.list
+        [
+          Sexp.atom "chi";
+          Sexp.atom (Query.axis_to_string ax);
+          sexp_of_query a;
+          sexp_of_query b;
+        ]
+
+let rec query_of_sexp s =
+  let* l = Sexp.as_list s in
+  match l with
+  | [ Sexp.Atom "select"; f ] ->
+      let* f = filter_of_sexp f in
+      Ok (Query.Select f)
+  | [ Sexp.Atom "minus"; a; b ] ->
+      let* a = query_of_sexp a in
+      let* b = query_of_sexp b in
+      Ok (Query.Minus (a, b))
+  | [ Sexp.Atom "union"; a; b ] ->
+      let* a = query_of_sexp a in
+      let* b = query_of_sexp b in
+      Ok (Query.Union (a, b))
+  | [ Sexp.Atom "inter"; a; b ] ->
+      let* a = query_of_sexp a in
+      let* b = query_of_sexp b in
+      Ok (Query.Inter (a, b))
+  | [ Sexp.Atom "chi"; ax; a; b ] ->
+      let* ax = Sexp.as_atom ax in
+      let* ax = Query.axis_of_string ax in
+      let* a = query_of_sexp a in
+      let* b = query_of_sexp b in
+      Ok (Query.Chi (ax, a, b))
+  | _ -> Error "malformed query"
+
+let to_string c =
+  let fields = ref [] in
+  let add s = fields := s :: !fields in
+  (match c.text with
+  | Some t -> add (Sexp.list [ Sexp.atom "text"; Sexp.atom t ])
+  | None -> ());
+  (match c.filter with
+  | Some f -> add (Sexp.list [ Sexp.atom "filter"; sexp_of_filter f ])
+  | None -> ());
+  (match c.query with
+  | Some q -> add (Sexp.list [ Sexp.atom "query"; sexp_of_query q ])
+  | None -> ());
+  if c.ops <> [] then add (Sexp.list (Sexp.atom "ops" :: List.map sexp_of_op c.ops));
+  (match c.instance with
+  | Some inst -> add (sexp_of_instance inst)
+  | None -> ());
+  (match c.schema with
+  | Some s ->
+      add (Sexp.list [ Sexp.atom "schema"; Sexp.atom (Spec_printer.to_string s) ])
+  | None -> ());
+  add (Sexp.list [ Sexp.atom "seed"; Sexp.atom (string_of_int c.seed) ]);
+  add (Sexp.list [ Sexp.atom "oracle"; Sexp.atom c.oracle ]);
+  Sexp.to_string (Sexp.list (Sexp.atom "case" :: !fields)) ^ "\n"
+
+let of_string s =
+  let* v = Sexp.parse (String.trim s) in
+  let* l = Sexp.as_list v in
+  match l with
+  | Sexp.Atom "case" :: fields ->
+      let case =
+        ref
+          {
+            oracle = "";
+            seed = 0;
+            schema = None;
+            instance = None;
+            ops = [];
+            query = None;
+            filter = None;
+            text = None;
+          }
+      in
+      let* () =
+        List.fold_left
+          (fun acc field ->
+            let* () = acc in
+            let* fl = Sexp.as_list field in
+            match fl with
+            | [ Sexp.Atom "oracle"; o ] ->
+                let* o = Sexp.as_atom o in
+                case := { !case with oracle = o };
+                Ok ()
+            | [ Sexp.Atom "seed"; n ] ->
+                let* n = Sexp.as_int n in
+                case := { !case with seed = n };
+                Ok ()
+            | [ Sexp.Atom "schema"; text ] -> (
+                let* text = Sexp.as_atom text in
+                match Spec_parser.parse text with
+                | Ok schema ->
+                    case := { !case with schema = Some schema };
+                    Ok ()
+                | Error e ->
+                    Error ("embedded schema: " ^ Spec_parser.error_to_string e))
+            | Sexp.Atom "instance" :: _ ->
+                let* inst = instance_of_sexp field in
+                case := { !case with instance = Some inst };
+                Ok ()
+            | Sexp.Atom "ops" :: ops ->
+                let* ops =
+                  List.fold_left
+                    (fun acc op ->
+                      let* acc = acc in
+                      let* op = op_of_sexp op in
+                      Ok (op :: acc))
+                    (Ok []) ops
+                  |> Result.map List.rev
+                in
+                case := { !case with ops };
+                Ok ()
+            | [ Sexp.Atom "query"; q ] ->
+                let* q = query_of_sexp q in
+                case := { !case with query = Some q };
+                Ok ()
+            | [ Sexp.Atom "filter"; f ] ->
+                let* f = filter_of_sexp f in
+                case := { !case with filter = Some f };
+                Ok ()
+            | [ Sexp.Atom "text"; t ] ->
+                let* t = Sexp.as_atom t in
+                case := { !case with text = Some t };
+                Ok ()
+            | Sexp.Atom other :: _ -> Error (Printf.sprintf "unknown field %S" other)
+            | _ -> Error "malformed field")
+          (Ok ()) fields
+      in
+      if !case.oracle = "" then Error "case without an oracle name" else Ok !case
+  | _ -> Error "expected (case ...)"
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>oracle: %s (seed %d)" c.oracle c.seed;
+  (match c.schema with
+  | Some s ->
+      Format.fprintf ppf "@,schema:@,  @[<v>%a@]" Fmt.lines (Spec_printer.to_string s)
+  | None -> ());
+  (match c.instance with
+  | Some inst -> Format.fprintf ppf "@,instance (%d entries):@,  @[<v>%a@]" (Instance.size inst) Instance.pp inst
+  | None -> ());
+  if c.ops <> [] then begin
+    Format.fprintf ppf "@,ops:";
+    List.iter (fun op -> Format.fprintf ppf "@,  %a" Update.pp_op op) c.ops
+  end;
+  (match c.query with
+  | Some q -> Format.fprintf ppf "@,query: %s" (Query.to_string q)
+  | None -> ());
+  (match c.filter with
+  | Some f -> Format.fprintf ppf "@,filter: %s" (Filter.to_string f)
+  | None -> ());
+  (match c.text with
+  | Some t -> Format.fprintf ppf "@,text: %S" t
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,596 @@
+open Bounds_model
+open Bounds_core
+open Bounds_query
+open Bounds_codec
+module Gen = Bounds_workload.Gen
+module Pool = Bounds_par.Pool
+
+type outcome = Agree | Disagree of string
+
+type t = {
+  name : string;
+  doc : string;
+  generate : seed:int -> Random.State.t -> Case.t;
+  check : Case.t -> outcome;
+}
+
+(* --- plumbing ----------------------------------------------------------- *)
+
+let sub rng = Random.State.int rng 0x3FFFFFFF
+
+(* Checkers are total: a crash in either engine under comparison is a
+   discrepancy, not a harness failure. *)
+let total f c =
+  try f c with e -> Disagree ("exception escaped: " ^ Printexc.to_string e)
+
+let with_instance c f =
+  match c.Case.instance with Some i -> f i | None -> Agree
+
+let with_text c f = match c.Case.text with Some t -> f t | None -> Agree
+let with_query c f = match c.Case.query with Some q -> f q | None -> Agree
+let with_filter c f = match c.Case.filter with Some fl -> f fl | None -> Agree
+let with_schema c f = match c.Case.schema with Some s -> f s | None -> Agree
+
+let disagreef fmt = Printf.ksprintf (fun m -> Disagree m) fmt
+
+let pp_ids ids =
+  "[" ^ String.concat " " (List.map string_of_int ids) ^ "]"
+
+let pp_violations vs =
+  match vs with
+  | [] -> "(none)"
+  | _ -> String.concat "; " (List.map Violation.to_string vs)
+
+(* --- independent strict base64 (the reference side of the b64 oracles) -- *)
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let ref_b64_encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let emit i = Buffer.add_char buf b64_alphabet.[i] in
+  let rec go i =
+    if i + 3 <= n then begin
+      let a = Char.code s.[i] and b = Char.code s.[i + 1] and c = Char.code s.[i + 2] in
+      emit (a lsr 2);
+      emit (((a land 3) lsl 4) lor (b lsr 4));
+      emit (((b land 15) lsl 2) lor (c lsr 6));
+      emit (c land 63);
+      go (i + 3)
+    end
+    else if i + 2 = n then begin
+      let a = Char.code s.[i] and b = Char.code s.[i + 1] in
+      emit (a lsr 2);
+      emit (((a land 3) lsl 4) lor (b lsr 4));
+      emit ((b land 15) lsl 2);
+      Buffer.add_char buf '='
+    end
+    else if i + 1 = n then begin
+      let a = Char.code s.[i] in
+      emit (a lsr 2);
+      emit ((a land 3) lsl 4);
+      Buffer.add_string buf "=="
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* Strict decode: alphabet bytes only, length a multiple of four, '=' only
+   in the final one or two positions.  Deliberately does {e not} insist on
+   zeroed leftover bits — the codec under test is allowed to accept
+   non-canonical final sextets, it may not accept structural damage. *)
+let ref_b64_decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "length not a multiple of 4"
+  else
+    let pad =
+      if n = 0 then 0
+      else if s.[n - 1] = '=' then if s.[n - 2] = '=' then 2 else 1
+      else 0
+    in
+    let bad = ref None in
+    String.iteri
+      (fun i c ->
+        if !bad = None then
+          if i < n - pad then (
+            if not (String.contains b64_alphabet c) then
+              bad := Some (Printf.sprintf "byte %d: %C not in alphabet" i c))
+          else if c <> '=' then
+            bad := Some (Printf.sprintf "byte %d: expected padding" i))
+      s;
+    match !bad with
+    | Some m -> Error m
+    | None ->
+        let v c = String.index b64_alphabet c in
+        let buf = Buffer.create (n / 4 * 3) in
+        let rec go i =
+          if i < n then begin
+            let a = v s.[i] and b = v s.[i + 1] in
+            Buffer.add_char buf (Char.chr ((a lsl 2) lor (b lsr 4)));
+            if s.[i + 2] <> '=' then begin
+              let c = v s.[i + 2] in
+              Buffer.add_char buf (Char.chr (((b land 15) lsl 4) lor (c lsr 2)));
+              if s.[i + 3] <> '=' then begin
+                let d = v s.[i + 3] in
+                Buffer.add_char buf (Char.chr (((c land 3) lsl 6) lor d))
+              end
+            end;
+            go (i + 4)
+          end
+        in
+        go 0;
+        Ok (Buffer.contents buf)
+
+(* --- adversarial text generators ---------------------------------------- *)
+
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+let b64ish_chars = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/= \n."
+
+let random_bytes rng =
+  String.init (Random.State.int rng 10) (fun _ -> Char.chr (Random.State.int rng 256))
+
+let b64_text rng =
+  match Random.State.int rng 4 with
+  | 0 -> ref_b64_encode (random_bytes rng)
+  | 1 ->
+      (* mutate a valid encoding *)
+      let s = ref_b64_encode (random_bytes rng) in
+      let s = Bytes.of_string s in
+      if Bytes.length s = 0 then "="
+      else begin
+        let i = Random.State.int rng (Bytes.length s) in
+        (match Random.State.int rng 3 with
+        | 0 -> Bytes.set s i '='
+        | 1 -> Bytes.set s i b64ish_chars.[Random.State.int rng (String.length b64ish_chars)]
+        | _ -> ());
+        let s = Bytes.to_string s in
+        if Random.State.bool rng then s
+        else String.sub s 0 (Random.State.int rng (String.length s))
+      end
+  | _ ->
+      String.init
+        (Random.State.int rng 13)
+        (fun _ -> b64ish_chars.[Random.State.int rng (String.length b64ish_chars)])
+
+let pattern_fragments =
+  [| "*"; "**"; "a"; "b"; "xy"; {|\2a|}; {|\28|}; {|\29|}; {|\5c|}; {|\*|}; "*a"; "a*"; "" |]
+
+let filter_attrs = [| "a"; "b"; "cn"; "mail" |]
+
+let rec filter_text ~depth rng =
+  let attr () = pick rng filter_attrs in
+  let pat () =
+    String.concat "" (List.init (1 + Random.State.int rng 3) (fun _ -> pick rng pattern_fragments))
+  in
+  if depth = 0 || Random.State.int rng 3 > 0 then
+    match Random.State.int rng 4 with
+    | 0 -> Printf.sprintf "(%s=*)" (attr ())
+    | 1 -> Printf.sprintf "(%s=%s)" (attr ()) (pat ())
+    | 2 -> Printf.sprintf "(%s>=%s)" (attr ()) (pat ())
+    | _ -> Printf.sprintf "(%s<=%s)" (attr ()) (pat ())
+  else
+    match Random.State.int rng 3 with
+    | 0 ->
+        let n = 1 + Random.State.int rng 2 in
+        Printf.sprintf "(&%s)"
+          (String.concat "" (List.init n (fun _ -> filter_text ~depth:(depth - 1) rng)))
+    | 1 ->
+        let n = 1 + Random.State.int rng 2 in
+        Printf.sprintf "(|%s)"
+          (String.concat "" (List.init n (fun _ -> filter_text ~depth:(depth - 1) rng)))
+    | _ -> Printf.sprintf "(!%s)" (filter_text ~depth:(depth - 1) rng)
+
+(* --- instance canonicalization (id-insensitive) ------------------------- *)
+
+let canon inst =
+  List.sort compare
+    (Instance.fold
+       (fun e acc ->
+         ( String.lowercase_ascii (Instance.dn inst (Entry.id e)),
+           List.sort compare
+             (List.map Oclass.to_string (Oclass.Set.elements (Entry.classes e))),
+           List.sort compare
+             (List.map
+                (fun (a, v) -> (Attr.to_string a, Value.to_string v))
+                (Entry.stored_pairs e)) )
+         :: acc)
+       inst [])
+
+let first_canon_diff c1 c2 =
+  let rec go l1 l2 =
+    match (l1, l2) with
+    | [], [] -> "equal"
+    | x :: _, [] -> Printf.sprintf "only left has dn %S" (let d, _, _ = x in d)
+    | [], y :: _ -> Printf.sprintf "only right has dn %S" (let d, _, _ = y in d)
+    | x :: t1, y :: t2 ->
+        if x = y then go t1 t2
+        else
+          let d1, cs1, ps1 = x and d2, cs2, ps2 = y in
+          if d1 <> d2 then Printf.sprintf "dn %S vs %S" d1 d2
+          else if cs1 <> cs2 then Printf.sprintf "classes differ at dn %S" d1
+          else
+            let p1 = List.filter (fun p -> not (List.mem p ps2)) ps1
+            and p2 = List.filter (fun p -> not (List.mem p ps1)) ps2 in
+            Printf.sprintf "pairs differ at dn %S: left-only %s, right-only %s" d1
+              (String.concat ", "
+                 (List.map (fun (a, v) -> Printf.sprintf "%s=%S" a v) p1))
+              (String.concat ", "
+                 (List.map (fun (a, v) -> Printf.sprintf "%s=%S" a v) p2))
+  in
+  go c1 c2
+
+(* --- the oracles -------------------------------------------------------- *)
+
+let small_instance rng =
+  Gen.adversarial_forest ~seed:(sub rng) ~size:(1 + Random.State.int rng 7) ()
+
+let ldif_roundtrip =
+  {
+    name = "ldif-roundtrip";
+    doc = "Ldif.parse ∘ Ldif.to_string preserves the instance (RFC 2849)";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"ldif-roundtrip" ~seed
+          ~instance:(small_instance rng) ());
+    check =
+      total (fun c ->
+          with_instance c (fun inst ->
+              let text = Ldif.to_string inst in
+              match Ldif.parse ~typing:Typing.default text with
+              | Error e ->
+                  disagreef "printed LDIF does not parse back: %s"
+                    (Ldif.error_to_string e)
+              | Ok inst' ->
+                  let a = canon inst and b = canon inst' in
+                  if a = b then Agree
+                  else disagreef "instance lost in round-trip: %s" (first_canon_diff a b)));
+  }
+
+let b64_strict =
+  {
+    name = "b64-strict";
+    doc = "Ldif.b64_decode agrees with an independent strict RFC 4648 decoder";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"b64-strict" ~seed ~text:(b64_text rng) ());
+    check =
+      total (fun c ->
+          with_text c (fun t ->
+              let lenient =
+                match Ldif.b64_decode t with
+                | v -> Ok v
+                | exception Invalid_argument m -> Error m
+              in
+              match (lenient, ref_b64_decode t) with
+              | Ok a, Ok b when String.equal a b -> Agree
+              | Error _, Error _ -> Agree
+              | Ok a, Ok b -> disagreef "decoders differ on %S: %S vs %S" t a b
+              | Ok a, Error m ->
+                  disagreef "codec accepts %S -> %S; strict reference rejects (%s)" t a m
+              | Error m, Ok b ->
+                  disagreef "codec rejects %S (%s); strict reference decodes %S" t m b));
+  }
+
+let b64_roundtrip =
+  {
+    name = "b64-roundtrip";
+    doc = "b64_decode ∘ b64_encode is the identity and encodings are canonical";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"b64-roundtrip" ~seed ~text:(random_bytes rng) ());
+    check =
+      total (fun c ->
+          with_text c (fun bytes ->
+              let enc = Ldif.b64_encode bytes in
+              let ref_enc = ref_b64_encode bytes in
+              if not (String.equal enc ref_enc) then
+                disagreef "encoders differ on %S: %S vs %S" bytes enc ref_enc
+              else
+                match Ldif.b64_decode enc with
+                | dec when String.equal dec bytes -> Agree
+                | dec -> disagreef "decode(encode %S) = %S" bytes dec
+                | exception Invalid_argument m ->
+                    disagreef "decode rejects own encoding %S: %s" enc m));
+  }
+
+let filter_roundtrip =
+  {
+    name = "filter-roundtrip";
+    doc = "Filter_parser.parse ∘ Filter.to_string is the identity on ASTs";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"filter-roundtrip" ~seed
+          ~filter:(Gen.random_filter ~depth:(1 + Random.State.int rng 3) rng)
+          ());
+    check =
+      total (fun c ->
+          with_filter c (fun f ->
+              let text = Filter.to_string f in
+              match Filter_parser.parse text with
+              | Error m -> disagreef "printed filter %S does not parse: %s" text m
+              | Ok f' ->
+                  if Filter.equal f f' then Agree
+                  else
+                    disagreef "filter changed in round-trip: %S reparses as %S" text
+                      (Filter.to_string f')));
+  }
+
+let filter_text =
+  {
+    name = "filter-text";
+    doc = "parse ∘ print ∘ parse is stable on adversarial filter texts";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"filter-text" ~seed
+          ~text:(filter_text ~depth:2 rng) ());
+    check =
+      total (fun c ->
+          with_text c (fun t ->
+              match Filter_parser.parse t with
+              | Error _ -> Agree (* rejecting junk is fine; losing data is not *)
+              | Ok f -> (
+                  let printed = Filter.to_string f in
+                  match Filter_parser.parse printed with
+                  | Error m ->
+                      disagreef "%S parses, but its printed form %S does not: %s" t
+                        printed m
+                  | Ok f' ->
+                      if Filter.equal f f' then Agree
+                      else
+                        disagreef "%S -> %S -> %S: AST changed" t printed
+                          (Filter.to_string f'))));
+  }
+
+let query_roundtrip =
+  {
+    name = "query-roundtrip";
+    doc = "Query_parser.parse ∘ Query.to_string is the identity on ASTs";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"query-roundtrip" ~seed
+          ~query:(Gen.random_query ~depth:(1 + Random.State.int rng 2) rng)
+          ());
+    check =
+      total (fun c ->
+          with_query c (fun q ->
+              let text = Query.to_string q in
+              match Query_parser.parse text with
+              | Error m -> disagreef "printed query %S does not parse: %s" text m
+              | Ok q' ->
+                  if Query.equal q q' then Agree
+                  else
+                    disagreef "query changed in round-trip: %S reparses as %S" text
+                      (Query.to_string q')));
+  }
+
+let spec_roundtrip =
+  {
+    name = "spec-roundtrip";
+    doc = "Spec_parser.parse ∘ Spec_printer.to_string is the identity on schemas";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"spec-roundtrip" ~seed
+          ~schema:(Gen.random_schema_rich ~seed:(sub rng) ()) ());
+    check =
+      total (fun c ->
+          with_schema c (fun s ->
+              let text = Spec_printer.to_string s in
+              match Spec_parser.parse text with
+              | Error e ->
+                  disagreef "printed spec does not parse: %s"
+                    (Spec_parser.error_to_string e)
+              | Ok s' ->
+                  if Schema.equal s s' then Agree
+                  else Disagree "schema changed in print/parse round-trip"));
+  }
+
+let eval_vs_naive =
+  {
+    name = "eval-vs-naive";
+    doc = "indexed Eval agrees with the specification interpreter Naive_eval";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"eval-vs-naive" ~seed
+          ~instance:(small_instance rng)
+          ~query:(Gen.random_query ~depth:(1 + Random.State.int rng 2) rng)
+          ());
+    check =
+      total (fun c ->
+          with_instance c (fun inst ->
+              with_query c (fun q ->
+                  let ix = Index.create inst in
+                  let a = List.sort compare (Eval.eval_ids ix q) in
+                  let b = List.sort compare (Naive_eval.eval inst q) in
+                  if a = b then Agree
+                  else
+                    disagreef "eval %s vs naive %s on %s" (pp_ids a) (pp_ids b)
+                      (Query.to_string q))));
+  }
+
+let legality_case name ~seed rng =
+  let schema = Gen.random_schema_rich ~seed:(sub rng) () in
+  let instance =
+    Gen.mutated_forest
+      ~counter:(ref 0)
+      ~seed:(sub rng)
+      ~size:(2 + Random.State.int rng 8)
+      schema
+  in
+  Case.make ~oracle:name ~seed ~schema ~instance ()
+
+let check_legality ~extensions c =
+  with_schema c (fun s ->
+      with_instance c (fun inst ->
+          let a = List.sort Violation.compare (Legality.check ~extensions s inst) in
+          let b =
+            List.sort Violation.compare (Naive_legality.check ~extensions s inst)
+          in
+          if List.equal Violation.equal a b then Agree
+          else
+            disagreef "engine: %s / naive: %s" (pp_violations a) (pp_violations b)))
+
+let legality_vs_naive =
+  {
+    name = "legality-vs-naive";
+    doc = "linear Legality agrees with quadratic Naive_legality (with §6.1 extensions)";
+    generate = (fun ~seed rng -> legality_case "legality-vs-naive" ~seed rng);
+    check = total (check_legality ~extensions:true);
+  }
+
+let legality_noext_vs_naive =
+  {
+    name = "legality-noext-vs-naive";
+    doc = "Legality agrees with Naive_legality (core Definition 2.6 only)";
+    generate =
+      (fun ~seed rng -> legality_case "legality-noext-vs-naive" ~seed rng);
+    check = total (check_legality ~extensions:false);
+  }
+
+let monitor_case name ~seed rng =
+  let schema = Gen.random_schema_rich ~seed:(sub rng) () in
+  let counter = ref 0 in
+  let instance =
+    Gen.content_legal_forest ~counter ~seed:(sub rng)
+      ~size:(2 + Random.State.int rng 6)
+      schema
+  in
+  let ops =
+    Gen.random_ops ~counter ~seed:(sub rng) ~n:(1 + Random.State.int rng 5) schema
+      instance
+  in
+  Case.make ~oracle:name ~seed ~schema ~instance ~ops ()
+
+let monitor_vs_recheck =
+  {
+    name = "monitor-vs-recheck";
+    doc = "incremental Monitor agrees with per-step full recheck (Transaction.check)";
+    generate = (fun ~seed rng -> monitor_case "monitor-vs-recheck" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  match Monitor.create schema inst with
+                  | Error _ ->
+                      if Naive_legality.check schema inst = [] then
+                        Disagree "Monitor.create rejects a naive-legal instance"
+                      else Agree (* illegal start: out of the monitor's contract *)
+                  | Ok m -> (
+                      if Naive_legality.check schema inst <> [] then
+                        Disagree "Monitor.create accepts a naive-illegal instance"
+                      else
+                        match (Monitor.apply c.Case.ops m, Transaction.check schema inst c.Case.ops) with
+                        | Ok m', Ok final ->
+                            if Instance.equal (Monitor.instance m') final then Agree
+                            else Disagree "both accept but final instances differ"
+                        | Error (Monitor.Bad_ops a), Error (Transaction.Bad_ops b) ->
+                            if String.equal a b then Agree
+                            else disagreef "Bad_ops messages differ: %S vs %S" a b
+                        | ( Error (Monitor.Illegal { step = s1; violations = v1 }),
+                            Error (Transaction.Illegal { step = s2; violations = v2; _ }) ) ->
+                            let v1 = List.sort Violation.compare v1
+                            and v2 = List.sort Violation.compare v2 in
+                            if s1 = s2 && List.equal Violation.equal v1 v2 then Agree
+                            else
+                              disagreef
+                                "rejections differ: monitor step %d (%s) vs recheck step %d (%s)"
+                                s1 (pp_violations v1) s2 (pp_violations v2)
+                        | Ok _, Error r ->
+                            disagreef "monitor accepts, recheck rejects: %s"
+                              (Format.asprintf "%a" Transaction.pp_rejection r)
+                        | Error r, Ok _ ->
+                            disagreef "monitor rejects (%s), recheck accepts"
+                              (Format.asprintf "%a" Monitor.pp_rejection r)
+                        | Error r1, Error r2 ->
+                            disagreef "rejection kinds differ: %s vs %s"
+                              (Format.asprintf "%a" Monitor.pp_rejection r1)
+                              (Format.asprintf "%a" Transaction.pp_rejection r2)))));
+  }
+
+let txn_witness =
+  {
+    name = "txn-witness";
+    doc = "an accepted transaction's final instance is naive-legal";
+    generate = (fun ~seed rng -> monitor_case "txn-witness" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  (* The Theorem 4.1 contract starts from a legal instance;
+                     from an illegal one a net-empty transaction is
+                     (correctly) accepted without repairing anything. *)
+                  if Naive_legality.check schema inst <> [] then Agree
+                  else
+                  match Transaction.check schema inst c.Case.ops with
+                  | Error _ -> Agree
+                  | Ok final ->
+                      let vs = Naive_legality.check schema final in
+                      if vs = [] then Agree
+                      else
+                        disagreef "accepted transaction yields illegal instance: %s"
+                          (pp_violations vs))));
+  }
+
+let par_vs_seq_legality =
+  {
+    name = "par-vs-seq-legality";
+    doc = "pooled Legality.check is bit-identical to the sequential engine";
+    generate =
+      (fun ~seed rng -> legality_case "par-vs-seq-legality" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun s ->
+              with_instance c (fun inst ->
+                  Pool.with_pool ~domains:2 (fun pool ->
+                      let a = Legality.check ~pool s inst in
+                      let b = Legality.check s inst in
+                      if List.equal Violation.equal a b then Agree
+                      else
+                        disagreef "parallel: %s / sequential: %s" (pp_violations a)
+                          (pp_violations b)))));
+  }
+
+let par_vs_seq_eval =
+  {
+    name = "par-vs-seq-eval";
+    doc = "pooled index build + Eval is bit-identical to the sequential path";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"par-vs-seq-eval" ~seed
+          ~instance:(small_instance rng)
+          ~query:(Gen.random_query ~depth:(1 + Random.State.int rng 2) rng)
+          ());
+    check =
+      total (fun c ->
+          with_instance c (fun inst ->
+              with_query c (fun q ->
+                  Pool.with_pool ~domains:2 (fun pool ->
+                      let a = Eval.eval_ids ~pool (Index.create ~pool inst) q in
+                      let b = Eval.eval_ids (Index.create inst) q in
+                      if a = b then Agree
+                      else disagreef "parallel %s vs sequential %s" (pp_ids a) (pp_ids b)))));
+  }
+
+let all =
+  [
+    ldif_roundtrip;
+    b64_strict;
+    b64_roundtrip;
+    filter_roundtrip;
+    filter_text;
+    query_roundtrip;
+    spec_roundtrip;
+    eval_vs_naive;
+    legality_vs_naive;
+    legality_noext_vs_naive;
+    monitor_vs_recheck;
+    txn_witness;
+    par_vs_seq_legality;
+    par_vs_seq_eval;
+  ]
+
+let names = List.map (fun o -> o.name) all
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let disagrees o c = match o.check c with Disagree _ -> true | Agree -> false

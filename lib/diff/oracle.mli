@@ -1,0 +1,30 @@
+(** The oracle registry: named pairs of independently-implemented
+    behaviours that must agree.
+
+    Each oracle bundles a generator (fresh random case from a seeded
+    state), a deterministic checker (does the case expose a
+    discrepancy?), and documentation.  The checker is total: crashes in
+    either implementation under comparison are reported as
+    discrepancies, not propagated. *)
+
+type outcome =
+  | Agree
+  | Disagree of string
+      (** human-readable account of the discrepancy, shown (with the
+          shrunk case) in fuzz reports *)
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description, shown by [ldapschema fuzz --list] *)
+  generate : seed:int -> Random.State.t -> Case.t;
+  check : Case.t -> outcome;
+}
+
+(** All registered oracles, in registration order. *)
+val all : t list
+
+val names : string list
+val find : string -> t option
+
+(** [disagrees o c] — [check] as a shrinker predicate. *)
+val disagrees : t -> Case.t -> bool

@@ -1,0 +1,144 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let bare_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '=' | '+' | ':'
+  | '/' | ';' | '!' | '?' | '@' | '*' | '<' | '>' | ',' ->
+      true
+  | _ -> false
+
+let needs_quoting s = s = "" || not (String.for_all bare_char s)
+
+(* OCaml-style escapes: what [String.escaped] emits, decoded back by
+   [unescape] below.  Quoted atoms therefore carry arbitrary bytes. *)
+let rec write buf = function
+  | Atom s ->
+      if needs_quoting s then (
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (String.escaped s);
+        Buffer.add_char buf '"')
+      else Buffer.add_string buf s
+  | List l ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ' ';
+          write buf s)
+        l;
+      Buffer.add_char buf ')'
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  write buf s;
+  Buffer.contents buf
+
+exception Err of string
+
+type state = { src : string; mutable pos : int }
+
+let err st fmt =
+  Printf.ksprintf (fun m -> raise (Err (Printf.sprintf "offset %d: %s" st.pos m))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let digit c = Char.code c - Char.code '0'
+
+let read_quoted st =
+  st.pos <- st.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> err st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | None -> err st "dangling backslash"
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; go ()
+        | Some ('0' .. '9') ->
+            if st.pos + 2 >= String.length st.src then err st "truncated escape";
+            let c1 = st.src.[st.pos]
+            and c2 = st.src.[st.pos + 1]
+            and c3 = st.src.[st.pos + 2] in
+            (match (c2, c3) with
+            | '0' .. '9', '0' .. '9' ->
+                let n = (digit c1 * 100) + (digit c2 * 10) + digit c3 in
+                if n > 255 then err st "escape out of range";
+                Buffer.add_char buf (Char.chr n);
+                st.pos <- st.pos + 3
+            | _ -> err st "malformed decimal escape");
+            go ()
+        | Some c -> Buffer.add_char buf c; st.pos <- st.pos + 1; go ())
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec read st =
+  skip_ws st;
+  match peek st with
+  | None -> err st "unexpected end of input"
+  | Some '(' ->
+      st.pos <- st.pos + 1;
+      let rec go acc =
+        skip_ws st;
+        match peek st with
+        | None -> err st "unclosed '('"
+        | Some ')' ->
+            st.pos <- st.pos + 1;
+            List (List.rev acc)
+        | Some _ -> go (read st :: acc)
+      in
+      go []
+  | Some ')' -> err st "unexpected ')'"
+  | Some '"' -> Atom (read_quoted st)
+  | Some _ ->
+      let start = st.pos in
+      while (match peek st with Some c when bare_char c -> true | _ -> false) do
+        st.pos <- st.pos + 1
+      done;
+      if st.pos = start then err st "unexpected character %C" st.src.[st.pos];
+      Atom (String.sub st.src start (st.pos - start))
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  try
+    let v = read st in
+    skip_ws st;
+    if st.pos <> String.length s then Error (Printf.sprintf "trailing input at offset %d" st.pos)
+    else Ok v
+  with Err m -> Error m
+
+let parse_exn s = match parse s with Ok v -> v | Error m -> failwith m
+
+let as_atom = function
+  | Atom s -> Ok s
+  | List _ -> Error "expected an atom, got a list"
+
+let as_list = function
+  | List l -> Ok l
+  | Atom a -> Error (Printf.sprintf "expected a list, got atom %S" a)
+
+let as_int s =
+  match as_atom s with
+  | Error _ as e -> e
+  | Ok a -> (
+      match int_of_string_opt a with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "expected an integer, got %S" a))

@@ -1,0 +1,26 @@
+(** Minimal s-expressions for the regression corpus.
+
+    The corpus must encode counterexamples {e faithfully} — in particular
+    more faithfully than the text formats under test (a filter that the
+    filter printer renders lossily still needs an exact on-disk form).
+    Atoms are printed bare when they are safe identifiers and as quoted
+    strings with OCaml-style escapes otherwise, so arbitrary bytes
+    round-trip. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+(** [to_string s] — single-line rendering; [parse] inverts it for any
+    value, including atoms holding arbitrary bytes. *)
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+(** Decoding helpers used by the case codec. *)
+val as_atom : t -> (string, string) result
+
+val as_list : t -> (t list, string) result
+val as_int : t -> (int, string) result

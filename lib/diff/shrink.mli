@@ -1,0 +1,19 @@
+(** Greedy counterexample minimization.
+
+    [minimize ~still_fails case] repeatedly proposes strictly-smaller
+    variants of [case] — dropping instance subtrees, entry pairs and
+    classes, transaction ops, schema constraints, query/filter subterms,
+    and text chunks — keeping any variant for which [still_fails] holds,
+    until no proposal reproduces the failure (a local minimum) or the
+    test budget runs out.
+
+    Progress is measured lexicographically by {!Case.size} and then by
+    total embedded string length, so every accepted step strictly
+    decreases the measure and the loop terminates even without a budget. *)
+
+val minimize :
+  ?max_tests:int -> still_fails:(Case.t -> bool) -> Case.t -> Case.t
+
+(** Number of [still_fails] evaluations in the last [minimize] call
+    (exposed for reporting and tests). *)
+val last_tests : unit -> int

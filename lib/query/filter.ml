@@ -83,12 +83,15 @@ let rec size = function
   | And fs | Or fs -> 1 + List.fold_left (fun n f -> n + size f) 0 fs
   | Not f -> 1 + size f
 
+(* RFC 2254 escaping: specials become a backslash and two hex digits, so
+   the printed form survives a reparse byte-for-byte. *)
 let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
     (fun c ->
       match c with
-      | '(' | ')' | '*' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | '(' | ')' | '*' | '\\' | '\000' ->
+          Buffer.add_string buf (Printf.sprintf "\\%02x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf

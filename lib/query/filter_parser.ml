@@ -24,9 +24,17 @@ let expect st c =
   | Some c' -> error st "expected %c, found %c" c c'
   | None -> error st "expected %c, found end of input" c
 
+let hex_digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
 (* A pattern is the text between '=' and ')'; '*' splits substring
-   components; backslash escapes literal characters. Returns the components
-   with a flag marking where stars were. *)
+   components.  Escapes follow RFC 2254: a backslash names a byte by two
+   hex digits ([\2a] is '*').  A backslash before a non-hex-pair still
+   escapes that single character, for compatibility with the pre-RFC
+   form. Returns the components with a flag marking where stars were. *)
 let read_pattern st =
   let buf = Buffer.create 16 in
   let parts = ref [] in
@@ -44,10 +52,22 @@ let read_pattern st =
     | Some '\\' ->
         st.pos <- st.pos + 1;
         (match peek st with
-        | Some c ->
-            Buffer.add_char buf c;
-            st.pos <- st.pos + 1
-        | None -> error st "dangling backslash");
+        | None -> error st "dangling backslash"
+        | Some c1 ->
+            let hex =
+              if st.pos + 1 < String.length st.src then
+                match (hex_digit c1, hex_digit st.src.[st.pos + 1]) with
+                | Some h, Some l -> Some (Char.chr ((h lsl 4) lor l))
+                | _ -> None
+              else None
+            in
+            (match hex with
+            | Some byte ->
+                Buffer.add_char buf byte;
+                st.pos <- st.pos + 2
+            | None ->
+                Buffer.add_char buf c1;
+                st.pos <- st.pos + 1));
         go ()
     | Some '(' -> error st "unescaped '(' in value"
     | Some c ->
@@ -121,7 +141,6 @@ and parse_simple st =
       st.pos <- st.pos + 1;
       match read_pattern st with
       | [ v ] -> Filter.Eq (attr, v)
-      | [ ""; "" ] -> Filter.Present attr
       | parts ->
           (* first part is initial (may be empty), last is final *)
           let rec split_last = function
@@ -140,7 +159,13 @@ and parse_simple st =
           let any, final = split_last rest in
           let final = if final = "" then None else Some final in
           let any = List.filter (fun s -> s <> "") any in
-          Filter.Substr (attr, { initial; any; final }))
+          match (initial, any, final) with
+          | None, [], None ->
+              (* all components empty — one or more bare stars assert no
+                 substring constraint at all, i.e. plain presence; the
+                 degenerate Substr node would be unprintable *)
+              Filter.Present attr
+          | _ -> Filter.Substr (attr, { initial; any; final }))
   | _ -> error st "expected '=', '>=' or '<='"
 
 let parse s =

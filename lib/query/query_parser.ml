@@ -60,8 +60,25 @@ let read_quoted st =
         | None -> error st "unterminated string"
         | Some '"' -> st.pos <- st.pos + 1
         | Some '\\' ->
+            (* the printer quotes with OCaml's %S: decode its escapes *)
             st.pos <- st.pos + 1;
             (match peek st with
+            | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1
+            | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1
+            | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1
+            | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1
+            | Some ('0' .. '9') when st.pos + 2 < String.length st.src ->
+                let digit i =
+                  match st.src.[i] with
+                  | '0' .. '9' as c -> Char.code c - Char.code '0'
+                  | _ -> error st "expected three decimal digits after backslash"
+                in
+                let code =
+                  (100 * digit st.pos) + (10 * digit (st.pos + 1)) + digit (st.pos + 2)
+                in
+                if code > 255 then error st "escape \\%d out of byte range" code;
+                Buffer.add_char buf (Char.chr code);
+                st.pos <- st.pos + 3
             | Some c ->
                 Buffer.add_char buf c;
                 st.pos <- st.pos + 1

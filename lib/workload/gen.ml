@@ -29,7 +29,7 @@ let pick rng = function
 
 let key_counter = ref 0
 
-let content_legal_entry (schema : Schema.t) rng id =
+let content_legal_entry ?(counter = key_counter) (schema : Schema.t) rng id =
   let cores = Oclass.Set.elements (Class_schema.core_classes schema.classes) in
   let core = pick rng cores in
   let closure = Class_schema.up_closure schema.classes core in
@@ -49,16 +49,16 @@ let content_legal_entry (schema : Schema.t) rng id =
       classes Attr.Set.empty
   in
   let value_for attr =
-    incr key_counter;
+    incr counter;
     let unique = Attr.Set.mem attr schema.keys in
     match Typing.find schema.typing attr with
-    | Atype.T_int -> Value.Int (if unique then !key_counter else Random.State.int rng 100)
+    | Atype.T_int -> Value.Int (if unique then !counter else Random.State.int rng 100)
     | Atype.T_bool -> Value.Bool (Random.State.bool rng)
     | Atype.T_dn -> Value.Dn (Printf.sprintf "id=%d" (Random.State.int rng 100))
-    | Atype.T_telephone -> Value.String (string_of_int (10000 + !key_counter))
+    | Atype.T_telephone -> Value.String (string_of_int (10000 + !counter))
     | Atype.T_string ->
         Value.String
-          (if unique then Printf.sprintf "k%d" !key_counter
+          (if unique then Printf.sprintf "k%d" !counter
            else Printf.sprintf "v%d" (Random.State.int rng 50))
   in
   let pairs =
@@ -70,9 +70,9 @@ let content_legal_entry (schema : Schema.t) rng id =
   in
   Entry.make ~id ~rdn:(Printf.sprintf "id=%d" id) ~classes pairs
 
-let content_legal_forest ~seed ~size ?max_fanout schema =
+let content_legal_forest ?counter ~seed ~size ?max_fanout schema =
   random_forest ~seed ~size ?max_fanout
-    ~mk_entry:(fun rng id -> content_legal_entry schema rng id)
+    ~mk_entry:(fun rng id -> content_legal_entry ?counter schema rng id)
     ()
 
 let random_class_tree ~seed ~n =
@@ -118,7 +118,7 @@ let random_schema ~seed ~n_classes ~n_req ~n_forb ~n_required_classes =
   done;
   Schema.make_exn ~classes ~structure:!structure ()
 
-let random_ops ~seed ~n (schema : Schema.t) inst =
+let random_ops ?counter ~seed ~n (schema : Schema.t) inst =
   let rng = Random.State.make [| seed; 23 |] in
   let cur = ref inst in
   let next = ref (Instance.fresh_id inst) in
@@ -130,7 +130,7 @@ let random_ops ~seed ~n (schema : Schema.t) inst =
     if do_insert then begin
       let id = !next in
       incr next;
-      let e = content_legal_entry schema rng id in
+      let e = content_legal_entry ?counter schema rng id in
       let parent =
         if ids = [] || Random.State.int rng 8 = 0 then None
         else Some (pick rng ids)
@@ -151,3 +151,228 @@ let random_ops ~seed ~n (schema : Schema.t) inst =
     end
   done;
   List.rev !ops
+
+(* --- adversarial values (codec/parser edge cases) --------------------- *)
+
+(* Fragments chosen to stress the text formats: whitespace edges (LDIF
+   trimming, separator spaces), CRLF, base64 alphabet and padding, filter
+   metacharacters, high bytes and NUL. *)
+let adversarial_fragments =
+  [|
+    ""; " "; "  "; "\t"; "\r"; "\n"; "\r\n"; ":"; "::"; "<"; "#"; ","; ";";
+    "="; "=="; "+"; "("; ")"; "*"; "**"; "\\"; "\\2a"; "\\28"; "a"; "B"; "0";
+    "Zm9v"; "QQ=="; "dn"; "objectClass"; "v"; "x y"; "\xc3\xa9"; "\xff";
+    "\x00"; "end "; " begin"; "-";
+  |]
+
+let adversarial_string rng =
+  let n = Random.State.int rng 4 in
+  let buf = Buffer.create 16 in
+  for _ = 0 to n do
+    Buffer.add_string buf
+      adversarial_fragments.(Random.State.int rng (Array.length adversarial_fragments))
+  done;
+  Buffer.contents buf
+
+let adversarial_forest ~seed ~size () =
+  let attrs = List.map Attr.of_string [ "a"; "b"; "desc"; "mail" ] in
+  random_forest ~seed ~size ~mk_entry:(fun rng id ->
+      let n = Random.State.int rng 4 in
+      let pairs =
+        List.init n (fun _ ->
+            (pick rng attrs, Value.String (adversarial_string rng)))
+      in
+      Entry.make ~id
+        ~rdn:(Printf.sprintf "id=%d" id)
+        ~classes:(Oclass.Set.singleton Oclass.top)
+        pairs)
+    ()
+
+(* --- random filters and queries --------------------------------------- *)
+
+let filter_attrs = List.map Attr.of_string [ "a"; "b"; "cn"; "mail" ]
+
+let filter_value rng =
+  if Random.State.int rng 3 = 0 then adversarial_string rng
+  else Printf.sprintf "v%d" (Random.State.int rng 20)
+
+let filter_value_nonempty rng =
+  match filter_value rng with "" -> "x" | s -> s
+
+let rec random_filter ~depth rng =
+  let open Bounds_query in
+  if depth <= 0 || Random.State.int rng 3 = 0 then
+    let a = pick rng filter_attrs in
+    match Random.State.int rng 6 with
+    | 0 -> Filter.Present a
+    | 1 | 2 -> Filter.Eq (a, filter_value rng)
+    | 3 -> Filter.Ge (a, filter_value rng)
+    | 4 -> Filter.Le (a, filter_value rng)
+    | _ ->
+        let opt () =
+          if Random.State.bool rng then Some (filter_value_nonempty rng) else None
+        in
+        let sub =
+          {
+            Filter.initial = opt ();
+            any = List.init (Random.State.int rng 3) (fun _ -> filter_value_nonempty rng);
+            final = opt ();
+          }
+        in
+        (* [Substr {None; []; None}] is unprintable (it would render as the
+           presence assertion); the parser never produces it either. *)
+        if sub.Filter.initial = None && sub.Filter.any = [] && sub.Filter.final = None
+        then Filter.Present a
+        else Filter.Substr (a, sub)
+  else
+    match Random.State.int rng 3 with
+    | 0 ->
+        Filter.And
+          (List.init (Random.State.int rng 3) (fun _ ->
+               random_filter ~depth:(depth - 1) rng))
+    | 1 ->
+        Filter.Or
+          (List.init (Random.State.int rng 3) (fun _ ->
+               random_filter ~depth:(depth - 1) rng))
+    | _ -> Filter.Not (random_filter ~depth:(depth - 1) rng)
+
+let rec random_query ~depth rng =
+  let open Bounds_query in
+  if depth <= 0 || Random.State.int rng 3 = 0 then
+    Query.Select (random_filter ~depth:2 rng)
+  else
+    let q () = random_query ~depth:(depth - 1) rng in
+    match Random.State.int rng 4 with
+    | 0 -> Query.Minus (q (), q ())
+    | 1 -> Query.Union (q (), q ())
+    | 2 -> Query.Inter (q (), q ())
+    | _ ->
+        let axis =
+          pick rng [ Query.Child; Query.Parent; Query.Descendant; Query.Ancestor ]
+        in
+        Query.Chi (axis, q (), q ())
+
+(* --- rich random schemas ---------------------------------------------- *)
+
+(* A schema exercising every component: class tree + auxiliaries, per-class
+   attribute declarations over a typed pool, structure elements, and the
+   Section 6.1 extensions.  Always well-formed (Schema.make_exn succeeds);
+   consistency is not guaranteed. *)
+let random_schema_rich ~seed () =
+  let rng = Random.State.make [| seed; 31 |] in
+  let n_classes = 2 + Random.State.int rng 4 in
+  let classes = random_class_tree ~seed ~n:n_classes in
+  let n_aux = Random.State.int rng 3 in
+  let auxes = List.init n_aux (fun i -> Oclass.of_string (Printf.sprintf "x%d" i)) in
+  let classes =
+    List.fold_left (fun cs x -> Class_schema.add_aux_exn x cs) classes auxes
+  in
+  let cores =
+    Oclass.Set.elements (Class_schema.core_classes classes)
+    |> List.filter (fun c -> not (Oclass.equal c Oclass.top))
+  in
+  let cores = if cores = [] then [ Oclass.top ] else cores in
+  let classes =
+    List.fold_left
+      (fun cs x ->
+        Class_schema.allow_aux_exn ~core:(pick rng cores) x cs)
+      classes auxes
+  in
+  let attr_pool =
+    List.map
+      (fun (n, ty) -> (Attr.of_string n, ty))
+      [
+        ("a0", Atype.T_string); ("a1", Atype.T_string); ("a2", Atype.T_int);
+        ("a3", Atype.T_bool); ("a4", Atype.T_telephone); ("a5", Atype.T_string);
+      ]
+  in
+  let typing =
+    List.fold_left
+      (fun t (a, ty) -> Typing.declare_exn a ty t)
+      Typing.default attr_pool
+  in
+  let subset rng l =
+    List.filter (fun _ -> Random.State.int rng 3 = 0) l
+  in
+  let used = ref Attr.Set.empty in
+  let attributes =
+    List.fold_left
+      (fun attrs c ->
+        if Random.State.int rng 2 = 0 then attrs
+        else begin
+          let required = subset rng (List.map fst attr_pool) in
+          let allowed = subset rng (List.map fst attr_pool) in
+          List.iter (fun a -> used := Attr.Set.add a !used) (required @ allowed);
+          Attribute_schema.add_class_exn c ~required ~allowed attrs
+        end)
+      Attribute_schema.empty
+      (cores @ auxes)
+  in
+  let structure = ref Structure_schema.empty in
+  let rels =
+    [
+      Structure_schema.Child; Structure_schema.Descendant;
+      Structure_schema.Parent; Structure_schema.Ancestor;
+    ]
+  in
+  for _ = 1 to Random.State.int rng 3 do
+    structure :=
+      Structure_schema.require (pick rng cores) (pick rng rels) (pick rng cores)
+        !structure
+  done;
+  for _ = 1 to Random.State.int rng 2 do
+    let f =
+      if Random.State.bool rng then Structure_schema.F_child
+      else Structure_schema.F_descendant
+    in
+    structure := Structure_schema.forbid (pick rng cores) f (pick rng cores) !structure
+  done;
+  if Random.State.int rng 3 = 0 then
+    structure := Structure_schema.require_class (pick rng cores) !structure;
+  let usable = Attr.Set.elements !used in
+  let single_valued = subset rng usable in
+  let keys = subset rng usable in
+  Schema.make_exn ~typing ~attributes ~classes ~structure:!structure
+    ~single_valued ~keys ()
+
+(* --- not-necessarily-legal instances ----------------------------------- *)
+
+(* Start from a content-legal forest and corrupt a third of the entries:
+   extra classes, dropped or added pairs, duplicated values — feeding the
+   legality differential oracles violations of every kind. *)
+let mutated_forest ?counter ~seed ~size (schema : Schema.t) =
+  let inst = content_legal_forest ?counter ~seed ~size schema in
+  let rng = Random.State.make [| seed; 41 |] in
+  let all_classes = Oclass.Set.elements (Schema.all_classes schema) in
+  let attr_pool =
+    List.map Attr.of_string [ "a0"; "a1"; "a5"; "rogue" ]
+  in
+  let mutate e =
+    match Random.State.int rng 4 with
+    | 0 when all_classes <> [] ->
+        Entry.add_class (pick rng all_classes) e
+    | 1 -> (
+        match Entry.stored_pairs e with
+        | [] -> e
+        | pairs ->
+            let a, v = pick rng pairs in
+            Entry.remove_value a v e)
+    | 2 ->
+        Entry.add_value (pick rng attr_pool)
+          (Value.String (Printf.sprintf "m%d" (Random.State.int rng 10)))
+          e
+    | _ -> (
+        match Entry.stored_pairs e with
+        | [] -> e
+        | pairs ->
+            let a, _ = pick rng pairs in
+            Entry.add_value a (Value.String "dup") e)
+  in
+  List.fold_left
+    (fun inst id ->
+      if Random.State.int rng 3 = 0 then
+        match Instance.update_entry id mutate inst with
+        | Ok i -> i
+        | Error _ -> inst
+      else inst)
+    inst (Instance.ids inst)

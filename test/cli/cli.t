@@ -191,3 +191,25 @@ Semistructured data (Section 6.3):
     - entry 1 violates required relationship book -> title
     - entries 3 and 5 violate forbidden relationship country -/->> country
   [1]
+
+Differential fuzzing (a tiny deterministic budget; oracle list is stable):
+
+  $ ldapschema fuzz --list
+  ldif-roundtrip           Ldif.parse ∘ Ldif.to_string preserves the instance (RFC 2849)
+  b64-strict               Ldif.b64_decode agrees with an independent strict RFC 4648 decoder
+  b64-roundtrip            b64_decode ∘ b64_encode is the identity and encodings are canonical
+  filter-roundtrip         Filter_parser.parse ∘ Filter.to_string is the identity on ASTs
+  filter-text              parse ∘ print ∘ parse is stable on adversarial filter texts
+  query-roundtrip          Query_parser.parse ∘ Query.to_string is the identity on ASTs
+  spec-roundtrip           Spec_parser.parse ∘ Spec_printer.to_string is the identity on schemas
+  eval-vs-naive            indexed Eval agrees with the specification interpreter Naive_eval
+  legality-vs-naive        linear Legality agrees with quadratic Naive_legality (with §6.1 extensions)
+  legality-noext-vs-naive  Legality agrees with Naive_legality (core Definition 2.6 only)
+  monitor-vs-recheck       incremental Monitor agrees with per-step full recheck (Transaction.check)
+  txn-witness              an accepted transaction's final instance is naive-legal
+  par-vs-seq-legality      pooled Legality.check is bit-identical to the sequential engine
+  par-vs-seq-eval          pooled index build + Eval is bit-identical to the sequential path
+  $ ldapschema fuzz --oracle b64-strict --oracle filter-text --budget 50 --seed 42
+  b64-strict                   50 cases  ok
+  filter-text                  50 cases  ok
+  all oracles agree

@@ -161,6 +161,71 @@ let prop_ldif_roundtrip =
       in
       canonical inst = canonical back)
 
+(* Property: instances whose values are assembled from codec edge-case
+   fragments (leading/trailing blanks, CRLF, base64-alphabet text, NUL,
+   high bytes) survive the LDIF round-trip byte-for-byte. *)
+let prop_ldif_adversarial =
+  QCheck.Test.make ~name:"ldif roundtrip on adversarial values" ~count:300
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let inst =
+        Bounds_workload.Gen.adversarial_forest ~seed ~size:(1 + (seed mod 10)) ()
+      in
+      let back =
+        Bounds_codec.Ldif.parse_exn ~typing:Typing.default
+          (Bounds_codec.Ldif.to_string inst)
+      in
+      canonical inst = canonical back)
+
+(* --- base64 vectors --------------------------------------------------- *)
+
+let b64_decode = Bounds_codec.Ldif.b64_decode
+let b64_encode = Bounds_codec.Ldif.b64_encode
+
+let test_b64_vectors () =
+  (* RFC 4648 §10 test vectors, both directions *)
+  List.iter
+    (fun (plain, coded) ->
+      check_str ("encode " ^ plain) coded (b64_encode plain);
+      check_str ("decode " ^ coded) plain (b64_decode coded))
+    [
+      ("", "");
+      ("f", "Zg==");
+      ("fo", "Zm8=");
+      ("foo", "Zm9v");
+      ("foob", "Zm9vYg==");
+      ("fooba", "Zm9vYmE=");
+      ("foobar", "Zm9vYmFy");
+      ("\x00\xff ", "AP8g");
+    ]
+
+let test_b64_rejects_malformed () =
+  let rejects label s =
+    check label true
+      (match b64_decode s with
+      | (_ : string) -> false
+      | exception Invalid_argument _ -> true)
+  in
+  rejects "bad length" "Zm9vY";
+  rejects "non-alphabet byte" "Zm9%";
+  rejects "embedded newline" "Zm\n9v";
+  (* '=' padding is only legal in the final one or two positions *)
+  rejects "padding mid-string" "Zg==Zg==";
+  rejects "padding then data" "Zm=v";
+  rejects "lone final padding misplaced" "Z==v";
+  (* positioned error message *)
+  check "error names the offset" true
+    (match b64_decode "Zg==Zg==" with
+    | (_ : string) -> false
+    | exception Invalid_argument m ->
+        (* the stray '=' is at offset 2 *)
+        m = "stray base64 padding '=' at offset 2")
+
+let prop_b64_roundtrip =
+  QCheck.Test.make ~name:"base64 roundtrip on random bytes" ~count:300
+    QCheck.(string_of_size Gen.(int_bound 48))
+    (fun s -> b64_decode (b64_encode s) = s)
+
 let () =
   Alcotest.run "codec"
     [
@@ -176,5 +241,12 @@ let () =
           Alcotest.test_case "roundtrip white pages" `Quick test_roundtrip_white_pages;
           Alcotest.test_case "roundtrip generated" `Quick test_roundtrip_generated;
           QCheck_alcotest.to_alcotest prop_ldif_roundtrip;
+          QCheck_alcotest.to_alcotest prop_ldif_adversarial;
+        ] );
+      ( "base64",
+        [
+          Alcotest.test_case "rfc 4648 vectors" `Quick test_b64_vectors;
+          Alcotest.test_case "rejects malformed" `Quick test_b64_rejects_malformed;
+          QCheck_alcotest.to_alcotest prop_b64_roundtrip;
         ] );
     ]

@@ -124,6 +124,33 @@ let test_filter_parser () =
   check "error: trailing" true (Result.is_error (Filter_parser.parse "(a=1)x"));
   check "error: star in ge" true (Result.is_error (Filter_parser.parse "(a>=1*2)"))
 
+let test_filter_parser_escapes () =
+  let p s = Filter_parser.parse_exn s in
+  (* RFC 2254 hex escapes name bytes *)
+  check "hex star" true (Filter.equal (p {|(x=a\2ab)|}) (Filter.Eq (a "x", "a*b")));
+  check "hex parens" true
+    (Filter.equal (p {|(x=\28\29)|}) (Filter.Eq (a "x", "()")));
+  check "hex backslash" true
+    (Filter.equal (p {|(x=\5c)|}) (Filter.Eq (a "x", "\\")));
+  check "hex nul" true (Filter.equal (p {|(x=\00)|}) (Filter.Eq (a "x", "\000")));
+  (* backslash before a non-hex-pair still escapes one character *)
+  check "legacy single-char escape" true
+    (Filter.equal (p {|(x=a\zb)|}) (Filter.Eq (a "x", "azb")));
+  (* a pattern of only stars is plain presence, not a degenerate Substr *)
+  check "double star is presence" true
+    (Filter.equal (p "(x=**)") (Filter.Present (a "x")));
+  check "triple star is presence" true
+    (Filter.equal (p "(x=***)") (Filter.Present (a "x")));
+  (* the printer emits hex escapes, so specials round-trip *)
+  List.iter
+    (fun v ->
+      let f = Filter.Eq (a "x", v) in
+      check
+        (Printf.sprintf "special %S roundtrips" v)
+        true
+        (Filter.equal f (p (Filter.to_string f))))
+    [ "*"; "()"; "\\2a"; "a*b(c)\\"; "\000" ]
+
 let test_filter_roundtrip () =
   List.iter
     (fun s ->
@@ -440,6 +467,25 @@ let prop_extent_brackets_subtree =
           && List.for_all in_interval (Instance.descendants inst id))
         (Instance.ids inst))
 
+(* Adversarial round-trips: the workload generators mix filter
+   metacharacters, escapes, NUL and high bytes into values — the printed
+   form must reparse to the same AST. *)
+let prop_filter_roundtrip_adversarial =
+  QCheck.Test.make ~name:"filter roundtrip on adversarial values" ~count:500
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = Bounds_workload.Gen.random_filter ~depth:3 rng in
+      Filter.equal f (Filter_parser.parse_exn (Filter.to_string f)))
+
+let prop_query_roundtrip_adversarial =
+  QCheck.Test.make ~name:"query roundtrip on adversarial values" ~count:300
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let q = Bounds_workload.Gen.random_query ~depth:3 rng in
+      Query.equal q (Query_parser.parse_exn (Query.to_string q)))
+
 let () =
   Alcotest.run "query"
     [
@@ -454,6 +500,7 @@ let () =
           Alcotest.test_case "matching" `Quick test_filter_matching;
           Alcotest.test_case "substring" `Quick test_filter_substring;
           Alcotest.test_case "parser" `Quick test_filter_parser;
+          Alcotest.test_case "escapes" `Quick test_filter_parser_escapes;
           Alcotest.test_case "roundtrip" `Quick test_filter_roundtrip;
         ] );
       ( "query-syntax",
@@ -475,6 +522,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_eval_vindex_equiv;
           QCheck_alcotest.to_alcotest prop_filter_roundtrip_random;
           QCheck_alcotest.to_alcotest prop_query_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_filter_roundtrip_adversarial;
+          QCheck_alcotest.to_alcotest prop_query_roundtrip_adversarial;
           QCheck_alcotest.to_alcotest prop_bitset_model;
           QCheck_alcotest.to_alcotest prop_search_reference;
           QCheck_alcotest.to_alcotest prop_extent_brackets_subtree;
