@@ -77,10 +77,21 @@ let data_arg =
 
 (* --- validate ----------------------------------------------------------- *)
 
-let validate schema_path data_path naive no_extensions jobs =
+let validate schema_path data_path naive no_extensions explain jobs =
   let schema = or_die (load_schema schema_path) in
   let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
   let extensions = not no_extensions in
+  if explain then
+    (* one plan per Figure-4 obligation query, with est/actual columns *)
+    with_jobs jobs (fun pool ->
+        let ix = Bounds_query.Index.create ?pool inst in
+        let vx = Bounds_query.Vindex.create ?pool ix in
+        List.iter
+          (fun (_, q, _) ->
+            let plan = Bounds_query.Plan.plan vx q in
+            ignore (Bounds_query.Plan.exec ?pool plan);
+            Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan))
+          (Translate.all schema.Schema.structure));
   let viols =
     if naive then Naive_legality.check ~extensions schema inst
     else
@@ -107,9 +118,17 @@ let validate_cmd =
       & info [ "no-extensions" ]
           ~doc:"Skip the single-valued and key checks (Section 6.1 extensions).")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the physical plan of every Figure-4 obligation query, \
+             with estimated vs actual cardinalities.")
+  in
   Cmd.v
     (Cmd.info "validate" ~doc:"Check that an LDIF directory is legal w.r.t. a schema.")
-    Term.(const validate $ schema_arg $ data_arg $ naive $ no_ext $ jobs_arg)
+    Term.(const validate $ schema_arg $ data_arg $ naive $ no_ext $ explain $ jobs_arg)
 
 (* --- consistent ---------------------------------------------------------- *)
 
@@ -152,7 +171,7 @@ let consistent_cmd =
 
 (* --- query --------------------------------------------------------------- *)
 
-let query schema_path data_path expr jobs =
+let query schema_path data_path expr explain jobs =
   let typing =
     match schema_path with
     | Some p -> (or_die (load_schema p)).Schema.typing
@@ -167,7 +186,14 @@ let query schema_path data_path expr jobs =
   let ids =
     with_jobs jobs (fun pool ->
         let ix = Bounds_query.Index.create ?pool inst in
-        Bounds_query.Eval.eval_ids ?pool ix q)
+        if explain then begin
+          let vx = Bounds_query.Vindex.create ?pool ix in
+          let plan = Bounds_query.Plan.plan vx q in
+          let result = Bounds_query.Plan.exec ?pool plan in
+          Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan);
+          Bounds_query.Index.ids_of ix result
+        end
+        else Bounds_query.Eval.eval_ids ?pool ix q)
   in
   Printf.printf "%d entries\n" (List.length ids);
   List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
@@ -190,9 +216,17 @@ let query_cmd =
              d (objectClass=orgGroup) (objectClass=person)))', or a bare LDAP \
              filter.")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Evaluate through the cost-based planner and print the chosen \
+             physical plan with estimated vs actual cardinalities.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a hierarchical selection query over an LDIF file.")
-    Term.(const query $ schema_opt $ data_arg $ expr $ jobs_arg)
+    Term.(const query $ schema_opt $ data_arg $ expr $ explain $ jobs_arg)
 
 (* --- search ---------------------------------------------------------------- *)
 

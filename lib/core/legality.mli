@@ -18,12 +18,16 @@ open Bounds_query
     Figure-4 obligations fanned out one per task, the evaluation indexes
     built chunk-wise — while keeping the linear bound and producing a
     violation list {e bit-identical} to the sequential engine (stable
-    obligation order, chunk-ordered merges). *)
+    obligation order, chunk-ordered merges).
+
+    [memoize] (default [true]) routes the structure obligations through
+    the shared-subquery memo of {!Structure_legality.check}. *)
 val check :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memoize:bool ->
   Schema.t ->
   Instance.t ->
   Violation.t list
@@ -33,6 +37,7 @@ val is_legal :
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memoize:bool ->
   Schema.t ->
   Instance.t ->
   bool

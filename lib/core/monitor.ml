@@ -53,8 +53,8 @@ let key_values_of_instance schema inst =
         m (entry_key_values schema e))
     inst Smap.empty
 
-let create ?(extensions = true) ?pool schema inst =
-  match Legality.check ~extensions ?pool schema inst with
+let create ?(extensions = true) ?pool ?index ?vindex ?memoize schema inst =
+  match Legality.check ~extensions ?pool ?index ?vindex ?memoize schema inst with
   | [] ->
       Ok
         {

@@ -18,10 +18,15 @@ type t
     indexes.  [extensions] (default [true]) also enforces single-valued
     attributes and keys.  [pool] parallelizes the initial full check (the
     expensive O(|D|) admission scan); subsequent incremental checks are
-    O(|Δ|) and run sequentially. *)
+    O(|Δ|) and run sequentially.  [index]/[vindex]/[memoize] are passed
+    through to {!Legality.check} for the admission scan — an existing
+    evaluation-index snapshot of [inst] is reused rather than rebuilt. *)
 val create :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
+  ?index:Bounds_query.Index.t ->
+  ?vindex:Bounds_query.Vindex.t ->
+  ?memoize:bool ->
   Schema.t ->
   Instance.t ->
   (t, Violation.t list) result

@@ -86,6 +86,31 @@ let compute (schema : Schema.t) inst =
        else float_of_int !opt_filled /. float_of_int !opt_slots);
   }
 
+(* {1 Plan profiles}
+
+   The [--explain] rendering of a physical plan: the query, one indented
+   line per plan node with estimated vs actual cardinalities, and — when
+   the memoized obligation path produced it — the memo's hit/miss
+   ledger.  Kept here so every cost-transparency surface of the CLI
+   (directory statistics, plan explains) formats through one module. *)
+
+type plan_explain = {
+  planned_query : string;
+  plan_lines : string list;  (** from {!Bounds_query.Plan.explain_lines} *)
+}
+
+let explain_plan p =
+  {
+    planned_query = Bounds_query.Query.to_string (Bounds_query.Plan.query p);
+    plan_lines = Bounds_query.Plan.explain_lines p;
+  }
+
+let pp_plan_explain ppf t =
+  Format.fprintf ppf "@[<v>plan for %s:@ %a@]" t.planned_query
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf l ->
+         Format.fprintf ppf "  %s" l))
+    t.plan_lines
+
 let pp ppf t =
   Format.fprintf ppf "%d entries, %d roots, depth %d, max fanout %d@." t.entries
     t.roots t.max_depth t.max_fanout;

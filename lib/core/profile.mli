@@ -39,3 +39,17 @@ type t = {
 
 val compute : Schema.t -> Instance.t -> t
 val pp : Format.formatter -> t -> unit
+
+(** {1 Plan profiles — the [--explain] surface} *)
+
+type plan_explain = {
+  planned_query : string;
+  plan_lines : string list;
+      (** one line per plan node, indented, [est=]/[actual=] columns *)
+}
+
+(** Snapshot the explain rendering of a (typically already executed)
+    physical plan. *)
+val explain_plan : Bounds_query.Plan.t -> plan_explain
+
+val pp_plan_explain : Format.formatter -> plan_explain -> unit

@@ -19,10 +19,28 @@ let find_targets inst f cj src =
    the sequential engine.  Each task's own query evaluation runs
    sequentially — the obligation is the unit of parallelism here (a
    nested pool submission would be executed inline anyway). *)
-let check ?pool ?index ?vindex (schema : Schema.t) inst =
+let check ?pool ?index ?vindex ?(memoize = true) (schema : Schema.t) inst =
   let ix = match index with Some ix -> ix | None -> Index.create ?pool inst in
+  let obligations = Array.of_list (Translate.all schema.structure) in
+  let eval_q =
+    if memoize then begin
+      (* Hash-consed memo over this (index, vindex) snapshot: the
+         obligation queries share their class selections and χ frames
+         heavily (σ−(s_i, χ(ax, s_i, s_j)) alone names s_i twice), so the
+         shared subqueries are evaluated-and-cached once, sequentially,
+         before the obligation fan-out reads the cache from the workers
+         ([memo_eval_ro] never writes — concurrent reads of a frozen
+         table are safe). *)
+      let vx = match vindex with Some vx -> vx | None -> Vindex.create ?pool ix in
+      let memo = Plan.memo_create vx in
+      Plan.prewarm ?pool memo
+        (Array.to_list (Array.map (fun (_, q, _) -> q) obligations));
+      fun q -> Plan.memo_eval_ro memo q
+    end
+    else fun q -> Eval.eval ?vindex ix q
+  in
   let viols_of (oblig, q, expect) =
-    let result = Eval.eval ?vindex ix q in
+    let result = eval_q q in
     let viols = ref [] in
     let add v = viols := v :: !viols in
     (match (expect, oblig) with
@@ -49,9 +67,8 @@ let check ?pool ?index ?vindex (schema : Schema.t) inst =
         assert false (* Translate.all pairs expectations correctly *));
     List.rev !viols
   in
-  let obligations = Array.of_list (Translate.all schema.structure) in
   Bounds_par.Pool.map_array ?pool viols_of obligations
   |> Array.to_list |> List.concat
 
-let is_legal ?pool ?index ?vindex schema inst =
-  check ?pool ?index ?vindex schema inst = []
+let is_legal ?pool ?index ?vindex ?memoize schema inst =
+  check ?pool ?index ?vindex ?memoize schema inst = []

@@ -16,11 +16,19 @@ open Bounds_query
     With a [pool], the independent obligations of [Translate.all] are
     evaluated one-per-task across the workers and merged in stable
     obligation order — the output is bit-identical to the sequential
-    engine. *)
+    engine.
+
+    When [memoize] is [true] (default), the obligation queries evaluate
+    through a {!Bounds_query.Plan} memo scoped to this snapshot: shared
+    subqueries (class selections, χ frames) are computed exactly once,
+    sequentially, before the fan-out reads the cache.  A vindex is built
+    automatically if none is supplied.  [memoize:false] restores the
+    direct per-obligation {!Eval.eval} path (the benchmark baseline). *)
 val check :
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memoize:bool ->
   Schema.t ->
   Instance.t ->
   Violation.t list
@@ -29,6 +37,7 @@ val is_legal :
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memoize:bool ->
   Schema.t ->
   Instance.t ->
   bool

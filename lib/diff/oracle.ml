@@ -409,6 +409,29 @@ let eval_vs_naive =
                       (Query.to_string q))));
   }
 
+let plan_vs_naive =
+  {
+    name = "plan-vs-naive";
+    doc = "cost-based Plan agrees with the specification interpreter Naive_eval";
+    generate =
+      (fun ~seed rng ->
+        Case.make ~oracle:"plan-vs-naive" ~seed
+          ~instance:(small_instance rng)
+          ~query:(Gen.random_query ~depth:(1 + Random.State.int rng 2) rng)
+          ());
+    check =
+      total (fun c ->
+          with_instance c (fun inst ->
+              with_query c (fun q ->
+                  let vx = Vindex.create (Index.create inst) in
+                  let a = List.sort compare (Plan.eval_ids vx q) in
+                  let b = List.sort compare (Naive_eval.eval inst q) in
+                  if a = b then Agree
+                  else
+                    disagreef "plan %s vs naive %s on %s" (pp_ids a) (pp_ids b)
+                      (Query.to_string q))));
+  }
+
 let legality_case name ~seed rng =
   let schema = Gen.random_schema_rich ~seed:(sub rng) () in
   let instance =
@@ -582,6 +605,7 @@ let all =
     query_roundtrip;
     spec_roundtrip;
     eval_vs_naive;
+    plan_vs_naive;
     legality_vs_naive;
     legality_noext_vs_naive;
     monitor_vs_recheck;

@@ -52,7 +52,11 @@ let children t id =
   | Some n -> List.rev n.rev_children
   | None -> []
 
+let rev_children t id =
+  match Imap.find_opt id t.nodes with Some n -> n.rev_children | None -> []
+
 let roots t = List.rev t.rev_roots
+let rev_roots t = t.rev_roots
 let is_leaf t id = children t id = []
 let is_root t id = parent t id = None && mem t id
 

@@ -35,8 +35,17 @@ val parent : t -> Entry.id -> Entry.id option
 (** Children in insertion order. *)
 val children : t -> Entry.id -> Entry.id list
 
+(** Children in stored order — most recently added first, i.e. the reverse
+    of {!children} — returned without copying.  Hot traversals
+    ({!Bounds_query.Index.create}) consume this directly instead of paying
+    a [List.rev] allocation per node. *)
+val rev_children : t -> Entry.id -> Entry.id list
+
 (** Roots in insertion order. *)
 val roots : t -> Entry.id list
+
+(** Roots in stored order (reverse of {!roots}), without copying. *)
+val rev_roots : t -> Entry.id list
 
 val is_leaf : t -> Entry.id -> bool
 val is_root : t -> Entry.id -> bool

@@ -71,6 +71,13 @@ let union_into ~into src =
     Bytes.set into.words k (Char.unsafe_chr c)
   done
 
+let inter_into ~into src =
+  check_same into src;
+  for k = 0 to Bytes.length into.words - 1 do
+    let c = Char.code (Bytes.get into.words k) land Char.code (Bytes.get src.words k) in
+    Bytes.set into.words k (Char.unsafe_chr c)
+  done
+
 let blit_words ~src ~dst ~at =
   if at land 7 <> 0 then invalid_arg "Bitset.blit_words: offset not byte-aligned";
   if at < 0 || at + src.n > dst.n then invalid_arg "Bitset.blit_words: range";
@@ -103,6 +110,8 @@ let cardinal s =
   let acc = ref 0 in
   Bytes.iter (fun c -> acc := !acc + popcount_byte.(Char.code c)) s.words;
   !acc
+
+let count = cardinal
 
 let equal a b = a.n = b.n && Bytes.equal a.words b.words
 

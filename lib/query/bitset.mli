@@ -43,6 +43,12 @@ val complement : t -> t
     match. *)
 val union_into : into:t -> t -> unit
 
+(** [inter_into ~into src] — [into := into ∩ src], in place, no
+    allocation.  The conjunction chains of the indexed evaluator and the
+    planner accumulate into one set instead of allocating a fresh bitset
+    per conjunct.  Universe sizes must match. *)
+val inter_into : into:t -> t -> unit
+
 (** [blit_words ~src ~dst ~at] copies all bits of [src] into [dst]
     starting at bit offset [at], overwriting exactly the bits
     [at, at + length src) of [dst] (the trailing padding of [src]'s last
@@ -54,6 +60,11 @@ val blit_words : src:t -> dst:t -> at:int -> unit
 
 val is_empty : t -> bool
 val cardinal : t -> int
+
+(** Synonym for {!cardinal}; reads naturally next to the [_into]
+    accumulation loops ([count] after [inter_into] replaces the
+    allocate-then-[cardinal] pattern). *)
+val count : t -> int
 val equal : t -> t -> bool
 val subset : t -> t -> bool
 

@@ -89,6 +89,13 @@ let chi_ancestor ix q1 q2 =
   done;
   Bitset.inter q1 above
 
+let chi ?pool ix ax s1 s2 =
+  match ax with
+  | Query.Child -> chi_child ?pool ix s1 s2
+  | Query.Parent -> chi_parent ?pool ix s1 s2
+  | Query.Descendant -> chi_descendant ix s1 s2
+  | Query.Ancestor -> chi_ancestor ix s1 s2
+
 (* With a value index, answer Eq/Present leaves from the hash table and
    push boolean structure into set algebra; other leaves fall back to the
    (chunk-parallel) entry scan. *)
@@ -97,10 +104,16 @@ let rec eval_filter_indexed ?pool vx ix f =
   | Filter.Eq (a, v) -> Vindex.lookup_eq vx a v
   | Filter.Present a -> Vindex.lookup_present vx a
   | Filter.And fs ->
-      List.fold_left
-        (fun acc f -> Bitset.inter acc (eval_filter_indexed ?pool vx ix f))
-        (Bitset.full (Index.n ix))
-        fs
+      (* Accumulate in place and stop as soon as the accumulator drains —
+         a dead conjunction cannot come back, so the remaining conjuncts
+         (possibly full scans) need not run at all. *)
+      let rec go acc = function
+        | [] -> acc
+        | f :: rest ->
+            Bitset.inter_into ~into:acc (eval_filter_indexed ?pool vx ix f);
+            if Bitset.is_empty acc then acc else go acc rest
+      in
+      go (Bitset.full (Index.n ix)) fs
   | Filter.Or fs ->
       let acc = Bitset.create (Index.n ix) in
       List.iter
@@ -124,11 +137,31 @@ let rec eval ?vindex ?pool ix q =
       Bitset.inter (eval ?vindex ?pool ix a) (eval ?vindex ?pool ix b)
   | Query.Chi (ax, a, b) ->
       let s1 = eval ?vindex ?pool ix a and s2 = eval ?vindex ?pool ix b in
-      (match ax with
-      | Query.Child -> chi_child ?pool ix s1 s2
-      | Query.Parent -> chi_parent ?pool ix s1 s2
-      | Query.Descendant -> chi_descendant ix s1 s2
-      | Query.Ancestor -> chi_ancestor ix s1 s2)
+      chi ?pool ix ax s1 s2
 
 let eval_ids ?vindex ?pool ix q = Index.ids_of ix (eval ?vindex ?pool ix q)
-let is_empty ?vindex ?pool ix q = Bitset.is_empty (eval ?vindex ?pool ix q)
+
+(* Emptiness tests (the legality hot path) don't need the full result:
+   every binary operator except Union is left-absorbing — an empty left
+   operand forces an empty result — so evaluate the left side first and
+   skip the right side entirely when it already drained. *)
+let rec is_empty ?vindex ?pool ix q =
+  match q with
+  | Query.Union (a, b) ->
+      is_empty ?vindex ?pool ix a && is_empty ?vindex ?pool ix b
+  | Query.Minus (a, b) ->
+      let sa = eval ?vindex ?pool ix a in
+      Bitset.is_empty sa
+      || Bitset.is_empty (Bitset.diff sa (eval ?vindex ?pool ix b))
+  | Query.Inter (a, b) ->
+      let sa = eval ?vindex ?pool ix a in
+      Bitset.is_empty sa
+      || Bitset.is_empty (Bitset.inter sa (eval ?vindex ?pool ix b))
+  | Query.Chi (ax, a, b) ->
+      (* χ results are subsets of q1 and empty whenever q2 is empty. *)
+      let s1 = eval ?vindex ?pool ix a in
+      Bitset.is_empty s1
+      ||
+      let s2 = eval ?vindex ?pool ix b in
+      Bitset.is_empty s2 || Bitset.is_empty (chi ?pool ix ax s1 s2)
+  | Query.Select _ -> Bitset.is_empty (eval ?vindex ?pool ix q)

@@ -34,3 +34,8 @@ val is_empty :
 
 (** [eval_filter ix f] — the atomic-selection scan on its own. *)
 val eval_filter : ?pool:Bounds_par.Pool.t -> Index.t -> Filter.t -> Bitset.t
+
+(** [chi ?pool ix ax q1 q2] — the χ sweep on already-evaluated operand
+    sets; {!Plan} combines its leaf access paths with this. *)
+val chi :
+  ?pool:Bounds_par.Pool.t -> Index.t -> Query.axis -> Bitset.t -> Bitset.t -> Bitset.t

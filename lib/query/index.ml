@@ -1,13 +1,11 @@
 open Bounds_model
 
-module Imap = Map.Make (Int)
-
 type t = {
   instance : Instance.t;
   n : int;
   entries : Entry.t array; (* by rank, preorder *)
   ids : Entry.id array; (* rank -> id *)
-  ranks : int Imap.t; (* id -> rank *)
+  ranks : (Entry.id, int) Hashtbl.t; (* id -> rank *)
   parents : int array; (* rank -> parent rank, -1 for roots *)
   depths : int array;
   extents : int array; (* rank -> last rank of its subtree *)
@@ -19,23 +17,45 @@ let create ?pool instance =
   let parents = Array.make n (-1) in
   let depths = Array.make n 0 in
   let extents = Array.make n 0 in
-  let ranks = ref Imap.empty in
-  let next = ref 0 in
+  let ranks = Hashtbl.create (max 16 n) in
   (* The preorder numbering itself is inherently order-dependent (a rank
-     is the DFS position), so this pass stays sequential. *)
-  let rec visit parent_rank depth id =
-    let r = !next in
-    incr next;
-    ids.(r) <- id;
-    parents.(r) <- parent_rank;
-    depths.(r) <- depth;
-    ranks := Imap.add id r !ranks;
-    List.iter (visit r (depth + 1)) (Instance.children instance id);
-    (* all descendants were numbered in [r+1, next-1] *)
-    extents.(r) <- !next - 1
+     is the DFS position), so this pass stays sequential.  It consumes the
+     stored (most-recent-first) child lists directly: pushing a reversed
+     list head-first leaves the first-inserted child on top of the stack,
+     so pops reproduce exactly the forward preorder of the recursive
+     visit — without a [List.rev] allocation per node. *)
+  let next = ref 0 in
+  let stack = ref [] in
+  let push parent_rank depth rev_ids =
+    List.iter (fun id -> stack := (id, parent_rank, depth) :: !stack) rev_ids
   in
-  List.iter (visit (-1) 0) (Instance.roots instance);
+  push (-1) 0 (Instance.rev_roots instance);
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (id, parent_rank, depth) :: rest ->
+        stack := rest;
+        let r = !next in
+        incr next;
+        ids.(r) <- id;
+        parents.(r) <- parent_rank;
+        depths.(r) <- depth;
+        Hashtbl.replace ranks id r;
+        push r (depth + 1) (Instance.rev_children instance id)
+  done;
   assert (!next = n);
+  (* Extents by one reverse pass: a rank is at least its own extent, and
+     since children carry larger ranks than their parent, visiting ranks
+     high-to-low folds each subtree's maximum into its parent before the
+     parent itself is read. *)
+  for r = 0 to n - 1 do
+    extents.(r) <- r
+  done;
+  for r = n - 1 downto 1 do
+    let p = parents.(r) in
+    if p >= 0 && extents.(r) > extents.(p) then extents.(p) <- extents.(r)
+  done;
   (* The per-rank entry payloads are independent map lookups: fill the
      array in parallel once the numbering is known. *)
   let entries =
@@ -49,18 +69,31 @@ let create ?pool instance =
       entries
     end
   in
-  { instance; n; entries; ids; ranks = !ranks; parents; depths; extents }
+  { instance; n; entries; ids; ranks; parents; depths; extents }
 
 let instance ix = ix.instance
 let n ix = ix.n
 
 let rank ix id =
-  match Imap.find_opt id ix.ranks with Some r -> r | None -> raise Not_found
+  match Hashtbl.find_opt ix.ranks id with Some r -> r | None -> raise Not_found
 
-let rank_opt ix id = Imap.find_opt id ix.ranks
+let rank_opt ix id = Hashtbl.find_opt ix.ranks id
 let id_of_rank ix r = ix.ids.(r)
 let entry_of_rank ix r = ix.entries.(r)
 let parent_rank ix r = ix.parents.(r)
 let depth_of_rank ix r = ix.depths.(r)
 let extent_of_rank ix r = ix.extents.(r)
-let ids_of ix bs = List.rev (Bitset.fold (fun r acc -> ix.ids.(r) :: acc) bs [])
+
+let ids_of ix bs =
+  let k = Bitset.count bs in
+  if k = 0 then []
+  else begin
+    let out = Array.make k 0 in
+    let j = ref 0 in
+    Bitset.iter
+      (fun r ->
+        out.(!j) <- ix.ids.(r);
+        incr j)
+      bs;
+    Array.to_list out
+  end

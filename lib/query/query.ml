@@ -49,3 +49,12 @@ let rec equal q1 q2 =
   | (Select _ | Minus _ | Union _ | Inter _ | Chi _), _ -> false
 
 let select_class c = Select (Filter.class_eq c)
+
+let subqueries q =
+  let rec go q acc =
+    match q with
+    | Select _ -> q :: acc
+    | Minus (a, b) | Union (a, b) | Inter (a, b) | Chi (_, a, b) ->
+        q :: go a (go b acc)
+  in
+  go q []

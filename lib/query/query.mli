@@ -37,3 +37,8 @@ val equal : t -> t -> bool
 
 (** Convenience constructors. *)
 val select_class : Oclass.t -> t
+
+(** All subquery nodes of [q], including [q] itself, in preorder.
+    Occurrence counts over the canonical {!to_string} renderings of these
+    nodes drive the shared-subquery prewarm of {!Plan}'s memo tables. *)
+val subqueries : t -> t list

@@ -2,31 +2,69 @@ open Bounds_model
 
 type key = string * string (* attribute name, normalized value rendering *)
 
+(* Per-attribute sorted-value arrays for Ge/Le.  [Filter.order_cmp] is
+   numeric iff BOTH sides parse as integers and falls back to a
+   case-folded string compare otherwise, so the comparison relation is
+   not a single total order over mixed values ("9" < "10" numerically,
+   "10" < "2a" and "9" > "2a" as strings).  One sorted array cannot
+   answer both regimes; three can:
+
+   - [num]: values that parse as int, sorted numerically — matched
+     against a numeric assertion value;
+   - [nonnum]: the remaining values, sorted as normalized strings — a
+     numeric assertion value compares with these as a string;
+   - [all]: every value as a normalized string — a non-numeric assertion
+     value compares with {e all} stored values as strings.
+
+   Each element is a (value, rank) pair; a multi-valued entry appears
+   once per value, which is exactly [Filter.matches]'s exists-semantics
+   once the ranks land in a bitset. *)
+type range_idx = {
+  num_keys : int array; (* sorted; num_ranks.(i) holds key num_keys.(i) *)
+  num_ranks : int array;
+  nonnum_keys : string array;
+  nonnum_ranks : int array;
+  all_keys : string array;
+  all_ranks : int array;
+}
+
 type t = {
   ix : Index.t;
-  eq : (key, int list) Hashtbl.t; (* ranks holding that pair *)
-  present : (string, int list) Hashtbl.t;
+  eq : (key, int * int list) Hashtbl.t; (* count, ranks holding the pair *)
+  present : (string, int * int list) Hashtbl.t;
+  (* Range and trigram structures are built lazily per attribute — the
+     legality hot path (Eq/Present only) never pays for them.  The lock
+     makes on-demand construction safe when a pool evaluates several
+     queries over one shared snapshot concurrently. *)
+  lock : Mutex.t;
+  ranges : (string, range_idx) Hashtbl.t;
+  trigrams : (string, (string, int array) Hashtbl.t) Hashtbl.t;
 }
 
 let norm = String.lowercase_ascii
 
 let push tbl k r =
-  let prev = match Hashtbl.find_opt tbl k with Some l -> l | None -> [] in
-  Hashtbl.replace tbl k (r :: prev)
+  match Hashtbl.find_opt tbl k with
+  | Some (c, l) -> Hashtbl.replace tbl k (c + 1, r :: l)
+  | None -> Hashtbl.replace tbl k (1, [ r ])
 
 (* Prepend a later chunk's per-key list onto the accumulated one: chunks
    are merged in increasing rank order and each per-chunk list is built
    newest-rank-first, so [l @ prev] reproduces exactly the
    descending-rank lists of the sequential build. *)
-let merge_into tbl k l =
+let merge_into tbl k (c, l) =
   match Hashtbl.find_opt tbl k with
-  | None -> Hashtbl.replace tbl k l
-  | Some prev -> Hashtbl.replace tbl k (l @ prev)
+  | None -> Hashtbl.replace tbl k (c, l)
+  | Some (c0, prev) -> Hashtbl.replace tbl k (c + c0, l @ prev)
 
 let create ?pool ix =
   let n = Index.n ix in
   let build ~lo ~hi =
-    let eq = Hashtbl.create 1024 and present = Hashtbl.create 256 in
+    (* Pre-sized: one eq bucket per entry-value pair is the common case
+       (duplicate pairs only shrink it), so seed with the chunk width
+       instead of growing through doublings from a constant. *)
+    let eq = Hashtbl.create (max 64 (2 * (hi - lo)))
+    and present = Hashtbl.create (max 16 (hi - lo)) in
     for r = lo to hi - 1 do
       let e = Index.entry_of_rank ix r in
       List.iter
@@ -36,15 +74,25 @@ let create ?pool ix =
     done;
     (eq, present)
   in
-  match Bounds_par.Pool.map_chunks ?pool n build with
-  | [] -> { ix; eq = Hashtbl.create 16; present = Hashtbl.create 16 }
-  | (eq, present) :: rest ->
-      List.iter
-        (fun (eq', present') ->
-          Hashtbl.iter (merge_into eq) eq';
-          Hashtbl.iter (merge_into present) present')
-        rest;
-      { ix; eq; present }
+  let eq, present =
+    match Bounds_par.Pool.map_chunks ?pool n build with
+    | [] -> (Hashtbl.create 16, Hashtbl.create 16)
+    | (eq, present) :: rest ->
+        List.iter
+          (fun (eq', present') ->
+            Hashtbl.iter (merge_into eq) eq';
+            Hashtbl.iter (merge_into present) present')
+          rest;
+        (eq, present)
+  in
+  {
+    ix;
+    eq;
+    present;
+    lock = Mutex.create ();
+    ranges = Hashtbl.create 16;
+    trigrams = Hashtbl.create 16;
+  }
 
 let index t = t.ix
 
@@ -54,9 +102,198 @@ let of_ranks t ranks =
   bs
 
 let lookup_eq t a v =
-  of_ranks t
-    (Option.value ~default:[] (Hashtbl.find_opt t.eq (Attr.to_string a, norm v)))
+  match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
+  | Some (_, l) -> of_ranks t l
+  | None -> Bitset.create (Index.n t.ix)
 
 let lookup_present t a =
-  of_ranks t
-    (Option.value ~default:[] (Hashtbl.find_opt t.present (Attr.to_string a)))
+  match Hashtbl.find_opt t.present (Attr.to_string a) with
+  | Some (_, l) -> of_ranks t l
+  | None -> Bitset.create (Index.n t.ix)
+
+let card_eq t a v =
+  match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
+  | Some (c, _) -> c
+  | None -> 0
+
+let card_present t a =
+  match Hashtbl.find_opt t.present (Attr.to_string a) with
+  | Some (c, _) -> c
+  | None -> 0
+
+(* {2 Lazy per-attribute structures} *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let present_ranks t key =
+  match Hashtbl.find_opt t.present key with Some (_, l) -> l | None -> []
+
+let build_range t a key =
+  let num = ref [] and nonnum = ref [] and all = ref [] in
+  List.iter
+    (fun r ->
+      let e = Index.entry_of_rank t.ix r in
+      List.iter
+        (fun v ->
+          let s = Value.to_string v in
+          let ns = norm s in
+          (match int_of_string_opt (String.trim s) with
+          | Some k -> num := (k, r) :: !num
+          | None -> nonnum := (ns, r) :: !nonnum);
+          all := (ns, r) :: !all)
+        (Entry.values e a))
+    (present_ranks t key);
+  let by_int (k1, r1) (k2, r2) =
+    match Int.compare k1 k2 with 0 -> Int.compare r1 r2 | c -> c
+  in
+  let by_str (s1, r1) (s2, r2) =
+    match String.compare s1 s2 with 0 -> Int.compare r1 r2 | c -> c
+  in
+  let sorted cmp l =
+    let arr = Array.of_list l in
+    Array.sort cmp arr;
+    (Array.map fst arr, Array.map snd arr)
+  in
+  let num_keys, num_ranks = sorted by_int !num in
+  let nonnum_keys, nonnum_ranks = sorted by_str !nonnum in
+  let all_keys, all_ranks = sorted by_str !all in
+  { num_keys; num_ranks; nonnum_keys; nonnum_ranks; all_keys; all_ranks }
+
+let range_of t a =
+  let key = Attr.to_string a in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.ranges key with
+      | Some ri -> ri
+      | None ->
+          let ri = build_range t a key in
+          Hashtbl.add t.ranges key ri;
+          ri)
+
+(* First index at which [pred] holds; [pred] must be monotone
+   (false on a prefix, true on the suffix — guaranteed by sortedness). *)
+let lower_bound arr pred =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pred arr.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* The [lo, hi) slices of the sorted arrays matching [Ge]/[Le] against
+   assertion value [v] — shared by the bitset fill and the cardinality
+   estimate so the two can never disagree. *)
+let range_slices ri ~ge v =
+  let nv = norm v in
+  let str_pred s = if ge then String.compare s nv >= 0 else String.compare s nv > 0 in
+  match int_of_string_opt (String.trim v) with
+  | Some b ->
+      let num_cut = lower_bound ri.num_keys (fun k -> if ge then k >= b else k > b) in
+      let str_cut = lower_bound ri.nonnum_keys str_pred in
+      if ge then
+        [
+          (ri.num_ranks, num_cut, Array.length ri.num_ranks);
+          (ri.nonnum_ranks, str_cut, Array.length ri.nonnum_ranks);
+        ]
+      else [ (ri.num_ranks, 0, num_cut); (ri.nonnum_ranks, 0, str_cut) ]
+  | None ->
+      let cut = lower_bound ri.all_keys str_pred in
+      if ge then [ (ri.all_ranks, cut, Array.length ri.all_ranks) ]
+      else [ (ri.all_ranks, 0, cut) ]
+
+let lookup_range t ~ge a v =
+  let ri = range_of t a in
+  let bs = Bitset.create (Index.n t.ix) in
+  List.iter
+    (fun (ranks, lo, hi) ->
+      for i = lo to hi - 1 do
+        Bitset.set bs ranks.(i)
+      done)
+    (range_slices ri ~ge v);
+  bs
+
+let card_range t ~ge a v =
+  let ri = range_of t a in
+  List.fold_left (fun acc (_, lo, hi) -> acc + (hi - lo)) 0 (range_slices ri ~ge v)
+
+let grams s =
+  let n = String.length s in
+  if n < 3 then [] else List.init (n - 2) (fun i -> String.sub s i 3)
+
+let build_trigrams t a key =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let e = Index.entry_of_rank t.ix r in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun g ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt tbl g) in
+              Hashtbl.replace tbl g (r :: prev))
+            (grams (norm (Value.to_string v))))
+        (Entry.values e a))
+    (present_ranks t key);
+  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  Hashtbl.iter
+    (fun g l -> Hashtbl.replace out g (Array.of_list (List.sort_uniq Int.compare l)))
+    tbl;
+  out
+
+let trigrams_of t a =
+  let key = Attr.to_string a in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.trigrams key with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = build_trigrams t a key in
+          Hashtbl.add t.trigrams key tbl;
+          tbl)
+
+let substr_grams (sub : Filter.substring) =
+  let frags =
+    Option.to_list sub.initial @ sub.any @ Option.to_list sub.final
+  in
+  List.sort_uniq String.compare (List.concat_map (fun f -> grams (norm f)) frags)
+
+(* If fragment [f] occurs in a value then every 3-gram of [f] occurs in
+   it too, so intersecting gram postings yields a superset of the true
+   matches — callers re-verify candidates with [Filter.matches].  Using
+   only the scarcest grams keeps the intersection cheap and is still a
+   superset. *)
+let max_grams_used = 4
+
+let substr_postings t a sub =
+  match substr_grams sub with
+  | [] -> None (* no fragment long enough to prefilter *)
+  | gs ->
+      let tbl = trigrams_of t a in
+      let postings =
+        List.map
+          (fun g -> Option.value ~default:[||] (Hashtbl.find_opt tbl g))
+          gs
+      in
+      let by_scarcity = List.stable_sort (fun x y -> Int.compare (Array.length x) (Array.length y)) postings in
+      Some (List.filteri (fun i _ -> i < max_grams_used) by_scarcity)
+
+let substr_candidates t a sub =
+  match substr_postings t a sub with
+  | None -> lookup_present t a
+  | Some [] -> Bitset.create (Index.n t.ix)
+  | Some (first :: rest) ->
+      let bs = Bitset.create (Index.n t.ix) in
+      Array.iter (Bitset.set bs) first;
+      List.iter
+        (fun arr ->
+          let other = Bitset.create (Index.n t.ix) in
+          Array.iter (Bitset.set other) arr;
+          Bitset.inter_into ~into:bs other)
+        rest;
+      bs
+
+let card_substr t a sub =
+  match substr_postings t a sub with
+  | None -> card_present t a
+  | Some [] -> 0
+  | Some (first :: _) -> Array.length first

@@ -4,7 +4,16 @@
     [(objectClass=c)] selections produced by the Figure-4 translation —
     answer from a hash table instead of a full entry scan.  {!Eval} uses
     the lookups for [Eq] and [Present] leaves and falls back to scanning
-    for other assertion shapes.  Built in O(|val(D)|). *)
+    for other assertion shapes; {!Plan} additionally uses the lazy
+    per-attribute structures below to index [Ge]/[Le]/[Substr].  Built in
+    O(|val(D)|); the range and trigram indexes are built on first use per
+    attribute (thread-safely), so paths that never issue an ordering or
+    substring assertion never pay for them.
+
+    Every [card_*] function is an upper bound on the cardinality of the
+    corresponding lookup (multi-valued attributes can contribute one
+    posting per value to the same rank) and costs O(log) — they feed
+    {!Plan}'s selectivity estimates without materializing a bitset. *)
 
 open Bounds_model
 
@@ -23,3 +32,21 @@ val lookup_eq : t -> Attr.t -> string -> Bitset.t
 
 (** Ranks of entries with at least one value for [a]. *)
 val lookup_present : t -> Attr.t -> Bitset.t
+
+(** Ranks satisfying [Ge (a, v)] ([ge:true]) or [Le (a, v)] ([ge:false])
+    — exactly [Filter.matches]'s semantics, including its split
+    comparison relation (numeric iff both sides parse as integers):
+    binary searches over per-attribute sorted-value arrays instead of a
+    full entry scan. *)
+val lookup_range : t -> ge:bool -> Attr.t -> string -> Bitset.t
+
+(** A {e superset} of the ranks matching [Substr (a, sub)], obtained by
+    intersecting trigram postings of the pattern's fragments; callers
+    must re-verify candidates against the actual filter.  Falls back to
+    presence when no fragment is at least three characters long. *)
+val substr_candidates : t -> Attr.t -> Filter.substring -> Bitset.t
+
+val card_eq : t -> Attr.t -> string -> int
+val card_present : t -> Attr.t -> int
+val card_range : t -> ge:bool -> Attr.t -> string -> int
+val card_substr : t -> Attr.t -> Filter.substring -> int

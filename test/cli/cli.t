@@ -203,6 +203,7 @@ Differential fuzzing (a tiny deterministic budget; oracle list is stable):
   query-roundtrip          Query_parser.parse ∘ Query.to_string is the identity on ASTs
   spec-roundtrip           Spec_parser.parse ∘ Spec_printer.to_string is the identity on schemas
   eval-vs-naive            indexed Eval agrees with the specification interpreter Naive_eval
+  plan-vs-naive            cost-based Plan agrees with the specification interpreter Naive_eval
   legality-vs-naive        linear Legality agrees with quadratic Naive_legality (with §6.1 extensions)
   legality-noext-vs-naive  Legality agrees with Naive_legality (core Definition 2.6 only)
   monitor-vs-recheck       incremental Monitor agrees with per-step full recheck (Transaction.check)

@@ -272,6 +272,112 @@ let test_vindex_agrees () =
       Query.Select (Filter.Present Attr.object_class);
     ]
 
+(* --- planner: range / trigram / memo unit tests -------------------------- *)
+
+(* Duplicate values, numeric/non-numeric mix on one attribute ("9" < "10"
+   numerically but "10" < "9" lexicographically, and "2a" parses as
+   neither), and an attribute nobody carries. *)
+let rich_forest () =
+  let e id cls pairs =
+    Entry.make ~id
+      ~classes:(Oclass.Set.of_list [ Oclass.top; Oclass.of_string cls ])
+      (List.map (fun (n, v) -> (a n, Value.String v)) pairs)
+  in
+  Instance.empty
+  |> Instance.add_root_exn (e 0 "org" [ ("ou", "root") ])
+  |> Instance.add_child_exn ~parent:0
+       (e 1 "person" [ ("uid", "u1"); ("age", "9"); ("name", "name of u1") ])
+  |> Instance.add_child_exn ~parent:0
+       (e 2 "person" [ ("uid", "u1"); ("age", "10"); ("name", "name of u2") ])
+  |> Instance.add_child_exn ~parent:0
+       (e 3 "person" [ ("uid", "u2"); ("age", "2a") ])
+  |> Instance.add_child_exn ~parent:3 (e 4 "person" [ ("uid", "u3") ])
+
+let plan_ids inst q =
+  let vx = Vindex.create (Index.create inst) in
+  List.sort compare (Plan.eval_ids vx q)
+
+let test_plan_range_edges () =
+  let inst = rich_forest () in
+  let naive q = List.sort compare (Naive_eval.eval inst q) in
+  let agree name q = check name true (plan_ids inst q = naive q) in
+  agree "range over missing attribute" (Query.Select (Filter.Ge (a "phone", "0")));
+  agree "le over missing attribute" (Query.Select (Filter.Le (a "phone", "z")));
+  agree "numeric ge crosses digit count" (Query.Select (Filter.Ge (a "age", "9")));
+  agree "numeric le crosses digit count" (Query.Select (Filter.Le (a "age", "9")));
+  agree "non-numeric bound over mixed values"
+    (Query.Select (Filter.Ge (a "age", "1a")));
+  agree "eq with duplicate values" (Query.Select (Filter.Eq (a "uid", "u1")));
+  agree "range with duplicate values" (Query.Select (Filter.Ge (a "uid", "u1")));
+  agree "range on empty instance bound" (Query.Select (Filter.Le (a "uid", "")));
+  (* a concrete expectation, not just agreement: ordering is numeric when
+     both sides parse, so 9 <= age <= 10 catches "9" and "10" but not "2a" *)
+  check_ids "9 <= age <= 10 is numeric" [ 1; 2 ]
+    (plan_ids inst
+       (Query.Select (Filter.And [ Filter.Ge (a "age", "9"); Filter.Le (a "age", "10") ])))
+
+let test_plan_substr_edges () =
+  let inst = rich_forest () in
+  let naive q = List.sort compare (Naive_eval.eval inst q) in
+  let agree name q = check name true (plan_ids inst q = naive q) in
+  let sub ?initial ?(any = []) ?final () = { Filter.initial; any; final } in
+  (* fragments >= 3 chars go through the trigram index *)
+  agree "trigram prefix" (Query.Select (Filter.Substr (a "name", sub ~initial:"name of" ())));
+  agree "trigram any" (Query.Select (Filter.Substr (a "name", sub ~any:[ "of u1" ] ())));
+  (* short fragments have no trigrams and fall back to presence candidates *)
+  agree "short fragment" (Query.Select (Filter.Substr (a "uid", sub ~any:[ "u" ] ())));
+  (* degenerate all-star patterns: no fragments at all *)
+  agree "all stars" (Query.Select (Filter.Substr (a "uid", sub ())));
+  agree "empty fragments" (Query.Select (Filter.Substr (a "uid", sub ~initial:"" ~any:[ "" ] ~final:"" ())));
+  agree "substr over missing attribute"
+    (Query.Select (Filter.Substr (a "phone", sub ~any:[ "555" ] ())))
+
+let test_plan_explain_shapes () =
+  let inst = rich_forest () in
+  let vx = Vindex.create (Index.create inst) in
+  let has_sub needle lines =
+    List.exists
+      (fun l ->
+        let nl = String.length needle and ll = String.length l in
+        let rec go i = i + nl <= ll && (String.sub l i nl = needle || go (i + 1)) in
+        go 0)
+      lines
+  in
+  (* an expensive Not lands in the verify tail, not in an O(n) complement *)
+  let p1 =
+    Plan.plan vx
+      (Query.Select
+         (Filter.And
+            [
+              Filter.Eq (a "uid", "u1");
+              Filter.Not
+                (Filter.Substr (a "uid", { Filter.initial = None; any = [ "u" ]; final = None }));
+            ]))
+  in
+  ignore (Plan.exec p1);
+  check "not verified per candidate" true (has_sub "verify" (Plan.explain_lines p1));
+  (* an empty left operand skips the right one, visible in the explain *)
+  let p2 = Plan.plan vx (Query.Inter (sel "nosuchclass", sel "person")) in
+  ignore (Plan.exec p2);
+  check "early exit marks skipped" true (has_sub "skipped" (Plan.explain_lines p2))
+
+let test_plan_memo () =
+  let inst = forest () in
+  let vx = Vindex.create (Index.create inst) in
+  let m = Plan.memo_create vx in
+  let q =
+    Query.Minus (sel "org", Query.Chi (Query.Descendant, sel "org", sel "person"))
+  in
+  (* q's own subqueries repeat [sel "org"], so the prewarm caches it *)
+  Plan.prewarm m [ q ];
+  let r1 = Plan.memo_eval m q in
+  let r2 = Plan.memo_eval_ro m q in
+  check "memo = plain planner" true (Bitset.equal r1 (Plan.eval vx q));
+  check "ro = rw" true (Bitset.equal r1 r2);
+  let hits, _, entries = Plan.memo_stats m in
+  check "cache populated" true (entries > 0);
+  check "shared subqueries hit" true (hits > 0)
+
 (* --- property: linear evaluator ≡ naive reference ----------------------- *)
 
 let classes_pool = [ "a"; "b"; "c" ]
@@ -329,6 +435,111 @@ let prop_eval_vindex_equiv =
         List.sort compare (Index.ids_of ix (Eval.eval ~vindex:(Vindex.create ix) ix q))
       in
       fast = Naive_eval.eval inst q)
+
+let prop_plan_equiv =
+  QCheck.Test.make ~name:"planned evaluator = naive reference" ~count:300 arb_case
+    (fun (inst, q) ->
+      let vx = Vindex.create (Index.create inst) in
+      List.sort compare (Plan.eval_ids vx q) = Naive_eval.eval inst q)
+
+(* Hostile cases for the planner: value-carrying entries (duplicates, the
+   numeric/lexicographic "9"/"10"/"2a" mix, empty strings), Not-heavy
+   filters, empty And/Or, and deeply nested χ chains — everything the
+   cost model could misjudge must still agree extensionally. *)
+
+let hostile_vals = [| "9"; "10"; "2a"; "u1"; "u2"; "name of u1"; "" |]
+
+let gen_rich_instance =
+  QCheck.Gen.(
+    sized_size (int_bound 30) (fun n st ->
+        let seed = int_bound 1_000_000 st in
+        Bounds_workload.Gen.random_forest ~seed ~size:(max 1 n)
+          ~mk_entry:(fun rng id ->
+            let cls = List.nth classes_pool (Random.State.int rng 3) in
+            let pairs =
+              List.filter_map
+                (fun attr ->
+                  if Random.State.bool rng then
+                    Some
+                      ( a attr,
+                        Value.String
+                          hostile_vals.(Random.State.int rng (Array.length hostile_vals)) )
+                  else None)
+                [ "uid"; "age"; "name" ]
+            in
+            Entry.make ~id
+              ~classes:(Oclass.Set.of_list [ Oclass.top; Oclass.of_string cls ])
+              pairs)
+          ()))
+
+let gen_hostile_filter =
+  let open QCheck.Gen in
+  let value = oneofl (Array.to_list hostile_vals) in
+  let gattr = oneofl [ "uid"; "age"; "name"; "phone" ] >|= a in
+  let leaf =
+    oneof
+      [
+        map (fun at -> Filter.Present at) gattr;
+        map2 (fun at v -> Filter.Eq (at, v)) gattr value;
+        map2 (fun at v -> Filter.Ge (at, v)) gattr value;
+        map2 (fun at v -> Filter.Le (at, v)) gattr value;
+        map2
+          (fun at (i, f) ->
+            Filter.Substr (at, { Filter.initial = i; any = [ "of" ]; final = f }))
+          gattr
+          (pair (opt (return "name")) (opt (return "1")));
+        return (Filter.And []);
+        return (Filter.Or []);
+      ]
+  in
+  sized_size (int_bound 6)
+    (fix (fun self n ->
+         if n = 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               (3, map (fun f -> Filter.Not f) (self (n - 1)));
+               (2, map (fun fs -> Filter.And fs) (list_size (int_bound 3) (self (n / 2))));
+               (2, map (fun fs -> Filter.Or fs) (list_size (int_bound 3) (self (n / 2))));
+             ]))
+
+let gen_hostile_query =
+  let open QCheck.Gen in
+  let axis = oneofl [ Query.Child; Query.Parent; Query.Descendant; Query.Ancestor ] in
+  let leaf = map (fun f -> Query.Select f) gen_hostile_filter in
+  sized_size (int_bound 8)
+    (fix (fun self n ->
+         if n = 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               ( 3,
+                 map3
+                   (fun ax q b -> Query.Chi (ax, q, b))
+                   axis
+                   (self (n - 1))
+                   (self (n / 2)) );
+               (1, map2 (fun q b -> Query.Minus (q, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun q b -> Query.Union (q, b)) (self (n / 2)) (self (n / 2)));
+               (1, map2 (fun q b -> Query.Inter (q, b)) (self (n / 2)) (self (n / 2)));
+             ]))
+
+let arb_hostile =
+  QCheck.make
+    ~print:(fun (inst, q) ->
+      Format.asprintf "size=%d query=%s" (Instance.size inst) (Query.to_string q))
+    QCheck.Gen.(pair gen_rich_instance gen_hostile_query)
+
+let prop_plan_hostile =
+  QCheck.Test.make ~name:"planned evaluator = naive on hostile queries" ~count:300
+    arb_hostile (fun (inst, q) ->
+      let ix = Index.create inst in
+      let vx = Vindex.create ix in
+      let slow = Naive_eval.eval inst q in
+      List.sort compare (Plan.eval_ids vx q) = slow
+      && List.sort compare (Index.ids_of ix (Eval.eval ~vindex:vx ix q)) = slow)
 
 (* --- random print/parse round-trips ---------------------------------------- *)
 
@@ -516,10 +727,19 @@ let () =
           Alcotest.test_case "empty instance" `Quick test_eval_empty_instance;
           Alcotest.test_case "vindex agreement" `Quick test_vindex_agrees;
         ] );
+      ( "plan",
+        [
+          Alcotest.test_case "range edge cases" `Quick test_plan_range_edges;
+          Alcotest.test_case "substring edge cases" `Quick test_plan_substr_edges;
+          Alcotest.test_case "explain shapes" `Quick test_plan_explain_shapes;
+          Alcotest.test_case "memoization" `Quick test_plan_memo;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_eval_equiv;
           QCheck_alcotest.to_alcotest prop_eval_vindex_equiv;
+          QCheck_alcotest.to_alcotest prop_plan_equiv;
+          QCheck_alcotest.to_alcotest prop_plan_hostile;
           QCheck_alcotest.to_alcotest prop_filter_roundtrip_random;
           QCheck_alcotest.to_alcotest prop_query_roundtrip_random;
           QCheck_alcotest.to_alcotest prop_filter_roundtrip_adversarial;
