@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke fuzz-smoke clean
+.PHONY: all test bench bench-smoke fuzz-smoke doc clean
 
 all:
 	dune build
@@ -20,6 +20,11 @@ bench-smoke:
 # non-zero if any oracle pair disagrees.
 fuzz-smoke:
 	dune exec -- ldapschema fuzz --budget 200 --seed 42 -j 0
+
+# API documentation (requires odoc; dune reports a clear error if the
+# toolchain lacks it).
+doc:
+	dune build @doc
 
 clean:
 	dune clean

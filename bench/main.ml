@@ -797,6 +797,234 @@ let exp_p2 ~smoke ~json () =
     Printf.printf "  wrote BENCH_query.json (%d points)\n" (List.length points)
   end
 
+(* --- P3: live sessions, incremental maintenance vs rebuild ------------------ *)
+
+(* Interleaved update/query traffic against one directory.  Two layers:
+
+   - snapshot maintenance in isolation: after a small transaction, patch
+     the (index, vindex, memo) triple incrementally (Index.apply /
+     Vindex.apply / Plan.memo_apply) vs rebuild all three from scratch,
+     then answer the Figure-4 obligation query set from the result;
+   - end-to-end sessions: Directory.apply (incremental legality + patched
+     snapshot + migrated memo) vs the pre-facade flow of Monitor.apply
+     followed by a fresh snapshot build, each followed by the same query
+     batch.
+
+   The incremental side is O(|Δ| + shifted interval) per transaction; the
+   rebuild side pays O(|D|) per transaction, so the gap must widen
+   linearly with |D|.  With [json] the estimates land in
+   BENCH_session.json. *)
+let exp_p3 ~smoke ~json () =
+  header "P3   live directory sessions (incremental index maintenance)"
+    "claim: patching the evaluation index by interval shifting (plus value\n\
+     tables and query memo) makes an update-then-query tick O(|delta|),\n\
+     while rebuild-per-update pays O(|D|) - same answers, widening gap.";
+  let quota = if smoke then 0.05 else 0.4 in
+  let sizes = if smoke then [ 200; 400 ] else [ 1000; 2000; 4000; 8000 ] in
+  let instance_of n = WP.generate ~seed:n ~units:(n / 25) ~persons_per_unit:20 () in
+  let queries =
+    List.map (fun (_, q, _) -> q) (Translate.all WP.schema.Schema.structure)
+  in
+  let setup n =
+    let base = instance_of n in
+    let unit =
+      Bounds_model.Instance.fold
+        (fun e acc ->
+          if Entry.has_class e (Oclass.of_string "orgunit") then Some (Entry.id e)
+          else acc)
+        base None
+      |> Option.get
+    in
+    let victim =
+      Bounds_model.Instance.fold
+        (fun e acc ->
+          if
+            Entry.has_class e (Oclass.of_string "person")
+            && Bounds_model.Instance.is_leaf base (Entry.id e)
+          then Some (Entry.id e)
+          else acc)
+        base None
+      |> Option.get
+    in
+    let mk_person id =
+      Entry.make ~id
+        ~rdn:(Printf.sprintf "uid=p3b%d" id)
+        ~classes:(Oclass.set_of_list [ "person"; "top" ])
+        [
+          (Attr.of_string "uid", Value.String (Printf.sprintf "p3b%d" id));
+          (Attr.of_string "name", Value.String "bench");
+        ]
+    in
+    (* one small transaction: a two-entry subtree in (a sub-unit with one
+       person, legal under the white-pages structure schema), one leaf
+       out *)
+    let mk_unit id =
+      Entry.make ~id
+        ~rdn:(Printf.sprintf "ou=p3b%d" id)
+        ~classes:(Oclass.set_of_list [ "orgunit"; "orggroup"; "top" ])
+        [ (Attr.of_string "ou", Value.String (Printf.sprintf "p3b%d" id)) ]
+    in
+    let ops =
+      [
+        Update.Insert { parent = Some unit; entry = mk_unit 2_000_000 };
+        Update.Insert { parent = Some 2_000_000; entry = mk_person 2_000_001 };
+        Update.Delete victim;
+      ]
+    in
+    (base, ops)
+  in
+  (* answer equality at the smallest size before timing anything *)
+  let () =
+    let base, ops = List.hd sizes |> setup in
+    let ix = Index.create base in
+    let vx = Vindex.create ix in
+    let memo = Plan.memo_create vx in
+    Plan.prewarm memo queries;
+    let ix' = Index.apply ops ix in
+    let vx' = Vindex.apply ~index:ix' ops vx in
+    let memo' = Plan.memo_apply ~vindex:vx' ops memo in
+    let final = Result.get_ok (Update.apply base ops) in
+    let fresh_ix = Index.create final in
+    let fresh_vx = Vindex.create fresh_ix in
+    List.iteri
+      (fun i q ->
+        let inc = List.sort compare (Index.ids_of ix' (Plan.memo_eval memo' q)) in
+        let reb =
+          List.sort compare (Index.ids_of fresh_ix (Plan.eval fresh_vx q))
+        in
+        if inc <> reb then
+          failwith
+            (Printf.sprintf "P3: incremental and rebuilt snapshots disagree on query %d" i))
+      queries;
+    Printf.printf
+      "  answer equality: patched and rebuilt snapshots agree on all %d queries\n"
+      (List.length queries)
+  in
+  let snap_inc =
+    Test.make_indexed ~name:"snap-incremental" ~args:sizes (fun n ->
+        Staged.stage
+          (let base, ops = setup n in
+           let ix = Index.create base in
+           let vx = Vindex.create ix in
+           let memo = Plan.memo_create vx in
+           Plan.prewarm memo queries;
+           List.iter (fun q -> ignore (Plan.memo_eval memo q)) queries;
+           fun () ->
+             let ix' = Index.apply ops ix in
+             let vx' = Vindex.apply ~index:ix' ops vx in
+             let memo' = Plan.memo_apply ~vindex:vx' ops memo in
+             List.iter (fun q -> ignore (Plan.memo_eval memo' q)) queries))
+  in
+  let snap_reb =
+    Test.make_indexed ~name:"snap-rebuild" ~args:sizes (fun n ->
+        Staged.stage
+          (let base, ops = setup n in
+           fun () ->
+             let final = Result.get_ok (Update.apply base ops) in
+             let ix' = Index.create final in
+             let vx' = Vindex.create ix' in
+             let memo' = Plan.memo_create vx' in
+             Plan.prewarm memo' queries;
+             List.iter (fun q -> ignore (Plan.memo_eval memo' q)) queries))
+  in
+  let session =
+    Test.make_indexed ~name:"session" ~args:sizes (fun n ->
+        Staged.stage
+          (let base, ops = setup n in
+           let dir = Result.get_ok (Directory.open_ WP.schema base) in
+           fun () ->
+             let dir = Result.get_ok (Directory.apply dir ops) in
+             List.iter (fun q -> ignore (Directory.query dir q)) queries))
+  in
+  let session_reb =
+    Test.make_indexed ~name:"session-rebuild" ~args:sizes (fun n ->
+        Staged.stage
+          (let base, ops = setup n in
+           let m = Result.get_ok (Monitor.create WP.schema base) in
+           fun () ->
+             let m = Result.get_ok (Monitor.apply ops m) in
+             let ix' = Index.create (Monitor.instance m) in
+             let vx' = Vindex.create ix' in
+             let memo' = Plan.memo_create vx' in
+             Plan.prewarm memo' queries;
+             List.iter (fun q -> ignore (Plan.memo_eval memo' q)) queries))
+  in
+  let r =
+    run_test ~quota
+      (Test.make_grouped ~name:"p3" [ snap_inc; snap_reb; session; session_reb ])
+  in
+  Printf.printf
+    "  snapshot maintenance per transaction (patch vs rebuild, then %d queries):\n"
+    (List.length queries);
+  Printf.printf "  %8s  %13s  %13s  %8s\n" "|D|" "incremental" "rebuild" "speedup";
+  List.iter
+    (fun n ->
+      let i = point r "p3/snap-incremental" n and b = point r "p3/snap-rebuild" n in
+      Printf.printf "  %8d  %s     %s  %s\n" n (pp_time i) (pp_time b)
+        (pp_ratio (b /. i)))
+    sizes;
+  Printf.printf "  end-to-end sessions (legality + snapshot + queries):\n";
+  Printf.printf "  %8s  %13s  %16s  %8s\n" "|D|" "Directory" "monitor+rebuild"
+    "speedup";
+  List.iter
+    (fun n ->
+      let s = point r "p3/session" n and b = point r "p3/session-rebuild" n in
+      Printf.printf "  %8d  %s     %s     %s\n" n (pp_time s) (pp_time b)
+        (pp_ratio (b /. s)))
+    sizes;
+  let n_max = List.fold_left max 0 sizes in
+  Printf.printf
+    "  shape: per-doubling growth - incremental %.2fx (flat=1), rebuild %.2fx\n\
+    \  (linear=2); at |D| = %d the live session answers an update-and-query\n\
+    \  tick %.2fx faster than rebuild-per-update\n"
+    (avg (growth (List.map (point r "p3/snap-incremental") sizes)))
+    (avg (growth (List.map (point r "p3/snap-rebuild") sizes)))
+    n_max
+    (point r "p3/session-rebuild" n_max /. point r "p3/session" n_max);
+  if json then begin
+    let buf = Buffer.create 1024 in
+    let j_num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
+    let j_ratio a b =
+      if Float.is_nan a || Float.is_nan b then "null"
+      else Printf.sprintf "%.3f" (a /. b)
+    in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"experiment\": \"P3\",\n";
+    Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"queries_per_tick\": %d,\n" (List.length queries));
+    Buffer.add_string buf (Printf.sprintf "  \"max_size\": %d,\n" n_max);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"snapshot_incremental_speedup\": %s,\n"
+         (j_ratio (point r "p3/snap-rebuild" n_max)
+            (point r "p3/snap-incremental" n_max)));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"session_incremental_speedup\": %s,\n"
+         (j_ratio (point r "p3/session-rebuild" n_max)
+            (point r "p3/session" n_max)));
+    Buffer.add_string buf "  \"points\": [\n";
+    let points =
+      List.concat_map
+        (fun series ->
+          List.map (fun n -> (series, n, point r ("p3/" ^ series) n)) sizes)
+        [ "snap-incremental"; "snap-rebuild"; "session"; "session-rebuild" ]
+    in
+    List.iteri
+      (fun i (series, n, ns) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    { \"series\": \"%s\", \"n\": %d, \"ns_per_run\": %s }%s\n"
+             series n (j_num ns)
+             (if i = List.length points - 1 then "" else ",")))
+      points;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_session.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "  wrote BENCH_session.json (%d points)\n" (List.length points)
+  end
+
 (* --- W1: the chase coverage statistic ------------------------------------- *)
 
 let exp_w1 () =
@@ -841,6 +1069,7 @@ let experiments ~smoke ~json =
     ("W1", exp_w1);
     ("P1", exp_p1 ~smoke ~json);
     ("P2", exp_p2 ~smoke ~json);
+    ("P3", exp_p3 ~smoke ~json);
   ]
 
 let () =

@@ -77,25 +77,31 @@ let data_arg =
 
 (* --- validate ----------------------------------------------------------- *)
 
+(* one plan per Figure-4 obligation query, with est/actual columns *)
+let explain_obligations ?pool snap (schema : Schema.t) =
+  List.iter
+    (fun (_, q, _) ->
+      let plan, _ = Directory.Snapshot.explain ?pool snap q in
+      Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan))
+    (Translate.all schema.Schema.structure)
+
 let validate schema_path data_path naive no_extensions explain jobs =
   let schema = or_die (load_schema schema_path) in
   let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
   let extensions = not no_extensions in
-  if explain then
-    (* one plan per Figure-4 obligation query, with est/actual columns *)
-    with_jobs jobs (fun pool ->
-        let ix = Bounds_query.Index.create ?pool inst in
-        let vx = Bounds_query.Vindex.create ?pool ix in
-        List.iter
-          (fun (_, q, _) ->
-            let plan = Bounds_query.Plan.plan vx q in
-            ignore (Bounds_query.Plan.exec ?pool plan);
-            Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan))
-          (Translate.all schema.Schema.structure));
   let viols =
-    if naive then Naive_legality.check ~extensions schema inst
+    if naive then begin
+      if explain then
+        with_jobs jobs (fun pool ->
+            explain_obligations ?pool (Directory.Snapshot.of_instance ?pool inst)
+              schema);
+      Naive_legality.check ~extensions schema inst
+    end
     else
-      with_jobs jobs (fun pool -> Legality.check ~extensions ?pool schema inst)
+      with_jobs jobs (fun pool ->
+          let snap = Directory.Snapshot.of_instance ?pool inst in
+          if explain then explain_obligations ?pool snap schema;
+          Directory.Snapshot.validate ~extensions ?pool schema snap)
   in
   match viols with
   | [] ->
@@ -181,19 +187,17 @@ let query schema_path data_path expr explain jobs =
   let q =
     match Bounds_query.Query_parser.parse expr with
     | Ok q -> q
-    | Error m -> or_die (Error ("query: " ^ m))
+    | Error e -> or_die (Error ("query: " ^ Parse_error.to_string e))
   in
   let ids =
     with_jobs jobs (fun pool ->
-        let ix = Bounds_query.Index.create ?pool inst in
+        let snap = Directory.Snapshot.of_instance ?pool inst in
         if explain then begin
-          let vx = Bounds_query.Vindex.create ?pool ix in
-          let plan = Bounds_query.Plan.plan vx q in
-          let result = Bounds_query.Plan.exec ?pool plan in
+          let plan, result = Directory.Snapshot.explain ?pool snap q in
           Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan);
-          Bounds_query.Index.ids_of ix result
+          Bounds_query.Index.ids_of (Directory.Snapshot.index snap) result
         end
-        else Bounds_query.Eval.eval_ids ?pool ix q)
+        else Directory.Snapshot.query_ids ?pool snap q)
   in
   Printf.printf "%d entries\n" (List.length ids);
   List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
@@ -246,7 +250,7 @@ let search schema_path data_path base_dn scope_str filter_str optimize jobs =
   let filter =
     match Bounds_query.Filter_parser.parse filter_str with
     | Ok f -> f
-    | Error m -> or_die (Error ("filter: " ^ m))
+    | Error e -> or_die (Error ("filter: " ^ Parse_error.to_string e))
   in
   let base =
     match base_dn with
@@ -266,8 +270,11 @@ let search schema_path data_path base_dn scope_str filter_str optimize jobs =
     | true, None -> or_die (Error "--optimize needs --schema")
     | false, _ -> filter
   in
-  let ix = with_jobs jobs (fun pool -> Bounds_query.Index.create ?pool inst) in
-  let ids = Bounds_query.Search.search ix ~base scope filter in
+  let ids =
+    with_jobs jobs (fun pool ->
+        let snap = Directory.Snapshot.of_instance ?pool inst in
+        Directory.Snapshot.search snap ~base scope filter)
+  in
   Printf.printf "%d entries\n" (List.length ids);
   List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
   0
@@ -421,32 +428,37 @@ let parse_changes ~typing inst text =
   in
   build [] records
 
-let update schema_path data_path ops_path out_path jobs =
+let update schema_path data_path ops_path out_path stats jobs =
   let schema = or_die (load_schema schema_path) in
   let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
   let ops = or_die (parse_changes ~typing:schema.Schema.typing inst (read_file ops_path)) in
-  let monitor =
-    match with_jobs jobs (fun pool -> Monitor.create ?pool schema inst) with
-    | Ok m -> m
+  let dir =
+    match Directory.open_ ~jobs schema inst with
+    | Ok d -> d
     | Error viols ->
         prerr_endline "error: the starting directory is already illegal:";
         List.iter (fun v -> prerr_endline ("  - " ^ Violation.to_string v)) viols;
         exit 2
   in
-  match Monitor.apply ops monitor with
-  | Ok m ->
-      Printf.printf "transaction accepted: %d operation(s), %d entries now\n"
-        (List.length ops)
-        (Instance.size (Monitor.instance m));
-      (match out_path with
-      | Some path ->
-          write_file path (Bounds_codec.Ldif.to_string (Monitor.instance m));
-          Printf.printf "updated directory written to %s\n" path
-      | None -> ());
-      0
-  | Error r ->
-      Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
-      1
+  Fun.protect
+    ~finally:(fun () -> Directory.close dir)
+    (fun () ->
+      match Directory.apply dir ops with
+      | Ok dir ->
+          Printf.printf "transaction accepted: %d operation(s), %d entries now\n"
+            (List.length ops) (Directory.size dir);
+          if stats then
+            Format.printf "%a@." Directory.pp_stats (Directory.stats dir);
+          (match out_path with
+          | Some path ->
+              write_file path
+                (Bounds_codec.Ldif.to_string (Directory.instance dir));
+              Printf.printf "updated directory written to %s\n" path
+          | None -> ());
+          0
+      | Error r ->
+          Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
+          1)
 
 let update_cmd =
   let ops =
@@ -464,10 +476,18 @@ let update_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"LDIF" ~doc:"Write the updated directory here.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print session statistics after the transaction (entries, memo \
+             hit/miss and migration counts).")
+  in
   Cmd.v
     (Cmd.info "update"
        ~doc:"Apply an update transaction under incremental legality checking.")
-    Term.(const update $ schema_arg $ data_arg $ ops $ out $ jobs_arg)
+    Term.(const update $ schema_arg $ data_arg $ ops $ out $ stats $ jobs_arg)
 
 (* --- repair ------------------------------------------------------------------ *)
 

@@ -1,0 +1,183 @@
+open Bounds_model
+module Index = Bounds_query.Index
+module Vindex = Bounds_query.Vindex
+module Plan = Bounds_query.Plan
+module Search = Bounds_query.Search
+module Pool = Bounds_par.Pool
+
+(* --- read-only snapshots ---------------------------------------------- *)
+
+module Snapshot = struct
+  type t = { index : Index.t; vindex : Vindex.t; memo : Plan.memo }
+
+  let of_index ?pool index =
+    let vindex = Vindex.create ?pool index in
+    { index; vindex; memo = Plan.memo_create vindex }
+
+  let of_instance ?pool inst = of_index ?pool (Index.create ?pool inst)
+  let index s = s.index
+  let vindex s = s.vindex
+  let memo s = s.memo
+  let instance s = Index.instance s.index
+  let query ?pool s q = Plan.memo_eval ?pool s.memo q
+  let query_ids ?pool s q = Index.ids_of s.index (query ?pool s q)
+
+  let explain ?pool s q =
+    let plan = Plan.plan s.vindex q in
+    let result = Plan.exec ?pool plan in
+    (plan, result)
+
+  let search s ~base scope filter =
+    Search.search ~vindex:s.vindex s.index ~base scope filter
+
+  let validate ?(extensions = true) ?pool ?memoize schema s =
+    Legality.check ~extensions ?pool ~index:s.index ~vindex:s.vindex
+      ~memo:s.memo ?memoize schema (instance s)
+end
+
+(* --- live sessions ----------------------------------------------------- *)
+
+(* Query/update tallies are shared by every version of a session (the
+   record travels through [{ t with ... }] untouched), so [stats] reports
+   session totals no matter which version it is asked on. *)
+type counters = {
+  mutable queries : int;
+  mutable applied : int;
+  mutable rejected : int;
+}
+
+type t = {
+  schema : Schema.t;
+  monitor : Monitor.t;
+  vindex : Vindex.t;
+  memo : Plan.memo;
+  extensions : bool;
+  memoize : bool;
+  pool : Pool.t option;
+  owns_pool : bool;
+  counters : counters;
+}
+
+let open_ ?(extensions = true) ?jobs ?pool ?(memoize = true) schema inst =
+  let pool, owns_pool =
+    match (pool, jobs) with
+    | (Some _ as p), _ -> (p, false)
+    | None, (None | Some 1) -> (None, false)
+    | None, Some j ->
+        let domains = if j <= 0 then None else Some j in
+        (Some (Pool.create ?domains ()), true)
+  in
+  let index = Index.create ?pool inst in
+  let vindex = Vindex.create ?pool index in
+  let memo = Plan.memo_create vindex in
+  (* The admission scan prewarms [memo] with the Figure-4 obligation
+     queries, so the session's first [validate] is all cache hits. *)
+  match
+    Monitor.create ~extensions ?pool ~index ~vindex
+      ?memo:(if memoize then Some memo else None)
+      ~memoize schema inst
+  with
+  | Error _ as e ->
+      if owns_pool then Option.iter Pool.shutdown pool;
+      e
+  | Ok monitor ->
+      Ok
+        {
+          schema;
+          monitor;
+          vindex;
+          memo;
+          extensions;
+          memoize;
+          pool;
+          owns_pool;
+          counters = { queries = 0; applied = 0; rejected = 0 };
+        }
+
+let schema t = t.schema
+let monitor t = t.monitor
+let instance t = Monitor.instance t.monitor
+let index t = Monitor.index t.monitor
+let vindex t = t.vindex
+let pool t = t.pool
+let size t = Instance.size (instance t)
+
+let query t q =
+  t.counters.queries <- t.counters.queries + 1;
+  Plan.memo_eval ?pool:t.pool t.memo q
+
+let query_ids t q = Index.ids_of (index t) (query t q)
+
+let explain t q =
+  t.counters.queries <- t.counters.queries + 1;
+  let plan = Plan.plan t.vindex q in
+  let result = Plan.exec ?pool:t.pool plan in
+  (plan, result)
+
+let search t ~base scope filter =
+  t.counters.queries <- t.counters.queries + 1;
+  Search.search ~vindex:t.vindex (index t) ~base scope filter
+
+let validate t =
+  Legality.check ~extensions:t.extensions ?pool:t.pool ~index:(index t)
+    ~vindex:t.vindex
+    ?memo:(if t.memoize then Some t.memo else None)
+    ~memoize:t.memoize t.schema (instance t)
+
+let apply t ops =
+  match Monitor.apply ops t.monitor with
+  | Error _ as e ->
+      t.counters.rejected <- t.counters.rejected + 1;
+      e
+  | Ok monitor ->
+      (* the monitor already spliced the accepted Δs into its live index;
+         carry the value tables and the memo across the same ops *)
+      let index = Monitor.index monitor in
+      let vindex = Vindex.apply ~index ops t.vindex in
+      let memo =
+        if t.memoize then Plan.memo_apply ~vindex ops t.memo
+        else Plan.memo_create vindex
+      in
+      t.counters.applied <- t.counters.applied + 1;
+      Ok { t with monitor; vindex; memo }
+
+let snapshot t =
+  { Snapshot.index = index t; vindex = t.vindex; memo = t.memo }
+
+let close t = if t.owns_pool then Option.iter Pool.shutdown t.pool
+
+(* --- stats -------------------------------------------------------------- *)
+
+type stats = {
+  entries : int;
+  queries : int;
+  applied : int;
+  rejected : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_entries : int;
+  memo_migrated : int;
+  memo_dropped : int;
+}
+
+let stats t =
+  let memo_hits, memo_misses, memo_entries = Plan.memo_stats t.memo in
+  let memo_migrated, memo_dropped = Plan.memo_migration_stats t.memo in
+  {
+    entries = size t;
+    queries = t.counters.queries;
+    applied = t.counters.applied;
+    rejected = t.counters.rejected;
+    memo_hits;
+    memo_misses;
+    memo_entries;
+    memo_migrated;
+    memo_dropped;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>entries: %d@ queries: %d@ updates: %d applied, %d rejected@ memo: \
+     %d entries (%d hits, %d misses; migration carried %d, dropped %d)@]"
+    s.entries s.queries s.applied s.rejected s.memo_entries s.memo_hits
+    s.memo_misses s.memo_migrated s.memo_dropped

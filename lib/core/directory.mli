@@ -1,0 +1,172 @@
+(** Live directory sessions: one facade over the schema monitor, the
+    evaluation index, the value/range/trigram tables, and the query memo.
+
+    A {!t} is a persistent handle on a directory known to be legal.  It
+    owns every auxiliary structure the library can maintain for one
+    instance version and keeps all of them {e incrementally} consistent
+    across updates:
+
+    - the {!Bounds_query.Index} preorder encoding is patched by interval
+      shifting ({!Bounds_query.Index.apply} and friends) — each accepted
+      Δ is indexed once and spliced, never re-traversed;
+    - the {!Bounds_query.Vindex} value tables are patched per touched
+      key, with range/trigram tables for touched attributes evicted and
+      lazily rebuilt;
+    - the {!Bounds_query.Plan} memo is migrated ({!Bounds_query.Plan.memo_apply}):
+      pointwise cache entries survive the update, only χ-dependent ones
+      are re-evaluated on demand.
+
+    Like the underlying {!Monitor}, a session value is persistent: a
+    rejected {!apply} leaves the previous value usable, and superseded
+    versions remain valid {!Snapshot}s of their instance version. *)
+
+open Bounds_model
+
+(** {1 Read-only snapshots}
+
+    A snapshot bundles the (index, vindex, memo) triple of {e one}
+    instance version — what callers previously plumbed by hand around
+    {!Bounds_query.Index.create} / {!Bounds_query.Vindex.create}.  It
+    performs no legality checking of its own. *)
+
+module Snapshot : sig
+  type t
+
+  (** Build every auxiliary structure for [inst] (index construction is
+      parallelized by [pool]). *)
+  val of_instance : ?pool:Bounds_par.Pool.t -> Instance.t -> t
+
+  (** Wrap an existing evaluation index. *)
+  val of_index : ?pool:Bounds_par.Pool.t -> Bounds_query.Index.t -> t
+
+  val index : t -> Bounds_query.Index.t
+  val vindex : t -> Bounds_query.Vindex.t
+  val memo : t -> Bounds_query.Plan.memo
+  val instance : t -> Instance.t
+
+  (** Evaluate through the snapshot's memo (caching — sequential use
+      only; [pool] parallelizes χ sweeps inside one evaluation). *)
+  val query :
+    ?pool:Bounds_par.Pool.t -> t -> Bounds_query.Query.t -> Bounds_query.Bitset.t
+
+  val query_ids :
+    ?pool:Bounds_par.Pool.t -> t -> Bounds_query.Query.t -> Entry.id list
+
+  (** Evaluate through the cost-based planner, returning the executed
+      plan (with actual cardinalities recorded) alongside the result —
+      the [--explain] path. *)
+  val explain :
+    ?pool:Bounds_par.Pool.t ->
+    t ->
+    Bounds_query.Query.t ->
+    Bounds_query.Plan.t * Bounds_query.Bitset.t
+
+  (** LDAP-style scoped search over the snapshot. *)
+  val search :
+    t ->
+    base:Entry.id option ->
+    Bounds_query.Search.scope ->
+    Bounds_query.Filter.t ->
+    Entry.id list
+
+  (** Full legality check of the snapshot's instance, reusing its index,
+      vindex and memo. *)
+  val validate :
+    ?extensions:bool ->
+    ?pool:Bounds_par.Pool.t ->
+    ?memoize:bool ->
+    Schema.t ->
+    t ->
+    Violation.t list
+end
+
+(** {1 Live sessions} *)
+
+type t
+
+(** [open_ schema inst] runs the full admission scan (via
+    {!Monitor.create}) and builds the session's index, value tables and
+    memo; the scan prewarms the memo with the Figure-4 obligation
+    queries.  [Error] carries the violations of an illegal [inst].
+
+    [extensions] (default [true]) also enforces single-valued attributes
+    and keys.  [memoize] (default [true]) keeps the query memo across
+    updates; [false] rebuilds it per version (the benchmark baseline).
+
+    Parallelism: pass an existing [pool], or let the session own one via
+    [jobs] — [1] (and the default) is sequential, [0] uses the machine's
+    recommended domain count, [n > 1] uses [n] domains.  A session-owned
+    pool is shut down by {!close}. *)
+val open_ :
+  ?extensions:bool ->
+  ?jobs:int ->
+  ?pool:Bounds_par.Pool.t ->
+  ?memoize:bool ->
+  Schema.t ->
+  Instance.t ->
+  (t, Violation.t list) result
+
+val schema : t -> Schema.t
+val monitor : t -> Monitor.t
+val instance : t -> Instance.t
+val index : t -> Bounds_query.Index.t
+val vindex : t -> Bounds_query.Vindex.t
+val pool : t -> Bounds_par.Pool.t option
+
+(** Number of entries in the current version. *)
+val size : t -> int
+
+(** Evaluate a hierarchical selection query through the session memo.
+    Caching — call sequentially (the underlying χ sweeps may still use
+    the session pool). *)
+val query : t -> Bounds_query.Query.t -> Bounds_query.Bitset.t
+
+val query_ids : t -> Bounds_query.Query.t -> Entry.id list
+
+(** Like {!Snapshot.explain}, against the current version. *)
+val explain : t -> Bounds_query.Query.t -> Bounds_query.Plan.t * Bounds_query.Bitset.t
+
+(** LDAP-style scoped search over the current version. *)
+val search :
+  t ->
+  base:Entry.id option ->
+  Bounds_query.Search.scope ->
+  Bounds_query.Filter.t ->
+  Entry.id list
+
+(** Re-run the full legality check on the current version, reusing the
+    session's index, value tables and migrated memo.  Always [[]] after
+    a successful {!open_}/{!apply} — exposed for auditing and testing. *)
+val validate : t -> Violation.t list
+
+(** [apply t ops] — the whole transaction atomically under incremental
+    legality ({!Monitor.apply}); on acceptance the index, value tables
+    and memo are all carried forward incrementally and a new session
+    version is returned.  On rejection [t] is unchanged (and still
+    usable). *)
+val apply : t -> Update.op list -> (t, Monitor.rejection) result
+
+(** The current version's (index, vindex, memo) as an immutable
+    {!Snapshot} — remains valid after further [apply]s on the session. *)
+val snapshot : t -> Snapshot.t
+
+(** Shut down the session-owned pool, if any ([jobs] in {!open_}).  The
+    session data remains usable (sequentially) afterwards. *)
+val close : t -> unit
+
+(** {1 Stats} *)
+
+type stats = {
+  entries : int;  (** instance size of the current version *)
+  queries : int;  (** queries/searches/explains served by the session *)
+  applied : int;  (** accepted transactions *)
+  rejected : int;  (** rejected transactions *)
+  memo_hits : int;
+  memo_misses : int;
+  memo_entries : int;
+  memo_migrated : int;  (** cache entries carried across updates *)
+  memo_dropped : int;  (** χ-dependent entries re-evaluated instead *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

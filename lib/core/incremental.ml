@@ -54,7 +54,8 @@ let classes_on_path base start =
   in
   go Oclass.Set.empty start
 
-let check_insert ?(extensions = false) (schema : Schema.t) ~base ~parent ~delta =
+let check_insert ?(extensions = false) ?delta_index (schema : Schema.t) ~base
+    ~parent ~delta =
   if Instance.is_empty delta then Error "empty insertion"
   else
     match Instance.roots delta with
@@ -74,8 +75,12 @@ let check_insert ?(extensions = false) (schema : Schema.t) ~base ~parent ~delta 
               Instance.iter
                 (fun e -> List.iter add (Single_valued.check_entry schema e))
                 delta;
-            (* structure *)
-            let ix = Index.create delta in
+            (* structure — the Δ index is built at most once per
+               transaction step: callers that also need it (to splice Δ
+               into a live index) pass it in *)
+            let ix =
+              match delta_index with Some ix -> ix | None -> Index.create delta
+            in
             let path_classes = classes_on_path base parent in
             let parent_classes =
               match parent with

@@ -51,9 +51,13 @@ val delta_query_delete_req : Structure_schema.required -> (string * scope) list
     root).  [base] is assumed legal.  Extensions (single-valued, keys) are
     covered only when [extensions] is [true] (default [false]; the keys
     check needs a scan of [base], see {!Monitor} for the stateful O(Δ)
-    version). *)
+    version).  [delta_index], when given, must be an evaluation index of
+    [delta]; it is used instead of building one, so a caller checking
+    and then splicing the same Δ (see {!Monitor.insert_subtree}) indexes
+    it exactly once. *)
 val check_insert :
   ?extensions:bool ->
+  ?delta_index:Bounds_query.Index.t ->
   Schema.t ->
   base:Instance.t ->
   parent:Entry.id option ->

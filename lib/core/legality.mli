@@ -21,12 +21,15 @@ open Bounds_query
     obligation order, chunk-ordered merges).
 
     [memoize] (default [true]) routes the structure obligations through
-    the shared-subquery memo of {!Structure_legality.check}. *)
+    the shared-subquery memo of {!Structure_legality.check}; [memo]
+    supplies a session's migrated cache to reuse instead of building a
+    fresh one. *)
 val check :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memo:Plan.memo ->
   ?memoize:bool ->
   Schema.t ->
   Instance.t ->
@@ -37,6 +40,7 @@ val is_legal :
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memo:Plan.memo ->
   ?memoize:bool ->
   Schema.t ->
   Instance.t ->

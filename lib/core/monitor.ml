@@ -1,10 +1,14 @@
 open Bounds_model
-
+module Index = Bounds_query.Index
 module Smap = Map.Make (String)
 
 type t = {
   schema : Schema.t;
   inst : Instance.t;
+  index : Index.t;
+      (* live evaluation index of [inst], patched in place (on a
+         copy-on-write version) by every accepted update — never rebuilt
+         from scratch after admission *)
   extensions : bool;
   counts : int Oclass.Map.t;
   key_values : Entry.id list Smap.t;
@@ -53,13 +57,21 @@ let key_values_of_instance schema inst =
         m (entry_key_values schema e))
     inst Smap.empty
 
-let create ?(extensions = true) ?pool ?index ?vindex ?memoize schema inst =
-  match Legality.check ~extensions ?pool ?index ?vindex ?memoize schema inst with
+let create ?(extensions = true) ?pool ?index ?vindex ?memo ?memoize schema inst =
+  (* Build the admission-scan index up front if the caller has none: it
+     doubles as the live index the monitor maintains from here on. *)
+  let index =
+    match index with Some ix -> ix | None -> Index.create ?pool inst
+  in
+  match
+    Legality.check ~extensions ?pool ~index ?vindex ?memo ?memoize schema inst
+  with
   | [] ->
       Ok
         {
           schema;
-          inst;
+          inst = Index.instance index;
+          index;
           extensions;
           counts = counts_of_instance inst;
           key_values =
@@ -69,6 +81,7 @@ let create ?(extensions = true) ?pool ?index ?vindex ?memoize schema inst =
 
 let instance m = m.inst
 let schema m = m.schema
+let index m = m.index
 
 let class_count m c =
   Option.value ~default:0 (Oclass.Map.find_opt c m.counts)
@@ -132,9 +145,13 @@ let bump_keys delta_sign sub m kv =
     sub kv
 
 let insert_subtree ~parent delta m =
+  (* one Δ index per step: the incremental check evaluates its Figure-5
+     Δ-queries on it, and the accepted subtree is then spliced into the
+     live index from the very same encoding *)
+  let delta_index = Index.create delta in
   match
-    Incremental.check_insert ~extensions:m.extensions m.schema ~base:m.inst ~parent
-      ~delta
+    Incremental.check_insert ~extensions:m.extensions ~delta_index m.schema
+      ~base:m.inst ~parent ~delta
   with
   | Error msg -> failwith msg
   | Ok viols -> (
@@ -143,19 +160,18 @@ let insert_subtree ~parent delta m =
       in
       match viols with
       | _ :: _ -> Error viols
-      | [] -> (
-          match Instance.graft ~parent delta m.inst with
-          | Error e -> failwith (Instance.error_to_string e)
-          | Ok inst ->
-              Ok
-                {
-                  m with
-                  inst;
-                  counts = bump 1 delta m.counts;
-                  key_values =
-                    (if m.extensions then bump_keys 1 delta m m.key_values
-                     else m.key_values);
-                }))
+      | [] ->
+          let index = Index.graft ~parent ~delta_index delta m.index in
+          Ok
+            {
+              m with
+              inst = Index.instance index;
+              index;
+              counts = bump 1 delta m.counts;
+              key_values =
+                (if m.extensions then bump_keys 1 delta m m.key_values
+                 else m.key_values);
+            })
 
 let delete_subtree root m =
   match
@@ -167,19 +183,18 @@ let delete_subtree root m =
   | Ok [] -> (
       match Instance.subtree m.inst root with
       | Error e -> failwith (Instance.error_to_string e)
-      | Ok sub -> (
-          match Instance.remove_subtree root m.inst with
-          | Error e -> failwith (Instance.error_to_string e)
-          | Ok inst ->
-              Ok
-                {
-                  m with
-                  inst;
-                  counts = bump (-1) sub m.counts;
-                  key_values =
-                    (if m.extensions then bump_keys (-1) sub m m.key_values
-                     else m.key_values);
-                }))
+      | Ok sub ->
+          let index = Index.prune root m.index in
+          Ok
+            {
+              m with
+              inst = Index.instance index;
+              index;
+              counts = bump (-1) sub m.counts;
+              key_values =
+                (if m.extensions then bump_keys (-1) sub m m.key_values
+                 else m.key_values);
+            })
 
 let modify_entry id f m =
   let old_entry =
@@ -218,20 +233,18 @@ let modify_entry id f m =
   in
   match viols with
   | _ :: _ -> Error viols
-  | [] -> (
-      match Instance.update_entry id (fun _ -> new_entry) m.inst with
-      | Error e -> failwith (Instance.error_to_string e)
-      | Ok inst ->
-          let key_values =
-            if m.extensions then
-              let kv =
-                List.fold_left (kv_remove id) m.key_values
-                  (entry_key_values m.schema old_entry)
-              in
-              List.fold_left (kv_add id) kv (entry_key_values m.schema new_entry)
-            else m.key_values
+  | [] ->
+      let index = Index.replace_entry new_entry m.index in
+      let key_values =
+        if m.extensions then
+          let kv =
+            List.fold_left (kv_remove id) m.key_values
+              (entry_key_values m.schema old_entry)
           in
-          Ok { m with inst; key_values })
+          List.fold_left (kv_add id) kv (entry_key_values m.schema new_entry)
+        else m.key_values
+      in
+      Ok { m with inst = Index.instance index; index; key_values }
 
 type rejection =
   | Bad_ops of string

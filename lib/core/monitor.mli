@@ -18,14 +18,17 @@ type t
     indexes.  [extensions] (default [true]) also enforces single-valued
     attributes and keys.  [pool] parallelizes the initial full check (the
     expensive O(|D|) admission scan); subsequent incremental checks are
-    O(|Δ|) and run sequentially.  [index]/[vindex]/[memoize] are passed
-    through to {!Legality.check} for the admission scan — an existing
-    evaluation-index snapshot of [inst] is reused rather than rebuilt. *)
+    O(|Δ|) and run sequentially.  [index]/[vindex]/[memo]/[memoize] are
+    passed through to {!Legality.check} for the admission scan — an
+    existing evaluation-index snapshot of [inst] is reused rather than
+    rebuilt, and a caller-supplied memo comes back prewarmed with the
+    obligation queries (see {!Directory.open_}). *)
 val create :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
   ?index:Bounds_query.Index.t ->
   ?vindex:Bounds_query.Vindex.t ->
+  ?memo:Bounds_query.Plan.memo ->
   ?memoize:bool ->
   Schema.t ->
   Instance.t ->
@@ -33,6 +36,14 @@ val create :
 
 val instance : t -> Instance.t
 val schema : t -> Schema.t
+
+(** The live evaluation index of {!instance}: seeded by the admission
+    scan (or taken from [create]'s [index] argument) and then patched
+    across every accepted update with {!Bounds_query.Index.graft} /
+    [prune] / [replace_entry] — each Δ is indexed once and spliced by
+    interval shifting, never re-traversed.  Old monitor versions keep
+    their own index snapshot. *)
+val index : t -> Bounds_query.Index.t
 
 (** Number of entries currently belonging to the class. *)
 val class_count : t -> Oclass.t -> int

@@ -1,13 +1,14 @@
 open Bounds_model
 
-type error = { line : int; message : string }
+type error = Parse_error.t
 
-let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+let error_to_string = Parse_error.to_line_string
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 
-exception Err of error
+exception Err of Parse_error.t
 
-let err line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+let err line fmt =
+  Printf.ksprintf (fun msg -> raise (Err (Parse_error.make ~pos:line msg))) fmt
 
 (* --- tokens ----------------------------------------------------------- *)
 
@@ -278,7 +279,7 @@ let parse src =
         ~single_valued:acc.single_valued ~keys:acc.keys ()
     with
     | Ok schema -> Ok schema
-    | Error msgs -> Error { line = 0; message = String.concat "; " msgs }
+    | Error msgs -> Error (Parse_error.make ~pos:0 (String.concat "; " msgs))
   with Err e -> Error e
 
 let parse_exn src =

@@ -27,9 +27,14 @@
     be declared before their children.  Semicolons and newlines are
     interchangeable separators. *)
 
-type error = { line : int; message : string }
+(** Errors are the shared {!Bounds_model.Parse_error.t}; here [pos] is a
+    1-based source line number ([0] marks whole-schema assembly errors
+    with no single offending line). *)
+type error = Bounds_model.Parse_error.t
 
 val pp_error : Format.formatter -> error -> unit
+
+(** Renders as ["line %d: %s"]. *)
 val error_to_string : error -> string
 
 val parse : string -> (Schema.t, error) result

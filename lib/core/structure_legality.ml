@@ -19,20 +19,29 @@ let find_targets inst f cj src =
    the sequential engine.  Each task's own query evaluation runs
    sequentially — the obligation is the unit of parallelism here (a
    nested pool submission would be executed inline anyway). *)
-let check ?pool ?index ?vindex ?(memoize = true) (schema : Schema.t) inst =
+let check ?pool ?index ?vindex ?memo ?(memoize = true) (schema : Schema.t) inst =
   let ix = match index with Some ix -> ix | None -> Index.create ?pool inst in
   let obligations = Array.of_list (Translate.all schema.structure) in
   let eval_q =
-    if memoize then begin
+    if memoize || memo <> None then begin
       (* Hash-consed memo over this (index, vindex) snapshot: the
          obligation queries share their class selections and χ frames
          heavily (σ−(s_i, χ(ax, s_i, s_j)) alone names s_i twice), so the
          shared subqueries are evaluated-and-cached once, sequentially,
          before the obligation fan-out reads the cache from the workers
          ([memo_eval_ro] never writes — concurrent reads of a frozen
-         table are safe). *)
-      let vx = match vindex with Some vx -> vx | None -> Vindex.create ?pool ix in
-      let memo = Plan.memo_create vx in
+         table are safe).  A caller-supplied [memo] (e.g. a session's
+         cache migrated across updates by [Plan.memo_apply]) is used as
+         is: prewarm only tops up what migration dropped. *)
+      let memo =
+        match memo with
+        | Some m -> m
+        | None ->
+            let vx =
+              match vindex with Some vx -> vx | None -> Vindex.create ?pool ix
+            in
+            Plan.memo_create vx
+      in
       Plan.prewarm ?pool memo
         (Array.to_list (Array.map (fun (_, q, _) -> q) obligations));
       fun q -> Plan.memo_eval_ro memo q
@@ -70,5 +79,5 @@ let check ?pool ?index ?vindex ?(memoize = true) (schema : Schema.t) inst =
   Bounds_par.Pool.map_array ?pool viols_of obligations
   |> Array.to_list |> List.concat
 
-let is_legal ?pool ?index ?vindex ?memoize schema inst =
-  check ?pool ?index ?vindex ?memoize schema inst = []
+let is_legal ?pool ?index ?vindex ?memo ?memoize schema inst =
+  check ?pool ?index ?vindex ?memo ?memoize schema inst = []

@@ -23,11 +23,18 @@ open Bounds_query
     subqueries (class selections, χ frames) are computed exactly once,
     sequentially, before the fan-out reads the cache.  A vindex is built
     automatically if none is supplied.  [memoize:false] restores the
-    direct per-obligation {!Eval.eval} path (the benchmark baseline). *)
+    direct per-obligation {!Eval.eval} path (the benchmark baseline).
+
+    [memo], when given, is used instead of a fresh memo (overriding
+    [memoize:false]): a live session passes the cache it migrated across
+    the last update with {!Bounds_query.Plan.memo_apply}, so only the
+    entries migration dropped are re-evaluated by the prewarm.  The memo
+    must be scoped to an (index, vindex) snapshot of [inst]. *)
 val check :
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memo:Plan.memo ->
   ?memoize:bool ->
   Schema.t ->
   Instance.t ->
@@ -37,6 +44,7 @@ val is_legal :
   ?pool:Bounds_par.Pool.t ->
   ?index:Index.t ->
   ?vindex:Vindex.t ->
+  ?memo:Plan.memo ->
   ?memoize:bool ->
   Schema.t ->
   Instance.t ->

@@ -1,28 +1,8 @@
-(** Directory update operations (Section 4.1).
+(** Alias of {!Bounds_model.Update}, kept so existing
+    [Bounds_core.Update] callers are unaffected by the module's move
+    into the model layer (where the incremental index maintenance of
+    {!Bounds_query.Index.apply} can name it). *)
 
-    LDAP's update discipline: a new entry must be a root or a child of an
-    existing entry; only leaf entries may be deleted.  An update
-    transaction is a sequence of such operations. *)
-
-open Bounds_model
-
-type op =
-  | Insert of { parent : Entry.id option; entry : Entry.t }
-  | Delete of Entry.id
-
-val pp_op : Format.formatter -> op -> unit
-
-(** [apply_op inst op] enforces the discipline ([Insert] under an existing
-    parent with a fresh id; [Delete] of an existing leaf). *)
-val apply_op : Instance.t -> op -> (Instance.t, string) result
-
-(** [apply inst ops] applies left to right, failing fast. *)
-val apply : Instance.t -> op list -> (Instance.t, string) result
-
-(** [ops_of_subtree ~parent sub] — the insertion sequence creating [sub]
-    (a forest) under [parent], parents before children. *)
-val ops_of_subtree : parent:Entry.id option -> Instance.t -> op list
-
-(** [ops_of_deletion inst root] — the leaf-first deletion sequence
-    removing the subtree of [root]. *)
-val ops_of_deletion : Instance.t -> Entry.id -> op list
+include module type of struct
+  include Bounds_model.Update
+end

@@ -309,7 +309,9 @@ let filter_roundtrip =
           with_filter c (fun f ->
               let text = Filter.to_string f in
               match Filter_parser.parse text with
-              | Error m -> disagreef "printed filter %S does not parse: %s" text m
+              | Error e ->
+                  disagreef "printed filter %S does not parse: %s" text
+                    (Parse_error.to_string e)
               | Ok f' ->
                   if Filter.equal f f' then Agree
                   else
@@ -333,9 +335,9 @@ let filter_text =
               | Ok f -> (
                   let printed = Filter.to_string f in
                   match Filter_parser.parse printed with
-                  | Error m ->
+                  | Error e ->
                       disagreef "%S parses, but its printed form %S does not: %s" t
-                        printed m
+                        printed (Parse_error.to_string e)
                   | Ok f' ->
                       if Filter.equal f f' then Agree
                       else
@@ -357,7 +359,9 @@ let query_roundtrip =
           with_query c (fun q ->
               let text = Query.to_string q in
               match Query_parser.parse text with
-              | Error m -> disagreef "printed query %S does not parse: %s" text m
+              | Error e ->
+                  disagreef "printed query %S does not parse: %s" text
+                    (Parse_error.to_string e)
               | Ok q' ->
                   if Query.equal q q' then Agree
                   else
@@ -555,6 +559,123 @@ let txn_witness =
                           (pp_violations vs))));
   }
 
+(* Every per-rank fact the interval-shifting maintenance patches, against
+   a from-scratch [Index.create] of the same instance. *)
+let index_diff live fresh =
+  if Index.n live <> Index.n fresh then
+    Some (Printf.sprintf "sizes differ: %d vs %d" (Index.n live) (Index.n fresh))
+  else
+    let n = Index.n live in
+    let rec go r =
+      if r = n then None
+      else
+        let fail what a b =
+          Some (Printf.sprintf "rank %d: %s %d vs %d" r what a b)
+        in
+        let a = Index.id_of_rank live r and b = Index.id_of_rank fresh r in
+        if a <> b then fail "id" a b
+        else if
+          not (Entry.equal (Index.entry_of_rank live r) (Index.entry_of_rank fresh r))
+        then Some (Printf.sprintf "rank %d: entries differ" r)
+        else
+          let a = Index.parent_rank live r and b = Index.parent_rank fresh r in
+          if a <> b then fail "parent" a b
+          else
+            let a = Index.depth_of_rank live r and b = Index.depth_of_rank fresh r in
+            if a <> b then fail "depth" a b
+            else
+              let a = Index.extent_of_rank live r
+              and b = Index.extent_of_rank fresh r in
+              if a <> b then fail "extent" a b
+              else if Index.rank live (Index.id_of_rank live r) <> r then
+                Some (Printf.sprintf "rank %d: rank table does not round-trip" r)
+              else go (r + 1)
+    in
+    go 0
+
+let index_apply_vs_rebuild =
+  {
+    name = "index-apply-vs-rebuild";
+    doc =
+      "a Directory session's incrementally-patched index/vindex/memo agree \
+       with a from-scratch rebuild after each accepted transaction";
+    generate =
+      (fun ~seed rng -> monitor_case "index-apply-vs-rebuild" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  match Directory.open_ schema inst with
+                  | Error _ -> Agree (* illegal start: out of contract *)
+                  | Ok dir -> (
+                      match Directory.apply dir c.Case.ops with
+                      | Error _ -> Agree (* rejection is monitor-vs-recheck's job *)
+                      | Ok dir -> (
+                          let live_ix = Directory.index dir in
+                          let final = Directory.instance dir in
+                          let fresh_ix = Index.create final in
+                          (* the raw-ops twin of the monitor's graft/prune path *)
+                          let twin_ix = Index.apply c.Case.ops (Index.create inst) in
+                          match
+                            match index_diff live_ix fresh_ix with
+                            | Some m -> Some ("live index vs rebuild: " ^ m)
+                            | None -> (
+                                match index_diff twin_ix fresh_ix with
+                                | Some m -> Some ("Index.apply vs rebuild: " ^ m)
+                                | None ->
+                                    if Instance.equal (Index.instance live_ix) final
+                                    then None
+                                    else Some "live index instance diverged")
+                          with
+                          | Some m -> Disagree m
+                          | None -> (
+                              (* patched vindex + migrated memo vs fresh ones,
+                                 on the very queries the memo caches *)
+                              let fresh_vx = Vindex.create fresh_ix in
+                              let qs =
+                                List.map
+                                  (fun (_, q, _) -> q)
+                                  (Translate.all schema.Schema.structure)
+                              in
+                              let bad =
+                                List.find_map
+                                  (fun q ->
+                                    let live =
+                                      Index.ids_of live_ix
+                                        (Plan.eval (Directory.vindex dir) q)
+                                    in
+                                    let fresh =
+                                      Index.ids_of fresh_ix (Plan.eval fresh_vx q)
+                                    in
+                                    let memo =
+                                      Index.ids_of live_ix (Directory.query dir q)
+                                    in
+                                    if live <> fresh then
+                                      Some
+                                        (Printf.sprintf
+                                           "patched vindex %s vs fresh %s on %s"
+                                           (pp_ids live) (pp_ids fresh)
+                                           (Query.to_string q))
+                                    else if memo <> fresh then
+                                      Some
+                                        (Printf.sprintf
+                                           "migrated memo %s vs fresh %s on %s"
+                                           (pp_ids memo) (pp_ids fresh)
+                                           (Query.to_string q))
+                                    else None)
+                                  qs
+                              in
+                              match bad with
+                              | Some m -> Disagree m
+                              | None -> (
+                                  match Directory.validate dir with
+                                  | [] -> Agree
+                                  | vs ->
+                                      disagreef
+                                        "accepted session fails its own validate: %s"
+                                        (pp_violations vs))))))));
+  }
+
 let par_vs_seq_legality =
   {
     name = "par-vs-seq-legality";
@@ -610,6 +731,7 @@ let all =
     legality_noext_vs_naive;
     monitor_vs_recheck;
     txn_witness;
+    index_apply_vs_rebuild;
     par_vs_seq_legality;
     par_vs_seq_eval;
   ]

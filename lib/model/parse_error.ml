@@ -1,0 +1,9 @@
+type t = { pos : int; msg : string }
+
+let make ~pos msg = { pos; msg }
+let v pos fmt = Printf.ksprintf (fun msg -> { pos; msg }) fmt
+let pos e = e.pos
+let msg e = e.msg
+let to_string e = Printf.sprintf "at offset %d: %s" e.pos e.msg
+let to_line_string e = Printf.sprintf "line %d: %s" e.pos e.msg
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,30 @@
+(** Shared error channel for the text parsers.
+
+    Every parser in the system ({!Bounds_query.Filter_parser},
+    {!Bounds_query.Query_parser}, [Bounds_core.Spec_parser]) reports
+    failures as one structured value: a position and a message.  What
+    the position counts is the parser's business — the single-line
+    filter/query grammars use a byte offset into the source, the
+    multi-line schema-spec grammar a 1-based line number — but the shape
+    (and the pretty-printers callers compose with) is common. *)
+
+type t = { pos : int; msg : string }
+
+val make : pos:int -> string -> t
+
+(** [v pos fmt ...] — [printf]-style constructor. *)
+val v : int -> ('a, unit, string, t) format4 -> 'a
+
+val pos : t -> int
+val msg : t -> string
+
+(** ["at offset %d: %s"] — the rendering for offset-positioned errors
+    (filters, queries). *)
+val to_string : t -> string
+
+(** ["line %d: %s"] — the rendering for line-positioned errors (schema
+    specs). *)
+val to_line_string : t -> string
+
+(** Formats as {!to_string}. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+
+type op =
+  | Insert of { parent : Entry.id option; entry : Entry.t }
+  | Delete of Entry.id
+
+let pp_op ppf = function
+  | Insert { parent = None; entry } ->
+      Format.fprintf ppf "insert %d as root" (Entry.id entry)
+  | Insert { parent = Some p; entry } ->
+      Format.fprintf ppf "insert %d under %d" (Entry.id entry) p
+  | Delete id -> Format.fprintf ppf "delete %d" id
+
+let apply_op inst = function
+  | Insert { parent; entry } ->
+      Result.map_error Instance.error_to_string (Instance.add ~parent entry inst)
+  | Delete id ->
+      Result.map_error Instance.error_to_string (Instance.remove_leaf id inst)
+
+let apply inst ops =
+  List.fold_left
+    (fun acc op -> Result.bind acc (fun inst -> apply_op inst op))
+    (Ok inst) ops
+
+let ops_of_subtree ~parent sub =
+  let ops = ref [] in
+  let rec go parent id =
+    ops := Insert { parent; entry = Instance.entry sub id } :: !ops;
+    List.iter (go (Some id)) (Instance.children sub id)
+  in
+  List.iter (go parent) (Instance.roots sub);
+  List.rev !ops
+
+let ops_of_deletion inst root =
+  let ops = ref [] in
+  let rec go id =
+    List.iter go (Instance.children inst id);
+    ops := Delete id :: !ops
+  in
+  go root;
+  List.rev !ops

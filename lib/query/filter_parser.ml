@@ -1,11 +1,11 @@
 open Bounds_model
 
-exception Parse_error of string
+exception Err of Parse_error.t
 
 type state = { src : string; mutable pos : int }
 
 let error st fmt =
-  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos m))) fmt
+  Printf.ksprintf (fun m -> raise (Err (Parse_error.make ~pos:st.pos m))) fmt
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -174,8 +174,11 @@ let parse s =
     let f = parse_filter st in
     skip_ws st;
     if st.pos <> String.length s then
-      Error (Printf.sprintf "trailing input at offset %d" st.pos)
+      Error (Parse_error.make ~pos:st.pos "trailing input")
     else Ok f
-  with Parse_error m -> Error m
+  with Err e -> Error e
 
-let parse_exn s = match parse s with Ok f -> f | Error m -> failwith m
+let parse_string s = Result.map_error Parse_error.to_string (parse s)
+
+let parse_exn s =
+  match parse s with Ok f -> f | Error e -> failwith (Parse_error.to_string e)

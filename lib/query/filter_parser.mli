@@ -13,7 +13,12 @@
     v}
     Backslash escapes [\(], [\)], [\*], [\\] inside values. *)
 
-val parse : string -> (Filter.t, string) result
+(** Errors carry the byte offset the parser stopped at, in the shared
+    {!Bounds_model.Parse_error.t} shape. *)
+val parse : string -> (Filter.t, Bounds_model.Parse_error.t) result
 
-(** [parse_exn] raises [Failure] with the error message. *)
+val parse_string : string -> (Filter.t, string) result
+[@@deprecated "use [parse]; render with [Bounds_model.Parse_error.to_string]"]
+
+(** [parse_exn] raises [Failure] with the rendered error message. *)
 val parse_exn : string -> Filter.t

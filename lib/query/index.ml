@@ -97,3 +97,261 @@ let ids_of ix bs =
       bs;
     Array.to_list out
   end
+
+(* {1 Incremental maintenance}
+
+   In a preorder numbering a subtree is the contiguous rank interval
+   [r, extent r], so a subtree insertion under parent [p] lands as one
+   block at [k = extent p + 1] (new children are appended after their
+   siblings — [Instance.add]/[Instance.graft] prepend to the reversed
+   child list) and a deletion removes one block.  Either way the patch
+   is an interval shift:
+
+   - ranks in the tail [k, n) move by ±w; their depths are unchanged,
+     their extents move with them, and their parent pointers move iff
+     they point into the tail;
+   - the extents of [p] and of every ancestor of [p] grow/shrink by
+     [w]: an entry [q] outside the shifted tail has its subtree changed
+     iff the spliced block lies inside [q]'s interval, and (intervals
+     being laterally disjoint or nested) those [q] are exactly the
+     ancestors;
+   - everything else is untouched.
+
+   The patch runs on a mutable builder holding one flat copy of the
+   previous version, so each [apply]/[graft]/[prune]/[replace_entry] is
+   copy-on-write: O(n) array blits plus a [Hashtbl.copy] — memmove-speed
+   work, with none of [create]'s DFS, per-entry map lookups or hashtable
+   re-insertion — and then O(|Δ| + shifted interval) splicing.  The
+   arrays of a frozen version may exceed its logical [n]; nothing reads
+   past [n]. *)
+
+type builder = {
+  mutable b_inst : Instance.t;
+  mutable b_n : int;
+  mutable b_entries : Entry.t array;
+  mutable b_ids : Entry.id array;
+  b_ranks : (Entry.id, int) Hashtbl.t;
+  mutable b_parents : int array;
+  mutable b_depths : int array;
+  mutable b_extents : int array;
+}
+
+let builder_of ~extra t =
+  let cap = max 1 (t.n + extra) in
+  let copy_int a =
+    let out = Array.make cap (-1) in
+    Array.blit a 0 out 0 t.n;
+    out
+  in
+  let entries =
+    if t.n = 0 then [||]
+    else begin
+      let out = Array.make cap t.entries.(0) in
+      Array.blit t.entries 0 out 0 t.n;
+      out
+    end
+  in
+  {
+    b_inst = t.instance;
+    b_n = t.n;
+    b_entries = entries;
+    b_ids = copy_int t.ids;
+    b_ranks = Hashtbl.copy t.ranks;
+    b_parents = copy_int t.parents;
+    b_depths = copy_int t.depths;
+    b_extents = copy_int t.extents;
+  }
+
+let freeze b =
+  {
+    instance = b.b_inst;
+    n = b.b_n;
+    entries = b.b_entries;
+    ids = b.b_ids;
+    ranks = b.b_ranks;
+    parents = b.b_parents;
+    depths = b.b_depths;
+    extents = b.b_extents;
+  }
+
+(* [filler] seeds freshly-allocated [Entry.t] slots (immediately
+   overwritten by the splice). *)
+let ensure_cap b extra filler =
+  let need = b.b_n + extra in
+  let cur = Array.length b.b_ids in
+  if cur < need then begin
+    let cap = max need ((2 * cur) + extra) in
+    let grow_int a =
+      let out = Array.make cap (-1) in
+      Array.blit a 0 out 0 b.b_n;
+      out
+    in
+    let entries = Array.make cap filler in
+    Array.blit b.b_entries 0 entries 0 b.b_n;
+    b.b_entries <- entries;
+    b.b_ids <- grow_int b.b_ids;
+    b.b_parents <- grow_int b.b_parents;
+    b.b_depths <- grow_int b.b_depths;
+    b.b_extents <- grow_int b.b_extents
+  end
+  else if Array.length b.b_entries < need then begin
+    (* int arrays were pre-sized but the entry array started empty *)
+    let entries = Array.make cur filler in
+    Array.blit b.b_entries 0 entries 0 b.b_n;
+    b.b_entries <- entries
+  end
+
+(* Open a [w]-wide hole at [k]: tail ranks, their extents, and their
+   into-the-tail parent pointers all move by [+w].  Depths of shifted
+   entries are theirs regardless of position. *)
+let shift_right b k w filler =
+  ensure_cap b w filler;
+  let n = b.b_n in
+  if k < n then begin
+    Array.blit b.b_entries k b.b_entries (k + w) (n - k);
+    Array.blit b.b_ids k b.b_ids (k + w) (n - k);
+    Array.blit b.b_parents k b.b_parents (k + w) (n - k);
+    Array.blit b.b_depths k b.b_depths (k + w) (n - k);
+    Array.blit b.b_extents k b.b_extents (k + w) (n - k);
+    for r = k + w to n + w - 1 do
+      Hashtbl.replace b.b_ranks b.b_ids.(r) r;
+      if b.b_parents.(r) >= k then b.b_parents.(r) <- b.b_parents.(r) + w;
+      b.b_extents.(r) <- b.b_extents.(r) + w
+    done
+  end
+
+(* Close the [w]-wide hole at [k] (whose rank-table bindings are already
+   gone).  A tail entry's parent is never inside the hole — descendants
+   of the removed block live in the block. *)
+let shift_left b k w =
+  let n = b.b_n in
+  if k + w < n then begin
+    Array.blit b.b_entries (k + w) b.b_entries k (n - k - w);
+    Array.blit b.b_ids (k + w) b.b_ids k (n - k - w);
+    Array.blit b.b_parents (k + w) b.b_parents k (n - k - w);
+    Array.blit b.b_depths (k + w) b.b_depths k (n - k - w);
+    Array.blit b.b_extents (k + w) b.b_extents k (n - k - w);
+    for r = k to n - w - 1 do
+      Hashtbl.replace b.b_ranks b.b_ids.(r) r;
+      if b.b_parents.(r) >= k + w then b.b_parents.(r) <- b.b_parents.(r) - w;
+      b.b_extents.(r) <- b.b_extents.(r) - w
+    done
+  end
+
+let bump_ancestor_extents b pr w =
+  let r = ref pr in
+  while !r >= 0 do
+    b.b_extents.(!r) <- b.b_extents.(!r) + w;
+    r := b.b_parents.(!r)
+  done
+
+let parent_rank_of b ~op = function
+  | None -> -1
+  | Some p -> (
+      match Hashtbl.find_opt b.b_ranks p with
+      | Some r -> r
+      | None -> invalid_arg (Printf.sprintf "Index.%s: no parent entry %d" op p))
+
+let insert_one b ~parent entry =
+  (match Instance.add ~parent entry b.b_inst with
+  | Ok inst -> b.b_inst <- inst
+  | Error e -> invalid_arg ("Index.apply: " ^ Instance.error_to_string e));
+  let pr = parent_rank_of b ~op:"apply" parent in
+  let k = if pr < 0 then b.b_n else b.b_extents.(pr) + 1 in
+  shift_right b k 1 entry;
+  b.b_entries.(k) <- entry;
+  b.b_ids.(k) <- Entry.id entry;
+  b.b_parents.(k) <- pr;
+  b.b_depths.(k) <- (if pr < 0 then 0 else b.b_depths.(pr) + 1);
+  b.b_extents.(k) <- k;
+  Hashtbl.replace b.b_ranks (Entry.id entry) k;
+  if pr >= 0 then bump_ancestor_extents b pr 1;
+  b.b_n <- b.b_n + 1
+
+let delete_one b id =
+  (match Instance.remove_leaf id b.b_inst with
+  | Ok inst -> b.b_inst <- inst
+  | Error e -> invalid_arg ("Index.apply: " ^ Instance.error_to_string e));
+  let r = Hashtbl.find b.b_ranks id in
+  let pr = b.b_parents.(r) in
+  if pr >= 0 then bump_ancestor_extents b pr (-1);
+  Hashtbl.remove b.b_ranks id;
+  shift_left b r 1;
+  b.b_n <- b.b_n - 1
+
+let apply ops t =
+  let inserts =
+    List.fold_left
+      (fun acc -> function Update.Insert _ -> acc + 1 | Update.Delete _ -> acc)
+      0 ops
+  in
+  let b = builder_of ~extra:inserts t in
+  List.iter
+    (function
+      | Update.Insert { parent; entry } -> insert_one b ~parent entry
+      | Update.Delete id -> delete_one b id)
+    ops;
+  freeze b
+
+let graft ~parent ?delta_index delta t =
+  let dix = match delta_index with Some d -> d | None -> create delta in
+  let w = dix.n in
+  if w = 0 then t
+  else begin
+    let b = builder_of ~extra:w t in
+    (match Instance.graft ~parent delta b.b_inst with
+    | Ok inst -> b.b_inst <- inst
+    | Error e -> invalid_arg ("Index.graft: " ^ Instance.error_to_string e));
+    let pr = parent_rank_of b ~op:"graft" parent in
+    let k = if pr < 0 then b.b_n else b.b_extents.(pr) + 1 in
+    let depth_off = if pr < 0 then 0 else b.b_depths.(pr) + 1 in
+    shift_right b k w dix.entries.(0);
+    for i = 0 to w - 1 do
+      let r = k + i in
+      b.b_entries.(r) <- dix.entries.(i);
+      b.b_ids.(r) <- dix.ids.(i);
+      b.b_parents.(r) <- (if dix.parents.(i) < 0 then pr else k + dix.parents.(i));
+      b.b_depths.(r) <- depth_off + dix.depths.(i);
+      b.b_extents.(r) <- k + dix.extents.(i);
+      Hashtbl.replace b.b_ranks b.b_ids.(r) r
+    done;
+    if pr >= 0 then bump_ancestor_extents b pr w;
+    b.b_n <- b.b_n + w;
+    freeze b
+  end
+
+let prune root t =
+  let r =
+    match Hashtbl.find_opt t.ranks root with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Index.prune: no entry %d" root)
+  in
+  let w = t.extents.(r) - r + 1 in
+  let b = builder_of ~extra:0 t in
+  (match Instance.remove_subtree root b.b_inst with
+  | Ok inst -> b.b_inst <- inst
+  | Error e -> invalid_arg ("Index.prune: " ^ Instance.error_to_string e));
+  for i = r to r + w - 1 do
+    Hashtbl.remove b.b_ranks b.b_ids.(i)
+  done;
+  let pr = b.b_parents.(r) in
+  if pr >= 0 then bump_ancestor_extents b pr (-w);
+  shift_left b r w;
+  b.b_n <- b.b_n - w;
+  freeze b
+
+let replace_entry e t =
+  let id = Entry.id e in
+  let r =
+    match Hashtbl.find_opt t.ranks id with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Index.replace_entry: no entry %d" id)
+  in
+  let inst =
+    match Instance.update_entry id (fun _ -> e) t.instance with
+    | Ok inst -> inst
+    | Error err -> invalid_arg ("Index.replace_entry: " ^ Instance.error_to_string err)
+  in
+  let entries = Array.copy t.entries in
+  entries.(r) <- e;
+  { t with instance = inst; entries }

@@ -39,3 +39,33 @@ val extent_of_rank : t -> int -> int
 
 (** Ranks back to entry ids. *)
 val ids_of : t -> Bitset.t -> Entry.id list
+
+(** {2 Incremental maintenance}
+
+    A preorder subtree is a contiguous rank interval, so updates patch
+    the encoding by interval shifting instead of re-traversal: each
+    function below returns a {e new} version in O(n) copy-on-write blits
+    plus O(|Δ| + shifted interval) splicing, leaving the argument — and
+    every bitset computed against it — fully usable.  The full rebuild
+    {!create} stays as the differential-fuzz twin ([index-apply-vs-
+    rebuild] holds the two extensionally equal). *)
+
+(** [apply ops t] plays an accepted transaction's operations (inserts
+    under existing parents, leaf deletes) against [t].  Raises
+    [Invalid_argument] on ill-formed operations, mirroring
+    {!Update.apply_op}'s discipline. *)
+val apply : Update.op list -> t -> t
+
+(** [graft ~parent ?delta_index delta t] splices the forest [delta]
+    under [parent] (or as new roots) as one block.  [delta_index] — an
+    index of [delta], e.g. the one the incremental legality check
+    already built — makes the splice a rank-translated copy; without it
+    the delta is indexed first. *)
+val graft : parent:Entry.id option -> ?delta_index:t -> Instance.t -> t -> t
+
+(** [prune root t] removes the whole subtree of [root]. *)
+val prune : Entry.id -> t -> t
+
+(** [replace_entry e t] swaps the payload of the entry with [e]'s id;
+    the shape (and so every rank) is untouched. *)
+val replace_entry : Entry.t -> t -> t

@@ -332,9 +332,13 @@ let pp_explain ppf t =
 type memo = {
   m_vx : Vindex.t;
   m_ix : Index.t;
-  cache : (string, Bitset.t) Hashtbl.t;
+  cache : (string, Query.t * Bitset.t) Hashtbl.t;
+      (* the AST rides along with each result so {!memo_apply} can
+         re-admit inserted entries without reparsing the key *)
   mutable hits : int;
   mutable misses : int;
+  mutable migrated : int;
+  mutable dropped : int;
 }
 
 let memo_create vx =
@@ -344,12 +348,14 @@ let memo_create vx =
     cache = Hashtbl.create 256;
     hits = 0;
     misses = 0;
+    migrated = 0;
+    dropped = 0;
   }
 
 let rec memo_eval_gen ~rw ?pool m q =
   let key = Query.to_string q in
   match Hashtbl.find_opt m.cache key with
-  | Some bs ->
+  | Some (_, bs) ->
       if rw then m.hits <- m.hits + 1;
       bs
   | None ->
@@ -373,7 +379,7 @@ let rec memo_eval_gen ~rw ?pool m q =
               if Bitset.is_empty sb then Bitset.create (Index.n m.m_ix)
               else Eval.chi ?pool m.m_ix ax sa sb
       in
-      if rw then Hashtbl.add m.cache key bs;
+      if rw then Hashtbl.add m.cache key (q, bs);
       bs
 
 let memo_eval ?pool m q = memo_eval_gen ~rw:true ?pool m q
@@ -403,3 +409,84 @@ let prewarm ?pool m qs =
     subs
 
 let memo_stats m = (m.hits, m.misses, Hashtbl.length m.cache)
+
+(* {2 Memo migration across an update}
+
+   A cached result can be carried to the post-transaction snapshot when
+   the query is {e pointwise} — membership of an entry depends only on
+   that entry's own content (Select leaves composed with ∪/∩/−).  Then
+   surviving entries keep their verdict (ranks translate through the two
+   id tables), deleted entries drop out, and each inserted entry is
+   admitted by one direct membership test.  χ-containing queries are
+   invalidated instead: an insertion changes χ membership of arbitrary
+   relatives of the insertion point (e.g. χ_p spreads to every child of
+   an affected parent), so no per-subtree confinement of the affected
+   set is sound for composed queries.  The expensive shared subqueries
+   across the Figure-4 obligation set — the class selections — are
+   pointwise, so they are exactly what survives. *)
+
+let rec pointwise = function
+  | Query.Select _ -> true
+  | Query.Minus (a, b) | Query.Union (a, b) | Query.Inter (a, b) ->
+      pointwise a && pointwise b
+  | Query.Chi _ -> false
+
+let rec pointwise_member q e =
+  match q with
+  | Query.Select f -> Filter.matches f e
+  | Query.Minus (a, b) -> pointwise_member a e && not (pointwise_member b e)
+  | Query.Union (a, b) -> pointwise_member a e || pointwise_member b e
+  | Query.Inter (a, b) -> pointwise_member a e && pointwise_member b e
+  | Query.Chi _ -> assert false
+
+let memo_apply ~vindex ops m =
+  let new_ix = Vindex.index vindex in
+  let old_ix = m.m_ix in
+  let n' = Index.n new_ix in
+  (* entries inserted by Δ and still present at the end of it *)
+  let inserted : (Entry.id, Entry.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Update.Insert { entry; _ } -> Hashtbl.replace inserted (Entry.id entry) entry
+      | Update.Delete id -> Hashtbl.remove inserted id)
+    ops;
+  let inserted_ranks =
+    Hashtbl.fold
+      (fun id e acc ->
+        match Index.rank_opt new_ix id with
+        | Some r -> (r, e) :: acc
+        | None -> acc)
+      inserted []
+  in
+  let m' =
+    {
+      m_vx = vindex;
+      m_ix = new_ix;
+      cache = Hashtbl.create (max 16 (Hashtbl.length m.cache));
+      hits = m.hits;
+      misses = m.misses;
+      migrated = m.migrated;
+      dropped = m.dropped;
+    }
+  in
+  Hashtbl.iter
+    (fun key (q, bs) ->
+      if pointwise q then begin
+        let nbs = Bitset.create n' in
+        Bitset.iter
+          (fun r ->
+            match Index.rank_opt new_ix (Index.id_of_rank old_ix r) with
+            | Some r' -> Bitset.set nbs r'
+            | None -> () (* deleted *))
+          bs;
+        List.iter
+          (fun (r', e) -> if pointwise_member q e then Bitset.set nbs r')
+          inserted_ranks;
+        Hashtbl.add m'.cache key (q, nbs);
+        m'.migrated <- m'.migrated + 1
+      end
+      else m'.dropped <- m'.dropped + 1)
+    m.cache;
+  m'
+
+let memo_migration_stats m = (m.migrated, m.dropped)

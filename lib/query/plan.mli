@@ -84,3 +84,19 @@ val prewarm : ?pool:Bounds_par.Pool.t -> memo -> Query.t list -> unit
 (** [(hits, misses, entries)] — hits/misses count {!memo_eval} lookups
     only. *)
 val memo_stats : memo -> int * int * int
+
+(** [memo_apply ~vindex ops m] — carry the cache across an update
+    instead of discarding it: [vindex] is the post-transaction value
+    index (whose {!Vindex.index} is the post-transaction evaluation
+    index).  Entries for {e pointwise} queries (no χ anywhere — e.g. the
+    class selections shared across the Figure-4 obligations) migrate:
+    surviving members translate rank-to-rank, and each entry inserted by
+    [ops] is admitted by one direct membership test.  χ-containing
+    entries are dropped — an insertion perturbs χ membership of
+    arbitrary relatives of the insertion point, so only a rebuild is
+    sound for them.  Hit/miss counters carry over. *)
+val memo_apply : vindex:Vindex.t -> Bounds_model.Update.op list -> memo -> memo
+
+(** Cumulative [(migrated, dropped)] cache-entry counts across every
+    {!memo_apply} in this memo's lineage. *)
+val memo_migration_stats : memo -> int * int

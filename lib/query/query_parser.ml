@@ -1,11 +1,11 @@
-exception Parse_error of string
+open Bounds_model
+
+exception Err of Parse_error.t
 
 type state = { src : string; mutable pos : int }
 
 let error st fmt =
-  Printf.ksprintf
-    (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos m)))
-    fmt
+  Printf.ksprintf (fun m -> raise (Err (Parse_error.make ~pos:st.pos m))) fmt
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -115,7 +115,7 @@ let read_balanced st =
 let parse_filter_string st s =
   match Filter_parser.parse s with
   | Ok f -> f
-  | Error m -> error st "bad filter %S: %s" s m
+  | Error e -> error st "bad filter %S: %s" s (Parse_error.to_string e)
 
 let rec parse_query st =
   skip_ws st;
@@ -177,8 +177,11 @@ let parse s =
     let q = parse_query st in
     skip_ws st;
     if st.pos <> String.length s then
-      Error (Printf.sprintf "trailing input at offset %d" st.pos)
+      Error (Parse_error.make ~pos:st.pos "trailing input")
     else Ok q
-  with Parse_error m -> Error m
+  with Err e -> Error e
 
-let parse_exn s = match parse s with Ok q -> q | Error m -> failwith m
+let parse_string s = Result.map_error Parse_error.to_string (parse s)
+
+let parse_exn s =
+  match parse s with Ok q -> q | Error e -> failwith (Parse_error.to_string e)

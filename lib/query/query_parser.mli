@@ -10,6 +10,11 @@
     An unquoted bare filter such as [(objectClass=person)] is also
     accepted at query position as shorthand for a [select]. *)
 
-val parse : string -> (Query.t, string) result
+(** Errors carry the byte offset the parser stopped at, in the shared
+    {!Bounds_model.Parse_error.t} shape. *)
+val parse : string -> (Query.t, Bounds_model.Parse_error.t) result
+
+val parse_string : string -> (Query.t, string) result
+[@@deprecated "use [parse]; render with [Bounds_model.Parse_error.to_string]"]
 
 val parse_exn : string -> Query.t

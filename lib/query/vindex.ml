@@ -16,42 +16,48 @@ type key = string * string (* attribute name, normalized value rendering *)
    - [all]: every value as a normalized string — a non-numeric assertion
      value compares with {e all} stored values as strings.
 
-   Each element is a (value, rank) pair; a multi-valued entry appears
+   Each element is a (value, id) pair; a multi-valued entry appears
    once per value, which is exactly [Filter.matches]'s exists-semantics
-   once the ranks land in a bitset. *)
+   once the ids land in a bitset. *)
 type range_idx = {
-  num_keys : int array; (* sorted; num_ranks.(i) holds key num_keys.(i) *)
-  num_ranks : int array;
+  num_keys : int array; (* sorted; num_ids.(i) holds key num_keys.(i) *)
+  num_ids : Entry.id array;
   nonnum_keys : string array;
-  nonnum_ranks : int array;
+  nonnum_ids : Entry.id array;
   all_keys : string array;
-  all_ranks : int array;
+  all_ids : Entry.id array;
 }
 
+(* All postings are entry {e ids}, not ranks: an id survives any update
+   that keeps the entry, whereas a single insertion shifts every rank
+   behind it.  Lookups convert through the index's rank table on the way
+   into a bitset — a constant-factor cost on the same O(result) walk —
+   and in exchange {!apply} patches only the postings of attributes
+   actually touched by Δ. *)
 type t = {
   ix : Index.t;
-  eq : (key, int * int list) Hashtbl.t; (* count, ranks holding the pair *)
-  present : (string, int * int list) Hashtbl.t;
+  eq : (key, int * Entry.id list) Hashtbl.t; (* count, ids holding the pair *)
+  present : (string, int * Entry.id list) Hashtbl.t;
   (* Range and trigram structures are built lazily per attribute — the
      legality hot path (Eq/Present only) never pays for them.  The lock
      makes on-demand construction safe when a pool evaluates several
      queries over one shared snapshot concurrently. *)
   lock : Mutex.t;
   ranges : (string, range_idx) Hashtbl.t;
-  trigrams : (string, (string, int array) Hashtbl.t) Hashtbl.t;
+  trigrams : (string, (string, Entry.id array) Hashtbl.t) Hashtbl.t;
 }
 
 let norm = String.lowercase_ascii
 
-let push tbl k r =
+let push tbl k id =
   match Hashtbl.find_opt tbl k with
-  | Some (c, l) -> Hashtbl.replace tbl k (c + 1, r :: l)
-  | None -> Hashtbl.replace tbl k (1, [ r ])
+  | Some (c, l) -> Hashtbl.replace tbl k (c + 1, id :: l)
+  | None -> Hashtbl.replace tbl k (1, [ id ])
 
 (* Prepend a later chunk's per-key list onto the accumulated one: chunks
    are merged in increasing rank order and each per-chunk list is built
-   newest-rank-first, so [l @ prev] reproduces exactly the
-   descending-rank lists of the sequential build. *)
+   newest-first, so [l @ prev] reproduces exactly the lists of the
+   sequential build. *)
 let merge_into tbl k (c, l) =
   match Hashtbl.find_opt tbl k with
   | None -> Hashtbl.replace tbl k (c, l)
@@ -67,10 +73,11 @@ let create ?pool ix =
     and present = Hashtbl.create (max 16 (hi - lo)) in
     for r = lo to hi - 1 do
       let e = Index.entry_of_rank ix r in
+      let id = Entry.id e in
       List.iter
-        (fun (a, v) -> push eq (Attr.to_string a, norm (Value.to_string v)) r)
+        (fun (a, v) -> push eq (Attr.to_string a, norm (Value.to_string v)) id)
         (Entry.pairs e);
-      Attr.Set.iter (fun a -> push present (Attr.to_string a) r) (Entry.attributes e)
+      Attr.Set.iter (fun a -> push present (Attr.to_string a) id) (Entry.attributes e)
     done;
     (eq, present)
   in
@@ -96,19 +103,19 @@ let create ?pool ix =
 
 let index t = t.ix
 
-let of_ranks t ranks =
+let of_ids t ids =
   let bs = Bitset.create (Index.n t.ix) in
-  List.iter (Bitset.set bs) ranks;
+  List.iter (fun id -> Bitset.set bs (Index.rank t.ix id)) ids;
   bs
 
 let lookup_eq t a v =
   match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
-  | Some (_, l) -> of_ranks t l
+  | Some (_, l) -> of_ids t l
   | None -> Bitset.create (Index.n t.ix)
 
 let lookup_present t a =
   match Hashtbl.find_opt t.present (Attr.to_string a) with
-  | Some (_, l) -> of_ranks t l
+  | Some (_, l) -> of_ids t l
   | None -> Bitset.create (Index.n t.ix)
 
 let card_eq t a v =
@@ -127,39 +134,41 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let present_ranks t key =
+let present_ids t key =
   match Hashtbl.find_opt t.present key with Some (_, l) -> l | None -> []
+
+let entry_of_id t id = Index.entry_of_rank t.ix (Index.rank t.ix id)
 
 let build_range t a key =
   let num = ref [] and nonnum = ref [] and all = ref [] in
   List.iter
-    (fun r ->
-      let e = Index.entry_of_rank t.ix r in
+    (fun id ->
+      let e = entry_of_id t id in
       List.iter
         (fun v ->
           let s = Value.to_string v in
           let ns = norm s in
           (match int_of_string_opt (String.trim s) with
-          | Some k -> num := (k, r) :: !num
-          | None -> nonnum := (ns, r) :: !nonnum);
-          all := (ns, r) :: !all)
+          | Some k -> num := (k, id) :: !num
+          | None -> nonnum := (ns, id) :: !nonnum);
+          all := (ns, id) :: !all)
         (Entry.values e a))
-    (present_ranks t key);
-  let by_int (k1, r1) (k2, r2) =
-    match Int.compare k1 k2 with 0 -> Int.compare r1 r2 | c -> c
+    (present_ids t key);
+  let by_int (k1, i1) (k2, i2) =
+    match Int.compare k1 k2 with 0 -> Int.compare i1 i2 | c -> c
   in
-  let by_str (s1, r1) (s2, r2) =
-    match String.compare s1 s2 with 0 -> Int.compare r1 r2 | c -> c
+  let by_str (s1, i1) (s2, i2) =
+    match String.compare s1 s2 with 0 -> Int.compare i1 i2 | c -> c
   in
   let sorted cmp l =
     let arr = Array.of_list l in
     Array.sort cmp arr;
     (Array.map fst arr, Array.map snd arr)
   in
-  let num_keys, num_ranks = sorted by_int !num in
-  let nonnum_keys, nonnum_ranks = sorted by_str !nonnum in
-  let all_keys, all_ranks = sorted by_str !all in
-  { num_keys; num_ranks; nonnum_keys; nonnum_ranks; all_keys; all_ranks }
+  let num_keys, num_ids = sorted by_int !num in
+  let nonnum_keys, nonnum_ids = sorted by_str !nonnum in
+  let all_keys, all_ids = sorted by_str !all in
+  { num_keys; num_ids; nonnum_keys; nonnum_ids; all_keys; all_ids }
 
 let range_of t a =
   let key = Attr.to_string a in
@@ -193,22 +202,22 @@ let range_slices ri ~ge v =
       let str_cut = lower_bound ri.nonnum_keys str_pred in
       if ge then
         [
-          (ri.num_ranks, num_cut, Array.length ri.num_ranks);
-          (ri.nonnum_ranks, str_cut, Array.length ri.nonnum_ranks);
+          (ri.num_ids, num_cut, Array.length ri.num_ids);
+          (ri.nonnum_ids, str_cut, Array.length ri.nonnum_ids);
         ]
-      else [ (ri.num_ranks, 0, num_cut); (ri.nonnum_ranks, 0, str_cut) ]
+      else [ (ri.num_ids, 0, num_cut); (ri.nonnum_ids, 0, str_cut) ]
   | None ->
       let cut = lower_bound ri.all_keys str_pred in
-      if ge then [ (ri.all_ranks, cut, Array.length ri.all_ranks) ]
-      else [ (ri.all_ranks, 0, cut) ]
+      if ge then [ (ri.all_ids, cut, Array.length ri.all_ids) ]
+      else [ (ri.all_ids, 0, cut) ]
 
 let lookup_range t ~ge a v =
   let ri = range_of t a in
   let bs = Bitset.create (Index.n t.ix) in
   List.iter
-    (fun (ranks, lo, hi) ->
+    (fun (ids, lo, hi) ->
       for i = lo to hi - 1 do
-        Bitset.set bs ranks.(i)
+        Bitset.set bs (Index.rank t.ix ids.(i))
       done)
     (range_slices ri ~ge v);
   bs
@@ -224,17 +233,17 @@ let grams s =
 let build_trigrams t a key =
   let tbl = Hashtbl.create 256 in
   List.iter
-    (fun r ->
-      let e = Index.entry_of_rank t.ix r in
+    (fun id ->
+      let e = entry_of_id t id in
       List.iter
         (fun v ->
           List.iter
             (fun g ->
               let prev = Option.value ~default:[] (Hashtbl.find_opt tbl g) in
-              Hashtbl.replace tbl g (r :: prev))
+              Hashtbl.replace tbl g (id :: prev))
             (grams (norm (Value.to_string v))))
         (Entry.values e a))
-    (present_ranks t key);
+    (present_ids t key);
   let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
   Hashtbl.iter
     (fun g l -> Hashtbl.replace out g (Array.of_list (List.sort_uniq Int.compare l)))
@@ -283,11 +292,11 @@ let substr_candidates t a sub =
   | Some [] -> Bitset.create (Index.n t.ix)
   | Some (first :: rest) ->
       let bs = Bitset.create (Index.n t.ix) in
-      Array.iter (Bitset.set bs) first;
+      Array.iter (fun id -> Bitset.set bs (Index.rank t.ix id)) first;
       List.iter
         (fun arr ->
           let other = Bitset.create (Index.n t.ix) in
-          Array.iter (Bitset.set other) arr;
+          Array.iter (fun id -> Bitset.set other (Index.rank t.ix id)) arr;
           Bitset.inter_into ~into:bs other)
         rest;
       bs
@@ -297,3 +306,78 @@ let card_substr t a sub =
   | None -> card_present t a
   | Some [] -> 0
   | Some (first :: _) -> Array.length first
+
+(* {2 Incremental maintenance} *)
+
+(* Counts equal list lengths by construction (one cons per push), so a
+   multi-valued entry contributing several postings to one key is fully
+   unindexed here. *)
+let remove_from tbl k id =
+  match Hashtbl.find_opt tbl k with
+  | None -> ()
+  | Some (_, l) -> (
+      match List.filter (fun i -> i <> id) l with
+      | [] -> Hashtbl.remove tbl k
+      | keep -> Hashtbl.replace tbl k (List.length keep, keep))
+
+let apply ~index ops t =
+  let eq = Hashtbl.copy t.eq and present = Hashtbl.copy t.present in
+  (* The lazy structures carry over wholesale; only the attributes Δ
+     touches are evicted (the per-attribute dirty mark), to be rebuilt
+     on their next use.  Untouched attributes keep their sorted arrays
+     and gram postings — valid because postings are ids. *)
+  let ranges = Hashtbl.copy t.ranges and trigrams = Hashtbl.copy t.trigrams in
+  let dirty key =
+    Hashtbl.remove ranges key;
+    Hashtbl.remove trigrams key
+  in
+  (* Entries inserted earlier in this same transaction are not in the old
+     index; keep them at hand so a later delete can unindex them. *)
+  let added : (Entry.id, Entry.t) Hashtbl.t = Hashtbl.create 16 in
+  let entry_of id =
+    match Hashtbl.find_opt added id with
+    | Some e -> e
+    | None -> entry_of_id t id
+  in
+  List.iter
+    (function
+      | Update.Insert { entry; _ } ->
+          let id = Entry.id entry in
+          Hashtbl.replace added id entry;
+          List.iter
+            (fun (a, v) ->
+              let key = Attr.to_string a in
+              dirty key;
+              push eq (key, norm (Value.to_string v)) id)
+            (Entry.pairs entry);
+          Attr.Set.iter
+            (fun a ->
+              let key = Attr.to_string a in
+              dirty key;
+              push present key id)
+            (Entry.attributes entry)
+      | Update.Delete id ->
+          let e = entry_of id in
+          Hashtbl.remove added id;
+          List.iter
+            (fun (a, v) ->
+              let key = Attr.to_string a in
+              dirty key;
+              remove_from eq (key, norm (Value.to_string v)) id)
+            (Entry.pairs e);
+          Attr.Set.iter
+            (fun a ->
+              let key = Attr.to_string a in
+              dirty key;
+              remove_from present key id)
+            (Entry.attributes e))
+    ops;
+  { ix = index; eq; present; lock = Mutex.create (); ranges; trigrams }
+
+let replace_entry ~index old_e new_e t =
+  apply ~index
+    [
+      Update.Delete (Entry.id old_e);
+      Update.Insert { parent = None; entry = new_e };
+    ]
+    t

@@ -50,3 +50,23 @@ val card_eq : t -> Attr.t -> string -> int
 val card_present : t -> Attr.t -> int
 val card_range : t -> ge:bool -> Attr.t -> string -> int
 val card_substr : t -> Attr.t -> Filter.substring -> int
+
+(** {2 Incremental maintenance}
+
+    Postings are entry ids internally, so an update invalidates only the
+    keys it touches — not, as a rank-based table would, every posting
+    behind the lowest shifted rank. *)
+
+(** [apply ~index ops t] — the value index for the post-transaction
+    version: [index] must be the matching evaluation index (e.g.
+    [Index.apply ops (Vindex.index t)]).  Equality/presence tables are
+    patched per touched key; the lazily-built range and trigram
+    structures survive except for the attributes Δ touches, which are
+    dirty-marked (evicted, rebuilt on next use).  O(copy + |Δ| ·
+    postings-per-touched-key). *)
+val apply : index:Index.t -> Update.op list -> t -> t
+
+(** [replace_entry ~index old_e new_e t] — attribute-level modification:
+    unindex [old_e]'s pairs, index [new_e]'s.  [index] is the
+    post-modification evaluation index. *)
+val replace_entry : index:Index.t -> Entry.t -> Entry.t -> t -> t

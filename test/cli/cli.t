@@ -208,6 +208,7 @@ Differential fuzzing (a tiny deterministic budget; oracle list is stable):
   legality-noext-vs-naive  Legality agrees with Naive_legality (core Definition 2.6 only)
   monitor-vs-recheck       incremental Monitor agrees with per-step full recheck (Transaction.check)
   txn-witness              an accepted transaction's final instance is naive-legal
+  index-apply-vs-rebuild   a Directory session's incrementally-patched index/vindex/memo agree with a from-scratch rebuild after each accepted transaction
   par-vs-seq-legality      pooled Legality.check is bit-identical to the sequential engine
   par-vs-seq-eval          pooled index build + Eval is bit-identical to the sequential path
   $ ldapschema fuzz --oracle b64-strict --oracle filter-text --budget 50 --seed 42

@@ -191,7 +191,7 @@ let test_spec_errors () =
   check "unterminated body" true (err "class x { required: a");
   check "line numbers" true
     (match Spec_parser.parse "class a\nclass a" with
-    | Error e -> e.Spec_parser.line = 2
+    | Error e -> e.Parse_error.pos = 2
     | Ok _ -> false)
 
 let test_spec_roundtrip () =

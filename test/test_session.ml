@@ -1,0 +1,270 @@
+(* Live directory sessions: the incremental index maintenance of
+   Index.apply/graft/prune/replace_entry (interval shifting on a
+   copy-on-write version), and the Directory facade that keeps index,
+   value tables and query memo consistent across updates. *)
+
+open Bounds_model
+open Bounds_core
+module Index = Bounds_query.Index
+module Query = Bounds_query.Query
+module Gen = Bounds_workload.Gen
+module WP = Bounds_workload.White_pages
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Attr.of_string
+let c = Oclass.of_string
+let wp = WP.instance
+
+let person ?(id = 100) ?(uid = "u100") () =
+  Entry.make ~id
+    ~classes:(Oclass.set_of_list [ "person"; "top" ])
+    [ (a "name", Value.String "n"); (a "uid", Value.String uid) ]
+
+let unit_entry ?(id = 100) ?(ou = "newunit") () =
+  Entry.make ~id
+    ~classes:(Oclass.set_of_list [ "orgunit"; "orggroup"; "top" ])
+    [ (a "ou", Value.String ou) ]
+
+(* Compare every per-rank fact the interval-shifting maintenance patches
+   against a from-scratch rebuild. *)
+let index_diff live fresh =
+  if Index.n live <> Index.n fresh then
+    Some
+      (Printf.sprintf "sizes differ: %d vs %d" (Index.n live) (Index.n fresh))
+  else
+    let n = Index.n live in
+    let rec go r =
+      if r = n then None
+      else
+        let fail what x y =
+          Some (Printf.sprintf "rank %d: %s %d vs %d" r what x y)
+        in
+        let x = Index.id_of_rank live r and y = Index.id_of_rank fresh r in
+        if x <> y then fail "id" x y
+        else if
+          not
+            (Entry.equal (Index.entry_of_rank live r)
+               (Index.entry_of_rank fresh r))
+        then Some (Printf.sprintf "rank %d: entries differ" r)
+        else
+          let x = Index.parent_rank live r and y = Index.parent_rank fresh r in
+          if x <> y then fail "parent" x y
+          else
+            let x = Index.depth_of_rank live r
+            and y = Index.depth_of_rank fresh r in
+            if x <> y then fail "depth" x y
+            else
+              let x = Index.extent_of_rank live r
+              and y = Index.extent_of_rank fresh r in
+              if x <> y then fail "extent" x y
+              else if Index.rank live (Index.id_of_rank live r) <> r then
+                Some (Printf.sprintf "rank %d: rank table broken" r)
+              else go (r + 1)
+    in
+    go 0
+
+let check_same_index what live fresh =
+  match index_diff live fresh with
+  | None -> ()
+  | Some m -> Alcotest.failf "%s: %s" what m
+
+(* --- Index.apply / graft / prune / replace_entry -------------------------- *)
+
+let test_index_apply_insert () =
+  let ops =
+    [
+      Update.Insert { parent = Some 3; entry = person ~id:100 ~uid:"x1" () };
+      Update.Insert { parent = Some 100; entry = person ~id:101 ~uid:"x2" () };
+      Update.Insert { parent = None; entry = unit_entry ~id:102 () };
+    ]
+  in
+  let final = Result.get_ok (Update.apply wp ops) in
+  check_same_index "apply inserts"
+    (Index.apply ops (Index.create wp))
+    (Index.create final)
+
+let test_index_apply_delete () =
+  let ops = [ Update.Delete 4; Update.Delete 5; Update.Delete 3 ] in
+  let final = Result.get_ok (Update.apply wp ops) in
+  check_same_index "apply deletes"
+    (Index.apply ops (Index.create wp))
+    (Index.create final)
+
+let test_index_apply_mixed () =
+  let ops =
+    [
+      Update.Delete 4;
+      Update.Insert { parent = Some 3; entry = person ~id:100 ~uid:"x1" () };
+      Update.Delete 100;
+      Update.Insert { parent = Some 1; entry = person ~id:101 ~uid:"x2" () };
+    ]
+  in
+  let final = Result.get_ok (Update.apply wp ops) in
+  check_same_index "apply mixed"
+    (Index.apply ops (Index.create wp))
+    (Index.create final)
+
+let test_graft_and_prune () =
+  let delta =
+    Instance.add_child_exn ~parent:200
+      (person ~id:201 ~uid:"g1" ())
+      (Instance.add_root_exn (unit_entry ~id:200 ()) Instance.empty)
+  in
+  let base_ix = Index.create wp in
+  let grafted = Index.graft ~parent:(Some 1) delta base_ix in
+  let final =
+    Result.get_ok (Update.apply wp (Update.ops_of_subtree ~parent:(Some 1) delta))
+  in
+  check_same_index "graft" grafted (Index.create final);
+  (* pruning the grafted subtree restores the original encoding — and the
+     pre-graft snapshot was never disturbed *)
+  check_same_index "prune" (Index.prune 200 grafted) (Index.create wp);
+  check_same_index "old version untouched" base_ix (Index.create wp)
+
+let test_replace_entry () =
+  let old_e = Instance.entry wp 4 in
+  let new_e =
+    Entry.make ~id:4 ~classes:(Entry.classes old_e)
+      [ (a "name", Value.String "renamed"); (a "uid", Value.String "r4") ]
+  in
+  let ix = Index.replace_entry new_e (Index.create wp) in
+  check "entry replaced" true
+    (Entry.equal new_e (Index.entry_of_rank ix (Index.rank ix 4)));
+  check_same_index "structure unchanged after replace" ix
+    (Index.create
+       (Result.get_ok (Instance.update_entry 4 (fun _ -> new_e) wp)))
+
+(* --- Directory sessions ---------------------------------------------------- *)
+
+let open_wp () =
+  match Directory.open_ WP.schema wp with
+  | Ok d -> d
+  | Error vs ->
+      Alcotest.failf "open_ rejected the white-pages instance: %d violations"
+        (List.length vs)
+
+let test_session_lifecycle () =
+  let dir = open_wp () in
+  let persons = Query.select_class (c "person") in
+  let before = List.length (Directory.query_ids dir persons) in
+  let ops =
+    [ Update.Insert { parent = Some 3; entry = person ~id:100 ~uid:"s1" () } ]
+  in
+  let dir' = Result.get_ok (Directory.apply dir ops) in
+  check_int "one more entry" (Directory.size dir + 1) (Directory.size dir');
+  check_int "one more person" (before + 1)
+    (List.length (Directory.query_ids dir' persons));
+  check "still legal by its own audit" true (Directory.validate dir' = []);
+  check_same_index "session index = rebuild" (Directory.index dir')
+    (Index.create (Directory.instance dir'));
+  (* the superseded version is a valid snapshot of its own instance *)
+  check_int "old version still answers" before
+    (List.length (Directory.query_ids dir persons));
+  let s = Directory.stats dir' in
+  check_int "applied counted" 1 s.Directory.applied;
+  check "memo migrated entries across the update" true
+    (s.Directory.memo_migrated > 0)
+
+let test_session_rejection () =
+  let dir = open_wp () in
+  (* uid is a key in the white-pages schema: duplicating one is rejected *)
+  let dup_uid = Entry.values (Instance.entry wp 4) (a "uid") in
+  let uid =
+    match dup_uid with Value.String s :: _ -> s | _ -> Alcotest.fail "no uid"
+  in
+  let ops = [ Update.Insert { parent = Some 3; entry = person ~id:100 ~uid () } ] in
+  (match Directory.apply dir ops with
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+  | Error _ -> ());
+  check_int "session unchanged" (Instance.size wp) (Directory.size dir);
+  check "still usable" true (Directory.validate dir = []);
+  check_int "rejection counted" 1 (Directory.stats dir).Directory.rejected
+
+let test_session_snapshot () =
+  let dir = open_wp () in
+  let snap = Directory.snapshot dir in
+  let persons = Query.select_class (c "person") in
+  let before = List.length (Directory.Snapshot.query_ids snap persons) in
+  let ops =
+    [ Update.Insert { parent = Some 3; entry = person ~id:100 ~uid:"s2" () } ]
+  in
+  let _dir' = Result.get_ok (Directory.apply dir ops) in
+  (* the snapshot still answers for its own version after the session moved *)
+  check_int "snapshot stable" before
+    (List.length (Directory.Snapshot.query_ids snap persons));
+  check "snapshot validates" true
+    (Directory.Snapshot.validate WP.schema snap = [])
+
+(* --- properties ------------------------------------------------------------ *)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, size, n) ->
+      Printf.sprintf "seed=%d size=%d n_ops=%d" seed size n)
+    QCheck.Gen.(triple (int_bound 100000) (int_range 2 40) (int_range 1 12))
+
+(* Index.apply needs only op-validity (insert under an existing parent,
+   delete a leaf) — exactly what Gen.random_ops produces — so the pure
+   index property holds with no legality in sight. *)
+let prop_index_apply =
+  QCheck.Test.make ~name:"Index.apply ops = rebuild from scratch" ~count:200
+    arb_case (fun (seed, size, n) ->
+      let schema = Gen.random_schema_rich ~seed () in
+      let counter = ref 0 in
+      let inst = Gen.content_legal_forest ~counter ~seed ~size schema in
+      let ops = Gen.random_ops ~counter ~seed:(seed + 1) ~n schema inst in
+      let final = Result.get_ok (Update.apply inst ops) in
+      match index_diff (Index.apply ops (Index.create inst)) (Index.create final) with
+      | None -> true
+      | Some m -> QCheck.Test.fail_report m)
+
+(* A session driven through several random accepted transactions stays
+   extensionally equal to a from-scratch rebuild: same index encoding,
+   and its own (memoized) audit still finds nothing. *)
+let prop_session_apply =
+  QCheck.Test.make ~name:"Directory.apply over random transactions = rebuild"
+    ~count:100 arb_case (fun (seed, size, n) ->
+      let schema = Gen.random_schema_rich ~seed () in
+      let counter = ref 0 in
+      let inst = Gen.content_legal_forest ~counter ~seed ~size schema in
+      match Directory.open_ schema inst with
+      | Error _ -> true (* illegal start: out of the session's contract *)
+      | Ok dir ->
+          let dir = ref dir in
+          for round = 0 to 2 do
+            let ops =
+              Gen.random_ops ~counter
+                ~seed:(seed + 1 + round)
+                ~n schema (Directory.instance !dir)
+            in
+            match Directory.apply !dir ops with
+            | Ok d -> dir := d
+            | Error _ -> () (* rejected: session unchanged, keep going *)
+          done;
+          let fresh = Index.create (Directory.instance !dir) in
+          (match index_diff (Directory.index !dir) fresh with
+          | None -> ()
+          | Some m -> QCheck.Test.fail_report m);
+          Directory.validate !dir = [])
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "apply inserts" `Quick test_index_apply_insert;
+          Alcotest.test_case "apply deletes" `Quick test_index_apply_delete;
+          Alcotest.test_case "apply mixed" `Quick test_index_apply_mixed;
+          Alcotest.test_case "graft and prune" `Quick test_graft_and_prune;
+          Alcotest.test_case "replace entry" `Quick test_replace_entry;
+          QCheck_alcotest.to_alcotest prop_index_apply;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "rejection" `Quick test_session_rejection;
+          Alcotest.test_case "snapshot" `Quick test_session_snapshot;
+          QCheck_alcotest.to_alcotest prop_session_apply;
+        ] );
+    ]
