@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke fuzz-smoke doc clean
+.PHONY: all test bench bench-smoke fault-smoke fuzz-smoke doc clean
 
 all:
 	dune build
@@ -10,11 +10,18 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Tiny-quota sanity run of the parallel-engine benchmark; leaves
-# _build/default/bench/BENCH_legality.json.  --force because the json is
+# Tiny-quota sanity run of the perf experiments (P1-P4); leaves
+# BENCH_legality.json, BENCH_query.json, BENCH_session.json and
+# BENCH_store.json in _build/default/bench.  --force because the json is
 # a side effect of the alias action, which dune would otherwise cache.
 bench-smoke:
 	dune build --force @bench-smoke
+
+# Crash-recovery tests in isolation: the durable-store suite drives every
+# WAL/checkpoint scenario through the fault-injecting Io harness (torn
+# writes, bit flips, crash at every mutating operation).
+fault-smoke:
+	dune exec test/test_store.exe
 
 # Quick differential-fuzzing pass over every registered oracle.  Exits
 # non-zero if any oracle pair disagrees.

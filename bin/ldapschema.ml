@@ -7,10 +7,17 @@
      update      apply an LDIF change file under incremental legality
      fmt         parse a schema spec and print its canonical form
      generate    emit a benchmark workload as LDIF
-     fuzz        differential fuzzing over the oracle registry *)
+     fuzz        differential fuzzing over the oracle registry
+     log         describe a durable store's checkpoint and log tail
+     checkpoint  compact a durable store
+
+   validate/query/update also accept [--store DIR] to run against a
+   durable session (write-ahead log + checkpoint) instead of flat
+   files. *)
 
 open Bounds_model
 open Bounds_core
+module Store = Bounds_store.Store
 open Cmdliner
 
 let read_file path =
@@ -75,6 +82,53 @@ let data_arg =
     & opt (some file) None
     & info [ "d"; "data" ] ~docv:"LDIF" ~doc:"Directory instance in LDIF.")
 
+(* optional variants for subcommands where --store can stand in *)
+let schema_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "schema" ] ~docv:"SPEC" ~doc:"Bounding-schema specification file.")
+
+let data_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"LDIF" ~doc:"Directory instance in LDIF.")
+
+(* --- durable stores ----------------------------------------------------- *)
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Durable session directory (write-ahead log + checkpoint) to use \
+           instead of flat $(b,-s)/$(b,-d) files.")
+
+(* validate/query/update take -s/-d as optional and enforce them only in
+   flat-file mode, where a store does not provide them *)
+let required_arg flag = function
+  | Some v -> v
+  | None ->
+      or_die (Error (Printf.sprintf "%s is required without --store" flag))
+
+let store_io dir =
+  if not (Sys.file_exists dir) then
+    or_die (Error (Printf.sprintf "%s: no such store" dir));
+  Bounds_store.Io.real ~root:dir
+
+(* recover an existing store, announcing how far recovery got on [ppf]
+   (stderr for subcommands whose stdout is data) *)
+let open_store ?pool ?(ppf = Format.std_formatter) ?auto_checkpoint dir =
+  let io = store_io dir in
+  match Store.open_ ?pool ?auto_checkpoint io with
+  | Ok (st, report) ->
+      Format.fprintf ppf "store: %a@." Store.pp_report report;
+      st
+  | Error e ->
+      or_die (Error (Printf.sprintf "%s: %s" dir (Store.error_to_string e)))
+
 (* --- validate ----------------------------------------------------------- *)
 
 (* one plan per Figure-4 obligation query, with est/actual columns *)
@@ -85,32 +139,50 @@ let explain_obligations ?pool snap (schema : Schema.t) =
       Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan))
     (Translate.all schema.Schema.structure)
 
-let validate schema_path data_path naive no_extensions explain jobs =
-  let schema = or_die (load_schema schema_path) in
-  let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
-  let extensions = not no_extensions in
-  let viols =
-    if naive then begin
-      if explain then
-        with_jobs jobs (fun pool ->
-            explain_obligations ?pool (Directory.Snapshot.of_instance ?pool inst)
-              schema);
-      Naive_legality.check ~extensions schema inst
-    end
-    else
-      with_jobs jobs (fun pool ->
-          let snap = Directory.Snapshot.of_instance ?pool inst in
-          if explain then explain_obligations ?pool snap schema;
-          Directory.Snapshot.validate ~extensions ?pool schema snap)
-  in
-  match viols with
+let report_viols what entries = function
   | [] ->
-      Printf.printf "%s: legal (%d entries)\n" data_path (Instance.size inst);
+      Printf.printf "%s: legal (%d entries)\n" what entries;
       0
   | viols ->
-      Printf.printf "%s: ILLEGAL — %d violation(s)\n" data_path (List.length viols);
+      Printf.printf "%s: ILLEGAL — %d violation(s)\n" what (List.length viols);
       List.iter (fun v -> Printf.printf "  - %s\n" (Violation.to_string v)) viols;
       1
+
+let validate schema_path data_path naive no_extensions explain jobs store =
+  match store with
+  | Some dir ->
+      (* the store's admission scan already vouches for the instance;
+         this re-runs the full check on the recovered state *)
+      with_jobs jobs (fun pool ->
+          let st = open_store ?pool dir in
+          Fun.protect
+            ~finally:(fun () -> Store.close st)
+            (fun () ->
+              let d = Store.directory st in
+              if explain then
+                explain_obligations ?pool (Directory.snapshot d) (Store.schema st);
+              report_viols dir (Directory.size d) (Directory.validate d)))
+  | None ->
+      let schema = or_die (load_schema (required_arg "-s/--schema" schema_path)) in
+      let data_path = required_arg "-d/--data" data_path in
+      let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
+      let extensions = not no_extensions in
+      let viols =
+        if naive then begin
+          if explain then
+            with_jobs jobs (fun pool ->
+                explain_obligations ?pool
+                  (Directory.Snapshot.of_instance ?pool inst)
+                  schema);
+          Naive_legality.check ~extensions schema inst
+        end
+        else
+          with_jobs jobs (fun pool ->
+              let snap = Directory.Snapshot.of_instance ?pool inst in
+              if explain then explain_obligations ?pool snap schema;
+              Directory.Snapshot.validate ~extensions ?pool schema snap)
+      in
+      report_viols data_path (Instance.size inst) viols
 
 let validate_cmd =
   let naive =
@@ -134,7 +206,9 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Check that an LDIF directory is legal w.r.t. a schema.")
-    Term.(const validate $ schema_arg $ data_arg $ naive $ no_ext $ explain $ jobs_arg)
+    Term.(
+      const validate $ schema_opt_arg $ data_opt_arg $ naive $ no_ext $ explain
+      $ jobs_arg $ store_arg)
 
 (* --- consistent ---------------------------------------------------------- *)
 
@@ -177,31 +251,56 @@ let consistent_cmd =
 
 (* --- query --------------------------------------------------------------- *)
 
-let query schema_path data_path expr explain jobs =
-  let typing =
-    match schema_path with
-    | Some p -> (or_die (load_schema p)).Schema.typing
-    | None -> Typing.default
-  in
-  let inst = or_die (load_data ~typing data_path) in
+let print_ids inst ids =
+  Printf.printf "%d entries\n" (List.length ids);
+  List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids
+
+let query schema_path data_path expr explain jobs store =
   let q =
     match Bounds_query.Query_parser.parse expr with
     | Ok q -> q
     | Error e -> or_die (Error ("query: " ^ Parse_error.to_string e))
   in
-  let ids =
-    with_jobs jobs (fun pool ->
-        let snap = Directory.Snapshot.of_instance ?pool inst in
-        if explain then begin
-          let plan, result = Directory.Snapshot.explain ?pool snap q in
-          Format.printf "%a@." Profile.pp_plan_explain (Profile.explain_plan plan);
-          Bounds_query.Index.ids_of (Directory.Snapshot.index snap) result
-        end
-        else Directory.Snapshot.query_ids ?pool snap q)
-  in
-  Printf.printf "%d entries\n" (List.length ids);
-  List.iter (fun id -> Printf.printf "%s\n" (Instance.dn inst id)) ids;
-  0
+  match store with
+  | Some dir ->
+      with_jobs jobs (fun pool ->
+          (* recovery notes go to stderr: stdout is the result set *)
+          let st = open_store ?pool ~ppf:Format.err_formatter dir in
+          Fun.protect
+            ~finally:(fun () -> Store.close st)
+            (fun () ->
+              let d = Store.directory st in
+              let ids =
+                if explain then begin
+                  let plan, result = Directory.explain d q in
+                  Format.printf "%a@." Profile.pp_plan_explain
+                    (Profile.explain_plan plan);
+                  Bounds_query.Index.ids_of (Directory.index d) result
+                end
+                else Directory.query_ids d q
+              in
+              print_ids (Directory.instance d) ids;
+              0))
+  | None ->
+      let typing =
+        match schema_path with
+        | Some p -> (or_die (load_schema p)).Schema.typing
+        | None -> Typing.default
+      in
+      let inst = or_die (load_data ~typing (required_arg "-d/--data" data_path)) in
+      let ids =
+        with_jobs jobs (fun pool ->
+            let snap = Directory.Snapshot.of_instance ?pool inst in
+            if explain then begin
+              let plan, result = Directory.Snapshot.explain ?pool snap q in
+              Format.printf "%a@." Profile.pp_plan_explain
+                (Profile.explain_plan plan);
+              Bounds_query.Index.ids_of (Directory.Snapshot.index snap) result
+            end
+            else Directory.Snapshot.query_ids ?pool snap q)
+      in
+      print_ids inst ids;
+      0
 
 let query_cmd =
   let schema_opt =
@@ -230,7 +329,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a hierarchical selection query over an LDIF file.")
-    Term.(const query $ schema_opt $ data_arg $ expr $ explain $ jobs_arg)
+    Term.(
+      const query $ schema_opt $ data_opt_arg $ expr $ explain $ jobs_arg
+      $ store_arg)
 
 (* --- search ---------------------------------------------------------------- *)
 
@@ -428,37 +529,96 @@ let parse_changes ~typing inst text =
   in
   build [] records
 
-let update schema_path data_path ops_path out_path stats jobs =
-  let schema = or_die (load_schema schema_path) in
-  let inst = or_die (load_data ~typing:schema.Schema.typing data_path) in
-  let ops = or_die (parse_changes ~typing:schema.Schema.typing inst (read_file ops_path)) in
-  let dir =
-    match Directory.open_ ~jobs schema inst with
-    | Ok d -> d
-    | Error viols ->
-        prerr_endline "error: the starting directory is already illegal:";
-        List.iter (fun v -> prerr_endline ("  - " ^ Violation.to_string v)) viols;
-        exit 2
-  in
-  Fun.protect
-    ~finally:(fun () -> Directory.close dir)
-    (fun () ->
-      match Directory.apply dir ops with
-      | Ok dir ->
-          Printf.printf "transaction accepted: %d operation(s), %d entries now\n"
-            (List.length ops) (Directory.size dir);
-          if stats then
-            Format.printf "%a@." Directory.pp_stats (Directory.stats dir);
-          (match out_path with
-          | Some path ->
-              write_file path
-                (Bounds_codec.Ldif.to_string (Directory.instance dir));
-              Printf.printf "updated directory written to %s\n" path
-          | None -> ());
-          0
-      | Error r ->
-          Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
-          1)
+let write_out out_path dir =
+  match out_path with
+  | Some path ->
+      write_file path (Bounds_codec.Ldif.to_string (Directory.instance dir));
+      Printf.printf "updated directory written to %s\n" path
+  | None -> ()
+
+let update schema_path data_path ops_path out_path stats jobs store every =
+  match store with
+  | Some dir ->
+      with_jobs jobs (fun pool ->
+          let io = Bounds_store.Io.real ~root:dir in
+          let st =
+            if Store.exists io then
+              open_store ?pool ~auto_checkpoint:every dir
+            else begin
+              (* first update creates the store: -s seeds the schema, -d
+                 (optional) the initial instance *)
+              let schema =
+                or_die (load_schema (required_arg "-s/--schema" schema_path))
+              in
+              let inst =
+                match data_path with
+                | Some p -> or_die (load_data ~typing:schema.Schema.typing p)
+                | None -> Instance.empty
+              in
+              match Store.init ?pool ~auto_checkpoint:every io schema inst with
+              | Ok st ->
+                  Printf.printf "store: initialized %s (%d entries)\n" dir
+                    (Instance.size inst);
+                  st
+              | Error e ->
+                  or_die
+                    (Error (Printf.sprintf "%s: %s" dir (Store.error_to_string e)))
+            end
+          in
+          Fun.protect
+            ~finally:(fun () -> Store.close st)
+            (fun () ->
+              let typing = (Store.schema st).Schema.typing in
+              let inst = Directory.instance (Store.directory st) in
+              let ops =
+                or_die (parse_changes ~typing inst (read_file ops_path))
+              in
+              match Store.apply st ops with
+              | Ok d ->
+                  Printf.printf
+                    "transaction accepted: %d operation(s), %d entries now\n"
+                    (List.length ops) (Directory.size d);
+                  Printf.printf "logged at lsn %d (%d record(s), %d bytes)\n"
+                    (Store.lsn st) (Store.wal_records st) (Store.wal_bytes st);
+                  if stats then
+                    Format.printf "%a@." Directory.pp_stats (Directory.stats d);
+                  write_out out_path d;
+                  0
+              | Error r ->
+                  Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
+                  1))
+  | None ->
+      let schema = or_die (load_schema (required_arg "-s/--schema" schema_path)) in
+      let inst =
+        or_die
+          (load_data ~typing:schema.Schema.typing
+             (required_arg "-d/--data" data_path))
+      in
+      let ops =
+        or_die (parse_changes ~typing:schema.Schema.typing inst (read_file ops_path))
+      in
+      let dir =
+        match Directory.open_ ~jobs schema inst with
+        | Ok d -> d
+        | Error viols ->
+            prerr_endline "error: the starting directory is already illegal:";
+            List.iter (fun v -> prerr_endline ("  - " ^ Violation.to_string v)) viols;
+            exit 2
+      in
+      Fun.protect
+        ~finally:(fun () -> Directory.close dir)
+        (fun () ->
+          match Directory.apply dir ops with
+          | Ok dir ->
+              Printf.printf "transaction accepted: %d operation(s), %d entries now\n"
+                (List.length ops) (Directory.size dir);
+              if stats then
+                Format.printf "%a@." Directory.pp_stats (Directory.stats dir);
+              write_out out_path dir;
+              0
+          | Error r ->
+              Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
+              1)
 
 let update_cmd =
   let ops =
@@ -484,10 +644,20 @@ let update_cmd =
             "Print session statistics after the transaction (entries, memo \
              hit/miss and migration counts).")
   in
+  let every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "With --store: compact automatically once $(docv) records \
+             accumulate in the log (0 = never).")
+  in
   Cmd.v
     (Cmd.info "update"
        ~doc:"Apply an update transaction under incremental legality checking.")
-    Term.(const update $ schema_arg $ data_arg $ ops $ out $ stats $ jobs_arg)
+    Term.(
+      const update $ schema_opt_arg $ data_opt_arg $ ops $ out $ stats
+      $ jobs_arg $ store_arg $ every)
 
 (* --- repair ------------------------------------------------------------------ *)
 
@@ -765,6 +935,81 @@ let fuzz_cmd =
       const fuzz $ list $ oracle $ seed $ budget $ jobs_arg $ corpus
       $ max_failures)
 
+(* --- log / checkpoint (durable stores) ---------------------------------- *)
+
+let store_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Store directory.")
+
+(* Describe the store as it sits on disk — checkpoint header, every
+   readable log record, and where (if anywhere) the tail is damaged.
+   Read-only: unlike open_/recovery it neither replays nor truncates. *)
+let log_ dir =
+  let io = store_io dir in
+  if not (Store.exists io) then
+    or_die (Error (Printf.sprintf "%s: not a store (missing %s)" dir Store.schema_file));
+  let ckpt_ok =
+    match Bounds_store.Checkpoint.read_meta io Store.checkpoint_file with
+    | Ok m ->
+        Printf.printf "checkpoint: lsn %d, %d entries\n" m.Bounds_store.Checkpoint.lsn
+          m.Bounds_store.Checkpoint.entries;
+        Printf.printf "stats: applied %d rejected %d queries %d\n"
+          m.Bounds_store.Checkpoint.applied m.Bounds_store.Checkpoint.rejected
+          m.Bounds_store.Checkpoint.queries;
+        true
+    | Error e ->
+        Printf.printf "checkpoint: unreadable (%s)\n" e;
+        false
+  in
+  let scan = Bounds_store.Wal.scan io Store.wal_file in
+  Printf.printf "log: %d record(s), %d bytes\n"
+    (List.length scan.Bounds_store.Wal.records)
+    scan.Bounds_store.Wal.end_offset;
+  List.iter
+    (fun (r : Bounds_store.Wal.record) ->
+      Printf.printf "  lsn %d: %d op(s) at byte %d\n" r.lsn (List.length r.ops)
+        r.offset)
+    scan.Bounds_store.Wal.records;
+  match scan.Bounds_store.Wal.truncated with
+  | None ->
+      Printf.printf "tail: clean\n";
+      if ckpt_ok then 0 else 1
+  | Some t ->
+      Printf.printf "tail: damaged at byte %d (%s)\n" t.Bounds_store.Wal.offset
+        t.Bounds_store.Wal.reason;
+      1
+
+let log_cmd =
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:
+         "Describe a durable store: checkpoint header, log records, tail \
+          health.  Exits 1 if the checkpoint is unreadable or the tail is \
+          damaged (recovery would truncate it).")
+    Term.(const log_ $ store_pos_arg)
+
+let checkpoint_verb dir jobs =
+  with_jobs jobs (fun pool ->
+      let st = open_store ?pool dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () ->
+          Store.checkpoint st;
+          Printf.printf "checkpointed at lsn %d (%d entries); log reset\n"
+            (Store.lsn st)
+            (Directory.size (Store.directory st));
+          0))
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Compact a durable store: recover it, write a fresh checkpoint at \
+          the current lsn, and reset the write-ahead log.")
+    Term.(const checkpoint_verb $ store_pos_arg $ jobs_arg)
+
 let main =
   Cmd.group
     (Cmd.info "ldapschema" ~version:"1.0.0"
@@ -781,6 +1026,8 @@ let main =
       fmt_cmd;
       generate_cmd;
       fuzz_cmd;
+      log_cmd;
+      checkpoint_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -71,35 +71,6 @@ let b64_encode s =
 
 (* --- reading --------------------------------------------------------- *)
 
-(* Logical lines: physical lines with continuations folded in, comments
-   and their continuations dropped.  Each carries its first physical line
-   number for error reporting. *)
-let logical_lines s =
-  let strip_cr l =
-    let n = String.length l in
-    if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
-  in
-  let physical = List.map strip_cr (String.split_on_char '\n' s) in
-  let rec fold lineno acc pending = function
-    | [] -> List.rev (match pending with Some p -> p :: acc | None -> acc)
-    | l :: rest ->
-        let lineno' = lineno + 1 in
-        if String.length l > 0 && l.[0] = ' ' then
-          (* continuation of the pending logical line (or a dropped comment) *)
-          let pending =
-            match pending with
-            | Some (n, body) -> Some (n, body ^ String.sub l 1 (String.length l - 1))
-            | None -> None
-          in
-          fold lineno' acc pending rest
-        else
-          let acc = match pending with Some p -> p :: acc | None -> acc in
-          if l = "" then fold lineno' ((lineno, "") :: acc) None rest
-          else if l.[0] = '#' then fold lineno' acc None rest
-          else fold lineno' acc (Some (lineno, l)) rest
-  in
-  fold 1 [] None physical
-
 let split_attr_line line body =
   match String.index_opt body ':' with
   | None -> err line "expected 'attr: value', got %S" body
@@ -137,73 +108,121 @@ let first_rdn d =
   | None -> String.trim d
   | Some i -> String.trim (String.sub d 0 i)
 
-type record = { line : int; dn : string; pairs : (string * string) list }
-
-let records lines =
-  let rec go acc current = function
-    | [] -> List.rev (match current with Some r -> { r with pairs = List.rev r.pairs } :: acc | None -> acc)
-    | (_, "") :: rest ->
-        let acc = match current with Some r -> { r with pairs = List.rev r.pairs } :: acc | None -> acc in
-        go acc None rest
-    | (line, body) :: rest -> (
-        match current with
-        | None ->
-            let attr, value = split_attr_line line body in
-            if String.lowercase_ascii (String.trim attr) <> "dn" then
-              err line "record must start with 'dn:', got %S" body;
-            go acc (Some { line; dn = value; pairs = [] }) rest
-        | Some r ->
-            let attr, value = split_attr_line line body in
-            go acc (Some { r with pairs = (attr, value) :: r.pairs }) rest)
-  in
-  go [] None lines
-
-let build ~first_id ~typing recs =
+(* The reader is one streaming pass: physical lines are folded into
+   logical lines, logical lines are grouped into records, and each
+   finished record becomes one entry handed to the caller — O(record)
+   memory over the input, which is what lets a checkpoint load stream a
+   large body without materializing line or record lists. *)
+let fold_entries ?id_of ~typing f init s =
+  let len = String.length s in
   let by_dn = Hashtbl.create 64 in
-  let next_id = ref first_id in
-  List.fold_left
-    (fun inst r ->
-      let id = !next_id in
-      incr next_id;
-      let classes, attr_pairs =
-        List.fold_left
-          (fun (classes, pairs) (attr_raw, value_raw) ->
-            match Attr.of_string_opt attr_raw with
-            | None -> err r.line "invalid attribute name %S" attr_raw
-            | Some a ->
-                if Attr.equal a Attr.object_class then
-                  match Oclass.of_string_opt value_raw with
-                  | Some c -> (Oclass.Set.add c classes, pairs)
-                  | None -> err r.line "invalid object class name %S" value_raw
-                else
-                  let ty = Typing.find typing a in
-                  (match Value.parse ty value_raw with
-                  | Ok v -> (classes, (a, v) :: pairs)
-                  | Error m -> err r.line "attribute %s: %s" (Attr.to_string a) m))
-          (Oclass.Set.empty, []) r.pairs
-      in
-      if Oclass.Set.is_empty classes then
-        err r.line "entry %s has no objectClass" r.dn;
-      let entry =
-        Entry.make ~id ~rdn:(first_rdn r.dn) ~classes (List.rev attr_pairs)
-      in
-      let parent =
-        match parent_dn r.dn with
-        | None -> None
-        | Some pd -> (
-            match Hashtbl.find_opt by_dn (norm_dn pd) with
-            | Some pid -> Some pid
-            | None -> err r.line "parent entry %S not yet defined" pd)
-      in
-      Hashtbl.replace by_dn (norm_dn r.dn) id;
-      match Instance.add ~parent entry inst with
-      | Ok inst -> inst
-      | Error e -> err r.line "%s" (Instance.error_to_string e))
-    Instance.empty recs
+  let ordinal = ref 0 in
+  let acc = ref init in
+  (* record under assembly: dn line number, dn, pairs in reverse *)
+  let rec_line = ref 0 in
+  let rec_dn = ref None in
+  let rec_pairs = ref [] in
+  let finish_record () =
+    match !rec_dn with
+    | None -> ()
+    | Some dn ->
+        let line = !rec_line and pairs = List.rev !rec_pairs in
+        rec_dn := None;
+        rec_pairs := [];
+        let classes, attr_pairs =
+          List.fold_left
+            (fun (classes, pairs) (attr_raw, value_raw) ->
+              match Attr.of_string_opt attr_raw with
+              | None -> err line "invalid attribute name %S" attr_raw
+              | Some a ->
+                  if Attr.equal a Attr.object_class then
+                    match Oclass.of_string_opt value_raw with
+                    | Some c -> (Oclass.Set.add c classes, pairs)
+                    | None -> err line "invalid object class name %S" value_raw
+                  else
+                    let ty = Typing.find typing a in
+                    (match Value.parse ty value_raw with
+                    | Ok v -> (classes, (a, v) :: pairs)
+                    | Error m -> err line "attribute %s: %s" (Attr.to_string a) m))
+            (Oclass.Set.empty, []) pairs
+        in
+        if Oclass.Set.is_empty classes then
+          err line "entry %s has no objectClass" dn;
+        let id = match id_of with Some f -> f !ordinal | None -> !ordinal in
+        incr ordinal;
+        let entry = Entry.make ~id ~rdn:(first_rdn dn) ~classes (List.rev attr_pairs) in
+        let parent =
+          match parent_dn dn with
+          | None -> None
+          | Some pd -> (
+              match Hashtbl.find_opt by_dn (norm_dn pd) with
+              | Some pid -> Some pid
+              | None -> err line "parent entry %S not yet defined" pd)
+        in
+        Hashtbl.replace by_dn (norm_dn dn) id;
+        (match f ~parent entry !acc with
+        | Ok a -> acc := a
+        | Error m -> err line "%s" m)
+  in
+  let dispatch line body =
+    let attr, value = split_attr_line line body in
+    match !rec_dn with
+    | None ->
+        if String.lowercase_ascii (String.trim attr) <> "dn" then
+          err line "record must start with 'dn:', got %S" body;
+        rec_line := line;
+        rec_dn := Some value
+    | Some _ -> rec_pairs := (attr, value) :: !rec_pairs
+  in
+  let pending = ref None in
+  let flush_pending () =
+    match !pending with
+    | None -> ()
+    | Some (n, body) ->
+        pending := None;
+        dispatch n body
+  in
+  let lineno = ref 0 in
+  let handle l =
+    let l =
+      let n = String.length l in
+      if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+    in
+    if String.length l > 0 && l.[0] = ' ' then
+      (* continuation of the pending logical line (or a dropped comment) *)
+      match !pending with
+      | Some (n, body) ->
+          pending := Some (n, body ^ String.sub l 1 (String.length l - 1))
+      | None -> ()
+    else begin
+      flush_pending ();
+      if l = "" then finish_record ()
+      else if l.[0] = '#' then ()
+      else pending := Some (!lineno, l)
+    end
+  in
+  let rec lines pos =
+    incr lineno;
+    match if pos >= len then None else String.index_from_opt s pos '\n' with
+    | Some j ->
+        handle (String.sub s pos (j - pos));
+        lines (j + 1)
+    | None -> handle (String.sub s pos (len - pos))
+  in
+  try
+    lines 0;
+    flush_pending ();
+    finish_record ();
+    Ok !acc
+  with Err e -> Error e
 
 let parse ?(first_id = 0) ~typing s =
-  try Ok (build ~first_id ~typing (records (logical_lines s)))
-  with Err e -> Error e
+  fold_entries
+    ~id_of:(fun k -> first_id + k)
+    ~typing
+    (fun ~parent e inst ->
+      Result.map_error Instance.error_to_string (Instance.add ~parent e inst))
+    Instance.empty s
 
 let parse_exn ?first_id ~typing s =
   match parse ?first_id ~typing s with

@@ -19,6 +19,21 @@ type error = { line : int; message : string }
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+(** [fold_entries ~typing f init s] streams the document: each record is
+    built into an {!Entry.t} and handed to [f] with its resolved parent,
+    in reading order, without materializing line or record lists.  The
+    k-th record (0-based) gets id [id_of k] (default [k]).  An [Error]
+    from [f] becomes a positioned {!error} at the record's [dn:] line —
+    this is how a checkpoint load reports an {!Instance.add} rejection.
+    Folding stops at the first error. *)
+val fold_entries :
+  ?id_of:(int -> Entry.id) ->
+  typing:Typing.t ->
+  (parent:Entry.id option -> Entry.t -> 'a -> ('a, string) result) ->
+  'a ->
+  string ->
+  ('a, error) result
+
 (** [parse ~typing s] reads a whole LDIF document.  Entry ids are assigned
     in reading order starting from [first_id] (default 0). *)
 val parse : ?first_id:int -> typing:Typing.t -> string -> (Instance.t, error) result

@@ -56,9 +56,12 @@ type t = {
   pool : Pool.t option;
   owns_pool : bool;
   counters : counters;
+  store : (Update.op list -> t -> unit) option;
 }
 
-let open_ ?(extensions = true) ?jobs ?pool ?(memoize = true) schema inst =
+type commit_hook = Update.op list -> t -> unit
+
+let open_ ?(extensions = true) ?jobs ?pool ?(memoize = true) ?store schema inst =
   let pool, owns_pool =
     match (pool, jobs) with
     | (Some _ as p), _ -> (p, false)
@@ -92,6 +95,7 @@ let open_ ?(extensions = true) ?jobs ?pool ?(memoize = true) schema inst =
           pool;
           owns_pool;
           counters = { queries = 0; applied = 0; rejected = 0 };
+          store;
         }
 
 let schema t = t.schema
@@ -138,8 +142,13 @@ let apply t ops =
         if t.memoize then Plan.memo_apply ~vindex ops t.memo
         else Plan.memo_create vindex
       in
+      let t' = { t with monitor; vindex; memo } in
+      (* write-ahead durability: the hook must land the transaction
+         before it is acknowledged — if it raises, [t] is still the
+         session's current version and nothing was counted *)
+      Option.iter (fun hook -> hook ops t') t.store;
       t.counters.applied <- t.counters.applied + 1;
-      Ok { t with monitor; vindex; memo }
+      Ok t'
 
 let snapshot t =
   { Snapshot.index = index t; vindex = t.vindex; memo = t.memo }

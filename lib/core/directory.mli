@@ -84,6 +84,16 @@ end
 
 type t
 
+(** Durability hook: called by {!apply} with the accepted transaction
+    and the {e new} session version, after incremental legality has
+    admitted the ops but before the version is returned (and before it
+    is counted as applied).  This is where a write-ahead log makes the
+    transaction durable before it is acknowledged: an exception from
+    the hook aborts the apply, and the previous version stays usable —
+    an un-logged transaction is never observed as accepted.  See
+    {!Bounds_store.Store}. *)
+type commit_hook = Update.op list -> t -> unit
+
 (** [open_ schema inst] runs the full admission scan (via
     {!Monitor.create}) and builds the session's index, value tables and
     memo; the scan prewarms the memo with the Figure-4 obligation
@@ -96,12 +106,16 @@ type t
     Parallelism: pass an existing [pool], or let the session own one via
     [jobs] — [1] (and the default) is sequential, [0] uses the machine's
     recommended domain count, [n > 1] uses [n] domains.  A session-owned
-    pool is shut down by {!close}. *)
+    pool is shut down by {!close}.
+
+    [store] installs a durability hook, inherited by every version the
+    session produces. *)
 val open_ :
   ?extensions:bool ->
   ?jobs:int ->
   ?pool:Bounds_par.Pool.t ->
   ?memoize:bool ->
+  ?store:commit_hook ->
   Schema.t ->
   Instance.t ->
   (t, Violation.t list) result

@@ -4,6 +4,8 @@ open Bounds_query
 open Bounds_codec
 module Gen = Bounds_workload.Gen
 module Pool = Bounds_par.Pool
+module Store = Bounds_store.Store
+module Store_io = Bounds_store.Io
 
 type outcome = Agree | Disagree of string
 
@@ -716,6 +718,117 @@ let par_vs_seq_eval =
                       else disagreef "parallel %s vs sequential %s" (pp_ids a) (pp_ids b)))));
   }
 
+(* The persisted session and its in-memory twin run the same transactions;
+   after a mid-run compaction and a full recovery the store must agree with
+   the twin on every observable: acceptance verdicts, the instance itself,
+   legality, and the memoized obligation answers. *)
+let store_roundtrip =
+  {
+    name = "store-roundtrip";
+    doc =
+      "a WAL-persisted session recovers to its in-memory twin (instance, \
+       legality, obligation answers)";
+    generate = (fun ~seed rng -> monitor_case "store-roundtrip" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  let fs = Store_io.fresh_fs () in
+                  match
+                    (Store.init (Store_io.mem fs) schema inst,
+                     Directory.open_ schema inst)
+                  with
+                  | Error (Store.Illegal _), Error _ ->
+                      Agree (* both refuse an illegal seed: out of contract *)
+                  | Error e, _ ->
+                      disagreef "store refused what the session accepts: %s"
+                        (Store.error_to_string e)
+                  | Ok _, Error _ ->
+                      Disagree "store accepted what the session refuses"
+                  | Ok st, Ok twin0 -> (
+                      (* split the ops into two transactions with a
+                         compaction between them, so recovery always
+                         crosses a checkpoint boundary *)
+                      let txns =
+                        match c.Case.ops with
+                        | [] -> [ [] ]
+                        | ops ->
+                            let k = (List.length ops + 1) / 2 in
+                            [
+                              List.filteri (fun i _ -> i < k) ops;
+                              List.filteri (fun i _ -> i >= k) ops;
+                            ]
+                      in
+                      let rec drive twin accepted = function
+                        | [] -> Ok (twin, accepted)
+                        | ops :: rest -> (
+                            let store_v = Store.apply st ops in
+                            let twin_v = Directory.apply twin ops in
+                            if accepted = 0 then Store.checkpoint st;
+                            match (store_v, twin_v) with
+                            | Ok _, Ok twin' -> drive twin' (accepted + 1) rest
+                            | Error _, Error _ -> drive twin accepted rest
+                            | Ok _, Error rej ->
+                                Error
+                                  (Format.asprintf
+                                     "store accepts, twin rejects: %a"
+                                     Monitor.pp_rejection rej)
+                            | Error rej, Ok _ ->
+                                Error
+                                  (Format.asprintf
+                                     "store rejects, twin accepts: %a"
+                                     Monitor.pp_rejection rej))
+                      in
+                      match drive twin0 0 txns with
+                      | Error m -> Disagree m
+                      | Ok (twin, accepted) -> (
+                          Store.close st;
+                          match Store.open_ (Store_io.mem fs) with
+                          | Error e ->
+                              disagreef "recovery failed: %s"
+                                (Store.error_to_string e)
+                          | Ok (st', report) -> (
+                              let dir = Store.directory st' in
+                              let verdict =
+                                if report.Store.tail <> Store.Clean then
+                                  Some "undamaged log recovered as damaged"
+                                else if Store.lsn st' <> accepted then
+                                  Some
+                                    (Printf.sprintf
+                                       "recovered lsn %d, %d transactions \
+                                        acknowledged"
+                                       (Store.lsn st') accepted)
+                                else if
+                                  not
+                                    (Instance.equal (Directory.instance dir)
+                                       (Directory.instance twin))
+                                then Some "recovered instance diverged"
+                                else
+                                  match Directory.validate dir with
+                                  | _ :: _ as vs ->
+                                      Some
+                                        ("recovered session fails validate: "
+                                        ^ pp_violations vs)
+                                  | [] ->
+                                      List.find_map
+                                        (fun (_, q, _) ->
+                                          let a = Directory.query_ids dir q in
+                                          let b = Directory.query_ids twin q in
+                                          if a = b then None
+                                          else
+                                            Some
+                                              (Printf.sprintf
+                                                 "recovered %s vs twin %s on %s"
+                                                 (pp_ids a) (pp_ids b)
+                                                 (Query.to_string q)))
+                                        (Translate.all schema.Schema.structure)
+                              in
+                              Store.close st';
+                              match verdict with
+                              | None -> Agree
+                              | Some m -> Disagree m))))));
+  }
+
 let all =
   [
     ldif_roundtrip;
@@ -734,6 +847,7 @@ let all =
     index_apply_vs_rebuild;
     par_vs_seq_legality;
     par_vs_seq_eval;
+    store_roundtrip;
   ]
 
 let names = List.map (fun o -> o.name) all

@@ -1,0 +1,34 @@
+(** Snapshot checkpoints.
+
+    A checkpoint is one {!Frame}-wrapped blob: a small header (format
+    tag, log sequence number, entry count, session/memo statistics, and
+    the preorder entry-id list) followed by the instance as LDIF.  The
+    id list is what makes the LDIF body a faithful snapshot: LDIF names
+    entries by DN only, while the log tail names them by id, so load
+    re-assigns the k-th streamed record its original id.
+
+    Writes go through a temporary file and an atomic rename, so the
+    previous checkpoint survives any crash during compaction. *)
+
+open Bounds_model
+
+type meta = {
+  lsn : int;  (** every logged record with lsn ≤ this is already folded in *)
+  entries : int;
+  applied : int;
+  rejected : int;
+  queries : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_entries : int;
+}
+
+val write : Io.t -> string -> meta -> Instance.t -> unit
+
+(** Header only — enough for [ldapschema log] to describe a store
+    without parsing the instance. *)
+val read_meta : Io.t -> string -> (meta, string) result
+
+(** Full load, streaming the LDIF body through
+    {!Bounds_codec.Ldif.fold_entries} with original ids. *)
+val read : Io.t -> string -> typing:Typing.t -> (meta * Instance.t, string) result

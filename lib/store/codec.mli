@@ -1,0 +1,18 @@
+(** Binary codec for logged transactions.
+
+    A WAL payload is one accepted transaction: its log sequence number
+    and its raw operation list, encoded {e structurally} (ids, rdns,
+    class sets, typed values) so that replay reconstructs exactly the
+    ops {!Bounds_core.Directory.apply} accepted — independently of the
+    LDIF/value printers, which have their own round-trip oracles.
+
+    The decoder is total: any malformed byte yields [Error] with an
+    offset-positioned message, never an exception — a frame whose CRC
+    matches but whose payload fails here is still just a damaged tail
+    to truncate at. *)
+
+open Bounds_model
+
+val encode_txn : lsn:int -> Update.op list -> string
+
+val decode_txn : string -> (int * Update.op list, string) result

@@ -1,0 +1,57 @@
+(* --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = (Int32.to_int !c lxor Char.code ch) land 0xff in
+      c := Int32.logxor (Int32.shift_right_logical !c 8) table.(i))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* --- framing ------------------------------------------------------------ *)
+
+let header_size = 8
+
+let encode payload =
+  let b = Bytes.create (header_size + String.length payload) in
+  Bytes.set_int32_le b 0 (Int32.of_int (String.length payload));
+  Bytes.set_int32_le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b header_size (String.length payload);
+  Bytes.to_string b
+
+type read_result =
+  | Record of { payload : string; next : int }
+  | End
+  | Torn of { offset : int; reason : string }
+
+let read s off =
+  let n = String.length s in
+  if off = n then End
+  else if off + header_size > n then
+    Torn { offset = off; reason = "truncated frame header" }
+  else
+    let b = Bytes.unsafe_of_string s in
+    let len = Int32.to_int (Bytes.get_int32_le b off) in
+    let crc = Bytes.get_int32_le b (off + 4) in
+    if len < 0 then Torn { offset = off; reason = "corrupt frame length" }
+    else if off + header_size + len > n then
+      Torn { offset = off; reason = "truncated frame payload" }
+    else
+      let payload = String.sub s (off + header_size) len in
+      if crc32 payload <> crc then
+        Torn { offset = off; reason = "crc mismatch" }
+      else Record { payload; next = off + header_size + len }

@@ -1,0 +1,163 @@
+exception Crash
+
+type t = {
+  read : string -> string option;
+  write : string -> string -> unit;
+  append : string -> string -> unit;
+  remove : string -> unit;
+  rename : string -> string -> unit;
+}
+
+(* --- real files -------------------------------------------------------- *)
+
+let real ~root =
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+  let p name = Filename.concat root name in
+  let read name =
+    let path = p name in
+    if not (Sys.file_exists path) then None
+    else
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  in
+  let write name data =
+    (* atomic create-or-replace: a crash leaves either the old file or
+       the new one, never a prefix *)
+    let tmp = p (name ^ ".tmp") in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc data;
+        flush oc);
+    Sys.rename tmp (p name)
+  in
+  let append name data =
+    let oc =
+      open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+        (p name)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc data;
+        flush oc)
+  in
+  let remove name = if Sys.file_exists (p name) then Sys.remove (p name) in
+  let rename a b = Sys.rename (p a) (p b) in
+  { read; write; append; remove; rename }
+
+(* --- in-memory files --------------------------------------------------- *)
+
+type fs = (string, string) Hashtbl.t
+
+let fresh_fs () : fs = Hashtbl.create 8
+let copy_fs : fs -> fs = Hashtbl.copy
+let read_fs fs name = Hashtbl.find_opt fs name
+let write_fs fs name data = Hashtbl.replace fs name data
+let remove_fs fs name = Hashtbl.remove fs name
+
+let mem fs =
+  {
+    read = (fun name -> Hashtbl.find_opt fs name);
+    write = (fun name data -> Hashtbl.replace fs name data);
+    append =
+      (fun name data ->
+        let old = Option.value ~default:"" (Hashtbl.find_opt fs name) in
+        Hashtbl.replace fs name (old ^ data));
+    remove = (fun name -> Hashtbl.remove fs name);
+    rename =
+      (fun a b ->
+        match Hashtbl.find_opt fs a with
+        | None -> raise (Sys_error (a ^ ": no such file"))
+        | Some data ->
+            Hashtbl.remove fs a;
+            Hashtbl.replace fs b data);
+  }
+
+(* --- fault injection ---------------------------------------------------- *)
+
+type fault =
+  | Crash_at of int
+  | Tear of { op : int; keep : int }
+  | Flip of { op : int; byte : int; bit : int }
+
+let flip_payload ~byte ~bit data =
+  if byte < 0 || byte >= String.length data then data
+  else begin
+    let b = Bytes.of_string data in
+    Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit land 7))));
+    Bytes.to_string b
+  end
+
+let faulty ~faults io =
+  let op = ref 0 in
+  let dead = ref false in
+  let guard () = if !dead then raise Crash in
+  (* [step payload apply] — run one mutating operation under the
+     schedule; [apply] consumes the (possibly damaged) payload. *)
+  let step payload apply =
+    guard ();
+    let here = !op in
+    incr op;
+    let fault =
+      List.find_opt
+        (function
+          | Crash_at o -> o = here
+          | Tear { op = o; _ } -> o = here
+          | Flip { op = o; _ } -> o = here)
+        faults
+    in
+    match fault with
+    | None -> apply payload
+    | Some (Crash_at _) ->
+        dead := true;
+        raise Crash
+    | Some (Tear { keep; _ }) ->
+        let keep = max 0 (min keep (String.length payload)) in
+        if keep > 0 then apply (String.sub payload 0 keep);
+        dead := true;
+        raise Crash
+    | Some (Flip { byte; bit; _ }) -> apply (flip_payload ~byte ~bit payload)
+  in
+  {
+    read =
+      (fun name ->
+        guard ();
+        io.read name);
+    write = (fun name data -> step data (fun d -> io.write name d));
+    append = (fun name data -> step data (fun d -> io.append name d));
+    remove = (fun name -> step "" (fun _ -> io.remove name));
+    rename = (fun a b -> step "" (fun _ -> io.rename a b));
+  }
+
+let counting io =
+  let sizes = ref [] in
+  let note n =
+    sizes := n :: !sizes;
+    ()
+  in
+  let t =
+    {
+      read = io.read;
+      write =
+        (fun name data ->
+          note (String.length data);
+          io.write name data);
+      append =
+        (fun name data ->
+          note (String.length data);
+          io.append name data);
+      remove =
+        (fun name ->
+          note 0;
+          io.remove name);
+      rename =
+        (fun a b ->
+          note 0;
+          io.rename a b);
+    }
+  in
+  (t, fun () -> List.mapi (fun i n -> (i, n)) (List.rev !sizes))

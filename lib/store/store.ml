@@ -1,0 +1,253 @@
+open Bounds_core
+
+let schema_file = "schema.spec"
+let checkpoint_file = "checkpoint.ckpt"
+let wal_file = "wal.log"
+
+type t = {
+  io : Io.t;
+  schema_v : Schema.t;
+  auto_checkpoint : int;
+  (* the session's commit hook closes over this cell: a no-op while
+     recovery replays the tail (those records are already durable), the
+     log appender afterwards *)
+  hook : (Update.op list -> Directory.t -> unit) ref;
+  mutable dir : Directory.t;
+  mutable lsn_v : int;
+  mutable wal_bytes_v : int;
+  mutable wal_records_v : int;
+  mutable base : Checkpoint.meta;  (** session totals at last checkpoint *)
+  mutable counted : Directory.stats;  (** live counters at last checkpoint *)
+}
+
+type error =
+  | Not_a_store of string
+  | Already_a_store
+  | Corrupt of string
+  | Illegal of Violation.t list
+
+let error_to_string = function
+  | Not_a_store m -> "not a store: " ^ m
+  | Already_a_store -> "already a store"
+  | Corrupt m -> "corrupt store: " ^ m
+  | Illegal vs ->
+      Format.asprintf "illegal instance:@ %a"
+        (Format.pp_print_list Violation.pp)
+        vs
+
+type tail = Clean | Recovered_at of { offset : int; reason : string }
+
+type report = {
+  checkpoint_lsn : int;
+  replayed : int;
+  skipped : int;
+  tail : tail;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "checkpoint lsn %d, %d replayed, %d skipped"
+    r.checkpoint_lsn r.replayed r.skipped;
+  match r.tail with
+  | Clean -> Format.fprintf ppf ", tail clean"
+  | Recovered_at { offset; reason } ->
+      Format.fprintf ppf ", recovered at byte %d (%s)" offset reason
+
+let exists io = io.Io.read schema_file <> None
+
+let schema t = t.schema_v
+let directory t = t.dir
+let lsn t = t.lsn_v
+let wal_bytes t = t.wal_bytes_v
+let wal_records t = t.wal_records_v
+
+let stats t =
+  let s = Directory.stats t.dir in
+  {
+    Checkpoint.lsn = t.lsn_v;
+    entries = s.Directory.entries;
+    applied = t.base.Checkpoint.applied + s.Directory.applied - t.counted.Directory.applied;
+    rejected = t.base.Checkpoint.rejected + s.Directory.rejected - t.counted.Directory.rejected;
+    queries = t.base.Checkpoint.queries + s.Directory.queries - t.counted.Directory.queries;
+    memo_hits = s.Directory.memo_hits;
+    memo_misses = s.Directory.memo_misses;
+    memo_entries = s.Directory.memo_entries;
+  }
+
+let wal_hook t ops _dir =
+  let lsn = t.lsn_v + 1 in
+  Wal.append t.io wal_file ~lsn ops;
+  t.lsn_v <- lsn;
+  t.wal_bytes_v <- t.wal_bytes_v + Wal.record_size ops;
+  t.wal_records_v <- t.wal_records_v + 1
+
+let checkpoint t =
+  let meta = stats t in
+  Checkpoint.write t.io checkpoint_file meta (Directory.instance t.dir);
+  Wal.reset t.io wal_file;
+  t.wal_bytes_v <- 0;
+  t.wal_records_v <- 0;
+  t.base <- meta;
+  t.counted <- Directory.stats t.dir
+
+let apply t ops =
+  match Directory.apply t.dir ops with
+  | Error _ as e -> e
+  | Ok dir ->
+      t.dir <- dir;
+      if t.auto_checkpoint > 0 && t.wal_records_v >= t.auto_checkpoint then
+        checkpoint t;
+      Ok dir
+
+let close t = Directory.close t.dir
+
+let init ?extensions ?pool ?(auto_checkpoint = 0) io schema inst =
+  if exists io then Error Already_a_store
+  else
+    let hook = ref (fun _ _ -> ()) in
+    match
+      Directory.open_ ?extensions ?pool
+        ~store:(fun ops d -> !hook ops d)
+        schema inst
+    with
+    | Error vs -> Error (Illegal vs)
+    | Ok dir ->
+        let s = Directory.stats dir in
+        let meta =
+          {
+            Checkpoint.lsn = 0;
+            entries = s.Directory.entries;
+            applied = 0;
+            rejected = 0;
+            queries = 0;
+            memo_hits = s.Directory.memo_hits;
+            memo_misses = s.Directory.memo_misses;
+            memo_entries = s.Directory.memo_entries;
+          }
+        in
+        Checkpoint.write io checkpoint_file meta inst;
+        Wal.reset io wal_file;
+        (* the schema is the store marker, written last: a crash anywhere
+           during init leaves a directory [open_] refuses as Not_a_store *)
+        io.Io.write schema_file (Spec_printer.to_string schema);
+        let t =
+          {
+            io;
+            schema_v = schema;
+            auto_checkpoint;
+            hook;
+            dir;
+            lsn_v = 0;
+            wal_bytes_v = 0;
+            wal_records_v = 0;
+            base = meta;
+            counted = s;
+          }
+        in
+        hook := wal_hook t;
+        Ok t
+
+(* --- recovery ----------------------------------------------------------- *)
+
+(* Replay the scanned records against [dir] under the lsn discipline:
+   lsn ≤ current is a duplicate the checkpoint already covers (left by a
+   crash between checkpoint-rename and log-reset) and is skipped; lsn =
+   current+1 is applied; anything else — a gap, or a record the monitor
+   now rejects — marks the damage point and ends replay. *)
+let replay_tail dir0 ~lsn:lsn0 records =
+  let rec go dir cur replayed skipped = function
+    | [] -> (dir, cur, replayed, skipped, None)
+    | (r : Wal.record) :: rest ->
+        if r.lsn <= cur then go dir cur replayed (skipped + 1) rest
+        else if r.lsn = cur + 1 then
+          match Directory.apply dir r.ops with
+          | Ok dir' -> go dir' r.lsn (replayed + 1) skipped rest
+          | Error rej ->
+              ( dir,
+                cur,
+                replayed,
+                skipped,
+                Some
+                  {
+                    Wal.offset = r.offset;
+                    reason =
+                      Format.asprintf "replay rejected: %a" Monitor.pp_rejection
+                        rej;
+                  } )
+        else
+          ( dir,
+            cur,
+            replayed,
+            skipped,
+            Some
+              {
+                Wal.offset = r.offset;
+                reason =
+                  Printf.sprintf "lsn gap: expected %d, found %d" (cur + 1)
+                    r.lsn;
+              } )
+  in
+  go dir0 lsn0 0 0 records
+
+let open_ ?extensions ?pool ?(auto_checkpoint = 0) io =
+  match io.Io.read schema_file with
+  | None -> Error (Not_a_store ("missing " ^ schema_file))
+  | Some spec -> (
+      match Spec_parser.parse spec with
+      | Error e ->
+          Error (Corrupt (schema_file ^ ": " ^ Spec_parser.error_to_string e))
+      | Ok schema -> (
+          match
+            Checkpoint.read io checkpoint_file ~typing:schema.Schema.typing
+          with
+          | Error m -> Error (Corrupt (checkpoint_file ^ ": " ^ m))
+          | Ok (meta, inst) -> (
+              let hook = ref (fun _ _ -> ()) in
+              match
+                Directory.open_ ?extensions ?pool
+                  ~store:(fun ops d -> !hook ops d)
+                  schema inst
+              with
+              | Error vs -> Error (Illegal vs)
+              | Ok dir0 ->
+                  let counted = Directory.stats dir0 in
+                  let scan = Wal.scan io wal_file in
+                  let dir, cur, replayed, skipped, broke =
+                    replay_tail dir0 ~lsn:meta.Checkpoint.lsn scan.Wal.records
+                  in
+                  let truncated =
+                    match broke with
+                    | Some _ -> broke
+                    | None -> scan.Wal.truncated
+                  in
+                  let tail, valid_end =
+                    match truncated with
+                    | None -> (Clean, scan.Wal.end_offset)
+                    | Some { Wal.offset; reason } ->
+                        (* cut the log back to the durable prefix so the
+                           next append extends valid records, not junk *)
+                        Wal.truncate io wal_file ~keep:offset;
+                        (Recovered_at { offset; reason }, offset)
+                  in
+                  let t =
+                    {
+                      io;
+                      schema_v = schema;
+                      auto_checkpoint;
+                      hook;
+                      dir;
+                      lsn_v = cur;
+                      wal_bytes_v = valid_end;
+                      wal_records_v = replayed + skipped;
+                      base = meta;
+                      counted;
+                    }
+                  in
+                  hook := wal_hook t;
+                  Ok
+                    ( t,
+                      {
+                        checkpoint_lsn = meta.Checkpoint.lsn;
+                        replayed;
+                        skipped;
+                        tail;
+                      } ))))

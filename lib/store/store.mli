@@ -1,0 +1,125 @@
+(** Durable directory sessions.
+
+    A store is a directory session ({!Bounds_core.Directory}) layered
+    over three files inside one store directory:
+
+    - [schema.spec] — the bounding-schema, written once at {!init} (its
+      presence is the store marker: it is the last file [init] writes);
+    - [checkpoint.ckpt] — one {!Frame}-wrapped snapshot of the instance
+      at some log sequence number, replaced atomically by {!checkpoint};
+    - [wal.log] — the write-ahead transaction log: every transaction
+      accepted since the checkpoint, appended as one CRC-framed record
+      {e before} {!apply} acknowledges it (via
+      {!Bounds_core.Directory.commit_hook}).
+
+    Recovery ({!open_}) loads the checkpoint, replays the log tail in
+    lsn order, and {e truncates} the log at the first record that is
+    torn, corrupt, out of sequence, or rejected by the legality monitor
+    — damaged tails yield a positioned {!Recovered_at} report, never an
+    exception.  Records whose lsn the checkpoint already covers are
+    skipped as duplicates, which is what makes the
+    checkpoint-then-reset compaction sequence crash-safe at every
+    intermediate point.
+
+    All I/O goes through an {!Io.t}, so the same code runs against real
+    files ({!Io.real}) and against the fault-injecting harness
+    ({!Io.faulty}) used by the crash-recovery tests. *)
+
+open Bounds_model
+open Bounds_core
+
+(** Store-relative file names (useful to damage a store on purpose). *)
+
+val schema_file : string
+val checkpoint_file : string
+val wal_file : string
+
+type t
+
+type error =
+  | Not_a_store of string  (** missing [schema.spec]: never initialized *)
+  | Already_a_store  (** {!init} refuses to clobber an existing store *)
+  | Corrupt of string  (** unreadable schema or checkpoint *)
+  | Illegal of Violation.t list
+      (** the initial instance ({!init}) or the checkpointed instance
+          ({!open_}) fails the admission scan *)
+
+val error_to_string : error -> string
+
+(** How {!open_} found the log tail. *)
+type tail =
+  | Clean  (** every record after the checkpoint replayed *)
+  | Recovered_at of { offset : int; reason : string }
+      (** the log was truncated to [offset] bytes; [reason] says what
+          was wrong with the first discarded record *)
+
+type report = {
+  checkpoint_lsn : int;  (** lsn of the loaded checkpoint *)
+  replayed : int;  (** tail records re-applied *)
+  skipped : int;  (** duplicate records (lsn ≤ checkpoint) skipped *)
+  tail : tail;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [exists io] — does [io]'s root hold an initialized store? *)
+val exists : Io.t -> bool
+
+(** [init io schema inst] creates a fresh store: admission-scans [inst]
+    (so an illegal seed is [Error (Illegal _)]), writes the lsn-0
+    checkpoint, an empty log, and finally the schema marker.
+    [auto_checkpoint] (default [0] = never) compacts automatically once
+    that many records accumulate in the log. *)
+val init :
+  ?extensions:bool ->
+  ?pool:Bounds_par.Pool.t ->
+  ?auto_checkpoint:int ->
+  Io.t ->
+  Schema.t ->
+  Instance.t ->
+  (t, error) result
+
+(** [open_ io] recovers a store: checkpoint load + tail replay, then
+    truncates any damaged tail so subsequent appends extend the durable
+    prefix.  The returned {!report} says how far recovery got. *)
+val open_ :
+  ?extensions:bool ->
+  ?pool:Bounds_par.Pool.t ->
+  ?auto_checkpoint:int ->
+  Io.t ->
+  (t * report, error) result
+
+val schema : t -> Schema.t
+
+(** The live session over the store's current version.  Reads
+    ({!Directory.query}, {!Directory.search}, {!Directory.validate},
+    …) go straight through it; writes must go through {!apply} below
+    or they will not be logged. *)
+val directory : t -> Directory.t
+
+(** Last durable log sequence number. *)
+val lsn : t -> int
+
+(** Current log size in bytes / records (since the last checkpoint). *)
+val wal_bytes : t -> int
+
+val wal_records : t -> int
+
+(** Session statistics accumulated {e across} crashes: the checkpoint
+    header's totals plus everything the live session has done since. *)
+val stats : t -> Checkpoint.meta
+
+(** [apply t ops] — append the transaction to the log (inside the
+    session's commit hook, before acknowledgement), then advance the
+    store to the new version.  Rejected transactions touch neither the
+    log nor the session.  Raises {!Io.Crash} only under a fault
+    schedule; the on-disk prefix then still recovers. *)
+val apply : t -> Update.op list -> (Directory.t, Monitor.rejection) result
+
+(** Compact: write a fresh checkpoint at the current lsn (atomic
+    replace), then reset the log.  A crash between the two leaves
+    duplicate records that recovery skips. *)
+val checkpoint : t -> unit
+
+(** Shut down the session's pool, if it owns one. *)
+val close : t -> unit

@@ -1,0 +1,50 @@
+open Bounds_model
+
+type record = { offset : int; lsn : int; ops : Update.op list }
+type truncation = { offset : int; reason : string }
+
+type scan = {
+  records : record list;
+  end_offset : int;
+  truncated : truncation option;
+}
+
+let scan io path =
+  match io.Io.read path with
+  | None -> { records = []; end_offset = 0; truncated = None }
+  | Some raw ->
+      let rec go acc off =
+        match Frame.read raw off with
+        | Frame.End -> { records = List.rev acc; end_offset = off; truncated = None }
+        | Frame.Torn { offset; reason } ->
+            {
+              records = List.rev acc;
+              end_offset = off;
+              truncated = Some { offset; reason };
+            }
+        | Frame.Record { payload; next } -> (
+            match Codec.decode_txn payload with
+            | Ok (lsn, ops) -> go ({ offset = off; lsn; ops } :: acc) next
+            | Error reason ->
+                {
+                  records = List.rev acc;
+                  end_offset = off;
+                  truncated = Some { offset = off; reason };
+                })
+      in
+      go [] 0
+
+let append io path ~lsn ops =
+  io.Io.append path (Frame.encode (Codec.encode_txn ~lsn ops))
+
+let record_size ops =
+  Frame.header_size + String.length (Codec.encode_txn ~lsn:0 ops)
+
+let reset io path = io.Io.write path ""
+
+let truncate io path ~keep =
+  match io.Io.read path with
+  | None -> ()
+  | Some raw ->
+      let keep = max 0 (min keep (String.length raw)) in
+      io.Io.write path (String.sub raw 0 keep)

@@ -1,0 +1,41 @@
+(** The write-ahead transaction log.
+
+    An append-only file of {!Frame}-wrapped {!Codec} transactions, one
+    per accepted update.  Appends are O(|Δ|) — the whole point of
+    logging instead of rewriting the instance — and the scanner is
+    total: a damaged tail (torn header, torn payload, flipped bit,
+    undecodable ops) ends the valid prefix with a positioned reason and
+    never raises. *)
+
+open Bounds_model
+
+type record = {
+  offset : int;  (** byte offset of the record's frame in the log *)
+  lsn : int;
+  ops : Update.op list;
+}
+
+type truncation = { offset : int; reason : string }
+
+type scan = {
+  records : record list;  (** the longest decodable prefix, in order *)
+  end_offset : int;  (** where that prefix ends *)
+  truncated : truncation option;
+      (** damage past [end_offset], if the log does not end cleanly *)
+}
+
+(** [scan io path] — a missing log is an empty one. *)
+val scan : Io.t -> string -> scan
+
+val append : Io.t -> string -> lsn:int -> Update.op list -> unit
+
+(** Size in bytes of one logged transaction (frame included). *)
+val record_size : Update.op list -> int
+
+(** Reset to empty (log compaction after a checkpoint). *)
+val reset : Io.t -> string -> unit
+
+(** [truncate io path ~keep] atomically rewrites the log to its first
+    [keep] bytes — recovery chops a damaged tail with this so later
+    appends extend the valid prefix, not the garbage. *)
+val truncate : Io.t -> string -> keep:int -> unit

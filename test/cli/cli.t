@@ -211,7 +211,95 @@ Differential fuzzing (a tiny deterministic budget; oracle list is stable):
   index-apply-vs-rebuild   a Directory session's incrementally-patched index/vindex/memo agree with a from-scratch rebuild after each accepted transaction
   par-vs-seq-legality      pooled Legality.check is bit-identical to the sequential engine
   par-vs-seq-eval          pooled index build + Eval is bit-identical to the sequential path
+  store-roundtrip          a WAL-persisted session recovers to its in-memory twin (instance, legality, obligation answers)
   $ ldapschema fuzz --oracle b64-strict --oracle filter-text --budget 50 --seed 42
   b64-strict                   50 cases  ok
   filter-text                  50 cases  ok
   all oracles agree
+
+Durable sessions: --store initializes a write-ahead-logged store on the
+first update and appends one CRC-framed record per accepted transaction:
+
+  $ ldapschema update -s team.schema -d dir.ldif -o ops.ldif --store S
+  store: initialized S (2 entries)
+  transaction accepted: 1 operation(s), 3 entries now
+  logged at lsn 1 (1 record(s), 108 bytes)
+  $ cat > ops2.ldif <<'EOF'
+  > dn: uid=grace,name=research
+  > objectClass: person
+  > objectClass: top
+  > name: Grace
+  > uid: grace
+  > EOF
+  $ ldapschema update -o ops2.ldif --store S
+  store: checkpoint lsn 0, 1 replayed, 0 skipped, tail clean
+  transaction accepted: 1 operation(s), 4 entries now
+  logged at lsn 2 (2 record(s), 219 bytes)
+  $ ldapschema log S
+  checkpoint: lsn 0, 2 entries
+  stats: applied 0 rejected 0 queries 0
+  log: 2 record(s), 219 bytes
+    lsn 1: 1 op(s) at byte 0
+    lsn 2: 1 op(s) at byte 108
+  tail: clean
+
+Reads recover the session from checkpoint + log replay:
+
+  $ ldapschema query --store S '(objectClass=person)'
+  store: checkpoint lsn 0, 2 replayed, 0 skipped, tail clean
+  3 entries
+  uid=ada,name=research
+  uid=alan,name=research
+  uid=grace,name=research
+  $ ldapschema validate --store S
+  store: checkpoint lsn 0, 2 replayed, 0 skipped, tail clean
+  S: legal (4 entries)
+
+A rejected transaction touches neither the session nor the log:
+
+  $ ldapschema update -o bad-ops.ldif --store S
+  store: checkpoint lsn 0, 2 replayed, 0 skipped, tail clean
+  transaction REJECTED: invalid transaction: entry 0 is not a leaf
+  [1]
+  $ ldapschema log S | tail -4
+  log: 2 record(s), 219 bytes
+    lsn 1: 1 op(s) at byte 0
+    lsn 2: 1 op(s) at byte 108
+  tail: clean
+
+Checkpointing compacts: snapshot at the current lsn, then reset the log:
+
+  $ ldapschema checkpoint S
+  store: checkpoint lsn 0, 2 replayed, 0 skipped, tail clean
+  checkpointed at lsn 2 (4 entries); log reset
+  $ cat > ops3.ldif <<'EOF'
+  > dn: uid=edsger,name=research
+  > objectClass: person
+  > objectClass: top
+  > name: Edsger
+  > uid: edsger
+  > EOF
+  $ ldapschema update -o ops3.ldif --store S
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  transaction accepted: 1 operation(s), 5 entries now
+  logged at lsn 3 (1 record(s), 114 bytes)
+
+A torn record at the log tail (simulated by truncating the file) is
+detected, reported with its byte offset, and healed on the next open —
+recovery rolls back to the durable prefix, never crashes:
+
+  $ dd if=S/wal.log of=S/wal.tmp bs=1 count=60 2>/dev/null && mv S/wal.tmp S/wal.log
+  $ ldapschema log S
+  checkpoint: lsn 2, 4 entries
+  stats: applied 2 rejected 0 queries 0
+  log: 0 record(s), 0 bytes
+  tail: damaged at byte 0 (truncated frame payload)
+  [1]
+  $ ldapschema validate --store S
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, recovered at byte 0 (truncated frame payload)
+  S: legal (4 entries)
+  $ ldapschema log S
+  checkpoint: lsn 2, 4 entries
+  stats: applied 2 rejected 0 queries 0
+  log: 0 record(s), 0 bytes
+  tail: clean
