@@ -5,6 +5,7 @@
      consistent  decide schema consistency; optionally emit a witness
      query       evaluate a hierarchical selection query over a directory
      update      apply an LDIF change file under incremental legality
+     load        stream-bulk-load LDIF entries into a durable store
      fmt         parse a schema spec and print its canonical form
      generate    emit a benchmark workload as LDIF
      fuzz        differential fuzzing over the oracle registry
@@ -659,6 +660,84 @@ let update_cmd =
       const update $ schema_opt_arg $ data_opt_arg $ ops $ out $ stats
       $ jobs_arg $ store_arg $ every)
 
+(* --- load (streaming bulk ingest) --------------------------------------- *)
+
+let load_bulk ldif_path trust jobs dir =
+  with_jobs jobs (fun pool ->
+      let st = open_store ?pool dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () ->
+          let typing = (Store.schema st).Schema.typing in
+          let text = read_file ldif_path in
+          (* fresh ids for the streamed records; parents resolve among
+             them (a dump's forest shape), new roots stay roots *)
+          let base = Instance.fresh_id (Directory.instance (Store.directory st)) in
+          let outcome =
+            Store.load ~trust st (fun add ->
+                match
+                  Bounds_codec.Ldif.fold_entries ~typing
+                    ~id_of:(fun k -> base + k)
+                    (fun ~parent e () -> add ~parent e)
+                    () text
+                with
+                | Ok () -> Ok ()
+                | Error e ->
+                    Error
+                      (Printf.sprintf "%s: %s" ldif_path
+                         (Bounds_codec.Ldif.error_to_string e)))
+          in
+          match outcome with
+          | Ok n ->
+              Printf.printf "loaded %d entries (%s); %d entries now\n" n
+                (if trust then "trusted, admission skipped"
+                 else "one admission check on the final instance")
+                (Directory.size (Store.directory st));
+              Printf.printf "checkpointed at lsn %d; log reset\n" (Store.lsn st);
+              0
+          | Error (Store.Illegal vs) ->
+              Printf.printf
+                "load REJECTED — final instance is illegal, store unchanged:\n";
+              List.iter
+                (fun v -> Printf.printf "  - %s\n" (Violation.to_string v))
+                vs;
+              1
+          | Error e ->
+              or_die (Error (Printf.sprintf "%s: %s" dir (Store.error_to_string e)))))
+
+let load_cmd =
+  let ldif =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LDIF" ~doc:"Entries to load (parents before children).")
+  in
+  let store =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"Durable store to load into.")
+  in
+  let trust =
+    Arg.(
+      value & flag
+      & info [ "trust" ]
+          ~doc:
+            "Skip the final admission check — for dumps known legal \
+             (checkpoints of this store, exports of a validated \
+             directory).  Loading an illegal dump with $(b,--trust) \
+             voids the store's legality invariant.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Bulk-load LDIF entries into a durable store: entries stream \
+          through the batched trusted ingest path (no per-entry admission \
+          or log records), then the final instance passes one admission \
+          check (unless $(b,--trust)) and is committed as an atomic \
+          checkpoint.")
+    Term.(const load_bulk $ ldif $ trust $ jobs_arg $ store)
+
 (* --- repair ------------------------------------------------------------------ *)
 
 let repair schema_path data_path destructive out_path =
@@ -1020,6 +1099,7 @@ let main =
       query_cmd;
       search_cmd;
       update_cmd;
+      load_cmd;
       repair_cmd;
       profile_cmd;
       tree_check_cmd;

@@ -150,6 +150,111 @@ let apply t ops =
       t.counters.applied <- t.counters.applied + 1;
       Ok t'
 
+let replay t ops =
+  match Monitor.replay ops t.monitor with
+  | Error _ as e -> e
+  | Ok monitor ->
+      (* same carry as [apply], minus admission and minus the durability
+         hook: replay is for transactions that are already on disk *)
+      let index = Monitor.index monitor in
+      let vindex = Vindex.apply ~index ops t.vindex in
+      let memo =
+        if t.memoize then Plan.memo_apply ~vindex ops t.memo
+        else Plan.memo_create vindex
+      in
+      t.counters.applied <- t.counters.applied + 1;
+      Ok { t with monitor; vindex; memo }
+
+(* --- batched trusted ingest --------------------------------------------- *)
+
+module Bulk = struct
+  type session = t
+  type mode = [ `Auto | `Batch | `Incremental ]
+
+  type t = {
+    mutable live : session;  (* incrementally-patched version *)
+    mutable inst : Instance.t;  (* copy-on-write instance; batch regime only *)
+    mutable batched : bool;
+    mutable txns : int;
+    mutable pending : int;  (* ops folded in since [start] *)
+    base_n : int;  (* live instance size at [start] *)
+    mode : mode;
+  }
+
+  (* Cost crossover.  One incremental splice pays a copy-on-write pass
+     over every live structure — O(n) blits for the index, a hash-table
+     copy for the value index — so k spliced transactions cost ~k·n.  A
+     batch rebuild pays one full O(n + Δ) construction with heavier
+     per-entry work (DFS numbering, hashing, admission-table recompute).
+     Incremental therefore wins only while the transaction count stays
+     under the rebuild's constant-factor ratio and Δ stays small next to
+     the live instance. *)
+  let rebuild_ratio = 8
+
+  let start ?(mode : mode = `Auto) (t : session) =
+    let b =
+      {
+        live = t;
+        inst = instance t;
+        batched = false;
+        txns = 0;
+        pending = 0;
+        base_n = size t;
+        mode;
+      }
+    in
+    if mode = `Batch then b.batched <- true;
+    b
+
+  let add b ops =
+    let pending = b.pending + List.length ops in
+    if
+      (not b.batched)
+      && (match b.mode with
+         | `Incremental -> false
+         | `Batch -> true
+         | `Auto ->
+             b.txns + 1 >= rebuild_ratio || 4 * pending >= b.base_n + 4)
+    then begin
+      b.batched <- true;
+      b.inst <- instance b.live
+    end;
+    if b.batched then
+      match Update.apply b.inst ops with
+      | Error msg -> Error (Monitor.Bad_ops msg)
+      | Ok inst ->
+          b.inst <- inst;
+          b.live.counters.applied <- b.live.counters.applied + 1;
+          b.txns <- b.txns + 1;
+          b.pending <- pending;
+          Ok ()
+    else
+      match replay b.live ops with
+      | Error _ as e -> e
+      | Ok live ->
+          b.live <- live;
+          b.txns <- b.txns + 1;
+          b.pending <- pending;
+          Ok ()
+
+  let txns b = b.txns
+  let batched b = b.batched
+
+  let finish b =
+    if not b.batched then b.live
+    else
+      (* one bulk (re)build of every deferred structure, against the
+         final instance — O(n + Δ) total instead of O(txns · n) *)
+      let t = b.live in
+      let index = Index.create ?pool:t.pool b.inst in
+      let vindex = Vindex.create ?pool:t.pool index in
+      let memo = Plan.memo_create vindex in
+      let monitor =
+        Monitor.of_index_trusted ~extensions:t.extensions t.schema index
+      in
+      { t with monitor; vindex; memo }
+end
+
 let snapshot t =
   { Snapshot.index = index t; vindex = t.vindex; memo = t.memo }
 

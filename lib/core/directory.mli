@@ -160,6 +160,57 @@ val validate : t -> Violation.t list
     usable). *)
 val apply : t -> Update.op list -> (t, Monitor.rejection) result
 
+(** [replay t ops] — trusted fast path for transactions that {e already}
+    passed admission when they were first acknowledged (WAL records
+    being recovered, pre-validated dumps): the instance, index, value
+    tables and memo are all maintained exactly as by {!apply}, but no
+    legality check runs and the durability hook is {e not} called (the
+    transaction is already on disk).  Structurally impossible ops —
+    damage, not illegality — still reject as [Bad_ops].  Feeding
+    never-admitted transactions through [replay] voids the session's
+    legality invariant; see the safety argument in DESIGN.md. *)
+val replay : t -> Update.op list -> (t, Monitor.rejection) result
+
+(** Batched trusted ingest: fold many already-admitted transactions into
+    a session while deferring (or skipping) per-transaction index
+    patching.
+
+    The builder starts in the {e incremental} regime, splicing each
+    transaction through {!replay}.  Once the folded Δ grows past a cost
+    crossover — transaction count above the rebuild's constant-factor
+    ratio, or Δ size no longer small next to the live instance — it
+    flips to the {e batch} regime: ops land on a copy-on-write instance
+    only, and {!Bulk.finish} bulk-(re)builds the index, value tables,
+    memo and admission tables once against the final instance.  Recovery
+    of k records over n entries thus costs O(n + Δ) instead of O(k·n).
+
+    Like {!replay}, no legality checks and no durability hook — callers
+    own both (see {!Bounds_store.Store} recovery and bulk load). *)
+module Bulk : sig
+  type session := t
+  type t
+
+  (** [`Auto] applies the cost crossover; [`Batch] and [`Incremental]
+      force a regime (differential testing, benchmarks). *)
+  type mode = [ `Auto | `Batch | `Incremental ]
+
+  val start : ?mode:mode -> session -> t
+
+  (** Fold one transaction in (mutates the builder).  On [Error] the
+      builder is unchanged and still usable; the record is not counted. *)
+  val add : t -> Update.op list -> (unit, Monitor.rejection) result
+
+  (** Transactions accepted so far. *)
+  val txns : t -> int
+
+  (** Whether the crossover has flipped to the batch regime. *)
+  val batched : t -> bool
+
+  (** The ingested session: the live incremental version, or one bulk
+      rebuild of every deferred structure. *)
+  val finish : t -> session
+end
+
 (** The current version's (index, vindex, memo) as an immutable
     {!Snapshot} — remains valid after further [apply]s on the session. *)
 val snapshot : t -> Snapshot.t

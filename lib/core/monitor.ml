@@ -79,6 +79,22 @@ let create ?(extensions = true) ?pool ?index ?vindex ?memo ?memoize schema inst 
         }
   | violations -> Error violations
 
+let of_index_trusted ?(extensions = true) schema index =
+  (* No admission scan: the caller vouches for legality (a batch rebuild
+     of state that was legal transaction by transaction).  The counting
+     and key tables are recomputed from the instance — O(|D|), the same
+     order as building [index] itself. *)
+  let inst = Index.instance index in
+  {
+    schema;
+    inst;
+    index;
+    extensions;
+    counts = counts_of_instance inst;
+    key_values =
+      (if extensions then key_values_of_instance schema inst else Smap.empty);
+  }
+
 let instance m = m.inst
 let schema m = m.schema
 let index m = m.index
@@ -273,3 +289,51 @@ let apply ops m =
             | Error violations -> Error (Illegal { step; violations }))
       in
       go 1 m updates
+
+(* --- trusted replay ------------------------------------------------------ *)
+
+(* The splice halves of [insert_subtree]/[delete_subtree] without their
+   Figure-5 Δ-checks: the index is patched and the counting/key tables
+   are bumped exactly as on the checked path, so the resulting monitor is
+   indistinguishable from one that re-checked the step. *)
+
+let splice_insert ~parent delta m =
+  let delta_index = Index.create delta in
+  let index = Index.graft ~parent ~delta_index delta m.index in
+  {
+    m with
+    inst = Index.instance index;
+    index;
+    counts = bump 1 delta m.counts;
+    key_values =
+      (if m.extensions then bump_keys 1 delta m m.key_values else m.key_values);
+  }
+
+let splice_delete root m =
+  match Instance.subtree m.inst root with
+  | Error e -> failwith (Instance.error_to_string e)
+  | Ok sub ->
+      let index = Index.prune root m.index in
+      {
+        m with
+        inst = Index.instance index;
+        index;
+        counts = bump (-1) sub m.counts;
+        key_values =
+          (if m.extensions then bump_keys (-1) sub m m.key_values
+           else m.key_values);
+      }
+
+let replay ops m =
+  match Transaction.decompose m.inst ops with
+  | Error msg -> Error (Bad_ops msg)
+  | Ok updates -> (
+      try
+        Ok
+          (List.fold_left
+             (fun m -> function
+               | Transaction.Insert_subtree { parent; subtree } ->
+                   splice_insert ~parent subtree m
+               | Transaction.Delete_subtree { root } -> splice_delete root m)
+             m updates)
+      with Failure msg | Invalid_argument msg -> Error (Bad_ops msg))

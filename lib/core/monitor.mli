@@ -34,6 +34,17 @@ val create :
   Instance.t ->
   (t, Violation.t list) result
 
+(** [of_index_trusted schema index] wraps [index]'s instance as a monitor
+    {e without} the admission scan — the caller vouches that the instance
+    is legal (e.g. a batch rebuild of state that was admitted transaction
+    by transaction; see {!Directory.Bulk}).  The counting and key tables
+    are recomputed from the instance in O(|D|).  Feeding an illegal
+    instance through this constructor produces a monitor whose invariant
+    is broken — it is deliberately not exported to application code paths
+    that have not already paid for admission. *)
+val of_index_trusted :
+  ?extensions:bool -> Schema.t -> Bounds_query.Index.t -> t
+
 val instance : t -> Instance.t
 val schema : t -> Schema.t
 
@@ -74,3 +85,13 @@ val pp_rejection : Format.formatter -> rejection -> unit
     subtree step checked incrementally; on rejection the monitor is
     unchanged. *)
 val apply : Update.op list -> t -> (t, rejection) result
+
+(** Trusted replay of one transaction: same decomposition and the same
+    index/count/key-table maintenance as {!apply}, but {e no} legality
+    checks — for records that already passed admission when they were
+    first acknowledged (Theorem 4.1: the monitor only ever admits
+    legality-preserving steps, so re-checking a logged transaction can
+    never change the verdict).  Structural damage — ops that no longer
+    decompose or splice against the instance — still rejects as
+    [Bad_ops]; the monitor is unchanged in that case. *)
+val replay : Update.op list -> t -> (t, rejection) result

@@ -829,6 +829,112 @@ let store_roundtrip =
                               | Some m -> Disagree m))))));
   }
 
+(* Recovery must not depend on which replay engine walks the tail: the
+   checked path re-runs full admission per record, the trusted path
+   splices without checks (and past the cost crossover, batches the
+   index rebuild) — Theorem 4.1 says the verdicts cannot differ on
+   records that were admitted when first acknowledged.  Every case holds
+   all three trusted regimes (auto, forced batch, forced incremental)
+   against the checked baseline on lsn, instance, legality, and the
+   memoized obligation answers. *)
+let trusted_replay =
+  {
+    name = "trusted-replay";
+    doc =
+      "recovery via trusted replay (auto/batch/incremental ingest) agrees \
+       with checked replay (instance, legality, obligation answers)";
+    generate = (fun ~seed rng -> monitor_case "trusted-replay" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  let fs = Store_io.fresh_fs () in
+                  match Store.init (Store_io.mem fs) schema inst with
+                  | Error _ -> Agree (* illegal seed: out of contract *)
+                  | Ok st -> (
+                      (* one record per op leaves the longest possible
+                         tail; a compaction after the first keeps a
+                         checkpoint boundary in front of recovery *)
+                      List.iteri
+                        (fun i op ->
+                          ignore (Store.apply st [ op ]);
+                          if i = 0 then Store.checkpoint st)
+                        c.Case.ops;
+                      Store.close st;
+                      let recover label ~trusted ?ingest () =
+                        match
+                          Store.open_ ~trusted ?ingest
+                            (Store_io.mem (Store_io.copy_fs fs))
+                        with
+                        | Error e ->
+                            Error (label ^ ": " ^ Store.error_to_string e)
+                        | Ok (st', report) ->
+                            if report.Store.tail <> Store.Clean then
+                              Error
+                                (label ^ ": undamaged log recovered as damaged")
+                            else Ok st'
+                      in
+                      match recover "checked" ~trusted:false () with
+                      | Error m -> Disagree m
+                      | Ok ref_st -> (
+                          let ref_dir = Store.directory ref_st in
+                          let obligations =
+                            Translate.all schema.Schema.structure
+                          in
+                          let compare_one (label, ingest) =
+                            match recover label ~trusted:true ~ingest () with
+                            | Error m -> Some m
+                            | Ok st' ->
+                                let dir = Store.directory st' in
+                                let verdict =
+                                  if Store.lsn st' <> Store.lsn ref_st then
+                                    Some
+                                      (Printf.sprintf "%s: lsn %d vs checked %d"
+                                         label (Store.lsn st') (Store.lsn ref_st))
+                                  else if
+                                    not
+                                      (Instance.equal (Directory.instance dir)
+                                         (Directory.instance ref_dir))
+                                  then Some (label ^ ": recovered instance diverged")
+                                  else
+                                    match Directory.validate dir with
+                                    | _ :: _ as vs ->
+                                        Some
+                                          (label ^ ": fails validate: "
+                                          ^ pp_violations vs)
+                                    | [] ->
+                                        List.find_map
+                                          (fun (_, q, _) ->
+                                            let a = Directory.query_ids dir q in
+                                            let b =
+                                              Directory.query_ids ref_dir q
+                                            in
+                                            if a = b then None
+                                            else
+                                              Some
+                                                (Printf.sprintf
+                                                   "%s: %s vs checked %s on %s"
+                                                   label (pp_ids a) (pp_ids b)
+                                                   (Query.to_string q)))
+                                          obligations
+                                in
+                                Store.close st';
+                                verdict
+                          in
+                          let verdict =
+                            List.find_map compare_one
+                              [
+                                ("trusted-auto", `Auto);
+                                ("trusted-batch", `Batch);
+                                ("trusted-incremental", `Incremental);
+                              ]
+                          in
+                          Store.close ref_st;
+                          match verdict with
+                          | None -> Agree
+                          | Some m -> Disagree m)))));
+  }
+
 let all =
   [
     ldif_roundtrip;
@@ -848,6 +954,7 @@ let all =
     par_vs_seq_legality;
     par_vs_seq_eval;
     store_roundtrip;
+    trusted_replay;
   ]
 
 let names = List.map (fun o -> o.name) all

@@ -33,11 +33,22 @@ type range_idx = {
    behind it.  Lookups convert through the index's rank table on the way
    into a bitset — a constant-factor cost on the same O(result) walk —
    and in exchange {!apply} patches only the postings of attributes
-   actually touched by Δ. *)
+   actually touched by Δ.
+
+   A posting set has two representations: [Building] — a count plus a
+   newest-first cons list, cheap to patch — and [Frozen] — one sorted id
+   array, compact and cache-friendly to sweep.  {!create} freezes every
+   key at snapshot-build time, so the planner's hot path (bitset fills,
+   cardinalities) runs on arrays; {!apply} thaws exactly the keys Δ
+   touches back to lists, the mutable build representation. *)
+type postings =
+  | Frozen of Entry.id array (* sorted; duplicates kept (multi-valued) *)
+  | Building of int * Entry.id list (* count, ids newest-first *)
+
 type t = {
   ix : Index.t;
-  eq : (key, int * Entry.id list) Hashtbl.t; (* count, ids holding the pair *)
-  present : (string, int * Entry.id list) Hashtbl.t;
+  eq : (key, postings) Hashtbl.t;
+  present : (string, postings) Hashtbl.t;
   (* Range and trigram structures are built lazily per attribute — the
      legality hot path (Eq/Present only) never pays for them.  The lock
      makes on-demand construction safe when a pool evaluates several
@@ -49,19 +60,42 @@ type t = {
 
 let norm = String.lowercase_ascii
 
+let p_count = function Frozen a -> Array.length a | Building (c, _) -> c
+
+let p_iter f = function
+  | Frozen a -> Array.iter f a
+  | Building (_, l) -> List.iter f l
+
+let thaw = function
+  | Frozen a -> (Array.length a, Array.to_list a)
+  | Building (c, l) -> (c, l)
+
+let freeze = function
+  | Frozen _ as p -> p
+  | Building (_, l) ->
+      let a = Array.of_list l in
+      Array.sort Int.compare a;
+      Frozen a
+
+let freeze_tbl tbl = Hashtbl.filter_map_inplace (fun _ p -> Some (freeze p)) tbl
+
 let push tbl k id =
   match Hashtbl.find_opt tbl k with
-  | Some (c, l) -> Hashtbl.replace tbl k (c + 1, id :: l)
-  | None -> Hashtbl.replace tbl k (1, [ id ])
+  | Some p ->
+      let c, l = thaw p in
+      Hashtbl.replace tbl k (Building (c + 1, id :: l))
+  | None -> Hashtbl.replace tbl k (Building (1, [ id ]))
 
 (* Prepend a later chunk's per-key list onto the accumulated one: chunks
    are merged in increasing rank order and each per-chunk list is built
    newest-first, so [l @ prev] reproduces exactly the lists of the
-   sequential build. *)
-let merge_into tbl k (c, l) =
+   sequential build (the final freeze then sorts both the same way). *)
+let merge_into tbl k p =
   match Hashtbl.find_opt tbl k with
-  | None -> Hashtbl.replace tbl k (c, l)
-  | Some (c0, prev) -> Hashtbl.replace tbl k (c + c0, l @ prev)
+  | None -> Hashtbl.replace tbl k p
+  | Some p0 ->
+      let c, l = thaw p and c0, prev = thaw p0 in
+      Hashtbl.replace tbl k (Building (c + c0, l @ prev))
 
 let create ?pool ix =
   let n = Index.n ix in
@@ -92,6 +126,10 @@ let create ?pool ix =
           rest;
         (eq, present)
   in
+  (* snapshot-build time is freeze time: every posting list becomes one
+     sorted id array before the first lookup runs *)
+  freeze_tbl eq;
+  freeze_tbl present;
   {
     ix;
     eq;
@@ -103,29 +141,29 @@ let create ?pool ix =
 
 let index t = t.ix
 
-let of_ids t ids =
+let of_postings t p =
   let bs = Bitset.create (Index.n t.ix) in
-  List.iter (fun id -> Bitset.set bs (Index.rank t.ix id)) ids;
+  p_iter (fun id -> Bitset.set bs (Index.rank t.ix id)) p;
   bs
 
 let lookup_eq t a v =
   match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
-  | Some (_, l) -> of_ids t l
+  | Some p -> of_postings t p
   | None -> Bitset.create (Index.n t.ix)
 
 let lookup_present t a =
   match Hashtbl.find_opt t.present (Attr.to_string a) with
-  | Some (_, l) -> of_ids t l
+  | Some p -> of_postings t p
   | None -> Bitset.create (Index.n t.ix)
 
 let card_eq t a v =
   match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
-  | Some (c, _) -> c
+  | Some p -> p_count p
   | None -> 0
 
 let card_present t a =
   match Hashtbl.find_opt t.present (Attr.to_string a) with
-  | Some (c, _) -> c
+  | Some p -> p_count p
   | None -> 0
 
 (* {2 Lazy per-attribute structures} *)
@@ -134,15 +172,16 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let present_ids t key =
-  match Hashtbl.find_opt t.present key with Some (_, l) -> l | None -> []
+let iter_present_ids t key f =
+  match Hashtbl.find_opt t.present key with
+  | Some p -> p_iter f p
+  | None -> ()
 
 let entry_of_id t id = Index.entry_of_rank t.ix (Index.rank t.ix id)
 
 let build_range t a key =
   let num = ref [] and nonnum = ref [] and all = ref [] in
-  List.iter
-    (fun id ->
+  iter_present_ids t key (fun id ->
       let e = entry_of_id t id in
       List.iter
         (fun v ->
@@ -152,8 +191,7 @@ let build_range t a key =
           | Some k -> num := (k, id) :: !num
           | None -> nonnum := (ns, id) :: !nonnum);
           all := (ns, id) :: !all)
-        (Entry.values e a))
-    (present_ids t key);
+        (Entry.values e a));
   let by_int (k1, i1) (k2, i2) =
     match Int.compare k1 k2 with 0 -> Int.compare i1 i2 | c -> c
   in
@@ -232,8 +270,7 @@ let grams s =
 
 let build_trigrams t a key =
   let tbl = Hashtbl.create 256 in
-  List.iter
-    (fun id ->
+  iter_present_ids t key (fun id ->
       let e = entry_of_id t id in
       List.iter
         (fun v ->
@@ -242,8 +279,7 @@ let build_trigrams t a key =
               let prev = Option.value ~default:[] (Hashtbl.find_opt tbl g) in
               Hashtbl.replace tbl g (id :: prev))
             (grams (norm (Value.to_string v))))
-        (Entry.values e a))
-    (present_ids t key);
+        (Entry.values e a));
   let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
   Hashtbl.iter
     (fun g l -> Hashtbl.replace out g (Array.of_list (List.sort_uniq Int.compare l)))
@@ -309,16 +345,19 @@ let card_substr t a sub =
 
 (* {2 Incremental maintenance} *)
 
-(* Counts equal list lengths by construction (one cons per push), so a
-   multi-valued entry contributing several postings to one key is fully
-   unindexed here. *)
+(* Counts equal posting multiplicities by construction (one cons per
+   push, one array slot per frozen posting), so a multi-valued entry
+   contributing several postings to one key is fully unindexed here.
+   Thawed keys stay in the list representation — they are the ones under
+   mutation. *)
 let remove_from tbl k id =
   match Hashtbl.find_opt tbl k with
   | None -> ()
-  | Some (_, l) -> (
+  | Some p -> (
+      let _, l = thaw p in
       match List.filter (fun i -> i <> id) l with
       | [] -> Hashtbl.remove tbl k
-      | keep -> Hashtbl.replace tbl k (List.length keep, keep))
+      | keep -> Hashtbl.replace tbl k (Building (List.length keep, keep)))
 
 let apply ~index ops t =
   let eq = Hashtbl.copy t.eq and present = Hashtbl.copy t.present in

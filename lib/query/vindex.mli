@@ -55,7 +55,12 @@ val card_substr : t -> Attr.t -> Filter.substring -> int
 
     Postings are entry ids internally, so an update invalidates only the
     keys it touches — not, as a rank-based table would, every posting
-    behind the lowest shifted rank. *)
+    behind the lowest shifted rank.  At snapshot-build time ({!create})
+    every posting set is frozen into one sorted id array — the compact,
+    cache-friendly representation the planner's bitset fills and
+    cardinality probes sweep; {!apply} thaws exactly the keys Δ touches
+    back into count+list form, the mutable build representation, leaving
+    untouched keys frozen. *)
 
 (** [apply ~index ops t] — the value index for the post-transaction
     version: [index] must be the matching evaluation index (e.g.

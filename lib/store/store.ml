@@ -25,6 +25,7 @@ type error =
   | Already_a_store
   | Corrupt of string
   | Illegal of Violation.t list
+  | Bad_load of string
 
 let error_to_string = function
   | Not_a_store m -> "not a store: " ^ m
@@ -34,6 +35,7 @@ let error_to_string = function
       Format.asprintf "illegal instance:@ %a"
         (Format.pp_print_list Violation.pp)
         vs
+  | Bad_load m -> "bulk load failed: " ^ m
 
 type tail = Clean | Recovered_at of { offset : int; reason : string }
 
@@ -75,9 +77,11 @@ let stats t =
 
 let wal_hook t ops _dir =
   let lsn = t.lsn_v + 1 in
-  Wal.append t.io wal_file ~lsn ops;
+  (* [append] reports the bytes it framed, so the accounting reuses the
+     encoding just written instead of encoding the transaction twice *)
+  let bytes = Wal.append t.io wal_file ~lsn ops in
   t.lsn_v <- lsn;
-  t.wal_bytes_v <- t.wal_bytes_v + Wal.record_size ops;
+  t.wal_bytes_v <- t.wal_bytes_v + bytes;
   t.wal_records_v <- t.wal_records_v + 1
 
 let checkpoint t =
@@ -97,6 +101,36 @@ let apply t ops =
       if t.auto_checkpoint > 0 && t.wal_records_v >= t.auto_checkpoint then
         checkpoint t;
       Ok dir
+
+(* Streaming bulk load: the caller drives [feed], pushing one entry at a
+   time into a {!Directory.Bulk} builder (so a million-entry dump never
+   materializes an op list).  Nothing is committed until the whole feed
+   succeeded and — unless [trust] — the final instance passed one full
+   admission check; the commit itself is an atomic checkpoint replace,
+   so a crash at any point leaves the pre-load store intact.  Loaded
+   entries bypass the log on purpose: one O(|D|) checkpoint instead of
+   |Δ| log records, which is the point of a bulk path. *)
+let load ?(trust = false) t feed =
+  let bulk = Directory.Bulk.start t.dir in
+  let before = Directory.size t.dir in
+  let add ~parent entry =
+    match Directory.Bulk.add bulk [ Update.Insert { parent; entry } ] with
+    | Ok () -> Ok ()
+    | Error rej -> Error (Format.asprintf "%a" Monitor.pp_rejection rej)
+  in
+  match feed add with
+  | Error m -> Error (Bad_load m)
+  | Ok () -> (
+      let dir = Directory.Bulk.finish bulk in
+      match (if trust then [] else Directory.validate dir) with
+      | _ :: _ as vs -> Error (Illegal vs)
+      | [] ->
+          t.dir <- dir;
+          (* commit: fresh checkpoint at the current lsn, then log reset.
+             A crash between the two leaves old records with lsn ≤ the
+             checkpoint's, which recovery skips as duplicates. *)
+          checkpoint t;
+          Ok (Directory.size dir - before))
 
 let close t = Directory.close t.dir
 
@@ -148,47 +182,80 @@ let init ?extensions ?pool ?(auto_checkpoint = 0) io schema inst =
 
 (* --- recovery ----------------------------------------------------------- *)
 
-(* Replay the scanned records against [dir] under the lsn discipline:
-   lsn ≤ current is a duplicate the checkpoint already covers (left by a
-   crash between checkpoint-rename and log-reset) and is skipped; lsn =
-   current+1 is applied; anything else — a gap, or a record the monitor
-   now rejects — marks the damage point and ends replay. *)
-let replay_tail dir0 ~lsn:lsn0 records =
-  let rec go dir cur replayed skipped = function
-    | [] -> (dir, cur, replayed, skipped, None)
-    | (r : Wal.record) :: rest ->
-        if r.lsn <= cur then go dir cur replayed (skipped + 1) rest
-        else if r.lsn = cur + 1 then
-          match Directory.apply dir r.ops with
-          | Ok dir' -> go dir' r.lsn (replayed + 1) skipped rest
+type replay_state = {
+  mutable cur : int;
+  mutable replayed : int;
+  mutable skipped : int;
+  mutable broke : Wal.truncation option;
+}
+
+(* Stream the log once ({!Wal.fold} — O(record) memory) and replay each
+   record under the lsn discipline: lsn ≤ current is a duplicate the
+   checkpoint already covers (left by a crash between checkpoint-rename
+   and log-reset) and is skipped; lsn = current+1 is applied; anything
+   else — a gap, or a record that no longer applies — marks the damage
+   point and ends replay.
+
+   [trusted] replays through {!Directory.Bulk}: acknowledged records
+   passed admission when they were logged and the CRC already vouches
+   they are the same bytes, so legality is not re-checked and index
+   maintenance is batched past the cost crossover.  [trusted:false]
+   keeps the original checked path ({!Directory.apply}, which re-runs
+   admission per record) — the differential twin and benchmark
+   baseline. *)
+let replay_log ~trusted ~ingest io dir0 ~lsn:lsn0 =
+  let bulk =
+    if trusted then Some (Directory.Bulk.start ~mode:ingest dir0) else None
+  in
+  let checked_dir = ref dir0 in
+  let apply_record ops =
+    match bulk with
+    | Some b -> Directory.Bulk.add b ops
+    | None -> (
+        match Directory.apply !checked_dir ops with
+        | Ok dir ->
+            checked_dir := dir;
+            Ok ()
+        | Error rej -> Error rej)
+  in
+  let st = { cur = lsn0; replayed = 0; skipped = 0; broke = None } in
+  let folded =
+    Wal.fold io wal_file
+      (fun () (r : Wal.record) ->
+        if st.broke <> None then ()
+        else if r.lsn <= st.cur then st.skipped <- st.skipped + 1
+        else if r.lsn = st.cur + 1 then
+          match apply_record r.ops with
+          | Ok () ->
+              st.cur <- r.lsn;
+              st.replayed <- st.replayed + 1
           | Error rej ->
-              ( dir,
-                cur,
-                replayed,
-                skipped,
+              st.broke <-
                 Some
                   {
                     Wal.offset = r.offset;
                     reason =
                       Format.asprintf "replay rejected: %a" Monitor.pp_rejection
                         rej;
-                  } )
+                  }
         else
-          ( dir,
-            cur,
-            replayed,
-            skipped,
+          st.broke <-
             Some
               {
                 Wal.offset = r.offset;
                 reason =
-                  Printf.sprintf "lsn gap: expected %d, found %d" (cur + 1)
+                  Printf.sprintf "lsn gap: expected %d, found %d" (st.cur + 1)
                     r.lsn;
-              } )
+              })
+      ()
   in
-  go dir0 lsn0 0 0 records
+  let dir =
+    match bulk with Some b -> Directory.Bulk.finish b | None -> !checked_dir
+  in
+  (dir, st, folded)
 
-let open_ ?extensions ?pool ?(auto_checkpoint = 0) io =
+let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(trusted = true)
+    ?(ingest = `Auto) io =
   match io.Io.read schema_file with
   | None -> Error (Not_a_store ("missing " ^ schema_file))
   | Some spec -> (
@@ -210,18 +277,18 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) io =
               | Error vs -> Error (Illegal vs)
               | Ok dir0 ->
                   let counted = Directory.stats dir0 in
-                  let scan = Wal.scan io wal_file in
-                  let dir, cur, replayed, skipped, broke =
-                    replay_tail dir0 ~lsn:meta.Checkpoint.lsn scan.Wal.records
+                  let dir, st, folded =
+                    replay_log ~trusted ~ingest io dir0
+                      ~lsn:meta.Checkpoint.lsn
                   in
                   let truncated =
-                    match broke with
-                    | Some _ -> broke
-                    | None -> scan.Wal.truncated
+                    match st.broke with
+                    | Some _ -> st.broke
+                    | None -> folded.Wal.truncated
                   in
                   let tail, valid_end =
                     match truncated with
-                    | None -> (Clean, scan.Wal.end_offset)
+                    | None -> (Clean, folded.Wal.end_offset)
                     | Some { Wal.offset; reason } ->
                         (* cut the log back to the durable prefix so the
                            next append extends valid records, not junk *)
@@ -235,9 +302,9 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) io =
                       auto_checkpoint;
                       hook;
                       dir;
-                      lsn_v = cur;
+                      lsn_v = st.cur;
                       wal_bytes_v = valid_end;
-                      wal_records_v = replayed + skipped;
+                      wal_records_v = st.replayed + st.skipped;
                       base = meta;
                       counted;
                     }
@@ -247,7 +314,7 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) io =
                     ( t,
                       {
                         checkpoint_lsn = meta.Checkpoint.lsn;
-                        replayed;
-                        skipped;
+                        replayed = st.replayed;
+                        skipped = st.skipped;
                         tail;
                       } ))))

@@ -41,8 +41,12 @@ type error =
   | Already_a_store  (** {!init} refuses to clobber an existing store *)
   | Corrupt of string  (** unreadable schema or checkpoint *)
   | Illegal of Violation.t list
-      (** the initial instance ({!init}) or the checkpointed instance
-          ({!open_}) fails the admission scan *)
+      (** the initial instance ({!init}), the checkpointed instance
+          ({!open_}), or the result of an untrusted bulk {!load} fails
+          the admission scan *)
+  | Bad_load of string
+      (** a bulk {!load} feed failed (unreadable input, structurally
+          impossible entry); nothing was committed *)
 
 val error_to_string : error -> string
 
@@ -79,13 +83,28 @@ val init :
   Instance.t ->
   (t, error) result
 
-(** [open_ io] recovers a store: checkpoint load + tail replay, then
-    truncates any damaged tail so subsequent appends extend the durable
-    prefix.  The returned {!report} says how far recovery got. *)
+(** [open_ io] recovers a store: checkpoint load + one streaming pass
+    over the log ({!Wal.fold} — O(record) memory however long the log),
+    then truncates any damaged tail so subsequent appends extend the
+    durable prefix.  The returned {!report} says how far recovery got.
+
+    [trusted] (default [true]) replays the tail through the trusted fast
+    path ({!Directory.replay} / {!Directory.Bulk}): every logged record
+    passed admission before it was acknowledged and the CRC frame
+    vouches the bytes are unchanged, so legality is not re-checked and
+    index maintenance is batched past a cost crossover — recovery is
+    codec-decode plus state maintenance, O(|D| + Δ) instead of
+    O(Δ · re-admission).  [trusted:false] re-runs full admission per
+    record (the original path, kept as the differential twin and
+    benchmark baseline); [ingest] forces the trusted path's batching
+    regime (testing/benchmarks — the default [`Auto] applies the
+    crossover). *)
 val open_ :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
   ?auto_checkpoint:int ->
+  ?trusted:bool ->
+  ?ingest:Directory.Bulk.mode ->
   Io.t ->
   (t * report, error) result
 
@@ -120,6 +139,26 @@ val apply : t -> Update.op list -> (Directory.t, Monitor.rejection) result
     replace), then reset the log.  A crash between the two leaves
     duplicate records that recovery skips. *)
 val checkpoint : t -> unit
+
+(** [load t feed] — streaming bulk load.  [feed add] drives the load,
+    calling [add ~parent entry] once per entry (parents before
+    children, ids fresh for the store); entries flow straight into a
+    {!Directory.Bulk} builder, so arbitrarily large dumps load in
+    O(entry) working memory and one bulk index build.  Unless [trust]
+    is set, the final instance must pass {e one} full admission check
+    ([Error (Illegal _)] otherwise); [trust] skips it for
+    pre-validated dumps.  Nothing is committed until the feed and the
+    check succeed — the commit is an atomic checkpoint replace plus log
+    reset (loaded entries bypass the WAL deliberately), after which
+    [Ok n] reports the entries added.  An [Error] from [feed] or a
+    structurally impossible entry aborts with [Bad_load] and the store
+    is unchanged. *)
+val load :
+  ?trust:bool ->
+  t ->
+  ((parent:Entry.id option -> Entry.t -> (unit, string) result) ->
+  (unit, string) result) ->
+  (int, error) result
 
 (** Shut down the session's pool, if it owns one. *)
 val close : t -> unit

@@ -3,6 +3,29 @@ open Bounds_model
 type record = { offset : int; lsn : int; ops : Update.op list }
 type truncation = { offset : int; reason : string }
 
+type 'a folded = { acc : 'a; end_offset : int; truncated : truncation option }
+
+(* One frame is decoded, handed to [f], and dropped before the next is
+   read: the only per-record allocation that outlives a step is whatever
+   [f] keeps, so a scan of an arbitrarily long log runs in O(record)
+   memory (plus the raw bytes, which the {!Io} abstraction reads whole). *)
+let fold io path f init =
+  match io.Io.read path with
+  | None -> { acc = init; end_offset = 0; truncated = None }
+  | Some raw ->
+      let rec go acc off =
+        match Frame.read raw off with
+        | Frame.End -> { acc; end_offset = off; truncated = None }
+        | Frame.Torn { offset; reason } ->
+            { acc; end_offset = off; truncated = Some { offset; reason } }
+        | Frame.Record { payload; next } -> (
+            match Codec.decode_txn payload with
+            | Ok (lsn, ops) -> go (f acc { offset = off; lsn; ops }) next
+            | Error reason ->
+                { acc; end_offset = off; truncated = Some { offset = off; reason } })
+      in
+      go init 0
+
 type scan = {
   records : record list;
   end_offset : int;
@@ -10,32 +33,15 @@ type scan = {
 }
 
 let scan io path =
-  match io.Io.read path with
-  | None -> { records = []; end_offset = 0; truncated = None }
-  | Some raw ->
-      let rec go acc off =
-        match Frame.read raw off with
-        | Frame.End -> { records = List.rev acc; end_offset = off; truncated = None }
-        | Frame.Torn { offset; reason } ->
-            {
-              records = List.rev acc;
-              end_offset = off;
-              truncated = Some { offset; reason };
-            }
-        | Frame.Record { payload; next } -> (
-            match Codec.decode_txn payload with
-            | Ok (lsn, ops) -> go ({ offset = off; lsn; ops } :: acc) next
-            | Error reason ->
-                {
-                  records = List.rev acc;
-                  end_offset = off;
-                  truncated = Some { offset = off; reason };
-                })
-      in
-      go [] 0
+  let { acc; end_offset; truncated } =
+    fold io path (fun acc r -> r :: acc) []
+  in
+  { records = List.rev acc; end_offset; truncated }
 
 let append io path ~lsn ops =
-  io.Io.append path (Frame.encode (Codec.encode_txn ~lsn ops))
+  let framed = Frame.encode (Codec.encode_txn ~lsn ops) in
+  io.Io.append path framed;
+  String.length framed
 
 let record_size ops =
   Frame.header_size + String.length (Codec.encode_txn ~lsn:0 ops)

@@ -17,6 +17,20 @@ type record = {
 
 type truncation = { offset : int; reason : string }
 
+type 'a folded = {
+  acc : 'a;
+  end_offset : int;  (** where the longest decodable prefix ends *)
+  truncated : truncation option;
+      (** damage past [end_offset], if the log does not end cleanly *)
+}
+
+(** [fold io path f init] streams the longest decodable prefix in order,
+    decoding one record at a time — recovery over a long log runs in
+    O(record) memory instead of materializing the whole record list.  A
+    missing log is an empty one; like {!scan}, damage ends the fold with
+    a positioned reason and never raises. *)
+val fold : Io.t -> string -> ('a -> record -> 'a) -> 'a -> 'a folded
+
 type scan = {
   records : record list;  (** the longest decodable prefix, in order *)
   end_offset : int;  (** where that prefix ends *)
@@ -24,10 +38,14 @@ type scan = {
       (** damage past [end_offset], if the log does not end cleanly *)
 }
 
-(** [scan io path] — a missing log is an empty one. *)
+(** [scan io path] — {!fold} materialized, for callers that want the
+    whole list (e.g. the [log] inspection verb). *)
 val scan : Io.t -> string -> scan
 
-val append : Io.t -> string -> lsn:int -> Update.op list -> unit
+(** Appends one record and returns its size in bytes (frame included),
+    so the caller's byte accounting reuses the encoding just written
+    instead of encoding the transaction a second time. *)
+val append : Io.t -> string -> lsn:int -> Update.op list -> int
 
 (** Size in bytes of one logged transaction (frame included). *)
 val record_size : Update.op list -> int

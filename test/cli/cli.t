@@ -212,6 +212,7 @@ Differential fuzzing (a tiny deterministic budget; oracle list is stable):
   par-vs-seq-legality      pooled Legality.check is bit-identical to the sequential engine
   par-vs-seq-eval          pooled index build + Eval is bit-identical to the sequential path
   store-roundtrip          a WAL-persisted session recovers to its in-memory twin (instance, legality, obligation answers)
+  trusted-replay           recovery via trusted replay (auto/batch/incremental ingest) agrees with checked replay (instance, legality, obligation answers)
   $ ldapschema fuzz --oracle b64-strict --oracle filter-text --budget 50 --seed 42
   b64-strict                   50 cases  ok
   filter-text                  50 cases  ok
@@ -303,3 +304,69 @@ recovery rolls back to the durable prefix, never crashes:
   stats: applied 2 rejected 0 queries 0
   log: 0 record(s), 0 bytes
   tail: clean
+
+Streaming bulk load: entries stream straight into a batched index build
+and bypass the log; the commit is one atomic checkpoint replace.  An
+untrusted load pays exactly one admission check, on the final instance:
+
+  $ cat > bulk.ldif <<'EOF2'
+  > dn: name=infra
+  > objectClass: team
+  > objectClass: top
+  > name: infra
+  > 
+  > dn: uid=edsger,name=infra
+  > objectClass: person
+  > objectClass: top
+  > name: Edsger
+  > uid: edsger
+  > 
+  > dn: uid=tony,name=infra
+  > objectClass: person
+  > objectClass: top
+  > name: Tony
+  > uid: tony
+  > EOF2
+  $ ldapschema load bulk.ldif --store S
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  loaded 3 entries (one admission check on the final instance); 7 entries now
+  checkpointed at lsn 2; log reset
+  $ ldapschema query --store S '(objectClass=person)'
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  5 entries
+  uid=ada,name=research
+  uid=alan,name=research
+  uid=grace,name=research
+  uid=edsger,name=infra
+  uid=tony,name=infra
+
+An illegal dump (a team that never gets a person) fails that single
+check and the store is untouched:
+
+  $ cat > ghost.ldif <<'EOF2'
+  > dn: name=ghost
+  > objectClass: team
+  > objectClass: top
+  > name: ghost
+  > EOF2
+  $ ldapschema load ghost.ldif --store S
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  load REJECTED — final instance is illegal, store unchanged:
+    - entry 7 violates required relationship team ->> person
+  [1]
+  $ ldapschema validate --store S
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  S: legal (7 entries)
+
+--trust skips the check for pre-validated dumps.  Misused on the
+illegal dump it commits anyway — and the next open's admission scan
+reports the voided invariant:
+
+  $ ldapschema load ghost.ldif --trust --store S
+  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  loaded 1 entries (trusted, admission skipped); 8 entries now
+  checkpointed at lsn 2; log reset
+  $ ldapschema validate --store S
+  error: S: illegal instance:
+  entry 7 violates required relationship team ->> person
+  [2]

@@ -7,7 +7,9 @@
    checks the positioned [Recovered_at] report.  The QCheck property
    then crashes a scripted run at {e every} mutating operation and every
    intra-record byte boundary, and requires recovery to reproduce
-   exactly the acknowledged prefix. *)
+   exactly the acknowledged prefix — through the trusted replay path
+   (the default) {e and} through the checked path ([~trusted:false]),
+   which must agree on every crash point. *)
 
 open Bounds_model
 open Bounds_core
@@ -413,6 +415,25 @@ let obligation_queries schema =
   List.map (fun (_, q, _) -> q) (Translate.all schema.Schema.structure)
 
 let check_recovery ~what script fs acked =
+  (* the checked replay path (full admission per record) must reproduce
+     the same acknowledged prefix as the trusted default below, on a
+     copy of the same on-disk state *)
+  (match Store.open_ ~trusted:false (Io.mem (Io.copy_fs fs)) with
+  | Error e ->
+      Alcotest.failf "%s: checked recovery failed: %s" what
+        (Store.error_to_string e)
+  | Ok (st_c, _) ->
+      if Store.lsn st_c <> acked then
+        Alcotest.failf "%s: checked recovery lsn %d, %d acknowledged" what
+          (Store.lsn st_c) acked;
+      if
+        not
+          (Instance.equal
+             (Directory.instance (Store.directory st_c))
+             script.states.(acked))
+      then
+        Alcotest.failf "%s: checked recovery differs from acknowledged prefix"
+          what);
   match Store.open_ (Io.mem fs) with
   | Error e ->
       Alcotest.failf "%s: recovery failed: %s" what (Store.error_to_string e)
@@ -494,6 +515,87 @@ let prop_crash_recovery =
         (crash_points trace);
       true)
 
+(* --- trusted replay and bulk ingest ---------------------------------------- *)
+
+let test_ingest_modes () =
+  (* the same three-record tail recovered through each batching regime of
+     the trusted path lands on the same state as checked replay *)
+  List.iter
+    (fun (label, ingest) ->
+      let fs, st = fresh_store () in
+      let _ = get_apply "t1" (Store.apply st txn1) in
+      let _ = get_apply "t2" (Store.apply st txn2) in
+      let _ = get_apply "t3" (Store.apply st txn3) in
+      let st', report =
+        get_store label (Store.open_ ~trusted:true ~ingest (Io.mem fs))
+      in
+      check (label ^ ": clean") true (report.Store.tail = Store.Clean);
+      check_int (label ^ ": lsn") 3 (Store.lsn st');
+      check_int (label ^ ": replayed") 3 report.Store.replayed;
+      check_state label st' (after [ txn1; txn2; txn3 ]);
+      (* the recovered session stays writable through the normal path *)
+      let txn4 = ins 103 "wal4" in
+      let _ = get_apply (label ^ ": t4") (Store.apply st' txn4) in
+      check_state (label ^ ": after append") st'
+        (after [ txn1; txn2; txn3; txn4 ]))
+    [ ("batch", `Batch); ("incremental", `Incremental); ("auto", `Auto) ]
+
+let orgunit_entry ~id ~ou =
+  Entry.make ~id ~rdn:("ou=" ^ ou)
+    ~classes:(Oclass.set_of_list [ "orgunit"; "orggroup"; "top" ])
+    [ (a "ou", Value.String ou) ]
+
+let test_bulk_load () =
+  let fs, st = fresh_store () in
+  let _ = get_apply "t1" (Store.apply st txn1) in
+  let feed entries add =
+    List.fold_left
+      (fun acc (parent, e) ->
+        match acc with Error _ as err -> err | Ok () -> add ~parent e)
+      (Ok ()) entries
+  in
+  (* a lab with two people: passes the single final admission check *)
+  let good =
+    [
+      (Some 0, orgunit_entry ~id:300 ~ou:"newlab");
+      (Some 300, person ~id:301 ~uid:"bulk1");
+      (Some 300, person ~id:302 ~uid:"bulk2");
+    ]
+  in
+  (match Store.load st (feed good) with
+  | Error e -> Alcotest.failf "load: %s" (Store.error_to_string e)
+  | Ok n -> check_int "entries loaded" 3 n);
+  let expected =
+    after
+      (txn1
+      :: List.map
+           (fun (parent, entry) -> [ Update.Insert { parent; entry } ])
+           good)
+  in
+  check_state "after load" st expected;
+  (* the load committed by checkpoint replace + log reset *)
+  check_int "log reset" 0 (Store.wal_records st);
+  let st', report = reopen "after load" fs in
+  check "clean" true (report.Store.tail = Store.Clean);
+  check_int "replayed" 0 report.Store.replayed;
+  check_state "reopened after load" st' expected;
+  (* an orgunit with no person descendant fails the admission check;
+     nothing is committed *)
+  let ghost = [ (Some 0, orgunit_entry ~id:400 ~ou:"ghost") ] in
+  (match Store.load st' (feed ghost) with
+  | Error (Store.Illegal _) -> ()
+  | Ok _ -> Alcotest.fail "illegal load was committed"
+  | Error e ->
+      Alcotest.failf "unexpected load error: %s" (Store.error_to_string e));
+  check_state "unchanged after rejected load" st' expected;
+  (* ... unless the caller takes responsibility with [trust], which
+     commits the dump and voids the legality invariant *)
+  (match Store.load ~trust:true st' (feed ghost) with
+  | Error e -> Alcotest.failf "trusted load: %s" (Store.error_to_string e)
+  | Ok n -> check_int "trusted entries" 1 n);
+  check "trusted load voided the invariant" false
+    (Directory.validate (Store.directory st') = [])
+
 (* --- real files ------------------------------------------------------------ *)
 
 let test_real_io () =
@@ -540,6 +642,11 @@ let () =
             test_checkpoint_empty_log;
           Alcotest.test_case "auto checkpoint" `Quick test_auto_checkpoint;
           Alcotest.test_case "init guards" `Quick test_init_guards;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "ingest modes" `Quick test_ingest_modes;
+          Alcotest.test_case "bulk load" `Quick test_bulk_load;
         ] );
       ( "recovery",
         [
