@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke fault-smoke fuzz-smoke doc clean
+.PHONY: all test bench bench-smoke fault-smoke fuzz-smoke serve-smoke doc clean
 
 all:
 	dune build
@@ -10,12 +10,36 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Tiny-quota sanity run of the perf experiments (P1-P4); leaves
-# BENCH_legality.json, BENCH_query.json, BENCH_session.json and
-# BENCH_store.json in _build/default/bench.  --force because the json is
-# a side effect of the alias action, which dune would otherwise cache.
+# Tiny-quota sanity run of the perf experiments (P1-P6); leaves
+# BENCH_legality.json, BENCH_query.json, BENCH_session.json,
+# BENCH_store.json, BENCH_ingest.json and BENCH_serve.json in
+# _build/default/bench.  --force because the json is a side effect of
+# the alias action, which dune would otherwise cache.
 bench-smoke:
 	dune build --force @bench-smoke
+
+# Daemon round-trip: initialize a throwaway store, serve it on an
+# ephemeral port, drive brief mixed read/write traffic from concurrent
+# clients, and shut down cleanly over the wire.
+serve-smoke:
+	@dune build bin/ldapschema.exe
+	@tmp=$$(mktemp -d); bin=_build/default/bin/ldapschema.exe; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$$bin generate --units 4 --persons 3 --out $$tmp/data.ldif \
+	  --emit-schema $$tmp/wp.spec 2>/dev/null; \
+	: > $$tmp/empty.ldif; \
+	$$bin update --store $$tmp/store -s $$tmp/wp.spec -d $$tmp/data.ldif \
+	  -o $$tmp/empty.ldif >/dev/null; \
+	$$bin serve $$tmp/store --port 0 > $$tmp/serve.out 2>&1 & pid=$$!; \
+	port=""; for i in $$(seq 100); do \
+	  port=$$(sed -n 's/^listening on [^:]*:\([0-9]*\) .*/\1/p' $$tmp/serve.out); \
+	  [ -n "$$port" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$port" ] || { echo "serve-smoke: daemon never bound"; kill $$pid; exit 1; }; \
+	$$bin traffic --port $$port --clients 8 --requests 25 --write-ratio 0.3 || exit 1; \
+	$$bin client --port $$port shutdown >/dev/null || exit 1; \
+	wait $$pid; \
+	echo "serve-smoke: ok (daemon exited cleanly)"
 
 # Crash-recovery tests in isolation: the durable-store suite drives every
 # WAL/checkpoint scenario through the fault-injecting Io harness (torn

@@ -1030,12 +1030,14 @@ let exp_p3 ~smoke ~json () =
 (* --- P4: durable sessions, WAL append vs rewrite-per-transaction ------------ *)
 
 (* A store directory under the system temp dir, cleared of any earlier
-   bench run so [Store.init] finds no marker. *)
+   bench run so [Store.init] finds no marker.  fsync is off: P4/P5
+   measure the WAL-vs-rewrite and replay shapes, not disk sync latency —
+   P6 owns the fsync-on numbers and the group-commit amortization. *)
 let p4_io name =
   let root =
     Filename.concat (Filename.get_temp_dir_name ()) ("bounds-bench-" ^ name)
   in
-  let io = Sio.real ~root in
+  let io = Sio.real ~fsync:false ~root () in
   List.iter io.Sio.remove
     [ Store.schema_file; Store.checkpoint_file; Store.wal_file; "snapshot.ldif" ];
   io
@@ -1501,6 +1503,223 @@ let exp_p5 ~smoke ~json () =
     Printf.printf "  wrote BENCH_ingest.json (%d points)\n" (List.length points)
   end
 
+(* --- P6: the wire-facing server and group commit -------------------------- *)
+
+(* Durable throughput is fsync-bound: one transaction per fsync caps the
+   commit rate near 1/t_fsync however cheap admission is.  Group commit
+   appends a whole admitted batch in one I/O and shares one fsync, so
+   throughput should scale with batch size until admission cost takes
+   over.  Measured wall-clock (not bechamel): each point is a complete
+   store lifetime — init, commit stream, close — and the server points
+   drive real sockets, so per-run OLS would mostly fit setup noise. *)
+let exp_p6 ~smoke ~json () =
+  let module Server = Bounds_net.Server in
+  let module Client = Bounds_net.Client in
+  let module Proto = Bounds_net.Proto in
+  let module Traffic = Bounds_workload.Traffic in
+  header "P6   concurrent server: group commit and snapshot-isolated reads"
+    "claim: one shared fsync amortizes durability across a batch of\n\
+     admitted transactions (>= 2x past batch size 4 with fsync on);\n\
+     the server sustains concurrent clients, readers on immutable\n\
+     snapshots, writers coalesced into shared commits.";
+  (* per-transaction admission is O(|D|) (P1/P4's story), so a long
+     insert stream buries the fsync under admission cost; the stream is
+     kept short so the point being measured — one fsync shared across a
+     batch — stays the dominant term *)
+  let txns_total = if smoke then 64 else 128 in
+  let batch_sizes = [ 1; 2; 4; 8; 16 ] in
+  let client_counts = if smoke then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  let requests_per_client = if smoke then 25 else 150 in
+  let find_unit base =
+    Bounds_model.Instance.fold
+      (fun e acc ->
+        if Entry.has_class e (Oclass.of_string "orgunit") then Some (Entry.id e)
+        else acc)
+      base None
+    |> Option.get
+  in
+  let mk_person id =
+    Entry.make ~id
+      ~rdn:(Printf.sprintf "uid=p6b%d" id)
+      ~classes:(Oclass.set_of_list [ "person"; "top" ])
+      [
+        (Attr.of_string "uid", Value.String (Printf.sprintf "p6b%d" id));
+        (Attr.of_string "name", Value.String "bench");
+      ]
+  in
+  (* a fresh store on real files, small |D| so fsync dominates admission *)
+  let fresh_store ~fsync name =
+    let root =
+      Filename.concat (Filename.get_temp_dir_name ()) ("bounds-bench-" ^ name)
+    in
+    let io = Sio.real ~fsync ~root () in
+    List.iter io.Sio.remove
+      [ Store.schema_file; Store.checkpoint_file; Store.wal_file ];
+    let base = WP.generate ~seed:6 ~units:3 ~persons_per_unit:3 () in
+    let st = Result.get_ok (Store.init io WP.schema base) in
+    (st, find_unit base, Bounds_model.Instance.size base)
+  in
+  (* commit [txns_total] single-insert transactions in groups of [b];
+     b = 1 is the unbatched baseline (plain applies, one fsync each) *)
+  let commit_rate ~fsync b =
+    let best = ref 0. in
+    for rep = 0 to 2 do
+      let st, unit, _ =
+        fresh_store ~fsync (Printf.sprintf "p6gc%b-%d-%d" fsync b rep)
+      in
+      let t0 = Unix.gettimeofday () in
+      let i = ref 0 in
+      while !i < txns_total do
+        let k = min b (txns_total - !i) in
+        let run () =
+          for j = 0 to k - 1 do
+            ignore
+              (Result.get_ok
+                 (Store.apply st
+                    [
+                      Update.Insert
+                        { parent = Some unit; entry = mk_person (5_000_000 + !i + j) };
+                    ]))
+          done
+        in
+        if b = 1 then run () else Store.batch st run;
+        i := !i + k
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Store.close st;
+      best := Float.max !best (float_of_int txns_total /. dt)
+    done;
+    !best
+  in
+  let gc_fsync = List.map (fun b -> (b, commit_rate ~fsync:true b)) batch_sizes in
+  let gc_nofsync =
+    List.map (fun b -> (b, commit_rate ~fsync:false b)) batch_sizes
+  in
+  let rate_at l b = List.assoc b l in
+  Printf.printf "  group commit, %d single-insert txns (store-level, real files):\n"
+    txns_total;
+  Printf.printf "  %8s  %14s  %14s  %9s\n" "batch" "fsync on" "fsync off"
+    "on-gain";
+  List.iter
+    (fun b ->
+      Printf.printf "  %8d  %9.0f tx/s  %9.0f tx/s  %s\n" b (rate_at gc_fsync b)
+        (rate_at gc_nofsync b)
+        (pp_ratio (rate_at gc_fsync b /. rate_at gc_fsync 1)))
+    batch_sizes;
+  (* the server: mixed traffic from concurrent clients, fsync on *)
+  let serve_point ~fsync clients =
+    let st, _, _ = fresh_store ~fsync (Printf.sprintf "p6srv%b-%d" fsync clients) in
+    let srv = Server.start ~port:0 ~batch_max:64 st in
+    let port = Server.port srv in
+    let report =
+      match
+        Traffic.run ~port ~clients ~requests:requests_per_client
+          ~write_ratio:0.25 ~seed:(1 + clients)
+          ~tag:(Printf.sprintf "p6c%d" clients)
+          ()
+      with
+      | Ok r -> r
+      | Error e -> failwith ("P6 traffic: " ^ e)
+    in
+    (match Client.connect ~port ~retries:10 () with
+    | Ok c ->
+        ignore (Client.request c Proto.Shutdown);
+        Client.close c
+    | Error e -> failwith ("P6 shutdown: " ^ e));
+    Server.wait srv;
+    let stats = Server.stats srv in
+    Store.close st;
+    (report, stats)
+  in
+  let served = List.map (fun c -> (c, serve_point ~fsync:true c)) client_counts in
+  let max_clients = List.fold_left max 0 client_counts in
+  let nofsync_report, _ = serve_point ~fsync:false max_clients in
+  Printf.printf
+    "  served mixed traffic, %d requests/client, 25%% writes (fsync on):\n"
+    requests_per_client;
+  Printf.printf "  %8s  %11s  %9s  %9s  %9s  %9s\n" "clients" "req/s" "p50 ms"
+    "p95 ms" "commits" "txns";
+  List.iter
+    (fun (c, ((r : Traffic.report), (s : Server.stats))) ->
+      Printf.printf "  %8d  %11.0f  %9.3f  %9.3f  %9d  %9d\n" c
+        (Traffic.throughput r) r.Traffic.p50_ms r.Traffic.p95_ms
+        s.Server.batches s.Server.batched)
+    served;
+  let r_max, s_max = List.assoc max_clients served in
+  Printf.printf
+    "  shape: fsync-on group commit gains %.1fx at batch 4 and %.1fx at 16\n\
+    \  over unbatched (fsync off shows the non-durability ceiling); at %d\n\
+    \  clients the writer coalesced %d transactions into %d shared commits\n\
+    \  (%.1f txns/fsync); fsync off at %d clients serves %.0f req/s vs %.0f\n"
+    (rate_at gc_fsync 4 /. rate_at gc_fsync 1)
+    (rate_at gc_fsync 16 /. rate_at gc_fsync 1)
+    max_clients s_max.Server.batched s_max.Server.batches
+    (if s_max.Server.batches = 0 then 0.
+     else float_of_int s_max.Server.batched /. float_of_int s_max.Server.batches)
+    max_clients
+    (Traffic.throughput nofsync_report)
+    (Traffic.throughput r_max);
+  if json then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"experiment\": \"P6\",\n";
+    Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf (Printf.sprintf "  \"txns\": %d,\n" txns_total);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"batch4_speedup_fsync\": %.3f,\n"
+         (rate_at gc_fsync 4 /. rate_at gc_fsync 1));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"batch16_speedup_fsync\": %.3f,\n"
+         (rate_at gc_fsync 16 /. rate_at gc_fsync 1));
+    Buffer.add_string buf (Printf.sprintf "  \"max_clients\": %d,\n" max_clients);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"throughput_at_max_clients\": %.1f,\n"
+         (Traffic.throughput r_max));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"txns_per_commit_at_max_clients\": %.2f,\n"
+         (if s_max.Server.batches = 0 then 0.
+          else
+            float_of_int s_max.Server.batched /. float_of_int s_max.Server.batches));
+    Buffer.add_string buf "  \"points\": [\n";
+    let gc_points series l =
+      List.map
+        (fun (b, rate) ->
+          Printf.sprintf
+            "    { \"series\": \"%s\", \"n\": %d, \"txns_per_sec\": %.1f }"
+            series b rate)
+        l
+    in
+    let serve_points =
+      List.map
+        (fun (c, (r, _)) ->
+          Printf.sprintf
+            "    { \"series\": \"serve-fsync\", \"n\": %d, \"req_per_sec\": \
+             %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f }"
+            c (Traffic.throughput r) r.Traffic.p50_ms r.Traffic.p95_ms)
+        served
+      @ [
+          Printf.sprintf
+            "    { \"series\": \"serve-nofsync\", \"n\": %d, \"req_per_sec\": \
+             %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f }"
+            max_clients
+            (Traffic.throughput nofsync_report)
+            nofsync_report.Traffic.p50_ms nofsync_report.Traffic.p95_ms;
+        ]
+    in
+    let points =
+      gc_points "group-commit-fsync" gc_fsync
+      @ gc_points "group-commit-nofsync" gc_nofsync
+      @ serve_points
+    in
+    Buffer.add_string buf (String.concat ",\n" points);
+    Buffer.add_string buf "\n  ]\n}\n";
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "  wrote BENCH_serve.json (%d points)\n" (List.length points)
+  end
+
 (* --- W1: the chase coverage statistic ------------------------------------- *)
 
 let exp_w1 () =
@@ -1548,6 +1767,7 @@ let experiments ~smoke ~json =
     ("P3", exp_p3 ~smoke ~json);
     ("P4", exp_p4 ~smoke ~json);
     ("P5", exp_p5 ~smoke ~json);
+    ("P6", exp_p6 ~smoke ~json);
   ]
 
 let () =

@@ -11,6 +11,9 @@
      fuzz        differential fuzzing over the oracle registry
      log         describe a durable store's checkpoint and log tail
      checkpoint  compact a durable store
+     serve       run the directory server over a durable store
+     client      send one request to a running server
+     traffic     drive mixed read/write load at a running server
 
    validate/query/update also accept [--store DIR] to run against a
    durable session (write-ahead log + checkpoint) instead of flat
@@ -117,7 +120,7 @@ let required_arg flag = function
 let store_io dir =
   if not (Sys.file_exists dir) then
     or_die (Error (Printf.sprintf "%s: no such store" dir));
-  Bounds_store.Io.real ~root:dir
+  Bounds_store.Io.real ~root:dir ()
 
 (* recover an existing store, announcing how far recovery got on [ppf]
    (stderr for subcommands whose stdout is data) *)
@@ -419,116 +422,9 @@ let search_cmd =
 
 (* --- update ---------------------------------------------------------------- *)
 
-(* LDIF change records: each record is `dn:` + `changetype: add` with
-   attributes, or `changetype: delete`. *)
-let parse_changes ~typing inst text =
-  let records =
-    String.split_on_char '\n' text
-    |> List.fold_left
-         (fun (recs, cur) line ->
-           let line = String.trim line in
-           if line = "" then match cur with [] -> (recs, []) | c -> (List.rev c :: recs, [])
-           else if String.length line > 0 && line.[0] = '#' then (recs, cur)
-           else (recs, line :: cur))
-         ([], [])
-    |> fun (recs, cur) ->
-    List.rev (match cur with [] -> recs | c -> List.rev c :: recs)
-  in
-  let next_id = ref (Instance.fresh_id inst) in
-  let dn_to_id = Hashtbl.create 16 in
-  Instance.iter
-    (fun e ->
-      Hashtbl.replace dn_to_id
-        (String.lowercase_ascii (Instance.dn inst (Entry.id e)))
-        (Entry.id e))
-    inst;
-  let resolve dn =
-    match Hashtbl.find_opt dn_to_id (String.lowercase_ascii (String.trim dn)) with
-    | Some id -> Ok id
-    | None -> Error (Printf.sprintf "unknown dn %S" dn)
-  in
-  let split line =
-    match String.index_opt line ':' with
-    | Some i ->
-        Ok
-          ( String.trim (String.sub line 0 i),
-            String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
-    | None -> Error (Printf.sprintf "malformed line %S" line)
-  in
-  let ( let* ) = Result.bind in
-  let rec build ops = function
-    | [] -> Ok (List.rev ops)
-    | record :: rest -> (
-        match record with
-        | [] -> build ops rest
-        | dn_line :: body ->
-            let* k, dn = split dn_line in
-            if String.lowercase_ascii k <> "dn" then
-              Error (Printf.sprintf "record must start with dn:, got %S" dn_line)
-            else
-              let changetype, attrs =
-                match body with
-                | l :: more when String.lowercase_ascii l |> fun s ->
-                                 String.length s >= 10 && String.sub s 0 10 = "changetype" ->
-                    ( String.trim
-                        (String.sub l (String.index l ':' + 1)
-                           (String.length l - String.index l ':' - 1)),
-                      more )
-                | _ -> ("add", body)
-              in
-              (match String.lowercase_ascii changetype with
-              | "delete" ->
-                  let* id = resolve dn in
-                  build (Update.Delete id :: ops) rest
-              | "add" ->
-                  let* parent =
-                    match String.index_opt dn ',' with
-                    | None -> Ok None
-                    | Some i ->
-                        let* pid =
-                          resolve (String.sub dn (i + 1) (String.length dn - i - 1))
-                        in
-                        Ok (Some pid)
-                  in
-                  let rdn =
-                    match String.index_opt dn ',' with
-                    | None -> String.trim dn
-                    | Some i -> String.trim (String.sub dn 0 i)
-                  in
-                  let* classes, pairs =
-                    List.fold_left
-                      (fun acc line ->
-                        let* classes, pairs = acc in
-                        let* k, v = split line in
-                        match Attr.of_string_opt k with
-                        | None -> Error (Printf.sprintf "bad attribute %S" k)
-                        | Some a ->
-                            if Attr.equal a Attr.object_class then
-                              match Oclass.of_string_opt v with
-                              | Some cls -> Ok (cls :: classes, pairs)
-                              | None -> Error (Printf.sprintf "bad class %S" v)
-                            else
-                              let* value =
-                                Value.parse (Typing.find typing a) v
-                              in
-                              Ok (classes, (a, value) :: pairs))
-                      (Ok ([], []))
-                      attrs
-                  in
-                  if classes = [] then Error (Printf.sprintf "%s: no objectClass" dn)
-                  else begin
-                    let id = !next_id in
-                    incr next_id;
-                    Hashtbl.replace dn_to_id (String.lowercase_ascii dn) id;
-                    let entry =
-                      Entry.make ~id ~rdn ~classes:(Oclass.Set.of_list classes)
-                        (List.rev pairs)
-                    in
-                    build (Update.Insert { parent; entry } :: ops) rest
-                  end
-              | other -> Error (Printf.sprintf "unsupported changetype %S" other)))
-  in
-  build [] records
+(* LDIF change records (dn: + changetype add/delete) now parse in the
+   codec library — shared with the network server's write path. *)
+let parse_changes = Bounds_codec.Ldif.parse_changes
 
 let write_out out_path dir =
   match out_path with
@@ -541,7 +437,7 @@ let update schema_path data_path ops_path out_path stats jobs store every =
   match store with
   | Some dir ->
       with_jobs jobs (fun pool ->
-          let io = Bounds_store.Io.real ~root:dir in
+          let io = Bounds_store.Io.real ~root:dir () in
           let st =
             if Store.exists io then
               open_store ?pool ~auto_checkpoint:every dir
@@ -1089,6 +985,192 @@ let checkpoint_cmd =
           the current lsn, and reset the write-ahead log.")
     Term.(const checkpoint_verb $ store_pos_arg $ jobs_arg)
 
+(* --- serve / client / traffic (network) --------------------------------- *)
+
+module Server = Bounds_net.Server
+module Client = Bounds_net.Client
+module Proto = Bounds_net.Proto
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let port_opt_arg ~doc =
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let port_req_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let serve dir host port batch_max max_clients jobs =
+  with_jobs jobs (fun pool ->
+      let st = open_store ?pool dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () ->
+          let srv = Server.start ~host ~port ~batch_max ~max_clients st in
+          let stop _ = Server.stop srv in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Printf.printf "listening on %s:%d (store %s, %d entries)\n%!" host
+            (Server.port srv) dir
+            (Directory.size (Store.directory st));
+          Server.wait srv;
+          print_endline (Server.stats_text (Server.stats srv));
+          0))
+
+let serve_cmd =
+  let batch_max =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Most write transactions per group commit (default 64).")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Most concurrent connections (default 64).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the directory server over a durable store: concurrent \
+          snapshot-isolated readers, single-writer group commit (one shared \
+          fsync per batch).  Stops on SIGINT/SIGTERM or a client's shutdown \
+          request.")
+    Term.(
+      const serve $ store_pos_arg $ host_arg
+      $ port_opt_arg ~doc:"Port to listen on (0 = ephemeral, printed at start)."
+      $ batch_max $ max_clients $ jobs_arg)
+
+let client_verb host port verb operand base scope =
+  let req =
+    match verb with
+    | "ping" -> Proto.Ping
+    | "stats" -> Proto.Stats
+    | "checkpoint" -> Proto.Checkpoint
+    | "shutdown" -> Proto.Shutdown
+    | "query" -> (
+        match operand with
+        | Some e -> Proto.Query e
+        | None -> or_die (Error "query needs an expression argument"))
+    | "search" -> (
+        match operand with
+        | Some f -> Proto.Search { base; scope; filter = f }
+        | None -> or_die (Error "search needs a filter argument"))
+    | "apply" -> (
+        match operand with
+        | Some path ->
+            let text =
+              if path = "-" then In_channel.input_all stdin
+              else read_file path
+            in
+            Proto.Apply text
+        | None -> or_die (Error "apply needs an LDIF change file (or - for stdin)"))
+    | v -> or_die (Error (Printf.sprintf "unknown request verb %S" v))
+  in
+  match Client.connect ~host ~port ~retries:20 () with
+  | Error e -> or_die (Error e)
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.request c req with
+          | Ok (Proto.Reply body) ->
+              if body <> "" then print_endline body;
+              0
+          | Ok (Proto.Failed msg) ->
+              prerr_endline ("server: " ^ msg);
+              1
+          | Error e -> or_die (Error e))
+
+let client_cmd =
+  let verb =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:"ping, query, search, apply, stats, checkpoint, or shutdown.")
+  in
+  let operand =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ARG"
+          ~doc:
+            "Query expression, search filter, or LDIF change file ($(b,-) \
+             for stdin), depending on the verb.")
+  in
+  let base =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "base" ] ~docv:"DN"
+          ~doc:"Search base (whole forest if omitted).")
+  in
+  let scope =
+    Arg.(
+      value & opt string "sub"
+      & info [ "scope" ] ~docv:"SCOPE" ~doc:"base, one, or sub (default).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running directory server and print the reply.")
+    Term.(
+      const client_verb $ host_arg $ port_req_arg $ verb $ operand $ base
+      $ scope)
+
+let traffic_verb host port clients requests write_ratio seed tag =
+  match
+    Bounds_workload.Traffic.run ~host ~port ~clients ~requests ~write_ratio
+      ~seed ~tag ()
+  with
+  | Error e -> or_die (Error e)
+  | Ok report ->
+      print_endline (Bounds_workload.Traffic.report_text report);
+      if report.Bounds_workload.Traffic.requests > 0 then 0 else 1
+
+let traffic_cmd =
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let write_ratio =
+    Arg.(
+      value & opt float 0.2
+      & info [ "write-ratio" ] ~docv:"R"
+          ~doc:"Fraction of requests that are write transactions.")
+  in
+  let seed =
+    Arg.(value & opt int 17 & info [ "seed" ] ~docv:"N" ~doc:"Stream seed.")
+  in
+  let tag =
+    Arg.(
+      value & opt string "t"
+      & info [ "tag" ] ~docv:"TAG"
+          ~doc:
+            "Uid prefix for generated writes (vary it between runs against \
+             a persistent store: uid is a key).")
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Drive mixed read/write traffic at a running directory server and \
+          report throughput and latency.")
+    Term.(
+      const traffic_verb $ host_arg $ port_req_arg $ clients $ requests
+      $ write_ratio $ seed $ tag)
+
 let main =
   Cmd.group
     (Cmd.info "ldapschema" ~version:"1.0.0"
@@ -1108,6 +1190,9 @@ let main =
       fuzz_cmd;
       log_cmd;
       checkpoint_cmd;
+      serve_cmd;
+      client_cmd;
+      traffic_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

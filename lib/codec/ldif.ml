@@ -262,3 +262,121 @@ let to_string inst =
   Buffer.contents buf
 
 let pp ppf inst = Format.pp_print_string ppf (to_string inst)
+
+(* --- change records --------------------------------------------------- *)
+
+(* LDIF change records against an existing instance: each record is
+   `dn:` plus either `changetype: add` (the default) with the entry's
+   attribute lines, or `changetype: delete`.  DNs are resolved against
+   [inst] plus the records already built — an add may parent later adds
+   of the same document — and fresh ids are assigned past the
+   instance's; the ops are ready for Directory.apply / Store.apply.
+   Shared by the CLI `update` verb and the network server's write path
+   (where the server resolves at admission time, against the version
+   the transaction will actually apply to). *)
+let parse_changes ~typing inst text =
+  let records =
+    String.split_on_char '\n' text
+    |> List.fold_left
+         (fun (recs, cur) line ->
+           let line = String.trim line in
+           if line = "" then
+             match cur with [] -> (recs, []) | c -> (List.rev c :: recs, [])
+           else if String.length line > 0 && line.[0] = '#' then (recs, cur)
+           else (recs, line :: cur))
+         ([], [])
+    |> fun (recs, cur) ->
+    List.rev (match cur with [] -> recs | c -> List.rev c :: recs)
+  in
+  let next_id = ref (Instance.fresh_id inst) in
+  let dn_to_id = Hashtbl.create 16 in
+  Instance.iter
+    (fun e ->
+      Hashtbl.replace dn_to_id
+        (norm_dn (Instance.dn inst (Entry.id e)))
+        (Entry.id e))
+    inst;
+  let resolve dn =
+    match Hashtbl.find_opt dn_to_id (norm_dn dn) with
+    | Some id -> Ok id
+    | None -> Error (Printf.sprintf "unknown dn %S" dn)
+  in
+  let split line =
+    match String.index_opt line ':' with
+    | Some i ->
+        Ok
+          ( String.trim (String.sub line 0 i),
+            String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> Error (Printf.sprintf "malformed line %S" line)
+  in
+  let ( let* ) = Result.bind in
+  let rec build ops = function
+    | [] -> Ok (List.rev ops)
+    | record :: rest -> (
+        match record with
+        | [] -> build ops rest
+        | dn_line :: body ->
+            let* k, dn = split dn_line in
+            if String.lowercase_ascii k <> "dn" then
+              Error (Printf.sprintf "record must start with dn:, got %S" dn_line)
+            else
+              let changetype, attrs =
+                match body with
+                | l :: more
+                  when String.lowercase_ascii l |> fun s ->
+                       String.length s >= 10 && String.sub s 0 10 = "changetype"
+                  ->
+                    ( String.trim
+                        (String.sub l
+                           (String.index l ':' + 1)
+                           (String.length l - String.index l ':' - 1)),
+                      more )
+                | _ -> ("add", body)
+              in
+              (match String.lowercase_ascii changetype with
+              | "delete" ->
+                  let* id = resolve dn in
+                  build (Update.Delete id :: ops) rest
+              | "add" ->
+                  let* parent =
+                    match parent_dn dn with
+                    | None -> Ok None
+                    | Some p ->
+                        let* pid = resolve p in
+                        Ok (Some pid)
+                  in
+                  let rdn = first_rdn dn in
+                  let* classes, pairs =
+                    List.fold_left
+                      (fun acc line ->
+                        let* classes, pairs = acc in
+                        let* k, v = split line in
+                        match Attr.of_string_opt k with
+                        | None -> Error (Printf.sprintf "bad attribute %S" k)
+                        | Some a ->
+                            if Attr.equal a Attr.object_class then
+                              match Oclass.of_string_opt v with
+                              | Some cls -> Ok (cls :: classes, pairs)
+                              | None -> Error (Printf.sprintf "bad class %S" v)
+                            else
+                              let* value = Value.parse (Typing.find typing a) v in
+                              Ok (classes, (a, value) :: pairs))
+                      (Ok ([], []))
+                      attrs
+                  in
+                  if classes = [] then
+                    Error (Printf.sprintf "%s: no objectClass" dn)
+                  else begin
+                    let id = !next_id in
+                    incr next_id;
+                    Hashtbl.replace dn_to_id (norm_dn dn) id;
+                    let entry =
+                      Entry.make ~id ~rdn
+                        ~classes:(Oclass.Set.of_list classes)
+                        (List.rev pairs)
+                    in
+                    build (Update.Insert { parent; entry } :: ops) rest
+                  end
+              | other -> Error (Printf.sprintf "unsupported changetype %S" other)))
+  in
+  build [] records

@@ -57,3 +57,19 @@ val b64_encode : string -> string
     Raises [Invalid_argument] with a positioned message on malformed
     input. *)
 val b64_decode : string -> string
+
+(** {2 Change records}
+
+    [parse_changes ~typing inst text] reads LDIF change records —
+    [dn:] plus [changetype: add] (the default; attribute lines follow)
+    or [changetype: delete] — into update ops against [inst]: DNs
+    resolve against the instance {e and} the records already read (an
+    add may parent later adds), fresh ids are assigned past the
+    instance's.  Because resolution is against a concrete version,
+    callers admitting concurrently (the network server) must parse at
+    admission time, against the version the transaction will apply to. *)
+val parse_changes :
+  typing:Typing.t ->
+  Instance.t ->
+  string ->
+  (Update.op list, string) result

@@ -22,6 +22,13 @@ module Snapshot = struct
   let query ?pool s q = Plan.memo_eval ?pool s.memo q
   let query_ids ?pool s q = Index.ids_of s.index (query ?pool s q)
 
+  (* Read-only twins: never write the snapshot's memo, so any number of
+     concurrent readers (threads or domains) may evaluate over one
+     published snapshot — the lock-free read path of the network
+     server's snapshot-isolation discipline. *)
+  let query_ro ?pool s q = Plan.memo_eval_ro ?pool s.memo q
+  let query_ids_ro ?pool s q = Index.ids_of s.index (query_ro ?pool s q)
+
   let explain ?pool s q =
     let plan = Plan.plan s.vindex q in
     let result = Plan.exec ?pool plan in

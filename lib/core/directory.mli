@@ -52,6 +52,17 @@ module Snapshot : sig
   val query_ids :
     ?pool:Bounds_par.Pool.t -> t -> Bounds_query.Query.t -> Entry.id list
 
+  (** Read-only evaluation: hits the snapshot's memo but never writes
+      it, so any number of concurrent readers may evaluate over one
+      snapshot (cold subqueries are recomputed rather than cached) —
+      the lock-free read path of {!Bounds_net.Server}'s snapshot
+      isolation. *)
+  val query_ro :
+    ?pool:Bounds_par.Pool.t -> t -> Bounds_query.Query.t -> Bounds_query.Bitset.t
+
+  val query_ids_ro :
+    ?pool:Bounds_par.Pool.t -> t -> Bounds_query.Query.t -> Entry.id list
+
   (** Evaluate through the cost-based planner, returning the executed
       plan (with actual cardinalities recorded) alongside the result —
       the [--explain] path. *)

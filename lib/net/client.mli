@@ -1,0 +1,25 @@
+(** Blocking client for the directory server.
+
+    One connection, one request/response in flight at a time; not
+    thread-safe — give each thread its own client.  Transport failures
+    (refused connection, dying server, torn frame) come back as
+    [Error], never an exception. *)
+
+type t
+
+(** [connect ~port ()] opens a connection.  [host] defaults to
+    ["127.0.0.1"]; [retries] (default [0]) re-attempts a refused
+    connection after a short pause — for racing a daemon that is still
+    binding. *)
+val connect :
+  ?host:string -> port:int -> ?retries:int -> unit -> (t, string) result
+
+(** [request t req] sends one request and blocks for its response.
+    [Error] means the exchange failed (transport or framing); a
+    server-side failure is [Ok (Failed _)]. *)
+val request : t -> Proto.request -> (Proto.response, string) result
+
+(** {!request}, with transport failure raised as [Failure]. *)
+val request_exn : t -> Proto.request -> Proto.response
+
+val close : t -> unit

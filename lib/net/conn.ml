@@ -1,0 +1,65 @@
+(* Framed messages over a stream socket: every message travels as one
+   {!Bounds_store.Frame} — [len][crc][payload] — so the wire format and
+   the write-ahead log share one framing (and one set of torn/corrupt
+   classifications).  [recv] is total over what the peer sends:
+   short reads, oversize lengths and CRC mismatches come back as
+   [Error], a clean close as [Ok None]. *)
+
+module Frame = Bounds_store.Frame
+
+(* Refuse absurd frames before allocating: a corrupt or hostile length
+   must not turn into a multi-gigabyte Bytes.create. *)
+let max_payload = 64 * 1024 * 1024
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send fd payload =
+  let framed = Frame.encode payload in
+  write_all fd framed 0 (String.length framed)
+
+(* Read exactly [len] bytes; [Ok None] iff the peer closed cleanly
+   before the first byte. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Ok (Some (Bytes.unsafe_to_string buf))
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 ->
+          if off = 0 then Ok None
+          else Error (Printf.sprintf "connection closed mid-frame (%d/%d bytes)" off len)
+      | n -> go (off + n)
+  in
+  go 0
+
+let recv fd =
+  match read_exact fd Frame.header_size with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some header) -> (
+      let len =
+        Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string header) 0)
+      in
+      if len < 0 || len > max_payload then
+        Error (Printf.sprintf "bad frame length %d" len)
+      else
+        match read_exact fd len with
+        | Error _ as e -> e
+        | Ok None -> Error "connection closed mid-frame (payload missing)"
+        | Ok (Some payload) -> (
+            (* reassemble and let the frame decoder do the CRC check, so
+               wire and log corruption are classified by the same code *)
+            match Frame.read (header ^ payload) 0 with
+            | Frame.Record { payload; _ } -> Ok (Some payload)
+            | Frame.Torn { reason; _ } -> Error reason
+            | Frame.End -> Error "empty frame"))
+
+let recv_or_error fd =
+  match recv fd with
+  | Ok (Some payload) -> Ok payload
+  | Ok None -> Error "connection closed"
+  | Error _ as e -> e

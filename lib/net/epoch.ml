@@ -1,0 +1,71 @@
+(* Epoch-based reclamation of superseded snapshots.
+
+   Readers are wait-free: to pin, a reader publishes the global epoch
+   into its own slot (one Atomic.set) and then loads the current
+   snapshot pointer; to unpin it stores [idle].  The single writer, on
+   publishing version v+1, tags the superseded snapshot v with the
+   epoch it was current at, advances the global epoch, and sweeps: a
+   retired snapshot is dropped once every pinned slot is past its tag —
+   no pinned reader can still dereference it, because pinning happens
+   {e before} loading the pointer, so a reader pinned at epoch e only
+   ever holds snapshots current at e or later.
+
+   "Dropping" here means releasing the reference (the GC does the
+   rest); what the structure buys is the observable discipline — how
+   many superseded versions are alive at once, surfaced in the server
+   stats — and a place where a non-GC resource (a mmap, an arena)
+   would be freed. *)
+
+let idle = max_int
+
+type 'a t = {
+  slots : int Atomic.t array;
+  epoch : int Atomic.t;
+  (* writer-only: *)
+  mutable retired : (int * 'a) list;  (* (epoch it was superseded at, v) *)
+  mutable retired_total : int;
+  mutable reclaimed_total : int;
+}
+
+let create ~slots =
+  {
+    slots = Array.init slots (fun _ -> Atomic.make idle);
+    epoch = Atomic.make 0;
+    retired = [];
+    retired_total = 0;
+    reclaimed_total = 0;
+  }
+
+let slots t = Array.length t.slots
+
+let pin t ~slot =
+  let e = Atomic.get t.epoch in
+  Atomic.set t.slots.(slot) e;
+  e
+
+let unpin t ~slot = Atomic.set t.slots.(slot) idle
+
+let min_pinned t =
+  Array.fold_left (fun m s -> min m (Atomic.get s)) idle t.slots
+
+(* Writer side.  [retire t v] marks [v] superseded as of the current
+   epoch, advances the epoch, and sweeps.  The sweep also runs the
+   hysteresis for free: with no readers pinned, everything retired so
+   far drops immediately. *)
+let sweep t =
+  let floor = min_pinned t in
+  let keep, drop = List.partition (fun (e, _) -> e >= floor) t.retired in
+  t.retired <- keep;
+  t.reclaimed_total <- t.reclaimed_total + List.length drop
+
+let retire t v =
+  let e = Atomic.get t.epoch in
+  t.retired <- (e, v) :: t.retired;
+  t.retired_total <- t.retired_total + 1;
+  Atomic.set t.epoch (e + 1);
+  sweep t
+
+let pending t = List.length t.retired
+let retired t = t.retired_total
+let reclaimed t = t.reclaimed_total
+let epoch t = Atomic.get t.epoch

@@ -1,0 +1,38 @@
+(** Epoch-based reclamation of superseded snapshots.
+
+    One writer publishes a sequence of versions; up to [slots] readers
+    access the current version without locks.  A reader {e pins} its
+    slot (one atomic store of the global epoch) {e before} loading the
+    version pointer and unpins after finishing with it; the writer,
+    after publishing a replacement, {!retire}s the old version, which
+    is dropped once no pinned slot predates it.  Pin/unpin are
+    wait-free; retire is writer-only (single writer assumed). *)
+
+type 'a t
+
+(** [create ~slots] makes a domain with [slots] reader slots, all
+    idle. *)
+val create : slots:int -> 'a t
+
+val slots : 'a t -> int
+
+(** [pin t ~slot] marks [slot] as reading at the current epoch and
+    returns that epoch.  Call {e before} loading the shared version
+    pointer — that ordering is what makes the sweep sound. *)
+val pin : 'a t -> slot:int -> int
+
+val unpin : 'a t -> slot:int -> unit
+
+(** Writer only.  [retire t v] records [v] as superseded at the
+    current epoch, advances the epoch, and reclaims every retired
+    version that no pinned reader can still hold. *)
+val retire : 'a t -> 'a -> unit
+
+(** Retired versions not yet reclaimed (still possibly pinned). *)
+val pending : 'a t -> int
+
+(** Totals since {!create}: versions retired, versions reclaimed. *)
+val retired : 'a t -> int
+
+val reclaimed : 'a t -> int
+val epoch : 'a t -> int

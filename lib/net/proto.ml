@@ -1,0 +1,79 @@
+(* Wire protocol of the directory server: one request or response per
+   CRC frame (see {!Conn}), the payload a small line-oriented text —
+   verb on the first line, operands on the rest.  Decoding is total:
+   unknown verbs and missing operands come back as [Error], never an
+   exception, so a confused peer cannot take the server down. *)
+
+type request =
+  | Ping
+  | Query of string  (* hierarchical selection query text *)
+  | Search of { base : string option; scope : string; filter : string }
+  | Apply of string  (* LDIF change records *)
+  | Stats
+  | Checkpoint
+  | Shutdown
+
+type response = Reply of string | Failed of string
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let encode_request = function
+  | Ping -> "ping"
+  | Query q -> "query\n" ^ q
+  | Search { base; scope; filter } ->
+      String.concat "\n"
+        [ "search"; scope; Option.value ~default:"" base; filter ]
+  | Apply text -> "apply\n" ^ text
+  | Stats -> "stats"
+  | Checkpoint -> "checkpoint"
+  | Shutdown -> "shutdown"
+
+let encode_response = function
+  | Reply body -> "ok\n" ^ body
+  | Failed msg -> "err\n" ^ msg
+
+(* --- decoding ----------------------------------------------------------- *)
+
+(* first line, rest-after-newline ("" when there is no rest) *)
+let cut s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let decode_request payload =
+  let verb, rest = cut payload in
+  match verb with
+  | "ping" -> Ok Ping
+  | "query" -> Ok (Query rest)
+  | "search" ->
+      let scope, rest = cut rest in
+      let base, filter = cut rest in
+      if scope = "" || filter = "" then
+        Error "search needs scope, base (may be empty) and filter lines"
+      else
+        Ok
+          (Search
+             { base = (if base = "" then None else Some base); scope; filter })
+  | "apply" -> Ok (Apply rest)
+  | "stats" -> Ok Stats
+  | "checkpoint" -> Ok Checkpoint
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown request %S" other)
+
+let decode_response payload =
+  let verb, rest = cut payload in
+  match verb with
+  | "ok" -> Ok (Reply rest)
+  | "err" -> Ok (Failed rest)
+  | other -> Error (Printf.sprintf "unknown response %S" other)
+
+(* --- printing (logs, CLI) ------------------------------------------------ *)
+
+let request_verb = function
+  | Ping -> "ping"
+  | Query _ -> "query"
+  | Search _ -> "search"
+  | Apply _ -> "apply"
+  | Stats -> "stats"
+  | Checkpoint -> "checkpoint"
+  | Shutdown -> "shutdown"

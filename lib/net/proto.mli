@@ -1,0 +1,37 @@
+(** Wire protocol of the directory server.
+
+    One request or response per {!Conn} frame; payloads are a small
+    line-oriented text (verb first, operands after), so a session is
+    inspectable with nothing fancier than a frame decoder.  Operand
+    lines of [Search] (scope, base) must be newline-free; the trailing
+    operand of [Query]/[Apply]/[Search] is the {e rest} of the payload
+    and may span lines (LDIF change records do).
+
+    Decoding is total: malformed payloads return [Error], never raise —
+    the round-trip law [decode (encode r) = Ok r] holds for every value
+    whose line-bound operands are newline-free, and is property-tested
+    in [test_net]. *)
+
+type request =
+  | Ping
+  | Query of string
+      (** hierarchical selection query, as the query parser reads it *)
+  | Search of { base : string option; scope : string; filter : string }
+      (** LDAP-style scoped search; [base = None] means the whole
+          forest *)
+  | Apply of string
+      (** one write transaction: LDIF change records, resolved and
+          admitted atomically by the writer at commit time *)
+  | Stats
+  | Checkpoint  (** compact the store (serialized with commits) *)
+  | Shutdown  (** stop the daemon once in-flight work drains *)
+
+type response = Reply of string | Failed of string
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** The verb keyword, for logs and counters. *)
+val request_verb : request -> string

@@ -1,0 +1,432 @@
+(* The directory server: snapshot-isolated readers, one writer, group
+   commit.
+
+   Thread architecture (systhreads — the work is I/O- and
+   fsync-bound, so the runtime lock is not the bottleneck):
+
+   - an {e acceptor} thread owns the listening socket and spawns one
+     handler thread per connection, up to [max_clients];
+   - {e handler} threads serve reads directly: pin an epoch slot, load
+     the current {!Directory.Snapshot} pointer, evaluate through the
+     read-only memo path ([query_ro]/[search] — no locks, no shared
+     mutation), unpin, reply.  Writes and checkpoints are enqueued for
+     the writer and the handler blocks on a per-request semaphore until
+     the commit (and its fsync) is durable;
+   - one {e writer} thread drains the queue in chunks of at most
+     [batch_max], admits each transaction against the rolling version,
+     and commits every maximal run of writes through {!Store.batch} —
+     one WAL append, one shared fsync, then all acknowledgements at
+     once.  After a chunk that changed the directory it publishes a
+     fresh snapshot with [Atomic.exchange] and {!Epoch.retire}s the old
+     one.
+
+   The durability contract this preserves: a reply is sent only after
+   the transaction's log record is on disk (acknowledged ⊆ recovered —
+   {!Store.batch}'s discipline), while readers never observe a
+   half-applied batch (they hold whatever snapshot was current when
+   they pinned). *)
+
+open Bounds_model
+open Bounds_core
+module Store = Bounds_store.Store
+
+type pending = {
+  req : Proto.request;
+  sem : Semaphore.Binary.t;
+  mutable reply : Proto.response;
+}
+
+type stats = {
+  clients : int;  (** handler threads currently connected *)
+  reads : int;
+  writes_ok : int;
+  writes_rejected : int;
+  batches : int;  (** group commits (WAL appends) *)
+  batched : int;  (** write transactions those commits carried *)
+  max_batch : int;
+  snapshots_retired : int;
+  snapshots_pending : int;  (** retired but still pinned by a reader *)
+}
+
+type t = {
+  store : Store.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  batch_max : int;
+  current : Directory.Snapshot.t Atomic.t;
+  epoch : Directory.Snapshot.t Epoch.t;
+  free_slots : int list ref;  (* guarded by [m] *)
+  queue : pending Queue.t;  (* guarded by [m] *)
+  m : Mutex.t;
+  nonempty : Condition.t;  (* queue gained an item, or stopping *)
+  mutable stopping : bool;
+  mutable conns : (Unix.file_descr * Thread.t) list;  (* guarded by [m] *)
+  mutable acceptor : Thread.t option;
+  mutable writer : Thread.t option;
+  (* counters, guarded by [m] (read path takes the lock only to bump —
+     evaluation itself runs outside it) *)
+  mutable n_clients : int;
+  mutable n_reads : int;
+  mutable n_writes_ok : int;
+  mutable n_writes_rejected : int;
+  mutable n_batches : int;
+  mutable n_batched : int;
+  mutable n_max_batch : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let port t = t.port
+
+let stats t =
+  locked t (fun () ->
+      {
+        clients = t.n_clients;
+        reads = t.n_reads;
+        writes_ok = t.n_writes_ok;
+        writes_rejected = t.n_writes_rejected;
+        batches = t.n_batches;
+        batched = t.n_batched;
+        max_batch = t.n_max_batch;
+        snapshots_retired = Epoch.retired t.epoch;
+        snapshots_pending = Epoch.pending t.epoch;
+      })
+
+let stats_text s =
+  Printf.sprintf
+    "clients %d\nreads %d\nwrites_ok %d\nwrites_rejected %d\n\
+     batches %d\nbatched %d\nmax_batch %d\n\
+     snapshots_retired %d\nsnapshots_pending %d"
+    s.clients s.reads s.writes_ok s.writes_rejected s.batches s.batched
+    s.max_batch s.snapshots_retired s.snapshots_pending
+
+(* --- read path (handler threads, lock-free) ----------------------------- *)
+
+let dn_listing inst ids =
+  String.concat "\n"
+    (string_of_int (List.length ids) :: List.map (Instance.dn inst) ids)
+
+let serve_query snap text =
+  match Bounds_query.Query_parser.parse text with
+  | Error e -> Proto.Failed ("query: " ^ Parse_error.to_string e)
+  | Ok q ->
+      let ids = Directory.Snapshot.query_ids_ro snap q in
+      Proto.Reply (dn_listing (Directory.Snapshot.instance snap) ids)
+
+let serve_search snap ~base ~scope ~filter =
+  match Bounds_query.Search.scope_of_string scope with
+  | Error e -> Proto.Failed e
+  | Ok scope -> (
+      match Bounds_query.Filter_parser.parse filter with
+      | Error e -> Proto.Failed ("filter: " ^ Parse_error.to_string e)
+      | Ok filter -> (
+          let inst = Directory.Snapshot.instance snap in
+          let base_id =
+            match base with
+            | None -> Ok None
+            | Some dn -> (
+                match Instance.resolve_dn inst dn with
+                | Some id -> Ok (Some id)
+                | None -> Error (Printf.sprintf "base %S not found" dn))
+          in
+          match base_id with
+          | Error e -> Proto.Failed e
+          | Ok base ->
+              let ids = Directory.Snapshot.search snap ~base scope filter in
+              Proto.Reply (dn_listing inst ids)))
+
+(* Pin first, then load the pointer — the ordering {!Epoch} relies on. *)
+let with_snapshot t ~slot f =
+  ignore (Epoch.pin t.epoch ~slot);
+  Fun.protect
+    ~finally:(fun () -> Epoch.unpin t.epoch ~slot)
+    (fun () -> f (Atomic.get t.current))
+
+(* --- write path (the single writer thread) ------------------------------ *)
+
+let apply_one t text =
+  (* Parse at admission time against the rolling version — inside the
+     batch, so DNs resolve against the effects of earlier transactions
+     in the same group. *)
+  let d = Store.directory t.store in
+  let typing = (Store.schema t.store).Schema.typing in
+  match Bounds_codec.Ldif.parse_changes ~typing (Directory.instance d) text with
+  | Error e -> Proto.Failed ("parse: " ^ e)
+  | Ok ops -> (
+      match Store.apply t.store ops with
+      | Ok _ ->
+          Proto.Reply
+            (Printf.sprintf "applied %d ops at lsn %d" (List.length ops)
+               (Store.lsn t.store))
+      | Error rej ->
+          Proto.Failed (Format.asprintf "%a" Monitor.pp_rejection rej))
+
+let publish t =
+  let snap = Directory.snapshot (Store.directory t.store) in
+  let old = Atomic.exchange t.current snap in
+  Epoch.retire t.epoch old
+
+(* Commit a run of [Apply]s as one group: tentative replies are
+   computed while the batch admits transaction by transaction, but
+   nothing is acknowledged until {!Store.batch} has flushed the shared
+   append — if that flush fails, every tentatively-accepted reply is
+   downgraded, matching the store's rollback. *)
+let commit_applies t items =
+  let n = List.length items in
+  let tentative = Array.make n (Proto.Failed "not processed") in
+  let committed =
+    match
+      Store.batch t.store (fun () ->
+          List.iteri
+            (fun i p ->
+              match p.req with
+              | Proto.Apply text -> tentative.(i) <- apply_one t text
+              | _ -> assert false)
+            items)
+    with
+    | () -> true
+    | exception e ->
+        let msg = "commit failed: " ^ Printexc.to_string e in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Proto.Reply _ -> tentative.(i) <- Proto.Failed msg
+            | Proto.Failed _ -> ())
+          tentative;
+        false
+  in
+  let ok =
+    Array.fold_left
+      (fun k r -> match r with Proto.Reply _ -> k + 1 | _ -> k)
+      0 tentative
+  in
+  locked t (fun () ->
+      t.n_writes_ok <- t.n_writes_ok + ok;
+      t.n_writes_rejected <- t.n_writes_rejected + (n - ok);
+      if committed && ok > 0 then begin
+        t.n_batches <- t.n_batches + 1;
+        t.n_batched <- t.n_batched + ok;
+        t.n_max_batch <- max t.n_max_batch ok
+      end);
+  if committed && ok > 0 then publish t;
+  (* Acknowledge only now: the shared fsync is behind us. *)
+  List.iteri
+    (fun i p ->
+      p.reply <- tentative.(i);
+      Semaphore.Binary.release p.sem)
+    items
+
+let commit_checkpoint t p =
+  (match Store.checkpoint t.store with
+  | () -> p.reply <- Proto.Reply (Printf.sprintf "checkpoint at lsn %d" (Store.lsn t.store))
+  | exception e -> p.reply <- Proto.Failed ("checkpoint failed: " ^ Printexc.to_string e));
+  Semaphore.Binary.release p.sem
+
+let writer_loop t =
+  let rec drain () =
+    let chunk =
+      locked t (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.nonempty t.m
+          done;
+          let rec take acc k =
+            if k = 0 || Queue.is_empty t.queue then List.rev acc
+            else take (Queue.pop t.queue :: acc) (k - 1)
+          in
+          take [] t.batch_max)
+    in
+    match chunk with
+    | [] -> if not (locked t (fun () -> t.stopping)) then drain ()
+        (* stopping and queue empty: writer done *)
+    | chunk ->
+        (* maximal runs of applies commit as one group; checkpoints are
+           barriers between them *)
+        let rec runs = function
+          | [] -> ()
+          | { req = Proto.Apply _; _ } :: _ as l ->
+              let applies, rest =
+                let rec split acc = function
+                  | ({ req = Proto.Apply _; _ } as p) :: tl -> split (p :: acc) tl
+                  | tl -> (List.rev acc, tl)
+                in
+                split [] l
+              in
+              commit_applies t applies;
+              runs rest
+          | ({ req = Proto.Checkpoint; _ } as p) :: tl ->
+              commit_checkpoint t p;
+              runs tl
+          | p :: tl ->
+              p.reply <- Proto.Failed "not a write request";
+              Semaphore.Binary.release p.sem;
+              runs tl
+        in
+        runs chunk;
+        drain ()
+  in
+  drain ()
+
+let enqueue t req =
+  let p = { req; sem = Semaphore.Binary.make false; reply = Proto.Failed "server stopping" } in
+  let accepted =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          Queue.push p t.queue;
+          Condition.signal t.nonempty;
+          true
+        end)
+  in
+  if accepted then Semaphore.Binary.acquire p.sem;
+  p.reply
+
+(* --- connection handling ------------------------------------------------- *)
+
+let initiate_stop t =
+  let conns =
+    locked t (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.nonempty;
+          t.conns
+        end)
+  in
+  (* Wake the acceptor out of [accept] and handlers out of [recv]; the
+     sockets deliver end-of-stream, the threads clean up and exit. *)
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns
+
+let handle_request t ~slot = function
+  | Proto.Ping -> Proto.Reply "pong"
+  | Proto.Query text ->
+      with_snapshot t ~slot (fun snap ->
+          let r = serve_query snap text in
+          locked t (fun () -> t.n_reads <- t.n_reads + 1);
+          r)
+  | Proto.Search { base; scope; filter } ->
+      with_snapshot t ~slot (fun snap ->
+          let r = serve_search snap ~base ~scope ~filter in
+          locked t (fun () -> t.n_reads <- t.n_reads + 1);
+          r)
+  | Proto.Stats -> Proto.Reply (stats_text (stats t))
+  | (Proto.Apply _ | Proto.Checkpoint) as req -> enqueue t req
+  | Proto.Shutdown -> Proto.Reply "stopping"
+
+let client_loop t fd slot =
+  let rec loop () =
+    match Conn.recv fd with
+    | Ok None | Error _ -> ()  (* clean close, torn frame: drop the conn *)
+    | Ok (Some payload) -> (
+        match Proto.decode_request payload with
+        | Error e ->
+            Conn.send fd (Proto.encode_response (Proto.Failed e));
+            loop ()
+        | Ok req ->
+            let resp = handle_request t ~slot req in
+            Conn.send fd (Proto.encode_response resp);
+            if req = Proto.Shutdown then initiate_stop t else loop ())
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  locked t (fun () ->
+      t.free_slots := slot :: !(t.free_slots);
+      t.n_clients <- t.n_clients - 1;
+      t.conns <- List.filter (fun (fd', _) -> fd' != fd) t.conns)
+
+let acceptor_loop t =
+  let rec loop () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error _ -> ()  (* listener shut down: stop *)
+    | fd, _ ->
+        if locked t (fun () -> t.stopping) then (
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          ())
+        else begin
+          let slot =
+            locked t (fun () ->
+                match !(t.free_slots) with
+                | [] -> None
+                | s :: rest ->
+                    t.free_slots := rest;
+                    t.n_clients <- t.n_clients + 1;
+                    Some s)
+          in
+          (match slot with
+          | None ->
+              (* full: refuse politely — one response frame, then close *)
+              (try
+                 Conn.send fd (Proto.encode_response (Proto.Failed "server full"))
+               with Unix.Unix_error _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+          | Some slot ->
+              let th = Thread.create (fun () -> client_loop t fd slot) () in
+              locked t (fun () -> t.conns <- (fd, th) :: t.conns));
+          loop ()
+        end
+  in
+  loop ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(batch_max = 64)
+    ?(max_clients = 64) store =
+  if batch_max < 1 then invalid_arg "Server.start: batch_max < 1";
+  if max_clients < 1 then invalid_arg "Server.start: max_clients < 1";
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let snap = Directory.snapshot (Store.directory store) in
+  let t =
+    {
+      store;
+      listen_fd;
+      port;
+      batch_max;
+      current = Atomic.make snap;
+      epoch = Epoch.create ~slots:max_clients;
+      free_slots = ref (List.init max_clients Fun.id);
+      queue = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      conns = [];
+      acceptor = None;
+      writer = None;
+      n_clients = 0;
+      n_reads = 0;
+      n_writes_ok = 0;
+      n_writes_rejected = 0;
+      n_batches = 0;
+      n_batched = 0;
+      n_max_batch = 0;
+    }
+  in
+  t.writer <- Some (Thread.create writer_loop t);
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let stop t = initiate_stop t
+
+let wait t =
+  Option.iter Thread.join t.acceptor;
+  Option.iter Thread.join t.writer;
+  let conns = locked t (fun () -> t.conns) in
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())

@@ -1,0 +1,58 @@
+(** The directory server: a wire-facing daemon over one durable
+    {!Bounds_store.Store}.
+
+    Reads (queries, scoped searches) run concurrently and lock-free
+    against immutable {!Bounds_core.Directory.Snapshot} values —
+    snapshot isolation, with superseded versions reclaimed by
+    {!Epoch}.  Writes and checkpoints funnel through a single writer
+    thread that commits every maximal run of queued transactions as one
+    {!Bounds_store.Store.batch}: one WAL append, one shared fsync, and
+    only then the acknowledgements — group commit.  A reply to [Apply]
+    therefore means the transaction is durable (acknowledged ⊆
+    recovered), and no reader ever observes a half-committed batch.
+
+    The server owns the store while running: do not touch the store
+    from outside between {!start} and {!wait}. *)
+
+type t
+
+(** [start store] binds, spawns the acceptor and writer threads, and
+    returns immediately.  [host] defaults to ["127.0.0.1"], [port] to
+    [0] (ephemeral — read it back with {!port}).  [batch_max] (default
+    [64]) caps transactions per group commit; [max_clients] (default
+    [64]) caps concurrent connections (also the number of epoch reader
+    slots). *)
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?batch_max:int ->
+  ?max_clients:int ->
+  Bounds_store.Store.t ->
+  t
+
+(** The bound port (useful with [port:0]). *)
+val port : t -> int
+
+(** Ask the server to stop: in-flight requests finish, queued writes
+    commit, connections drain.  Idempotent; also triggered by a
+    [Shutdown] request from any client. *)
+val stop : t -> unit
+
+(** Block until the acceptor, writer and every handler thread have
+    exited (call {!stop} first, or let a client send [Shutdown]). *)
+val wait : t -> unit
+
+type stats = {
+  clients : int;  (** handler threads currently connected *)
+  reads : int;
+  writes_ok : int;
+  writes_rejected : int;
+  batches : int;  (** group commits (WAL appends) *)
+  batched : int;  (** write transactions those commits carried *)
+  max_batch : int;
+  snapshots_retired : int;
+  snapshots_pending : int;  (** retired but still pinned by a reader *)
+}
+
+val stats : t -> stats
+val stats_text : stats -> string

@@ -10,9 +10,49 @@ type t = {
 
 (* --- real files -------------------------------------------------------- *)
 
-let real ~root =
+(* Unique temp-file suffix: two writers (a server checkpoint racing a CLI
+   [checkpoint] verb) must never share a temp path, or each clobbers the
+   other's half-written bytes before the rename.  pid + per-process
+   counter keeps names distinct across processes and within one. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_name name =
+  Printf.sprintf "%s.tmp.%d.%d" name (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
+
+let is_tmp name =
+  (* [base.tmp.pid.k] — anything an interrupted writer may have left *)
+  let rec has_sub i =
+    i + 4 <= String.length name
+    && (String.sub name i 4 = ".tmp" || has_sub (i + 1))
+  in
+  has_sub 0
+
+(* fsync a directory so a just-renamed or just-created entry survives
+   power loss (POSIX durability requires syncing the parent too).  Some
+   filesystems refuse fsync on a directory fd; that leaves us no worse
+   than before, so the error is swallowed. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let real ?(fsync = true) ~root () =
   if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+  (* clean up temp files a crashed or interrupted writer left behind:
+     they are by construction un-renamed, i.e. never part of the store *)
+  Array.iter
+    (fun name ->
+      if is_tmp name then try Sys.remove (Filename.concat root name) with Sys_error _ -> ())
+    (Sys.readdir root);
   let p name = Filename.concat root name in
+  let sync_channel oc =
+    flush oc;
+    if fsync then Unix.fsync (Unix.descr_of_out_channel oc)
+  in
   let read name =
     let path = p name in
     if not (Sys.file_exists path) then None
@@ -23,58 +63,105 @@ let real ~root =
         (fun () -> Some (really_input_string ic (in_channel_length ic)))
   in
   let write name data =
-    (* atomic create-or-replace: a crash leaves either the old file or
-       the new one, never a prefix *)
-    let tmp = p (name ^ ".tmp") in
+    (* create-or-replace through a unique temp file and [Sys.rename].
+       What is guaranteed: readers never observe a half-written file
+       (rename is atomic on POSIX), and — with [fsync] — once [write]
+       returns, the new contents survive power loss (file fsynced before
+       the rename, directory fsynced after it).  Without [fsync] the
+       rename is still atomic against concurrent readers, but a crash
+       can roll the file back to its previous contents, or to nothing. *)
+    let tmp = p (tmp_name name) in
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
         output_string oc data;
-        flush oc);
-    Sys.rename tmp (p name)
+        sync_channel oc);
+    Sys.rename tmp (p name);
+    if fsync then fsync_dir root
   in
   let append name data =
+    let path = p name in
+    let created = not (Sys.file_exists path) in
     let oc =
       open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
-        (p name)
+        path
     in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
         output_string oc data;
-        flush oc)
+        (* durability stops at the OS page cache unless the fd is
+           fsynced before [append] returns: this is what lets the store
+           acknowledge a transaction as durable *)
+        sync_channel oc);
+    if fsync && created then fsync_dir root
   in
   let remove name = if Sys.file_exists (p name) then Sys.remove (p name) in
-  let rename a b = Sys.rename (p a) (p b) in
+  let rename a b =
+    Sys.rename (p a) (p b);
+    if fsync then fsync_dir root
+  in
   { read; write; append; remove; rename }
 
 (* --- in-memory files --------------------------------------------------- *)
 
-type fs = (string, string) Hashtbl.t
+(* Hot append paths (fuzz and crash-point suites replay whole scripted
+   sessions against [mem]) must not rebuild the file per record — an
+   O(n^2) log.  Files therefore live as either a materialized string or
+   an append [Buffer]; [read] materializes a buffer-backed file without
+   flipping its representation, so an append-heavy file stays cheap. *)
+type node = Str of string | Buf of Buffer.t
+
+type fs = (string, node) Hashtbl.t
 
 let fresh_fs () : fs = Hashtbl.create 8
-let copy_fs : fs -> fs = Hashtbl.copy
-let read_fs fs name = Hashtbl.find_opt fs name
-let write_fs fs name data = Hashtbl.replace fs name data
+
+let copy_fs (fs : fs) : fs =
+  (* deep copy: a shared [Buffer] would leak appends across snapshots *)
+  let out = Hashtbl.create (Hashtbl.length fs) in
+  Hashtbl.iter
+    (fun name node ->
+      let node' =
+        match node with
+        | Str s -> Str s
+        | Buf b ->
+            let b' = Buffer.create (Buffer.length b + 64) in
+            Buffer.add_buffer b' b;
+            Buf b'
+      in
+      Hashtbl.replace out name node')
+    fs;
+  out
+
+let materialize = function Str s -> s | Buf b -> Buffer.contents b
+
+let read_fs fs name = Option.map materialize (Hashtbl.find_opt fs name)
+let write_fs fs name data = Hashtbl.replace fs name (Str data)
 let remove_fs fs name = Hashtbl.remove fs name
+
+let append_fs fs name data =
+  match Hashtbl.find_opt fs name with
+  | Some (Buf b) -> Buffer.add_string b data
+  | (Some (Str _) | None) as prev ->
+      let b = Buffer.create (String.length data + 256) in
+      (match prev with Some (Str s) -> Buffer.add_string b s | _ -> ());
+      Buffer.add_string b data;
+      Hashtbl.replace fs name (Buf b)
 
 let mem fs =
   {
-    read = (fun name -> Hashtbl.find_opt fs name);
-    write = (fun name data -> Hashtbl.replace fs name data);
-    append =
-      (fun name data ->
-        let old = Option.value ~default:"" (Hashtbl.find_opt fs name) in
-        Hashtbl.replace fs name (old ^ data));
+    read = (fun name -> read_fs fs name);
+    write = (fun name data -> write_fs fs name data);
+    append = (fun name data -> append_fs fs name data);
     remove = (fun name -> Hashtbl.remove fs name);
     rename =
       (fun a b ->
         match Hashtbl.find_opt fs a with
         | None -> raise (Sys_error (a ^ ": no such file"))
-        | Some data ->
+        | Some node ->
             Hashtbl.remove fs a;
-            Hashtbl.replace fs b data);
+            Hashtbl.replace fs b node);
   }
 
 (* --- fault injection ---------------------------------------------------- *)

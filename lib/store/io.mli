@@ -19,9 +19,9 @@ exception Crash
 
 (** A handle is an open record so tests can wrap individual operations
     (e.g. to trace append sizes before choosing crash points).  [write]
-    is an atomic create-or-replace; [append] appends and flushes;
-    [read] returns [None] for a missing file; [remove] is idempotent;
-    [rename] atomically replaces the destination. *)
+    is an atomic create-or-replace; [append] appends and makes the new
+    bytes durable; [read] returns [None] for a missing file; [remove] is
+    idempotent; [rename] atomically replaces the destination. *)
 type t = {
   read : string -> string option;
   write : string -> string -> unit;
@@ -33,14 +33,30 @@ type t = {
 (** {1 Real files} *)
 
 (** [real ~root] resolves paths under the directory [root] (created if
-    missing).  [write] goes through a temporary file and [Sys.rename],
-    so a real checkpoint is never observed half-written. *)
-val real : root:string -> t
+    missing); stale temp files from interrupted writers are removed.
+
+    [write] goes through a uniquely-named temporary file (pid +
+    counter, so concurrent writers never corrupt each other) and
+    [Sys.rename], so a reader never observes a half-written file.
+
+    [fsync] (default [true]) is what makes the handle {e durable}, not
+    just atomic: the file descriptor is fsynced before every
+    close/rename and the store directory is fsynced after renames and
+    file-creating appends, so once [write]/[append] returns the bytes
+    survive power loss — the property the WAL's written-pre-acknowledge
+    argument rests on.  [~fsync:false] stops at the OS page cache
+    (atomicity against concurrent readers is kept, durability is not):
+    for benchmarks that isolate fsync cost, never for stores whose
+    acknowledgements anyone trusts. *)
+val real : ?fsync:bool -> root:string -> unit -> t
 
 (** {1 In-memory files} *)
 
 (** The backing state of {!mem} handles: a path → contents map that
-    outlives any individual handle. *)
+    outlives any individual handle.  Append-heavy files are held as
+    growable buffers internally (appends are amortized O(|data|), not
+    O(|file|) — scripted fuzz/crash sessions append thousands of
+    records), materialized on read. *)
 type fs
 
 val fresh_fs : unit -> fs

@@ -18,6 +18,12 @@ type t = {
   mutable wal_records_v : int;
   mutable base : Checkpoint.meta;  (** session totals at last checkpoint *)
   mutable counted : Directory.stats;  (** live counters at last checkpoint *)
+  (* group commit: while [Some buf], accepted transactions buffer their
+     encoded log records here instead of appending — {!batch} lands the
+     whole buffer with one append (one shared fsync) before anything is
+     acknowledged *)
+  mutable batch_buf : Buffer.t option;
+  mutable batch_count : int;
 }
 
 type error =
@@ -77,12 +83,22 @@ let stats t =
 
 let wal_hook t ops _dir =
   let lsn = t.lsn_v + 1 in
-  (* [append] reports the bytes it framed, so the accounting reuses the
-     encoding just written instead of encoding the transaction twice *)
-  let bytes = Wal.append t.io wal_file ~lsn ops in
-  t.lsn_v <- lsn;
-  t.wal_bytes_v <- t.wal_bytes_v + bytes;
-  t.wal_records_v <- t.wal_records_v + 1
+  match t.batch_buf with
+  | Some buf ->
+      (* inside a batch: the record is encoded now (so lsns stay dense
+         and later records in the batch see the right sequence) but hits
+         the log only at the shared flush in {!batch} *)
+      Buffer.add_string buf (Wal.encode_record ~lsn ops);
+      t.lsn_v <- lsn;
+      t.batch_count <- t.batch_count + 1
+  | None ->
+      (* [append] reports the bytes it framed, so the accounting reuses
+         the encoding just written instead of encoding the transaction
+         twice *)
+      let bytes = Wal.append t.io wal_file ~lsn ops in
+      t.lsn_v <- lsn;
+      t.wal_bytes_v <- t.wal_bytes_v + bytes;
+      t.wal_records_v <- t.wal_records_v + 1
 
 let checkpoint t =
   let meta = stats t in
@@ -98,9 +114,61 @@ let apply t ops =
   | Error _ as e -> e
   | Ok dir ->
       t.dir <- dir;
+      (* auto-compaction waits for the batch flush: a checkpoint taken
+         mid-batch would cover records that are not on disk yet *)
+      if
+        t.batch_buf = None
+        && t.auto_checkpoint > 0
+        && t.wal_records_v >= t.auto_checkpoint
+      then checkpoint t;
+      Ok dir
+
+(* Group commit.  Every {!apply} inside [f] is admitted against the
+   rolling version as usual, but its log record lands in the batch
+   buffer; when [f] returns, the whole buffer is appended in one I/O
+   operation — one shared fsync on a durable handle — and only then does
+   [batch] return, which is when the caller may acknowledge any of the
+   batched transactions.  The on-disk bytes are identical to sequential
+   {!apply}s of the same accepted transactions.
+
+   Crash discipline: a crash before the flush leaves none of the batch
+   on disk (none was acknowledged); a torn flush leaves a prefix of
+   whole records that recovery replays (admitted-but-unacknowledged
+   transactions — allowed, since durability promises acknowledged ⊆
+   recovered).  If the flush append raises, the store rolls back to the
+   batch-start version and lsn and the exception propagates: nothing is
+   acknowledged, the store handle stays usable. *)
+let batch t f =
+  if t.batch_buf <> None then invalid_arg "Store.batch: batch already open";
+  let dir0 = t.dir and lsn0 = t.lsn_v in
+  let buf = Buffer.create 1024 in
+  t.batch_buf <- Some buf;
+  t.batch_count <- 0;
+  let rollback () =
+    t.dir <- dir0;
+    t.lsn_v <- lsn0;
+    t.batch_buf <- None;
+    t.batch_count <- 0
+  in
+  match f () with
+  | exception e ->
+      rollback ();
+      raise e
+  | result ->
+      let n = t.batch_count in
+      t.batch_buf <- None;
+      t.batch_count <- 0;
+      if Buffer.length buf > 0 then begin
+        (try Wal.append_raw t.io wal_file (Buffer.contents buf)
+         with e ->
+           rollback ();
+           raise e);
+        t.wal_bytes_v <- t.wal_bytes_v + Buffer.length buf;
+        t.wal_records_v <- t.wal_records_v + n
+      end;
       if t.auto_checkpoint > 0 && t.wal_records_v >= t.auto_checkpoint then
         checkpoint t;
-      Ok dir
+      result
 
 (* Streaming bulk load: the caller drives [feed], pushing one entry at a
    time into a {!Directory.Bulk} builder (so a million-entry dump never
@@ -175,6 +243,8 @@ let init ?extensions ?pool ?(auto_checkpoint = 0) io schema inst =
             wal_records_v = 0;
             base = meta;
             counted = s;
+            batch_buf = None;
+            batch_count = 0;
           }
         in
         hook := wal_hook t;
@@ -307,6 +377,8 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(trusted = true)
                       wal_records_v = st.replayed + st.skipped;
                       base = meta;
                       counted;
+                      batch_buf = None;
+                      batch_count = 0;
                     }
                   in
                   hook := wal_hook t;

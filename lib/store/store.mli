@@ -135,6 +135,28 @@ val stats : t -> Checkpoint.meta
     schedule; the on-disk prefix then still recovers. *)
 val apply : t -> Update.op list -> (Directory.t, Monitor.rejection) result
 
+(** [batch t f] — group commit.  {!apply}s made by [f] are admitted
+    one by one against the rolling version exactly as usual, but their
+    log records are buffered; when [f] returns they are appended in
+    {e one} I/O operation — one shared fsync on a durable {!Io.real}
+    handle — and only then does [batch] return.  Callers must not
+    acknowledge any transaction of the batch before [batch] returns.
+    The resulting log bytes are identical to sequential {!apply}s of
+    the same accepted transactions (same lsns, same frames), so
+    recovery cannot tell batches apart — the group-commit equivalence
+    the [test_net] property pins down.
+
+    Crash/failure discipline: a crash before the shared append loses
+    the whole (unacknowledged) batch; a torn append leaves a prefix of
+    whole records that recovery replays — admitted but unacknowledged
+    transactions, which the durability contract permits (acknowledged ⊆
+    recovered).  If the append raises, the store rolls back to the
+    batch-start version and lsn, and the exception propagates with the
+    handle still usable.  Auto-compaction is deferred to the flush.
+    Nesting [batch], or calling {!checkpoint}/{!load} inside [f], is a
+    programming error. *)
+val batch : t -> (unit -> 'a) -> 'a
+
 (** Compact: write a fresh checkpoint at the current lsn (atomic
     replace), then reset the log.  A crash between the two leaves
     duplicate records that recovery skips. *)

@@ -38,9 +38,13 @@ let scan io path =
   in
   { records = List.rev acc; end_offset; truncated }
 
+let encode_record ~lsn ops = Frame.encode (Codec.encode_txn ~lsn ops)
+
+let append_raw io path framed = io.Io.append path framed
+
 let append io path ~lsn ops =
-  let framed = Frame.encode (Codec.encode_txn ~lsn ops) in
-  io.Io.append path framed;
+  let framed = encode_record ~lsn ops in
+  append_raw io path framed;
   String.length framed
 
 let record_size ops =

@@ -47,6 +47,17 @@ val scan : Io.t -> string -> scan
     instead of encoding the transaction a second time. *)
 val append : Io.t -> string -> lsn:int -> Update.op list -> int
 
+(** One record as its on-log bytes (frame included) without writing it —
+    group commit buffers these and lands a whole batch with one
+    {!append_raw}. *)
+val encode_record : lsn:int -> Update.op list -> string
+
+(** Append pre-encoded record bytes (a concatenation of
+    {!encode_record}s) in {e one} I/O operation — and so, on a durable
+    {!Io.real} handle, one shared fsync for every record in the batch.
+    Byte-equivalent to appending the records one at a time. *)
+val append_raw : Io.t -> string -> string -> unit
+
 (** Size in bytes of one logged transaction (frame included). *)
 val record_size : Update.op list -> int
 

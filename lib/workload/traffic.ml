@@ -1,0 +1,178 @@
+(* Mixed read/write traffic against a running directory server.
+
+   N client threads each drive one connection with a deterministic
+   request stream: reads are hierarchical queries and scoped searches
+   drawn from a small template pool, writes are LDIF change records
+   adding a fresh person under an orgUnit.  The generator learns the
+   insertion points from the server itself — one subtree search for
+   orgUnits before the clocks start — so it works against any store
+   whose instance speaks the white-pages schema, regardless of how the
+   unit tree was grown.
+
+   Everything is deterministic in [seed] except the interleaving (and
+   uid freshness across runs, which [tag] parameterizes: uid is a key
+   attribute, so re-running against a persistent store needs a new
+   tag). *)
+
+type report = {
+  clients : int;
+  requests : int;  (** requests answered [Reply] *)
+  reads : int;
+  writes : int;
+  failed : int;  (** transport errors + [Failed] replies (incl. rejects) *)
+  elapsed : float;  (** wall seconds, connect to last reply *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+let throughput r = if r.elapsed > 0. then float_of_int r.requests /. r.elapsed else 0.
+
+let report_text r =
+  Printf.sprintf
+    "clients %d  ok %d (%d reads, %d writes)  failed %d  %.2fs  %.0f req/s\n\
+     latency ms: mean %.3f  p50 %.3f  p95 %.3f  max %.3f"
+    r.clients r.requests r.reads r.writes r.failed r.elapsed (throughput r)
+    r.mean_ms r.p50_ms r.p95_ms r.max_ms
+
+(* --- request streams ----------------------------------------------------- *)
+
+let read_templates units =
+  [|
+    Bounds_net.Proto.Query "(objectClass=person)";
+    Bounds_net.Proto.Query
+      "(minus (objectClass=orgGroup) (chi d (objectClass=orgGroup) \
+       (objectClass=person)))";
+    Bounds_net.Proto.Search
+      { base = None; scope = "sub"; filter = "(objectClass=orgUnit)" };
+    Bounds_net.Proto.Search
+      {
+        base = Some (List.nth units (List.length units / 2));
+        scope = "one";
+        filter = "(objectClass=person)";
+      };
+    Bounds_net.Proto.Query "(uid=*a*)";
+  |]
+
+let fresh_person_record ~tag ~client ~n ~parent_dn =
+  let uid = Printf.sprintf "%s-c%d-%d" tag client n in
+  String.concat "\n"
+    [
+      Printf.sprintf "dn: uid=%s, %s" uid parent_dn;
+      "changetype: add";
+      "objectClass: person";
+      "objectClass: staffmember";
+      "objectClass: top";
+      "uid: " ^ uid;
+      Printf.sprintf "name: traffic person %s" uid;
+    ]
+
+(* --- the run ------------------------------------------------------------- *)
+
+type tally = {
+  mutable ok_reads : int;
+  mutable ok_writes : int;
+  mutable bad : int;
+  mutable lat : float list;  (* seconds, successes only *)
+}
+
+let discover_units ~host ~port =
+  match Bounds_net.Client.connect ~host ~port ~retries:40 () with
+  | Error e -> Error e
+  | Ok c ->
+      let r =
+        Bounds_net.Client.request c
+          (Bounds_net.Proto.Search
+             { base = None; scope = "sub"; filter = "(objectClass=orgUnit)" })
+      in
+      Bounds_net.Client.close c;
+      (match r with
+      | Ok (Bounds_net.Proto.Reply body) -> (
+          match String.split_on_char '\n' body with
+          | _count :: dns -> (
+              match List.filter (fun s -> s <> "") dns with
+              | [] -> Error "no orgUnit entries to write under"
+              | dns -> Ok dns)
+          | [] -> Error "empty search reply")
+      | Ok (Bounds_net.Proto.Failed e) -> Error ("unit discovery: " ^ e)
+      | Error e -> Error ("unit discovery: " ^ e))
+
+let worker ~host ~port ~seed ~tag ~write_ratio ~requests ~units ~client tally =
+  match Bounds_net.Client.connect ~host ~port ~retries:40 () with
+  | Error _ -> tally.bad <- tally.bad + requests
+  | Ok c ->
+      let rng = Random.State.make [| seed; client; 0x7a |] in
+      let reads = read_templates units in
+      let unit_arr = Array.of_list units in
+      for n = 0 to requests - 1 do
+        let is_write = Random.State.float rng 1.0 < write_ratio in
+        let req =
+          if is_write then
+            let parent_dn =
+              unit_arr.(Random.State.int rng (Array.length unit_arr))
+            in
+            Bounds_net.Proto.Apply
+              (fresh_person_record ~tag ~client ~n ~parent_dn)
+          else reads.(Random.State.int rng (Array.length reads))
+        in
+        let t0 = Unix.gettimeofday () in
+        match Bounds_net.Client.request c req with
+        | Ok (Bounds_net.Proto.Reply _) ->
+            tally.lat <- (Unix.gettimeofday () -. t0) :: tally.lat;
+            if is_write then tally.ok_writes <- tally.ok_writes + 1
+            else tally.ok_reads <- tally.ok_reads + 1
+        | Ok (Bounds_net.Proto.Failed _) | Error _ -> tally.bad <- tally.bad + 1
+      done;
+      Bounds_net.Client.close c
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run ?(host = "127.0.0.1") ~port ~clients ~requests ?(write_ratio = 0.2)
+    ?(seed = 17) ?(tag = "t") () =
+  if clients < 1 then invalid_arg "Traffic.run: clients < 1";
+  match discover_units ~host ~port with
+  | Error _ as e -> e
+  | Ok units ->
+      let tallies =
+        Array.init clients (fun _ ->
+            { ok_reads = 0; ok_writes = 0; bad = 0; lat = [] })
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init clients (fun client ->
+            Thread.create
+              (fun () ->
+                worker ~host ~port ~seed ~tag ~write_ratio ~requests ~units
+                  ~client tallies.(client))
+              ())
+      in
+      List.iter Thread.join threads;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let reads = Array.fold_left (fun a t -> a + t.ok_reads) 0 tallies in
+      let writes = Array.fold_left (fun a t -> a + t.ok_writes) 0 tallies in
+      let failed = Array.fold_left (fun a t -> a + t.bad) 0 tallies in
+      let lats =
+        Array.fold_left (fun a t -> List.rev_append t.lat a) [] tallies
+        |> Array.of_list
+      in
+      Array.sort compare lats;
+      let sum = Array.fold_left ( +. ) 0. lats in
+      let n = Array.length lats in
+      let ms x = 1000. *. x in
+      Ok
+        {
+          clients;
+          requests = reads + writes;
+          reads;
+          writes;
+          failed;
+          elapsed;
+          mean_ms = (if n = 0 then 0. else ms (sum /. float_of_int n));
+          p50_ms = ms (percentile lats 0.50);
+          p95_ms = ms (percentile lats 0.95);
+          max_ms = (if n = 0 then 0. else ms lats.(n - 1));
+        }

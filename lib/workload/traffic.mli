@@ -1,0 +1,40 @@
+(** Mixed read/write traffic against a running directory server.
+
+    [run] drives [clients] threads, each with its own connection and a
+    deterministic request stream ([requests] per client): queries and
+    scoped searches for reads, LDIF person-insertions for writes, in a
+    [write_ratio] mix.  Insertion points are discovered from the server
+    (one subtree search for orgUnits) before the clock starts, so the
+    target store only needs to speak the white-pages schema.
+
+    [tag] prefixes the generated key attribute ([uid]) values — reuse
+    of a tag against a persistent store makes later writes key-reject. *)
+
+type report = {
+  clients : int;
+  requests : int;  (** requests answered [Reply] *)
+  reads : int;
+  writes : int;
+  failed : int;  (** transport errors + [Failed] replies (incl. rejects) *)
+  elapsed : float;  (** wall seconds, connect to last reply *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+}
+
+(** Successful requests per second. *)
+val throughput : report -> float
+
+val report_text : report -> string
+
+val run :
+  ?host:string ->
+  port:int ->
+  clients:int ->
+  requests:int ->
+  ?write_ratio:float ->
+  ?seed:int ->
+  ?tag:string ->
+  unit ->
+  (report, string) result

@@ -605,12 +605,12 @@ let test_real_io () =
     Array.iter
       (fun f -> Sys.remove (Filename.concat root f))
       (Sys.readdir root);
-  let io = Io.real ~root in
+  let io = Io.real ~root () in
   let st = get_store "init" (Store.init io WP.schema WP.instance) in
   let _ = get_apply "t1" (Store.apply st txn1) in
   let _ = get_apply "t2" (Store.apply st txn2) in
   Store.close st;
-  let st', report = get_store "reopen" (Store.open_ (Io.real ~root)) in
+  let st', report = get_store "reopen" (Store.open_ (Io.real ~root ())) in
   check "clean" true (report.Store.tail = Store.Clean);
   check_int "lsn" 2 (Store.lsn st');
   check_state "real io" st' (after [ txn1; txn2 ]);
