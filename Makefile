@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke fault-smoke fuzz-smoke serve-smoke doc clean
+.PHONY: all test bench bench-smoke bench-scale fault-smoke fuzz-smoke serve-smoke doc clean
 
 all:
 	dune build
@@ -10,13 +10,21 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Tiny-quota sanity run of the perf experiments (P1-P6); leaves
+# Tiny-quota sanity run of the perf experiments (P1-P7); leaves
 # BENCH_legality.json, BENCH_query.json, BENCH_session.json,
-# BENCH_store.json, BENCH_ingest.json and BENCH_serve.json in
-# _build/default/bench.  --force because the json is a side effect of
-# the alias action, which dune would otherwise cache.
+# BENCH_store.json, BENCH_ingest.json, BENCH_serve.json and
+# BENCH_scale.json in _build/default/bench.  --force because the json
+# is a side effect of the alias action, which dune would otherwise
+# cache.
 bench-smoke:
 	dune build --force @bench-smoke
+
+# The full P7 scale sweep (10^4 .. 10^6 entries): one store lifecycle
+# per size - bulk load, queries, transactions, delta + full checkpoint,
+# trusted recovery - with wall-clock and peak-heap per point.  Writes
+# BENCH_scale.json into the working directory.
+bench-scale:
+	dune exec bench/main.exe -- --json P7
 
 # Daemon round-trip: initialize a throwaway store, serve it on an
 # ephemeral port, drive brief mixed read/write traffic from concurrent

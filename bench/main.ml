@@ -62,6 +62,21 @@ let avg = function
   | [] -> Float.nan
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
+(* Peak major-heap footprint of the process so far, in bytes.
+   [top_heap_words] is a monotone high-water mark, so a reading taken
+   when an experiment writes its JSON covers everything it allocated;
+   every BENCH_*.json carries it so the memory trajectory is tracked
+   across PRs alongside the time series. *)
+let peak_heap_bytes () =
+  (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)
+
+let pp_bytes b =
+  if b >= 1 lsl 30 then
+    Printf.sprintf "%7.2f GiB" (float_of_int b /. float_of_int (1 lsl 30))
+  else if b >= 1 lsl 20 then
+    Printf.sprintf "%7.1f MiB" (float_of_int b /. float_of_int (1 lsl 20))
+  else Printf.sprintf "%7d KiB" (b / 1024)
+
 (* --- T31: legality testing, query-based vs naive  ----------------------- *)
 
 let exp_t31 () =
@@ -549,6 +564,8 @@ let exp_p1 ~smoke ~json () =
     Buffer.add_string buf
       (Printf.sprintf "  \"smoke\": %b,\n  \"recommended_domains\": %d,\n" smoke
          (Domain.recommended_domain_count ()));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
     Buffer.add_string buf (Printf.sprintf "  \"fixed_size\": %d,\n" n_fixed);
     Buffer.add_string buf
       (Printf.sprintf "  \"fixed_domains\": %d,\n" fixed_domains);
@@ -761,6 +778,8 @@ let exp_p2 ~smoke ~json () =
     Buffer.add_string buf "  \"experiment\": \"P2\",\n";
     Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
     Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
     Buffer.add_string buf "  \"queries\": [\n";
     List.iteri
       (fun i q ->
@@ -995,6 +1014,8 @@ let exp_p3 ~smoke ~json () =
     Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
     Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
     Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
+    Buffer.add_string buf
       (Printf.sprintf "  \"queries_per_tick\": %d,\n" (List.length queries));
     Buffer.add_string buf (Printf.sprintf "  \"max_size\": %d,\n" n_max);
     Buffer.add_string buf
@@ -1039,7 +1060,13 @@ let p4_io name =
   in
   let io = Sio.real ~fsync:false ~root () in
   List.iter io.Sio.remove
-    [ Store.schema_file; Store.checkpoint_file; Store.wal_file; "snapshot.ldif" ];
+    [
+      Store.schema_file;
+      Store.checkpoint_file;
+      Store.delta_file;
+      Store.wal_file;
+      "snapshot.ldif";
+    ];
   io
 
 (* Durability has two costs the WAL design trades between: the per-
@@ -1220,6 +1247,8 @@ let exp_p4 ~smoke ~json () =
     Buffer.add_string buf "  \"experiment\": \"P4\",\n";
     Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
     Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
     Buffer.add_string buf (Printf.sprintf "  \"max_size\": %d,\n" n_max);
     Buffer.add_string buf (Printf.sprintf "  \"recovery_size\": %d,\n" rec_n);
     Buffer.add_string buf
@@ -1355,7 +1384,7 @@ let exp_p5 ~smoke ~json () =
      (both end checkpointed, so the durable end states match) *)
   let reset io =
     List.iter io.Sio.remove
-      [ Store.schema_file; Store.checkpoint_file; Store.wal_file ]
+      [ Store.schema_file; Store.checkpoint_file; Store.delta_file; Store.wal_file ]
   in
   let load_bulk =
     Test.make_indexed ~name:"load-bulk" ~args:batches (fun m ->
@@ -1460,6 +1489,8 @@ let exp_p5 ~smoke ~json () =
     Buffer.add_string buf "  \"experiment\": \"P5\",\n";
     Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
     Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
     Buffer.add_string buf (Printf.sprintf "  \"recovery_size\": %d,\n" rec_n);
     Buffer.add_string buf (Printf.sprintf "  \"max_tail\": %d,\n" k_max);
     Buffer.add_string buf (Printf.sprintf "  \"max_batch\": %d,\n" m_max);
@@ -1554,7 +1585,7 @@ let exp_p6 ~smoke ~json () =
     in
     let io = Sio.real ~fsync ~root () in
     List.iter io.Sio.remove
-      [ Store.schema_file; Store.checkpoint_file; Store.wal_file ];
+      [ Store.schema_file; Store.checkpoint_file; Store.delta_file; Store.wal_file ];
     let base = WP.generate ~seed:6 ~units:3 ~persons_per_unit:3 () in
     let st = Result.get_ok (Store.init io WP.schema base) in
     (st, find_unit base, Bounds_model.Instance.size base)
@@ -1665,6 +1696,8 @@ let exp_p6 ~smoke ~json () =
     Buffer.add_string buf "  \"experiment\": \"P6\",\n";
     Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
     Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
     Buffer.add_string buf (Printf.sprintf "  \"txns\": %d,\n" txns_total);
     Buffer.add_string buf
       (Printf.sprintf "  \"batch4_speedup_fsync\": %.3f,\n"
@@ -1720,6 +1753,201 @@ let exp_p6 ~smoke ~json () =
     Printf.printf "  wrote BENCH_serve.json (%d points)\n" (List.length points)
   end
 
+(* --- P7: million-entry scale ----------------------------------------------- *)
+
+(* The scale wall.  Every other experiment sweeps |D| in the thousands;
+   P7 drives one complete store lifecycle — streaming bulk load, query,
+   single-entry transactions, O(Δ) delta checkpoint vs O(|D|) collapse,
+   trusted recovery — up to 10^6 entries, and reports wall-clock plus
+   the peak-heap high-water mark at each size.  Single timed runs, not
+   bechamel: a point is seconds of work and the sweep itself is the
+   measurement, so per-run OLS would mostly re-time the page cache. *)
+let exp_p7 ~smoke ~json () =
+  header "P7   million-entry scale (interning, word kernels, delta checkpoints)"
+    "claim: with hash-consed strings, word-level bitset kernels and O(delta)\n\
+     incremental checkpoints, a 10^6-entry directory loads, queries, absorbs\n\
+     transactions, compacts and recovers in time linear in the touched data,\n\
+     and in heap linear in |D| with a shared-string constant.";
+  let sizes = if smoke then [ 1_000; 5_000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  let apply_txns = if smoke then 20 else 100 in
+  let seed_n = 200 in
+  let at = Attr.of_string and cl = Oclass.of_string in
+  let queries =
+    [
+      Query.select_class (cl "person");
+      Query.Select
+        (Filter.And
+           [ Filter.class_eq (cl "person"); Filter.Present (at "mail") ]);
+      Query.Chi
+        ( Query.Descendant,
+          Query.select_class (cl "orgunit"),
+          Query.select_class (cl "person") );
+    ]
+  in
+  let find_unit base =
+    Bounds_model.Instance.fold
+      (fun e acc ->
+        if Entry.has_class e (Oclass.of_string "orgunit") then Some (Entry.id e)
+        else acc)
+      base None
+    |> Option.get
+  in
+  let mk_person id =
+    Entry.make ~id
+      ~rdn:(Printf.sprintf "uid=p7b%d" id)
+      ~classes:(Oclass.set_of_list [ "person"; "top" ])
+      [
+        (Attr.of_string "uid", Value.String (Printf.sprintf "p7b%d" id));
+        (Attr.of_string "name", Value.String "bench");
+      ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let pp_s s = pp_time (s *. 1e9) in
+  let run_point n =
+    let base = WP.generate ~seed:7 ~units:(seed_n / 25) ~persons_per_unit:20 () in
+    let unit = find_unit base in
+    let io = p4_io (Printf.sprintf "p7-%d" n) in
+    let st = Result.get_ok (Store.init io WP.schema base) in
+    let total = Bounds_model.Instance.size base + n in
+    let t_load, loaded =
+      time (fun () ->
+          Result.get_ok
+            (Store.load st (fun add ->
+                 let rec go i =
+                   if i = n then Ok ()
+                   else
+                     match add ~parent:(Some unit) (mk_person (6_000_000 + i)) with
+                     | Ok () -> go (i + 1)
+                     | Error _ as e -> e
+                 in
+                 go 0)))
+    in
+    assert (loaded = n);
+    let dir = Store.directory st in
+    let t_query, _ =
+      time (fun () -> List.iter (fun q -> ignore (Directory.query dir q)) queries)
+    in
+    let t_apply, _ =
+      time (fun () ->
+          for i = 0 to apply_txns - 1 do
+            ignore
+              (Result.get_ok
+                 (Store.apply st
+                    [
+                      Update.Insert
+                        { parent = Some unit; entry = mk_person (7_000_000 + i) };
+                    ]))
+          done)
+    in
+    (* the delta fold sees the [apply_txns]-record log; one more accepted
+       transaction afterwards gives the collapse a chain AND a tail *)
+    let t_delta, _ = time (fun () -> Store.checkpoint st) in
+    assert (Store.delta_segments st = 1);
+    ignore
+      (Result.get_ok
+         (Store.apply st
+            [ Update.Insert { parent = Some unit; entry = mk_person 7_999_999 } ]));
+    let t_full, _ = time (fun () -> Store.checkpoint ~full:true st) in
+    assert (Store.delta_segments st = 0);
+    Store.close st;
+    let t_recover, _ =
+      time (fun () ->
+          let st', report = Result.get_ok (Store.open_ io) in
+          if report.Store.tail <> Store.Clean then
+            failwith "P7: clean store recovered as damaged";
+          let got =
+            Bounds_model.Instance.size (Directory.instance (Store.directory st'))
+          in
+          if got <> total + apply_txns + 1 then
+            failwith
+              (Printf.sprintf "P7: recovered %d entries, expected %d" got
+                 (total + apply_txns + 1));
+          Store.close st')
+    in
+    (n, t_load, t_query, t_apply, t_delta, t_full, t_recover, peak_heap_bytes ())
+  in
+  let results = List.map run_point sizes in
+  Printf.printf
+    "  store lifecycle per size (load n, %d queries, %d txns, delta + full\n\
+    \  checkpoint, trusted recovery); peak heap is the process high-water mark:\n"
+    (List.length queries) apply_txns;
+  Printf.printf "  %8s  %10s  %9s  %9s  %9s  %9s  %9s  %11s\n" "|D|" "load"
+    "query" "apply" "delta-ck" "full-ck" "recover" "peak heap";
+  List.iter
+    (fun (n, l, q, a, d, f, r, h) ->
+      Printf.printf "  %8d  %s  %s  %s  %s  %s  %s  %s\n" n (pp_s l) (pp_s q)
+        (pp_s a) (pp_s d) (pp_s f) (pp_s r) (pp_bytes h))
+    results;
+  let interned = Intern.stats () in
+  let intern_saved =
+    List.fold_left (fun acc s -> acc + s.Intern.saved_bytes) 0 interned
+  in
+  (match List.rev results with
+  | (n, l, _, a, d, f, r, _) :: _ ->
+      Printf.printf
+        "  shape: at |D| = %d the store loads %.0f entries/s, absorbs %.0f tx/s,\n\
+        \  delta-compacts a %d-record log %.1fx faster than a full collapse, and\n\
+        \  recovers in %s; interning saved %.1f MiB of duplicate strings\n"
+        n
+        (float_of_int n /. l)
+        (float_of_int apply_txns /. a)
+        apply_txns (f /. d) (String.trim (pp_s r))
+        (float_of_int intern_saved /. float_of_int (1 lsl 20))
+  | [] -> ());
+  if json then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"experiment\": \"P7\",\n";
+    Buffer.add_string buf
+      "  \"workload\": \"white-pages seed + synthetic persons\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"max_size\": %d,\n" (List.fold_left max 0 sizes));
+    Buffer.add_string buf (Printf.sprintf "  \"apply_txns\": %d,\n" apply_txns);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"intern_saved_bytes\": %d,\n" intern_saved);
+    Buffer.add_string buf "  \"intern_pools\": [\n";
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    { \"pool\": \"%s\", \"distinct\": %d, \"hits\": %d, \
+              \"saved_bytes\": %d }%s\n"
+             s.Intern.pool_name s.Intern.distinct s.Intern.hits
+             s.Intern.saved_bytes
+             (if i = List.length interned - 1 then "" else ",")))
+      interned;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf "  \"points\": [\n";
+    List.iteri
+      (fun i (n, l, q, a, d, f, r, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    { \"n\": %d, \"load_s\": %.3f, \"load_entries_per_sec\": \
+              %.0f, \"query_s\": %.6f, \"apply_s\": %.3f, \
+              \"apply_txns_per_sec\": %.0f, \"delta_ckpt_s\": %.6f, \
+              \"full_ckpt_s\": %.3f, \"recover_s\": %.3f, \
+              \"peak_heap_bytes\": %d }%s\n"
+             n l
+             (float_of_int n /. l)
+             q a
+             (float_of_int apply_txns /. a)
+             d f r h
+             (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_scale.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "  wrote BENCH_scale.json (%d points)\n" (List.length results)
+  end
+
 (* --- W1: the chase coverage statistic ------------------------------------- *)
 
 let exp_w1 () =
@@ -1768,6 +1996,7 @@ let experiments ~smoke ~json =
     ("P4", exp_p4 ~smoke ~json);
     ("P5", exp_p5 ~smoke ~json);
     ("P6", exp_p6 ~smoke ~json);
+    ("P7", exp_p7 ~smoke ~json);
   ]
 
 let () =

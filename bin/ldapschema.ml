@@ -938,6 +938,29 @@ let log_ dir =
         Printf.printf "checkpoint: unreadable (%s)\n" e;
         false
   in
+  let delta = Bounds_store.Wal.scan io Store.delta_file in
+  let segments =
+    List.length
+      (List.filter
+         (fun (r : Bounds_store.Wal.record) -> r.lsn = 0 && r.ops = [])
+         delta.Bounds_store.Wal.records)
+  in
+  let delta_ok =
+    if segments > 0 || delta.Bounds_store.Wal.end_offset > 0
+       || delta.Bounds_store.Wal.truncated <> None
+    then begin
+      Printf.printf "delta: %d segment(s), %d record(s), %d bytes\n" segments
+        (List.length delta.Bounds_store.Wal.records - segments)
+        delta.Bounds_store.Wal.end_offset;
+      match delta.Bounds_store.Wal.truncated with
+      | None -> true
+      | Some t ->
+          Printf.printf "delta tail: damaged at byte %d (%s)\n"
+            t.Bounds_store.Wal.offset t.Bounds_store.Wal.reason;
+          false
+    end
+    else true
+  in
   let scan = Bounds_store.Wal.scan io Store.wal_file in
   Printf.printf "log: %d record(s), %d bytes\n"
     (List.length scan.Bounds_store.Wal.records)
@@ -950,7 +973,7 @@ let log_ dir =
   match scan.Bounds_store.Wal.truncated with
   | None ->
       Printf.printf "tail: clean\n";
-      if ckpt_ok then 0 else 1
+      if ckpt_ok && delta_ok then 0 else 1
   | Some t ->
       Printf.printf "tail: damaged at byte %d (%s)\n" t.Bounds_store.Wal.offset
         t.Bounds_store.Wal.reason;
@@ -965,25 +988,63 @@ let log_cmd =
           damaged (recovery would truncate it).")
     Term.(const log_ $ store_pos_arg)
 
-let checkpoint_verb dir jobs =
+let checkpoint_verb dir full jobs =
   with_jobs jobs (fun pool ->
       let st = open_store ?pool dir in
       Fun.protect
         ~finally:(fun () -> Store.close st)
         (fun () ->
-          Store.checkpoint st;
-          Printf.printf "checkpointed at lsn %d (%d entries); log reset\n"
-            (Store.lsn st)
-            (Directory.size (Store.directory st));
+          Store.checkpoint ~full st;
+          if Store.delta_segments st = 0 then
+            Printf.printf
+              "checkpointed at lsn %d (%d entries); chain collapsed, log reset\n"
+              (Store.lsn st)
+              (Directory.size (Store.directory st))
+          else
+            Printf.printf
+              "delta checkpoint at lsn %d (%d segment(s), %d bytes); log reset\n"
+              (Store.lsn st) (Store.delta_segments st) (Store.delta_bytes st);
           0))
+
+let full_arg =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:
+          "Collapse: rewrite the whole snapshot and drop the delta chain \
+           instead of folding the log into an O(delta) segment.")
 
 let checkpoint_cmd =
   Cmd.v
     (Cmd.info "checkpoint"
        ~doc:
-         "Compact a durable store: recover it, write a fresh checkpoint at \
-          the current lsn, and reset the write-ahead log.")
-    Term.(const checkpoint_verb $ store_pos_arg $ jobs_arg)
+         "Compact a durable store: recover it, fold the write-ahead log into \
+          the delta-checkpoint chain (or rewrite the full snapshot with \
+          $(b,--full) or past the chain threshold), and reset the log.")
+    Term.(const checkpoint_verb $ store_pos_arg $ full_arg $ jobs_arg)
+
+(* Recover the store and report the live session's counters, including
+   the hash-cons pool stats the recovery populated — at directory scale
+   the interesting figure is how many duplicate strings the load would
+   otherwise have held. *)
+let stats_verb dir jobs =
+  with_jobs jobs (fun pool ->
+      let st = open_store ?pool dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close st)
+        (fun () ->
+          Format.printf "%a@." Directory.pp_stats
+            (Directory.stats (Store.directory st));
+          0))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Recover a durable store and print session counters plus intern \
+          pool statistics (distinct strings, hash-cons hits, heap bytes \
+          saved).")
+    Term.(const stats_verb $ store_pos_arg $ jobs_arg)
 
 (* --- serve / client / traffic (network) --------------------------------- *)
 
@@ -1190,6 +1251,7 @@ let main =
       fuzz_cmd;
       log_cmd;
       checkpoint_cmd;
+      stats_cmd;
       serve_cmd;
       client_cmd;
       traffic_cmd;

@@ -279,6 +279,7 @@ type stats = {
   memo_entries : int;
   memo_migrated : int;
   memo_dropped : int;
+  intern : Intern.stat list;
 }
 
 let stats t =
@@ -294,11 +295,13 @@ let stats t =
     memo_entries;
     memo_migrated;
     memo_dropped;
+    intern = Intern.stats ();
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>entries: %d@ queries: %d@ updates: %d applied, %d rejected@ memo: \
-     %d entries (%d hits, %d misses; migration carried %d, dropped %d)@]"
+     %d entries (%d hits, %d misses; migration carried %d, dropped %d)@ \
+     intern:@   %a@]"
     s.entries s.queries s.applied s.rejected s.memo_entries s.memo_hits
-    s.memo_misses s.memo_migrated s.memo_dropped
+    s.memo_misses s.memo_migrated s.memo_dropped Intern.pp_stats s.intern

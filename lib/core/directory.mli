@@ -242,6 +242,8 @@ type stats = {
   memo_entries : int;
   memo_migrated : int;  (** cache entries carried across updates *)
   memo_dropped : int;  (** χ-dependent entries re-evaluated instead *)
+  intern : Intern.stat list;
+      (** process-wide hash-cons pool counters (attr/oclass/rdn/value/vkey) *)
 }
 
 val stats : t -> stats

@@ -935,6 +935,107 @@ let trusted_replay =
                           | Some m -> Disagree m)))));
   }
 
+(* Interning must be semantically invisible: hash-consing changes
+   physical identity only, never an answer.  The twin rebuilds the case
+   from fresh string copies with the pools disabled ([Intern.share]
+   becomes the identity, so nothing it evaluates is pool-canonical),
+   drives the same transactions through its own session, and must agree
+   with the interned pipeline on acceptance verdicts, the final
+   instance, legality, and the obligation answers. *)
+let intern_transparency =
+  {
+    name = "intern-transparency";
+    doc =
+      "evaluation with interning disabled agrees with the interned path \
+       (instance, legality, obligation answers)";
+    generate = (fun ~seed rng -> monitor_case "intern-transparency" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  let copy_s s = String.sub s 0 (String.length s) in
+                  let copy_value = function
+                    | Value.String s -> Value.String (copy_s s)
+                    | Value.Dn d -> Value.Dn (copy_s d)
+                    | (Value.Int _ | Value.Bool _) as v -> v
+                  in
+                  let copy_entry e =
+                    Entry.make ~id:(Entry.id e) ~rdn:(copy_s (Entry.rdn e))
+                      ~classes:
+                        (Oclass.set_of_list
+                           (List.map
+                              (fun cl -> copy_s (Oclass.to_string cl))
+                              (Oclass.Set.elements (Entry.classes e))))
+                      (List.map
+                         (fun (a, v) ->
+                           ( Attr.of_string (copy_s (Attr.to_string a)),
+                             copy_value v ))
+                         (Entry.stored_pairs e))
+                  in
+                  let copy_instance i0 =
+                    let rec add parent acc id =
+                      let acc =
+                        match
+                          Instance.add ~parent (copy_entry (Instance.entry i0 id)) acc
+                        with
+                        | Ok acc -> acc
+                        | Error e -> failwith (Instance.error_to_string e)
+                      in
+                      List.fold_left (add (Some id)) acc
+                        (List.rev (Instance.rev_children i0 id))
+                    in
+                    List.fold_left (add None) Instance.empty
+                      (List.rev (Instance.rev_roots i0))
+                  in
+                  let copy_op = function
+                    | Update.Insert { parent; entry } ->
+                        Update.Insert { parent; entry = copy_entry entry }
+                    | Update.Delete _ as op -> op
+                  in
+                  let drive inst ops =
+                    match Directory.open_ schema inst with
+                    | Error vs -> Error ("illegal seed: " ^ pp_violations vs)
+                    | Ok dir0 ->
+                        let dir, verdicts =
+                          List.fold_left
+                            (fun (dir, vs) op ->
+                              match Directory.apply dir [ op ] with
+                              | Ok dir' -> (dir', true :: vs)
+                              | Error _ -> (dir, false :: vs))
+                            (dir0, []) ops
+                        in
+                        let answers =
+                          List.map
+                            (fun (_, q, _) -> Directory.query_ids dir q)
+                            (Translate.all schema.Schema.structure)
+                        in
+                        Ok
+                          ( Directory.instance dir,
+                            List.rev verdicts,
+                            Directory.validate dir,
+                            answers )
+                  in
+                  let interned = drive inst c.Case.ops in
+                  let plain =
+                    Intern.with_disabled (fun () ->
+                        drive (copy_instance inst) (List.map copy_op c.Case.ops))
+                  in
+                  match (interned, plain) with
+                  | Error _, Error _ -> Agree (* both refuse the seed *)
+                  | Error m, Ok _ -> disagreef "only interned refuses the seed: %s" m
+                  | Ok _, Error m ->
+                      disagreef "only uninterned refuses the seed: %s" m
+                  | Ok (i1, v1, l1, a1), Ok (i2, v2, l2, a2) ->
+                      if v1 <> v2 then Disagree "acceptance verdicts diverged"
+                      else if not (Instance.equal i1 i2) then
+                        Disagree "final instances diverged"
+                      else if l1 <> l2 then
+                        disagreef "legality diverged: %s vs %s" (pp_violations l1)
+                          (pp_violations l2)
+                      else if a1 <> a2 then Disagree "obligation answers diverged"
+                      else Agree)));
+  }
+
 let all =
   [
     ldif_roundtrip;
@@ -955,6 +1056,7 @@ let all =
     par_vs_seq_eval;
     store_roundtrip;
     trusted_replay;
+    intern_transparency;
   ]
 
 let names = List.map (fun o -> o.name) all

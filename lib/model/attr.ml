@@ -11,7 +11,7 @@ let normalize s =
 let of_string_opt s =
   let s = normalize s in
   if s = "" then None
-  else if String.for_all valid_char s then Some s
+  else if String.for_all valid_char s then Some (Intern.share Intern.attr s)
   else None
 
 let of_string s =

@@ -16,13 +16,17 @@ let check_not_object_class a =
 let make ~id ?rdn ~classes pairs =
   if Oclass.Set.is_empty classes then
     invalid_arg "Entry.make: an entry must belong to at least one object class";
-  let rdn = match rdn with Some r -> r | None -> Printf.sprintf "id=%d" id in
+  let rdn =
+    match rdn with
+    | Some r -> Intern.share Intern.rdn r
+    | None -> Printf.sprintf "id=%d" id
+  in
   let attrs =
     List.fold_left
       (fun m (a, v) ->
         check_not_object_class a;
         let vs = match Attr.Map.find_opt a m with Some vs -> vs | None -> [] in
-        Attr.Map.add a (v :: vs) m)
+        Attr.Map.add a (Value.intern v :: vs) m)
       Attr.Map.empty pairs
   in
   let attrs = Attr.Map.map sort_dedup attrs in
@@ -65,7 +69,7 @@ let n_pairs e =
 let add_value a v e =
   check_not_object_class a;
   let vs = match Attr.Map.find_opt a e.attrs with Some vs -> vs | None -> [] in
-  { e with attrs = Attr.Map.add a (sort_dedup (v :: vs)) e.attrs }
+  { e with attrs = Attr.Map.add a (sort_dedup (Value.intern v :: vs)) e.attrs }
 
 let remove_value a v e =
   check_not_object_class a;
@@ -87,7 +91,7 @@ let with_classes classes e =
 
 let add_class c e = { e with classes = Oclass.Set.add c e.classes }
 let with_id id e = { e with id }
-let with_rdn rdn e = { e with rdn }
+let with_rdn rdn e = { e with rdn = Intern.share Intern.rdn rdn }
 
 let equal e1 e2 =
   e1.id = e2.id && String.equal e1.rdn e2.rdn

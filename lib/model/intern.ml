@@ -1,0 +1,114 @@
+type pool = {
+  pool_label : string;
+  lock : Mutex.t;
+  ids : (string, int) Hashtbl.t;
+  mutable strings : string array;  (* id -> canonical string; grows by doubling *)
+  mutable next : int;
+  mutable hits : int;
+  mutable saved : int;
+}
+
+let make_pool label =
+  {
+    pool_label = label;
+    lock = Mutex.create ();
+    ids = Hashtbl.create 256;
+    strings = Array.make 64 "";
+    next = 0;
+    hits = 0;
+    saved = 0;
+  }
+
+let attr = make_pool "attr"
+let oclass = make_pool "oclass"
+let rdn = make_pool "rdn"
+let value = make_pool "value"
+let vkey = make_pool "vkey"
+let pools = [ attr; oclass; rdn; value; vkey ]
+let enabled = ref true
+
+(* Heap footprint of a string block: one header word plus the bytes
+   rounded up to a word with at least one padding byte (the OCaml
+   string representation). *)
+let heap_bytes s = 8 + ((String.length s / 8) + 1) * 8
+
+let locked p f =
+  Mutex.lock p.lock;
+  match f () with
+  | v ->
+      Mutex.unlock p.lock;
+      v
+  | exception e ->
+      Mutex.unlock p.lock;
+      raise e
+
+(* Called with the lock held. *)
+let intern_locked p s =
+  match Hashtbl.find_opt p.ids s with
+  | Some i ->
+      p.hits <- p.hits + 1;
+      p.saved <- p.saved + heap_bytes s;
+      i
+  | None ->
+      let i = p.next in
+      if i = Array.length p.strings then begin
+        let bigger = Array.make (2 * i) "" in
+        Array.blit p.strings 0 bigger 0 i;
+        p.strings <- bigger
+      end;
+      p.strings.(i) <- s;
+      Hashtbl.add p.ids s i;
+      p.next <- i + 1;
+      i
+
+let id p s = locked p (fun () -> intern_locked p s)
+
+let share p s =
+  if not !enabled then s
+  else locked p (fun () -> p.strings.(intern_locked p s))
+
+let find_id p s = locked p (fun () -> Hashtbl.find_opt p.ids s)
+
+let get p i =
+  locked p (fun () ->
+      if i < 0 || i >= p.next then
+        invalid_arg
+          (Printf.sprintf "Intern.get: id %d out of range for pool %s (size %d)"
+             i p.pool_label p.next);
+      p.strings.(i))
+
+let size p = locked p (fun () -> p.next)
+
+let with_disabled f =
+  let prev = !enabled in
+  enabled := false;
+  Fun.protect ~finally:(fun () -> enabled := prev) f
+
+type stat = {
+  pool_name : string;
+  distinct : int;
+  hits : int;
+  saved_bytes : int;
+}
+
+let stats () =
+  List.map
+    (fun p ->
+      locked p (fun () ->
+          {
+            pool_name = p.pool_label;
+            distinct = p.next;
+            hits = p.hits;
+            saved_bytes = p.saved;
+          }))
+    pools
+
+let pp_stats ppf sts =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf "%-7s distinct=%-8d hits=%-10d saved=%d B" s.pool_name
+        s.distinct s.hits s.saved_bytes)
+    sts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Hash-consed string pools.
+
+    A million white-pages entries hold a few hundred distinct attribute
+    names, object classes and a heavily skewed value population ("Paris",
+    "engineer", area codes...), yet every parse and every codec decode
+    allocates a fresh copy.  Interning collapses each distinct string to
+    one canonical heap block, keyed by a small dense integer, so equal
+    strings become physically equal ([==]) and the instance stops paying
+    for duplicates.
+
+    Pools are process-global and append-only: an id, once assigned, names
+    the same string for the lifetime of the process (ids are dense,
+    starting at 0, in first-intern order).  Pools never evict — the live
+    directory holds the canonical strings anyway, so the pool adds only
+    the table overhead.  All operations are thread-safe. *)
+
+type pool
+
+(** The five standing pools. *)
+
+val attr : pool  (** normalized attribute names ([cn], [member]...) *)
+
+val oclass : pool  (** normalized object-class names ([person]...) *)
+
+val rdn : pool  (** relative distinguished names ([cn=Alice]) *)
+
+val value : pool  (** [String]/[Dn] value payloads *)
+
+val vkey : pool  (** normalized value-index keys (lowercased payloads) *)
+
+(** [share p s] is the canonical copy of [s]: physically equal to every
+    other [share p s'] with [s' = s].  Interns [s] on first sight. *)
+val share : pool -> string -> string
+
+(** [id p s] interns [s] and returns its dense id. *)
+val id : pool -> string -> int
+
+(** [find_id p s] is [s]'s id if already interned, without polluting the
+    pool — use on query-side lookups so hostile constants don't grow it. *)
+val find_id : pool -> string -> int option
+
+(** [get p i] is the canonical string with id [i].
+    Raises [Invalid_argument] if [i] was never assigned. *)
+val get : pool -> int -> string
+
+val size : pool -> int
+
+(** [enabled] — when [false], {!share} returns its argument unchanged and
+    {!id} still interns (ids must stay meaningful).  Flip only from a
+    single thread (used by the differential fuzz oracle to compare
+    interned against uninterned evaluation). *)
+val enabled : bool ref
+
+(** [with_disabled f] runs [f ()] with {!enabled} off, restoring it
+    afterwards (also on exception). *)
+val with_disabled : (unit -> 'a) -> 'a
+
+type stat = {
+  pool_name : string;
+  distinct : int;  (** strings in the pool *)
+  hits : int;  (** [share]/[id] calls that found an existing string *)
+  saved_bytes : int;  (** heap bytes the hits would otherwise duplicate *)
+}
+
+(** Per-pool counters, in declaration order. *)
+val stats : unit -> stat list
+
+val pp_stats : Format.formatter -> stat list -> unit

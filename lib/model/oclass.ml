@@ -9,7 +9,7 @@ let normalize s = String.lowercase_ascii (String.trim s)
 let of_string_opt s =
   let s = normalize s in
   if s = "" then None
-  else if String.for_all valid_char s then Some s
+  else if String.for_all valid_char s then Some (Intern.share Intern.oclass s)
   else None
 
 let of_string s =

@@ -20,6 +20,12 @@ let compare a b =
 
 let hash = Hashtbl.hash
 
+(* Hash-cons the string payloads (Int/Bool are immediate already). *)
+let intern = function
+  | String s -> String (Intern.share Intern.value s)
+  | Dn d -> Dn (Intern.share Intern.value d)
+  | (Int _ | Bool _) as v -> v
+
 let telephone_char = function
   | '0' .. '9' | ' ' | '+' | '(' | ')' | '-' | '.' -> true
   | _ -> false

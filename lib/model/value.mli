@@ -14,6 +14,10 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+(** [intern v] hash-conses [String]/[Dn] payloads through
+    {!Intern.value}; [Int]/[Bool] are immediate and pass through. *)
+val intern : t -> t
+
 (** [has_type ty v] tests [v ∈ dom(ty)].  [T_telephone] admits [String]
     values over the telephone alphabet; [T_dn] admits [Dn] values. *)
 val has_type : Atype.t -> t -> bool

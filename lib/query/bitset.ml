@@ -51,29 +51,65 @@ let remove s i =
 let check_same a b =
   if a.n <> b.n then invalid_arg "Bitset: universe size mismatch"
 
-let map2 f a b =
+(* The kernels below go 64 bits at a stride ([Bytes.get_int64_le] /
+   [set_int64_le] — unaligned-safe, and the native compiler unboxes the
+   Int64 locals), with a byte loop over the [length mod 8] tail.  The
+   byte-at-a-time reference lives on in test_query's bit-identity
+   properties. *)
+
+let tail_start nb = nb land lnot 7
+
+let map2_words f64 f8 a b =
   check_same a b;
   let r = create a.n in
-  for k = 0 to Bytes.length a.words - 1 do
+  let nb = Bytes.length a.words in
+  let t = tail_start nb in
+  let o = ref 0 in
+  while !o < t do
+    Bytes.set_int64_le r.words !o
+      (f64 (Bytes.get_int64_le a.words !o) (Bytes.get_int64_le b.words !o));
+    o := !o + 8
+  done;
+  for k = t to nb - 1 do
     Bytes.set r.words k
-      (Char.chr (f (Char.code (Bytes.get a.words k)) (Char.code (Bytes.get b.words k)) land 0xff))
+      (Char.unsafe_chr
+         (f8 (Char.code (Bytes.get a.words k)) (Char.code (Bytes.get b.words k))
+         land 0xff))
   done;
   r
 
-let union = map2 (fun x y -> x lor y)
-let inter = map2 (fun x y -> x land y)
-let diff = map2 (fun x y -> x land lnot y)
+let union = map2_words Int64.logor (fun x y -> x lor y)
+let inter = map2_words Int64.logand (fun x y -> x land y)
+
+let diff =
+  map2_words (fun x y -> Int64.logand x (Int64.lognot y)) (fun x y -> x land lnot y)
 
 let union_into ~into src =
   check_same into src;
-  for k = 0 to Bytes.length into.words - 1 do
+  let nb = Bytes.length into.words in
+  let t = tail_start nb in
+  let o = ref 0 in
+  while !o < t do
+    Bytes.set_int64_le into.words !o
+      (Int64.logor (Bytes.get_int64_le into.words !o) (Bytes.get_int64_le src.words !o));
+    o := !o + 8
+  done;
+  for k = t to nb - 1 do
     let c = Char.code (Bytes.get into.words k) lor Char.code (Bytes.get src.words k) in
     Bytes.set into.words k (Char.unsafe_chr c)
   done
 
 let inter_into ~into src =
   check_same into src;
-  for k = 0 to Bytes.length into.words - 1 do
+  let nb = Bytes.length into.words in
+  let t = tail_start nb in
+  let o = ref 0 in
+  while !o < t do
+    Bytes.set_int64_le into.words !o
+      (Int64.logand (Bytes.get_int64_le into.words !o) (Bytes.get_int64_le src.words !o));
+    o := !o + 8
+  done;
+  for k = t to nb - 1 do
     let c = Char.code (Bytes.get into.words k) land Char.code (Bytes.get src.words k) in
     Bytes.set into.words k (Char.unsafe_chr c)
   done
@@ -100,32 +136,80 @@ let complement a =
   let r = diff (full a.n) a in
   r
 
-let is_empty s = Bytes.for_all (fun c -> c = '\000') s.words
+let is_empty s =
+  let nb = Bytes.length s.words in
+  let t = tail_start nb in
+  let rec words o =
+    o >= t || (Bytes.get_int64_le s.words o = 0L && words (o + 8))
+  in
+  let rec bytes k =
+    k >= nb || (Bytes.get s.words k = '\000' && bytes (k + 1))
+  in
+  words 0 && bytes t
 
 let popcount_byte = Array.init 256 (fun i ->
     let rec go i acc = if i = 0 then acc else go (i lsr 1) (acc + (i land 1)) in
     go i 0)
 
+(* SWAR popcount.  The masks exceed OCaml's native max_int (2^62 - 1), so
+   the reduction has to run in Int64 arithmetic; the compiler keeps the
+   intermediates unboxed. *)
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
 let cardinal s =
+  let nb = Bytes.length s.words in
+  let t = tail_start nb in
   let acc = ref 0 in
-  Bytes.iter (fun c -> acc := !acc + popcount_byte.(Char.code c)) s.words;
+  let o = ref 0 in
+  while !o < t do
+    acc := !acc + popcount64 (Bytes.get_int64_le s.words !o);
+    o := !o + 8
+  done;
+  for k = t to nb - 1 do
+    acc := !acc + popcount_byte.(Char.code (Bytes.get s.words k))
+  done;
   !acc
 
 let count = cardinal
 
 let equal a b = a.n = b.n && Bytes.equal a.words b.words
 
+(* a ⊆ b ⇔ every word of a land lnot b is zero — no scratch set. *)
 let subset a b =
   check_same a b;
-  is_empty (diff a b)
+  let nb = Bytes.length a.words in
+  let t = tail_start nb in
+  let rec words o =
+    o >= t
+    || Int64.logand (Bytes.get_int64_le a.words o)
+         (Int64.lognot (Bytes.get_int64_le b.words o))
+       = 0L
+       && words (o + 8)
+  in
+  let rec bytes k =
+    k >= nb
+    || Char.code (Bytes.get a.words k) land lnot (Char.code (Bytes.get b.words k))
+       = 0
+       && bytes (k + 1)
+  in
+  words 0 && bytes t
 
-(* Members of [max lo 0, min hi n) in increasing order, skipping all-zero
-   bytes so sparse sets iterate in O(n/8 + |members|). *)
+(* Members of [max lo 0, min hi n) in increasing order: skip all-zero
+   64-bit words in one probe, then resolve nonzero words byte by byte, so
+   sparse sets iterate in O(n/64 + touched bytes + |members|). *)
 let iter_range f s ~lo ~hi =
   let lo = max lo 0 and hi = min hi s.n in
   if lo < hi then begin
     let b_lo = lo lsr 3 and b_hi = (hi - 1) lsr 3 in
-    for b = b_lo to b_hi do
+    let byte b =
       let c = Char.code (Bytes.get s.words b) in
       if c <> 0 then begin
         let base = b lsl 3 in
@@ -134,6 +218,21 @@ let iter_range f s ~lo ~hi =
         for j = first to last do
           if c land (1 lsl j) <> 0 then f (base + j)
         done
+      end
+    in
+    let b = ref b_lo in
+    while !b <= b_hi do
+      if !b + 7 <= b_hi then
+        if Bytes.get_int64_le s.words !b = 0L then b := !b + 8
+        else begin
+          for k = !b to !b + 7 do
+            byte k
+          done;
+          b := !b + 8
+        end
+      else begin
+        byte !b;
+        incr b
       end
     done
   end

@@ -60,6 +60,12 @@ type t = {
 
 let norm = String.lowercase_ascii
 
+(* Insertion-side key normalization hash-conses the lowercased rendering
+   (the raw payload is already interned, but [norm] would otherwise
+   allocate a fresh copy per occurrence).  Lookups keep plain [norm] so
+   hostile query constants never grow the pool. *)
+let norm_key s = Intern.share Intern.vkey (norm s)
+
 let p_count = function Frozen a -> Array.length a | Building (c, _) -> c
 
 let p_iter f = function
@@ -109,7 +115,7 @@ let create ?pool ix =
       let e = Index.entry_of_rank ix r in
       let id = Entry.id e in
       List.iter
-        (fun (a, v) -> push eq (Attr.to_string a, norm (Value.to_string v)) id)
+        (fun (a, v) -> push eq (Attr.to_string a, norm_key (Value.to_string v)) id)
         (Entry.pairs e);
       Attr.Set.iter (fun a -> push present (Attr.to_string a) id) (Entry.attributes e)
     done;
@@ -387,7 +393,7 @@ let apply ~index ops t =
             (fun (a, v) ->
               let key = Attr.to_string a in
               dirty key;
-              push eq (key, norm (Value.to_string v)) id)
+              push eq (key, norm_key (Value.to_string v)) id)
             (Entry.pairs entry);
           Attr.Set.iter
             (fun a ->

@@ -3,11 +3,13 @@ open Bounds_core
 let schema_file = "schema.spec"
 let checkpoint_file = "checkpoint.ckpt"
 let wal_file = "wal.log"
+let delta_file = "delta.log"
 
 type t = {
   io : Io.t;
   schema_v : Schema.t;
   auto_checkpoint : int;
+  delta_chain : int;  (** collapse the delta chain past this many segments *)
   (* the session's commit hook closes over this cell: a no-op while
      recovery replays the tail (those records are already durable), the
      log appender afterwards *)
@@ -16,6 +18,8 @@ type t = {
   mutable lsn_v : int;
   mutable wal_bytes_v : int;
   mutable wal_records_v : int;
+  mutable chain_len : int;  (** delta segments since the last full snapshot *)
+  mutable delta_bytes_v : int;
   mutable base : Checkpoint.meta;  (** session totals at last checkpoint *)
   mutable counted : Directory.stats;  (** live counters at last checkpoint *)
   (* group commit: while [Some buf], accepted transactions buffer their
@@ -50,15 +54,22 @@ type report = {
   replayed : int;
   skipped : int;
   tail : tail;
+  delta_segments : int;
+  delta_replayed : int;
+  delta_tail : tail;
 }
 
-let pp_report ppf r =
-  Format.fprintf ppf "checkpoint lsn %d, %d replayed, %d skipped"
-    r.checkpoint_lsn r.replayed r.skipped;
-  match r.tail with
-  | Clean -> Format.fprintf ppf ", tail clean"
+let pp_tail ppf = function
+  | Clean -> Format.fprintf ppf "clean"
   | Recovered_at { offset; reason } ->
-      Format.fprintf ppf ", recovered at byte %d (%s)" offset reason
+      Format.fprintf ppf "recovered at byte %d (%s)" offset reason
+
+let pp_report ppf r =
+  Format.fprintf ppf "checkpoint lsn %d, %d replayed, %d skipped, tail %a"
+    r.checkpoint_lsn r.replayed r.skipped pp_tail r.tail;
+  if r.delta_segments > 0 || r.delta_tail <> Clean then
+    Format.fprintf ppf "; delta: %d segment(s), %d replayed, %a"
+      r.delta_segments r.delta_replayed pp_tail r.delta_tail
 
 let exists io = io.Io.read schema_file <> None
 
@@ -67,6 +78,8 @@ let directory t = t.dir
 let lsn t = t.lsn_v
 let wal_bytes t = t.wal_bytes_v
 let wal_records t = t.wal_records_v
+let delta_segments t = t.chain_len
+let delta_bytes t = t.delta_bytes_v
 
 let stats t =
   let s = Directory.stats t.dir in
@@ -100,14 +113,52 @@ let wal_hook t ops _dir =
       t.wal_bytes_v <- t.wal_bytes_v + bytes;
       t.wal_records_v <- t.wal_records_v + 1
 
-let checkpoint t =
+(* Collapse: rewrite the whole snapshot (atomic temp+rename), then drop
+   the delta chain and the log.  A crash after the rename leaves delta
+   and log records with lsn ≤ the new checkpoint's, which recovery skips
+   as duplicates — every intermediate state recovers. *)
+let full_checkpoint t =
   let meta = stats t in
   Checkpoint.write t.io checkpoint_file meta (Directory.instance t.dir);
+  t.io.Io.write delta_file "";
   Wal.reset t.io wal_file;
+  t.chain_len <- 0;
+  t.delta_bytes_v <- 0;
   t.wal_bytes_v <- 0;
   t.wal_records_v <- 0;
   t.base <- meta;
   t.counted <- Directory.stats t.dir
+
+(* Each delta segment starts with a marker record — lsn 0, no ops — so
+   recovery can count segments without side metadata; lsn 0 precedes
+   every real lsn, so the replay discipline skips it for free. *)
+let segment_marker = Wal.encode_record ~lsn:0 []
+
+(* O(Δ) compaction: fold the log into the delta chain.  The log records
+   are already CRC-framed and lsn-stamped, so the segment is one append
+   of bytes that already exist; recovery replays base + delta + log
+   under one lsn discipline.  Crash anywhere: before the append nothing
+   changed; a torn append truncates to whole records and the untouched
+   log still holds the segment (duplicates skip); between append and
+   reset, delta and log hold the same lsns (duplicates skip). *)
+let delta_checkpoint t =
+  if t.wal_records_v > 0 then begin
+    let bytes =
+      match t.io.Io.read wal_file with Some b -> b | None -> ""
+    in
+    t.io.Io.append delta_file (segment_marker ^ bytes);
+    Wal.reset t.io wal_file;
+    t.chain_len <- t.chain_len + 1;
+    t.delta_bytes_v <-
+      t.delta_bytes_v + String.length segment_marker + String.length bytes;
+    t.wal_bytes_v <- 0;
+    t.wal_records_v <- 0
+  end
+
+let checkpoint ?(full = false) t =
+  if full || t.delta_chain <= 0 || t.chain_len >= t.delta_chain then
+    full_checkpoint t
+  else delta_checkpoint t
 
 let apply t ops =
   match Directory.apply t.dir ops with
@@ -194,15 +245,19 @@ let load ?(trust = false) t feed =
       | _ :: _ as vs -> Error (Illegal vs)
       | [] ->
           t.dir <- dir;
-          (* commit: fresh checkpoint at the current lsn, then log reset.
-             A crash between the two leaves old records with lsn ≤ the
-             checkpoint's, which recovery skips as duplicates. *)
-          checkpoint t;
+          (* commit: fresh FULL checkpoint at the current lsn, then log
+             reset.  Loaded entries bypass the log, so only a whole
+             snapshot captures them — a delta segment here would lose
+             the load.  A crash between the two leaves old records with
+             lsn ≤ the checkpoint's, which recovery skips as
+             duplicates. *)
+          full_checkpoint t;
           Ok (Directory.size dir - before))
 
 let close t = Directory.close t.dir
 
-let init ?extensions ?pool ?(auto_checkpoint = 0) io schema inst =
+let init ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8) io schema
+    inst =
   if exists io then Error Already_a_store
   else
     let hook = ref (fun _ _ -> ()) in
@@ -227,6 +282,9 @@ let init ?extensions ?pool ?(auto_checkpoint = 0) io schema inst =
           }
         in
         Checkpoint.write io checkpoint_file meta inst;
+        (* clear any stale chain/log left behind by an earlier store in
+           the same directory (the marker was removed, not the data) *)
+        io.Io.write delta_file "";
         Wal.reset io wal_file;
         (* the schema is the store marker, written last: a crash anywhere
            during init leaves a directory [open_] refuses as Not_a_store *)
@@ -236,11 +294,14 @@ let init ?extensions ?pool ?(auto_checkpoint = 0) io schema inst =
             io;
             schema_v = schema;
             auto_checkpoint;
+            delta_chain;
             hook;
             dir;
             lsn_v = 0;
             wal_bytes_v = 0;
             wal_records_v = 0;
+            chain_len = 0;
+            delta_bytes_v = 0;
             base = meta;
             counted = s;
             batch_buf = None;
@@ -257,6 +318,7 @@ type replay_state = {
   mutable replayed : int;
   mutable skipped : int;
   mutable broke : Wal.truncation option;
+  mutable segments : int;  (** delta segment markers seen *)
 }
 
 (* Stream the log once ({!Wal.fold} — O(record) memory) and replay each
@@ -273,6 +335,42 @@ type replay_state = {
    keeps the original checked path ({!Directory.apply}, which re-runs
    admission per record) — the differential twin and benchmark
    baseline. *)
+(* One replay pass shared by the delta chain and the log: both files
+   hold the same CRC-framed records, and one lsn discipline covers the
+   whole fold — base checkpoint, then every delta segment in append
+   order, then the log.  Segment markers (lsn 0, no ops) are counted,
+   not replayed. *)
+let replay_file st ~apply_record io file =
+  Wal.fold io file
+    (fun () (r : Wal.record) ->
+      if st.broke <> None then ()
+      else if r.lsn = 0 && r.ops = [] then st.segments <- st.segments + 1
+      else if r.lsn <= st.cur then st.skipped <- st.skipped + 1
+      else if r.lsn = st.cur + 1 then
+        match apply_record r.ops with
+        | Ok () ->
+            st.cur <- r.lsn;
+            st.replayed <- st.replayed + 1
+        | Error rej ->
+            st.broke <-
+              Some
+                {
+                  Wal.offset = r.offset;
+                  reason =
+                    Format.asprintf "replay rejected: %a" Monitor.pp_rejection
+                      rej;
+                }
+      else
+        st.broke <-
+          Some
+            {
+              Wal.offset = r.offset;
+              reason =
+                Printf.sprintf "lsn gap: expected %d, found %d" (st.cur + 1)
+                  r.lsn;
+            })
+    ()
+
 let replay_log ~trusted ~ingest io dir0 ~lsn:lsn0 =
   let bulk =
     if trusted then Some (Directory.Bulk.start ~mode:ingest dir0) else None
@@ -288,44 +386,32 @@ let replay_log ~trusted ~ingest io dir0 ~lsn:lsn0 =
             Ok ()
         | Error rej -> Error rej)
   in
-  let st = { cur = lsn0; replayed = 0; skipped = 0; broke = None } in
-  let folded =
-    Wal.fold io wal_file
-      (fun () (r : Wal.record) ->
-        if st.broke <> None then ()
-        else if r.lsn <= st.cur then st.skipped <- st.skipped + 1
-        else if r.lsn = st.cur + 1 then
-          match apply_record r.ops with
-          | Ok () ->
-              st.cur <- r.lsn;
-              st.replayed <- st.replayed + 1
-          | Error rej ->
-              st.broke <-
-                Some
-                  {
-                    Wal.offset = r.offset;
-                    reason =
-                      Format.asprintf "replay rejected: %a" Monitor.pp_rejection
-                        rej;
-                  }
-        else
-          st.broke <-
-            Some
-              {
-                Wal.offset = r.offset;
-                reason =
-                  Printf.sprintf "lsn gap: expected %d, found %d" (st.cur + 1)
-                    r.lsn;
-              })
-      ()
+  (* Delta chain first: it holds the older folded segments. *)
+  let st = { cur = lsn0; replayed = 0; skipped = 0; broke = None; segments = 0 } in
+  let delta_folded = replay_file st ~apply_record io delta_file in
+  let delta_replayed = st.replayed and delta_skipped = st.skipped in
+  let delta_broke =
+    match st.broke with
+    | Some _ as b -> b
+    | None -> delta_folded.Wal.truncated
   in
+  (* A damaged delta tail ends the chain; the log may still bridge the
+     lost suffix (a torn segment append leaves the log un-reset, so the
+     same records replay from there as duplicates-then-fresh). *)
+  st.broke <- None;
+  let folded = replay_file st ~apply_record io wal_file in
   let dir =
     match bulk with Some b -> Directory.Bulk.finish b | None -> !checked_dir
   in
-  (dir, st, folded)
+  let wal_replayed = st.replayed - delta_replayed
+  and wal_skipped = st.skipped - delta_skipped in
+  ( dir,
+    `Wal (st.cur, wal_replayed, wal_skipped, st.broke, folded),
+    `Delta (delta_replayed, delta_broke, delta_folded.Wal.end_offset, st.segments)
+  )
 
-let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(trusted = true)
-    ?(ingest = `Auto) io =
+let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8)
+    ?(trusted = true) ?(ingest = `Auto) io =
   match io.Io.read schema_file with
   | None -> Error (Not_a_store ("missing " ^ schema_file))
   | Some spec -> (
@@ -347,13 +433,25 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(trusted = true)
               | Error vs -> Error (Illegal vs)
               | Ok dir0 ->
                   let counted = Directory.stats dir0 in
-                  let dir, st, folded =
+                  let ( dir,
+                        `Wal (cur, wal_replayed, wal_skipped, wal_broke, folded),
+                        `Delta (delta_replayed, delta_broke, delta_end, segments)
+                      ) =
                     replay_log ~trusted ~ingest io dir0
                       ~lsn:meta.Checkpoint.lsn
                   in
+                  let delta_tail, delta_end =
+                    match delta_broke with
+                    | None -> (Clean, delta_end)
+                    | Some { Wal.offset; reason } ->
+                        (* cut the chain back to whole segments/records so
+                           the next segment append extends valid frames *)
+                        Wal.truncate io delta_file ~keep:offset;
+                        (Recovered_at { offset; reason }, offset)
+                  in
                   let truncated =
-                    match st.broke with
-                    | Some _ -> st.broke
+                    match wal_broke with
+                    | Some _ -> wal_broke
                     | None -> folded.Wal.truncated
                   in
                   let tail, valid_end =
@@ -370,11 +468,14 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(trusted = true)
                       io;
                       schema_v = schema;
                       auto_checkpoint;
+                      delta_chain;
                       hook;
                       dir;
-                      lsn_v = st.cur;
+                      lsn_v = cur;
                       wal_bytes_v = valid_end;
-                      wal_records_v = st.replayed + st.skipped;
+                      wal_records_v = wal_replayed + wal_skipped;
+                      chain_len = segments;
+                      delta_bytes_v = delta_end;
                       base = meta;
                       counted;
                       batch_buf = None;
@@ -386,7 +487,10 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(trusted = true)
                     ( t,
                       {
                         checkpoint_lsn = meta.Checkpoint.lsn;
-                        replayed = st.replayed;
-                        skipped = st.skipped;
+                        replayed = wal_replayed;
+                        skipped = wal_skipped;
                         tail;
+                        delta_segments = segments;
+                        delta_replayed;
+                        delta_tail;
                       } ))))

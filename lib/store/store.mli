@@ -1,25 +1,31 @@
 (** Durable directory sessions.
 
     A store is a directory session ({!Bounds_core.Directory}) layered
-    over three files inside one store directory:
+    over four files inside one store directory:
 
     - [schema.spec] — the bounding-schema, written once at {!init} (its
       presence is the store marker: it is the last file [init] writes);
     - [checkpoint.ckpt] — one {!Frame}-wrapped snapshot of the instance
-      at some log sequence number, replaced atomically by {!checkpoint};
+      at some log sequence number, replaced atomically only by a {e full}
+      {!checkpoint} (collapse) or a bulk {!load};
+    - [delta.log] — the delta-checkpoint chain: each O(Δ) {!checkpoint}
+      folds the current log into it as one CRC-framed segment behind a
+      marker record, collapsed into a fresh full snapshot once the chain
+      exceeds the [delta_chain] threshold;
     - [wal.log] — the write-ahead transaction log: every transaction
-      accepted since the checkpoint, appended as one CRC-framed record
-      {e before} {!apply} acknowledges it (via
+      accepted since the last checkpoint, appended as one CRC-framed
+      record {e before} {!apply} acknowledges it (via
       {!Bounds_core.Directory.commit_hook}).
 
-    Recovery ({!open_}) loads the checkpoint, replays the log tail in
-    lsn order, and {e truncates} the log at the first record that is
-    torn, corrupt, out of sequence, or rejected by the legality monitor
-    — damaged tails yield a positioned {!Recovered_at} report, never an
-    exception.  Records whose lsn the checkpoint already covers are
-    skipped as duplicates, which is what makes the
-    checkpoint-then-reset compaction sequence crash-safe at every
-    intermediate point.
+    Recovery ({!open_}) loads the checkpoint, folds the delta chain and
+    then the log tail in lsn order, and {e truncates} the damaged file
+    at the first record that is torn, corrupt, out of sequence, or
+    rejected by the legality monitor — damaged tails yield a positioned
+    {!Recovered_at} report, never an exception.  Records whose lsn is
+    already covered are skipped as duplicates, which is what makes both
+    compaction sequences (segment-append-then-reset and
+    snapshot-rewrite-then-reset) crash-safe at every intermediate
+    point.
 
     All I/O goes through an {!Io.t}, so the same code runs against real
     files ({!Io.real}) and against the fault-injecting harness
@@ -33,6 +39,7 @@ open Bounds_core
 val schema_file : string
 val checkpoint_file : string
 val wal_file : string
+val delta_file : string
 
 type t
 
@@ -58,10 +65,13 @@ type tail =
           was wrong with the first discarded record *)
 
 type report = {
-  checkpoint_lsn : int;  (** lsn of the loaded checkpoint *)
-  replayed : int;  (** tail records re-applied *)
-  skipped : int;  (** duplicate records (lsn ≤ checkpoint) skipped *)
+  checkpoint_lsn : int;  (** lsn of the loaded base checkpoint *)
+  replayed : int;  (** log tail records re-applied *)
+  skipped : int;  (** duplicate log records (lsn already covered) skipped *)
   tail : tail;
+  delta_segments : int;  (** delta-chain segments folded before the log *)
+  delta_replayed : int;  (** delta-chain records re-applied *)
+  delta_tail : tail;  (** how the delta chain itself ended *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -78,6 +88,7 @@ val init :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
   ?auto_checkpoint:int ->
+  ?delta_chain:int ->
   Io.t ->
   Schema.t ->
   Instance.t ->
@@ -103,6 +114,7 @@ val open_ :
   ?extensions:bool ->
   ?pool:Bounds_par.Pool.t ->
   ?auto_checkpoint:int ->
+  ?delta_chain:int ->
   ?trusted:bool ->
   ?ingest:Directory.Bulk.mode ->
   Io.t ->
@@ -123,6 +135,12 @@ val lsn : t -> int
 val wal_bytes : t -> int
 
 val wal_records : t -> int
+
+(** Delta-chain length / size (segments folded since the last full
+    snapshot; zero right after a full {!checkpoint} or {!load}). *)
+val delta_segments : t -> int
+
+val delta_bytes : t -> int
 
 (** Session statistics accumulated {e across} crashes: the checkpoint
     header's totals plus everything the live session has done since. *)
@@ -157,10 +175,20 @@ val apply : t -> Update.op list -> (Directory.t, Monitor.rejection) result
     programming error. *)
 val batch : t -> (unit -> 'a) -> 'a
 
-(** Compact: write a fresh checkpoint at the current lsn (atomic
-    replace), then reset the log.  A crash between the two leaves
-    duplicate records that recovery skips. *)
-val checkpoint : t -> unit
+(** Compact in O(Δ): fold the current log into the delta chain — one
+    append of the already-framed record bytes behind a segment marker —
+    then reset the log.  Once the chain reaches [delta_chain] segments
+    (or with [~full:true], or [delta_chain ≤ 0]), collapse instead:
+    rewrite the whole snapshot (atomic replace), drop the chain, reset
+    the log — the old O(|D|) behaviour, now amortized over the chain.
+
+    Recovery folds base + delta chain + log under one lsn discipline, so
+    every intermediate state of either sequence recovers: a torn segment
+    append truncates to whole records while the un-reset log still holds
+    the same lsns; a crash between append and log reset leaves
+    duplicates that replay skips; a crash inside a collapse leaves
+    delta/log records the new snapshot already covers. *)
+val checkpoint : ?full:bool -> t -> unit
 
 (** [load t feed] — streaming bulk load.  [feed add] drives the load,
     calling [add ~parent entry] once per entry (parents before

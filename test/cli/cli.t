@@ -213,6 +213,7 @@ Differential fuzzing (a tiny deterministic budget; oracle list is stable):
   par-vs-seq-eval          pooled index build + Eval is bit-identical to the sequential path
   store-roundtrip          a WAL-persisted session recovers to its in-memory twin (instance, legality, obligation answers)
   trusted-replay           recovery via trusted replay (auto/batch/incremental ingest) agrees with checked replay (instance, legality, obligation answers)
+  intern-transparency      evaluation with interning disabled agrees with the interned path (instance, legality, obligation answers)
   $ ldapschema fuzz --oracle b64-strict --oracle filter-text --budget 50 --seed 42
   b64-strict                   50 cases  ok
   filter-text                  50 cases  ok
@@ -268,11 +269,13 @@ A rejected transaction touches neither the session nor the log:
     lsn 2: 1 op(s) at byte 108
   tail: clean
 
-Checkpointing compacts: snapshot at the current lsn, then reset the log:
+Checkpointing compacts in O(delta): the log folds into the delta chain
+as one CRC-framed segment (the base snapshot is rewritten only with
+--full or past the chain threshold), then the log resets:
 
   $ ldapschema checkpoint S
   store: checkpoint lsn 0, 2 replayed, 0 skipped, tail clean
-  checkpointed at lsn 2 (4 entries); log reset
+  delta checkpoint at lsn 2 (1 segment(s), 239 bytes); log reset
   $ cat > ops3.ldif <<'EOF'
   > dn: uid=edsger,name=research
   > objectClass: person
@@ -281,7 +284,7 @@ Checkpointing compacts: snapshot at the current lsn, then reset the log:
   > uid: edsger
   > EOF
   $ ldapschema update -o ops3.ldif --store S
-  store: checkpoint lsn 2, 0 replayed, 0 skipped, tail clean
+  store: checkpoint lsn 0, 0 replayed, 0 skipped, tail clean; delta: 1 segment(s), 2 replayed, clean
   transaction accepted: 1 operation(s), 5 entries now
   logged at lsn 3 (1 record(s), 114 bytes)
 
@@ -291,19 +294,40 @@ recovery rolls back to the durable prefix, never crashes:
 
   $ dd if=S/wal.log of=S/wal.tmp bs=1 count=60 2>/dev/null && mv S/wal.tmp S/wal.log
   $ ldapschema log S
-  checkpoint: lsn 2, 4 entries
-  stats: applied 2 rejected 0 queries 0
+  checkpoint: lsn 0, 2 entries
+  stats: applied 0 rejected 0 queries 0
+  delta: 1 segment(s), 2 record(s), 239 bytes
   log: 0 record(s), 0 bytes
   tail: damaged at byte 0 (truncated frame payload)
   [1]
   $ ldapschema validate --store S
-  store: checkpoint lsn 2, 0 replayed, 0 skipped, recovered at byte 0 (truncated frame payload)
+  store: checkpoint lsn 0, 0 replayed, 0 skipped, tail recovered at byte 0 (truncated frame payload); delta: 1 segment(s), 2 replayed, clean
   S: legal (4 entries)
+  $ ldapschema log S
+  checkpoint: lsn 0, 2 entries
+  stats: applied 0 rejected 0 queries 0
+  delta: 1 segment(s), 2 record(s), 239 bytes
+  log: 0 record(s), 0 bytes
+  tail: clean
+
+A full checkpoint collapses the chain back into one snapshot:
+
+  $ ldapschema checkpoint --full S
+  store: checkpoint lsn 0, 0 replayed, 0 skipped, tail clean; delta: 1 segment(s), 2 replayed, clean
+  checkpointed at lsn 2 (4 entries); chain collapsed, log reset
   $ ldapschema log S
   checkpoint: lsn 2, 4 entries
   stats: applied 2 rejected 0 queries 0
   log: 0 record(s), 0 bytes
   tail: clean
+
+The stats verb recovers the store and reports the session counters,
+including the hash-cons pools (counts vary with the instance, so just
+check the shape):
+
+  $ ldapschema stats S | sed -n 's/^entries: .*/entries ok/p; s/^intern:.*/intern ok/p'
+  entries ok
+  intern ok
 
 Streaming bulk load: entries stream straight into a batched index build
 and bypass the log; the commit is one atomic checkpoint replace.  An

@@ -29,6 +29,28 @@ let test_oclass () =
   check "invalid" true (Oclass.of_string_opt "a b" = None);
   check "underscore ok" true (Oclass.of_string_opt "a_b" <> None)
 
+(* --- Intern ----------------------------------------------------------- *)
+
+let test_intern_sharing () =
+  (* two independent parses of the same name share one heap block; the
+     copies start distinct, so [==] really observes the pool *)
+  let raw1 = String.lowercase_ascii "MAIL" and raw2 = String.sub "mailx" 0 4 in
+  check "copies distinct" false (raw1 == raw2);
+  let a = Attr.to_string (Attr.of_string raw1)
+  and b = Attr.to_string (Attr.of_string raw2) in
+  check "attr canonical" true (a == b);
+  (match (Value.intern (Value.String (String.sub "Parisx" 0 5)),
+          Value.intern (Value.String (String.sub "xParis" 1 5)))
+   with
+  | Value.String x, Value.String y -> check "value canonical" true (x == y)
+  | _ -> Alcotest.fail "intern changed the constructor");
+  check "int passes through" true (Value.intern (Value.Int 3) = Value.Int 3);
+  (* disabled: share is the identity, existing canonicals untouched *)
+  let fresh = String.sub "mailz" 0 4 in
+  Intern.with_disabled (fun () ->
+      check "disabled share = identity" true (Intern.share Intern.attr fresh == fresh));
+  check "canonical survives disable" true (Intern.share Intern.attr fresh == a)
+
 (* --- Value / Atype / Typing ------------------------------------------- *)
 
 let test_value_typing () =
@@ -372,6 +394,24 @@ let prop_preorder_complete =
                  pos p < pos id)
            (Instance.ids t))
 
+(* pool laws: share is canonical and idempotent, ids are stable and
+   invertible, find_id never pollutes *)
+let prop_intern_laws =
+  QCheck.Test.make ~name:"intern pool laws" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 1 12) Gen.printable)
+    (fun s ->
+      let pool = Intern.rdn in
+      let c = Intern.share pool s in
+      let c' = Intern.share pool (String.sub s 0 (String.length s)) in
+      let i = Intern.id pool s in
+      String.equal c s
+      && c == c' (* canonical: every equal string maps to one block *)
+      && Intern.share pool c == c (* idempotent on the canonical copy *)
+      && i = Intern.id pool c (* id agrees however the string is spelled *)
+      && Intern.find_id pool s = Some i
+      && Intern.get pool i == c (* get inverts id, physically *)
+      && Intern.size pool > i)
+
 let () =
   Alcotest.run "model"
     [
@@ -380,6 +420,7 @@ let () =
           Alcotest.test_case "attr normalization" `Quick test_attr_normalization;
           Alcotest.test_case "attr invalid" `Quick test_attr_invalid;
           Alcotest.test_case "oclass" `Quick test_oclass;
+          Alcotest.test_case "intern sharing" `Quick test_intern_sharing;
         ] );
       ( "values",
         [
@@ -418,5 +459,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_descendants_vs_ancestor_test;
           QCheck_alcotest.to_alcotest prop_subtree_remove_graft_identity;
           QCheck_alcotest.to_alcotest prop_preorder_complete;
+          QCheck_alcotest.to_alcotest prop_intern_laws;
         ] );
     ]

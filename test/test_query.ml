@@ -608,6 +608,80 @@ let arb_sets =
            (list_size (int_bound 40) (int_bound (n - 1))))
       >|= fun (n, (xs, ys)) -> (n, xs, ys))
 
+(* --- word-kernel vs byte-reference bit identity -------------------------- *)
+
+(* The byte-at-a-time kernels the word-level rewrite replaced, kept here
+   as the reference semantics.  Universe sizes are drawn to land on every
+   tail residue (0..7 bytes past a word boundary). *)
+module Byte_ref = struct
+  let union_into ~into src =
+    List.iter (Bitset.set into) (Bitset.elements src)
+
+  let inter a b =
+    Bitset.of_list (Bitset.length a)
+      (List.filter (Bitset.mem b) (Bitset.elements a))
+
+  let union a b =
+    Bitset.of_list (Bitset.length a) (Bitset.elements a @ Bitset.elements b)
+
+  let diff a b =
+    Bitset.of_list (Bitset.length a)
+      (List.filter (fun i -> not (Bitset.mem b i)) (Bitset.elements a))
+
+  let cardinal a =
+    List.fold_left (fun n _ -> n + 1) 0 (Bitset.elements a)
+
+  let iter_range f s ~lo ~hi =
+    for i = max lo 0 to min hi (Bitset.length s) - 1 do
+      if Bitset.mem s i then f i
+    done
+end
+
+let arb_word_sets =
+  QCheck.make
+    ~print:(fun (n, xs, ys, lo, hi) ->
+      Printf.sprintf "n=%d lo=%d hi=%d xs=%s ys=%s" n lo hi
+        (String.concat "," (List.map string_of_int xs))
+        (String.concat "," (List.map string_of_int ys)))
+    QCheck.Gen.(
+      (* words + every byte-tail residue, plus tiny universes *)
+      oneof [ int_range 1 80; int_range 120 200; return 64; return 128 ]
+      >>= fun n ->
+      list_size (int_bound 60) (int_bound (n - 1)) >>= fun xs ->
+      list_size (int_bound 60) (int_bound (n - 1)) >>= fun ys ->
+      int_bound (n + 2) >>= fun lo ->
+      int_bound (n + 2) >|= fun hi -> (n, xs, ys, lo - 1, hi))
+
+let prop_bitset_word_kernels =
+  QCheck.Test.make ~name:"word kernels = byte reference (bit identity)"
+    ~count:500 arb_word_sets (fun (n, xs, ys, lo, hi) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let id bs bs' = Bitset.equal bs bs' && Bitset.elements bs = Bitset.elements bs' in
+      let into_u = Bitset.copy a and into_u' = Bitset.copy a in
+      Bitset.union_into ~into:into_u b;
+      Byte_ref.union_into ~into:into_u' b;
+      let into_i = Bitset.copy a in
+      Bitset.inter_into ~into:into_i b;
+      let range s =
+        let acc = ref [] in
+        Bitset.iter_range (fun i -> acc := i :: !acc) s ~lo ~hi;
+        List.rev !acc
+      and range' s =
+        let acc = ref [] in
+        Byte_ref.iter_range (fun i -> acc := i :: !acc) s ~lo ~hi;
+        List.rev !acc
+      in
+      id (Bitset.union a b) (Byte_ref.union a b)
+      && id (Bitset.inter a b) (Byte_ref.inter a b)
+      && id (Bitset.diff a b) (Byte_ref.diff a b)
+      && id into_u into_u'
+      && id into_i (Byte_ref.inter a b)
+      && Bitset.cardinal a = Byte_ref.cardinal a
+      && Bitset.is_empty a = (Byte_ref.cardinal a = 0)
+      && Bitset.subset a b = Bitset.is_empty (Byte_ref.diff a b)
+      && range a = range' a
+      && range (Bitset.full n) = range' (Bitset.full n))
+
 let prop_bitset_model =
   QCheck.Test.make ~name:"bitset ops match the set model" ~count:300 arb_sets
     (fun (n, xs, ys) ->
@@ -745,6 +819,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_filter_roundtrip_adversarial;
           QCheck_alcotest.to_alcotest prop_query_roundtrip_adversarial;
           QCheck_alcotest.to_alcotest prop_bitset_model;
+          QCheck_alcotest.to_alcotest prop_bitset_word_kernels;
           QCheck_alcotest.to_alcotest prop_search_reference;
           QCheck_alcotest.to_alcotest prop_extent_brackets_subtree;
         ] );

@@ -245,13 +245,13 @@ let test_duplicate_tail () =
      already covers every logged record, so recovery skips them all *)
   let fs, st0 = fresh_store () in
   ignore st0;
-  (* script ops: 0 append, 1 append, then checkpoint = 2 tmp write,
-     3 rename, 4 log reset *)
+  (* script ops: 0 append, 1 append, then full checkpoint = 2 tmp write,
+     3 rename, 4 delta reset, 5 log reset; crash before the resets *)
   let faulty = Io.faulty ~faults:[ Io.Crash_at 4 ] (Io.mem fs) in
   let st, _ = get_store "open faulty" (Store.open_ faulty) in
   let _ = get_apply "t1" (Store.apply st txn1) in
   let _ = get_apply "t2" (Store.apply st txn2) in
-  (match Store.checkpoint st with
+  (match Store.checkpoint ~full:true st with
   | exception Io.Crash -> ()
   | () -> Alcotest.fail "checkpoint survived the scheduled crash");
   let st', report = reopen "duplicate tail" fs in
@@ -298,7 +298,7 @@ let test_checkpoint_empty_log () =
   let fs, st = fresh_store () in
   let _ = get_apply "t1" (Store.apply st txn1) in
   let _ = get_apply "t2" (Store.apply st txn2) in
-  Store.checkpoint st;
+  Store.checkpoint ~full:true st;
   check_int "wal reset" 0 (Store.wal_bytes st);
   let st', report = reopen "checkpoint + empty log" fs in
   check_int "checkpoint lsn" 2 report.Store.checkpoint_lsn;
@@ -310,6 +310,115 @@ let test_checkpoint_empty_log () =
   (* stats survived the compaction *)
   check_int "applied carried" 2 (Store.stats st').Checkpoint.applied
 
+(* --- delta checkpoints ----------------------------------------------------- *)
+
+let test_delta_checkpoint () =
+  let fs, st = fresh_store () in
+  let _ = get_apply "t1" (Store.apply st txn1) in
+  let _ = get_apply "t2" (Store.apply st txn2) in
+  Store.checkpoint st;
+  check_int "wal reset" 0 (Store.wal_bytes st);
+  check_int "one segment" 1 (Store.delta_segments st);
+  let _ = get_apply "t3" (Store.apply st txn3) in
+  Store.checkpoint st;
+  check_int "two segments" 2 (Store.delta_segments st);
+  (* the base snapshot was not rewritten: still the lsn-0 image *)
+  let meta =
+    Result.get_ok (Checkpoint.read_meta (Io.mem fs) Store.checkpoint_file)
+  in
+  check_int "base lsn" 0 meta.Checkpoint.lsn;
+  let st', report = reopen "delta reopen" fs in
+  check_int "lsn" 3 (Store.lsn st');
+  check_int "checkpoint lsn" 0 report.Store.checkpoint_lsn;
+  check_int "delta segments" 2 report.Store.delta_segments;
+  check_int "delta replayed" 3 report.Store.delta_replayed;
+  check_int "wal replayed" 0 report.Store.replayed;
+  check "delta clean" true (report.Store.delta_tail = Store.Clean);
+  check "wal clean" true (report.Store.tail = Store.Clean);
+  check_state "delta" st' (after [ txn1; txn2; txn3 ]);
+  (* an empty log folds to nothing: no marker-only segments *)
+  Store.checkpoint st';
+  check_int "no empty segment" 2 (Store.delta_segments st')
+
+let test_delta_collapse () =
+  let fs = Io.fresh_fs () in
+  let st =
+    get_store "init"
+      (Store.init ~delta_chain:2 (Io.mem fs) WP.schema WP.instance)
+  in
+  let _ = get_apply "t1" (Store.apply st txn1) in
+  Store.checkpoint st;
+  let _ = get_apply "t2" (Store.apply st txn2) in
+  Store.checkpoint st;
+  check_int "chain at threshold" 2 (Store.delta_segments st);
+  let _ = get_apply "t3" (Store.apply st txn3) in
+  Store.checkpoint st;
+  (* chain was at the threshold: this one collapsed to a full snapshot *)
+  check_int "collapsed" 0 (Store.delta_segments st);
+  let meta =
+    Result.get_ok (Checkpoint.read_meta (Io.mem fs) Store.checkpoint_file)
+  in
+  check_int "snapshot lsn" 3 meta.Checkpoint.lsn;
+  check_int "applied persisted" 3 meta.Checkpoint.applied;
+  let st', report = reopen "collapse reopen" fs in
+  check_int "lsn" 3 (Store.lsn st');
+  check_int "checkpoint lsn" 3 report.Store.checkpoint_lsn;
+  check_int "delta segments" 0 report.Store.delta_segments;
+  check "delta clean" true (report.Store.delta_tail = Store.Clean);
+  check_state "collapse" st' (after [ txn1; txn2; txn3 ])
+
+let test_delta_torn_segment () =
+  (* a torn segment append: the chain truncates back to whole records,
+     and the log — not yet reset when the crash hit — still holds every
+     record of the segment *)
+  let fs, st0 = fresh_store () in
+  ignore st0;
+  (* ops: 0 append, 1 append, 2 delta segment append, 3 log reset *)
+  let faulty = Io.faulty ~faults:[ Io.Tear { op = 2; keep = 5 } ] (Io.mem fs) in
+  let st, _ = get_store "open faulty" (Store.open_ faulty) in
+  let _ = get_apply "t1" (Store.apply st txn1) in
+  let _ = get_apply "t2" (Store.apply st txn2) in
+  (match Store.checkpoint st with
+  | exception Io.Crash -> ()
+  | () -> Alcotest.fail "delta checkpoint survived the scheduled tear");
+  let st', report = reopen "torn segment" fs in
+  check_int "lsn" 2 (Store.lsn st');
+  check_int "wal replayed" 2 report.Store.replayed;
+  (match report.Store.delta_tail with
+  | Store.Recovered_at { offset = 0; _ } -> ()
+  | _ -> Alcotest.fail "delta tail was not truncated at byte 0");
+  check_state "torn segment" st' (after [ txn1; txn2 ]);
+  (* the next delta checkpoint extends the truncated chain cleanly *)
+  Store.checkpoint st';
+  check_int "segment after heal" 1 (Store.delta_segments st');
+  let st'', report' = reopen "healed" fs in
+  check_int "healed lsn" 2 (Store.lsn st'');
+  check "healed delta clean" true (report'.Store.delta_tail = Store.Clean);
+  check_int "healed delta replayed" 2 report'.Store.delta_replayed;
+  check_state "healed" st'' (after [ txn1; txn2 ])
+
+let test_delta_duplicate_log () =
+  (* crash between the segment append and the log reset: delta chain and
+     log hold the same lsns; replay applies them once and skips the
+     duplicates *)
+  let fs, st0 = fresh_store () in
+  ignore st0;
+  let faulty = Io.faulty ~faults:[ Io.Crash_at 3 ] (Io.mem fs) in
+  let st, _ = get_store "open faulty" (Store.open_ faulty) in
+  let _ = get_apply "t1" (Store.apply st txn1) in
+  let _ = get_apply "t2" (Store.apply st txn2) in
+  (match Store.checkpoint st with
+  | exception Io.Crash -> ()
+  | () -> Alcotest.fail "delta checkpoint survived the scheduled crash");
+  let st', report = reopen "duplicate log" fs in
+  check_int "lsn" 2 (Store.lsn st');
+  check_int "delta segments" 1 report.Store.delta_segments;
+  check_int "delta replayed" 2 report.Store.delta_replayed;
+  check_int "log duplicates skipped" 2 report.Store.skipped;
+  check "delta clean" true (report.Store.delta_tail = Store.Clean);
+  check "wal clean" true (report.Store.tail = Store.Clean);
+  check_state "duplicate log" st' (after [ txn1; txn2 ])
+
 let test_auto_checkpoint () =
   let fs = Io.fresh_fs () in
   let st =
@@ -319,13 +428,14 @@ let test_auto_checkpoint () =
   let _ = get_apply "t1" (Store.apply st txn1) in
   check_int "one record pending" 1 (Store.wal_records st);
   let _ = get_apply "t2" (Store.apply st txn2) in
-  (* second record crossed the threshold: compacted *)
+  (* second record crossed the threshold: compacted into a delta segment *)
   check_int "log reset" 0 (Store.wal_records st);
-  let meta = Result.get_ok (Checkpoint.read_meta (Io.mem fs) Store.checkpoint_file) in
-  check_int "checkpoint lsn" 2 meta.Checkpoint.lsn;
+  check_int "delta segment" 1 (Store.delta_segments st);
   let st', report = reopen "auto checkpoint" fs in
   check_int "lsn" 2 (Store.lsn st');
   check "clean" true (report.Store.tail = Store.Clean);
+  check_int "delta segments recovered" 1 report.Store.delta_segments;
+  check_int "delta replayed" 2 report.Store.delta_replayed;
   check_state "auto checkpoint" st' (after [ txn1; txn2 ])
 
 let test_init_guards () =
@@ -340,14 +450,19 @@ let test_init_guards () =
 
 (* --- crash-point property -------------------------------------------------- *)
 
-(* One scripted session: some transactions, a checkpoint in the middle,
-   more transactions.  [run] drives it against any handle, counting the
-   transactions acknowledged before a crash (if any). *)
+(* One scripted session: some transactions, an O(Δ) delta checkpoint in
+   the middle, more transactions, and a full (collapse) checkpoint at
+   the end — so the crash points cover every intermediate state of both
+   compaction sequences (segment-append + log-reset, and
+   snapshot-rewrite + delta-reset + log-reset with a non-empty chain).
+   [run] drives it against any handle, counting the transactions
+   acknowledged before a crash (if any). *)
 type script = {
   schema : Schema.t;
   seed_inst : Instance.t;
   txns : Update.op list list;  (* every one accepted in the clean run *)
-  ckpt_after : int;  (* checkpoint once this many txns are in *)
+  ckpt_after : int;  (* delta checkpoint once this many txns are in *)
+  ckpt_full_after : int;  (* full checkpoint once this many txns are in *)
   states : Instance.t array;  (* states.(k) = seed + first k txns *)
 }
 
@@ -364,7 +479,9 @@ let run_script script io =
              | Error r ->
                  Alcotest.failf "script txn %d rejected: %s" i
                    (Format.asprintf "%a" Monitor.pp_rejection r));
-             if i + 1 = script.ckpt_after then Store.checkpoint st)
+             if i + 1 = script.ckpt_after then Store.checkpoint st;
+             if i + 1 = script.ckpt_full_after then
+               Store.checkpoint ~full:true st)
            script.txns
        with Io.Crash -> ());
       !acked
@@ -398,6 +515,7 @@ let make_script seed =
       seed_inst = inst0;
       txns;
       ckpt_after = (List.length txns + 1) / 2;
+      ckpt_full_after = List.length txns;
       states = Array.of_list (List.rev !states);
     },
     inst0 )
@@ -514,6 +632,80 @@ let prop_crash_recovery =
           check_recovery ~what script fs acked)
         (crash_points trace);
       true)
+
+(* Interning is stable across durability: recovery decodes the very
+   strings the log and checkpoint encoded, [Intern.share] finds the
+   existing pool slots, so every live string resolves to the same id as
+   before the crash, every recovered attribute and string value is
+   physically the canonical copy ([==], not just [=]), and a second
+   recovery of the same bytes mints no new ids at all (the pools are at
+   a fixed point). *)
+let prop_intern_stable_across_recovery =
+  QCheck.Test.make ~name:"intern ids stable across checkpoint/recover"
+    ~count:30
+    QCheck.(make ~print:(Printf.sprintf "seed=%d") Gen.(int_bound 10_000))
+    (fun seed ->
+      let script, _ = make_script seed in
+      let fs = Io.fresh_fs () in
+      let st =
+        get_store "intern init"
+          (Store.init (Io.mem fs) script.schema script.seed_inst)
+      in
+      List.iteri
+        (fun i txn ->
+          ignore (get_apply "intern txn" (Store.apply st txn));
+          if i + 1 = script.ckpt_after then Store.checkpoint st)
+        script.txns;
+      Store.close st;
+      (* the id every attribute and string value resolves to pre-recovery *)
+      let witness inst =
+        Instance.fold
+          (fun e acc ->
+            List.fold_left
+              (fun acc (at, v) ->
+                let s = Attr.to_string at in
+                let acc = (s, Intern.find_id Intern.attr s) :: acc in
+                match v with
+                | Value.String p | Value.Dn p ->
+                    (p, Intern.find_id Intern.value p) :: acc
+                | Value.Int _ | Value.Bool _ -> acc)
+              acc (Entry.stored_pairs e))
+          inst []
+      in
+      let final = script.states.(List.length script.txns) in
+      let before = witness final in
+      if List.exists (fun (_, i) -> i = None) before then
+        QCheck.Test.fail_report "live strings missing from the pools";
+      let st', _ = get_store "intern reopen" (Store.open_ (Io.mem fs)) in
+      let recovered = Directory.instance (Store.directory st') in
+      let canonical =
+        Instance.fold
+          (fun e ok ->
+            ok
+            && List.for_all
+                 (fun (at, v) ->
+                   let s = Attr.to_string at in
+                   Intern.share Intern.attr s == s
+                   &&
+                   match v with
+                   | Value.String p | Value.Dn p ->
+                       Intern.share Intern.value p == p
+                   | Value.Int _ | Value.Bool _ -> true)
+                 (Entry.stored_pairs e))
+          recovered true
+      in
+      let after_ids = witness recovered in
+      Store.close st';
+      let sizes () = List.map (fun s -> s.Intern.distinct) (Intern.stats ()) in
+      let s0 = sizes () in
+      let st'', _ =
+        get_store "intern reopen2" (Store.open_ (Io.mem (Io.copy_fs fs)))
+      in
+      let s1 = sizes () in
+      Store.close st'';
+      canonical
+      && List.sort compare before = List.sort compare after_ids
+      && s0 = s1)
 
 (* --- trusted replay and bulk ingest ---------------------------------------- *)
 
@@ -640,6 +832,12 @@ let () =
           Alcotest.test_case "empty log" `Quick test_empty_log;
           Alcotest.test_case "checkpoint + empty log" `Quick
             test_checkpoint_empty_log;
+          Alcotest.test_case "delta checkpoint" `Quick test_delta_checkpoint;
+          Alcotest.test_case "delta collapse" `Quick test_delta_collapse;
+          Alcotest.test_case "delta torn segment" `Quick
+            test_delta_torn_segment;
+          Alcotest.test_case "delta duplicate log" `Quick
+            test_delta_duplicate_log;
           Alcotest.test_case "auto checkpoint" `Quick test_auto_checkpoint;
           Alcotest.test_case "init guards" `Quick test_init_guards;
         ] );
@@ -651,6 +849,7 @@ let () =
       ( "recovery",
         [
           QCheck_alcotest.to_alcotest prop_crash_recovery;
+          QCheck_alcotest.to_alcotest prop_intern_stable_across_recovery;
           Alcotest.test_case "real files" `Quick test_real_io;
         ] );
     ]
