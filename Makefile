@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke bench-scale fault-smoke fuzz-smoke serve-smoke doc clean
+.PHONY: all test bench bench-smoke bench-scale bench-write fault-smoke fuzz-smoke serve-smoke doc clean
 
 all:
 	dune build
@@ -10,10 +10,10 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Tiny-quota sanity run of the perf experiments (P1-P7); leaves
+# Tiny-quota sanity run of the perf experiments (P1-P8); leaves
 # BENCH_legality.json, BENCH_query.json, BENCH_session.json,
-# BENCH_store.json, BENCH_ingest.json, BENCH_serve.json and
-# BENCH_scale.json in _build/default/bench.  --force because the json
+# BENCH_store.json, BENCH_ingest.json, BENCH_serve.json,
+# BENCH_scale.json and BENCH_write.json in _build/default/bench.  --force because the json
 # is a side effect of the alias action, which dune would otherwise
 # cache.
 bench-smoke:
@@ -25,6 +25,13 @@ bench-smoke:
 # BENCH_scale.json into the working directory.
 bench-scale:
 	dune exec bench/main.exe -- --json P7
+
+# The full P8 write-throughput sweep (10^4 .. 10^6 entries): steady-state
+# single-entry transactions against a live session on chunked
+# copy-on-write index versions, next to a rebuild-per-transaction
+# baseline.  Writes BENCH_write.json into the working directory.
+bench-write:
+	dune exec bench/main.exe -- --json P8
 
 # Daemon round-trip: initialize a throwaway store, serve it on an
 # ephemeral port, drive brief mixed read/write traffic from concurrent

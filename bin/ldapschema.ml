@@ -279,7 +279,9 @@ let query schema_path data_path expr explain jobs store =
                   let plan, result = Directory.explain d q in
                   Format.printf "%a@." Profile.pp_plan_explain
                     (Profile.explain_plan plan);
-                  Bounds_query.Index.ids_of (Directory.index d) result
+                  Bounds_query.Index.ids_of
+                    (Directory.Snapshot.Private.index (Directory.snapshot d))
+                    result
                 end
                 else Directory.query_ids d q
               in
@@ -299,7 +301,8 @@ let query schema_path data_path expr explain jobs store =
               let plan, result = Directory.Snapshot.explain ?pool snap q in
               Format.printf "%a@." Profile.pp_plan_explain
                 (Profile.explain_plan plan);
-              Bounds_query.Index.ids_of (Directory.Snapshot.index snap) result
+              Bounds_query.Index.ids_of
+                (Directory.Snapshot.Private.index snap) result
             end
             else Directory.Snapshot.query_ids ?pool snap q)
       in
@@ -471,7 +474,8 @@ let update schema_path data_path ops_path out_path stats jobs store every =
                 or_die (parse_changes ~typing inst (read_file ops_path))
               in
               match Store.apply st ops with
-              | Ok d ->
+              | Admission.Accepted _ ->
+                  let d = Store.directory st in
                   Printf.printf
                     "transaction accepted: %d operation(s), %d entries now\n"
                     (List.length ops) (Directory.size d);
@@ -481,8 +485,9 @@ let update schema_path data_path ops_path out_path stats jobs store every =
                     Format.printf "%a@." Directory.pp_stats (Directory.stats d);
                   write_out out_path d;
                   0
-              | Error r ->
-                  Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
+              | Admission.Rejected { reason; _ } ->
+                  Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection
+                    reason;
                   1))
   | None ->
       let schema = or_die (load_schema (required_arg "-s/--schema" schema_path)) in
@@ -506,15 +511,16 @@ let update schema_path data_path ops_path out_path stats jobs store every =
         ~finally:(fun () -> Directory.close dir)
         (fun () ->
           match Directory.apply dir ops with
-          | Ok dir ->
+          | dir, Admission.Accepted _ ->
               Printf.printf "transaction accepted: %d operation(s), %d entries now\n"
                 (List.length ops) (Directory.size dir);
               if stats then
                 Format.printf "%a@." Directory.pp_stats (Directory.stats dir);
               write_out out_path dir;
               0
-          | Error r ->
-              Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection r;
+          | _, Admission.Rejected { reason; _ } ->
+              Format.printf "transaction REJECTED: %a@." Monitor.pp_rejection
+                reason;
               1)
 
 let update_cmd =

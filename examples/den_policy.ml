@@ -62,7 +62,7 @@ let () =
       (Instance.roots inst)
   in
   (match Monitor.delete_subtree some_site m with
-  | Ok m' ->
+  | Ok (m', _) ->
       Format.printf "site %s decommissioned; %d entries remain, still legal: %b@."
         (Entry.rdn (Instance.entry inst some_site))
         (Instance.size (Monitor.instance m'))

@@ -104,7 +104,7 @@ let () =
       empty_team
   in
   match Monitor.insert_subtree ~parent:None staffed_team monitor with
-  | Ok m ->
+  | Ok (m, _) ->
       Format.printf "staffed team accepted; directory now has %d entries@."
         (Bounds_model.Instance.size (Monitor.instance m))
   | Error viols ->

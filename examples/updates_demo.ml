@@ -17,7 +17,7 @@ let () =
   let accepted = ref 0 and rejected = ref 0 in
   let try_ops label ops =
     match Monitor.apply ops !m with
-    | Ok m' ->
+    | Ok (m', _) ->
         incr accepted;
         m := m';
         Format.printf "[ok]      %s@." label

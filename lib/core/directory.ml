@@ -40,6 +40,14 @@ module Snapshot = struct
   let validate ?(extensions = true) ?pool ?memoize schema s =
     Legality.check ~extensions ?pool ~index:s.index ~vindex:s.vindex
       ~memo:s.memo ?memoize schema (instance s)
+
+  (* The raw structures, for oracles/benchmarks that differentially test
+     them — the only sanctioned way past the snapshot surface. *)
+  module Private = struct
+    let index = index
+    let vindex = vindex
+    let memo = memo
+  end
 end
 
 (* --- live sessions ----------------------------------------------------- *)
@@ -109,7 +117,6 @@ let schema t = t.schema
 let monitor t = t.monitor
 let instance t = Monitor.instance t.monitor
 let index t = Monitor.index t.monitor
-let vindex t = t.vindex
 let pool t = t.pool
 let size t = Instance.size (instance t)
 
@@ -136,17 +143,19 @@ let validate t =
     ~memoize:t.memoize t.schema (instance t)
 
 let apply t ops =
+  let entries_before = size t in
   match Monitor.apply ops t.monitor with
-  | Error _ as e ->
+  | Error reason ->
       t.counters.rejected <- t.counters.rejected + 1;
-      e
-  | Ok monitor ->
+      (t, Admission.Rejected { reason; ops })
+  | Ok (monitor, splices) ->
       (* the monitor already spliced the accepted Δs into its live index;
-         carry the value tables and the memo across the same ops *)
+         carry the value tables across the same ops and the memo across
+         the very rank-space edits the index performed *)
       let index = Monitor.index monitor in
       let vindex = Vindex.apply ~index ops t.vindex in
       let memo =
-        if t.memoize then Plan.memo_apply ~vindex ops t.memo
+        if t.memoize then Plan.memo_apply ~vindex ~splices ops t.memo
         else Plan.memo_create vindex
       in
       let t' = { t with monitor; vindex; memo } in
@@ -155,18 +164,20 @@ let apply t ops =
          session's current version and nothing was counted *)
       Option.iter (fun hook -> hook ops t') t.store;
       t.counters.applied <- t.counters.applied + 1;
-      Ok t'
+      ( t',
+        Admission.Accepted
+          { lsn = None; ops; entries_before; entries_after = size t' } )
 
 let replay t ops =
   match Monitor.replay ops t.monitor with
   | Error _ as e -> e
-  | Ok monitor ->
+  | Ok (monitor, splices) ->
       (* same carry as [apply], minus admission and minus the durability
          hook: replay is for transactions that are already on disk *)
       let index = Monitor.index monitor in
       let vindex = Vindex.apply ~index ops t.vindex in
       let memo =
-        if t.memoize then Plan.memo_apply ~vindex ops t.memo
+        if t.memoize then Plan.memo_apply ~vindex ~splices ops t.memo
         else Plan.memo_create vindex
       in
       t.counters.applied <- t.counters.applied + 1;

@@ -6,15 +6,18 @@
     instance version and keeps all of them {e incrementally} consistent
     across updates:
 
-    - the {!Bounds_query.Index} preorder encoding is patched by interval
-      shifting ({!Bounds_query.Index.apply} and friends) — each accepted
-      Δ is indexed once and spliced, never re-traversed;
+    - the {!Bounds_query.Index} preorder encoding steps to a chunked
+      copy-on-write version ({!Bounds_query.Index.Builder}) — each
+      accepted Δ is indexed once and spliced, copying only the chunks it
+      touches while everything else is shared structurally with the
+      previous version;
     - the {!Bounds_query.Vindex} value tables are patched per touched
-      key, with range/trigram tables for touched attributes evicted and
-      lazily rebuilt;
+      key on persistent maps, with range/trigram tables for touched
+      attributes evicted and lazily rebuilt;
     - the {!Bounds_query.Plan} memo is migrated ({!Bounds_query.Plan.memo_apply}):
-      pointwise cache entries survive the update, only χ-dependent ones
-      are re-evaluated on demand.
+      pointwise cache entries survive the update — their bitsets are
+      spliced along the same rank-space edits the index performed — and
+      only χ-dependent ones are re-evaluated on demand.
 
     Like the underlying {!Monitor}, a session value is persistent: a
     rejected {!apply} leaves the previous value usable, and superseded
@@ -25,9 +28,16 @@ open Bounds_model
 (** {1 Read-only snapshots}
 
     A snapshot bundles the (index, vindex, memo) triple of {e one}
-    instance version — what callers previously plumbed by hand around
-    {!Bounds_query.Index.create} / {!Bounds_query.Vindex.create}.  It
-    performs no legality checking of its own. *)
+    instance version and is the {e only} read surface the library
+    exposes: every query, search, explain and validation goes through a
+    snapshot (or through the session conveniences below, which evaluate
+    on the current version's snapshot state).  The underlying structures
+    are deliberately not exported — versions share chunks and postings
+    structurally, so handing out a raw index invites callers to assume a
+    flat per-version copy that no longer exists.  Differential tests and
+    benchmarks that must compare the raw structures go through
+    {!Snapshot.Private}.  A snapshot performs no legality checking of
+    its own. *)
 
 module Snapshot : sig
   type t
@@ -39,9 +49,6 @@ module Snapshot : sig
   (** Wrap an existing evaluation index. *)
   val of_index : ?pool:Bounds_par.Pool.t -> Bounds_query.Index.t -> t
 
-  val index : t -> Bounds_query.Index.t
-  val vindex : t -> Bounds_query.Vindex.t
-  val memo : t -> Bounds_query.Plan.memo
   val instance : t -> Instance.t
 
   (** Evaluate through the snapshot's memo (caching — sequential use
@@ -89,6 +96,17 @@ module Snapshot : sig
     Schema.t ->
     t ->
     Violation.t list
+
+  (** Escape hatch to the raw per-version structures, for differential
+      oracles and benchmarks that compare them against independently
+      rebuilt twins.  Application code has no business here: the
+      structures are shared across versions (chunks, postings, cached
+      bitsets) and must be treated as immutable. *)
+  module Private : sig
+    val index : t -> Bounds_query.Index.t
+    val vindex : t -> Bounds_query.Vindex.t
+    val memo : t -> Bounds_query.Plan.memo
+  end
 end
 
 (** {1 Live sessions} *)
@@ -134,8 +152,6 @@ val open_ :
 val schema : t -> Schema.t
 val monitor : t -> Monitor.t
 val instance : t -> Instance.t
-val index : t -> Bounds_query.Index.t
-val vindex : t -> Bounds_query.Vindex.t
 val pool : t -> Bounds_par.Pool.t option
 
 (** Number of entries in the current version. *)
@@ -166,10 +182,13 @@ val validate : t -> Violation.t list
 
 (** [apply t ops] — the whole transaction atomically under incremental
     legality ({!Monitor.apply}); on acceptance the index, value tables
-    and memo are all carried forward incrementally and a new session
-    version is returned.  On rejection [t] is unchanged (and still
-    usable). *)
-val apply : t -> Update.op list -> (t, Monitor.rejection) result
+    and memo are all carried forward incrementally, and the returned
+    session is the new version.  On rejection the returned session is
+    [t] itself, unchanged and still usable.  Either way the
+    {!Admission.result} carries the verdict — the one result shape every
+    write surface ({!Bounds_store.Store.apply},
+    {!Bounds_store.Store.batch}, the network writer) reports. *)
+val apply : t -> Update.op list -> t * Admission.result
 
 (** [replay t ops] — trusted fast path for transactions that {e already}
     passed admission when they were first acknowledged (WAL records

@@ -160,6 +160,43 @@ let bump_keys delta_sign sub m kv =
         kv (entry_key_values m.schema e))
     sub kv
 
+(* The two splice halves also hand back the rank-space edits the builder
+   recorded ({!Index.Builder.splices}) — {!apply}/{!replay} accumulate
+   them across steps so {!Directory} can migrate cached bitsets by
+   word-level splicing instead of per-member rank translation. *)
+
+let graft_indexed ~parent ~delta_index delta m =
+  let b = Index.Builder.of_version m.index in
+  Index.Builder.graft b ~parent ~delta_index delta;
+  let splices = Index.Builder.splices b in
+  let index = Index.Builder.seal b in
+  ( {
+      m with
+      inst = Index.instance index;
+      index;
+      counts = bump 1 delta m.counts;
+      key_values =
+        (if m.extensions then bump_keys 1 delta m m.key_values
+         else m.key_values);
+    },
+    splices )
+
+let prune_indexed root sub m =
+  let b = Index.Builder.of_version m.index in
+  Index.Builder.prune b root;
+  let splices = Index.Builder.splices b in
+  let index = Index.Builder.seal b in
+  ( {
+      m with
+      inst = Index.instance index;
+      index;
+      counts = bump (-1) sub m.counts;
+      key_values =
+        (if m.extensions then bump_keys (-1) sub m m.key_values
+         else m.key_values);
+    },
+    splices )
+
 let insert_subtree ~parent delta m =
   (* one Δ index per step: the incremental check evaluates its Figure-5
      Δ-queries on it, and the accepted subtree is then spliced into the
@@ -176,18 +213,7 @@ let insert_subtree ~parent delta m =
       in
       match viols with
       | _ :: _ -> Error viols
-      | [] ->
-          let index = Index.graft ~parent ~delta_index delta m.index in
-          Ok
-            {
-              m with
-              inst = Index.instance index;
-              index;
-              counts = bump 1 delta m.counts;
-              key_values =
-                (if m.extensions then bump_keys 1 delta m m.key_values
-                 else m.key_values);
-            })
+      | [] -> Ok (graft_indexed ~parent ~delta_index delta m))
 
 let delete_subtree root m =
   match
@@ -199,18 +225,7 @@ let delete_subtree root m =
   | Ok [] -> (
       match Instance.subtree m.inst root with
       | Error e -> failwith (Instance.error_to_string e)
-      | Ok sub ->
-          let index = Index.prune root m.index in
-          Ok
-            {
-              m with
-              inst = Index.instance index;
-              index;
-              counts = bump (-1) sub m.counts;
-              key_values =
-                (if m.extensions then bump_keys (-1) sub m m.key_values
-                 else m.key_values);
-            })
+      | Ok sub -> Ok (prune_indexed root sub m))
 
 let modify_entry id f m =
   let old_entry =
@@ -277,18 +292,22 @@ let apply ops m =
   match Transaction.decompose m.inst ops with
   | Error msg -> Error (Bad_ops msg)
   | Ok updates ->
-      let rec go step m = function
-        | [] -> Ok m
+      (* Per-step splices concatenate in application order: each step's
+         splices are expressed against the version the previous step
+         produced, which is exactly the order a sequential bitset
+         migration replays them in. *)
+      let rec go step m acc = function
+        | [] -> Ok (m, List.concat (List.rev acc))
         | Transaction.Insert_subtree { parent; subtree } :: rest -> (
             match insert_subtree ~parent subtree m with
-            | Ok m -> go (step + 1) m rest
+            | Ok (m, sps) -> go (step + 1) m (sps :: acc) rest
             | Error violations -> Error (Illegal { step; violations }))
         | Transaction.Delete_subtree { root } :: rest -> (
             match delete_subtree root m with
-            | Ok m -> go (step + 1) m rest
+            | Ok (m, sps) -> go (step + 1) m (sps :: acc) rest
             | Error violations -> Error (Illegal { step; violations }))
       in
-      go 1 m updates
+      go 1 m [] updates
 
 (* --- trusted replay ------------------------------------------------------ *)
 
@@ -299,41 +318,28 @@ let apply ops m =
 
 let splice_insert ~parent delta m =
   let delta_index = Index.create delta in
-  let index = Index.graft ~parent ~delta_index delta m.index in
-  {
-    m with
-    inst = Index.instance index;
-    index;
-    counts = bump 1 delta m.counts;
-    key_values =
-      (if m.extensions then bump_keys 1 delta m m.key_values else m.key_values);
-  }
+  graft_indexed ~parent ~delta_index delta m
 
 let splice_delete root m =
   match Instance.subtree m.inst root with
   | Error e -> failwith (Instance.error_to_string e)
-  | Ok sub ->
-      let index = Index.prune root m.index in
-      {
-        m with
-        inst = Index.instance index;
-        index;
-        counts = bump (-1) sub m.counts;
-        key_values =
-          (if m.extensions then bump_keys (-1) sub m m.key_values
-           else m.key_values);
-      }
+  | Ok sub -> prune_indexed root sub m
 
 let replay ops m =
   match Transaction.decompose m.inst ops with
   | Error msg -> Error (Bad_ops msg)
   | Ok updates -> (
       try
-        Ok
-          (List.fold_left
-             (fun m -> function
-               | Transaction.Insert_subtree { parent; subtree } ->
-                   splice_insert ~parent subtree m
-               | Transaction.Delete_subtree { root } -> splice_delete root m)
-             m updates)
+        let m, acc =
+          List.fold_left
+            (fun (m, acc) -> function
+              | Transaction.Insert_subtree { parent; subtree } ->
+                  let m, sps = splice_insert ~parent subtree m in
+                  (m, sps :: acc)
+              | Transaction.Delete_subtree { root } ->
+                  let m, sps = splice_delete root m in
+                  (m, sps :: acc))
+            (m, []) updates
+        in
+        Ok (m, List.concat (List.rev acc))
       with Failure msg | Invalid_argument msg -> Error (Bad_ops msg))

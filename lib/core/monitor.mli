@@ -60,11 +60,18 @@ val index : t -> Bounds_query.Index.t
 val class_count : t -> Oclass.t -> int
 
 (** [insert_subtree ~parent delta m] — Δ must be single-rooted with ids
-    fresh for the monitored instance. *)
+    fresh for the monitored instance.  On acceptance, the new monitor
+    comes with the rank-space edits the graft performed on the live
+    index ({!Bounds_query.Index.Builder.splices}), for callers migrating
+    rank-indexed caches alongside. *)
 val insert_subtree :
-  parent:Entry.id option -> Instance.t -> t -> (t, Violation.t list) result
+  parent:Entry.id option ->
+  Instance.t ->
+  t ->
+  (t * Bounds_query.Index.splice list, Violation.t list) result
 
-val delete_subtree : Entry.id -> t -> (t, Violation.t list) result
+val delete_subtree :
+  Entry.id -> t -> (t * Bounds_query.Index.splice list, Violation.t list) result
 
 (** [modify_entry id f m] — LDAP's attribute-level modification.  The
     update must preserve the entry's class set ([f] changing it is
@@ -83,15 +90,20 @@ val pp_rejection : Format.formatter -> rejection -> unit
 
 (** Whole transaction, atomically: decomposed with {!Transaction}, each
     subtree step checked incrementally; on rejection the monitor is
-    unchanged. *)
-val apply : Update.op list -> t -> (t, rejection) result
+    unchanged.  On acceptance, the accompanying splice list concatenates
+    the per-step rank-space edits in application order — the exact
+    input {!Bounds_query.Plan.memo_apply} replays over cached bitsets. *)
+val apply :
+  Update.op list -> t -> (t * Bounds_query.Index.splice list, rejection) result
 
 (** Trusted replay of one transaction: same decomposition and the same
-    index/count/key-table maintenance as {!apply}, but {e no} legality
-    checks — for records that already passed admission when they were
-    first acknowledged (Theorem 4.1: the monitor only ever admits
-    legality-preserving steps, so re-checking a logged transaction can
-    never change the verdict).  Structural damage — ops that no longer
-    decompose or splice against the instance — still rejects as
-    [Bad_ops]; the monitor is unchanged in that case. *)
-val replay : Update.op list -> t -> (t, rejection) result
+    index/count/key-table maintenance as {!apply} (including the
+    returned splices), but {e no} legality checks — for records that
+    already passed admission when they were first acknowledged (Theorem
+    4.1: the monitor only ever admits legality-preserving steps, so
+    re-checking a logged transaction can never change the verdict).
+    Structural damage — ops that no longer decompose or splice against
+    the instance — still rejects as [Bad_ops]; the monitor is unchanged
+    in that case. *)
+val replay :
+  Update.op list -> t -> (t * Bounds_query.Index.splice list, rejection) result

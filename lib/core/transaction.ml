@@ -14,23 +14,39 @@ let pp_subtree_update ppf = function
 
 let ( let* ) = Result.bind
 
+(* Decomposition works entirely from the ids the transaction names —
+   O(|Δ| log |D|), never a scan of the instance.  The op algebra makes
+   that sound: [Insert] grafts a fresh entry and [Delete] removes a
+   whole subtree, so an entry neither named by an op nor inside a
+   deleted subtree is bit-identical (content and parent) in [updated].
+   The only subtlety is a delete-then-reinsert of the same id: its old
+   children are deleted without being named, so the children (in
+   [inst]) of every op-named survivor join the delete candidates. *)
 let decompose inst ops =
   let* updated = Update.apply inst ops in
-  (* surviving entries must be untouched *)
+  let op_ids =
+    List.fold_left
+      (fun acc -> function
+        | Update.Insert { entry; _ } -> Entry.id entry :: acc
+        | Update.Delete id -> id :: acc)
+      [] ops
+    |> List.sort_uniq Int.compare
+  in
+  (* surviving entries must be untouched; only op-named ids can survive
+     changed (a delete-then-reinsert), so only they need the check *)
   let* () =
-    Instance.fold
-      (fun e acc ->
+    List.fold_left
+      (fun acc id ->
         let* () = acc in
-        let id = Entry.id e in
-        match Instance.find updated id with
-        | None -> Ok ()
-        | Some e' ->
+        match (Instance.find inst id, Instance.find updated id) with
+        | None, _ | _, None -> Ok ()
+        | Some e, Some e' ->
             if not (Entry.equal e e') then
               Error (Printf.sprintf "transaction re-creates surviving entry %d" id)
             else if Instance.parent inst id <> Instance.parent updated id then
               Error (Printf.sprintf "transaction moves surviving entry %d" id)
             else Ok ())
-      inst (Ok ())
+      (Ok ()) op_ids
   in
   (* maximal inserted subtrees: inserted entries whose parent in the
      updated instance is not itself inserted *)
@@ -38,8 +54,7 @@ let decompose inst ops =
   let deleted id = Instance.mem inst id && not (Instance.mem updated id) in
   let inserts =
     List.filter_map
-      (fun e ->
-        let id = Entry.id e in
+      (fun id ->
         if not (inserted id) then None
         else
           let parent = Instance.parent updated id in
@@ -49,18 +64,28 @@ let decompose inst ops =
               match Instance.subtree updated id with
               | Ok subtree -> Some (Insert_subtree { parent; subtree })
               | Error e -> failwith (Instance.error_to_string e)))
-      (Instance.entries updated)
+      op_ids
+  in
+  (* a maximal deleted root is an op-named delete, or a child (in
+     [inst]) of an op-named id that was deleted and reinserted *)
+  let delete_candidates =
+    List.concat_map
+      (fun id ->
+        if Instance.mem inst id && Instance.mem updated id then
+          id :: Instance.children inst id
+        else [ id ])
+      op_ids
+    |> List.sort_uniq Int.compare
   in
   let deletes =
     List.filter_map
-      (fun e ->
-        let id = Entry.id e in
+      (fun id ->
         if not (deleted id) then None
         else
           match Instance.parent inst id with
           | Some p when deleted p -> None
           | _ -> Some (Delete_subtree { root = id }))
-      (Instance.entries inst)
+      delete_candidates
   in
   Ok (inserts @ deletes)
 

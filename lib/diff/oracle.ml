@@ -510,7 +510,7 @@ let monitor_vs_recheck =
                         Disagree "Monitor.create accepts a naive-illegal instance"
                       else
                         match (Monitor.apply c.Case.ops m, Transaction.check schema inst c.Case.ops) with
-                        | Ok m', Ok final ->
+                        | Ok (m', _), Ok final ->
                             if Instance.equal (Monitor.instance m') final then Agree
                             else Disagree "both accept but final instances differ"
                         | Error (Monitor.Bad_ops a), Error (Transaction.Bad_ops b) ->
@@ -609,25 +609,52 @@ let index_apply_vs_rebuild =
               with_instance c (fun inst ->
                   match Directory.open_ schema inst with
                   | Error _ -> Agree (* illegal start: out of contract *)
-                  | Ok dir -> (
-                      match Directory.apply dir c.Case.ops with
-                      | Error _ -> Agree (* rejection is monitor-vs-recheck's job *)
-                      | Ok dir -> (
-                          let live_ix = Directory.index dir in
+                  | Ok dir0 -> (
+                      match Directory.apply dir0 c.Case.ops with
+                      | _, Admission.Rejected _ ->
+                          Agree (* rejection is monitor-vs-recheck's job *)
+                      | dir, Admission.Accepted _ -> (
+                          let live_ix =
+                            Directory.Snapshot.Private.index
+                              (Directory.snapshot dir)
+                          in
                           let final = Directory.instance dir in
                           let fresh_ix = Index.create final in
                           (* the raw-ops twin of the monitor's graft/prune path *)
-                          let twin_ix = Index.apply c.Case.ops (Index.create inst) in
+                          let base_ix = Index.create inst in
+                          let twin_ix = Index.apply c.Case.ops base_ix in
                           match
                             match index_diff live_ix fresh_ix with
                             | Some m -> Some ("live index vs rebuild: " ^ m)
                             | None -> (
                                 match index_diff twin_ix fresh_ix with
                                 | Some m -> Some ("Index.apply vs rebuild: " ^ m)
-                                | None ->
-                                    if Instance.equal (Index.instance live_ix) final
-                                    then None
-                                    else Some "live index instance diverged")
+                                | None -> (
+                                    if
+                                      not
+                                        (Instance.equal (Index.instance live_ix)
+                                           final)
+                                    then Some "live index instance diverged"
+                                    else
+                                      (* chunked COW isolation: producing the
+                                         new version must leave the base
+                                         version bit-identical *)
+                                      match
+                                        index_diff base_ix (Index.create inst)
+                                      with
+                                      | Some m ->
+                                          Some ("base version mutated: " ^ m)
+                                      | None ->
+                                          let old_ix =
+                                            Directory.Snapshot.Private.index
+                                              (Directory.snapshot dir0)
+                                          in
+                                          Option.map
+                                            (fun m ->
+                                              "pre-apply session version \
+                                               mutated: " ^ m)
+                                            (index_diff old_ix
+                                               (Index.create inst))))
                           with
                           | Some m -> Disagree m
                           | None -> (
@@ -644,7 +671,10 @@ let index_apply_vs_rebuild =
                                   (fun q ->
                                     let live =
                                       Index.ids_of live_ix
-                                        (Plan.eval (Directory.vindex dir) q)
+                                        (Plan.eval
+                                           (Directory.Snapshot.Private.vindex
+                                              (Directory.snapshot dir))
+                                           q)
                                     in
                                     let fresh =
                                       Index.ids_of fresh_ix (Plan.eval fresh_vx q)
@@ -763,21 +793,25 @@ let store_roundtrip =
                         | [] -> Ok (twin, accepted)
                         | ops :: rest -> (
                             let store_v = Store.apply st ops in
-                            let twin_v = Directory.apply twin ops in
+                            let twin', twin_v = Directory.apply twin ops in
                             if accepted = 0 then Store.checkpoint st;
                             match (store_v, twin_v) with
-                            | Ok _, Ok twin' -> drive twin' (accepted + 1) rest
-                            | Error _, Error _ -> drive twin accepted rest
-                            | Ok _, Error rej ->
+                            | Admission.Accepted _, Admission.Accepted _ ->
+                                drive twin' (accepted + 1) rest
+                            | Admission.Rejected _, Admission.Rejected _ ->
+                                drive twin accepted rest
+                            | Admission.Accepted _, Admission.Rejected { reason; _ }
+                              ->
                                 Error
                                   (Format.asprintf
                                      "store accepts, twin rejects: %a"
-                                     Monitor.pp_rejection rej)
-                            | Error rej, Ok _ ->
+                                     Monitor.pp_rejection reason)
+                            | Admission.Rejected { reason; _ }, Admission.Accepted _
+                              ->
                                 Error
                                   (Format.asprintf
                                      "store rejects, twin accepts: %a"
-                                     Monitor.pp_rejection rej))
+                                     Monitor.pp_rejection reason))
                       in
                       match drive twin0 0 txns with
                       | Error m -> Disagree m
@@ -902,21 +936,41 @@ let trusted_replay =
                                         Some
                                           (label ^ ": fails validate: "
                                           ^ pp_violations vs)
-                                    | [] ->
-                                        List.find_map
-                                          (fun (_, q, _) ->
-                                            let a = Directory.query_ids dir q in
-                                            let b =
-                                              Directory.query_ids ref_dir q
-                                            in
-                                            if a = b then None
-                                            else
-                                              Some
-                                                (Printf.sprintf
-                                                   "%s: %s vs checked %s on %s"
-                                                   label (pp_ids a) (pp_ids b)
-                                                   (Query.to_string q)))
-                                          obligations
+                                    | [] -> (
+                                        (* the chunked COW index rebuilt
+                                           through recovery must land on
+                                           the canonical encoding *)
+                                        match
+                                          index_diff
+                                            (Directory.Snapshot.Private.index
+                                               (Directory.snapshot dir))
+                                            (Index.create
+                                               (Directory.instance dir))
+                                        with
+                                        | Some m ->
+                                            Some
+                                              (label
+                                             ^ ": recovered index vs rebuild: "
+                                             ^ m)
+                                        | None ->
+                                            List.find_map
+                                              (fun (_, q, _) ->
+                                                let a =
+                                                  Directory.query_ids dir q
+                                                in
+                                                let b =
+                                                  Directory.query_ids ref_dir q
+                                                in
+                                                if a = b then None
+                                                else
+                                                  Some
+                                                    (Printf.sprintf
+                                                       "%s: %s vs checked %s \
+                                                        on %s"
+                                                       label (pp_ids a)
+                                                       (pp_ids b)
+                                                       (Query.to_string q)))
+                                              obligations)
                                 in
                                 Store.close st';
                                 verdict
@@ -1000,8 +1054,8 @@ let intern_transparency =
                           List.fold_left
                             (fun (dir, vs) op ->
                               match Directory.apply dir [ op ] with
-                              | Ok dir' -> (dir', true :: vs)
-                              | Error _ -> (dir, false :: vs))
+                              | dir', Admission.Accepted _ -> (dir', true :: vs)
+                              | _, Admission.Rejected _ -> (dir, false :: vs))
                             (dir0, []) ops
                         in
                         let answers =

@@ -155,13 +155,17 @@ let apply_one t text =
   match Bounds_codec.Ldif.parse_changes ~typing (Directory.instance d) text with
   | Error e -> Proto.Failed ("parse: " ^ e)
   | Ok ops -> (
+      (* one verdict shape across every write surface: the store's
+         Admission.result carries the lsn the record was stamped with
+         (mid-batch, that is its buffered position — durable once the
+         shared flush lands, which is before this reply is released) *)
       match Store.apply t.store ops with
-      | Ok _ ->
+      | Admission.Accepted { lsn; ops; _ } ->
           Proto.Reply
             (Printf.sprintf "applied %d ops at lsn %d" (List.length ops)
-               (Store.lsn t.store))
-      | Error rej ->
-          Proto.Failed (Format.asprintf "%a" Monitor.pp_rejection rej))
+               (Option.value lsn ~default:(Store.lsn t.store)))
+      | Admission.Rejected { reason; _ } ->
+          Proto.Failed (Format.asprintf "%a" Monitor.pp_rejection reason))
 
 let publish t =
   let snap = Directory.snapshot (Store.directory t.store) in
@@ -186,7 +190,7 @@ let commit_applies t items =
               | _ -> assert false)
             items)
     with
-    | () -> true
+    | (), _admissions -> true
     | exception e ->
         let msg = "commit failed: " ^ Printexc.to_string e in
         Array.iteri

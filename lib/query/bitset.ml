@@ -132,6 +132,83 @@ let blit_words ~src ~dst ~at =
     end
   end
 
+(* Bits [pos, pos+64) of [bytes] as one little-endian word, reading
+   zeros past the end — the unaligned gather primitive of [splice]. *)
+let get_bits64 bytes nb pos =
+  let b = pos lsr 3 and sh = pos land 7 in
+  let word ofs =
+    if ofs >= nb then 0L
+    else if ofs + 8 <= nb then Bytes.get_int64_le bytes ofs
+    else begin
+      let v = ref 0L in
+      for k = nb - 1 downto ofs do
+        v :=
+          Int64.logor (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (Bytes.get bytes k)))
+      done;
+      !v
+    end
+  in
+  if sh = 0 then word b
+  else
+    Int64.logor
+      (Int64.shift_right_logical (word b) sh)
+      (Int64.shift_left (word (b + 8)) (64 - sh))
+
+let get_bits8 bytes nb pos =
+  let b = pos lsr 3 and sh = pos land 7 in
+  let byte ofs = if ofs >= nb then 0 else Char.code (Bytes.get bytes ofs) in
+  if sh = 0 then byte b else ((byte b lsr sh) lor (byte (b + 1) lsl (8 - sh))) land 0xff
+
+let splice ~at ~removed ~inserted s =
+  if at < 0 || removed < 0 || inserted < 0 || at + removed > s.n then
+    invalid_arg "Bitset.splice";
+  let n' = s.n - removed + inserted in
+  let r = create n' in
+  (* head [0, at): byte blit plus a masked boundary byte *)
+  let hb = at lsr 3 in
+  Bytes.blit s.words 0 r.words 0 hb;
+  let hrem = at land 7 in
+  if hrem <> 0 then
+    Bytes.set r.words hb
+      (Char.unsafe_chr (Char.code (Bytes.get s.words hb) land ((1 lsl hrem) - 1)));
+  (* tail: dst bits [at+inserted, n') := src bits [at+removed, n).  The
+     inserted gap stays zero.  Walk bitwise to the next dst byte
+     boundary, then gather unaligned 64-bit source windows into aligned
+     destination words. *)
+  let left = ref (s.n - at - removed) in
+  if !left > 0 then begin
+    let nbs = Bytes.length s.words in
+    let d = ref (at + inserted) and sp = ref (at + removed) in
+    while !left > 0 && !d land 7 <> 0 do
+      if mem s !sp then set r !d;
+      incr d;
+      incr sp;
+      decr left
+    done;
+    let db = ref (!d lsr 3) in
+    while !left >= 64 do
+      Bytes.set_int64_le r.words !db (get_bits64 s.words nbs !sp);
+      db := !db + 8;
+      sp := !sp + 64;
+      left := !left - 64
+    done;
+    while !left >= 8 do
+      Bytes.set r.words !db (Char.unsafe_chr (get_bits8 s.words nbs !sp));
+      incr db;
+      sp := !sp + 8;
+      left := !left - 8
+    done;
+    d := !db lsl 3;
+    while !left > 0 do
+      if mem s !sp then set r !d;
+      incr d;
+      incr sp;
+      decr left
+    done
+  end;
+  r
+
 let complement a =
   let r = diff (full a.n) a in
   r

@@ -58,6 +58,15 @@ val inter_into : into:t -> t -> unit
     different domains concurrently. *)
 val blit_words : src:t -> dst:t -> at:int -> unit
 
+(** [splice ~at ~removed ~inserted s] re-aligns a rank-indexed set with
+    one index splice (see {!Index.splice}): bits [[0, at)] keep their
+    positions, bits [[at, at + removed)] are dropped, [inserted] fresh
+    {e zero} bits appear at [at], and the tail shifts by
+    [inserted - removed].  The result's universe is resized to match.
+    O(n/64) — this is what lets a cached per-rank set ride through a
+    version step without per-member re-ranking. *)
+val splice : at:int -> removed:int -> inserted:int -> t -> t
+
 val is_empty : t -> bool
 val cardinal : t -> int
 

@@ -9,6 +9,7 @@ module Pool = Bounds_par.Pool
    sequential loop. *)
 
 let eval_filter ?pool ix f =
+  Index.materialize ix;
   let n = Index.n ix in
   let bs = Bitset.create n in
   Pool.parallel_for ?pool n (fun ~lo ~hi ->
@@ -90,6 +91,8 @@ let chi_ancestor ix q1 q2 =
   Bitset.inter q1 above
 
 let chi ?pool ix ax s1 s2 =
+  (* every axis kernel is a rank sweep over parent pointers *)
+  Index.materialize ix;
   match ax with
   | Query.Child -> chi_child ?pool ix s1 s2
   | Query.Parent -> chi_parent ?pool ix s1 s2

@@ -439,10 +439,8 @@ let rec pointwise_member q e =
   | Query.Inter (a, b) -> pointwise_member a e && pointwise_member b e
   | Query.Chi _ -> assert false
 
-let memo_apply ~vindex ops m =
+let memo_apply ~vindex ~splices ops m =
   let new_ix = Vindex.index vindex in
-  let old_ix = m.m_ix in
-  let n' = Index.n new_ix in
   (* entries inserted by Δ and still present at the end of it *)
   let inserted : (Entry.id, Entry.t) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -458,6 +456,21 @@ let memo_apply ~vindex ops m =
         | None -> acc)
       inserted []
   in
+  (* Replay the transaction's rank-space edits on the bitset itself: a
+     splice shifts every surviving verdict to its new rank in one
+     word-level pass ([Bitset.splice]), deleted ranks fall out of the
+     removed window, and inserted ranks start cleared — to be admitted
+     below by direct membership tests.  O(#splices · n/64) per cached
+     set, independent of how many members it has, and with no per-member
+     id→rank translation.  (A delete-then-reinsert of the same id is
+     handled structurally: the old verdict dies with the removed window
+     rather than leaking through an id-based translation.) *)
+  let migrate bs =
+    List.fold_left
+      (fun bs { Index.sp_at; sp_removed; sp_inserted } ->
+        Bitset.splice ~at:sp_at ~removed:sp_removed ~inserted:sp_inserted bs)
+      bs splices
+  in
   let m' =
     {
       m_vx = vindex;
@@ -472,13 +485,7 @@ let memo_apply ~vindex ops m =
   Hashtbl.iter
     (fun key (q, bs) ->
       if pointwise q then begin
-        let nbs = Bitset.create n' in
-        Bitset.iter
-          (fun r ->
-            match Index.rank_opt new_ix (Index.id_of_rank old_ix r) with
-            | Some r' -> Bitset.set nbs r'
-            | None -> () (* deleted *))
-          bs;
+        let nbs = migrate bs in
         List.iter
           (fun (r', e) -> if pointwise_member q e then Bitset.set nbs r')
           inserted_ranks;

@@ -85,17 +85,26 @@ val prewarm : ?pool:Bounds_par.Pool.t -> memo -> Query.t list -> unit
     only. *)
 val memo_stats : memo -> int * int * int
 
-(** [memo_apply ~vindex ops m] — carry the cache across an update
-    instead of discarding it: [vindex] is the post-transaction value
-    index (whose {!Vindex.index} is the post-transaction evaluation
-    index).  Entries for {e pointwise} queries (no χ anywhere — e.g. the
-    class selections shared across the Figure-4 obligations) migrate:
-    surviving members translate rank-to-rank, and each entry inserted by
-    [ops] is admitted by one direct membership test.  χ-containing
-    entries are dropped — an insertion perturbs χ membership of
-    arbitrary relatives of the insertion point, so only a rebuild is
-    sound for them.  Hit/miss counters carry over. *)
-val memo_apply : vindex:Vindex.t -> Bounds_model.Update.op list -> memo -> memo
+(** [memo_apply ~vindex ~splices ops m] — carry the cache across an
+    update instead of discarding it: [vindex] is the post-transaction
+    value index (whose {!Vindex.index} is the post-transaction
+    evaluation index) and [splices] the rank-space edits the transaction
+    performed on the old index, in application order — exactly
+    {!Index.Builder.splices} of the builder that produced it.  Entries
+    for {e pointwise} queries (no χ anywhere — e.g. the class selections
+    shared across the Figure-4 obligations) migrate: surviving verdicts
+    shift to their new ranks by word-level bitset splicing (O(#splices ·
+    n/64) per cached set, no per-member id translation), and each entry
+    inserted by [ops] is admitted by one direct membership test.
+    χ-containing entries are dropped — an insertion perturbs χ
+    membership of arbitrary relatives of the insertion point, so only a
+    rebuild is sound for them.  Hit/miss counters carry over. *)
+val memo_apply :
+  vindex:Vindex.t ->
+  splices:Index.splice list ->
+  Bounds_model.Update.op list ->
+  memo ->
+  memo
 
 (** Cumulative [(migrated, dropped)] cache-entry counts across every
     {!memo_apply} in this memo's lineage. *)

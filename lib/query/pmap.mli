@@ -1,0 +1,33 @@
+(** Persistent int-keyed maps (Okasaki–Gill little-endian Patricia
+    tries).
+
+    The index and value-index version steps need maps that share
+    structure between versions: updating [k] copies the O(log n) path to
+    [k]'s leaf and shares everything else, so a transaction's version
+    step costs O(|Δ| log n) instead of the O(n) [Hashtbl.copy] it
+    replaces.  Keys must be non-negative (entry ids, interned string
+    ids, chunk uids — all dense counters here). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val singleton : int -> 'a -> 'a t
+val mem : int -> 'a t -> bool
+val find_opt : int -> 'a t -> 'a option
+
+(** [add k v t] binds [k] to [v], replacing any previous binding. *)
+val add : int -> 'a -> 'a t -> 'a t
+
+(** [remove k t] — returns [t] itself when [k] is unbound. *)
+val remove : int -> 'a t -> 'a t
+
+(** [update k f t] — [f] receives the current binding; [Some v] rebinds,
+    [None] removes. *)
+val update : int -> ('a option -> 'a option) -> 'a t -> 'a t
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+(** O(n). *)
+val cardinal : 'a t -> int

@@ -16,6 +16,7 @@ let scope_of_string s =
 
 (* Fold over the ranks in scope, in increasing (preorder) order. *)
 let fold_scope ix ~base scope f init =
+  Index.materialize ix;
   match (base, scope) with
   | None, Base ->
       (* the roots: ranks whose parent is -1 *)

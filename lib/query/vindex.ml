@@ -1,6 +1,19 @@
 open Bounds_model
 
-type key = string * string (* attribute name, normalized value rendering *)
+(* Table keys are interned integers (see {!Intern}): the equality table
+   is keyed by the id of ["attr\x00normalized-value"] in the [vkey]
+   pool, presence/range/trigram tables by the attribute name's id in the
+   [attr] pool.  Insertion-side keying uses [Intern.id] (the pair is
+   entering the directory anyway); lookup-side keying uses
+   [Intern.find_id], so hostile query constants never grow the pools and
+   a miss short-circuits to the empty set without touching the map. *)
+
+let norm = String.lowercase_ascii
+let eq_key_str a nv = a ^ "\x00" ^ nv
+let eq_key a nv = Intern.id Intern.vkey (eq_key_str a nv)
+let eq_key_opt a nv = Intern.find_id Intern.vkey (eq_key_str a nv)
+let attr_key a = Intern.id Intern.attr a
+let attr_key_opt a = Intern.find_id Intern.attr a
 
 (* Per-attribute sorted-value arrays for Ge/Le.  [Filter.order_cmp] is
    numeric iff BOTH sides parse as integers and falls back to a
@@ -32,60 +45,80 @@ type range_idx = {
    that keeps the entry, whereas a single insertion shifts every rank
    behind it.  Lookups convert through the index's rank table on the way
    into a bitset — a constant-factor cost on the same O(result) walk —
-   and in exchange {!apply} patches only the postings of attributes
-   actually touched by Δ.
+   and in exchange the version step patches only the postings of
+   attributes actually touched by Δ.
 
-   A posting set has two representations: [Building] — a count plus a
-   newest-first cons list, cheap to patch — and [Frozen] — one sorted id
-   array, compact and cache-friendly to sweep.  {!create} freezes every
-   key at snapshot-build time, so the planner's hot path (bitset fills,
-   cardinalities) runs on arrays; {!apply} thaws exactly the keys Δ
-   touches back to lists, the mutable build representation. *)
+   A posting set has three representations.  [Building] — a count plus
+   a newest-first cons list — exists only inside a bulk build ({!create}
+   freezes every key before publishing).  [Frozen] — one sorted id
+   array, compact and cache-friendly to sweep — is what the planner's
+   hot path (bitset fills, cardinalities) runs on.  [Patched] — a frozen
+   base plus a bounded overlay of pending adds and deletes — is what a
+   {e dense} posting becomes under incremental maintenance: the
+   [present] rows of universal attributes hold |D| ids, and re-copying
+   such an array on every transaction is an O(|D|) write wall.  The
+   overlay keeps the version step at O(log |D|) per touched key and is
+   folded back into a fresh [Frozen] array only once [patch_cap] edits
+   accumulate, so reads stay within a constant factor of array speed
+   and the rebuild cost is amortized over [patch_cap] transactions. *)
 type postings =
   | Frozen of Entry.id array (* sorted; duplicates kept (multi-valued) *)
   | Building of int * Entry.id list (* count, ids newest-first *)
+  | Patched of patched
+
+and patched = {
+  p_base : Entry.id array; (* sorted; occurrences of [p_dels] ids are dead *)
+  p_dels : unit Pmap.t; (* ids whose base occurrences are all dead *)
+  p_adds : Entry.id list; (* pushed since the base was built; newest-first *)
+  p_edits : int; (* |p_adds| + cardinal p_dels: rebuild trigger *)
+  p_live : int; (* live postings across base and overlay *)
+}
 
 type t = {
   ix : Index.t;
-  eq : (key, postings) Hashtbl.t;
-  present : (string, postings) Hashtbl.t;
+  eq : postings Pmap.t;
+  present : postings Pmap.t;
   (* Range and trigram structures are built lazily per attribute — the
      legality hot path (Eq/Present only) never pays for them.  The lock
      makes on-demand construction safe when a pool evaluates several
-     queries over one shared snapshot concurrently. *)
+     queries over one shared snapshot concurrently; the maps being
+     persistent, a version step just drops the touched attributes from
+     its copy of the spine and shares the rest. *)
   lock : Mutex.t;
-  ranges : (string, range_idx) Hashtbl.t;
-  trigrams : (string, (string, Entry.id array) Hashtbl.t) Hashtbl.t;
+  mutable ranges : range_idx Pmap.t;
+  mutable trigrams : (string, Entry.id array) Hashtbl.t Pmap.t;
 }
 
-let norm = String.lowercase_ascii
-
-(* Insertion-side key normalization hash-conses the lowercased rendering
-   (the raw payload is already interned, but [norm] would otherwise
-   allocate a fresh copy per occurrence).  Lookups keep plain [norm] so
-   hostile query constants never grow the pool. *)
-let norm_key s = Intern.share Intern.vkey (norm s)
-
-let p_count = function Frozen a -> Array.length a | Building (c, _) -> c
+let p_count = function
+  | Frozen a -> Array.length a
+  | Building (c, _) -> c
+  | Patched p -> p.p_live
 
 let p_iter f = function
   | Frozen a -> Array.iter f a
   | Building (_, l) -> List.iter f l
+  | Patched { p_base; p_dels; p_adds; _ } ->
+      if Pmap.is_empty p_dels then Array.iter f p_base
+      else Array.iter (fun id -> if not (Pmap.mem id p_dels) then f id) p_base;
+      List.iter f p_adds
 
-let thaw = function
+let thaw p =
+  match p with
   | Frozen a -> (Array.length a, Array.to_list a)
   | Building (c, l) -> (c, l)
+  | Patched { p_live; _ } ->
+      let l = ref [] in
+      p_iter (fun id -> l := id :: !l) p;
+      (p_live, !l)
 
 let freeze = function
-  | Frozen _ as p -> p
+  | (Frozen _ | Patched _) as p -> p
   | Building (_, l) ->
       let a = Array.of_list l in
       Array.sort Int.compare a;
       Frozen a
 
-let freeze_tbl tbl = Hashtbl.filter_map_inplace (fun _ p -> Some (freeze p)) tbl
-
-let push tbl k id =
+let push_tbl tbl k id =
   match Hashtbl.find_opt tbl k with
   | Some p ->
       let c, l = thaw p in
@@ -105,6 +138,7 @@ let merge_into tbl k p =
 
 let create ?pool ix =
   let n = Index.n ix in
+  Index.materialize ix;
   let build ~lo ~hi =
     (* Pre-sized: one eq bucket per entry-value pair is the common case
        (duplicate pairs only shrink it), so seed with the chunk width
@@ -115,9 +149,12 @@ let create ?pool ix =
       let e = Index.entry_of_rank ix r in
       let id = Entry.id e in
       List.iter
-        (fun (a, v) -> push eq (Attr.to_string a, norm_key (Value.to_string v)) id)
+        (fun (a, v) ->
+          push_tbl eq (eq_key (Attr.to_string a) (norm (Value.to_string v))) id)
         (Entry.pairs e);
-      Attr.Set.iter (fun a -> push present (Attr.to_string a) id) (Entry.attributes e)
+      Attr.Set.iter
+        (fun a -> push_tbl present (attr_key (Attr.to_string a)) id)
+        (Entry.attributes e)
     done;
     (eq, present)
   in
@@ -134,43 +171,49 @@ let create ?pool ix =
   in
   (* snapshot-build time is freeze time: every posting list becomes one
      sorted id array before the first lookup runs *)
-  freeze_tbl eq;
-  freeze_tbl present;
+  let to_pmap tbl = Hashtbl.fold (fun k p m -> Pmap.add k (freeze p) m) tbl Pmap.empty in
   {
     ix;
-    eq;
-    present;
+    eq = to_pmap eq;
+    present = to_pmap present;
     lock = Mutex.create ();
-    ranges = Hashtbl.create 16;
-    trigrams = Hashtbl.create 16;
+    ranges = Pmap.empty;
+    trigrams = Pmap.empty;
   }
 
 let index t = t.ix
 
 let of_postings t p =
+  (* query path: force array-speed rank lookups before the member walk *)
+  Index.materialize t.ix;
   let bs = Bitset.create (Index.n t.ix) in
   p_iter (fun id -> Bitset.set bs (Index.rank t.ix id)) p;
   bs
 
+let find_eq t a v =
+  match eq_key_opt (Attr.to_string a) (norm v) with
+  | None -> None
+  | Some k -> Pmap.find_opt k t.eq
+
+let find_present t a =
+  match attr_key_opt (Attr.to_string a) with
+  | None -> None
+  | Some k -> Pmap.find_opt k t.present
+
 let lookup_eq t a v =
-  match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
+  match find_eq t a v with
   | Some p -> of_postings t p
   | None -> Bitset.create (Index.n t.ix)
 
 let lookup_present t a =
-  match Hashtbl.find_opt t.present (Attr.to_string a) with
+  match find_present t a with
   | Some p -> of_postings t p
   | None -> Bitset.create (Index.n t.ix)
 
-let card_eq t a v =
-  match Hashtbl.find_opt t.eq (Attr.to_string a, norm v) with
-  | Some p -> p_count p
-  | None -> 0
+let card_eq t a v = match find_eq t a v with Some p -> p_count p | None -> 0
 
 let card_present t a =
-  match Hashtbl.find_opt t.present (Attr.to_string a) with
-  | Some p -> p_count p
-  | None -> 0
+  match find_present t a with Some p -> p_count p | None -> 0
 
 (* {2 Lazy per-attribute structures} *)
 
@@ -178,16 +221,14 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let iter_present_ids t key f =
-  match Hashtbl.find_opt t.present key with
-  | Some p -> p_iter f p
-  | None -> ()
+let iter_present_ids t a f =
+  match find_present t a with Some p -> p_iter f p | None -> ()
 
 let entry_of_id t id = Index.entry_of_rank t.ix (Index.rank t.ix id)
 
-let build_range t a key =
+let build_range t a =
   let num = ref [] and nonnum = ref [] and all = ref [] in
-  iter_present_ids t key (fun id ->
+  iter_present_ids t a (fun id ->
       let e = entry_of_id t id in
       List.iter
         (fun v ->
@@ -215,13 +256,13 @@ let build_range t a key =
   { num_keys; num_ids; nonnum_keys; nonnum_ids; all_keys; all_ids }
 
 let range_of t a =
-  let key = Attr.to_string a in
+  let key = attr_key (Attr.to_string a) in
   locked t (fun () ->
-      match Hashtbl.find_opt t.ranges key with
+      match Pmap.find_opt key t.ranges with
       | Some ri -> ri
       | None ->
-          let ri = build_range t a key in
-          Hashtbl.add t.ranges key ri;
+          let ri = build_range t a in
+          t.ranges <- Pmap.add key ri t.ranges;
           ri)
 
 (* First index at which [pred] holds; [pred] must be monotone
@@ -257,6 +298,7 @@ let range_slices ri ~ge v =
 
 let lookup_range t ~ge a v =
   let ri = range_of t a in
+  Index.materialize t.ix;
   let bs = Bitset.create (Index.n t.ix) in
   List.iter
     (fun (ids, lo, hi) ->
@@ -274,9 +316,9 @@ let grams s =
   let n = String.length s in
   if n < 3 then [] else List.init (n - 2) (fun i -> String.sub s i 3)
 
-let build_trigrams t a key =
+let build_trigrams t a =
   let tbl = Hashtbl.create 256 in
-  iter_present_ids t key (fun id ->
+  iter_present_ids t a (fun id ->
       let e = entry_of_id t id in
       List.iter
         (fun v ->
@@ -293,13 +335,13 @@ let build_trigrams t a key =
   out
 
 let trigrams_of t a =
-  let key = Attr.to_string a in
+  let key = attr_key (Attr.to_string a) in
   locked t (fun () ->
-      match Hashtbl.find_opt t.trigrams key with
+      match Pmap.find_opt key t.trigrams with
       | Some tbl -> tbl
       | None ->
-          let tbl = build_trigrams t a key in
-          Hashtbl.add t.trigrams key tbl;
+          let tbl = build_trigrams t a in
+          t.trigrams <- Pmap.add key tbl t.trigrams;
           tbl)
 
 let substr_grams (sub : Filter.substring) =
@@ -333,6 +375,7 @@ let substr_candidates t a sub =
   | None -> lookup_present t a
   | Some [] -> Bitset.create (Index.n t.ix)
   | Some (first :: rest) ->
+      Index.materialize t.ix;
       let bs = Bitset.create (Index.n t.ix) in
       Array.iter (fun id -> Bitset.set bs (Index.rank t.ix id)) first;
       List.iter
@@ -354,70 +397,289 @@ let card_substr t a sub =
 (* Counts equal posting multiplicities by construction (one cons per
    push, one array slot per frozen posting), so a multi-valued entry
    contributing several postings to one key is fully unindexed here.
-   Thawed keys stay in the list representation — they are the ones under
-   mutation. *)
-let remove_from tbl k id =
-  match Hashtbl.find_opt tbl k with
-  | None -> ()
-  | Some p -> (
-      let _, l = thaw p in
-      match List.filter (fun i -> i <> id) l with
-      | [] -> Hashtbl.remove tbl k
-      | keep -> Hashtbl.replace tbl k (Building (List.length keep, keep)))
+
+   A [Frozen] posting never thaws to a list: below [patch_min] it is
+   re-spliced in place (binary search plus one blit), above it the edit
+   goes into a [Patched] overlay.  Either way a dense posting (every
+   person carries [uid] and [name], so the [present] rows hold |D| ids)
+   costs O(log |D|) per transaction instead of the O(|D|) copy or the
+   O(|D| log |D|) thaw-and-resort that made writes scale with directory
+   size.  Only [Building] postings (bulk-build residue) still need
+   {!Builder.seal}'s re-freeze. *)
+
+(* Splice threshold: smaller arrays are cheaper to copy than to wrap in
+   an overlay, and staying [Frozen] keeps their reads branch-free. *)
+let patch_min = 1024
+
+(* Overlay size at which a [Patched] posting folds back into one sorted
+   array.  Rebuild is O(|base|), so the amortized per-edit cost is
+   |base| / patch_cap ≈ a few thousand words at |D| = 10^6. *)
+let patch_cap = 256
+
+(* Rightmost insertion point keeping [a] sorted. *)
+let sorted_insert a id =
+  let n = Array.length a in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= id then lo := mid + 1 else hi := mid
+  done;
+  let at = !lo in
+  let out = Array.make (n + 1) id in
+  Array.blit a 0 out 0 at;
+  Array.blit a at out (at + 1) (n - at);
+  out
+
+(* Occurrences of [id] in sorted [a] (multi-valued entries post one
+   slot per value): [first] is the leftmost candidate position. *)
+let occ_range a id =
+  let n = Array.length a in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < id then lo := mid + 1 else hi := mid
+  done;
+  let first = !lo in
+  let last = ref first in
+  while !last < n && a.(!last) = id do incr last done;
+  (first, !last)
+
+(* Fold the overlay back into one sorted array: sweep the base skipping
+   dead ids while merging in the (sorted) adds. *)
+let rebuild { p_base; p_dels; p_adds; p_live; _ } =
+  let add = Array.of_list p_adds in
+  Array.sort Int.compare add;
+  let na = Array.length add and nb = Array.length p_base in
+  let out = Array.make p_live 0 in
+  let j = ref 0 and k = ref 0 in
+  for i = 0 to nb - 1 do
+    let v = p_base.(i) in
+    if not (Pmap.mem v p_dels) then begin
+      while !k < na && add.(!k) < v do
+        out.(!j) <- add.(!k);
+        incr j;
+        incr k
+      done;
+      out.(!j) <- v;
+      incr j
+    end
+  done;
+  while !k < na do
+    out.(!j) <- add.(!k);
+    incr j;
+    incr k
+  done;
+  Frozen out
+
+let patched p = if p.p_edits > patch_cap then rebuild p else Patched p
+
+let push m k id =
+  Pmap.update k
+    (function
+      | Some (Frozen a) when Array.length a < patch_min ->
+          Some (Frozen (sorted_insert a id))
+      | Some (Frozen a) ->
+          Some
+            (Patched
+               {
+                 p_base = a;
+                 p_dels = Pmap.empty;
+                 p_adds = [ id ];
+                 p_edits = 1;
+                 p_live = Array.length a + 1;
+               })
+      | Some (Patched p) ->
+          Some
+            (patched
+               {
+                 p with
+                 p_adds = id :: p.p_adds;
+                 p_edits = p.p_edits + 1;
+                 p_live = p.p_live + 1;
+               })
+      | Some (Building (c, l)) -> Some (Building (c + 1, id :: l))
+      | None -> Some (Building (1, [ id ])))
+    m
+
+let remove_from m k id =
+  Pmap.update k
+    (function
+      | None -> None
+      | Some (Frozen a) when Array.length a < patch_min -> (
+          match occ_range a id with
+          | first, last when last = first -> Some (Frozen a)
+          | first, last when last - first = Array.length a -> None
+          | first, last ->
+              let n = Array.length a in
+              let out = Array.make (n - (last - first)) 0 in
+              Array.blit a 0 out 0 first;
+              Array.blit a last out first (n - last);
+              Some (Frozen out))
+      | Some (Frozen a) -> (
+          match occ_range a id with
+          | first, last when last = first -> Some (Frozen a)
+          | first, last ->
+              Some
+                (Patched
+                   {
+                     p_base = a;
+                     p_dels = Pmap.add id () Pmap.empty;
+                     p_adds = [];
+                     p_edits = 1;
+                     p_live = Array.length a - (last - first);
+                   }))
+      | Some (Patched p) ->
+          (* remove every occurrence: filter the overlay adds, and mark
+             the id dead in the base unless it already is *)
+          let ra = ref 0 in
+          let adds =
+            List.filter
+              (fun i ->
+                if i = id then (
+                  incr ra;
+                  false)
+                else true)
+              p.p_adds
+          in
+          let rb =
+            if Pmap.mem id p.p_dels then 0
+            else
+              let first, last = occ_range p.p_base id in
+              last - first
+          in
+          if !ra = 0 && rb = 0 then Some (Patched p)
+          else
+            let live = p.p_live - !ra - rb in
+            if live = 0 then None
+            else
+              let dels, de =
+                if rb > 0 then (Pmap.add id () p.p_dels, 1)
+                else (p.p_dels, 0)
+              in
+              Some
+                (patched
+                   {
+                     p_base = p.p_base;
+                     p_dels = dels;
+                     p_adds = adds;
+                     p_edits = p.p_edits - !ra + de;
+                     p_live = live;
+                   })
+      | Some (Building (_, l)) -> (
+          match List.filter (fun i -> i <> id) l with
+          | [] -> None
+          | keep -> Some (Building (List.length keep, keep))))
+    m
+
+module Builder = struct
+  type vindex = t
+
+  type t = {
+    base : vindex;
+    mutable b_eq : postings Pmap.t;
+    mutable b_present : postings Pmap.t;
+    mutable b_ranges : range_idx Pmap.t;
+    mutable b_trigrams : (string, Entry.id array) Hashtbl.t Pmap.t;
+    (* Keys edited this transaction, re-frozen at seal (a no-op for
+       the Frozen/Patched splices; it catches keys first created here,
+       which are Building lists). *)
+    touched_eq : (int, unit) Hashtbl.t;
+    touched_present : (int, unit) Hashtbl.t;
+    (* Entries inserted earlier in this same transaction are not in the
+       base index; keep them at hand so a later delete can unindex
+       them. *)
+    added : (Entry.id, Entry.t) Hashtbl.t;
+  }
+
+  let of_version base =
+    (* The lazy structures carry over wholesale; only the attributes Δ
+       touches are evicted (the per-attribute dirty mark), to be rebuilt
+       on their next use.  Untouched attributes keep their sorted arrays
+       and gram postings — valid because postings are ids. *)
+    let ranges, trigrams =
+      locked base (fun () -> (base.ranges, base.trigrams))
+    in
+    {
+      base;
+      b_eq = base.eq;
+      b_present = base.present;
+      b_ranges = ranges;
+      b_trigrams = trigrams;
+      touched_eq = Hashtbl.create 16;
+      touched_present = Hashtbl.create 16;
+      added = Hashtbl.create 16;
+    }
+
+  let dirty b ak =
+    b.b_ranges <- Pmap.remove ak b.b_ranges;
+    b.b_trigrams <- Pmap.remove ak b.b_trigrams
+
+  let insert b entry =
+    let id = Entry.id entry in
+    Hashtbl.replace b.added id entry;
+    List.iter
+      (fun (a, v) ->
+        let k = eq_key (Attr.to_string a) (norm (Value.to_string v)) in
+        Hashtbl.replace b.touched_eq k ();
+        b.b_eq <- push b.b_eq k id)
+      (Entry.pairs entry);
+    Attr.Set.iter
+      (fun a ->
+        let ak = attr_key (Attr.to_string a) in
+        dirty b ak;
+        Hashtbl.replace b.touched_present ak ();
+        b.b_present <- push b.b_present ak id)
+      (Entry.attributes entry)
+
+  let delete b id =
+    let e =
+      match Hashtbl.find_opt b.added id with
+      | Some e -> e
+      | None -> entry_of_id b.base id
+    in
+    Hashtbl.remove b.added id;
+    List.iter
+      (fun (a, v) ->
+        match eq_key_opt (Attr.to_string a) (norm (Value.to_string v)) with
+        | None -> ()
+        | Some k ->
+            Hashtbl.replace b.touched_eq k ();
+            b.b_eq <- remove_from b.b_eq k id)
+      (Entry.pairs e);
+    Attr.Set.iter
+      (fun a ->
+        match attr_key_opt (Attr.to_string a) with
+        | None -> ()
+        | Some ak ->
+            dirty b ak;
+            Hashtbl.replace b.touched_present ak ();
+            b.b_present <- remove_from b.b_present ak id)
+      (Entry.attributes e)
+
+  let apply_op b = function
+    | Update.Insert { entry; _ } -> insert b entry
+    | Update.Delete id -> delete b id
+
+  let seal ~index b =
+    let refreeze touched m =
+      Hashtbl.fold
+        (fun k () m -> Pmap.update k (Option.map freeze) m)
+        touched m
+    in
+    {
+      ix = index;
+      eq = refreeze b.touched_eq b.b_eq;
+      present = refreeze b.touched_present b.b_present;
+      lock = Mutex.create ();
+      ranges = b.b_ranges;
+      trigrams = b.b_trigrams;
+    }
+end
 
 let apply ~index ops t =
-  let eq = Hashtbl.copy t.eq and present = Hashtbl.copy t.present in
-  (* The lazy structures carry over wholesale; only the attributes Δ
-     touches are evicted (the per-attribute dirty mark), to be rebuilt
-     on their next use.  Untouched attributes keep their sorted arrays
-     and gram postings — valid because postings are ids. *)
-  let ranges = Hashtbl.copy t.ranges and trigrams = Hashtbl.copy t.trigrams in
-  let dirty key =
-    Hashtbl.remove ranges key;
-    Hashtbl.remove trigrams key
-  in
-  (* Entries inserted earlier in this same transaction are not in the old
-     index; keep them at hand so a later delete can unindex them. *)
-  let added : (Entry.id, Entry.t) Hashtbl.t = Hashtbl.create 16 in
-  let entry_of id =
-    match Hashtbl.find_opt added id with
-    | Some e -> e
-    | None -> entry_of_id t id
-  in
-  List.iter
-    (function
-      | Update.Insert { entry; _ } ->
-          let id = Entry.id entry in
-          Hashtbl.replace added id entry;
-          List.iter
-            (fun (a, v) ->
-              let key = Attr.to_string a in
-              dirty key;
-              push eq (key, norm_key (Value.to_string v)) id)
-            (Entry.pairs entry);
-          Attr.Set.iter
-            (fun a ->
-              let key = Attr.to_string a in
-              dirty key;
-              push present key id)
-            (Entry.attributes entry)
-      | Update.Delete id ->
-          let e = entry_of id in
-          Hashtbl.remove added id;
-          List.iter
-            (fun (a, v) ->
-              let key = Attr.to_string a in
-              dirty key;
-              remove_from eq (key, norm (Value.to_string v)) id)
-            (Entry.pairs e);
-          Attr.Set.iter
-            (fun a ->
-              let key = Attr.to_string a in
-              dirty key;
-              remove_from present key id)
-            (Entry.attributes e))
-    ops;
-  { ix = index; eq; present; lock = Mutex.create (); ranges; trigrams }
+  let b = Builder.of_version t in
+  List.iter (Builder.apply_op b) ops;
+  Builder.seal ~index b
 
 let replace_entry ~index old_e new_e t =
   apply ~index

@@ -2,13 +2,20 @@
 
     Atomic equality and presence selections — in particular the ubiquitous
     [(objectClass=c)] selections produced by the Figure-4 translation —
-    answer from a hash table instead of a full entry scan.  {!Eval} uses
-    the lookups for [Eq] and [Present] leaves and falls back to scanning
-    for other assertion shapes; {!Plan} additionally uses the lazy
-    per-attribute structures below to index [Ge]/[Le]/[Substr].  Built in
-    O(|val(D)|); the range and trigram indexes are built on first use per
-    attribute (thread-safely), so paths that never issue an ordering or
-    substring assertion never pay for them.
+    answer from a persistent map instead of a full entry scan.  {!Eval}
+    uses the lookups for [Eq] and [Present] leaves and falls back to
+    scanning for other assertion shapes; {!Plan} additionally uses the
+    lazy per-attribute structures below to index [Ge]/[Le]/[Substr].
+    Built in O(|val(D)|); the range and trigram indexes are built on
+    first use per attribute (thread-safely), so paths that never issue an
+    ordering or substring assertion never pay for them.
+
+    Tables are keyed by interned integers ({!Intern}) and stored in
+    persistent Patricia tries, so a version step shares all untouched
+    postings structurally with its parent — stepping to the next version
+    costs O(|Δ| · log) rather than O(|val(D)|) table copies.  Lookup-side
+    keying never grows the intern pools: an assertion value that was
+    never stored resolves to "no key" and the empty set.
 
     Every [card_*] function is an upper bound on the cardinality of the
     corresponding lookup (multi-valued attributes can contribute one
@@ -58,17 +65,41 @@ val card_substr : t -> Attr.t -> Filter.substring -> int
     behind the lowest shifted rank.  At snapshot-build time ({!create})
     every posting set is frozen into one sorted id array — the compact,
     cache-friendly representation the planner's bitset fills and
-    cardinality probes sweep; {!apply} thaws exactly the keys Δ touches
-    back into count+list form, the mutable build representation, leaving
-    untouched keys frozen. *)
+    cardinality probes sweep.  A {!Builder} thaws exactly the keys Δ
+    touches back into count+list form, the mutable build representation,
+    and {!Builder.seal} re-freezes that touched set — so a {e published}
+    version only ever holds frozen postings, no matter how many update
+    transactions produced it. *)
 
-(** [apply ~index ops t] — the value index for the post-transaction
-    version: [index] must be the matching evaluation index (e.g.
-    [Index.apply ops (Vindex.index t)]).  Equality/presence tables are
-    patched per touched key; the lazily-built range and trigram
-    structures survive except for the attributes Δ touches, which are
-    dirty-marked (evicted, rebuilt on next use).  O(copy + |Δ| ·
-    postings-per-touched-key). *)
+(** Accumulates one transaction's worth of posting edits against a base
+    version.  Mirrors {!Index.Builder}: [of_version] is O(1) (the
+    persistent tables are shared, the lazy per-attribute structures
+    carry over minus the attributes Δ dirties), each op costs
+    O(pairs · (log + postings-per-touched-key)), and [seal] publishes an
+    immutable version re-freezing only the touched keys.  A builder is
+    single-transaction scratch state: not thread-safe, and unusable
+    after [seal]. *)
+module Builder : sig
+  type vindex := t
+  type t
+
+  val of_version : vindex -> t
+
+  (** Ops refer to ids of the {e base} version (or ids inserted earlier
+      in this same builder — same-transaction insert-then-delete is
+      handled). *)
+  val apply_op : t -> Update.op -> unit
+
+  (** [seal ~index b] — [index] must be the matching post-transaction
+      evaluation index. *)
+  val seal : index:Index.t -> t -> vindex
+end
+
+(** [apply ~index ops t] — one-shot builder round-trip: the value index
+    for the post-transaction version.  [index] must be the matching
+    evaluation index (e.g. [Index.apply ops (Vindex.index t)]).
+    O(|Δ| · log + touched-key re-freeze); everything untouched is shared
+    with [t]. *)
 val apply : index:Index.t -> Update.op list -> t -> t
 
 (** [replace_entry ~index old_e new_e t] — attribute-level modification:

@@ -28,6 +28,7 @@ type t = {
      acknowledged *)
   mutable batch_buf : Buffer.t option;
   mutable batch_count : int;
+  mutable batch_results : Admission.result list;  (** newest first *)
 }
 
 type error =
@@ -161,18 +162,28 @@ let checkpoint ?(full = false) t =
   else delta_checkpoint t
 
 let apply t ops =
-  match Directory.apply t.dir ops with
-  | Error _ as e -> e
-  | Ok dir ->
-      t.dir <- dir;
+  let dir, res = Directory.apply t.dir ops in
+  let res =
+    match res with
+    | Admission.Rejected _ -> res
+    | Admission.Accepted _ ->
+        t.dir <- dir;
+        (* the commit hook ran inside [Directory.apply] — by now the
+           record is durable (or buffered, inside a batch) and [lsn_v]
+           is its log position *)
+        Admission.with_lsn t.lsn_v res
+  in
+  (match t.batch_buf with
+  | Some _ -> t.batch_results <- res :: t.batch_results
+  | None ->
       (* auto-compaction waits for the batch flush: a checkpoint taken
          mid-batch would cover records that are not on disk yet *)
       if
-        t.batch_buf = None
+        Admission.accepted res
         && t.auto_checkpoint > 0
         && t.wal_records_v >= t.auto_checkpoint
-      then checkpoint t;
-      Ok dir
+      then checkpoint t);
+  res
 
 (* Group commit.  Every {!apply} inside [f] is admitted against the
    rolling version as usual, but its log record lands in the batch
@@ -195,11 +206,13 @@ let batch t f =
   let buf = Buffer.create 1024 in
   t.batch_buf <- Some buf;
   t.batch_count <- 0;
+  t.batch_results <- [];
   let rollback () =
     t.dir <- dir0;
     t.lsn_v <- lsn0;
     t.batch_buf <- None;
-    t.batch_count <- 0
+    t.batch_count <- 0;
+    t.batch_results <- []
   in
   match f () with
   | exception e ->
@@ -207,8 +220,10 @@ let batch t f =
       raise e
   | result ->
       let n = t.batch_count in
+      let results = List.rev t.batch_results in
       t.batch_buf <- None;
       t.batch_count <- 0;
+      t.batch_results <- [];
       if Buffer.length buf > 0 then begin
         (try Wal.append_raw t.io wal_file (Buffer.contents buf)
          with e ->
@@ -219,7 +234,7 @@ let batch t f =
       end;
       if t.auto_checkpoint > 0 && t.wal_records_v >= t.auto_checkpoint then
         checkpoint t;
-      result
+      (result, results)
 
 (* Streaming bulk load: the caller drives [feed], pushing one entry at a
    time into a {!Directory.Bulk} builder (so a million-entry dump never
@@ -306,6 +321,7 @@ let init ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8) io schema
             counted = s;
             batch_buf = None;
             batch_count = 0;
+            batch_results = [];
           }
         in
         hook := wal_hook t;
@@ -381,10 +397,10 @@ let replay_log ~trusted ~ingest io dir0 ~lsn:lsn0 =
     | Some b -> Directory.Bulk.add b ops
     | None -> (
         match Directory.apply !checked_dir ops with
-        | Ok dir ->
+        | dir, Admission.Accepted _ ->
             checked_dir := dir;
             Ok ()
-        | Error rej -> Error rej)
+        | _, Admission.Rejected { reason; _ } -> Error reason)
   in
   (* Delta chain first: it holds the older folded segments. *)
   let st = { cur = lsn0; replayed = 0; skipped = 0; broke = None; segments = 0 } in
@@ -480,6 +496,7 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8)
                       counted;
                       batch_buf = None;
                       batch_count = 0;
+                      batch_results = [];
                     }
                   in
                   hook := wal_hook t;

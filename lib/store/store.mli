@@ -149,20 +149,23 @@ val stats : t -> Checkpoint.meta
 (** [apply t ops] — append the transaction to the log (inside the
     session's commit hook, before acknowledgement), then advance the
     store to the new version.  Rejected transactions touch neither the
-    log nor the session.  Raises {!Io.Crash} only under a fault
-    schedule; the on-disk prefix then still recovers. *)
-val apply : t -> Update.op list -> (Directory.t, Monitor.rejection) result
+    log nor the session.  An accepted verdict carries the record's
+    durable lsn ({!Bounds_core.Admission.lsn}); the advanced session is
+    available through {!directory}.  Raises {!Io.Crash} only under a
+    fault schedule; the on-disk prefix then still recovers. *)
+val apply : t -> Update.op list -> Admission.result
 
 (** [batch t f] — group commit.  {!apply}s made by [f] are admitted
     one by one against the rolling version exactly as usual, but their
     log records are buffered; when [f] returns they are appended in
     {e one} I/O operation — one shared fsync on a durable {!Io.real}
-    handle — and only then does [batch] return.  Callers must not
-    acknowledge any transaction of the batch before [batch] returns.
-    The resulting log bytes are identical to sequential {!apply}s of
-    the same accepted transactions (same lsns, same frames), so
-    recovery cannot tell batches apart — the group-commit equivalence
-    the [test_net] property pins down.
+    handle — and only then does [batch] return [f]'s result alongside
+    the per-transaction {!Bounds_core.Admission.result}s, in apply
+    order.  Callers must not acknowledge any transaction of the batch
+    before [batch] returns.  The resulting log bytes are identical to
+    sequential {!apply}s of the same accepted transactions (same lsns,
+    same frames), so recovery cannot tell batches apart — the
+    group-commit equivalence the [test_net] property pins down.
 
     Crash/failure discipline: a crash before the shared append loses
     the whole (unacknowledged) batch; a torn append leaves a prefix of
@@ -173,7 +176,7 @@ val apply : t -> Update.op list -> (Directory.t, Monitor.rejection) result
     handle still usable.  Auto-compaction is deferred to the flush.
     Nesting [batch], or calling {!checkpoint}/{!load} inside [f], is a
     programming error. *)
-val batch : t -> (unit -> 'a) -> 'a
+val batch : t -> (unit -> 'a) -> 'a * Admission.result list
 
 (** Compact in O(Δ): fold the current log into the delta chain — one
     append of the already-framed record bytes behind a segment marker —

@@ -210,10 +210,10 @@ let make_script seed =
         WP.schema cur
     in
     match Store.apply st txn with
-    | Ok d ->
+    | Admission.Accepted _ ->
         txns := txn :: !txns;
-        states := Directory.instance d :: !states
-    | Error _ -> ()
+        states := Directory.instance (Store.directory st) :: !states
+    | Admission.Rejected _ -> ()
   done;
   (inst0, List.rev !txns, Array.of_list (List.rev !states))
 
@@ -250,20 +250,22 @@ let prop_group_commit_equivalence =
       List.iter
         (fun txn ->
           match Store.apply st_seq txn with
-          | Ok _ -> ()
-          | Error _ -> Alcotest.fail "sequential apply rejected a scripted txn")
+          | Admission.Accepted _ -> ()
+          | Admission.Rejected _ ->
+              Alcotest.fail "sequential apply rejected a scripted txn")
         txns;
       let rng = Random.State.make [| seed; 99 |] in
       List.iter
         (fun group ->
-          Store.batch st_bat (fun () ->
-              List.iter
-                (fun txn ->
-                  match Store.apply st_bat txn with
-                  | Ok _ -> ()
-                  | Error _ ->
-                      Alcotest.fail "batched apply rejected a scripted txn")
-                group))
+          ignore
+            (Store.batch st_bat (fun () ->
+                 List.iter
+                   (fun txn ->
+                     match Store.apply st_bat txn with
+                     | Admission.Accepted _ -> ()
+                     | Admission.Rejected _ ->
+                         Alcotest.fail "batched apply rejected a scripted txn")
+                   group)))
         (chunk rng txns);
       let final = states.(Array.length states - 1) in
       let wal fs =
@@ -293,8 +295,9 @@ let prop_crash_during_group_commit =
         let fs = Io.copy_fs base in
         let io, trace = Io.counting (Io.mem fs) in
         let st, _ = get_store "clean open" (Store.open_ io) in
-        Store.batch st (fun () ->
-            List.iter (fun txn -> ignore (Store.apply st txn)) txns);
+        ignore
+          (Store.batch st (fun () ->
+               List.iter (fun txn -> ignore (Store.apply st txn)) txns));
         match trace () with
         | [ (0, size) ] -> size
         | ops -> Alcotest.failf "batch performed %d I/O ops, wanted 1" (List.length ops)
@@ -313,7 +316,7 @@ let prop_crash_during_group_commit =
               Store.batch st (fun () ->
                   List.iter (fun txn -> ignore (Store.apply st txn)) txns)
             with
-            | () -> false
+            | (), _ -> false
             | exception Io.Crash -> true
           in
           (* nothing was acknowledged; recovery must land on a prefix *)

@@ -697,6 +697,43 @@ let prop_bitset_model =
       && Bitset.subset a b = Iset.subset sa sb
       && Bitset.is_empty a = Iset.is_empty sa)
 
+(* [Bitset.splice] carries memoized per-rank sets across index version
+   steps; hold the word-gather kernel to the member-by-member reference
+   on every alignment of splice point, width and tail residue. *)
+let arb_splice =
+  QCheck.make
+    ~print:(fun (n, xs, at, removed, inserted) ->
+      Printf.sprintf "n=%d at=%d removed=%d inserted=%d xs=%s" n at removed
+        inserted
+        (String.concat "," (List.map string_of_int xs)))
+    QCheck.Gen.(
+      oneof [ int_range 0 80; int_range 120 200; return 64; return 128 ]
+      >>= fun n ->
+      (if n = 0 then return [] else list_size (int_bound 60) (int_bound (n - 1)))
+      >>= fun xs ->
+      int_bound n >>= fun at ->
+      int_bound (n - at) >>= fun removed ->
+      int_bound 70 >|= fun inserted -> (n, xs, at, removed, inserted))
+
+let prop_bitset_splice =
+  QCheck.Test.make ~name:"bitset splice = member reference" ~count:500
+    arb_splice (fun (n, xs, at, removed, inserted) ->
+      let s = Bitset.of_list n xs in
+      let got = Bitset.splice ~at ~removed ~inserted s in
+      let want =
+        Bitset.of_list
+          (n - removed + inserted)
+          (List.filter_map
+             (fun i ->
+               if i < at then Some i
+               else if i < at + removed then None
+               else Some (i - removed + inserted))
+             (List.sort_uniq compare xs))
+      in
+      Bitset.equal got want
+      && Bitset.elements got = Bitset.elements want
+      && Bitset.length got = n - removed + inserted)
+
 (* --- search vs reference --------------------------------------------------- *)
 
 let arb_search =
@@ -820,6 +857,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_query_roundtrip_adversarial;
           QCheck_alcotest.to_alcotest prop_bitset_model;
           QCheck_alcotest.to_alcotest prop_bitset_word_kernels;
+          QCheck_alcotest.to_alcotest prop_bitset_splice;
           QCheck_alcotest.to_alcotest prop_search_reference;
           QCheck_alcotest.to_alcotest prop_extent_brackets_subtree;
         ] );

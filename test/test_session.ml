@@ -151,12 +151,13 @@ let test_session_lifecycle () =
   let ops =
     [ Update.Insert { parent = Some 3; entry = person ~id:100 ~uid:"s1" () } ]
   in
-  let dir' = Result.get_ok (Directory.apply dir ops) in
+  let dir', _ = Directory.apply dir ops in
   check_int "one more entry" (Directory.size dir + 1) (Directory.size dir');
   check_int "one more person" (before + 1)
     (List.length (Directory.query_ids dir' persons));
   check "still legal by its own audit" true (Directory.validate dir' = []);
-  check_same_index "session index = rebuild" (Directory.index dir')
+  check_same_index "session index = rebuild"
+    (Directory.Snapshot.Private.index (Directory.snapshot dir'))
     (Index.create (Directory.instance dir'));
   (* the superseded version is a valid snapshot of its own instance *)
   check_int "old version still answers" before
@@ -175,8 +176,8 @@ let test_session_rejection () =
   in
   let ops = [ Update.Insert { parent = Some 3; entry = person ~id:100 ~uid () } ] in
   (match Directory.apply dir ops with
-  | Ok _ -> Alcotest.fail "duplicate key accepted"
-  | Error _ -> ());
+  | _, Admission.Accepted _ -> Alcotest.fail "duplicate key accepted"
+  | _, Admission.Rejected _ -> ());
   check_int "session unchanged" (Instance.size wp) (Directory.size dir);
   check "still usable" true (Directory.validate dir = []);
   check_int "rejection counted" 1 (Directory.stats dir).Directory.rejected
@@ -189,7 +190,7 @@ let test_session_snapshot () =
   let ops =
     [ Update.Insert { parent = Some 3; entry = person ~id:100 ~uid:"s2" () } ]
   in
-  let _dir' = Result.get_ok (Directory.apply dir ops) in
+  let _dir', _ = Directory.apply dir ops in
   (* the snapshot still answers for its own version after the session moved *)
   check_int "snapshot stable" before
     (List.length (Directory.Snapshot.query_ids snap persons));
@@ -219,6 +220,117 @@ let prop_index_apply =
       | None -> true
       | Some m -> QCheck.Test.fail_report m)
 
+(* --- chunked copy-on-write versions ---------------------------------------- *)
+
+(* Sizes straddling the 256-entry chunk boundary, so every splice shape
+   (within one chunk, across a seam, spanning whole chunks) is hit. *)
+let arb_chunked =
+  QCheck.make
+    ~print:(fun (seed, size, n) ->
+      Printf.sprintf "seed=%d size=%d n_ops=%d" seed size n)
+    QCheck.Gen.(triple (int_bound 100000) (int_range 200 600) (int_range 1 12))
+
+let prop_chunk_boundary_apply =
+  QCheck.Test.make
+    ~name:"Index.apply at chunk-straddling sizes = rebuild, base isolated"
+    ~count:60 arb_chunked (fun (seed, size, n) ->
+      let schema = Gen.random_schema_rich ~seed () in
+      let counter = ref 0 in
+      let inst = Gen.content_legal_forest ~counter ~seed ~size schema in
+      let ops = Gen.random_ops ~counter ~seed:(seed + 1) ~n schema inst in
+      let final = Result.get_ok (Update.apply inst ops) in
+      let base_ix = Index.create inst in
+      let next_ix = Index.apply ops base_ix in
+      (match index_diff next_ix (Index.create final) with
+      | None -> ()
+      | Some m -> QCheck.Test.fail_report ("new version: " ^ m));
+      (* shared-chunk isolation: the new version shares most chunks with
+         its base, yet producing it left the base bit-identical *)
+      match index_diff base_ix (Index.create inst) with
+      | None -> true
+      | Some m -> QCheck.Test.fail_report ("base version mutated: " ^ m))
+
+(* A long chain of versions, each one transaction apart: every sampled
+   version must still equal a rebuild of its own instance — no drift
+   accumulates down the chain, however deep. *)
+let test_deep_version_chain () =
+  let depth = 120 in
+  let seed = 7 in
+  let schema = Gen.random_schema_rich ~seed () in
+  let counter = ref 0 in
+  let inst = Gen.content_legal_forest ~counter ~seed ~size:400 schema in
+  let parents =
+    Instance.fold (fun e acc -> Entry.id e :: acc) inst [] |> Array.of_list
+  in
+  let versions = Array.make (depth + 1) (Index.create inst, inst) in
+  let cur = ref (fst versions.(0), inst) in
+  for i = 1 to depth do
+    let ix, cur_inst = !cur in
+    let parent = parents.(i mod Array.length parents) in
+    let id = 1_000_000 + i in
+    let e =
+      Entry.make ~id
+        ~rdn:(Printf.sprintf "chain%d" id)
+        ~classes:(Oclass.Set.singleton Oclass.top)
+        []
+    in
+    let ops = [ Update.Insert { parent = Some parent; entry = e } ] in
+    let inst' = Result.get_ok (Update.apply cur_inst ops) in
+    let ix' = Index.apply ops ix in
+    versions.(i) <- (ix', inst');
+    cur := (ix', inst')
+  done;
+  (* sample down the chain, then check the head exhaustively: every
+     version answers for its own instance after 120 descendants *)
+  List.iter
+    (fun i ->
+      let ix, inst_i = versions.(i) in
+      check_same_index
+        (Printf.sprintf "version %d of %d" i depth)
+        ix (Index.create inst_i))
+    [ 0; 1; 40; 80; depth ];
+  check_int "chain head grew" (Instance.size inst + depth)
+    (Index.n (fst versions.(depth)))
+
+(* Lightly-edited versions of a large directory share almost all their
+   chunks: the O(delta + touched-chunks) version step is what breaks the
+   1 tx/s write wall, and chunk sharing is its physical witness. *)
+let test_chunk_sharing () =
+  let base = WP.generate ~seed:11 ~units:500 ~persons_per_unit:20 () in
+  let n_versions = 8 in
+  let unit_id =
+    Instance.fold
+      (fun e acc ->
+        if Entry.has_class e (c "orgunit") then Some (Entry.id e) else acc)
+      base None
+    |> Option.get
+  in
+  let ix0 = Index.create base in
+  let chunks = Index.chunk_count ix0 in
+  check "large directory spans many chunks" true (chunks > 20);
+  let prev = ref ix0 in
+  for i = 1 to n_versions do
+    let id = 2_000_000 + i in
+    let ops =
+      [
+        Update.Insert
+          { parent = Some unit_id; entry = person ~id ~uid:(Printf.sprintf "share%d" id) () };
+      ]
+    in
+    let next = Index.apply ops !prev in
+    let shared = Index.shared_chunks next !prev in
+    let total = Index.chunk_count next in
+    if 10 * shared < 9 * total then
+      Alcotest.failf
+        "version %d shares only %d of %d chunks with its parent (< 90%%)" i
+        shared total;
+    prev := next
+  done;
+  (* and the end of the chain still shares ≥90%% with the original *)
+  let shared0 = Index.shared_chunks !prev ix0 in
+  check "chain end still shares ≥90% with the base" true
+    (10 * shared0 >= 9 * Index.chunk_count !prev)
+
 (* A session driven through several random accepted transactions stays
    extensionally equal to a from-scratch rebuild: same index encoding,
    and its own (memoized) audit still finds nothing. *)
@@ -239,11 +351,16 @@ let prop_session_apply =
                 ~n schema (Directory.instance !dir)
             in
             match Directory.apply !dir ops with
-            | Ok d -> dir := d
-            | Error _ -> () (* rejected: session unchanged, keep going *)
+            | d, Admission.Accepted _ -> dir := d
+            | _, Admission.Rejected _ -> ()
+            (* rejected: session unchanged, keep going *)
           done;
           let fresh = Index.create (Directory.instance !dir) in
-          (match index_diff (Directory.index !dir) fresh with
+          (match
+             index_diff
+               (Directory.Snapshot.Private.index (Directory.snapshot !dir))
+               fresh
+           with
           | None -> ()
           | Some m -> QCheck.Test.fail_report m);
           Directory.validate !dir = [])
@@ -259,6 +376,14 @@ let () =
           Alcotest.test_case "graft and prune" `Quick test_graft_and_prune;
           Alcotest.test_case "replace entry" `Quick test_replace_entry;
           QCheck_alcotest.to_alcotest prop_index_apply;
+        ] );
+      ( "chunked-versions",
+        [
+          QCheck_alcotest.to_alcotest prop_chunk_boundary_apply;
+          Alcotest.test_case "120-deep version chain" `Quick
+            test_deep_version_chain;
+          Alcotest.test_case "light edits share ≥90% of chunks" `Quick
+            test_chunk_sharing;
         ] );
       ( "directory",
         [

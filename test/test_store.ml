@@ -32,8 +32,10 @@ let get_store what = function
   | Error e -> Alcotest.failf "%s: %s" what (Store.error_to_string e)
 
 let get_apply what = function
-  | Ok v -> v
-  | Error r -> Alcotest.failf "%s: %s" what (Format.asprintf "%a" Monitor.pp_rejection r)
+  | Admission.Accepted _ as r -> r
+  | Admission.Rejected { reason; _ } ->
+      Alcotest.failf "%s: %s" what
+        (Format.asprintf "%a" Monitor.pp_rejection reason)
 
 (* --- Frame ---------------------------------------------------------------- *)
 
@@ -213,8 +215,8 @@ let test_torn_append () =
   let _ = get_apply "t1" (Store.apply st txn1) in
   (match Store.apply st txn2 with
   | exception Io.Crash -> ()
-  | Ok _ -> Alcotest.fail "torn append was acknowledged"
-  | Error _ -> Alcotest.fail "torn append was rejected, not crashed");
+  | Admission.Accepted _ -> Alcotest.fail "torn append was acknowledged"
+  | Admission.Rejected _ -> Alcotest.fail "torn append was rejected, not crashed");
   let st', report = reopen "torn append" fs in
   check_int "lsn" 1 (Store.lsn st');
   expect_recovered "torn append" ~offset:r1 ~reason:"truncated frame payload" report;
@@ -475,10 +477,10 @@ let run_script script io =
          List.iteri
            (fun i txn ->
              (match Store.apply st txn with
-             | Ok _ -> incr acked
-             | Error r ->
+             | Admission.Accepted _ -> incr acked
+             | Admission.Rejected { reason; _ } ->
                  Alcotest.failf "script txn %d rejected: %s" i
-                   (Format.asprintf "%a" Monitor.pp_rejection r));
+                   (Format.asprintf "%a" Monitor.pp_rejection reason));
              if i + 1 = script.ckpt_after then Store.checkpoint st;
              if i + 1 = script.ckpt_full_after then
                Store.checkpoint ~full:true st)
@@ -504,10 +506,10 @@ let make_script seed =
         WP.schema cur
     in
     match Store.apply st txn with
-    | Ok d ->
+    | Admission.Accepted _ ->
         txns := txn :: !txns;
-        states := Directory.instance d :: !states
-    | Error _ -> () (* rejected: not part of the script *)
+        states := Directory.instance (Store.directory st) :: !states
+    | Admission.Rejected _ -> () (* rejected: not part of the script *)
   done;
   let txns = List.rev !txns in
   ( {
@@ -580,13 +582,14 @@ let check_recovery ~what script fs acked =
       | None -> ()
       | Some txn -> (
           match Store.apply st txn with
-          | Error r ->
+          | Admission.Rejected { reason; _ } ->
               Alcotest.failf "%s: resume txn rejected: %s" what
-                (Format.asprintf "%a" Monitor.pp_rejection r)
-          | Ok d' ->
+                (Format.asprintf "%a" Monitor.pp_rejection reason)
+          | Admission.Accepted _ ->
               if
                 not
-                  (Instance.equal (Directory.instance d')
+                  (Instance.equal
+                     (Directory.instance (Store.directory st))
                      script.states.(acked + 1))
               then Alcotest.failf "%s: resumed state differs" what)
 

@@ -347,7 +347,7 @@ let test_monitor_lifecycle () =
   let delta =
     Instance.add_root_exn (person ~id:100 ~uid:"fresh1" ()) Instance.empty
   in
-  let m = Result.get_ok (Monitor.insert_subtree ~parent:(Some 3) delta m) in
+  let m, _ = Result.get_ok (Monitor.insert_subtree ~parent:(Some 3) delta m) in
   check_int "person count bumped" 4 (Monitor.class_count m (c "person"));
   check_int "size" 7 (Instance.size (Monitor.instance m));
   (* illegal insert rejected, monitor unchanged *)
@@ -357,7 +357,7 @@ let test_monitor_lifecycle () =
   | _ -> Alcotest.fail "should reject");
   check_int "unchanged" 7 (Instance.size (Monitor.instance m));
   (* legal delete *)
-  let m = Result.get_ok (Monitor.delete_subtree 100 m) in
+  let m, _ = Result.get_ok (Monitor.delete_subtree 100 m) in
   check_int "person count restored" 3 (Monitor.class_count m (c "person"))
 
 let test_monitor_rejects_illegal_base () =
@@ -375,7 +375,7 @@ let test_monitor_key_enforcement () =
            viols)
   | Ok _ -> Alcotest.fail "key violation missed");
   (* delete laks then reuse the uid: must now be accepted *)
-  let m = Result.get_ok (Monitor.delete_subtree 4 m) in
+  let m, _ = Result.get_ok (Monitor.delete_subtree 4 m) in
   check "uid freed" true (Result.is_ok (Monitor.insert_subtree ~parent:(Some 3) dup m))
 
 let test_monitor_transaction () =
@@ -388,7 +388,7 @@ let test_monitor_transaction () =
     ]
   in
   (match Monitor.apply ops m with
-  | Ok m' ->
+  | Ok (m', _) ->
       check_int "size" 7 (Instance.size (Monitor.instance m'));
       check "legal" true (Legality.is_legal wp_schema (Monitor.instance m'))
   | Error r -> Alcotest.failf "%a" (fun ppf -> Monitor.pp_rejection ppf) r);
@@ -409,7 +409,7 @@ let prop_monitor_agrees =
       let ops = Bounds_workload.Gen.random_ops ~seed:(seed + 2) ~n wp_schema base in
       let final = Result.get_ok (Update.apply base ops) in
       match Monitor.apply ops m with
-      | Ok m' ->
+      | Ok (m', _) ->
           Legality.is_legal wp_schema (Monitor.instance m')
           && Instance.equal (Monitor.instance m') final
       | Error (Monitor.Illegal _) -> not (Legality.is_legal wp_schema final)
@@ -499,7 +499,7 @@ let test_soak () =
         schema (Monitor.instance !m)
     in
     (match Monitor.apply ops !m with
-    | Ok m' ->
+    | Ok (m', _) ->
         incr accepted;
         m := m';
         replay := Result.get_ok (Update.apply !replay ops)
