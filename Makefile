@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-smoke bench-scale bench-write fault-smoke fuzz-smoke serve-smoke doc clean
+.PHONY: all test bench bench-smoke bench-scale bench-write fault-smoke fuzz-smoke serve-smoke replica-smoke doc clean
 
 all:
 	dune build
@@ -10,12 +10,12 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Tiny-quota sanity run of the perf experiments (P1-P8); leaves
+# Tiny-quota sanity run of the perf experiments (P1-P9); leaves
 # BENCH_legality.json, BENCH_query.json, BENCH_session.json,
 # BENCH_store.json, BENCH_ingest.json, BENCH_serve.json,
-# BENCH_scale.json and BENCH_write.json in _build/default/bench.  --force because the json
-# is a side effect of the alias action, which dune would otherwise
-# cache.
+# BENCH_scale.json, BENCH_write.json and BENCH_replicate.json in
+# _build/default/bench.  --force because the json is a side effect of
+# the alias action, which dune would otherwise cache.
 bench-smoke:
 	dune build --force @bench-smoke
 
@@ -55,6 +55,53 @@ serve-smoke:
 	$$bin client --port $$port shutdown >/dev/null || exit 1; \
 	wait $$pid; \
 	echo "serve-smoke: ok (daemon exited cleanly)"
+
+# Replication round-trip: serve a store with --replicate, bootstrap a
+# replica over the wire, drive writes, kill -9 the replica mid-stream,
+# restart it (resume from its durable lsn, no re-bootstrap), drive more
+# writes, and require both sides to converge to the same lsn and the
+# same query answers.
+replica-smoke:
+	@dune build bin/ldapschema.exe
+	@tmp=$$(mktemp -d); bin=_build/default/bin/ldapschema.exe; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$$bin generate --units 4 --persons 3 --out $$tmp/data.ldif \
+	  --emit-schema $$tmp/wp.spec 2>/dev/null; \
+	: > $$tmp/empty.ldif; \
+	$$bin update --store $$tmp/store -s $$tmp/wp.spec -d $$tmp/data.ldif \
+	  -o $$tmp/empty.ldif >/dev/null; \
+	$$bin serve $$tmp/store --port 0 --replicate > $$tmp/serve.out 2>&1 & spid=$$!; \
+	port=""; for i in $$(seq 100); do \
+	  port=$$(sed -n 's/^listening on [^:]*:\([0-9]*\) .*/\1/p' $$tmp/serve.out); \
+	  [ -n "$$port" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$port" ] || { echo "replica-smoke: primary never bound"; kill $$spid; exit 1; }; \
+	$$bin replica --from 127.0.0.1:$$port --store $$tmp/rstore --port 0 \
+	  > $$tmp/replica.out 2>&1 & rpid=$$!; \
+	$$bin traffic --port $$port --clients 4 --requests 20 --write-ratio 0.5 >/dev/null || exit 1; \
+	kill -9 $$rpid 2>/dev/null; wait $$rpid 2>/dev/null; \
+	$$bin traffic --port $$port --clients 2 --requests 10 --write-ratio 1.0 --tag u2 >/dev/null || exit 1; \
+	$$bin replica --from 127.0.0.1:$$port --store $$tmp/rstore --port 0 \
+	  > $$tmp/replica2.out 2>&1 & rpid=$$!; \
+	rport=""; for i in $$(seq 100); do \
+	  rport=$$(sed -n 's/^replica listening on [^:]*:\([0-9]*\) .*/\1/p' $$tmp/replica2.out); \
+	  [ -n "$$rport" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$rport" ] || { echo "replica-smoke: replica never bound"; kill $$spid; exit 1; }; \
+	plsn=$$($$bin client --port $$port stats | sed -n 's/^lsn //p'); \
+	alsn=""; for i in $$(seq 100); do \
+	  alsn=$$($$bin client --port $$rport stats | sed -n 's/^applied_lsn //p'); \
+	  [ "$$alsn" = "$$plsn" ] && break; sleep 0.1; \
+	done; \
+	[ "$$alsn" = "$$plsn" ] || { echo "replica-smoke: never converged (primary $$plsn, replica $$alsn)"; kill $$spid $$rpid; exit 1; }; \
+	pq=$$($$bin client --port $$port query '(objectClass=person)' | head -1); \
+	rq=$$($$bin client --port $$rport query '(objectClass=person)' | head -1); \
+	[ "$$pq" = "$$rq" ] || { echo "replica-smoke: answers diverge (primary $$pq, replica $$rq)"; kill $$spid $$rpid; exit 1; }; \
+	$$bin client --port $$rport shutdown >/dev/null || exit 1; \
+	wait $$rpid; \
+	$$bin client --port $$port shutdown >/dev/null || exit 1; \
+	wait $$spid; \
+	echo "replica-smoke: ok (killed, reconnected, converged at lsn $$plsn, $$pq persons both sides)"
 
 # Crash-recovery tests in isolation: the durable-store suite drives every
 # WAL/checkpoint scenario through the fault-injecting Io harness (torn

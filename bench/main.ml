@@ -2126,6 +2126,192 @@ let exp_w1 () =
   run_config ~label:"dense (5 req/3 forb)" ~n_req:5 ~n_forb:3;
   run_config ~label:"sparse (2 req/1 forb)" ~n_req:2 ~n_forb:1
 
+(* --- P9: WAL-shipped replica --------------------------------------------- *)
+
+let exp_p9 ~smoke ~json () =
+  let module Server = Bounds_net.Server in
+  let module Replica = Bounds_net.Replica in
+  let module Client = Bounds_net.Client in
+  let module Proto = Bounds_net.Proto in
+  let module Traffic = Bounds_workload.Traffic in
+  header "P9   WAL-shipped replica: replication throughput and lag"
+    "claim: shipping every acknowledged WAL record keeps a read replica\n\
+     within a small bounded lag of the primary under a sustained write\n\
+     stream - the replica applies through trusted replay (admission\n\
+     happened at the primary's acknowledge), so apply cost stays below\n\
+     admission cost and the replica catches up promptly once the\n\
+     stream quiesces.";
+  let client_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let requests_per_client = if smoke then 40 else 200 in
+  let fresh_io name =
+    let root =
+      Filename.concat (Filename.get_temp_dir_name ()) ("bounds-bench-" ^ name)
+    in
+    let io = Sio.real ~fsync:true ~root () in
+    List.iter io.Sio.remove
+      [ Store.schema_file; Store.checkpoint_file; Store.delta_file; Store.wal_file ];
+    io
+  in
+  let pct sorted p =
+    if Array.length sorted = 0 then 0
+    else
+      sorted.(min
+                (Array.length sorted - 1)
+                (int_of_float (ceil (p *. float_of_int (Array.length sorted)) -. 1.)))
+  in
+  (* one primary+replica pair per point: write-only traffic at the
+     primary while a sampler thread reads the lsn gap, then the time
+     for the replica to drain the residual lag once writes stop *)
+  let point clients =
+    let io = fresh_io (Printf.sprintf "p9p-%d" clients) in
+    let base = WP.generate ~seed:9 ~units:3 ~persons_per_unit:3 () in
+    let st = Result.get_ok (Store.init io WP.schema base) in
+    let srv = Server.start ~port:0 ~batch_max:64 ~replicate:true st in
+    let port = Server.port srv in
+    let rio = fresh_io (Printf.sprintf "p9r-%d" clients) in
+    let rep = Replica.start ~port:0 ~primary_port:port rio in
+    let deadline = Unix.gettimeofday () +. 30. in
+    while
+      (Replica.stats rep).Replica.boots = 0 && Unix.gettimeofday () < deadline
+    do
+      Thread.delay 0.005
+    done;
+    if (Replica.stats rep).Replica.boots = 0 then failwith "P9: bootstrap stuck";
+    let lags = ref [] in
+    let sampling = Atomic.make true in
+    let sampler =
+      Thread.create
+        (fun () ->
+          while Atomic.get sampling do
+            let lag =
+              Store.lsn st - (Replica.stats rep).Replica.applied_lsn
+            in
+            lags := max 0 lag :: !lags;
+            Thread.delay 0.002
+          done)
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let report =
+      match
+        Traffic.run ~port ~clients ~requests:requests_per_client
+          ~write_ratio:1.0 ~seed:(9 + clients)
+          ~tag:(Printf.sprintf "p9c%d" clients)
+          ()
+      with
+      | Ok r -> r
+      | Error e -> failwith ("P9 traffic: " ^ e)
+    in
+    let t_traffic = Unix.gettimeofday () -. t0 in
+    let final_lsn = Store.lsn st in
+    let tc0 = Unix.gettimeofday () in
+    while
+      (Replica.stats rep).Replica.applied_lsn < final_lsn
+      && Unix.gettimeofday () < tc0 +. 30.
+    do
+      Thread.delay 0.001
+    done;
+    let catchup_ms = (Unix.gettimeofday () -. tc0) *. 1000. in
+    let applied = (Replica.stats rep).Replica.applied_lsn in
+    if applied < final_lsn then
+      failwith
+        (Printf.sprintf "P9: replica stuck at lsn %d of %d" applied final_lsn);
+    Atomic.set sampling false;
+    Thread.join sampler;
+    (* the replica must answer the same count the primary does *)
+    let count_at p =
+      match Client.connect ~port:p ~retries:10 () with
+      | Error e -> failwith ("P9 count: " ^ e)
+      | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              match Client.request c (Proto.Query "(objectClass=person)") with
+              | Ok (Proto.Reply body) -> (
+                  match String.index_opt body '\n' with
+                  | Some i -> String.sub body 0 i
+                  | None -> body)
+              | Ok (Proto.Failed m) -> failwith ("P9 count: " ^ m)
+              | Error e -> failwith ("P9 count: " ^ e))
+    in
+    let pc = count_at port and rc = count_at (Replica.port rep) in
+    if pc <> rc then
+      failwith (Printf.sprintf "P9: diverged (primary %s, replica %s)" pc rc);
+    Replica.stop rep;
+    Replica.wait rep;
+    (match Client.connect ~port ~retries:10 () with
+    | Ok c ->
+        ignore (Client.request c Proto.Shutdown);
+        Client.close c
+    | Error e -> failwith ("P9 shutdown: " ^ e));
+    Server.wait srv;
+    Store.close st;
+    let sorted = Array.of_list !lags in
+    Array.sort compare sorted;
+    let writes = clients * requests_per_client in
+    ( clients,
+      float_of_int writes /. t_traffic,
+      Traffic.throughput report,
+      pct sorted 0.5,
+      pct sorted 0.95,
+      (if Array.length sorted = 0 then 0 else sorted.(Array.length sorted - 1)),
+      catchup_ms,
+      final_lsn )
+  in
+  let points = List.map point client_counts in
+  Printf.printf
+    "  write-only traffic at the primary, %d requests/client (fsync on,\n\
+    \  lag sampled every 2 ms as primary lsn - replica applied lsn):\n"
+    requests_per_client;
+  Printf.printf "  %8s  %11s  %9s  %9s  %9s  %11s\n" "clients" "writes/s"
+    "lag p50" "lag p95" "lag max" "catchup ms";
+  List.iter
+    (fun (c, wps, _, p50, p95, mx, cms, _) ->
+      Printf.printf "  %8d  %11.0f  %9d  %9d  %9d  %11.1f\n" c wps p50 p95 mx
+        cms)
+    points;
+  let _, _, _, _, worst_p95, _, _, _ =
+    List.fold_left
+      (fun ((_, _, _, _, bp, _, _, _) as best)
+           ((_, _, _, _, p95, _, _, _) as cand) ->
+        if p95 > bp then cand else best)
+      (List.hd points) (List.tl points)
+  in
+  Printf.printf
+    "  shape: lag stays bounded (worst p95 %d records) while the primary\n\
+    \  takes writes at full speed; every point converged to the primary's\n\
+    \  final lsn and answered the same person count over the wire\n"
+    worst_p95;
+  if json then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"experiment\": \"P9\",\n";
+    Buffer.add_string buf "  \"workload\": \"white-pages\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"peak_heap_bytes\": %d,\n" (peak_heap_bytes ()));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"requests_per_client\": %d,\n" requests_per_client);
+    Buffer.add_string buf "  \"points\": [\n";
+    let lines =
+      List.map
+        (fun (c, wps, rps, p50, p95, mx, cms, lsn) ->
+          Printf.sprintf
+            "    { \"series\": \"replicate\", \"n\": %d, \"writes_per_sec\": \
+             %.1f, \"req_per_sec\": %.1f, \"lag_p50\": %d, \"lag_p95\": %d, \
+             \"lag_max\": %d, \"catchup_ms\": %.1f, \"final_lsn\": %d }"
+            c wps rps p50 p95 mx cms lsn)
+        points
+    in
+    Buffer.add_string buf (String.concat ",\n" lines);
+    Buffer.add_string buf "\n  ]\n}\n";
+    let oc = open_out "BENCH_replicate.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "  wrote BENCH_replicate.json (%d points)\n"
+      (List.length lines)
+  end
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let experiments ~smoke ~json =
@@ -2147,6 +2333,7 @@ let experiments ~smoke ~json =
     ("P6", exp_p6 ~smoke ~json);
     ("P7", exp_p7 ~smoke ~json);
     ("P8", exp_p8 ~smoke ~json);
+    ("P9", exp_p9 ~smoke ~json);
   ]
 
 let () =

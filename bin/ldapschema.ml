@@ -1057,6 +1057,7 @@ let stats_cmd =
 module Server = Bounds_net.Server
 module Client = Bounds_net.Client
 module Proto = Bounds_net.Proto
+module Replica = Bounds_net.Replica
 
 let host_arg =
   Arg.(
@@ -1072,13 +1073,15 @@ let port_req_arg =
     & opt (some int) None
     & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
 
-let serve dir host port batch_max max_clients jobs =
+let serve dir host port batch_max max_clients replicate jobs =
   with_jobs jobs (fun pool ->
       let st = open_store ?pool dir in
       Fun.protect
         ~finally:(fun () -> Store.close st)
         (fun () ->
-          let srv = Server.start ~host ~port ~batch_max ~max_clients st in
+          let srv =
+            Server.start ~host ~port ~batch_max ~max_clients ~replicate st
+          in
           let stop _ = Server.stop srv in
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -1102,6 +1105,14 @@ let serve_cmd =
       & info [ "max-clients" ] ~docv:"N"
           ~doc:"Most concurrent connections (default 64).")
   in
+  let replicate =
+    Arg.(
+      value & flag
+      & info [ "replicate" ]
+          ~doc:
+            "Accept replica subscriptions and ship every acknowledged WAL \
+             record (plus checkpoint markers) to them as it commits.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1112,7 +1123,77 @@ let serve_cmd =
     Term.(
       const serve $ store_pos_arg $ host_arg
       $ port_opt_arg ~doc:"Port to listen on (0 = ephemeral, printed at start)."
-      $ batch_max $ max_clients $ jobs_arg)
+      $ batch_max $ max_clients $ replicate $ jobs_arg)
+
+let replica_verb dir from host port max_clients =
+  let primary_host, primary_port =
+    match String.rindex_opt from ':' with
+    | None ->
+        or_die (Error (Printf.sprintf "--from %S: expected HOST:PORT" from))
+    | Some i -> (
+        let h = String.sub from 0 i in
+        let p = String.sub from (i + 1) (String.length from - i - 1) in
+        match int_of_string_opt p with
+        | Some p when p > 0 -> ((if h = "" then "127.0.0.1" else h), p)
+        | _ ->
+            or_die
+              (Error (Printf.sprintf "--from %S: bad port %S" from p)))
+  in
+  (* A fresh replica bootstraps into an empty directory — create it
+     rather than demanding an existing store like the other verbs. *)
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    or_die (Error (Printf.sprintf "%s: not a directory" dir));
+  let io = Bounds_store.Io.real ~root:dir () in
+  let rep =
+    Replica.start ~host ~port ~max_clients ~primary_host ~primary_port io
+  in
+  let stop _ = Replica.stop rep in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.printf "replica listening on %s:%d (store %s, primary %s:%d)\n%!"
+    host (Replica.port rep) dir primary_host primary_port;
+  Replica.wait rep;
+  print_endline (Replica.stats_text (Replica.stats rep));
+  0
+
+let replica_cmd =
+  let from =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"HOST:PORT"
+          ~doc:"Primary to subscribe to (its serve $(b,--replicate) feed).")
+  in
+  let store =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Replica store directory; created and bootstrapped from a \
+             shipped snapshot if absent, recovered and served immediately \
+             if present.")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 16
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Most concurrent read connections (default 16).")
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:
+         "Run a read-only replica fed by WAL shipment from a primary \
+          started with $(b,--replicate): bootstraps from a shipped \
+          snapshot, applies the stream through trusted replay, serves \
+          lock-free reads from its own snapshots, and reconnects with \
+          exponential backoff resuming from its durable lsn.")
+    Term.(
+      const replica_verb $ store $ from $ host_arg
+      $ port_opt_arg
+          ~doc:"Read-side port to listen on (0 = ephemeral, printed at start)."
+      $ max_clients)
 
 let client_verb host port verb operand base scope =
   let req =
@@ -1259,6 +1340,7 @@ let main =
       checkpoint_cmd;
       stats_cmd;
       serve_cmd;
+      replica_cmd;
       client_cmd;
       traffic_cmd;
     ]

@@ -1090,6 +1090,215 @@ let intern_transparency =
                       else Agree)));
   }
 
+(* WAL shipment, with the wire replaced by an in-process queue and an
+   adversary pulling the plug: the primary's ship hook feeds a queue
+   that only delivers while "connected"; between transactions the
+   adversary disconnects, kills the replica outright (close + recover
+   from its own files), compacts the primary, and reconnects from the
+   replica's durable lsn — sometimes one lsn early, so the duplicate
+   path is exercised, and sometimes from before the primary's base
+   checkpoint, so the bootstrap path is.  After a final kill, recovery
+   and catch-up, the replica must agree with the primary on lsn, the
+   instance itself, legality, and every memoized obligation answer. *)
+let replica_convergence =
+  {
+    name = "replica-convergence";
+    doc =
+      "a WAL-shipped replica converges to the primary across disconnects, \
+       kills and bootstraps (lsn, instance, legality, obligation answers)";
+    generate = (fun ~seed rng -> monitor_case "replica-convergence" ~seed rng);
+    check =
+      total (fun c ->
+          with_schema c (fun schema ->
+              with_instance c (fun inst ->
+                  let fs = Store_io.fresh_fs () in
+                  match Store.init (Store_io.mem fs) schema inst with
+                  | Error _ -> Agree (* illegal seed: out of contract *)
+                  | Ok primary -> (
+                      let rng =
+                        Random.State.make [| c.Case.seed; 0x5EED |]
+                      in
+                      let rfs = Store_io.fresh_fs () in
+                      let rio = Store_io.mem rfs in
+                      let replica = ref None in
+                      let connected = ref false in
+                      let wire : Store.ship Queue.t = Queue.create () in
+                      Store.set_ship_hook primary
+                        (Some
+                           (fun item ->
+                             if !connected then Queue.push item wire));
+                      let failure = ref None in
+                      let failf fmt =
+                        Printf.ksprintf
+                          (fun m -> if !failure = None then failure := Some m)
+                          fmt
+                      in
+                      let rlsn () =
+                        match !replica with Some s -> Store.lsn s | None -> -1
+                      in
+                      let apply_shipped lsn ops =
+                        match !replica with
+                        | None -> failf "shipped record before any bootstrap"
+                        | Some s -> (
+                            match Store.replica_apply s ~lsn ops with
+                            | Ok (`Applied | `Duplicate) -> ()
+                            | Error e -> failf "replica_apply: %s" e)
+                      in
+                      let boot () =
+                        (match !replica with
+                        | Some s -> Store.close s
+                        | None -> ());
+                        replica := None;
+                        let schema_text, checkpoint, _lsn =
+                          Store.boot_blob primary
+                        in
+                        match
+                          Store.install_snapshot rio ~schema:schema_text
+                            ~checkpoint
+                        with
+                        | Error e -> failf "install_snapshot: %s" e
+                        | Ok () -> (
+                            match Store.open_ rio with
+                            | Error e ->
+                                failf "bootstrap reopen: %s"
+                                  (Store.error_to_string e)
+                            | Ok (s, _) -> replica := Some s)
+                      in
+                      let drain () =
+                        while not (Queue.is_empty wire) do
+                          match Queue.pop wire with
+                          | Store.Ship_txn { lsn; ops } -> apply_shipped lsn ops
+                          | Store.Ship_mark _ -> (
+                              match !replica with
+                              | Some s -> Store.checkpoint s
+                              | None -> ())
+                        done
+                      in
+                      let disconnect () =
+                        connected := false;
+                        (* in-flight but undelivered shipment is lost *)
+                        Queue.clear wire
+                      in
+                      let reconnect () =
+                        if not !connected then begin
+                          (* resuming one lsn early re-ships a record the
+                             replica already holds: the duplicate path *)
+                          let from =
+                            if Random.State.bool rng then rlsn ()
+                            else rlsn () - 1
+                          in
+                          (match Store.records_from primary ~lsn:from with
+                          | `Records rs ->
+                              List.iter (fun (lsn, ops) -> apply_shipped lsn ops) rs
+                          | `Too_old -> boot ());
+                          connected := true
+                        end
+                      in
+                      let kill () =
+                        match !replica with
+                        | None -> disconnect ()
+                        | Some s ->
+                            disconnect ();
+                            Store.close s;
+                            (* recover from the replica's own files, like a
+                               daemon restart *)
+                            replica := None;
+                            (match Store.open_ rio with
+                            | Error e ->
+                                failf "replica recovery: %s"
+                                  (Store.error_to_string e)
+                            | Ok (s', _) -> replica := Some s')
+                      in
+                      reconnect ();
+                      (* group ops into transactions of one or two; pairs go
+                         through [batch] so batch-order shipment is covered *)
+                      let rec chunks = function
+                        | [] -> []
+                        | a :: b :: rest when Random.State.bool rng ->
+                            [ a; b ] :: chunks rest
+                        | a :: rest -> [ a ] :: chunks rest
+                      in
+                      List.iter
+                        (fun txn ->
+                          (match Random.State.int rng 6 with
+                          | 0 -> disconnect ()
+                          | 1 -> kill ()
+                          | 2 ->
+                              Store.checkpoint
+                                ~full:(Random.State.bool rng)
+                                primary
+                          | 3 -> reconnect ()
+                          | _ -> ());
+                          (match txn with
+                          | [ _ ] ->
+                              List.iter
+                                (fun op -> ignore (Store.apply primary [ op ]))
+                                txn
+                          | _ ->
+                              ignore
+                                (Store.batch primary (fun () ->
+                                     List.iter
+                                       (fun op ->
+                                         ignore (Store.apply primary [ op ]))
+                                       txn)));
+                          if !connected then drain ())
+                        (chunks c.Case.ops);
+                      (* finale: crash the replica once more, recover, catch
+                         up, and demand convergence *)
+                      kill ();
+                      reconnect ();
+                      drain ();
+                      let verdict =
+                        match !failure with
+                        | Some m -> Some m
+                        | None -> (
+                            match !replica with
+                            | None -> Some "no replica after final catch-up"
+                            | Some s -> (
+                                let pdir = Store.directory primary in
+                                let rdir = Store.directory s in
+                                if Store.lsn s <> Store.lsn primary then
+                                  Some
+                                    (Printf.sprintf
+                                       "replica lsn %d vs primary %d"
+                                       (Store.lsn s) (Store.lsn primary))
+                                else if
+                                  not
+                                    (Instance.equal (Directory.instance rdir)
+                                       (Directory.instance pdir))
+                                then Some "replica instance diverged"
+                                else
+                                  match Directory.validate rdir with
+                                  | _ :: _ as vs ->
+                                      Some
+                                        ("replica fails validate: "
+                                        ^ pp_violations vs)
+                                  | [] ->
+                                      List.find_map
+                                        (fun (_, q, _) ->
+                                          let a = Directory.query_ids rdir q in
+                                          let b = Directory.query_ids pdir q in
+                                          if a = b then None
+                                          else
+                                            Some
+                                              (Printf.sprintf
+                                                 "replica %s vs primary %s on \
+                                                  %s"
+                                                 (pp_ids a) (pp_ids b)
+                                                 (Query.to_string q)))
+                                        (Translate.all schema.Schema.structure))
+                              )
+                      in
+                      Store.set_ship_hook primary None;
+                      (match !replica with
+                      | Some s -> Store.close s
+                      | None -> ());
+                      Store.close primary;
+                      match verdict with
+                      | None -> Agree
+                      | Some m -> Disagree m))));
+  }
+
 let all =
   [
     ldif_roundtrip;
@@ -1111,6 +1320,7 @@ let all =
     store_roundtrip;
     trusted_replay;
     intern_transparency;
+    replica_convergence;
   ]
 
 let names = List.map (fun o -> o.name) all

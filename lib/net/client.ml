@@ -4,12 +4,39 @@
 
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
-let connect ?(host = "127.0.0.1") ~port ?(retries = 0) () =
+(* Version handshake: declare who we are, fail fast if the server
+   speaks a different protocol revision.  Servers predating the hello
+   verb answer unknown requests with [Failed], which lands here as a
+   mismatch too — exactly the right outcome. *)
+let shake fd role =
+  match Conn.send fd (Proto.encode_request (Hello { version = Proto.version; role })) with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error ("hello: " ^ Unix.error_message err)
+  | () -> (
+      match Conn.recv_or_error fd with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error ("hello: " ^ Unix.error_message err)
+      | Error e -> Error ("hello: " ^ e)
+      | Ok payload -> (
+          match Proto.decode_response payload with
+          | Ok (Reply _) -> Ok ()
+          | Ok (Failed msg) -> Error ("hello rejected: " ^ msg)
+          | Error e -> Error ("hello: " ^ e)))
+
+let connect ?(host = "127.0.0.1") ~port ?(retries = 0) ?(hello = true)
+    ?(role = Proto.Reader) () =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let rec go attempt =
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
-    | () -> Ok { fd; closed = false }
+    | () ->
+        if not hello then Ok { fd; closed = false }
+        else (
+          match shake fd role with
+          | Ok () -> Ok { fd; closed = false }
+          | Error e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error e)
     | exception Unix.Unix_error (err, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         if attempt < retries then begin
@@ -38,6 +65,10 @@ let request t req =
         Error ("send: " ^ Unix.error_message err)
     | () -> (
         match Conn.recv_or_error t.fd with
+        | exception Unix.Unix_error (err, _, _) ->
+            (* e.g. ECONNRESET when the server hung up with our request
+               still unread — a failed exchange, not a caller crash *)
+            Error ("recv: " ^ Unix.error_message err)
         | Error _ as e -> e
         | Ok payload -> Proto.decode_response payload)
 

@@ -10,9 +10,18 @@ type t
 (** [connect ~port ()] opens a connection.  [host] defaults to
     ["127.0.0.1"]; [retries] (default [0]) re-attempts a refused
     connection after a short pause — for racing a daemon that is still
-    binding. *)
+    binding.  Unless [hello:false], the client performs the version
+    handshake ({!Proto.Hello}, [role] defaulting to {!Proto.Reader})
+    before returning, so a protocol mismatch surfaces here as [Error]
+    rather than as garbled traffic later. *)
 val connect :
-  ?host:string -> port:int -> ?retries:int -> unit -> (t, string) result
+  ?host:string ->
+  port:int ->
+  ?retries:int ->
+  ?hello:bool ->
+  ?role:Proto.role ->
+  unit ->
+  (t, string) result
 
 (** [request t req] sends one request and blocks for its response.
     [Error] means the exchange failed (transport or framing); a

@@ -2,7 +2,22 @@
    CRC frame (see {!Conn}), the payload a small line-oriented text —
    verb on the first line, operands on the rest.  Decoding is total:
    unknown verbs and missing operands come back as [Error], never an
-   exception, so a confused peer cannot take the server down. *)
+   exception, so a confused peer cannot take the server down.
+
+   Replication rides the same framing: a subscriber sends [Hello] and
+   [Subscribe] as ordinary requests, after which the server turns the
+   connection into a one-way feed of {!stream} messages (shipped
+   records are the {!Bounds_store.Codec} bytes that sit in the WAL —
+   the wire and the log share one transaction encoding). *)
+
+open Bounds_model
+module Codec = Bounds_store.Codec
+
+(* Bump on any wire-visible change: peers compare it in the hello
+   handshake and fail fast instead of mis-decoding each other. *)
+let version = 1
+
+type role = Reader | Replica
 
 type request =
   | Ping
@@ -12,10 +27,24 @@ type request =
   | Stats
   | Checkpoint
   | Shutdown
+  | Hello of { version : int; role : role }
+  | Subscribe of { from_lsn : int }
 
 type response = Reply of string | Failed of string
 
+type stream =
+  | Ship of { lsn : int; ops : Update.op list }
+  | Mark of { lsn : int }
+  | Boot of { lsn : int; schema : string; checkpoint : string }
+
 (* --- encoding ----------------------------------------------------------- *)
+
+let role_to_string = function Reader -> "reader" | Replica -> "replica"
+
+let role_of_string = function
+  | "reader" -> Ok Reader
+  | "replica" -> Ok Replica
+  | other -> Error (Printf.sprintf "unknown role %S" other)
 
 let encode_request = function
   | Ping -> "ping"
@@ -27,10 +56,22 @@ let encode_request = function
   | Stats -> "stats"
   | Checkpoint -> "checkpoint"
   | Shutdown -> "shutdown"
+  | Hello { version; role } ->
+      Printf.sprintf "hello %d %s" version (role_to_string role)
+  | Subscribe { from_lsn } -> Printf.sprintf "subscribe %d" from_lsn
 
 let encode_response = function
   | Reply body -> "ok\n" ^ body
   | Failed msg -> "err\n" ^ msg
+
+let encode_stream = function
+  | Ship { lsn; ops } -> "ship\n" ^ Codec.encode_txn ~lsn ops
+  | Mark { lsn } -> Printf.sprintf "mark %d" lsn
+  | Boot { lsn; schema; checkpoint } ->
+      (* the verb line carries the schema's byte length so the decoder
+         can split the raw rest into schema text and checkpoint blob *)
+      Printf.sprintf "boot %d %d\n%s%s" lsn (String.length schema) schema
+        checkpoint
 
 (* --- decoding ----------------------------------------------------------- *)
 
@@ -42,10 +83,10 @@ let cut s =
 
 let decode_request payload =
   let verb, rest = cut payload in
-  match verb with
-  | "ping" -> Ok Ping
-  | "query" -> Ok (Query rest)
-  | "search" ->
+  match String.split_on_char ' ' verb with
+  | [ "ping" ] -> Ok Ping
+  | [ "query" ] -> Ok (Query rest)
+  | [ "search" ] ->
       let scope, rest = cut rest in
       let base, filter = cut rest in
       if scope = "" || filter = "" then
@@ -54,11 +95,20 @@ let decode_request payload =
         Ok
           (Search
              { base = (if base = "" then None else Some base); scope; filter })
-  | "apply" -> Ok (Apply rest)
-  | "stats" -> Ok Stats
-  | "checkpoint" -> Ok Checkpoint
-  | "shutdown" -> Ok Shutdown
-  | other -> Error (Printf.sprintf "unknown request %S" other)
+  | [ "apply" ] -> Ok (Apply rest)
+  | [ "stats" ] -> Ok Stats
+  | [ "checkpoint" ] -> Ok Checkpoint
+  | [ "shutdown" ] -> Ok Shutdown
+  | [ "hello"; v; r ] -> (
+      match (int_of_string_opt v, role_of_string r) with
+      | Some version, Ok role -> Ok (Hello { version; role })
+      | None, _ -> Error (Printf.sprintf "hello: bad version %S" v)
+      | _, Error e -> Error ("hello: " ^ e))
+  | [ "subscribe"; l ] -> (
+      match int_of_string_opt l with
+      | Some from_lsn -> Ok (Subscribe { from_lsn })
+      | None -> Error (Printf.sprintf "subscribe: bad lsn %S" l))
+  | _ -> Error (Printf.sprintf "unknown request %S" verb)
 
 let decode_response payload =
   let verb, rest = cut payload in
@@ -66,6 +116,30 @@ let decode_response payload =
   | "ok" -> Ok (Reply rest)
   | "err" -> Ok (Failed rest)
   | other -> Error (Printf.sprintf "unknown response %S" other)
+
+let decode_stream payload =
+  let verb, rest = cut payload in
+  match String.split_on_char ' ' verb with
+  | [ "ship" ] -> (
+      match Codec.decode_txn rest with
+      | Ok (lsn, ops) -> Ok (Ship { lsn; ops })
+      | Error e -> Error ("ship: " ^ e))
+  | [ "mark"; l ] -> (
+      match int_of_string_opt l with
+      | Some lsn -> Ok (Mark { lsn })
+      | None -> Error (Printf.sprintf "mark: bad lsn %S" l))
+  | [ "boot"; l; n ] -> (
+      match (int_of_string_opt l, int_of_string_opt n) with
+      | Some lsn, Some n when n >= 0 && n <= String.length rest ->
+          Ok
+            (Boot
+               {
+                 lsn;
+                 schema = String.sub rest 0 n;
+                 checkpoint = String.sub rest n (String.length rest - n);
+               })
+      | _ -> Error "boot: bad lsn or schema length")
+  | _ -> Error (Printf.sprintf "unknown stream message %S" verb)
 
 (* --- printing (logs, CLI) ------------------------------------------------ *)
 
@@ -77,3 +151,5 @@ let request_verb = function
   | Stats -> "stats"
   | Checkpoint -> "checkpoint"
   | Shutdown -> "shutdown"
+  | Hello _ -> "hello"
+  | Subscribe _ -> "subscribe"

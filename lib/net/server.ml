@@ -24,16 +24,37 @@
    the transaction's log record is on disk (acknowledged ⊆ recovered —
    {!Store.batch}'s discipline), while readers never observe a
    half-applied batch (they hold whatever snapshot was current when
-   they pinned). *)
+   they pinned).
+
+   Replication ([replicate:true]) adds subscribers: a connection that
+   says hello as a replica and subscribes is granted a catch-up set on
+   the writer thread (so it is serialized with commits — no record can
+   land between the catch-up read and the live feed) and then turns
+   into a one-way feed.  The store's ship hook, which also fires on the
+   writer thread right after each commit's durability point, pushes
+   every acknowledged record onto each subscriber's queue; the
+   connection's own thread drains it to the socket. *)
 
 open Bounds_model
 open Bounds_core
 module Store = Bounds_store.Store
 
+(* One replication subscriber: the writer thread (catch-up, ship hook)
+   pushes feed messages onto [sq]; the connection's feed loop drains
+   them to the socket.  Both sides synchronize on the server mutex
+   [m]; [sc] is signalled under it when [sq] gains an item. *)
+type sub = {
+  sid : int;
+  sq : Proto.stream Queue.t;  (* guarded by [m] *)
+  sc : Condition.t;  (* waits on [m] *)
+  mutable sent_lsn : int;  (* highest lsn written to the socket *)
+}
+
 type pending = {
   req : Proto.request;
   sem : Semaphore.Binary.t;
   mutable reply : Proto.response;
+  mutable sub : sub option;  (* a granted subscription rides back here *)
 }
 
 type stats = {
@@ -46,10 +67,15 @@ type stats = {
   max_batch : int;
   snapshots_retired : int;
   snapshots_pending : int;  (** retired but still pinned by a reader *)
+  lsn : int;  (** last durable log sequence number *)
+  recovered : string;  (** how recovery found this store's tail *)
+  replicas : int;  (** live replication subscribers *)
+  replica_lag : int;  (** records not yet shipped to the slowest one *)
 }
 
 type t = {
   store : Store.t;
+  replicate : bool;
   listen_fd : Unix.file_descr;
   port : int;
   batch_max : int;
@@ -61,6 +87,8 @@ type t = {
   nonempty : Condition.t;  (* queue gained an item, or stopping *)
   mutable stopping : bool;
   mutable conns : (Unix.file_descr * Thread.t) list;  (* guarded by [m] *)
+  mutable subs : sub list;  (* guarded by [m] *)
+  mutable next_sid : int;  (* guarded by [m] *)
   mutable acceptor : Thread.t option;
   mutable writer : Thread.t option;
   (* counters, guarded by [m] (read path takes the lock only to bump —
@@ -80,7 +108,27 @@ let locked t f =
 
 let port t = t.port
 
+(* One stats line for how recovery found the store: "fresh" for a
+   store born of [init] this process, "clean" when every tail replayed,
+   else the positioned truncation reasons — the wire-visible surface of
+   [Store.Recovered_at]. *)
+let recovered_line = function
+  | None -> "fresh"
+  | Some (r : Store.report) -> (
+      let tail name = function
+        | Store.Clean -> None
+        | Store.Recovered_at { offset; reason } ->
+            Some (Printf.sprintf "%s recovered_at %d (%s)" name offset reason)
+      in
+      match
+        List.filter_map Fun.id [ tail "delta" r.delta_tail; tail "wal" r.tail ]
+      with
+      | [] -> "clean"
+      | l -> String.concat "; " l)
+
 let stats t =
+  let lsn = Store.lsn t.store in
+  let recovered = recovered_line (Store.recovery t.store) in
   locked t (fun () ->
       {
         clients = t.n_clients;
@@ -92,15 +140,22 @@ let stats t =
         max_batch = t.n_max_batch;
         snapshots_retired = Epoch.retired t.epoch;
         snapshots_pending = Epoch.pending t.epoch;
+        lsn;
+        recovered;
+        replicas = List.length t.subs;
+        replica_lag =
+          List.fold_left (fun acc s -> max acc (lsn - s.sent_lsn)) 0 t.subs;
       })
 
 let stats_text s =
   Printf.sprintf
     "clients %d\nreads %d\nwrites_ok %d\nwrites_rejected %d\n\
      batches %d\nbatched %d\nmax_batch %d\n\
-     snapshots_retired %d\nsnapshots_pending %d"
+     snapshots_retired %d\nsnapshots_pending %d\n\
+     lsn %d\nrecovered %s\nreplicas %d\nreplica_lag %d"
     s.clients s.reads s.writes_ok s.writes_rejected s.batches s.batched
-    s.max_batch s.snapshots_retired s.snapshots_pending
+    s.max_batch s.snapshots_retired s.snapshots_pending s.lsn s.recovered
+    s.replicas s.replica_lag
 
 (* --- read path (handler threads, lock-free) ----------------------------- *)
 
@@ -228,6 +283,39 @@ let commit_checkpoint t p =
   | exception e -> p.reply <- Proto.Failed ("checkpoint failed: " ^ Printexc.to_string e));
   Semaphore.Binary.release p.sem
 
+(* Grant a subscription.  Runs on the writer thread, which serializes
+   the catch-up read with commits: no record can land between
+   [records_from] and the registration below, and the ship hook fires
+   on this same thread — the feed never gaps and never duplicates.
+   Subscribers whose lsn the logs no longer cover (or who ask from -1)
+   get a [Boot] bootstrap package instead. *)
+let commit_subscribe t p from_lsn =
+  let sub =
+    locked t (fun () ->
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        { sid; sq = Queue.create (); sc = Condition.create (); sent_lsn = from_lsn })
+  in
+  let boot () =
+    let schema, checkpoint, lsn = Store.boot_blob t.store in
+    [ Proto.Boot { lsn; schema; checkpoint } ]
+  in
+  let items =
+    if from_lsn < 0 then boot ()
+    else
+      match Store.records_from t.store ~lsn:from_lsn with
+      | `Records rs -> List.map (fun (lsn, ops) -> Proto.Ship { lsn; ops }) rs
+      | `Too_old -> boot ()
+  in
+  locked t (fun () ->
+      List.iter (fun i -> Queue.push i sub.sq) items;
+      t.subs <- sub :: t.subs);
+  p.sub <- Some sub;
+  p.reply <-
+    Proto.Reply
+      (Printf.sprintf "subscribed from %d at %d" from_lsn (Store.lsn t.store));
+  Semaphore.Binary.release p.sem
+
 let writer_loop t =
   let rec drain () =
     let chunk =
@@ -262,6 +350,9 @@ let writer_loop t =
           | ({ req = Proto.Checkpoint; _ } as p) :: tl ->
               commit_checkpoint t p;
               runs tl
+          | ({ req = Proto.Subscribe { from_lsn }; _ } as p) :: tl ->
+              commit_subscribe t p from_lsn;
+              runs tl
           | p :: tl ->
               p.reply <- Proto.Failed "not a write request";
               Semaphore.Binary.release p.sem;
@@ -272,8 +363,15 @@ let writer_loop t =
   in
   drain ()
 
-let enqueue t req =
-  let p = { req; sem = Semaphore.Binary.make false; reply = Proto.Failed "server stopping" } in
+let enqueue' t req =
+  let p =
+    {
+      req;
+      sem = Semaphore.Binary.make false;
+      reply = Proto.Failed "server stopping";
+      sub = None;
+    }
+  in
   let accepted =
     locked t (fun () ->
         if t.stopping then false
@@ -283,8 +381,16 @@ let enqueue t req =
           true
         end)
   in
-  if accepted then Semaphore.Binary.acquire p.sem;
-  p.reply
+  if accepted then begin
+    Semaphore.Binary.acquire p.sem;
+    Some p
+  end
+  else None
+
+let enqueue t req =
+  match enqueue' t req with
+  | Some p -> p.reply
+  | None -> Proto.Failed "server stopping"
 
 (* --- connection handling ------------------------------------------------- *)
 
@@ -295,6 +401,8 @@ let initiate_stop t =
         else begin
           t.stopping <- true;
           Condition.broadcast t.nonempty;
+          (* wake every feed loop so it can notice [stopping] *)
+          List.iter (fun s -> Condition.broadcast s.sc) t.subs;
           t.conns
         end)
   in
@@ -321,8 +429,50 @@ let handle_request t ~slot = function
   | Proto.Stats -> Proto.Reply (stats_text (stats t))
   | (Proto.Apply _ | Proto.Checkpoint) as req -> enqueue t req
   | Proto.Shutdown -> Proto.Reply "stopping"
+  | Proto.Hello _ | Proto.Subscribe _ ->
+      (* handled at the connection level before dispatch reaches here *)
+      Proto.Failed "unexpected handshake request"
+
+(* Drain a subscriber's queue to its socket until the server stops or
+   the peer goes away (a failed send).  Runs on the connection's own
+   handler thread — after [Subscribe] is granted, the connection stops
+   being request/response and becomes this one-way feed. *)
+let feed_loop t fd sub =
+  let rec loop () =
+    let items =
+      locked t (fun () ->
+          while Queue.is_empty sub.sq && not t.stopping do
+            Condition.wait sub.sc t.m
+          done;
+          let rec take acc =
+            if Queue.is_empty sub.sq then List.rev acc
+            else take (Queue.pop sub.sq :: acc)
+          in
+          take [])
+    in
+    match items with
+    | [] -> ()  (* stopping with nothing queued: feed done *)
+    | items -> (
+        match
+          List.iter
+            (fun item ->
+              Conn.send fd (Proto.encode_stream item);
+              sub.sent_lsn <-
+                (match item with
+                | Proto.Ship { lsn; _ } | Proto.Mark { lsn } | Proto.Boot { lsn; _ }
+                  ->
+                    lsn))
+            items
+        with
+        | () -> loop ()
+        | exception Unix.Unix_error _ -> ())
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  locked t (fun () -> t.subs <- List.filter (fun s -> s.sid <> sub.sid) t.subs)
 
 let client_loop t fd slot =
+  (* the role this connection declared in its hello, if it said one *)
+  let role = ref None in
   let rec loop () =
     match Conn.recv fd with
     | Ok None | Error _ -> ()  (* clean close, torn frame: drop the conn *)
@@ -331,6 +481,45 @@ let client_loop t fd slot =
         | Error e ->
             Conn.send fd (Proto.encode_response (Proto.Failed e));
             loop ()
+        | Ok (Proto.Hello { version; role = r }) ->
+            if version <> Proto.version then
+              (* fail fast and hang up: nothing else this peer sends
+                 can be trusted to decode the same way on both ends *)
+              Conn.send fd
+                (Proto.encode_response
+                   (Proto.Failed
+                      (Printf.sprintf
+                         "protocol version mismatch: server %d, client %d"
+                         Proto.version version)))
+            else begin
+              role := Some r;
+              Conn.send fd
+                (Proto.encode_response
+                   (Proto.Reply (Printf.sprintf "hello %d" Proto.version)));
+              loop ()
+            end
+        | Ok (Proto.Subscribe { from_lsn }) ->
+            if not t.replicate then begin
+              Conn.send fd
+                (Proto.encode_response (Proto.Failed "replication not enabled"));
+              loop ()
+            end
+            else if !role <> Some Proto.Replica then begin
+              Conn.send fd
+                (Proto.encode_response
+                   (Proto.Failed "subscribe requires a replica hello"));
+              loop ()
+            end
+            else (
+              match enqueue' t (Proto.Subscribe { from_lsn }) with
+              | None ->
+                  Conn.send fd
+                    (Proto.encode_response (Proto.Failed "server stopping"))
+              | Some p -> (
+                  Conn.send fd (Proto.encode_response p.reply);
+                  match (p.reply, p.sub) with
+                  | Proto.Reply _, Some sub -> feed_loop t fd sub
+                  | _ -> loop ()))
         | Ok req ->
             let resp = handle_request t ~slot req in
             Conn.send fd (Proto.encode_response resp);
@@ -379,9 +568,13 @@ let acceptor_loop t =
 (* --- lifecycle ----------------------------------------------------------- *)
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?(batch_max = 64)
-    ?(max_clients = 64) store =
+    ?(max_clients = 64) ?(replicate = false) store =
   if batch_max < 1 then invalid_arg "Server.start: batch_max < 1";
   if max_clients < 1 then invalid_arg "Server.start: max_clients < 1";
+  (* A replica killed mid-shipment leaves the feed writing into a dead
+     socket; without this the resulting SIGPIPE kills the whole
+     process instead of surfacing as a catchable EPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -400,6 +593,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(batch_max = 64)
   let t =
     {
       store;
+      replicate;
       listen_fd;
       port;
       batch_max;
@@ -411,6 +605,8 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(batch_max = 64)
       nonempty = Condition.create ();
       stopping = false;
       conns = [];
+      subs = [];
+      next_sid = 0;
       acceptor = None;
       writer = None;
       n_clients = 0;
@@ -422,6 +618,21 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(batch_max = 64)
       n_max_batch = 0;
     }
   in
+  if replicate then
+    Store.set_ship_hook store
+      (Some
+         (fun item ->
+           let msg =
+             match item with
+             | Store.Ship_txn { lsn; ops } -> Proto.Ship { lsn; ops }
+             | Store.Ship_mark { lsn } -> Proto.Mark { lsn }
+           in
+           locked t (fun () ->
+               List.iter
+                 (fun sub ->
+                   Queue.push msg sub.sq;
+                   Condition.signal sub.sc)
+                 t.subs)));
   t.writer <- Some (Thread.create writer_loop t);
   t.acceptor <- Some (Thread.create acceptor_loop t);
   t
@@ -433,4 +644,5 @@ let wait t =
   Option.iter Thread.join t.writer;
   let conns = locked t (fun () -> t.conns) in
   List.iter (fun (_, th) -> Thread.join th) conns;
+  Store.set_ship_hook t.store None;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())

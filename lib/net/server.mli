@@ -11,6 +11,15 @@
     therefore means the transaction is durable (acknowledged ⊆
     recovered), and no reader ever observes a half-committed batch.
 
+    With [replicate:true] the server is also a replication primary: a
+    connection that says hello as a {!Proto.Replica} may [Subscribe],
+    after which it receives a catch-up set (shipped records, or a
+    bootstrap snapshot when its lsn predates the base checkpoint) and
+    then every subsequently acknowledged record, in lsn order, as
+    {!Proto.stream} messages.  Subscription grants run on the writer
+    thread, serialized with commits, so the feed never gaps and never
+    duplicates between catch-up and live shipment.
+
     The server owns the store while running: do not touch the store
     from outside between {!start} and {!wait}. *)
 
@@ -21,12 +30,14 @@ type t
     [0] (ephemeral — read it back with {!port}).  [batch_max] (default
     [64]) caps transactions per group commit; [max_clients] (default
     [64]) caps concurrent connections (also the number of epoch reader
-    slots). *)
+    slots).  [replicate] (default [false]) accepts replication
+    subscribers and installs the store's ship hook for the feed. *)
 val start :
   ?host:string ->
   ?port:int ->
   ?batch_max:int ->
   ?max_clients:int ->
+  ?replicate:bool ->
   Bounds_store.Store.t ->
   t
 
@@ -34,8 +45,8 @@ val start :
 val port : t -> int
 
 (** Ask the server to stop: in-flight requests finish, queued writes
-    commit, connections drain.  Idempotent; also triggered by a
-    [Shutdown] request from any client. *)
+    commit, connections (feeds included) drain.  Idempotent; also
+    triggered by a [Shutdown] request from any client. *)
 val stop : t -> unit
 
 (** Block until the acceptor, writer and every handler thread have
@@ -52,7 +63,31 @@ type stats = {
   max_batch : int;
   snapshots_retired : int;
   snapshots_pending : int;  (** retired but still pinned by a reader *)
+  lsn : int;  (** last durable log sequence number *)
+  recovered : string;
+      (** how recovery found this store's tail: ["fresh"] (born of
+          [init] in this process), ["clean"], or the positioned
+          truncation reasons of a {!Bounds_store.Store.Recovered_at} *)
+  replicas : int;  (** live replication subscribers *)
+  replica_lag : int;
+      (** records not yet shipped to the slowest subscriber
+          (lsn − min sent-lsn; [0] with no subscribers) *)
 }
 
 val stats : t -> stats
 val stats_text : stats -> string
+
+(** {1 Read evaluation}
+
+    The per-snapshot read paths, exported for the replica daemon —
+    the same evaluation code answers a query whether the snapshot
+    came from a primary or from applied shipment. *)
+
+val serve_query : Bounds_core.Directory.Snapshot.t -> string -> Proto.response
+
+val serve_search :
+  Bounds_core.Directory.Snapshot.t ->
+  base:string option ->
+  scope:string ->
+  filter:string ->
+  Proto.response

@@ -5,6 +5,25 @@ let checkpoint_file = "checkpoint.ckpt"
 let wal_file = "wal.log"
 let delta_file = "delta.log"
 
+type tail = Clean | Recovered_at of { offset : int; reason : string }
+
+type report = {
+  checkpoint_lsn : int;
+  replayed : int;
+  skipped : int;
+  tail : tail;
+  delta_segments : int;
+  delta_replayed : int;
+  delta_tail : tail;
+}
+
+(* What a replication feed sees: every durable record the moment it is
+   acknowledged, plus a marker whenever the store compacts (a replica
+   may fold its own log on the same beat). *)
+type ship =
+  | Ship_txn of { lsn : int; ops : Update.op list }
+  | Ship_mark of { lsn : int }
+
 type t = {
   io : Io.t;
   schema_v : Schema.t;
@@ -29,6 +48,10 @@ type t = {
   mutable batch_buf : Buffer.t option;
   mutable batch_count : int;
   mutable batch_results : Admission.result list;  (** newest first *)
+  (* the replication feed, fired only after the record's bytes are
+     durable (post-append, post-shared-flush) — never mid-batch *)
+  mutable ship : (ship -> unit) option;
+  mutable recovery_v : report option;  (** how {!open_} found the logs *)
 }
 
 type error =
@@ -47,18 +70,6 @@ let error_to_string = function
         (Format.pp_print_list Violation.pp)
         vs
   | Bad_load m -> "bulk load failed: " ^ m
-
-type tail = Clean | Recovered_at of { offset : int; reason : string }
-
-type report = {
-  checkpoint_lsn : int;
-  replayed : int;
-  skipped : int;
-  tail : tail;
-  delta_segments : int;
-  delta_replayed : int;
-  delta_tail : tail;
-}
 
 let pp_tail ppf = function
   | Clean -> Format.fprintf ppf "clean"
@@ -81,6 +92,13 @@ let wal_bytes t = t.wal_bytes_v
 let wal_records t = t.wal_records_v
 let delta_segments t = t.chain_len
 let delta_bytes t = t.delta_bytes_v
+let recovery t = t.recovery_v
+let set_ship_hook t hook = t.ship <- hook
+
+(* The feed must never be able to fail a commit that is already durable:
+   a throwing subscriber is that subscriber's problem. *)
+let fire_ship t item =
+  match t.ship with None -> () | Some f -> ( try f item with _ -> ())
 
 let stats t =
   let s = Directory.stats t.dir in
@@ -128,7 +146,8 @@ let full_checkpoint t =
   t.wal_bytes_v <- 0;
   t.wal_records_v <- 0;
   t.base <- meta;
-  t.counted <- Directory.stats t.dir
+  t.counted <- Directory.stats t.dir;
+  fire_ship t (Ship_mark { lsn = t.lsn_v })
 
 (* Each delta segment starts with a marker record — lsn 0, no ops — so
    recovery can count segments without side metadata; lsn 0 precedes
@@ -153,7 +172,8 @@ let delta_checkpoint t =
     t.delta_bytes_v <-
       t.delta_bytes_v + String.length segment_marker + String.length bytes;
     t.wal_bytes_v <- 0;
-    t.wal_records_v <- 0
+    t.wal_records_v <- 0;
+    fire_ship t (Ship_mark { lsn = t.lsn_v })
   end
 
 let checkpoint ?(full = false) t =
@@ -176,6 +196,11 @@ let apply t ops =
   (match t.batch_buf with
   | Some _ -> t.batch_results <- res :: t.batch_results
   | None ->
+      (match res with
+      | Admission.Accepted { ops; _ } ->
+          (* the append above made the record durable: ship it *)
+          fire_ship t (Ship_txn { lsn = t.lsn_v; ops })
+      | Admission.Rejected _ -> ());
       (* auto-compaction waits for the batch flush: a checkpoint taken
          mid-batch would cover records that are not on disk yet *)
       if
@@ -230,7 +255,18 @@ let batch t f =
            rollback ();
            raise e);
         t.wal_bytes_v <- t.wal_bytes_v + Buffer.length buf;
-        t.wal_records_v <- t.wal_records_v + n
+        t.wal_records_v <- t.wal_records_v + n;
+        (* the shared flush is behind us: every accepted record of the
+           batch is durable, in lsn order — ship them on the same beat
+           the caller is allowed to acknowledge them *)
+        List.iter
+          (fun r ->
+            match r with
+            | Admission.Accepted { lsn = Some l; ops; _ } ->
+                fire_ship t (Ship_txn { lsn = l; ops })
+            | Admission.Accepted { lsn = None; _ } | Admission.Rejected _ ->
+                ())
+          results
       end;
       if t.auto_checkpoint > 0 && t.wal_records_v >= t.auto_checkpoint then
         checkpoint t;
@@ -322,6 +358,8 @@ let init ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8) io schema
             batch_buf = None;
             batch_count = 0;
             batch_results = [];
+            ship = None;
+            recovery_v = None;
           }
         in
         hook := wal_hook t;
@@ -479,6 +517,17 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8)
                         Wal.truncate io wal_file ~keep:offset;
                         (Recovered_at { offset; reason }, offset)
                   in
+                  let report =
+                    {
+                      checkpoint_lsn = meta.Checkpoint.lsn;
+                      replayed = wal_replayed;
+                      skipped = wal_skipped;
+                      tail;
+                      delta_segments = segments;
+                      delta_replayed;
+                      delta_tail;
+                    }
+                  in
                   let t =
                     {
                       io;
@@ -497,17 +546,104 @@ let open_ ?extensions ?pool ?(auto_checkpoint = 0) ?(delta_chain = 8)
                       batch_buf = None;
                       batch_count = 0;
                       batch_results = [];
+                      ship = None;
+                      recovery_v = Some report;
                     }
                   in
                   hook := wal_hook t;
-                  Ok
-                    ( t,
-                      {
-                        checkpoint_lsn = meta.Checkpoint.lsn;
-                        replayed = wal_replayed;
-                        skipped = wal_skipped;
-                        tail;
-                        delta_segments = segments;
-                        delta_replayed;
-                        delta_tail;
-                      } ))))
+                  Ok (t, report))))
+
+(* --- replication (WAL shipment) ------------------------------------------ *)
+
+(* Catch a subscriber up from its last durable lsn: every record with a
+   greater lsn still lives in the delta chain + log iff the subscriber
+   is no older than the base checkpoint (records at or below the base's
+   lsn are folded into the snapshot and gone from the logs). *)
+let records_from t ~lsn:from_lsn =
+  if t.batch_buf <> None then invalid_arg "Store.records_from: inside a batch";
+  if from_lsn < t.base.Checkpoint.lsn || from_lsn > t.lsn_v then `Too_old
+  else
+    let take acc (r : Wal.record) =
+      if r.lsn = 0 && r.ops = [] then acc (* segment marker *)
+      else (r.lsn, r.ops) :: acc
+    in
+    let acc = (Wal.fold_from t.io delta_file ~lsn:from_lsn take []).Wal.acc in
+    let acc = (Wal.fold_from t.io wal_file ~lsn:from_lsn take acc).Wal.acc in
+    `Records (List.rev acc)
+
+(* A bootstrap package for a subscriber too old (or too new — a primary
+   that lost data) to catch up from the logs: the schema text plus the
+   current version as one checkpoint blob, encoded through the same
+   {!Checkpoint} codec the store trusts on disk.  O(|D|). *)
+let boot_blob t =
+  if t.batch_buf <> None then invalid_arg "Store.boot_blob: inside a batch";
+  let meta = stats t in
+  let scratch = Io.mem (Io.fresh_fs ()) in
+  Checkpoint.write scratch checkpoint_file meta (Directory.instance t.dir);
+  let blob =
+    match scratch.Io.read checkpoint_file with
+    | Some b -> b
+    | None -> assert false
+  in
+  (Spec_printer.to_string t.schema_v, blob, t.lsn_v)
+
+(* Install a shipped bootstrap package as a store directory, replacing
+   whatever was there.  The blob is validated against the shipped schema
+   before anything is written.  Write order makes a crash at any point
+   recoverable: checkpoint first (old log records become skippable
+   duplicates), then the log resets, then the schema marker — the same
+   marker-last discipline as {!init}.  The caller re-opens with
+   {!open_}. *)
+let install_snapshot io ~schema ~checkpoint =
+  match Spec_parser.parse schema with
+  | Error e ->
+      Error ("boot schema: " ^ Spec_parser.error_to_string e)
+  | Ok parsed -> (
+      let scratch = Io.mem (Io.fresh_fs ()) in
+      scratch.Io.write checkpoint_file checkpoint;
+      match
+        Checkpoint.read scratch checkpoint_file ~typing:parsed.Schema.typing
+      with
+      | Error m -> Error ("boot checkpoint: " ^ m)
+      | Ok _ ->
+          io.Io.write checkpoint_file checkpoint;
+          io.Io.write delta_file "";
+          Wal.reset io wal_file;
+          io.Io.write schema_file schema;
+          Ok ())
+
+(* The replica's write surface: apply one shipped record under the same
+   lsn discipline recovery uses.  A duplicate (lsn already covered) is
+   skipped — the overlap a resume-from-lsn re-subscription produces; the
+   successor lsn is logged durably {e first} (acknowledged ⊆ recovered
+   holds on the replica too) and then applied through the trusted
+   {!Directory.replay} path: the primary admitted the record before
+   acknowledging it (Theorem 4.1), and the frame CRC vouches these are
+   the same bytes, so legality is not re-checked.  A gap means shipment
+   lost records — the caller must re-bootstrap, not guess. *)
+let replica_apply t ~lsn ops =
+  if t.batch_buf <> None then invalid_arg "Store.replica_apply: inside a batch";
+  if lsn <= t.lsn_v then Ok `Duplicate
+  else if lsn <> t.lsn_v + 1 then
+    Error
+      (Printf.sprintf "lsn gap: expected %d, shipped %d" (t.lsn_v + 1) lsn)
+  else begin
+    let before = t.wal_bytes_v in
+    let bytes = Wal.append t.io wal_file ~lsn ops in
+    match Directory.replay t.dir ops with
+    | Ok dir ->
+        t.dir <- dir;
+        t.lsn_v <- lsn;
+        t.wal_bytes_v <- before + bytes;
+        t.wal_records_v <- t.wal_records_v + 1;
+        if t.auto_checkpoint > 0 && t.wal_records_v >= t.auto_checkpoint then
+          checkpoint t;
+        Ok `Applied
+    | Error rej ->
+        (* a shipped record the trusted path cannot apply is damage, not
+           a verdict: un-log it so the durable prefix stays replayable *)
+        Wal.truncate t.io wal_file ~keep:before;
+        Error
+          (Format.asprintf "shipped record %d rejected: %a" lsn
+             Monitor.pp_rejection rej)
+  end

@@ -76,6 +76,11 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** The {!report} {!open_} returned for this handle ([None] for a store
+    born of {!init}) — surfaced by server stats so a recovered-at tail
+    is visible over the wire, not just in the opening process's logs. *)
+val recovery : t -> report option
+
 (** [exists io] — does [io]'s root hold an initialized store? *)
 val exists : Io.t -> bool
 
@@ -215,3 +220,61 @@ val load :
 
 (** Shut down the session's pool, if it owns one. *)
 val close : t -> unit
+
+(** {1 Replication — WAL shipment}
+
+    A primary streams every acknowledged record to its subscribers; a
+    replica applies them through the trusted {!Directory.replay} path
+    under the recovery lsn discipline.  The paper's
+    admission-at-acknowledge argument (Theorem 4.1 — the same one that
+    justifies trusted replay) is what makes re-checking legality on the
+    replica unnecessary: the record was admitted when the primary
+    acknowledged it, and the frame CRC vouches the bytes are unchanged. *)
+
+(** One event on the replication feed. *)
+type ship =
+  | Ship_txn of { lsn : int; ops : Update.op list }
+      (** a record, fired only once its bytes are durable on the
+          primary — after the append in {!apply}, after the shared
+          flush in {!batch} *)
+  | Ship_mark of { lsn : int }
+      (** the primary compacted ({!checkpoint}); replicas may fold
+          their own logs on the same beat *)
+
+(** Install (or clear) the feed hook.  The hook runs on the committing
+    thread, after durability and before {!apply}/{!batch} return —
+    i.e. on the exact beat the caller is first allowed to acknowledge.
+    A raising hook is ignored: the feed can never fail a commit that is
+    already durable. *)
+val set_ship_hook : t -> (ship -> unit) option -> unit
+
+(** [records_from t ~lsn] — catch a subscriber up: every durable record
+    with lsn strictly greater than [lsn], oldest first (delta chain,
+    then log).  [`Too_old] when the base checkpoint already folded lsns
+    past [lsn] (or [lsn] is beyond this store's history): the
+    subscriber needs a {!boot_blob} bootstrap instead. *)
+val records_from :
+  t -> lsn:int -> [ `Records of (int * Update.op list) list | `Too_old ]
+
+(** The current version as a bootstrap package:
+    [(schema text, checkpoint blob, lsn)].  O(|D|) — the feed sends it
+    once per subscriber that cannot catch up from the logs. *)
+val boot_blob : t -> string * string * int
+
+(** [install_snapshot io ~schema ~checkpoint] writes a shipped
+    bootstrap package as a store directory (validating the blob against
+    the schema first), replacing any store already there; re-open with
+    {!open_}.  Marker-last write order keeps every crash point
+    recoverable. *)
+val install_snapshot :
+  Io.t -> schema:string -> checkpoint:string -> (unit, string) result
+
+(** [replica_apply t ~lsn ops] — the replica's write surface: log the
+    shipped record durably (acknowledged ⊆ recovered holds on the
+    replica too), then apply it through trusted {!Directory.replay}.
+    [Ok `Duplicate] when [lsn] is already covered (the overlap a
+    resume-from-lsn re-subscription produces — never re-applied);
+    [Error] on an lsn gap or an unappliable record, with the log left
+    on its durable prefix — the caller should re-bootstrap. *)
+val replica_apply :
+  t -> lsn:int -> Update.op list -> ([ `Applied | `Duplicate ], string) result

@@ -214,6 +214,7 @@ Differential fuzzing (a tiny deterministic budget; oracle list is stable):
   store-roundtrip          a WAL-persisted session recovers to its in-memory twin (instance, legality, obligation answers)
   trusted-replay           recovery via trusted replay (auto/batch/incremental ingest) agrees with checked replay (instance, legality, obligation answers)
   intern-transparency      evaluation with interning disabled agrees with the interned path (instance, legality, obligation answers)
+  replica-convergence      a WAL-shipped replica converges to the primary across disconnects, kills and bootstraps (lsn, instance, legality, obligation answers)
   $ ldapschema fuzz --oracle b64-strict --oracle filter-text --budget 50 --seed 42
   b64-strict                   50 cases  ok
   filter-text                  50 cases  ok

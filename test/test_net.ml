@@ -20,11 +20,13 @@ open Bounds_model
 open Bounds_core
 module Io = Bounds_store.Io
 module Store = Bounds_store.Store
+module Frame = Bounds_store.Frame
 module Proto = Bounds_net.Proto
 module Conn = Bounds_net.Conn
 module Epoch = Bounds_net.Epoch
 module Server = Bounds_net.Server
 module Client = Bounds_net.Client
+module Replica = Bounds_net.Replica
 module Gen = Bounds_workload.Gen
 module WP = Bounds_workload.White_pages
 
@@ -35,6 +37,11 @@ let check_string = Alcotest.(check string)
 let get_store what = function
   | Ok v -> v
   | Error e -> Alcotest.failf "%s: %s" what (Store.error_to_string e)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 
 (* --- protocol ------------------------------------------------------------ *)
 
@@ -56,6 +63,10 @@ let test_proto_roundtrip () =
       Proto.Stats;
       Proto.Checkpoint;
       Proto.Shutdown;
+      Proto.Hello { version = Proto.version; role = Proto.Reader };
+      Proto.Hello { version = 3; role = Proto.Replica };
+      Proto.Subscribe { from_lsn = -1 };
+      Proto.Subscribe { from_lsn = 123 };
     ];
   List.iter
     (fun r ->
@@ -94,6 +105,12 @@ let request_gen =
           (opt line_gen)
           (oneofl [ "base"; "one"; "sub" ])
           (map2 (fun a b -> a ^ b) line_gen (string_size (int_bound 20)));
+        map2
+          (fun version replica ->
+            Proto.Hello
+              { version; role = (if replica then Proto.Replica else Proto.Reader) })
+          (int_bound 100) bool;
+        map (fun l -> Proto.Subscribe { from_lsn = l - 1 }) (int_bound 1000);
       ])
 
 let prop_proto_roundtrip =
@@ -109,6 +126,37 @@ let prop_proto_total =
     (fun junk ->
       (match Proto.decode_request junk with Ok _ | Error _ -> true)
       && match Proto.decode_response junk with Ok _ | Error _ -> true)
+
+let test_stream_roundtrip () =
+  let inst0 = WP.generate ~seed:3 ~units:1 ~persons_per_unit:2 () in
+  let counter = ref 90_000 in
+  let ops = Gen.random_ops ~counter ~seed:5 ~n:3 WP.schema inst0 in
+  List.iter
+    (fun msg ->
+      match Proto.decode_stream (Proto.encode_stream msg) with
+      | Error e -> Alcotest.fail e
+      | Ok msg' ->
+          (* the codec may rebuild ops structurally; byte equality of the
+             re-encoding is the round-trip law that matters on a wire *)
+          check_string "stream round-trip" (Proto.encode_stream msg)
+            (Proto.encode_stream msg'))
+    [
+      Proto.Ship { lsn = 1; ops };
+      Proto.Ship { lsn = 42; ops = [] };
+      Proto.Mark { lsn = 7 };
+      Proto.Boot
+        {
+          lsn = 9;
+          schema = "schema text\nwith lines";
+          checkpoint = "\x00\x01binary\nblob \xff";
+        };
+      Proto.Boot { lsn = 0; schema = ""; checkpoint = "" };
+    ]
+
+let prop_stream_total =
+  QCheck.Test.make ~name:"stream decoding is total" ~count:500
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun junk -> match Proto.decode_stream junk with Ok _ | Error _ -> true)
 
 (* --- framed connections -------------------------------------------------- *)
 
@@ -162,6 +210,30 @@ let test_conn_corrupt () =
       Unix.close a;
       match Conn.recv b with
       | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bit flip not caught")
+
+(* A replica classifies feed failures by the error text: a mid-frame
+   disconnect is torn transport (reconnect and resume), a checksum
+   failure is corruption.  Pin the two classes apart. *)
+let test_torn_vs_corrupt_classification () =
+  let framed = Frame.encode "classification probe" in
+  with_socketpair (fun a b ->
+      let _ = Unix.write_substring a framed 0 (String.length framed - 3) in
+      Unix.close a;
+      match Conn.recv b with
+      | Error e ->
+          check "cut is classified torn" true (contains e "mid-frame");
+          check "cut is not classified corrupt" false (contains e "crc")
+      | Ok _ -> Alcotest.fail "mid-frame cut read as a frame");
+  with_socketpair (fun a b ->
+      let flipped = Bytes.of_string framed in
+      let mid = Bytes.length flipped - 2 in
+      Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0x40));
+      let s = Bytes.to_string flipped in
+      let _ = Unix.write_substring a s 0 (String.length s) in
+      Unix.close a;
+      match Conn.recv b with
+      | Error e -> check "flip is classified corrupt" true (contains e "crc")
       | Ok _ -> Alcotest.fail "bit flip not caught")
 
 (* --- epoch reclamation --------------------------------------------------- *)
@@ -481,6 +553,348 @@ let test_server_group_commit_batches () =
   check_int "final size" (Instance.size inst0 + total)
     (Directory.size (Store.directory st))
 
+(* --- replication --------------------------------------------------------- *)
+
+let await ?(tries = 500) what pred =
+  let rec go tries =
+    if pred () then ()
+    else if tries = 0 then Alcotest.failf "timeout waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go (tries - 1)
+    end
+  in
+  go tries
+
+(* The reconnect schedule is pure: check it without a clock. *)
+let test_backoff_schedule () =
+  List.iteri
+    (fun i expect ->
+      check
+        (Printf.sprintf "backoff attempt %d" i)
+        true
+        (Float.abs (Replica.backoff ~attempt:i -. expect) < 1e-9))
+    [ 0.05; 0.1; 0.2; 0.4; 0.8; 1.6; 2.0; 2.0; 2.0 ]
+
+(* And the feeder follows it: against a dead primary, an injected
+   fake-clock sleep records exactly the exponential schedule. *)
+let test_backoff_deterministic_reconnect () =
+  (* a port with nothing listening: bind, read it back, close *)
+  let dead_port =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  let recorded = ref [] in
+  let m = Mutex.create () in
+  let sleep d =
+    Mutex.lock m;
+    recorded := d :: !recorded;
+    Mutex.unlock m;
+    Thread.yield ()
+  in
+  let rep =
+    Replica.start ~sleep ~primary_port:dead_port (Io.mem (Io.fresh_fs ()))
+  in
+  await "five recorded reconnect pauses" (fun () ->
+      Mutex.lock m;
+      let n = List.length !recorded in
+      Mutex.unlock m;
+      n >= 5);
+  Replica.stop rep;
+  Replica.wait rep;
+  let sleeps = List.rev !recorded in
+  List.iteri
+    (fun i expect ->
+      check
+        (Printf.sprintf "recorded pause %d" i)
+        true
+        (Float.abs (List.nth sleeps i -. expect) < 1e-9))
+    [ 0.05; 0.1; 0.2; 0.4; 0.8 ];
+  let s = Replica.stats rep in
+  check "reconnects counted" true (s.Replica.reconnects >= 5);
+  check "never connected" false s.Replica.connected
+
+(* Resume-from-lsn never re-applies: shipping the whole history again
+   over an up-to-date replica yields [`Duplicate] for every record and
+   changes nothing; a gap is refused outright. *)
+let prop_lsn_discipline =
+  QCheck.Test.make
+    ~name:"resume overlap is skipped, never re-applied (lsn discipline)"
+    ~count:6
+    QCheck.(make Gen.(int_bound 10_000))
+    (fun seed ->
+      let inst0, txns, _states = make_script seed in
+      QCheck.assume (txns <> []);
+      let primary =
+        get_store "primary" (Store.init (Io.mem (Io.fresh_fs ())) WP.schema inst0)
+      in
+      List.iter (fun t -> ignore (Store.apply primary t)) txns;
+      let records =
+        match Store.records_from primary ~lsn:0 with
+        | `Records rs -> rs
+        | `Too_old -> Alcotest.fail "fresh primary claims too-old"
+      in
+      let rep =
+        get_store "replica" (Store.init (Io.mem (Io.fresh_fs ())) WP.schema inst0)
+      in
+      let applied =
+        List.for_all
+          (fun (lsn, ops) -> Store.replica_apply rep ~lsn ops = Ok `Applied)
+          records
+      in
+      let before = Directory.instance (Store.directory rep) in
+      let lsn_before = Store.lsn rep in
+      let all_dup =
+        List.for_all
+          (fun (lsn, ops) -> Store.replica_apply rep ~lsn ops = Ok `Duplicate)
+          records
+      in
+      let unchanged =
+        Store.lsn rep = lsn_before
+        && Instance.equal before (Directory.instance (Store.directory rep))
+      in
+      let gap_refused =
+        match records with
+        | (_, ops) :: _ -> (
+            match Store.replica_apply rep ~lsn:(Store.lsn rep + 2) ops with
+            | Error _ -> true
+            | Ok _ -> false)
+        | [] -> true
+      in
+      applied && all_dup && unchanged && gap_refused
+      && Instance.equal
+           (Directory.instance (Store.directory rep))
+           (Directory.instance (Store.directory primary)))
+
+(* The headline fault property: materialize the exact byte stream a
+   subscriber receives (one CRC frame per shipped record, a compaction
+   mark mid-stream), crash the replica at {e every} byte boundary —
+   whole frames applied, the torn tail discarded, the handle dropped —
+   recover it from its own files, reconnect (catch up from the durable
+   lsn), and require convergence with the primary at every single cut. *)
+let prop_crash_at_every_shipped_byte =
+  QCheck.Test.make
+    ~name:"replica crashed at every shipped byte converges after reconnect"
+    ~count:2
+    QCheck.(make Gen.(int_bound 10_000))
+    (fun seed ->
+      let inst0, txns, states = make_script seed in
+      QCheck.assume (txns <> []);
+      let primary =
+        get_store "primary" (Store.init (Io.mem (Io.fresh_fs ())) WP.schema inst0)
+      in
+      List.iter
+        (fun txn ->
+          match Store.apply primary txn with
+          | Admission.Accepted _ -> ()
+          | Admission.Rejected _ -> Alcotest.fail "scripted txn rejected")
+        txns;
+      let final_lsn = Store.lsn primary in
+      let final = states.(Array.length states - 1) in
+      (* bootstrap package at lsn 0, installed once as the base image
+         every cut starts from *)
+      let base = Io.fresh_fs () in
+      (let b0 =
+         get_store "boot source"
+           (Store.init (Io.mem (Io.fresh_fs ())) WP.schema inst0)
+       in
+       let schema_text, ckpt, _ = Store.boot_blob b0 in
+       Store.close b0;
+       match
+         Store.install_snapshot (Io.mem base) ~schema:schema_text
+           ~checkpoint:ckpt
+       with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e);
+      (* the byte stream a subscriber from lsn 0 receives *)
+      let stream =
+        let buf = Buffer.create 1024 in
+        let mark_at = (List.length txns + 1) / 2 in
+        List.iteri
+          (fun i txn ->
+            Buffer.add_string buf
+              (Frame.encode
+                 (Proto.encode_stream (Proto.Ship { lsn = i + 1; ops = txn })));
+            if i + 1 = mark_at then
+              Buffer.add_string buf
+                (Frame.encode (Proto.encode_stream (Proto.Mark { lsn = i + 1 }))))
+          txns;
+        Buffer.contents buf
+      in
+      for cut = 0 to String.length stream do
+        let fs = Io.copy_fs base in
+        let st, _ = get_store "replica open" (Store.open_ (Io.mem fs)) in
+        let prefix = String.sub stream 0 cut in
+        let rec feed off =
+          match Frame.read prefix off with
+          | Frame.End | Frame.Torn _ -> ()  (* the cut: stop receiving *)
+          | Frame.Record { payload; next } ->
+              (match Proto.decode_stream payload with
+              | Ok (Proto.Ship { lsn; ops }) -> (
+                  match Store.replica_apply st ~lsn ops with
+                  | Ok (`Applied | `Duplicate) -> ()
+                  | Error e -> Alcotest.failf "apply at cut %d: %s" cut e)
+              | Ok (Proto.Mark _) -> Store.checkpoint st
+              | Ok (Proto.Boot _) -> Alcotest.fail "unexpected boot mid-stream"
+              | Error e -> Alcotest.failf "decode at cut %d: %s" cut e);
+              feed next
+        in
+        feed 0;
+        (* crash: drop the handle, recover from the replica's own files *)
+        Store.close st;
+        let st_r, _ = get_store "replica recover" (Store.open_ (Io.mem fs)) in
+        (* reconnect: resume from the durable lsn *)
+        (match Store.records_from primary ~lsn:(Store.lsn st_r) with
+        | `Too_old -> Alcotest.failf "catch-up too old at cut %d" cut
+        | `Records rs ->
+            List.iter
+              (fun (lsn, ops) ->
+                match Store.replica_apply st_r ~lsn ops with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "catch-up at cut %d: %s" cut e)
+              rs);
+        if Store.lsn st_r <> final_lsn then
+          Alcotest.failf "cut %d: lsn %d, primary %d" cut (Store.lsn st_r)
+            final_lsn;
+        if not (Instance.equal (Directory.instance (Store.directory st_r)) final)
+        then Alcotest.failf "cut %d: replica instance diverged" cut;
+        if Directory.validate (Store.directory st_r) <> [] then
+          Alcotest.failf "cut %d: replica fails validate" cut;
+        Store.close st_r
+      done;
+      Store.close primary;
+      true)
+
+(* Version gate: a future protocol hello is refused and the connection
+   dropped; the current version handshakes; a reader cannot subscribe
+   on a primary without replication enabled. *)
+let test_hello_version_gate () =
+  let inst0 = WP.generate ~seed:5 ~units:1 ~persons_per_unit:1 () in
+  let st =
+    get_store "store" (Store.init (Io.mem (Io.fresh_fs ())) WP.schema inst0)
+  in
+  let srv = Server.start ~port:0 st in
+  let port = Server.port srv in
+  (match Client.connect ~port ~retries:40 ~hello:false () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      (match
+         Client.request c
+           (Proto.Hello { version = Proto.version + 1; role = Proto.Reader })
+       with
+      | Ok (Proto.Failed msg) ->
+          check "mismatch named" true (contains msg "version mismatch")
+      | Ok (Proto.Reply _) -> Alcotest.fail "future version accepted"
+      | Error e -> Alcotest.fail e);
+      (match Client.request c Proto.Ping with
+      | Error _ -> ()  (* the server hung up after the refusal *)
+      | Ok _ -> Alcotest.fail "connection survived a version mismatch");
+      Client.close c);
+  (match Client.connect ~port ~retries:10 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      (match Client.request c Proto.Ping with
+      | Ok (Proto.Reply "pong") -> ()
+      | _ -> Alcotest.fail "ping after handshake");
+      (match Client.request c (Proto.Subscribe { from_lsn = -1 }) with
+      | Ok (Proto.Failed msg) ->
+          check "subscribe refused" true (contains msg "replication")
+      | _ -> Alcotest.fail "subscribe was not refused");
+      (match Client.request c Proto.Shutdown with
+      | Ok (Proto.Reply _) -> ()
+      | _ -> Alcotest.fail "shutdown refused");
+      Client.close c);
+  Server.wait srv
+
+(* End to end over real sockets: primary serves with replication, the
+   replica bootstraps, follows live traffic, is killed, restarted on
+   its own files, and converges again — resuming by lsn, not by a
+   second bootstrap. *)
+let test_replication_live () =
+  let inst0 = WP.generate ~seed:21 ~units:2 ~persons_per_unit:2 () in
+  let n0 = 4 in
+  let st =
+    get_store "primary store"
+      (Store.init (Io.mem (Io.fresh_fs ())) WP.schema inst0)
+  in
+  let srv = Server.start ~port:0 ~replicate:true st in
+  let port = Server.port srv in
+  let rfs = Io.fresh_fs () in
+  let rep = Replica.start ~primary_port:port (Io.mem rfs) in
+  let write c n name =
+    for i = 0 to n - 1 do
+      let record =
+        String.concat "\n"
+          [
+            Printf.sprintf "dn: uid=%s%d, ou=unit1, o=acme" name i;
+            "changetype: add";
+            "objectClass: person";
+            "objectClass: top";
+            Printf.sprintf "uid: %s%d" name i;
+            "name: replicated person";
+          ]
+      in
+      match Client.request c (Proto.Apply record) with
+      | Ok (Proto.Reply _) -> ()
+      | Ok (Proto.Failed e) -> Alcotest.failf "apply: %s" e
+      | Error e -> Alcotest.failf "apply transport: %s" e
+    done
+  in
+  (match Client.connect ~port ~retries:40 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      write c 10 "rep";
+      Client.close c);
+  await "replica caught up to lsn 10" (fun () ->
+      (Replica.stats rep).Replica.applied_lsn >= 10);
+  (* the replica answers the same query the primary would *)
+  (match Client.connect ~port:(Replica.port rep) ~retries:40 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      check_int "replicated person count" (n0 + 10) (person_count c);
+      Client.close c);
+  let boots_before = (Replica.stats rep).Replica.boots in
+  check "first sync bootstrapped" true (boots_before >= 1);
+  (* kill the replica, write more, restart it on the same files *)
+  Replica.stop rep;
+  Replica.wait rep;
+  (match Client.connect ~port ~retries:10 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      write c 5 "late";
+      Client.close c);
+  let rep2 = Replica.start ~primary_port:port (Io.mem rfs) in
+  await "restarted replica caught up to lsn 15" (fun () ->
+      (Replica.stats rep2).Replica.applied_lsn >= 15);
+  let s2 = Replica.stats rep2 in
+  check_int "restart resumed by lsn, no second bootstrap" 0 s2.Replica.boots;
+  (match Client.connect ~port:(Replica.port rep2) ~retries:40 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      check_int "post-restart person count" (n0 + 15) (person_count c);
+      Client.close c);
+  (* primary-side stats see the subscriber *)
+  let ps = Server.stats srv in
+  check_int "one live subscriber" 1 ps.Server.replicas;
+  check_int "no shipping backlog" 0 ps.Server.replica_lag;
+  Replica.stop rep2;
+  Replica.wait rep2;
+  (match Client.connect ~port ~retries:10 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      (match Client.request c Proto.Shutdown with
+      | Ok (Proto.Reply _) -> ()
+      | _ -> Alcotest.fail "shutdown refused");
+      Client.close c);
+  Server.wait srv
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "net"
@@ -489,14 +903,18 @@ let () =
         [
           Alcotest.test_case "constructor round-trips" `Quick test_proto_roundtrip;
           Alcotest.test_case "malformed payloads reject" `Quick test_proto_errors;
+          Alcotest.test_case "stream round-trips" `Quick test_stream_roundtrip;
           qt prop_proto_roundtrip;
           qt prop_proto_total;
+          qt prop_stream_total;
         ] );
       ( "conn",
         [
           Alcotest.test_case "frame round-trip" `Quick test_conn_roundtrip;
           Alcotest.test_case "close and torn frames" `Quick test_conn_close_and_torn;
           Alcotest.test_case "corrupt frame" `Quick test_conn_corrupt;
+          Alcotest.test_case "torn vs corrupt classification" `Quick
+            test_torn_vs_corrupt_classification;
         ] );
       ( "epoch",
         [
@@ -513,5 +931,16 @@ let () =
             test_server_concurrent_isolation;
           Alcotest.test_case "concurrent writers coalesce into shared commits"
             `Quick test_server_group_commit_batches;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "deterministic reconnect pacing" `Quick
+            test_backoff_deterministic_reconnect;
+          Alcotest.test_case "hello version gate" `Quick test_hello_version_gate;
+          qt prop_lsn_discipline;
+          qt prop_crash_at_every_shipped_byte;
+          Alcotest.test_case "live kill and reconnect converges" `Quick
+            test_replication_live;
         ] );
     ]
